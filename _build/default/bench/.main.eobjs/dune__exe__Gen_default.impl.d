@@ -1,0 +1,1 @@
+bench/gen_default.ml: Array Env Fun List Pqueue Progmp_lang Progmp_runtime Subflow_view

@@ -1,0 +1,1057 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (see DESIGN.md §4 for the experiment index and
+    EXPERIMENTS.md for paper-vs-measured results).
+
+    Usage: [dune exec bench/main.exe] runs everything;
+    [dune exec bench/main.exe -- fig12 fig13] runs a subset. Absolute
+    numbers differ from the paper (our substrate is a simulator, not the
+    authors' kernel testbed); each experiment prints the paper's
+    qualitative expectation next to the measured series so the shape can
+    be compared directly. *)
+
+open Mptcp_sim
+open Progmp_runtime
+
+(* Optional CSV export: [--csv DIR] writes one plot-ready file per
+   experiment next to the printed tables. *)
+let csv_dir : string option ref = ref None
+
+let csv_channels : (string, out_channel) Hashtbl.t = Hashtbl.create 8
+
+let csv ~experiment ~header row =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      let oc =
+        match Hashtbl.find_opt csv_channels experiment with
+        | Some oc -> oc
+        | None ->
+            (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            let oc = open_out (Filename.concat dir (experiment ^ ".csv")) in
+            output_string oc (String.concat "," header ^ "\n");
+            Hashtbl.replace csv_channels experiment oc;
+            oc
+      in
+      output_string oc (String.concat "," row ^ "\n")
+
+let close_csv () = Hashtbl.iter (fun _ oc -> close_out oc) csv_channels
+
+let section id title expectation =
+  Fmt.pr "@.==================================================================@.";
+  Fmt.pr "%s — %s@." id title;
+  Fmt.pr "paper expectation: %s@." expectation;
+  Fmt.pr "==================================================================@."
+
+let load_zoo () = ignore (Schedulers.Specs.load_all ())
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1 — motivation: MinRTT vs backup mode on an interactive stream *)
+(* ------------------------------------------------------------------ *)
+
+let stream_setup ~scheduler ~lte_backup ~seed =
+  load_zoo ();
+  let paths = Apps.Scenario.wifi_lte ~lte_backup () in
+  let conn = Connection.create ~seed ~paths () in
+  Api.set_scheduler (Connection.sock conn) scheduler;
+  let rate t = if t < 6.0 then 1_000_000.0 else 4_000_000.0 in
+  Apps.Workload.cbr ~signal_register:0 conn ~start:0.5 ~stop:15.0
+    ~interval:0.1 ~rate;
+  Apps.Scenario.fluctuate_wifi conn
+    ~rng:(Rng.create (seed + 1))
+    ~until:15.0 ~low:2_500_000.0 ~high:5_000_000.0 ();
+  (conn, rate)
+
+let stream_report label conn rate sampler =
+  let wifi = Connection.subflow conn 0 and lte = Connection.subflow conn 1 in
+  let total = wifi.Tcp_subflow.bytes_sent + lte.Tcp_subflow.bytes_sent in
+  let stalls =
+    List.length
+      (List.filter
+         (fun (t, r) -> t > 1.5 && t <= 15.0 && r < 0.9 *. rate t)
+         (Stats.delivery_rate sampler))
+  in
+  Fmt.pr "%-26s lte share %5.1f%%   stalled seconds %2d   delivered %5.1f MB@."
+    label
+    (100.0 *. float_of_int lte.Tcp_subflow.bytes_sent /. float_of_int (max 1 total))
+    stalls
+    (float_of_int (Connection.delivered_bytes conn) /. 1e6)
+
+let run_stream label ~scheduler ~lte_backup =
+  let conn, rate = stream_setup ~scheduler ~lte_backup ~seed:7 in
+  let sampler = Stats.install conn ~interval:1.0 ~until:15.0 in
+  Connection.run ~until:25.0 conn;
+  stream_report label conn rate sampler
+
+let fig1 () =
+  section "Fig. 1"
+    "interactive stream (1 MB/s then 4 MB/s) over WiFi (10 ms) + LTE (40 ms)"
+    "MinRTT places ~30% of the traffic on LTE even when WiFi would suffice; \
+     backup mode silences LTE but starves the 4 MB/s phase";
+  run_stream "default (LTE regular)" ~scheduler:"default" ~lte_backup:false;
+  run_stream "default (LTE backup)" ~scheduler:"default" ~lte_backup:true;
+  (* per-second series, as plotted in the figure *)
+  let conn, _ = stream_setup ~scheduler:"default" ~lte_backup:false ~seed:7 in
+  let sampler = Stats.install conn ~interval:1.0 ~until:15.0 in
+  Connection.run ~until:25.0 conn;
+  Fmt.pr "@.per-second goodput (MB/s), default scheduler, LTE regular:@.";
+  Fmt.pr "%6s %8s %8s@." "t" "wifi" "lte";
+  List.iter
+    (fun (t, rates) ->
+      if Array.length rates >= 2 then
+        Fmt.pr "%6.1f %8.2f %8.2f@." t (rates.(0) /. 1e6) (rates.(1) /. 1e6))
+    (Stats.subflow_rates sampler)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9 — runtime overhead of the execution backends                 *)
+(* ------------------------------------------------------------------ *)
+
+let overhead_env ~subflows ~packets =
+  let env = Env.create () in
+  for i = 0 to packets - 1 do
+    Pqueue.push_back env.Env.q (Packet.create ~seq:i ~size:1448 ~now:0.0 ())
+  done;
+  let views =
+    Array.init subflows (fun i ->
+        {
+          Subflow_view.default with
+          Subflow_view.id = i;
+          rtt_us = 10_000 + (10_000 * i);
+          (* congestion-blocked: the scheduler does its full decision work
+             but emits no action, so the environment is stable across
+             measurement runs *)
+          cwnd = 2;
+          skbs_in_flight = 2;
+        })
+  in
+  (env, views)
+
+let backends_for src =
+  let fresh name = Scheduler.of_source ~name src in
+  let interp = fresh "interp" in
+  let aot = fresh "aot" in
+  Scheduler.use_aot aot;
+  let vm = fresh "vm" in
+  ignore (Progmp_compiler.Compile.install vm);
+  let native = fresh "native" in
+  Schedulers.Native.install native Schedulers.Native.default;
+  let gen = fresh "generated" in
+  Scheduler.set_engine gen ~name:"aot-source" Gen_default.engine;
+  [ ("native (C analogue)", native); ("aot (generated source)", gen);
+    ("interpreter", interp); ("aot (closure)", aot); ("ebpf-vm", vm) ]
+
+let bechamel_ns_per_run tests =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.concat_map
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.fold
+        (fun name ols acc ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> (name, est) :: acc
+          | Some [] | None -> (name, nan) :: acc)
+        analyzed [])
+    tests
+
+let fig9 () =
+  section "Fig. 9"
+    "per-execution overhead of the runtime backends and achievable throughput"
+    "relative execution time: native C < eBPF-JIT (~125%) < interpreter \
+     (~144%); the total throughput remains unchanged across all backends";
+  (* decision-path microbenchmark (Bechamel), 2 and 4 subflows *)
+  List.iter
+    (fun nsbf ->
+      let tests =
+        List.map
+          (fun (label, sched) ->
+            let env, views = overhead_env ~subflows:nsbf ~packets:64 in
+            Bechamel.Test.make
+              ~name:(Fmt.str "%d subflows / %s" nsbf label)
+              (Bechamel.Staged.stage (fun () ->
+                   Scheduler.execute sched env ~subflows:views)))
+          (backends_for Schedulers.Specs.default)
+      in
+      let results = bechamel_ns_per_run tests in
+      let native =
+        try List.assoc (Fmt.str "%d subflows / native (C analogue)" nsbf) results
+        with Not_found -> nan
+      in
+      Fmt.pr "@.decision path, %d subflows (default scheduler):@." nsbf;
+      List.iter
+        (fun (name, ns) ->
+          Fmt.pr "  %-40s %8.0f ns/execution  (%3.0f%% of native)@." name ns
+            (100.0 *. ns /. native))
+        results)
+    [ 2; 4 ];
+  (* push path: manual loop over a prefilled queue (each execution pops
+     and pushes one packet) *)
+  Fmt.pr "@.push path (pop + push per execution):@.";
+  let iters = 20_000 in
+  let timings =
+    List.map
+      (fun (label, sched) ->
+        let env, _ = overhead_env ~subflows:2 ~packets:iters in
+        let views =
+          Array.init 2 (fun i ->
+              {
+                Subflow_view.default with
+                Subflow_view.id = i;
+                rtt_us = 10_000 + (10_000 * i);
+                cwnd = max_int / 2;
+              })
+        in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          ignore (Scheduler.execute sched env ~subflows:views)
+        done;
+        let t1 = Unix.gettimeofday () in
+        (label, (t1 -. t0) /. float_of_int iters *. 1e9))
+      (backends_for Schedulers.Specs.default)
+  in
+  let native = List.assoc "native (C analogue)" timings in
+  List.iter
+    (fun (name, ns) ->
+      Fmt.pr "  %-40s %8.0f ns/execution  (%3.0f%% of native)@." name ns
+        (100.0 *. ns /. native))
+    timings;
+  (* throughput is unchanged across backends *)
+  Fmt.pr "@.simulated bulk throughput per backend (must be identical):@.";
+  List.iter
+    (fun backend ->
+      load_zoo ();
+      let sched =
+        match Scheduler.find "default" with Some s -> s | None -> assert false
+      in
+      (match backend with
+      | `Interp ->
+          Scheduler.set_engine sched ~name:"interpreter" (fun env ->
+              Interpreter.run sched.Scheduler.program env)
+      | `Aot -> Scheduler.use_aot sched
+      | `Vm -> ignore (Progmp_compiler.Compile.install sched));
+      let paths = Apps.Scenario.mininet_two_subflows () in
+      let conn = Connection.create ~seed:5 ~paths () in
+      Apps.Workload.bulk conn ~at:0.1 ~bytes:4_000_000;
+      Connection.run ~until:60.0 conn;
+      let label =
+        match backend with `Interp -> "interpreter" | `Aot -> "aot" | `Vm -> "ebpf-vm"
+      in
+      match
+        Meta_socket.fct conn.Connection.meta ~first:0
+          ~last:(conn.Connection.meta.Meta_socket.next_seq - 1)
+      with
+      | Some t ->
+          Fmt.pr "  %-12s %7.2f Mbit/s (FCT %.3f s)@." label
+            (4_000_000.0 *. 8.0 /. (t -. 0.1) /. 1e6)
+            t
+      | None -> Fmt.pr "  %-12s incomplete@." label)
+    [ `Interp; `Aot; `Vm ];
+  (* ablation: the two optimizations §4.1 calls out *)
+  Fmt.pr "@.ablation — constant-subflow-count specialization (decision path):@.";
+  let sched = Scheduler.of_source ~name:"spec-abl" Schedulers.Specs.default in
+  let generic = Progmp_compiler.Compile.compile sched.Scheduler.program in
+  let specialized =
+    Progmp_compiler.Compile.compile ~subflow_count:2 sched.Scheduler.program
+  in
+  List.iter
+    (fun (label, prog) ->
+      let env, views = overhead_env ~subflows:2 ~packets:64 in
+      let iters = 30_000 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        Env.begin_execution env ~subflows:views;
+        Progmp_compiler.Vm.run prog env;
+        ignore (Env.finish_execution env)
+      done;
+      let ns = (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9 in
+      Fmt.pr "  %-36s %8.0f ns/execution (%d instrs)@." label ns
+        (Progmp_compiler.Vm.size prog))
+    [ ("generic bytecode", generic); ("specialized for 2 subflows", specialized) ];
+  Fmt.pr "@.ablation — compressed executions (simulated bulk transfer):@.";
+  List.iter
+    (fun compressed ->
+      load_zoo ();
+      let paths = Apps.Scenario.mininet_two_subflows () in
+      let conn = Connection.create ~seed:5 ~compressed ~paths () in
+      Apps.Workload.bulk conn ~at:0.1 ~bytes:4_000_000;
+      Connection.run ~until:60.0 conn;
+      let meta = conn.Connection.meta in
+      match
+        Meta_socket.fct meta ~first:0 ~last:(meta.Meta_socket.next_seq - 1)
+      with
+      | Some t ->
+          Fmt.pr "  compressed=%-5b %d scheduler executions, FCT %.3f s@."
+            compressed meta.Meta_socket.sched_executions t
+      | None -> Fmt.pr "  compressed=%-5b incomplete@." compressed)
+    [ true; false ];
+  (* memory/size analogues of §4.1/§4.3 *)
+  Fmt.pr "@.program footprints (cf. paper: scheduler 3048 B, instance 328 B):@.";
+  Fmt.pr "  %-28s %8s %8s %8s@." "scheduler" "instrs" "stack" "slots";
+  List.iter
+    (fun (name, src) ->
+      let p = Progmp_lang.Typecheck.compile_source src in
+      let _, stats = Progmp_compiler.Compile.compile_with_stats p in
+      Fmt.pr "  %-28s %8d %8d %8d@." name stats.Progmp_compiler.Compile.instrs
+        stats.Progmp_compiler.Compile.spill_slots p.Progmp_lang.Tast.num_slots)
+    Schedulers.Specs.all;
+  (* up-call proxy (§4.1: netlink up-call 2.4 us vs in-kernel 0.2 us):
+     the dominant up-call cost is crossing the boundary with a serialized
+     environment; we measure execute vs serialize+execute *)
+  Fmt.pr "@.userspace up-call proxy (serialize environment per decision):@.";
+  let sched = Scheduler.of_source ~name:"upcall" Schedulers.Specs.default in
+  let env, views = overhead_env ~subflows:2 ~packets:64 in
+  let iters = 50_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Scheduler.execute sched env ~subflows:views)
+  done;
+  let in_kernel = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    let bytes = Marshal.to_bytes views [] in
+    let (_ : Subflow_view.t array) = Marshal.from_bytes bytes 0 in
+    ignore (Scheduler.execute sched env ~subflows:views)
+  done;
+  let upcall = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+  Fmt.pr
+    "  in-runtime decision: %.2f us; with up-call serialization: %.2f us \
+     (%.1fx)@."
+    (in_kernel *. 1e6) (upcall *. 1e6)
+    (upcall /. in_kernel)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10b — FCT vs flow size for the redundancy family               *)
+(* ------------------------------------------------------------------ *)
+
+let redundancy_schedulers =
+  [ "default"; "redundant"; "opportunistic_redundant"; "redundant_if_no_q" ]
+
+let fig10b () =
+  section "Fig. 10b"
+    "mean flow completion time vs flow size (2 subflows, 2% loss)"
+    "all redundant schedulers beat the default for small flows; \
+     OpportunisticRedundant overtakes the existing redundant scheduler as \
+     flows grow; RedundantIfNoQ is best overall";
+  load_zoo ();
+  Fmt.pr "%-10s" "size(kB)";
+  List.iter (fun s -> Fmt.pr " %25s" s) redundancy_schedulers;
+  Fmt.pr "@.";
+  List.iter
+    (fun size ->
+      Fmt.pr "%-10d" (size / 1000);
+      List.iter
+        (fun scheduler ->
+          let mk_conn ~seed =
+            let paths =
+              Apps.Scenario.mininet_two_subflows ~rtt_ratio:2.0 ~loss:0.02 ()
+            in
+            let conn = Connection.create ~seed ~paths () in
+            Api.set_scheduler (Connection.sock conn) scheduler;
+            conn
+          in
+          let fct, _, completed =
+            Apps.Workload.measure_flows ~mk_conn ~size ~reps:10 ()
+          in
+          csv ~experiment:"fig10b"
+            ~header:[ "size_bytes"; "scheduler"; "mean_fct_ms"; "completed" ]
+            [ string_of_int size; scheduler; Fmt.str "%.3f" (fct *. 1e3);
+              string_of_int completed ];
+          Fmt.pr " %15.1f ms (%2d/10)" (fct *. 1e3) completed)
+        redundancy_schedulers;
+      Fmt.pr "@.")
+    [ 5_000; 15_000; 50_000; 150_000; 400_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10c — throughput normalized to single-path TCP                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig10c () =
+  section "Fig. 10c"
+    "maximum achievable throughput, normalized to single-path TCP"
+    "the existing redundant scheduler is pinned near 1x; for bulk (iPerf) \
+     both new schedulers provide nearly the maximum achievable throughput; \
+     bursty traffic reduces their advantage";
+  load_zoo ();
+  let measure ~paths ~scheduler ~bursty =
+    let conn = Connection.create ~seed:11 ~paths () in
+    Api.set_scheduler (Connection.sock conn) scheduler;
+    (* offered load well above the 2 x 1.25 MB/s aggregate capacity *)
+    if bursty then
+      Apps.Workload.bursty conn ~rng:(Rng.create 13) ~start:0.2 ~stop:10.2
+        ~burst_bytes:150_000 ~mean_gap:0.04
+    else
+      Apps.Workload.cbr conn ~start:0.2 ~stop:10.2 ~interval:0.05
+        ~rate:(fun _ -> 4_000_000.0);
+    (* throughput = bytes delivered within the 10 s load window *)
+    let window_bytes = ref 0 in
+    Connection.at conn ~time:10.2 (fun () ->
+        window_bytes := Connection.delivered_bytes conn);
+    Connection.run ~until:11.0 conn;
+    float_of_int !window_bytes /. 10.0
+  in
+  let single ~bursty =
+    let paths = [ List.hd (Apps.Scenario.mininet_two_subflows ()) ] in
+    measure ~paths ~scheduler:"default" ~bursty
+  in
+  let base_bulk = single ~bursty:false in
+  let base_bursty = single ~bursty:true in
+  Fmt.pr "single-path TCP baseline: bulk %.2f MB/s, bursty %.2f MB/s@.@."
+    (base_bulk /. 1e6) (base_bursty /. 1e6);
+  Fmt.pr "%-26s %14s %14s@." "scheduler" "iperf (norm.)" "bursty (norm.)";
+  List.iter
+    (fun scheduler ->
+      let bulk =
+        measure ~paths:(Apps.Scenario.mininet_two_subflows ()) ~scheduler
+          ~bursty:false
+      in
+      let bursty =
+        measure ~paths:(Apps.Scenario.mininet_two_subflows ()) ~scheduler
+          ~bursty:true
+      in
+      Fmt.pr "%-26s %14.2f %14.2f@." scheduler (bulk /. base_bulk)
+        (bursty /. base_bursty))
+    redundancy_schedulers
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 12 — compensating the end of short flows                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig12_measure ~scheduler ~rtt_ratio ~signal_end =
+  let mk_conn ~seed =
+    let paths =
+      Apps.Scenario.mininet_two_subflows ~rtt_ratio ~base_rtt:0.02 ()
+    in
+    let conn = Connection.create ~seed ~paths () in
+    Api.set_scheduler (Connection.sock conn) scheduler;
+    conn
+  in
+  let after_write conn =
+    if signal_end then Api.set_register (Connection.sock conn) 1 1
+  in
+  let fct, wire, completed =
+    Apps.Workload.measure_flows ~after_write ~mk_conn ~size:40_000 ~reps:12 ()
+  in
+  assert (completed = 12);
+  (fct *. 1e3, wire /. 40_000.0)
+
+let fig12 () =
+  section "Fig. 12"
+    "short-flow FCT and overhead vs subflow RTT ratio (end of flow signaled)"
+    "the default FCT rises with the RTT ratio; the Compensating scheduler \
+     retains it at the cost of retransmission overhead that decreases for \
+     higher ratios; Selective Compensation (ratio > 2) pays the overhead \
+     only where it helps";
+  load_zoo ();
+  Fmt.pr "%-10s %22s %26s %26s@." "RTT ratio" "default" "compensating"
+    "selective compensation";
+  List.iter
+    (fun rtt_ratio ->
+      let d_fct, d_w =
+        fig12_measure ~scheduler:"default" ~rtt_ratio ~signal_end:false
+      in
+      let c_fct, c_w =
+        fig12_measure ~scheduler:"compensating" ~rtt_ratio ~signal_end:true
+      in
+      let s_fct, s_w =
+        fig12_measure ~scheduler:"selective_compensation" ~rtt_ratio
+          ~signal_end:true
+      in
+      List.iter
+        (fun (sched, fct, w) ->
+          csv ~experiment:"fig12"
+            ~header:[ "rtt_ratio"; "scheduler"; "mean_fct_ms"; "overhead" ]
+            [ Fmt.str "%.1f" rtt_ratio; sched; Fmt.str "%.3f" fct;
+              Fmt.str "%.3f" w ])
+        [ ("default", d_fct, d_w); ("compensating", c_fct, c_w);
+          ("selective_compensation", s_fct, s_w) ];
+      Fmt.pr "%-10.1f %13.1f ms (%.2fx) %17.1f ms (%.2fx) %17.1f ms (%.2fx)@."
+        rtt_ratio d_fct d_w c_fct c_w s_fct s_w)
+    [ 1.0; 1.5; 2.0; 3.0; 4.0; 6.0; 8.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* ablation: which packet to retransmit when compensating              *)
+(* ------------------------------------------------------------------ *)
+
+let compensating_newest =
+  (* as Specs.compensating, but retransmits the newest (highest data seq)
+     unsent packet first instead of the oldest — the paper's TOP vs FIRST
+     variation (§5.3) *)
+  {|
+VAR open = SUBFLOWS.FILTER(sbf =>
+  sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!Q.EMPTY) {
+  VAR sbf = open.MIN(m => m.RTT);
+  IF (sbf != NULL) { sbf.PUSH(Q.POP()); }
+} ELSE {
+  IF (R2 == 1) {
+    FOREACH (VAR c IN SUBFLOWS) {
+      VAR skb = QU.FILTER(u => !u.SENT_ON(c)).MAX(x => x.SEQ);
+      IF (skb != NULL) { c.PUSH(skb); }
+    }
+  }
+}
+|}
+
+let ablate_compensate () =
+  section "Ablation (§5.3)"
+    "choice of the retransmitted packet in the Compensating scheduler"
+    "retransmitting the oldest vs the newest unsent in-flight packet has \
+     only minor impact on the FCT";
+  load_zoo ();
+  Api.load_scheduler compensating_newest ~name:"compensating_newest";
+  Fmt.pr "%-10s %22s %22s@." "RTT ratio" "oldest-first" "newest-first";
+  List.iter
+    (fun rtt_ratio ->
+      let o_fct, _ =
+        fig12_measure ~scheduler:"compensating" ~rtt_ratio ~signal_end:true
+      in
+      let n_fct, _ =
+        fig12_measure ~scheduler:"compensating_newest" ~rtt_ratio
+          ~signal_end:true
+      in
+      Fmt.pr "%-10.1f %19.1f ms %19.1f ms@." rtt_ratio o_fct n_fct)
+    [ 2.0; 4.0; 8.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 13 — TAP: throughput- and preference-aware streaming           *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  section "Fig. 13"
+    "preference-aware streaming: default vs backup mode vs TAP"
+    "TAP sustains the signaled target rate like the default scheduler while \
+     reducing the non-preferred LTE usage to the capacity deficit; backup \
+     mode cannot sustain the 4 MB/s phase";
+  run_stream "default (LTE regular)" ~scheduler:"default" ~lte_backup:false;
+  run_stream "default (LTE backup)" ~scheduler:"default" ~lte_backup:true;
+  run_stream "TAP (target in R1)" ~scheduler:"tap" ~lte_backup:true;
+  (* the per-second usage series TAP is judged on *)
+  let conn, _ = stream_setup ~scheduler:"tap" ~lte_backup:true ~seed:7 in
+  let sampler = Stats.install conn ~interval:1.0 ~until:15.0 in
+  Connection.run ~until:25.0 conn;
+  Fmt.pr "@.per-second goodput (MB/s), TAP:@.";
+  Fmt.pr "%6s %8s %8s %8s@." "t" "wifi" "lte" "target";
+  List.iter
+    (fun (t, rates) ->
+      if Array.length rates >= 2 then begin
+        csv ~experiment:"fig13"
+          ~header:[ "t"; "wifi_mbps"; "lte_mbps"; "target_mbps" ]
+          [ Fmt.str "%.1f" t; Fmt.str "%.3f" (rates.(0) /. 1e6);
+            Fmt.str "%.3f" (rates.(1) /. 1e6);
+            Fmt.str "%.1f" (if t <= 6.5 then 1.0 else 4.0) ];
+        Fmt.pr "%6.1f %8.2f %8.2f %8.2f@." t (rates.(0) /. 1e6)
+          (rates.(1) /. 1e6)
+          (if t <= 6.5 then 1.0 else 4.0)
+      end)
+    (Stats.subflow_rates sampler)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 14 — HTTP/2-aware scheduling                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig14 () =
+  section "Fig. 14"
+    "HTTP/2-aware scheduling of an optimized page over WiFi + metered LTE"
+    "the HTTP/2-aware scheduler keeps the dependency-retrieval time low and \
+     flat as the WiFi RTT grows, and sharply reduces the bytes on the \
+     metered LTE subflow, without hurting the full load time";
+  load_zoo ();
+  let page = Apps.Http2.optimized_page in
+  let run ~scheduler ~extra =
+    let paths =
+      Apps.Scenario.wifi_lte ~wifi_extra_delay:extra
+        ~lte_backup:(scheduler = "http2_aware") ()
+    in
+    let conn = Connection.create ~seed:21 ~paths () in
+    if scheduler = "http2_aware" then Apps.Webserver.prepare conn page;
+    match Apps.Webserver.serve_with ~scheduler_name:scheduler conn page with
+    | Some r -> r
+    | None -> failwith "page load incomplete"
+  in
+  Fmt.pr "%-10s | %28s | %28s@." "" "default" "http2-aware";
+  Fmt.pr "%-10s | %9s %9s %8s | %9s %9s %8s@." "rtt ratio" "dep(ms)"
+    "load(ms)" "lte(kB)" "dep(ms)" "load(ms)" "lte(kB)";
+  List.iter
+    (fun extra ->
+      let d = run ~scheduler:"default" ~extra in
+      let h = run ~scheduler:"http2_aware" ~extra in
+      List.iter
+        (fun (sched, (r : Apps.Http2.load_result)) ->
+          csv ~experiment:"fig14"
+            ~header:
+              [ "rtt_ratio"; "scheduler"; "dependency_ms"; "full_load_ms";
+                "lte_bytes" ]
+            [ Fmt.str "%.2f" ((0.005 +. extra) /. 0.020); sched;
+              Fmt.str "%.3f" (r.Apps.Http2.dependency_time *. 1e3);
+              Fmt.str "%.3f" (r.Apps.Http2.full_load_time *. 1e3);
+              string_of_int r.Apps.Http2.lte_bytes ])
+        [ ("default", d); ("http2_aware", h) ];
+      Fmt.pr "%-10.2f | %9.1f %9.1f %8.1f | %9.1f %9.1f %8.1f@."
+        ((0.005 +. extra) /. 0.020)
+        (d.Apps.Http2.dependency_time *. 1e3)
+        (d.Apps.Http2.full_load_time *. 1e3)
+        (float_of_int d.Apps.Http2.lte_bytes /. 1e3)
+        (h.Apps.Http2.dependency_time *. 1e3)
+        (h.Apps.Http2.full_load_time *. 1e3)
+        (float_of_int h.Apps.Http2.lte_bytes /. 1e3))
+    [ 0.0; 0.005; 0.015; 0.035; 0.055 ]
+
+(* ------------------------------------------------------------------ *)
+(* §5.2 — handover-aware scheduling                                    *)
+(* ------------------------------------------------------------------ *)
+
+let handover () =
+  section "§5.2"
+    "WiFi -> LTE handover during a stream (WiFi dies at t = 1.0 s)"
+    "a handover-aware scheduler that aggressively retransmits the dying \
+     subflow's in-flight packets on the new subflow shortens the delivery \
+     gap the handover causes";
+  load_zoo ();
+  let run ~scheduler =
+    let paths = Apps.Scenario.wifi_lte ~lte_backup:false () in
+    let conn = Connection.create ~seed:3 ~paths () in
+    Api.set_scheduler (Connection.sock conn) scheduler;
+    (* proactive handover (cf. [18]): the device senses the WiFi decay and
+       flags LTE (id 1) as the target shortly before the blackout *)
+    if scheduler = "handover" then
+      Connection.at conn ~time:0.9 (fun () ->
+          Api.set_register (Connection.sock conn) 0 1;
+          Connection.notify_scheduler conn);
+    Apps.Workload.cbr conn ~start:0.2 ~stop:3.0 ~interval:0.05 ~rate:(fun _ ->
+        2_000_000.0);
+    (* WiFi goes silent at t = 1.0 (blackout: every packet is lost, no
+       clean failure signal); the connection break is detected at 1.5 *)
+    Connection.at conn ~time:1.0 (fun () ->
+        Link.set_loss (Connection.data_link conn 0) 1.0);
+    Connection.fail_path conn (List.hd conn.Connection.paths) ~at:1.5;
+    (* largest gap between consecutive in-order deliveries around the
+       handover (the first in-window delivery only seeds the clock) *)
+    let last = ref nan and max_gap = ref 0.0 in
+    conn.Connection.meta.Meta_socket.on_deliver <-
+      (fun ~seq:_ ~size:_ ~time ->
+        if time > 0.5 && time < 2.5 then begin
+          if not (Float.is_nan !last) then
+            max_gap := Float.max !max_gap (time -. !last);
+          last := time
+        end);
+    Connection.run ~until:30.0 conn;
+    (!max_gap, Meta_socket.all_delivered conn.Connection.meta)
+  in
+  List.iter
+    (fun scheduler ->
+      let gap, complete = run ~scheduler in
+      Fmt.pr "%-12s delivery gap across handover %6.1f ms (complete: %b)@."
+        scheduler (gap *. 1e3) complete)
+    [ "default"; "handover" ]
+
+(* ------------------------------------------------------------------ *)
+(* §5.4 — target-RTT and deadline-driven scheduling                    *)
+(* ------------------------------------------------------------------ *)
+
+let targets () =
+  section "§5.4"
+    "latency targets for thin request/response flows; DASH chunk deadlines"
+    "with a tolerable-RTT intent the scheduler leaves the preferred subflow \
+     only when the target is violated (cf. [13]: ~15% of WiFi samples are \
+     slower than LTE); the deadline scheduler keeps the non-preferred \
+     subflow asleep unless a chunk would miss its deadline";
+  load_zoo ();
+  (* target RTT: WiFi RTT degrades in the middle of the run *)
+  let run_latency ~scheduler =
+    let paths = Apps.Scenario.wifi_lte () in
+    let conn = Connection.create ~seed:17 ~paths () in
+    Api.set_scheduler (Connection.sock conn) scheduler;
+    Api.set_register (Connection.sock conn) 0 30_000 (* tolerable RTT 30 ms *);
+    Connection.at conn ~time:2.0 (fun () ->
+        Link.set_delay (Connection.data_link conn 0) 0.080);
+    Connection.at conn ~time:4.0 (fun () ->
+        Link.set_delay (Connection.data_link conn 0) 0.005);
+    let latencies = ref [] in
+    let pending = Hashtbl.create 64 in
+    conn.Connection.meta.Meta_socket.on_deliver <-
+      (fun ~seq ~size:_ ~time ->
+        match Hashtbl.find_opt pending seq with
+        | Some t0 -> latencies := (time -. t0) :: !latencies
+        | None -> ());
+    let rec request t =
+      if t < 6.0 then
+        Connection.at conn ~time:t (fun () ->
+            let seqs = Connection.write conn 1448 in
+            List.iter
+              (fun s -> Hashtbl.replace pending s (Connection.now conn))
+              seqs;
+            request (t +. 0.05))
+    in
+    request 0.3;
+    Connection.run ~until:30.0 conn;
+    let lte = Connection.subflow conn 1 in
+    (Stats.percentile 0.95 !latencies, lte.Tcp_subflow.bytes_sent)
+  in
+  List.iter
+    (fun scheduler ->
+      let p95, lte = run_latency ~scheduler in
+      Fmt.pr "%-12s request p95 latency %6.1f ms, LTE bytes %7d@." scheduler
+        (p95 *. 1e3) lte)
+    [ "default"; "target_rtt" ];
+  (* deadline-driven DASH with WiFi dips *)
+  Fmt.pr "@.DASH chunks (400 kB every 500 ms), WiFi dips to 0.5 MB/s twice:@.";
+  let run_dash ~scheduler =
+    let paths = Apps.Scenario.wifi_lte () in
+    let conn = Connection.create ~seed:19 ~paths () in
+    Api.set_scheduler (Connection.sock conn) scheduler;
+    List.iter
+      (fun (t, bw) ->
+        Connection.at conn ~time:t (fun () ->
+            Link.set_bandwidth (Connection.data_link conn 0) bw))
+      [
+        (2.0, 300_000.0); (3.5, 5_000_000.0); (5.0, 300_000.0);
+        (6.5, 5_000_000.0);
+      ];
+    let session =
+      Apps.Dash.start ~period:0.5 ~count:16 ~chunk_bytes:(fun _ -> 400_000) conn
+    in
+    Connection.run ~until:60.0 conn;
+    Apps.Dash.evaluate session
+  in
+  List.iter
+    (fun scheduler ->
+      let o = run_dash ~scheduler in
+      Fmt.pr "%-16s deadline misses %2d, backup (LTE) bytes %8d@." scheduler
+        o.Apps.Dash.deadline_misses o.Apps.Dash.backup_bytes)
+    [ "default"; "target_deadline" ]
+
+(* ------------------------------------------------------------------ *)
+(* §4.2 — receiver-side delivery: stock two-layer vs improved          *)
+(* ------------------------------------------------------------------ *)
+
+let receiver () =
+  section "§4.2"
+    "receiver-side packet handling under loss and cross-subflow reordering"
+    "the stock two-layer receiver withholds data that is already in order \
+     at the data level; the improved receiver delivers at the earliest \
+     possible moment, reducing delivery latency";
+  load_zoo ();
+  let run ?(ordering = Meta_socket.Ordered) mode =
+    let paths =
+      Apps.Scenario.mininet_two_subflows ~rtt_ratio:4.0 ~loss:0.03 ()
+    in
+    let conn =
+      Connection.create ~seed:29 ~delivery_mode:mode ~ordering ~paths ()
+    in
+    (* the default scheduler reinjects suspected losses cross-subflow,
+       which is what exposes the two-layer receiver's head-of-line delay *)
+    Api.set_scheduler (Connection.sock conn) "default";
+    (* a thin periodic flow: the measured per-segment delivery latency
+       then isolates loss/reordering stalls rather than bulk queueing *)
+    let pending = Hashtbl.create 1024 in
+    let latencies = ref [] in
+    conn.Connection.meta.Meta_socket.on_deliver <-
+      (fun ~seq ~size:_ ~time ->
+        match Hashtbl.find_opt pending seq with
+        | Some t0 -> latencies := (time -. t0) :: !latencies
+        | None -> ());
+    let rec write t =
+      if t < 10.0 then
+        Connection.at conn ~time:t (fun () ->
+            let seqs = Connection.write conn 1_000 in
+            List.iter
+              (fun s -> Hashtbl.replace pending s (Connection.now conn))
+              seqs;
+            write (t +. 0.05))
+    in
+    write 0.2;
+    Connection.run ~until:120.0 conn;
+    (Stats.mean !latencies, Stats.percentile 0.95 !latencies)
+  in
+  let m_imm, p_imm = run Tcp_subflow.Immediate in
+  let m_two, p_two = run Tcp_subflow.Two_layer in
+  let m_un, p_un =
+    run ~ordering:Meta_socket.Unordered Tcp_subflow.Immediate
+  in
+  Fmt.pr "%-26s mean delivery %7.1f ms, p95 %7.1f ms@." "stock (two-layer)"
+    (m_two *. 1e3) (p_two *. 1e3);
+  Fmt.pr "%-26s mean delivery %7.1f ms, p95 %7.1f ms@." "improved (immediate)"
+    (m_imm *. 1e3) (p_imm *. 1e3);
+  Fmt.pr "%-26s mean delivery %7.1f ms, p95 %7.1f ms@."
+    "unordered (beyond-MPTCP)" (m_un *. 1e3) (p_un *. 1e3)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 — the design space, mapped to this repository               *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table 2" "the unexplored scheduler design space"
+    "each row maps to an implemented, loadable scheduler";
+  load_zoo ();
+  List.iter
+    (fun (category, sched, where) ->
+      let status =
+        match Scheduler.find sched with Some _ -> "loaded" | None -> "MISSING"
+      in
+      Fmt.pr "  %-30s %-26s %-8s (%s)@." category sched status where)
+    [
+      ("Probing", "probing", "Table 2");
+      ("Redundancy / new vs old pkts", "redundant_if_no_q", "§5.1");
+      ("Redundancy / partial", "opportunistic_redundant", "§5.1");
+      ("Handover", "handover", "§5.2");
+      ("Heterogeneous / flow end", "compensating", "§5.3");
+      ("Heterogeneous / selective", "selective_compensation", "§5.3");
+      ("Preference / ensure RTT", "target_rtt", "§5.4");
+      ("Preference / ensure thpt", "tap", "§5.4");
+      ("Preference / ensure deadline", "target_deadline", "§5.4");
+      ("Higher protocols / HTTP2", "http2_aware", "§5.5");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* §3.4 — opportunistic retransmission under tight receive buffers     *)
+(* ------------------------------------------------------------------ *)
+
+let opp_retx () =
+  section "§3.4 (opportunistic retransmission)"
+    "heterogeneous subflows with a small receive buffer"
+    "when slow-subflow packets block the shared receive window, \
+     retransmitting them on the fast subflow unblocks it instead of \
+     idling — the feature the default scheduler gained in [44]";
+  load_zoo ();
+  let run ~scheduler ~buf =
+    let paths =
+      Apps.Scenario.mininet_two_subflows ~rtt_ratio:6.0 ~loss:0.01 ()
+    in
+    let conn = Connection.create ~seed:4 ~rcv_buffer:buf ~paths () in
+    Api.set_scheduler (Connection.sock conn) scheduler;
+    Connection.write_at conn ~time:0.1 600_000;
+    Connection.run ~until:120.0 conn;
+    let meta = conn.Connection.meta in
+    Meta_socket.fct meta ~first:0 ~last:(meta.Meta_socket.next_seq - 1)
+  in
+  Fmt.pr "%-14s %18s %28s@." "rcv buffer" "default FCT" "opportunistic-retx FCT";
+  List.iter
+    (fun segs ->
+      let buf = segs * 1448 in
+      let show = function
+        | Some t -> Fmt.str "%8.1f ms" ((t -. 0.1) *. 1e3)
+        | None -> "incomplete"
+      in
+      Fmt.pr "%4d segments %18s %28s@." segs
+        (show (run ~scheduler:"default" ~buf))
+        (show (run ~scheduler:"opportunistic_retransmission" ~buf)))
+    [ 32; 16; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 — proactive tail handling: flow-size-aware scheduling       *)
+(* ------------------------------------------------------------------ *)
+
+let proactive () =
+  section "Table 2 (flow size signaled)"
+    "avoiding the slow subflow at the end of a flow, proactively"
+    "with the remaining flow size signalled, the scheduler can keep the \
+     flow tail off slow subflows before the damage is done — the \
+     proactive sibling of the (reactive) Compensating scheduler, at \
+     near-zero retransmission overhead";
+  load_zoo ();
+  let measure ~scheduler ~rtt_ratio =
+    let results =
+      List.filter_map
+        (fun i ->
+          let size = 40_000 in
+          let paths =
+            Apps.Scenario.mininet_two_subflows ~rtt_ratio ~base_rtt:0.02 ()
+          in
+          let conn = Connection.create ~seed:(1000 + (7919 * i)) ~paths () in
+          Api.set_scheduler (Connection.sock conn) scheduler;
+          (* the application's control loop keeps R1 = bytes remaining *)
+          let rec refresh t =
+            if t < 10.0 then
+              Connection.at conn ~time:t (fun () ->
+                  Api.set_register (Connection.sock conn) 0
+                    (max 0 (size - Connection.delivered_bytes conn));
+                  Connection.notify_scheduler conn;
+                  refresh (t +. 0.005))
+          in
+          if scheduler = "flow_size_aware" then refresh 0.2;
+          Connection.at conn ~time:0.2 (fun () ->
+              Api.set_register (Connection.sock conn) 0 size;
+              ignore (Connection.write conn size);
+              if scheduler = "compensating" then
+                Api.set_register (Connection.sock conn) 1 1);
+          Connection.run ~until:120.0 conn;
+          let meta = conn.Connection.meta in
+          match Meta_socket.fct meta ~first:0 ~last:(meta.Meta_socket.next_seq - 1) with
+          | None -> None
+          | Some t ->
+              let wire =
+                List.fold_left
+                  (fun a m -> a + m.Path_manager.subflow.Tcp_subflow.bytes_sent)
+                  0 conn.Connection.paths
+              in
+              Some (t -. 0.2, float_of_int wire /. float_of_int size))
+        (List.init 12 Fun.id)
+    in
+    ( Stats.mean (List.map fst results) *. 1e3,
+      Stats.mean (List.map snd results) )
+  in
+  Fmt.pr "%-10s %22s %24s %26s@." "RTT ratio" "default" "flow_size_aware"
+    "compensating";
+  List.iter
+    (fun rtt_ratio ->
+      let d_fct, d_w = measure ~scheduler:"default" ~rtt_ratio in
+      let f_fct, f_w = measure ~scheduler:"flow_size_aware" ~rtt_ratio in
+      let c_fct, c_w = measure ~scheduler:"compensating" ~rtt_ratio in
+      Fmt.pr "%-10.1f %13.1f ms (%.2fx) %15.1f ms (%.2fx) %17.1f ms (%.2fx)@."
+        rtt_ratio d_fct d_w f_fct f_w c_fct c_w)
+    [ 2.0; 4.0; 8.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* §2.2 — compensating loss in short data-center flows                 *)
+(* ------------------------------------------------------------------ *)
+
+let datacenter () =
+  section "§2.2"
+    "tail flow completion time of short data-center flows under loss"
+    "redundancy over multiple paths compensates losses and improves the \
+     tail FCT ([7], [27]: losses otherwise strand short flows on RTO \
+     timeouts that dwarf the data-center RTT)";
+  load_zoo ();
+  let fcts ~scheduler =
+    List.filter_map
+      (fun i ->
+        let mk_conn () =
+          let paths = Apps.Scenario.datacenter ~loss:0.01 ~n:2 () in
+          (* data-center min RTO: 5 ms, still ~25x the 200 us RTT *)
+          let conn =
+            Connection.create ~seed:(3000 + (13 * i)) ~min_rto:0.005 ~paths ()
+          in
+          Api.set_scheduler (Connection.sock conn) scheduler;
+          conn
+        in
+        Option.map
+          (fun r -> r.Apps.Workload.fct *. 1e3)
+          (Apps.Workload.measure_flow ~at:0.05 ~mk_conn ~size:100_000 ()))
+      (List.init 40 Fun.id)
+  in
+  Fmt.pr "%-26s %10s %10s %10s (40 flows of 100 kB, 1%% loss)@." "scheduler"
+    "mean" "p95" "max";
+  List.iter
+    (fun scheduler ->
+      let xs = fcts ~scheduler in
+      Fmt.pr "%-26s %8.2f ms %8.2f ms %8.2f ms@." scheduler (Stats.mean xs)
+        (Stats.percentile 0.95 xs)
+        (Stats.percentile 1.0 xs))
+    [ "default"; "redundant"; "redundant_if_no_q" ]
+
+(* ------------------------------------------------------------------ *)
+(* §2.1 — congestion-control coupling on a shared bottleneck           *)
+(* ------------------------------------------------------------------ *)
+
+let friendliness () =
+  section "§2.1"
+    "TCP friendliness: 2-subflow MPTCP vs single-path TCP on one bottleneck"
+    "coupled congestion control (LIA, RFC 6356) caps the aggregate \
+     aggressiveness so MPTCP takes roughly a single flow's share, where \
+     uncoupled subflows take about two thirds";
+  load_zoo ();
+  let params =
+    {
+      Link.default_params with
+      Link.bandwidth = 1_250_000.0;
+      delay = 0.02;
+      buffer_bytes = 128 * 1024;
+      loss = 0.005;
+    }
+  in
+  let compete cc =
+    let clock = Eventq.create () in
+    let rng = Rng.create 5 in
+    let bottleneck = Link.create ~params ~clock ~rng () in
+    let ack () =
+      Link.create
+        ~params:{ params with Link.bandwidth = 1e9; loss = 0.0 }
+        ~clock ~rng:(Rng.split rng) ()
+    in
+    let spec name = Path_manager.symmetric ~name params in
+    let mptcp =
+      Connection.create_on_links ~seed:1 ~cc ~clock
+        ~links:
+          (List.init 2 (fun i -> (spec (Fmt.str "m%d" i), bottleneck, ack ())))
+        ()
+    in
+    let single =
+      Connection.create_on_links ~seed:2 ~cc:Connection.Uncoupled_reno ~clock
+        ~links:[ (spec "tcp", bottleneck, ack ()) ]
+        ()
+    in
+    Apps.Workload.cbr mptcp ~start:0.2 ~stop:40.0 ~interval:0.05
+      ~rate:(fun _ -> 1_600_000.0);
+    Apps.Workload.cbr single ~start:0.2 ~stop:40.0 ~interval:0.05
+      ~rate:(fun _ -> 1_600_000.0);
+    ignore (Eventq.run ~until:40.0 clock);
+    let m = Connection.delivered_bytes mptcp
+    and s = Connection.delivered_bytes single in
+    (float_of_int m /. float_of_int (m + s), m, s)
+  in
+  List.iter
+    (fun (label, cc) ->
+      let share, m, s = compete cc in
+      Fmt.pr "%-18s mptcp share %.2f  (mptcp %.1f MB, tcp %.1f MB)@." label
+        share
+        (float_of_int m /. 1e6)
+        (float_of_int s /. 1e6))
+    [ ("uncoupled (Reno)", Connection.Uncoupled_reno);
+      ("coupled (LIA)", Connection.Coupled_lia) ]
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1", fig1);
+    ("fig9", fig9);
+    ("fig10b", fig10b);
+    ("fig10c", fig10c);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("handover", handover);
+    ("targets", targets);
+    ("receiver", receiver);
+    ("ablate-compensate", ablate_compensate);
+    ("friendliness", friendliness);
+    ("datacenter", datacenter);
+    ("proactive", proactive);
+    ("opp-retx", opp_retx);
+    ("table2", table2);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_flags acc = function
+    | "--csv" :: dir :: rest ->
+        csv_dir := Some dir;
+        split_flags acc rest
+    | x :: rest -> split_flags (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let requested =
+    match split_flags [] args with
+    | [] -> List.map fst experiments
+    | ids -> ids
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some f -> f ()
+      | None ->
+          Fmt.epr "unknown experiment %s (available: %s)@." id
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested;
+  close_csv ();
+  (match !csv_dir with
+  | Some dir -> Fmt.pr "@.CSV series written to %s/@." dir
+  | None -> ());
+  Fmt.pr "@.all requested experiments finished in %.1f s@."
+    (Unix.gettimeofday () -. t0)

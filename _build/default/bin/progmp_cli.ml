@@ -1,0 +1,202 @@
+(** [progmp] — command-line toolchain for ProgMP scheduler
+    specifications: check, compile, disassemble, dry-run, and browse the
+    built-in scheduler zoo. The CLI plays the role of the paper's
+    userspace toolchain (§4.1) for development without a running
+    connection. *)
+
+open Cmdliner
+
+let read_spec = function
+  | "-" -> In_channel.input_all stdin
+  | name when List.mem_assoc name Schedulers.Specs.all ->
+      List.assoc name Schedulers.Specs.all
+  | path when Sys.file_exists path -> In_channel.with_open_text path In_channel.input_all
+  | other ->
+      Fmt.epr "error: %s is neither a file nor a built-in scheduler@." other;
+      exit 2
+
+let spec_arg =
+  let doc =
+    "Scheduler specification: a file path, a built-in scheduler name (see \
+     $(b,progmp list)), or - for stdin."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+
+let load src =
+  match Progmp_runtime.Scheduler.of_source ~name:"cli" src with
+  | sched -> sched
+  | exception Progmp_runtime.Scheduler.Load_error msg ->
+      Fmt.epr "%s@." msg;
+      exit 1
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run spec =
+    let src = read_spec spec in
+    let sched = load src in
+    let p = sched.Progmp_runtime.Scheduler.program in
+    Fmt.pr "ok: %d statement(s), %d variable slot(s), uses POP: %b@."
+      (List.length p.Progmp_lang.Tast.body)
+      p.Progmp_lang.Tast.num_slots
+      (Progmp_lang.Tast.uses_pop p)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and type-check a scheduler specification")
+    Term.(const run $ spec_arg)
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let disasm =
+    Arg.(value & flag & info [ "disasm"; "d" ] ~doc:"Print the compiled bytecode.")
+  in
+  let subflows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "subflows" ]
+          ~doc:"Specialize for a constant number of subflows (§4.1).")
+  in
+  let run spec disasm subflow_count =
+    let src = read_spec spec in
+    let sched = load src in
+    match
+      Progmp_compiler.Compile.compile_with_stats ?subflow_count
+        sched.Progmp_runtime.Scheduler.program
+    with
+    | prog, stats ->
+        Fmt.pr
+          "compiled: %d virtual instrs -> %d instrs, %d stack slots, %d \
+           spilled vregs@."
+          stats.Progmp_compiler.Compile.vinstrs
+          stats.Progmp_compiler.Compile.instrs
+          stats.Progmp_compiler.Compile.spill_slots
+          stats.Progmp_compiler.Compile.spilled_vregs;
+        if disasm then
+          print_string (Progmp_compiler.Disasm.to_string prog.Progmp_compiler.Vm.code)
+    | exception Progmp_compiler.Compile.Rejected msg ->
+        Fmt.epr "%s@." msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a specification to eBPF-style bytecode and verify it")
+    Term.(const run $ spec_arg $ disasm $ subflows)
+
+(* ---- run (dry run against a synthetic environment) ---- *)
+
+let run_cmd =
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("interp", `Interp); ("aot", `Aot); ("vm", `Vm) ]) `Interp
+      & info [ "backend" ] ~doc:"Execution backend: interp, aot or vm.")
+  in
+  let packets =
+    Arg.(value & opt int 3 & info [ "packets" ] ~doc:"Packets in the sending queue Q.")
+  in
+  let executions =
+    Arg.(value & opt int 1 & info [ "n" ] ~doc:"Number of scheduler executions.")
+  in
+  let registers =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' int int) []
+      & info [ "r" ] ~docv:"N=V" ~doc:"Set register RN to V before running.")
+  in
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Run with the profiling interpreter and print the annotated \
+             control-flow trace afterwards (overrides --backend).")
+  in
+  let run spec backend packets executions registers profile =
+    let src = read_spec spec in
+    let sched = load src in
+    (match backend with
+    | `Interp -> ()
+    | `Aot -> Progmp_runtime.Scheduler.use_aot sched
+    | `Vm -> ignore (Progmp_compiler.Compile.install sched));
+    let prof =
+      if profile then Some (Progmp_runtime.Profiler.attach sched) else None
+    in
+    let env = Progmp_runtime.Env.create () in
+    for i = 0 to packets - 1 do
+      Progmp_runtime.Pqueue.push_back env.Progmp_runtime.Env.q
+        (Progmp_runtime.Packet.create ~seq:i ~size:1448 ~now:0.0 ())
+    done;
+    List.iter (fun (r, v) -> Progmp_runtime.Env.set_register env (r - 1) v) registers;
+    let views =
+      [|
+        { Progmp_runtime.Subflow_view.default with Progmp_runtime.Subflow_view.id = 0; rtt_us = 40_000 };
+        { Progmp_runtime.Subflow_view.default with Progmp_runtime.Subflow_view.id = 1; rtt_us = 10_000 };
+      |]
+    in
+    for i = 1 to executions do
+      let actions = Progmp_runtime.Scheduler.execute sched env ~subflows:views in
+      Fmt.pr "execution %d (%s):@." i (Progmp_runtime.Scheduler.engine_label sched);
+      if actions = [] then Fmt.pr "  (no actions)@."
+      else
+        List.iter (fun a -> Fmt.pr "  %a@." Progmp_runtime.Action.pp a) actions
+    done;
+    Fmt.pr "Q after: %d packet(s); registers: %a@."
+      (Progmp_runtime.Pqueue.length env.Progmp_runtime.Env.q)
+      Fmt.(array ~sep:(any " ") int)
+      env.Progmp_runtime.Env.registers;
+    match prof with
+    | Some p -> print_string (Progmp_runtime.Profiler.report p)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Dry-run a scheduler against a synthetic two-subflow environment \
+          (40 ms and 10 ms RTT)")
+    Term.(
+      const run $ spec_arg $ backend $ packets $ executions $ registers
+      $ profile_flag)
+
+(* ---- gen-ocaml ---- *)
+
+let gen_ocaml_cmd =
+  let run spec =
+    let src = read_spec spec in
+    let sched = load src in
+    print_string
+      (Progmp_runtime.Source_gen.emit
+         ~name:(Fmt.str "%S" (if String.length spec < 40 then spec else "stdin"))
+         sched.Progmp_runtime.Scheduler.program)
+  in
+  Cmd.v
+    (Cmd.info "gen-ocaml"
+       ~doc:
+         "Generate a standalone OCaml engine module from a specification \
+          (the ahead-of-time source backend)")
+    Term.(const run $ spec_arg)
+
+(* ---- list / show ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter (fun (name, _) -> print_endline name) Schedulers.Specs.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in scheduler zoo")
+    Term.(const run $ const ())
+
+let show_cmd =
+  let run spec = print_string (read_spec spec) in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print the source of a built-in scheduler")
+    Term.(const run $ spec_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "progmp" ~version:"1.0.0"
+       ~doc:"ProgMP: application-defined Multipath TCP scheduling toolchain")
+    [ check_cmd; compile_cmd; run_cmd; gen_ocaml_cmd; list_cmd; show_cmd ]
+
+let () = exit (Cmd.eval main)

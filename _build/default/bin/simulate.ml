@@ -1,0 +1,177 @@
+(** [simulate] — run an MPTCP simulation scenario with a chosen scheduler
+    and print a measurement summary. Scenarios correspond to the
+    evaluation setups of the paper (bulk, streaming, short flows, web
+    pages, DASH). *)
+
+open Cmdliner
+open Mptcp_sim
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt string "default"
+    & info [ "scheduler"; "s" ] ~doc:"Scheduler name (see $(b,progmp list)).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.")
+
+let loss_arg =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"Packet loss probability.")
+
+let duration_arg =
+  Arg.(value & opt float 30.0 & info [ "duration" ] ~doc:"Simulated seconds.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ]
+        ~doc:"Print simulator debug events (loss, recovery, reinjection).")
+
+let setup_logging verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.Src.set_level Sim_log.src (Some Logs.Debug)
+  end
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("interp", `Interp); ("aot", `Aot); ("vm", `Vm) ]) `Interp
+    & info [ "backend" ] ~doc:"Scheduler execution backend.")
+
+let setup_scheduler name backend =
+  ignore (Schedulers.Specs.load_all ());
+  match Progmp_runtime.Scheduler.find name with
+  | None ->
+      Fmt.epr "unknown scheduler %s@." name;
+      exit 2
+  | Some sched ->
+      (match backend with
+      | `Interp -> ()
+      | `Aot -> Progmp_runtime.Scheduler.use_aot sched
+      | `Vm -> ignore (Progmp_compiler.Compile.install sched));
+      sched
+
+let summary conn =
+  let meta = conn.Connection.meta in
+  Fmt.pr "simulated time     : %.3f s@." (Connection.now conn);
+  Fmt.pr "delivered          : %d bytes (%d segments, complete: %b)@."
+    (Connection.delivered_bytes conn)
+    meta.Meta_socket.delivered_segments
+    (Meta_socket.all_delivered meta);
+  List.iter
+    (fun m ->
+      let s = m.Path_manager.subflow in
+      Fmt.pr
+        "subflow %-6s     : sent %8d B (%d segs, %d retx), srtt %.1f ms, \
+         cwnd %.1f@."
+        m.Path_manager.spec.Path_manager.path_name s.Tcp_subflow.bytes_sent
+        s.Tcp_subflow.segs_sent s.Tcp_subflow.segs_retx
+        (s.Tcp_subflow.srtt *. 1e3) s.Tcp_subflow.cwnd)
+    conn.Connection.paths;
+  Fmt.pr "scheduler events   : %d executions, %d pushes, %d drops@."
+    meta.Meta_socket.sched_executions meta.Meta_socket.pushes
+    meta.Meta_socket.drops;
+  match Meta_socket.fct meta ~first:0 ~last:(meta.Meta_socket.next_seq - 1) with
+  | Some t -> Fmt.pr "flow completion    : %.3f s@." t
+  | None -> Fmt.pr "flow completion    : (incomplete)@."
+
+let run_scenario scenario scheduler seed loss duration backend verbose =
+  setup_logging verbose;
+  let sched_name = scheduler in
+  ignore (setup_scheduler sched_name backend);
+  match scenario with
+  | `Bulk ->
+      let paths = Apps.Scenario.mininet_two_subflows ~rtt_ratio:2.0 ~loss () in
+      let conn = Connection.create ~seed ~paths () in
+      Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
+      Apps.Workload.bulk conn ~at:0.1 ~bytes:4_000_000;
+      Connection.run ~until:duration conn;
+      summary conn
+  | `Stream ->
+      let paths = Apps.Scenario.wifi_lte ~wifi_loss:loss ~lte_loss:loss () in
+      let conn = Connection.create ~seed ~paths () in
+      Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
+      let rate t = if t < duration /. 3.0 then 1_000_000.0 else 4_000_000.0 in
+      Apps.Workload.cbr ~signal_register:0 conn ~start:0.2
+        ~stop:(duration -. 2.0) ~interval:0.1 ~rate;
+      Apps.Scenario.fluctuate_wifi conn ~rng:(Rng.create (seed + 1))
+        ~until:duration ~low:3_000_000.0 ~high:5_500_000.0 ();
+      Connection.run ~until:duration conn;
+      summary conn
+  | `Short_flows ->
+      let mk_conn ~seed =
+        let paths =
+          Apps.Scenario.mininet_two_subflows ~rtt_ratio:4.0 ~loss ()
+        in
+        let conn = Connection.create ~seed ~paths () in
+        Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
+        conn
+      in
+      let before_write conn =
+        Progmp_runtime.Api.set_register (Connection.sock conn) 0 1_000_000
+      in
+      let after_write conn =
+        Progmp_runtime.Api.set_register (Connection.sock conn) 1 1
+      in
+      let fct, wire, completed =
+        Apps.Workload.measure_flows ~before_write ~after_write ~mk_conn
+          ~size:50_000 ~reps:10 ()
+      in
+      Fmt.pr "short flows        : %d/10 completed, mean FCT %.1f ms, mean \
+              wire %.0f B@."
+        completed (fct *. 1e3) wire
+  | `Http2 ->
+      let paths = Apps.Scenario.wifi_lte ~wifi_loss:loss ~lte_loss:loss () in
+      let conn = Connection.create ~seed ~paths () in
+      (match
+         Apps.Webserver.serve_with ~scheduler_name:sched_name conn
+           Apps.Http2.optimized_page
+       with
+      | Some r ->
+          Fmt.pr "dependency info    : %.1f ms@." (r.Apps.Http2.dependency_time *. 1e3);
+          Fmt.pr "initial view       : %.1f ms@." (r.Apps.Http2.initial_view_time *. 1e3);
+          Fmt.pr "full load          : %.1f ms@." (r.Apps.Http2.full_load_time *. 1e3);
+          Fmt.pr "wifi / lte bytes   : %d / %d@." r.Apps.Http2.wifi_bytes
+            r.Apps.Http2.lte_bytes
+      | None -> Fmt.pr "page load incomplete@.")
+  | `Dash ->
+      let paths = Apps.Scenario.wifi_lte ~wifi_loss:loss ~lte_loss:loss () in
+      let conn = Connection.create ~seed ~paths () in
+      Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
+      let session =
+        Apps.Dash.start ~period:0.5
+          ~count:(int_of_float (duration /. 0.75))
+          ~chunk_bytes:(fun _ -> 400_000)
+          conn
+      in
+      Connection.run ~until:duration conn;
+      let o = Apps.Dash.evaluate session in
+      Fmt.pr "deadline misses    : %d (worst lateness %.1f ms)@."
+        o.Apps.Dash.deadline_misses
+        (o.Apps.Dash.worst_lateness *. 1e3);
+      Fmt.pr "backup bytes       : %d@." o.Apps.Dash.backup_bytes
+
+let scenario_arg =
+  Arg.(
+    required
+    & pos 0
+        (some
+           (enum
+              [
+                ("bulk", `Bulk); ("stream", `Stream);
+                ("short-flows", `Short_flows); ("http2", `Http2);
+                ("dash", `Dash);
+              ]))
+        None
+    & info [] ~docv:"SCENARIO"
+        ~doc:"One of: bulk, stream, short-flows, http2, dash.")
+
+let main =
+  Cmd.v
+    (Cmd.info "simulate" ~version:"1.0.0"
+       ~doc:"Run MPTCP scheduling scenarios in the simulator")
+    Term.(
+      const run_scenario $ scenario_arg $ scheduler_arg $ seed_arg $ loss_arg
+      $ duration_arg $ backend_arg $ verbose_arg)
+
+let () = exit (Cmd.eval main)

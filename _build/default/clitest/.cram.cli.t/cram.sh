@@ -1,0 +1,22 @@
+  $ ../bin/progmp_cli.exe list
+  $ ../bin/progmp_cli.exe show minrtt_minimal
+  $ ../bin/progmp_cli.exe check round_robin
+  $ cat > mine.progmp <<'SPEC'
+  > IF (!Q.EMPTY) {
+  >   VAR sbf = SUBFLOWS.MIN(s => s.RTT_VAR);
+  >   IF (sbf != NULL) { sbf.PUSH(Q.POP()); }
+  > }
+  > SPEC
+  $ ../bin/progmp_cli.exe check mine.progmp
+  $ echo 'SET(R1, R1 + 1);' | ../bin/progmp_cli.exe check -
+  $ echo 'IF (Q.POP().SIZE > 0) { RETURN; }' | ../bin/progmp_cli.exe check -
+  $ echo 'VAR q = Q;' | ../bin/progmp_cli.exe check -
+  $ echo 'VAR x = 1; VAR x = 2;' | ../bin/progmp_cli.exe check -
+  $ ../bin/progmp_cli.exe compile minrtt_minimal
+  $ echo 'SET(R2, R1 + 1);' | ../bin/progmp_cli.exe compile - --disasm
+  $ ../bin/progmp_cli.exe run minrtt_minimal -n 2
+  $ ../bin/progmp_cli.exe run minrtt_minimal --backend vm | tail -2
+  $ ../bin/progmp_cli.exe run minrtt_minimal --backend aot | tail -2
+  $ ../bin/progmp_cli.exe run round_robin -n 2 -r 3=1
+  $ ../bin/progmp_cli.exe run minrtt_minimal -n 2 --profile | tail -2
+  $ ../bin/progmp_cli.exe gen-ocaml minrtt_minimal | head -9

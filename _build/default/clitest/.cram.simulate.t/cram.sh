@@ -1,0 +1,4 @@
+  $ ../bin/simulate.exe bulk --duration 40
+  $ ../bin/simulate.exe short-flows -s compensating --loss 0.02
+  $ ../bin/simulate.exe http2 -s http2_aware
+  $ ../bin/simulate.exe bulk -s nonsense

@@ -1,0 +1,28 @@
+A bulk transfer over two Mininet-style subflows (deterministic seed):
+
+  $ ../bin/simulate.exe bulk --duration 40
+  simulated time     : 2.121 s
+  delivered          : 4000000 bytes (2763 segments, complete: true)
+  subflow sbf1       : sent  2013344 B (1391 segs, 0 retx), srtt 21.6 ms, cwnd 20.0
+  subflow sbf2       : sent  1986656 B (1372 segs, 0 retx), srtt 42.2 ms, cwnd 36.0
+  scheduler events   : 6876 executions, 2763 pushes, 0 drops
+  flow completion    : 1.902 s
+
+Lossy short flows with the compensating scheduler:
+
+  $ ../bin/simulate.exe short-flows -s compensating --loss 0.02
+  short flows        : 10/10 completed, mean FCT 71.8 ms, mean wire 64506 B
+
+An HTTP/2 page load with the content-aware scheduler:
+
+  $ ../bin/simulate.exe http2 -s http2_aware
+  dependency info    : 20.7 ms
+  initial view       : 100.7 ms
+  full load          : 144.9 ms
+  wifi / lte bytes   : 615520 / 14480
+
+Unknown schedulers are rejected:
+
+  $ ../bin/simulate.exe bulk -s nonsense
+  unknown scheduler nonsense
+  [2]

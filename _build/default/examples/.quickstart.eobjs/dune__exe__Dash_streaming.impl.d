@@ -1,0 +1,1 @@
+examples/dash_streaming.ml: Apps Connection Fmt Link List Mptcp_sim Progmp_runtime Schedulers

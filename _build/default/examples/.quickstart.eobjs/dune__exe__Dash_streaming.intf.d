@@ -1,0 +1,1 @@
+examples/dash_streaming.mli:

@@ -1,0 +1,1 @@
+examples/database_rpc.ml: Apps Connection Fmt Hashtbl List Meta_socket Mptcp_sim Path_manager Progmp_runtime Schedulers Stats Tcp_subflow

@@ -1,0 +1,1 @@
+examples/http2_page_load.mli:

@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Api Apps Connection Eventq Fmt Hashtbl Link List Meta_socket Mptcp_sim Progmp_runtime Schedulers Stats

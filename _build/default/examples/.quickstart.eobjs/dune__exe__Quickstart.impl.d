@@ -1,0 +1,1 @@
+examples/quickstart.ml: Connection Fmt Link List Mptcp_sim Path_manager Progmp_compiler Progmp_runtime

@@ -1,0 +1,1 @@
+examples/redundancy_explorer.ml: Apps Connection Fmt List Mptcp_sim Progmp_runtime Schedulers

@@ -1,0 +1,1 @@
+examples/short_flows.ml: Apps Connection Fmt List Mptcp_sim Progmp_runtime Schedulers

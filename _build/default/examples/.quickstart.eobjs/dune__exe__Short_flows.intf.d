@@ -1,0 +1,1 @@
+examples/short_flows.mli:

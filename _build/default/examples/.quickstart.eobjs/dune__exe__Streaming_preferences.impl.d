@@ -1,0 +1,1 @@
+examples/streaming_preferences.ml: Apps Connection Fmt List Mptcp_sim Progmp_runtime Rng Schedulers Stats Tcp_subflow

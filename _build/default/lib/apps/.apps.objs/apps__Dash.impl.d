@@ -1,0 +1,1 @@
+lib/apps/dash.ml: Connection Eventq Float List Meta_socket Mptcp_sim Path_manager Progmp_runtime Tcp_subflow

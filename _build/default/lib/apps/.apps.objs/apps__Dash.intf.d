@@ -1,0 +1,1 @@
+lib/apps/dash.mli: Connection Mptcp_sim

@@ -1,0 +1,1 @@
+lib/apps/http2.ml: Float List Mptcp_sim

@@ -1,0 +1,1 @@
+lib/apps/http2.mli: Mptcp_sim

@@ -1,0 +1,1 @@
+lib/apps/scenario.ml: Connection Fmt Link List Mptcp_sim Path_manager Rng

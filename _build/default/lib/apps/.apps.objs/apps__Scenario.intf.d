@@ -1,0 +1,1 @@
+lib/apps/scenario.mli: Connection Mptcp_sim Path_manager Rng

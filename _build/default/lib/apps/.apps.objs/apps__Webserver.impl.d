@@ -1,0 +1,1 @@
+lib/apps/webserver.ml: Connection Http2 Mptcp_sim Progmp_runtime Schedulers

@@ -1,0 +1,1 @@
+lib/apps/webserver.mli: Connection Http2 Mptcp_sim

@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Connection Eventq Fun List Meta_socket Mptcp_sim Path_manager Progmp_runtime Rng Stats Tcp_subflow

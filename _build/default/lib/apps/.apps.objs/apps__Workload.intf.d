@@ -1,0 +1,1 @@
+lib/apps/workload.mli: Connection Mptcp_sim Rng

@@ -1,0 +1,117 @@
+(** Chunk-based adaptive streaming with deadlines — the MP-DASH-style
+    deadline-driven application of §5.4 (Table 2, "Ensure deadline").
+
+    The server pushes one chunk per period; each chunk [k] must be fully
+    delivered by [start + (k+1) * period + slack] or playback stalls. A
+    small application control loop (outside the networking stack, as the
+    paper prescribes in §6) recomputes the throughput required to meet
+    the next deadline and signals it to the scheduler through register
+    R1, so a TAP/deadline scheduler can keep non-preferred subflows
+    asleep whenever the preferred ones suffice. *)
+
+open Mptcp_sim
+
+type chunk = { c_index : int; c_bytes : int; c_deadline : float; c_seqs : int list }
+
+type session = {
+  conn : Connection.t;
+  period : float;
+  mutable chunks : chunk list;  (** reversed *)
+}
+
+(* Throughput needed to deliver every outstanding chunk by its deadline:
+   the max over chunks of undelivered bytes / time left. *)
+let required_rate (s : session) =
+  let meta = s.conn.Connection.meta in
+  let now = Eventq.now s.conn.Connection.clock in
+  List.fold_left
+    (fun acc c ->
+      let missing =
+        List.fold_left
+          (fun a seq ->
+            if Meta_socket.delivery_time_of meta seq = None then
+              a + s.conn.Connection.meta.Meta_socket.mss
+            else a)
+          0 c.c_seqs
+      in
+      if missing = 0 then acc
+      else
+        let remaining = c.c_deadline -. now in
+        if remaining <= 0.01 then max_int / 2
+        else max acc (int_of_float (float_of_int missing /. remaining)))
+    0 s.chunks
+
+(** Start a streaming session: [chunk_bytes k] is the size of chunk [k]
+    (rate adaptation), one chunk every [period] seconds, [count] chunks
+    in total, deadlines offset by [slack]. A control loop re-evaluates the
+    throughput required to meet the outstanding deadlines every
+    [control_interval] and signals it to the scheduler in R1. *)
+let start ?(at = 0.2) ?(slack = 0.5) ?(control_interval = 0.1) ~period ~count
+    ~chunk_bytes (conn : Connection.t) : session =
+  let session = { conn; period; chunks = [] } in
+  let sock = Connection.sock conn in
+  let stop = at +. (float_of_int (count + 2) *. period) +. slack in
+  let rec control t =
+    if t < stop then
+      Connection.at conn ~time:t (fun () ->
+          Progmp_runtime.Api.set_register sock 0 (required_rate session);
+          Connection.notify_scheduler conn;
+          control (t +. control_interval))
+  in
+  control (at +. control_interval);
+  let rec push k =
+    if k < count then
+      Connection.at conn
+        ~time:(at +. (float_of_int k *. period))
+        (fun () ->
+          let bytes = chunk_bytes k in
+          let deadline = at +. (float_of_int (k + 1) *. period) +. slack in
+          let seqs = Connection.write conn bytes in
+          session.chunks <-
+            { c_index = k; c_bytes = bytes; c_deadline = deadline; c_seqs = seqs }
+            :: session.chunks;
+          Progmp_runtime.Api.set_register sock 0 (required_rate session);
+          push (k + 1))
+  in
+  push 0;
+  session
+
+type outcome = {
+  deadline_misses : int;
+  worst_lateness : float;  (** seconds past deadline, 0 when all met *)
+  backup_bytes : int;  (** wire bytes on non-preferred subflows *)
+}
+
+(** Evaluate the session after {!Connection.run}: deadline hits and
+    backup-subflow usage. *)
+let evaluate (s : session) : outcome =
+  let meta = s.conn.Connection.meta in
+  let misses = ref 0 and worst = ref 0.0 in
+  List.iter
+    (fun c ->
+      let finish =
+        List.fold_left
+          (fun acc seq ->
+            match (acc, Meta_socket.delivery_time_of meta seq) with
+            | Some a, Some d -> Some (Float.max a d)
+            | _, None | None, _ -> None)
+          (Some 0.0) c.c_seqs
+      in
+      match finish with
+      | Some f when f <= c.c_deadline -> ()
+      | Some f ->
+          incr misses;
+          worst := Float.max !worst (f -. c.c_deadline)
+      | None ->
+          incr misses;
+          worst := infinity)
+    s.chunks;
+  let backup_bytes =
+    List.fold_left
+      (fun acc m ->
+        if m.Path_manager.spec.Path_manager.backup then
+          acc + m.Path_manager.subflow.Tcp_subflow.bytes_sent
+        else acc)
+      0 s.conn.Connection.paths
+  in
+  { deadline_misses = !misses; worst_lateness = !worst; backup_bytes }

@@ -1,0 +1,44 @@
+(** Chunk-based adaptive streaming with deadlines — the MP-DASH-style
+    deadline-driven application of §5.4. A control loop recomputes the
+    throughput required to meet every outstanding chunk deadline and
+    signals it to the scheduler through register R1. *)
+
+open Mptcp_sim
+
+type chunk = {
+  c_index : int;
+  c_bytes : int;
+  c_deadline : float;
+  c_seqs : int list;
+}
+
+type session = {
+  conn : Connection.t;
+  period : float;
+  mutable chunks : chunk list;  (** reversed *)
+}
+
+val required_rate : session -> int
+(** Bytes/second needed to deliver every outstanding chunk by its
+    deadline (the control loop's signal). *)
+
+val start :
+  ?at:float ->
+  ?slack:float ->
+  ?control_interval:float ->
+  period:float ->
+  count:int ->
+  chunk_bytes:(int -> int) ->
+  Connection.t ->
+  session
+(** One chunk per [period]; chunk [k] must arrive by
+    [at + (k+1) * period + slack]. Call before [Connection.run]. *)
+
+type outcome = {
+  deadline_misses : int;
+  worst_lateness : float;  (** seconds past deadline; 0 when all met *)
+  backup_bytes : int;  (** wire bytes on non-preferred subflows *)
+}
+
+val evaluate : session -> outcome
+(** After [Connection.run]. *)

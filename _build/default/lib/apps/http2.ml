@@ -1,0 +1,152 @@
+(** HTTP/2 page model for the HTTP/2-aware scheduling case study (§5.5).
+
+    A page is a set of resources with content classes that determine the
+    scheduling intent the web server attaches to their packets:
+
+    - {e dependency-critical}: the HTML/JS head whose parsing reveals
+      third-party content (3PC) references — one fourth of the Alexa-200
+      have 3PC on the critical path [52];
+    - {e initial-view}: content required to render the initial viewport;
+    - {e deferred}: content below the fold (images etc.), irrelevant to
+      the user-perceived load time.
+
+    Third-party resources live on other servers: their retrieval starts
+    only once the dependency-critical bytes are delivered, and takes a
+    fixed fetch latency (they do not traverse the MPTCP connection under
+    test). *)
+
+type content_class = Dependency_critical | Initial_view | Deferred
+
+(** Packet-property value the web server stamps into PROP1 — the contract
+    with {!Schedulers.Specs.http2_aware}. *)
+let prop_of_class = function
+  | Dependency_critical -> 1
+  | Initial_view -> 2
+  | Deferred -> 3
+
+type resource = {
+  res_name : string;
+  res_size : int;  (** bytes *)
+  res_class : content_class;
+}
+
+type page = {
+  page_name : string;
+  resources : resource list;
+  third_party : (string * float) list;
+      (** name and fetch latency of 3PC on the critical path *)
+}
+
+(** A page inspired by heavily optimized commercial sites (the paper's
+    amazon.com-like example): a compact critical head that references one
+    third-party dependency, a moderate initial view, and more than half
+    of the bytes in below-the-fold images. *)
+let optimized_page =
+  {
+    page_name = "optimized";
+    resources =
+      [
+        { res_name = "head.html"; res_size = 14_000; res_class = Dependency_critical };
+        { res_name = "app.js"; res_size = 26_000; res_class = Dependency_critical };
+        { res_name = "style.css"; res_size = 30_000; res_class = Initial_view };
+        { res_name = "hero.jpg"; res_size = 90_000; res_class = Initial_view };
+        { res_name = "logo.png"; res_size = 20_000; res_class = Initial_view };
+        { res_name = "img1.jpg"; res_size = 120_000; res_class = Deferred };
+        { res_name = "img2.jpg"; res_size = 120_000; res_class = Deferred };
+        { res_name = "img3.jpg"; res_size = 110_000; res_class = Deferred };
+        { res_name = "img4.jpg"; res_size = 100_000; res_class = Deferred };
+      ];
+    third_party = [ ("cdn.analytics.js", 0.080); ("fonts.css", 0.060) ];
+  }
+
+let total_bytes page =
+  List.fold_left (fun a r -> a + r.res_size) 0 page.resources
+
+let bytes_of_class page cls =
+  List.fold_left
+    (fun a r -> if r.res_class = cls then a + r.res_size else a)
+    0 page.resources
+
+(** Result of one page load. *)
+type load_result = {
+  dependency_time : float;
+      (** all dependency-critical bytes delivered — 3PC requests can
+          start *)
+  initial_view_time : float;
+      (** critical + initial-view content delivered and 3PC fetched *)
+  full_load_time : float;  (** everything, including deferred content *)
+  lte_bytes : int;  (** wire bytes on non-preferred (backup) subflows *)
+  wifi_bytes : int;  (** wire bytes on preferred subflows *)
+}
+
+(** Serve [page] over [conn] starting at [at] and measure the load
+    milestones. The server writes resources in class order (critical,
+    initial view, deferred) as an HTTP/2 prioritized stream, stamping
+    PROP1 per packet via the extended API. *)
+let load_page ?(at = 0.2) ?(timeout = 120.0) (conn : Mptcp_sim.Connection.t)
+    (page : page) : load_result option =
+  let meta = conn.Mptcp_sim.Connection.meta in
+  let order = function
+    | Dependency_critical -> 0
+    | Initial_view -> 1
+    | Deferred -> 2
+  in
+  let resources =
+    List.stable_sort (fun a b -> compare (order a.res_class) (order b.res_class)) page.resources
+  in
+  (* Write everything at [at]; packet properties mark the classes. *)
+  let seq_ranges = ref [] in
+  Mptcp_sim.Connection.at conn ~time:at (fun () ->
+      List.iter
+        (fun r ->
+          let props = [| prop_of_class r.res_class; 0; 0; 0 |] in
+          let seqs = Mptcp_sim.Connection.write ~props conn r.res_size in
+          seq_ranges := (r, seqs) :: !seq_ranges)
+        resources);
+  Mptcp_sim.Connection.run ~until:(at +. timeout) conn;
+  let ranges = List.rev !seq_ranges in
+  let class_fct cls =
+    List.fold_left
+      (fun acc (r, seqs) ->
+        if r.res_class <> cls then acc
+        else
+          List.fold_left
+            (fun acc seq ->
+              match (acc, Mptcp_sim.Meta_socket.delivery_time_of meta seq) with
+              | Some a, Some d -> Some (Float.max a d)
+              | _, None | None, _ -> None)
+            acc seqs)
+      (Some at) ranges
+  in
+  match
+    (class_fct Dependency_critical, class_fct Initial_view, class_fct Deferred)
+  with
+  | Some dep, Some init, Some deferred ->
+      let third_party_done =
+        List.fold_left
+          (fun acc (_, fetch) -> Float.max acc (dep +. fetch))
+          dep page.third_party
+      in
+      let wifi, lte =
+        (* classify by path name, so the accounting also works for
+           baseline schedulers that run without the backup flag *)
+        List.fold_left
+          (fun (w, l) m ->
+            let sent = m.Mptcp_sim.Path_manager.subflow.Mptcp_sim.Tcp_subflow.bytes_sent in
+            if
+              m.Mptcp_sim.Path_manager.spec.Mptcp_sim.Path_manager.path_name
+              = "wifi"
+              && not m.Mptcp_sim.Path_manager.spec.Mptcp_sim.Path_manager.backup
+            then (w + sent, l)
+            else (w, l + sent))
+          (0, 0) conn.Mptcp_sim.Connection.paths
+      in
+      Some
+        {
+          dependency_time = dep -. at;
+          initial_view_time = Float.max init third_party_done -. at;
+          full_load_time = Float.max deferred third_party_done -. at;
+          lte_bytes = lte;
+          wifi_bytes = wifi;
+        }
+  | _, _, _ -> None

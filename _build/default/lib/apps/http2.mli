@@ -1,0 +1,47 @@
+(** HTTP/2 page model for the HTTP/2-aware scheduling case study (§5.5):
+    resources with content classes (dependency-critical head,
+    initial-view content, below-the-fold content), third-party
+    dependencies discovered when the critical bytes are delivered, and a
+    page-load driver measuring the milestones of Fig. 14. *)
+
+type content_class = Dependency_critical | Initial_view | Deferred
+
+val prop_of_class : content_class -> int
+(** PROP1 value the web server stamps on packets — the contract with
+    [Schedulers.Specs.http2_aware] (1, 2, 3). *)
+
+type resource = {
+  res_name : string;
+  res_size : int;  (** bytes *)
+  res_class : content_class;
+}
+
+type page = {
+  page_name : string;
+  resources : resource list;
+  third_party : (string * float) list;
+      (** name and fetch latency of 3PC on the critical path *)
+}
+
+val optimized_page : page
+(** A heavily optimized commercial-style page: compact critical head,
+    moderate initial view, more than half of the bytes below the fold. *)
+
+val total_bytes : page -> int
+
+val bytes_of_class : page -> content_class -> int
+
+type load_result = {
+  dependency_time : float;
+      (** all dependency-critical bytes delivered — 3PC fetches start *)
+  initial_view_time : float;
+      (** critical + initial-view content delivered and 3PC fetched *)
+  full_load_time : float;
+  lte_bytes : int;  (** wire bytes on the metered (lte/backup) subflows *)
+  wifi_bytes : int;
+}
+
+val load_page :
+  ?at:float -> ?timeout:float -> Mptcp_sim.Connection.t -> page -> load_result option
+(** Serve the page (resources written in class order, packets annotated
+    with PROP1) and measure; [None] when the load did not complete. *)

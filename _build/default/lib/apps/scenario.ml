@@ -1,0 +1,80 @@
+(** Canonical network scenarios shared by the examples, the tests and the
+    bench harness — the OCaml analogues of the paper's two testbeds. *)
+
+open Mptcp_sim
+
+(** "In the wild" WiFi + LTE setup (Figs. 1, 13, 14): WiFi with a 10 ms
+    RTT and ~5 MB/s that fluctuates, LTE with a 40 ms RTT and 4 MB/s.
+    [lte_backup] flags LTE as the non-preferred subflow.
+    [wifi_extra_delay] adds one-way delay to WiFi (the RTT-ratio sweep of
+    Fig. 14). *)
+let wifi_lte ?(wifi_bw = 5_000_000.0) ?(lte_bw = 4_000_000.0)
+    ?(wifi_loss = 0.0) ?(lte_loss = 0.0) ?(wifi_extra_delay = 0.0)
+    ?(lte_backup = true) () =
+  [
+    Path_manager.symmetric ~name:"wifi"
+      {
+        Link.default_params with
+        Link.bandwidth = wifi_bw;
+        delay = 0.005 +. wifi_extra_delay;
+        loss = wifi_loss;
+        buffer_bytes = 512 * 1024;
+      };
+    Path_manager.symmetric ~name:"lte" ~backup:lte_backup
+      {
+        Link.default_params with
+        Link.bandwidth = lte_bw;
+        delay = 0.020;
+        loss = lte_loss;
+        buffer_bytes = 768 * 1024;
+      };
+  ]
+
+(** Install WiFi bandwidth fluctuation: every [interval], the WiFi rate
+    is redrawn uniformly from [low, high] (the dips visible in Fig. 13's
+    WiFi trace). Call after {!Connection.create}. *)
+let fluctuate_wifi (conn : Connection.t) ~rng ~until ?(interval = 0.5)
+    ~low ~high () =
+  match Connection.find_path conn "wifi" with
+  | None -> ()
+  | Some m ->
+      let link = m.Path_manager.data_link in
+      let rec tick time =
+        if time < until then
+          Connection.at conn ~time (fun () ->
+              let bw = low +. (Rng.float rng *. (high -. low)) in
+              Link.set_bandwidth link bw;
+              tick (time +. interval))
+      in
+      tick interval
+
+(** Mininet-style symmetric two-subflow setup (Figs. 10, 12): equal
+    bandwidth, base RTT of [base_rtt] on subflow 1 and
+    [base_rtt *. rtt_ratio] on subflow 2, [loss] on both. *)
+let mininet_two_subflows ?(bandwidth = 1_250_000.0) ?(base_rtt = 0.020)
+    ?(rtt_ratio = 1.0) ?(loss = 0.0) () =
+  let mk name rtt =
+    Path_manager.symmetric ~name
+      {
+        Link.default_params with
+        Link.bandwidth = bandwidth;
+        delay = rtt /. 2.0;
+        loss;
+        buffer_bytes = 256 * 1024;
+      }
+  in
+  [ mk "sbf1" base_rtt; mk "sbf2" (base_rtt *. rtt_ratio) ]
+
+(** Data-center-ish short-RTT paths (loss-compensation experiments). *)
+let datacenter ?(bandwidth = 125_000_000.0) ?(rtt = 0.0002) ?(loss = 0.0)
+    ?(n = 2) () =
+  List.init n (fun i ->
+      Path_manager.symmetric
+        ~name:(Fmt.str "dc%d" i)
+        {
+          Link.default_params with
+          Link.bandwidth;
+          delay = rtt /. 2.0;
+          loss;
+          buffer_bytes = 1 lsl 20;
+        })

@@ -1,0 +1,38 @@
+(** MPTCP-aware web server (§5.5, "MPTCP-aware Webserver").
+
+    The OCaml counterpart of the paper's patched Nghttp2: it loads the
+    HTTP/2-aware scheduler, selects it for the connection, publishes the
+    page's byte budget for the initial view through the scheduler
+    registers, and serves pages with per-packet content annotations
+    (via {!Http2.load_page}). *)
+
+open Mptcp_sim
+
+(** Prepare [conn] for HTTP/2-aware serving: load + select the scheduler
+    and publish page metadata in the registers (R5 = bytes required for
+    the initial page, as in the paper: "the scheduler registers contain
+    information about the number of required bytes for the initial
+    page"). *)
+let prepare ?(scheduler = Schedulers.Specs.http2_aware) conn
+    (page : Http2.page) =
+  let sock = Connection.sock conn in
+  Progmp_runtime.Api.load_scheduler scheduler ~name:"http2_aware";
+  Progmp_runtime.Api.set_scheduler sock "http2_aware";
+  let initial_bytes =
+    Http2.bytes_of_class page Http2.Dependency_critical
+    + Http2.bytes_of_class page Http2.Initial_view
+  in
+  Progmp_runtime.Api.set_register sock 4 initial_bytes
+
+(** Serve a page with the HTTP/2-aware scheduler and return the load
+    milestones. *)
+let serve ?at ?timeout conn page =
+  prepare conn page;
+  Http2.load_page ?at ?timeout conn page
+
+(** Serve with an arbitrary already-loaded scheduler (the uninformed
+    baselines of Fig. 14: packets still carry annotations but the
+    scheduler ignores them). *)
+let serve_with ?at ?timeout ~scheduler_name conn page =
+  Progmp_runtime.Api.set_scheduler (Connection.sock conn) scheduler_name;
+  Http2.load_page ?at ?timeout conn page

@@ -1,0 +1,24 @@
+(** MPTCP-aware web server (§5.5) — the OCaml counterpart of the
+    paper's patched Nghttp2: loads and selects the HTTP/2-aware
+    scheduler, publishes the initial page's byte budget in register R5,
+    and serves pages with per-packet content annotations. *)
+
+open Mptcp_sim
+
+val prepare : ?scheduler:string -> Connection.t -> Http2.page -> unit
+(** Load + select the HTTP/2-aware scheduler and publish page metadata. *)
+
+val serve :
+  ?at:float -> ?timeout:float -> Connection.t -> Http2.page ->
+  Http2.load_result option
+(** {!prepare} + {!Http2.load_page}. *)
+
+val serve_with :
+  ?at:float ->
+  ?timeout:float ->
+  scheduler_name:string ->
+  Connection.t ->
+  Http2.page ->
+  Http2.load_result option
+(** Serve with an arbitrary already-loaded scheduler (the uninformed
+    baselines of Fig. 14: packets still carry annotations). *)

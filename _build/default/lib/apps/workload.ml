@@ -1,0 +1,100 @@
+(** Workload generators driving the evaluation scenarios: bulk transfers
+    (iperf), constant-bitrate streaming with rate switches, bursty
+    on/off traffic, request-response patterns and repeated short flows
+    with per-flow completion times. *)
+
+open Mptcp_sim
+
+(** Bulk transfer: write everything at once (iperf-like). *)
+let bulk conn ~at ~bytes = Connection.write_at conn ~time:at bytes
+
+(** Constant-bitrate stream: write [rate t * interval] bytes every
+    [interval] seconds between [start] and [stop]. [rate] is in bytes per
+    second and may change over time (the 1 MB/s -> 4 MB/s switch of
+    Figs. 1 and 13). If [signal_register] is given, the current rate is
+    published there before each write, so throughput-aware schedulers see
+    the application's target. *)
+let cbr ?signal_register ?props conn ~start ~stop ~interval ~rate =
+  let sock = Connection.sock conn in
+  let rec tick time =
+    if time < stop then
+      Connection.at conn ~time (fun () ->
+          let r = rate time in
+          (match signal_register with
+          | Some reg -> Progmp_runtime.Api.set_register sock reg (int_of_float r)
+          | None -> ());
+          let bytes = int_of_float (r *. interval) in
+          if bytes > 0 then ignore (Connection.write ?props conn bytes);
+          tick (time +. interval))
+  in
+  tick start
+
+(** Bursty source: bursts of [burst_bytes] separated by idle gaps drawn
+    from an exponential distribution with mean [mean_gap]. *)
+let bursty ?props conn ~rng ~start ~stop ~burst_bytes ~mean_gap =
+  let rec next time =
+    if time < stop then
+      Connection.at conn ~time (fun () ->
+          ignore (Connection.write ?props conn burst_bytes);
+          next (Eventq.now conn.Connection.clock +. Rng.exponential rng ~mean:mean_gap))
+  in
+  next start
+
+(** Request-response pattern: a request of [size] bytes every [period]
+    seconds (thin-flow traffic such as a voice assistant, §5.4). *)
+let request_response ?props conn ~start ~stop ~period ~size =
+  let rec tick time =
+    if time < stop then
+      Connection.at conn ~time (fun () ->
+          ignore (Connection.write ?props conn size);
+          tick (time +. period))
+  in
+  tick start
+
+(** Outcome of one short flow. *)
+type flow_result = {
+  fct : float;  (** seconds from write to last in-order delivery *)
+  wire_bytes : int;  (** bytes put on the wire, all subflows *)
+  goodput_bytes : int;  (** application bytes of the flow *)
+}
+
+(** Measure one short flow on a fresh connection built by [mk_conn]:
+    write [size] bytes at [at] (after slow-start-free establishment) and
+    run to completion. [before_write]/[after_write] hook the extended API
+    (e.g. signal the end of flow for the compensating scheduler).
+    Returns [None] if the flow did not complete within [timeout]. *)
+let measure_flow ?(at = 0.2) ?(timeout = 120.0) ?(before_write = fun _ -> ())
+    ?(after_write = fun _ -> ()) ~mk_conn ~size () =
+  let conn : Connection.t = mk_conn () in
+  Connection.at conn ~time:at (fun () ->
+      before_write conn;
+      ignore (Connection.write conn size);
+      after_write conn);
+  Connection.run ~until:(at +. timeout) conn;
+  let meta = conn.Connection.meta in
+  let last = meta.Meta_socket.next_seq - 1 in
+  match Meta_socket.fct meta ~first:0 ~last with
+  | None -> None
+  | Some t ->
+      let wire =
+        List.fold_left
+          (fun acc m -> acc + m.Path_manager.subflow.Tcp_subflow.bytes_sent)
+          0 conn.Connection.paths
+      in
+      Some { fct = t -. at; wire_bytes = wire; goodput_bytes = size }
+
+(** Repeat {!measure_flow} [reps] times with varying seeds and aggregate:
+    returns (mean FCT, mean wire bytes, completed count). *)
+let measure_flows ?at ?timeout ?before_write ?after_write ~mk_conn ~size ~reps
+    () =
+  let results =
+    List.filter_map
+      (fun i ->
+        measure_flow ?at ?timeout ?before_write ?after_write
+          ~mk_conn:(fun () -> mk_conn ~seed:(1000 + (7919 * i)))
+          ~size ())
+      (List.init reps Fun.id)
+  in
+  let fcts = List.map (fun r -> r.fct) results in
+  let wires = List.map (fun r -> float_of_int r.wire_bytes) results in
+  (Stats.mean fcts, Stats.mean wires, List.length results)

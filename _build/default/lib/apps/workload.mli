@@ -1,0 +1,72 @@
+(** Workload generators driving the evaluation scenarios. *)
+
+open Mptcp_sim
+
+val bulk : Connection.t -> at:float -> bytes:int -> unit
+(** Bulk transfer: everything at once (iperf-like). *)
+
+val cbr :
+  ?signal_register:int ->
+  ?props:int array ->
+  Connection.t ->
+  start:float ->
+  stop:float ->
+  interval:float ->
+  rate:(float -> float) ->
+  unit
+(** Constant-bitrate stream: [rate t *. interval] bytes every [interval]
+    seconds; the rate may change over time. With [signal_register], the
+    current rate is published there before each write, for
+    throughput-aware schedulers. *)
+
+val bursty :
+  ?props:int array ->
+  Connection.t ->
+  rng:Rng.t ->
+  start:float ->
+  stop:float ->
+  burst_bytes:int ->
+  mean_gap:float ->
+  unit
+(** On/off source with exponential gaps. *)
+
+val request_response :
+  ?props:int array ->
+  Connection.t ->
+  start:float ->
+  stop:float ->
+  period:float ->
+  size:int ->
+  unit
+(** Thin-flow traffic (§5.4's assistant pattern). *)
+
+type flow_result = {
+  fct : float;  (** seconds from write to last in-order delivery *)
+  wire_bytes : int;  (** bytes on the wire, all subflows *)
+  goodput_bytes : int;
+}
+
+val measure_flow :
+  ?at:float ->
+  ?timeout:float ->
+  ?before_write:(Connection.t -> unit) ->
+  ?after_write:(Connection.t -> unit) ->
+  mk_conn:(unit -> Connection.t) ->
+  size:int ->
+  unit ->
+  flow_result option
+(** One short flow on a fresh connection; the hooks give access to the
+    extended API (e.g. the end-of-flow signal). [None] when the flow did
+    not complete within [timeout]. *)
+
+val measure_flows :
+  ?at:float ->
+  ?timeout:float ->
+  ?before_write:(Connection.t -> unit) ->
+  ?after_write:(Connection.t -> unit) ->
+  mk_conn:(seed:int -> Connection.t) ->
+  size:int ->
+  reps:int ->
+  unit ->
+  float * float * int
+(** Repeat over seeds; (mean FCT, mean wire bytes, completed count). *)

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Isa List Progmp_lang Tast Vcode

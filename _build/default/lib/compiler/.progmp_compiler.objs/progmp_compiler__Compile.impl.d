@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Array Codegen Emit Fmt Progmp_lang Progmp_runtime Regalloc Vcode Verifier Vm

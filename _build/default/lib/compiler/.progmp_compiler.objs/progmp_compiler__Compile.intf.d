@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Progmp_lang Progmp_runtime Vm

@@ -1,0 +1,1 @@
+lib/compiler/disasm.ml: Array Fmt Isa

@@ -1,0 +1,1 @@
+lib/compiler/emit.ml: Array Fmt Hashtbl Isa List Regalloc Vcode

@@ -1,0 +1,1 @@
+lib/compiler/emit.mli: Isa Regalloc Vcode

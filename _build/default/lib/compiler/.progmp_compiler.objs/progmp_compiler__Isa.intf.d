@@ -1,0 +1,1 @@
+lib/compiler/isa.mli: Progmp_lang

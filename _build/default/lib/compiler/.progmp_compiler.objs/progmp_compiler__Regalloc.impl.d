@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Array Fmt Fun Hashtbl Isa List Vcode

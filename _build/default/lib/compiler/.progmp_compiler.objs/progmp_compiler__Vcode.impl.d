@@ -1,0 +1,1 @@
+lib/compiler/vcode.ml: Array Fmt Isa List

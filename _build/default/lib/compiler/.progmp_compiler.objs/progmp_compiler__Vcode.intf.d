@@ -1,0 +1,1 @@
+lib/compiler/vcode.mli: Format Isa

@@ -1,0 +1,1 @@
+lib/compiler/verifier.ml: Array Fmt Isa List Queue

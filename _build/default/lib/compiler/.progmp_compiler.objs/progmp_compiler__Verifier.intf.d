@@ -1,0 +1,1 @@
+lib/compiler/verifier.mli: Format Isa

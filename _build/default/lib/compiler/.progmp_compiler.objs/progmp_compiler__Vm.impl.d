@@ -1,0 +1,1 @@
+lib/compiler/vm.ml: Array Env Fmt Hashtbl Isa Packet Pqueue Progmp_lang Progmp_runtime Subflow_view

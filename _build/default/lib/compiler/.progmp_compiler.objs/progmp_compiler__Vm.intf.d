@@ -1,0 +1,1 @@
+lib/compiler/vm.mli: Hashtbl Isa Progmp_runtime

@@ -1,0 +1,389 @@
+(** Code generation: typed IR -> virtual three-address code.
+
+    Declarative operations are lowered to explicit loops, fusing filter
+    stacks into their consumers — this is the "combines scheduler
+    primitives, such as FILTER, reducing the number of loops and function
+    calls" step of the paper's eBPF compilation (§4.1):
+
+    - a subflow list becomes a {e bitmask} over the subflow snapshot
+      (bit i = subflow index i, handle i+1), so [FILTER] chains compose
+      with bitwise AND semantics and never materialize lists;
+    - queue views become scan loops over the base queue with the filter
+      predicates inlined; [FILTER(..).MIN(..)] is one loop;
+    - [POP] on a filtered view removes the first matching packet in
+      place via the [q_remove] helper.
+
+    Program variables ({!Tast} slots) occupy virtual registers
+    [0 .. num_slots-1]; all other values get fresh virtual registers.
+    Booleans are 0/1; NULL is handle 0. *)
+
+open Progmp_lang
+module V = Vcode
+
+type ctx = {
+  b : V.builder;
+  subflow_count : int option;
+      (** when set, specialize for a constant number of subflows *)
+}
+
+let emit ctx i = V.emit ctx.b i
+
+let fresh ctx = V.fresh_vreg ctx.b
+
+let label ctx = V.fresh_label ctx.b
+
+let const ctx n =
+  let v = fresh ctx in
+  emit ctx (V.Vmovi (v, n));
+  v
+
+let call ctx h args ~ret =
+  let r = if ret then Some (fresh ctx) else None in
+  emit ctx (V.Vcall (h, args, r));
+  match r with Some v -> v | None -> -1
+
+(* Number of subflows in the snapshot: a helper call, or a constant under
+   specialization. *)
+let sbf_count ctx =
+  match ctx.subflow_count with
+  | Some k -> const ctx k
+  | None -> call ctx Isa.H_sbf_count [] ~ret:true
+
+(* dst := (a cond b) as 0/1 *)
+let set_on_cond ctx cond a b =
+  let dst = fresh ctx in
+  let l = label ctx in
+  emit ctx (V.Vmovi (dst, 1));
+  emit ctx (V.Vjcc (cond, a, b, l));
+  emit ctx (V.Vmovi (dst, 0));
+  emit ctx (V.Vlabel l);
+  dst
+
+let set_on_condi ctx cond a imm =
+  let dst = fresh ctx in
+  let l = label ctx in
+  emit ctx (V.Vmovi (dst, 1));
+  emit ctx (V.Vjcci (cond, a, imm, l));
+  emit ctx (V.Vmovi (dst, 0));
+  emit ctx (V.Vlabel l);
+  dst
+
+(* Iterate over the set bits of a subflow mask. [body] receives the
+   0-based index vreg and the subflow handle vreg and the label that
+   breaks the loop. *)
+let for_each_sbf ctx ~mask ~body =
+  let vi = fresh ctx and vn = sbf_count ctx in
+  let l_head = label ctx and l_cont = label ctx and l_end = label ctx in
+  emit ctx (V.Vmovi (vi, 0));
+  let start = V.here ctx.b in
+  emit ctx (V.Vlabel l_head);
+  emit ctx (V.Vjcc (Isa.Jge, vi, vn, l_end));
+  (* bit test: (mask >> vi) land 1 *)
+  let vt = fresh ctx in
+  emit ctx (V.Valu (Isa.Rsh, vt, mask, vi));
+  emit ctx (V.Valui (Isa.And, vt, vt, 1));
+  emit ctx (V.Vjcci (Isa.Jeq, vt, 0, l_cont));
+  let vh = fresh ctx in
+  emit ctx (V.Valui (Isa.Add, vh, vi, 1));
+  body ~idx:vi ~handle:vh ~l_end;
+  emit ctx (V.Vlabel l_cont);
+  emit ctx (V.Valui (Isa.Add, vi, vi, 1));
+  emit ctx (V.Vjmp l_head);
+  emit ctx (V.Vlabel l_end);
+  V.record_loop ctx.b ~start ~stop:(V.here ctx.b)
+
+let rec gen_expr ctx (e : Tast.expr) : V.vreg =
+  match e.Tast.desc with
+  | Tast.Int_lit n -> const ctx n
+  | Tast.Bool_lit b -> const ctx (if b then 1 else 0)
+  | Tast.Null _ -> const ctx 0
+  | Tast.Register i ->
+      let vi = const ctx i in
+      call ctx Isa.H_get_reg [ vi ] ~ret:true
+  | Tast.Slot i ->
+      (* copy out of the slot vreg so later slot writes (lambda reuse)
+         cannot alias the value *)
+      let v = fresh ctx in
+      emit ctx (V.Vmov (v, i));
+      v
+  | Tast.Not a ->
+      let va = gen_expr ctx a in
+      let v = fresh ctx in
+      emit ctx (V.Valui (Isa.Xor, v, va, 1));
+      v
+  | Tast.Neg a ->
+      let va = gen_expr ctx a in
+      let v = fresh ctx in
+      emit ctx (V.Valui (Isa.Mul, v, va, -1));
+      v
+  | Tast.Binop (op, a, b) -> gen_binop ctx op a b
+  | Tast.Subflows ->
+      (* mask = (1 << count) - 1 *)
+      let vn = sbf_count ctx in
+      let vone = const ctx 1 in
+      let v = fresh ctx in
+      emit ctx (V.Valu (Isa.Lsh, v, vone, vn));
+      emit ctx (V.Valui (Isa.Sub, v, v, 1));
+      v
+  | Tast.Sbf_filter (l, lam) ->
+      let mask = gen_expr ctx l in
+      let res = fresh ctx in
+      emit ctx (V.Vmovi (res, 0));
+      for_each_sbf ctx ~mask ~body:(fun ~idx ~handle ~l_end:_ ->
+          emit ctx (V.Vmov (lam.Tast.param, handle));
+          let vp = gen_expr ctx lam.Tast.body in
+          let l_skip = label ctx in
+          emit ctx (V.Vjcci (Isa.Jeq, vp, 0, l_skip));
+          let vbit = fresh ctx in
+          let vone = const ctx 1 in
+          emit ctx (V.Valu (Isa.Lsh, vbit, vone, idx));
+          emit ctx (V.Valu (Isa.Or, res, res, vbit));
+          emit ctx (V.Vlabel l_skip));
+      res
+  | Tast.Sbf_min (l, lam) -> gen_sbf_select ctx ~is_min:true l lam
+  | Tast.Sbf_max (l, lam) -> gen_sbf_select ctx ~is_min:false l lam
+  | Tast.Sbf_sum (l, lam) ->
+      let mask = gen_expr ctx l in
+      let res = fresh ctx in
+      emit ctx (V.Vmovi (res, 0));
+      for_each_sbf ctx ~mask ~body:(fun ~idx:_ ~handle ~l_end:_ ->
+          emit ctx (V.Vmov (lam.Tast.param, handle));
+          let vk = gen_expr ctx lam.Tast.body in
+          emit ctx (V.Valu (Isa.Add, res, res, vk)));
+      res
+  | Tast.Sbf_get (l, idx) ->
+      let mask = gen_expr ctx l in
+      let vidx = gen_expr ctx idx in
+      let res = fresh ctx and seen = fresh ctx in
+      emit ctx (V.Vmovi (res, 0));
+      emit ctx (V.Vmovi (seen, 0));
+      for_each_sbf ctx ~mask ~body:(fun ~idx:_ ~handle ~l_end ->
+          let l_skip = label ctx in
+          emit ctx (V.Vjcc (Isa.Jne, seen, vidx, l_skip));
+          emit ctx (V.Vmov (res, handle));
+          emit ctx (V.Vjmp l_end);
+          emit ctx (V.Vlabel l_skip);
+          emit ctx (V.Valui (Isa.Add, seen, seen, 1)));
+      res
+  | Tast.Sbf_count l ->
+      let mask = gen_expr ctx l in
+      let res = fresh ctx in
+      emit ctx (V.Vmovi (res, 0));
+      for_each_sbf ctx ~mask ~body:(fun ~idx:_ ~handle:_ ~l_end:_ ->
+          emit ctx (V.Valui (Isa.Add, res, res, 1)));
+      res
+  | Tast.Sbf_empty l ->
+      let mask = gen_expr ctx l in
+      set_on_condi ctx Isa.Jeq mask 0
+  | Tast.Sbf_prop (s, prop) ->
+      let vs = gen_expr ctx s in
+      let vc = const ctx (Isa.sbf_prop_code prop) in
+      call ctx Isa.H_sbf_prop [ vs; vc ] ~ret:true
+  | Tast.Has_window_for (s, p) ->
+      let vs = gen_expr ctx s in
+      let vp = gen_expr ctx p in
+      call ctx Isa.H_has_window [ vs; vp ] ~ret:true
+  | Tast.Q_top view ->
+      let res = fresh ctx in
+      emit ctx (V.Vmovi (res, 0));
+      gen_queue_scan ctx view ~body:(fun ~idx:_ ~pkt ~l_end ->
+          emit ctx (V.Vmov (res, pkt));
+          emit ctx (V.Vjmp l_end));
+      res
+  | Tast.Q_pop view ->
+      let res = fresh ctx in
+      emit ctx (V.Vmovi (res, 0));
+      let qc = Isa.queue_code view.Tast.base in
+      gen_queue_scan ctx view ~body:(fun ~idx ~pkt:_ ~l_end ->
+          let vq = const ctx qc in
+          let r = call ctx Isa.H_q_remove [ vq; idx ] ~ret:true in
+          emit ctx (V.Vmov (res, r));
+          emit ctx (V.Vjmp l_end));
+      res
+  | Tast.Q_min (view, lam) -> gen_q_select ctx ~is_min:true view lam
+  | Tast.Q_max (view, lam) -> gen_q_select ctx ~is_min:false view lam
+  | Tast.Q_count view ->
+      let res = fresh ctx in
+      emit ctx (V.Vmovi (res, 0));
+      gen_queue_scan ctx view ~body:(fun ~idx:_ ~pkt:_ ~l_end:_ ->
+          emit ctx (V.Valui (Isa.Add, res, res, 1)));
+      res
+  | Tast.Q_empty view ->
+      let res = fresh ctx in
+      emit ctx (V.Vmovi (res, 1));
+      gen_queue_scan ctx view ~body:(fun ~idx:_ ~pkt:_ ~l_end ->
+          emit ctx (V.Vmovi (res, 0));
+          emit ctx (V.Vjmp l_end));
+      res
+  | Tast.Pkt_prop (p, prop) ->
+      let vp = gen_expr ctx p in
+      let vc = const ctx (Isa.pkt_prop_code prop) in
+      call ctx Isa.H_pkt_prop [ vp; vc ] ~ret:true
+  | Tast.Sent_on (p, s) ->
+      let vp = gen_expr ctx p in
+      let vs = gen_expr ctx s in
+      call ctx Isa.H_sent_on [ vp; vs ] ~ret:true
+
+and gen_binop ctx op a b =
+  match op with
+  | Tast.And ->
+      let res = fresh ctx in
+      let l_end = label ctx in
+      let va = gen_expr ctx a in
+      emit ctx (V.Vmovi (res, 0));
+      emit ctx (V.Vjcci (Isa.Jeq, va, 0, l_end));
+      let vb = gen_expr ctx b in
+      emit ctx (V.Vmov (res, vb));
+      emit ctx (V.Vlabel l_end);
+      res
+  | Tast.Or ->
+      let res = fresh ctx in
+      let l_end = label ctx in
+      let va = gen_expr ctx a in
+      emit ctx (V.Vmovi (res, 1));
+      emit ctx (V.Vjcci (Isa.Jne, va, 0, l_end));
+      let vb = gen_expr ctx b in
+      emit ctx (V.Vmov (res, vb));
+      emit ctx (V.Vlabel l_end);
+      res
+  | Tast.Add | Tast.Sub | Tast.Mul | Tast.Div | Tast.Mod ->
+      let va = gen_expr ctx a in
+      let vb = gen_expr ctx b in
+      let aluop =
+        match op with
+        | Tast.Add -> Isa.Add
+        | Tast.Sub -> Isa.Sub
+        | Tast.Mul -> Isa.Mul
+        | Tast.Div -> Isa.Div
+        | _ -> Isa.Mod
+      in
+      let res = fresh ctx in
+      emit ctx (V.Valu (aluop, res, va, vb));
+      res
+  | Tast.Eq | Tast.Neq | Tast.Lt | Tast.Le | Tast.Gt | Tast.Ge ->
+      let va = gen_expr ctx a in
+      let vb = gen_expr ctx b in
+      let cond =
+        match op with
+        | Tast.Eq -> Isa.Jeq
+        | Tast.Neq -> Isa.Jne
+        | Tast.Lt -> Isa.Jlt
+        | Tast.Le -> Isa.Jle
+        | Tast.Gt -> Isa.Jgt
+        | _ -> Isa.Jge
+      in
+      set_on_cond ctx cond va vb
+
+and gen_sbf_select ctx ~is_min l (lam : Tast.lambda) =
+  let mask = gen_expr ctx l in
+  let best = fresh ctx and bestk = fresh ctx and found = fresh ctx in
+  emit ctx (V.Vmovi (best, 0));
+  emit ctx (V.Vmovi (bestk, 0));
+  emit ctx (V.Vmovi (found, 0));
+  for_each_sbf ctx ~mask ~body:(fun ~idx:_ ~handle ~l_end:_ ->
+      emit ctx (V.Vmov (lam.Tast.param, handle));
+      let vk = gen_expr ctx lam.Tast.body in
+      let l_take = label ctx and l_skip = label ctx in
+      emit ctx (V.Vjcci (Isa.Jeq, found, 0, l_take));
+      emit ctx
+        (V.Vjcc ((if is_min then Isa.Jge else Isa.Jle), vk, bestk, l_skip));
+      emit ctx (V.Vlabel l_take);
+      emit ctx (V.Vmov (best, handle));
+      emit ctx (V.Vmov (bestk, vk));
+      emit ctx (V.Vmovi (found, 1));
+      emit ctx (V.Vlabel l_skip));
+  best
+
+(* Scan the base queue of [view] front to back; for each packet passing
+   the inlined filter stack, run [body]. [body] receives the queue index,
+   the packet handle and the scan's break label. *)
+and gen_queue_scan ctx (view : Tast.queue_view) ~body =
+  let qc = Isa.queue_code view.Tast.base in
+  let vi = fresh ctx in
+  let l_head = label ctx and l_cont = label ctx and l_end = label ctx in
+  emit ctx (V.Vmovi (vi, 0));
+  let start = V.here ctx.b in
+  emit ctx (V.Vlabel l_head);
+  let vq = const ctx qc in
+  let vp = call ctx Isa.H_q_nth [ vq; vi ] ~ret:true in
+  emit ctx (V.Vjcci (Isa.Jeq, vp, 0, l_end));
+  List.iter
+    (fun (lam : Tast.lambda) ->
+      emit ctx (V.Vmov (lam.Tast.param, vp));
+      let vc = gen_expr ctx lam.Tast.body in
+      emit ctx (V.Vjcci (Isa.Jeq, vc, 0, l_cont)))
+    view.Tast.filters;
+  body ~idx:vi ~pkt:vp ~l_end;
+  emit ctx (V.Vlabel l_cont);
+  emit ctx (V.Valui (Isa.Add, vi, vi, 1));
+  emit ctx (V.Vjmp l_head);
+  emit ctx (V.Vlabel l_end);
+  V.record_loop ctx.b ~start ~stop:(V.here ctx.b)
+
+and gen_q_select ctx ~is_min (view : Tast.queue_view) (lam : Tast.lambda) =
+  let best = fresh ctx and bestk = fresh ctx and found = fresh ctx in
+  emit ctx (V.Vmovi (best, 0));
+  emit ctx (V.Vmovi (bestk, 0));
+  emit ctx (V.Vmovi (found, 0));
+  gen_queue_scan ctx view ~body:(fun ~idx:_ ~pkt ~l_end:_ ->
+      emit ctx (V.Vmov (lam.Tast.param, pkt));
+      let vk = gen_expr ctx lam.Tast.body in
+      let l_take = label ctx and l_skip = label ctx in
+      emit ctx (V.Vjcci (Isa.Jeq, found, 0, l_take));
+      emit ctx
+        (V.Vjcc ((if is_min then Isa.Jge else Isa.Jle), vk, bestk, l_skip));
+      emit ctx (V.Vlabel l_take);
+      emit ctx (V.Vmov (best, pkt));
+      emit ctx (V.Vmov (bestk, vk));
+      emit ctx (V.Vmovi (found, 1));
+      emit ctx (V.Vlabel l_skip));
+  best
+
+let rec gen_stmt ctx (s : Tast.stmt) =
+  match s with
+  | Tast.Var_decl (slot, e) ->
+      let v = gen_expr ctx e in
+      emit ctx (V.Vmov (slot, v))
+  | Tast.If (cond, then_, else_) ->
+      let vc = gen_expr ctx cond in
+      let l_else = label ctx and l_end = label ctx in
+      emit ctx (V.Vjcci (Isa.Jeq, vc, 0, l_else));
+      gen_block ctx then_;
+      emit ctx (V.Vjmp l_end);
+      emit ctx (V.Vlabel l_else);
+      gen_block ctx else_;
+      emit ctx (V.Vlabel l_end)
+  | Tast.Foreach (slot, src, body) ->
+      let mask = gen_expr ctx src in
+      for_each_sbf ctx ~mask ~body:(fun ~idx:_ ~handle ~l_end:_ ->
+          emit ctx (V.Vmov (slot, handle));
+          gen_block ctx body)
+  | Tast.Set_register (r, e) ->
+      let v = gen_expr ctx e in
+      let vr = const ctx r in
+      ignore (call ctx Isa.H_set_reg [ vr; v ] ~ret:false)
+  | Tast.Push (s, p) ->
+      let vs = gen_expr ctx s in
+      let vp = gen_expr ctx p in
+      ignore (call ctx Isa.H_push [ vs; vp ] ~ret:false)
+  | Tast.Drop e ->
+      let vp = gen_expr ctx e in
+      ignore (call ctx Isa.H_drop [ vp ] ~ret:false)
+  | Tast.Return -> emit ctx V.Vexit
+
+and gen_block ctx b = List.iter (gen_stmt ctx) b
+
+(** Translate a typed program to virtual code. When [subflow_count] is
+    given, the code is specialized for that constant number of subflows
+    (the caller must guard execution on the actual count). *)
+let generate ?subflow_count (p : Tast.program) : V.t =
+  let b = V.create_builder ~reserved_vregs:(max 1 p.Tast.num_slots) in
+  let ctx = { b; subflow_count } in
+  (* Slot vregs must be defined before use even if the program reads a
+     variable that a conditional skipped; zero-init them. *)
+  for slot = 0 to p.Tast.num_slots - 1 do
+    emit ctx (V.Vmovi (slot, 0))
+  done;
+  gen_block ctx p.Tast.body;
+  emit ctx V.Vexit;
+  V.finish b ~num_vregs:b.V.next_vreg

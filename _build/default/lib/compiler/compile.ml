@@ -1,0 +1,65 @@
+(** Compiler driver: typed program -> verified bytecode, plus engine
+    installation into the runtime's scheduler registry.
+
+    Pipeline: {!Codegen.generate} (lowering + primitive fusion) ->
+    {!Regalloc.allocate} (second-chance binpacking) -> {!Emit.emit}
+    (calling-convention lowering, label resolution) -> {!Verifier.verify}.
+    A program that fails verification is never installed — mirroring the
+    kernel refusing to load an eBPF object. *)
+
+exception Rejected of string
+
+type stats = {
+  vinstrs : int;  (** virtual instructions before lowering *)
+  instrs : int;  (** final instruction count *)
+  spill_slots : int;
+  spilled_vregs : int;
+}
+
+let compile_with_stats ?subflow_count (p : Progmp_lang.Tast.program) :
+    Vm.prog * stats =
+  let vcode = Codegen.generate ?subflow_count p in
+  let alloc = Regalloc.allocate vcode in
+  let code = Emit.emit vcode alloc in
+  (match Verifier.verify code with
+  | [] -> ()
+  | errors ->
+      raise
+        (Rejected
+           (Fmt.str "verifier rejected the program:@\n%a"
+              Fmt.(list ~sep:(any "@\n") Verifier.pp_error)
+              errors)));
+  ( (match subflow_count with
+    | Some k -> Vm.make_prog ~specialized_for:k ~spill_slots:alloc.Regalloc.spill_slots code
+    | None -> Vm.make_prog ~spill_slots:alloc.Regalloc.spill_slots code),
+    {
+      vinstrs = Array.length vcode.Vcode.code;
+      instrs = Array.length code;
+      spill_slots = alloc.Regalloc.spill_slots;
+      spilled_vregs = alloc.Regalloc.spilled;
+    } )
+
+let compile ?subflow_count p = fst (compile_with_stats ?subflow_count p)
+
+(** Build an execution engine from a compiled program. When the program
+    was specialized for a constant subflow count (§4.1, "constant subflow
+    number" optimization), executions with a different count fall back to
+    [fallback] (normally the generic compiled or interpreted version),
+    like the paper's JIT returning to the original version. *)
+let engine ?fallback (prog : Vm.prog) : Progmp_runtime.Env.t -> unit =
+ fun env ->
+  match prog.Vm.specialized_for with
+  | Some k when Array.length env.Progmp_runtime.Env.subflows <> k -> (
+      match fallback with
+      | Some f -> f env
+      | None -> Vm.run prog env)
+  | Some _ | None -> Vm.run prog env
+
+(** Compile [sched]'s program and install the VM engine on it, so that
+    subsequent {!Progmp_runtime.Scheduler.execute} calls run bytecode. *)
+let install ?subflow_count (sched : Progmp_runtime.Scheduler.t) =
+  let interp = sched.Progmp_runtime.Scheduler.run in
+  let prog = compile ?subflow_count sched.Progmp_runtime.Scheduler.program in
+  Progmp_runtime.Scheduler.set_engine sched ~name:"ebpf-vm"
+    (engine ~fallback:interp prog);
+  prog

@@ -1,0 +1,38 @@
+(** Compiler driver: typed program -> verified bytecode, plus engine
+    installation into the runtime's scheduler registry.
+
+    Pipeline: {!Codegen.generate} -> {!Regalloc.allocate} ->
+    {!Emit.emit} -> {!Verifier.verify}. A program that fails
+    verification is never installed, mirroring the kernel refusing an
+    eBPF object. *)
+
+exception Rejected of string
+(** The verifier rejected the generated code (a compiler bug by
+    construction; surfaced rather than installed). *)
+
+type stats = {
+  vinstrs : int;  (** virtual instructions before lowering *)
+  instrs : int;  (** final instruction count *)
+  spill_slots : int;
+  spilled_vregs : int;
+}
+
+val compile_with_stats :
+  ?subflow_count:int -> Progmp_lang.Tast.program -> Vm.prog * stats
+(** Compile and verify; [subflow_count] specializes for a constant
+    number of subflows (§4.1). @raise Rejected on verifier failure. *)
+
+val compile : ?subflow_count:int -> Progmp_lang.Tast.program -> Vm.prog
+
+val engine :
+  ?fallback:(Progmp_runtime.Env.t -> unit) ->
+  Vm.prog ->
+  Progmp_runtime.Env.t ->
+  unit
+(** Build an execution engine; a specialized program falls back to
+    [fallback] when the live subflow count differs. *)
+
+val install : ?subflow_count:int -> Progmp_runtime.Scheduler.t -> Vm.prog
+(** Compile the scheduler's program and install the VM engine on it
+    (with interpreter fallback for specialized programs). Returns the
+    compiled program for inspection. *)

@@ -1,0 +1,14 @@
+(** Final lowering: allocated virtual code -> {!Isa} instructions.
+
+    Virtual registers live in their allocated homes (callee-saved
+    register or stack slot); each virtual instruction lowers to a short
+    sequence using r0/r2 as scratch and r1–r5 for helper arguments — the
+    eBPF calling convention. Labels resolve to absolute program
+    counters in a patch pass. *)
+
+exception Error of string
+(** Internal consistency violation (homeless vreg, duplicate or
+    undefined label, bad helper arity) — a compiler bug surfaced before
+    verification. *)
+
+val emit : Vcode.t -> Regalloc.allocation -> Isa.instr array

@@ -1,0 +1,127 @@
+(** Register allocation: linear scan with second-chance binpacking.
+
+    The paper's cross-compiler uses the Second-Chance Binpacking variant
+    of linear-scan allocation (Traub, Holloway, Smith, PLDI'98), chosen
+    for its low compile-time cost compared to graph coloring. This module
+    implements the binpacking view of that algorithm: each physical
+    register is a timeline (a "bin") into which non-overlapping live
+    intervals are packed.
+
+    - Pass 1 is a classic linear scan over intervals sorted by start;
+      when no register is free, the interval with the furthest end among
+      the active ones is evicted to the stack (spill-furthest heuristic).
+    - Pass 2 is the second chance: every interval that ended up on the
+      stack is offered again to each register's timeline and packed into
+      the first bin with a gap wide enough — registers often have such
+      gaps after their earlier tenants expired.
+
+    Unlike the full algorithm we do not split live ranges; a virtual
+    register has one home for its whole lifetime. This forgoes some
+    quality but keeps lowering single-pass and the verifier simple, and
+    spill traffic only affects the constant factor of scheduler
+    execution, which the overhead benchmark (Fig. 9) measures. *)
+
+type home =
+  | Reg of Isa.reg  (** one of the callee-saved registers r6..r9 *)
+  | Stack of int  (** word slot in the frame *)
+
+type allocation = {
+  homes : home option array;  (** indexed by vreg; [None] = never used *)
+  spill_slots : int;  (** number of stack slots consumed by spills *)
+  spilled : int;  (** number of vregs living on the stack *)
+}
+
+let overlaps (s1, e1) (s2, e2) = not (e1 < s2 || e2 < s1)
+
+let allocate (v : Vcode.t) : allocation =
+  let iv = Vcode.intervals v in
+  let n = Array.length iv in
+  let homes = Array.make n None in
+  (* Intervals sorted by increasing start position. *)
+  let order =
+    List.sort
+      (fun a b ->
+        match (iv.(a), iv.(b)) with
+        | Some (s1, _), Some (s2, _) -> compare (s1, a) (s2, b)
+        | _ -> assert false)
+      (List.filteri (fun _ x -> iv.(x) <> None) (List.init n Fun.id))
+  in
+  (* Register timelines: vregs currently packed into each register. *)
+  let timelines = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace timelines r []) Isa.allocatable;
+  let spill_count = ref 0 in
+  let fresh_slot () =
+    let s = !spill_count in
+    incr spill_count;
+    s
+  in
+  (* Pass 1: linear scan with an explicit active set. *)
+  let active = ref [] (* (vreg, end, reg) *) in
+  let expire start =
+    active := List.filter (fun (_, e, _) -> e >= start) !active
+  in
+  let free_reg () =
+    let used = List.map (fun (_, _, r) -> r) !active in
+    List.find_opt (fun r -> not (List.mem r used)) Isa.allocatable
+  in
+  List.iter
+    (fun vreg ->
+      match iv.(vreg) with
+      | None -> ()
+      | Some (start, stop) -> (
+          expire start;
+          match free_reg () with
+          | Some r ->
+              homes.(vreg) <- Some (Reg r);
+              Hashtbl.replace timelines r (vreg :: Hashtbl.find timelines r);
+              active := (vreg, stop, r) :: !active
+          | None ->
+              (* Evict the active interval that ends furthest away if it
+                 outlives the current one; otherwise spill the current. *)
+              let (victim, vend, vr), rest =
+                match
+                  List.sort (fun (_, e1, _) (_, e2, _) -> compare e2 e1) !active
+                with
+                | x :: rest -> (x, rest)
+                | [] -> assert false
+              in
+              if vend > stop then begin
+                homes.(victim) <- Some (Stack (fresh_slot ()));
+                Hashtbl.replace timelines vr
+                  (List.filter (( <> ) victim) (Hashtbl.find timelines vr));
+                homes.(vreg) <- Some (Reg vr);
+                Hashtbl.replace timelines vr (vreg :: Hashtbl.find timelines vr);
+                active := (vreg, stop, vr) :: rest
+              end
+              else begin
+                homes.(vreg) <- Some (Stack (fresh_slot ()));
+                active := (victim, vend, vr) :: rest
+              end))
+    order;
+  (* Pass 2 — the second chance: try to pack each spilled interval into a
+     register timeline gap. *)
+  let spilled_final = ref 0 in
+  List.iter
+    (fun vreg ->
+      match (homes.(vreg), iv.(vreg)) with
+      | Some (Stack _), Some interval ->
+          let fits r =
+            List.for_all
+              (fun other ->
+                match iv.(other) with
+                | Some o -> not (overlaps interval o)
+                | None -> true)
+              (Hashtbl.find timelines r)
+          in
+          (match List.find_opt fits Isa.allocatable with
+          | Some r ->
+              homes.(vreg) <- Some (Reg r);
+              Hashtbl.replace timelines r (vreg :: Hashtbl.find timelines r)
+          | None -> incr spilled_final)
+      | _ -> ())
+    order;
+  { homes; spill_slots = !spill_count; spilled = !spilled_final }
+
+let pp_home ppf = function
+  | Reg r -> Fmt.pf ppf "r%d" r
+  | Stack s -> Fmt.pf ppf "stack[%d]" s

@@ -1,0 +1,26 @@
+(** Register allocation: linear scan with second-chance binpacking
+    (Traub, Holloway, Smith, PLDI'98 — the algorithm the paper's
+    in-kernel cross-compiler uses).
+
+    Pass 1 is a classic linear scan with a spill-furthest-end heuristic;
+    pass 2 (the second chance) re-offers every spilled interval to each
+    register's timeline and packs it into any gap wide enough. Live
+    ranges are not split: a virtual register has one home for its whole
+    lifetime. *)
+
+type home =
+  | Reg of Isa.reg  (** one of the callee-saved registers r6..r9 *)
+  | Stack of int  (** word slot in the frame *)
+
+type allocation = {
+  homes : home option array;  (** indexed by vreg; [None] = never used *)
+  spill_slots : int;  (** stack slots consumed by spills *)
+  spilled : int;  (** vregs living on the stack after the second chance *)
+}
+
+val allocate : Vcode.t -> allocation
+(** Invariant (property-tested): no two virtual registers with
+    overlapping live intervals share a physical register, and every used
+    vreg has a home. *)
+
+val pp_home : Format.formatter -> home -> unit

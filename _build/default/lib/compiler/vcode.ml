@@ -1,0 +1,133 @@
+(** Virtual code: the compiler's internal three-address form over an
+    unbounded set of virtual registers, produced by {!Codegen} and turned
+    into final {!Isa} code by {!Regalloc} + {!Emit}.
+
+    Control flow uses symbolic labels. Loops are recorded as position
+    spans so the liveness analysis can extend intervals of values that
+    are live around a back edge. *)
+
+type vreg = int
+
+type label = int
+
+type vinstr =
+  | Vmovi of vreg * int
+  | Vmov of vreg * vreg
+  | Valu of Isa.aluop * vreg * vreg * vreg  (** dst := a op b *)
+  | Valui of Isa.aluop * vreg * vreg * int  (** dst := a op imm *)
+  | Vlabel of label
+  | Vjmp of label
+  | Vjcc of Isa.cond * vreg * vreg * label
+  | Vjcci of Isa.cond * vreg * int * label
+  | Vcall of Isa.helper * vreg list * vreg option
+  | Vexit
+
+type t = {
+  code : vinstr array;
+  num_vregs : int;
+  loops : (int * int) list;  (** [start, stop)] position spans of loops *)
+}
+
+(** Emission buffer used by the code generator. *)
+type builder = {
+  mutable buf : vinstr list;  (** reversed *)
+  mutable next_vreg : int;
+  mutable next_label : int;
+  mutable pos : int;
+  mutable loop_spans : (int * int) list;
+}
+
+let create_builder ~reserved_vregs =
+  { buf = []; next_vreg = reserved_vregs; next_label = 0; pos = 0; loop_spans = [] }
+
+let fresh_vreg b =
+  let v = b.next_vreg in
+  b.next_vreg <- v + 1;
+  v
+
+let fresh_label b =
+  let l = b.next_label in
+  b.next_label <- l + 1;
+  l
+
+let emit b i =
+  b.buf <- i :: b.buf;
+  b.pos <- b.pos + 1
+
+let here b = b.pos
+
+(** Record that positions [start, stop) form a loop body (including the
+    loop header and back edge). *)
+let record_loop b ~start ~stop = b.loop_spans <- (start, stop) :: b.loop_spans
+
+let finish b ~num_vregs =
+  { code = Array.of_list (List.rev b.buf); num_vregs; loops = b.loop_spans }
+
+let defs_uses = function
+  | Vmovi (d, _) -> ([ d ], [])
+  | Vmov (d, s) -> ([ d ], [ s ])
+  | Valu (_, d, a, bb) -> ([ d ], [ a; bb ])
+  | Valui (_, d, a, _) -> ([ d ], [ a ])
+  | Vlabel _ | Vjmp _ | Vexit -> ([], [])
+  | Vjcc (_, a, bb, _) -> ([], [ a; bb ])
+  | Vjcci (_, a, _, _) -> ([], [ a ])
+  | Vcall (_, args, ret) ->
+      ((match ret with Some d -> [ d ] | None -> []), args)
+
+(** Live intervals: for each vreg, the [ (first, last) ] positions at which
+    it occurs, with last extended to cover any loop whose span it
+    intersects from before (a value defined before a loop and used inside
+    must survive the whole loop). Returns an array indexed by vreg;
+    entries are [None] for vregs that never occur. *)
+let intervals (t : t) : (int * int) option array =
+  let iv = Array.make t.num_vregs None in
+  Array.iteri
+    (fun pos instr ->
+      let defs, uses = defs_uses instr in
+      List.iter
+        (fun v ->
+          match iv.(v) with
+          | None -> iv.(v) <- Some (pos, pos)
+          | Some (s, e) -> iv.(v) <- Some (min s pos, max e pos))
+        (defs @ uses))
+    t.code;
+  (* Extend across loops to a fixpoint: if an interval starts before a
+     loop and ends inside it, the value crosses the back edge, so it must
+     live until the loop's end. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun v entry ->
+        match entry with
+        | None -> ()
+        | Some (s, e) ->
+            List.iter
+              (fun (ls, le) ->
+                if s < ls && e >= ls && e < le then begin
+                  iv.(v) <- Some (s, le);
+                  changed := true
+                end)
+              t.loops)
+      iv
+  done;
+  iv
+
+let pp_vinstr ppf = function
+  | Vmovi (d, n) -> Fmt.pf ppf "v%d := %d" d n
+  | Vmov (d, s) -> Fmt.pf ppf "v%d := v%d" d s
+  | Valu (op, d, a, b) ->
+      Fmt.pf ppf "v%d := v%d %s v%d" d a (Isa.aluop_name op) b
+  | Valui (op, d, a, n) -> Fmt.pf ppf "v%d := v%d %s %d" d a (Isa.aluop_name op) n
+  | Vlabel l -> Fmt.pf ppf "L%d:" l
+  | Vjmp l -> Fmt.pf ppf "jmp L%d" l
+  | Vjcc (c, a, b, l) ->
+      Fmt.pf ppf "%s v%d, v%d -> L%d" (Isa.cond_name c) a b l
+  | Vjcci (c, a, n, l) -> Fmt.pf ppf "%s v%d, %d -> L%d" (Isa.cond_name c) a n l
+  | Vcall (h, args, ret) ->
+      Fmt.pf ppf "%scall %s(%a)"
+        (match ret with Some d -> Fmt.str "v%d := " d | None -> "")
+        (Isa.helper_name h)
+        Fmt.(list ~sep:(any ", ") (fun ppf v -> Fmt.pf ppf "v%d" v))
+        args
+  | Vexit -> Fmt.string ppf "exit"

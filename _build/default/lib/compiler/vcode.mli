@@ -1,0 +1,62 @@
+(** Virtual code: the compiler's internal three-address form over an
+    unbounded set of virtual registers, produced by {!Codegen} and
+    consumed by {!Regalloc} and {!Emit}. Control flow uses symbolic
+    labels; loop position spans drive the liveness extension across back
+    edges. *)
+
+type vreg = int
+
+type label = int
+
+type vinstr =
+  | Vmovi of vreg * int
+  | Vmov of vreg * vreg
+  | Valu of Isa.aluop * vreg * vreg * vreg  (** dst := a op b *)
+  | Valui of Isa.aluop * vreg * vreg * int  (** dst := a op imm *)
+  | Vlabel of label
+  | Vjmp of label
+  | Vjcc of Isa.cond * vreg * vreg * label
+  | Vjcci of Isa.cond * vreg * int * label
+  | Vcall of Isa.helper * vreg list * vreg option
+  | Vexit
+
+type t = {
+  code : vinstr array;
+  num_vregs : int;
+  loops : (int * int) list;  (** [start, stop)] position spans of loops *)
+}
+
+(** Emission buffer used by the code generator. *)
+type builder = {
+  mutable buf : vinstr list;  (** reversed *)
+  mutable next_vreg : int;
+  mutable next_label : int;
+  mutable pos : int;
+  mutable loop_spans : (int * int) list;
+}
+
+val create_builder : reserved_vregs:int -> builder
+
+val fresh_vreg : builder -> vreg
+
+val fresh_label : builder -> label
+
+val emit : builder -> vinstr -> unit
+
+val here : builder -> int
+
+val record_loop : builder -> start:int -> stop:int -> unit
+(** Mark positions [start, stop) as a loop body (header and back edge
+    included). *)
+
+val finish : builder -> num_vregs:int -> t
+
+val defs_uses : vinstr -> vreg list * vreg list
+
+val intervals : t -> (int * int) option array
+(** Live intervals per vreg ([None] = never occurs): first to last
+    occurrence, extended to the end of any loop the interval enters from
+    before (a value live across a back edge must survive the whole
+    loop). *)
+
+val pp_vinstr : Format.formatter -> vinstr -> unit

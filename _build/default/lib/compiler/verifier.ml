@@ -1,0 +1,141 @@
+(** Static verifier for compiled scheduler programs.
+
+    Modeled on the eBPF verifier's role (§4.1): compiled code is checked
+    before it may be installed. The checks are:
+
+    - all jump targets lie inside the program;
+    - the program cannot fall off the end (the last reachable
+      straight-line instruction is an [Exit] or an unconditional jump);
+    - stack accesses stay within the frame;
+    - registers are never read before they are written, verified with a
+      forward dataflow analysis over the CFG ([r1]-[r5] are considered
+      clobbered — unreadable — after every helper call, which is stricter
+      than our VM but matches eBPF);
+    - helper calls have their argument registers initialized.
+
+    Termination is structural rather than verified: unlike stock eBPF
+    (which forbids loops), the programming model permits FOREACH and
+    queue scans, and every loop the compiler emits is bounded by a queue
+    length or the subflow count (paper §6, "Timeliness vs.
+    Expressiveness"). *)
+
+type error = { pc : int; message : string }
+
+let err pc fmt = Fmt.kstr (fun message -> { pc; message }) fmt
+
+let reg_bit r = 1 lsl r
+
+let caller_saved_mask =
+  List.fold_left (fun m r -> m lor reg_bit r) 0 [ 0; 1; 2; 3; 4; 5 ]
+
+(** [verify code] returns the list of violations (empty = accepted). *)
+let verify (code : Isa.instr array) : error list =
+  let len = Array.length code in
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  if len = 0 then add (err 0 "empty program")
+  else begin
+    (* Structural checks. *)
+    Array.iteri
+      (fun pc instr ->
+        let check_target t =
+          if t < 0 || t >= len then add (err pc "jump target %d out of bounds" t)
+        in
+        let check_reg r what =
+          if r < 0 || r >= Isa.num_regs then add (err pc "bad %s register %d" what r)
+        in
+        let check_slot s =
+          if s < 0 || s >= Isa.stack_words then
+            add (err pc "stack slot %d out of bounds" s)
+        in
+        match instr with
+        | Isa.Mov (d, s) ->
+            check_reg d "destination";
+            check_reg s "source"
+        | Isa.Movi (d, _) -> check_reg d "destination"
+        | Isa.Alu (_, d, s) ->
+            check_reg d "destination";
+            check_reg s "source"
+        | Isa.Alui (_, d, _) -> check_reg d "destination"
+        | Isa.Jmp t -> check_target t
+        | Isa.Jcc (_, a, b, t) ->
+            check_reg a "comparison";
+            check_reg b "comparison";
+            check_target t
+        | Isa.Jcci (_, a, _, t) ->
+            check_reg a "comparison";
+            check_target t
+        | Isa.Call _ -> ()
+        | Isa.Ldx (d, s) ->
+            check_reg d "destination";
+            check_slot s
+        | Isa.Stx (s, r) ->
+            check_slot s;
+            check_reg r "source"
+        | Isa.Exit -> ())
+      code;
+    (* Fall-through off the end. *)
+    (match code.(len - 1) with
+    | Isa.Exit | Isa.Jmp _ -> ()
+    | _ -> add (err (len - 1) "program can fall off the end"));
+    (* Read-before-write dataflow: state = bitmask of initialized
+       registers; meet over join points is intersection. *)
+    if !errors = [] then begin
+      let init_in = Array.make len (-1) (* -1 = unvisited (top) *) in
+      let worklist = Queue.create () in
+      init_in.(0) <- 0;
+      Queue.add 0 worklist;
+      let require pc state r =
+        if state land reg_bit r = 0 then
+          add (err pc "register r%d may be read before it is written" r)
+      in
+      let propagate target state =
+        let joined = if init_in.(target) = -1 then state else init_in.(target) land state in
+        if joined <> init_in.(target) then begin
+          init_in.(target) <- joined;
+          Queue.add target worklist
+        end
+      in
+      while not (Queue.is_empty worklist) do
+        let pc = Queue.pop worklist in
+        let state = init_in.(pc) in
+        match code.(pc) with
+        | Isa.Mov (d, s) ->
+            require pc state s;
+            propagate (pc + 1) (state lor reg_bit d)
+        | Isa.Movi (d, _) -> propagate (pc + 1) (state lor reg_bit d)
+        | Isa.Alu (_, d, s) ->
+            require pc state d;
+            require pc state s;
+            propagate (pc + 1) state
+        | Isa.Alui (_, d, _) ->
+            require pc state d;
+            propagate (pc + 1) state
+        | Isa.Jmp t -> propagate t state
+        | Isa.Jcc (_, a, b, t) ->
+            require pc state a;
+            require pc state b;
+            propagate t state;
+            propagate (pc + 1) state
+        | Isa.Jcci (_, a, _, t) ->
+            require pc state a;
+            propagate t state;
+            propagate (pc + 1) state
+        | Isa.Call h ->
+            for i = 1 to Isa.helper_arity h do
+              require pc state i
+            done;
+            (* r0 holds the result; r1-r5 are clobbered. *)
+            propagate (pc + 1)
+              (state land lnot caller_saved_mask lor reg_bit 0)
+        | Isa.Ldx (d, _) -> propagate (pc + 1) (state lor reg_bit d)
+        | Isa.Stx (_, r) ->
+            require pc state r;
+            propagate (pc + 1) state
+        | Isa.Exit -> ()
+      done
+    end
+  end;
+  List.rev !errors
+
+let pp_error ppf e = Fmt.pf ppf "pc %d: %s" e.pc e.message

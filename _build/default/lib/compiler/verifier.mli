@@ -1,0 +1,16 @@
+(** Static verifier for compiled scheduler programs, modeled on the
+    eBPF verifier's role: code is checked before it may be installed.
+
+    Checks: jump targets in bounds, no fall-through off the end, stack
+    accesses within the frame, registers never read before written
+    (forward dataflow over the CFG; r1–r5 are treated as clobbered after
+    every helper call, as in eBPF), and helper argument registers
+    initialized. Termination is structural: every loop the compiler
+    emits is bounded by a queue length or the subflow count. *)
+
+type error = { pc : int; message : string }
+
+val verify : Isa.instr array -> error list
+(** Empty list = accepted. *)
+
+val pp_error : Format.formatter -> error -> unit

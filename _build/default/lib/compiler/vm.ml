@@ -1,0 +1,206 @@
+(** The bytecode virtual machine — the stand-in for the kernel's eBPF
+    JIT execution (execution alternative 3 of §4.1).
+
+    Executes final {!Isa} code against a {!Progmp_runtime.Env}. Helpers
+    implement the same graceful-failure semantics as the interpreter:
+    NULL handles (0) make property reads yield 0 and PUSH/DROP no-ops;
+    division/modulo by zero yield 0 (as in eBPF, where the verifier
+    otherwise rejects). A step budget bounds runaway programs — queue
+    scans and subflow loops are finite, so well-formed schedulers finish
+    far below it. *)
+
+open Progmp_runtime
+
+type prog = {
+  code : Isa.instr array;
+  spill_slots : int;
+  specialized_for : int option;
+      (** compiled for a constant subflow count; the engine guards on it *)
+  scratch_regs : int array;  (** reusable per-execution register file *)
+  scratch_stack : int array;  (** reusable stack frame *)
+  scratch_packets : (int, Progmp_runtime.Packet.t) Hashtbl.t;
+      (** reusable handle table; reset per execution *)
+}
+
+(** Wrap verified code into an executable program with its scratch
+    state. Programs are not reentrant (one execution at a time), exactly
+    like a per-scheduler kernel object. *)
+let make_prog ?specialized_for ~spill_slots code =
+  {
+    code;
+    spill_slots;
+    specialized_for;
+    scratch_regs = Array.make Isa.num_regs 0;
+    scratch_stack = Array.make Isa.stack_words 0;
+    scratch_packets = Hashtbl.create 32;
+  }
+
+exception Fault of string
+
+let fault fmt = Fmt.kstr (fun m -> raise (Fault m)) fmt
+
+(** Default execution budget, in executed instructions. *)
+let default_max_steps = 1_000_000
+
+type state = {
+  env : Env.t;
+  regs : int array;
+  stack : int array;
+  packets : (int, Packet.t) Hashtbl.t;  (** handle (= packet id) -> packet *)
+}
+
+let queue_of_code st = function
+  | 0 -> st.env.Env.q
+  | 1 -> st.env.Env.qu
+  | 2 -> st.env.Env.rq
+  | c -> fault "bad queue code %d" c
+
+let register_packet st (p : Packet.t) =
+  Hashtbl.replace st.packets p.Packet.id p;
+  p.Packet.id
+
+let packet_of_handle st h =
+  if h = 0 then None
+  else
+    match Hashtbl.find_opt st.packets h with
+    | Some p -> Some p
+    | None -> fault "invalid packet handle %d" h
+
+let subflow_of_handle st h =
+  let n = Array.length st.env.Env.subflows in
+  if h <= 0 || h > n then None else Some st.env.Env.subflows.(h - 1)
+
+let exec_helper st (h : Isa.helper) =
+  let arg i = st.regs.(i + 1) in
+  match h with
+  | Isa.H_q_nth -> (
+      let q = queue_of_code st (arg 0) in
+      match Pqueue.nth q (arg 1) with
+      | Some p -> register_packet st p
+      | None -> 0)
+  | Isa.H_q_remove -> (
+      let q = queue_of_code st (arg 0) in
+      match Pqueue.remove_at q (arg 1) with
+      | Some p ->
+          Env.record_pop st.env q p;
+          register_packet st p
+      | None -> 0)
+  | Isa.H_sbf_count -> Array.length st.env.Env.subflows
+  | Isa.H_sbf_prop -> (
+      match subflow_of_handle st (arg 0) with
+      | Some v -> Subflow_view.prop_int v (Isa.sbf_prop_of_code (arg 1))
+      | None -> 0)
+  | Isa.H_pkt_prop -> (
+      match packet_of_handle st (arg 0) with
+      | Some p -> (
+          match Isa.pkt_prop_of_code (arg 1) with
+          | Progmp_lang.Props.Size -> p.Packet.size
+          | Progmp_lang.Props.Seq -> p.Packet.seq
+          | Progmp_lang.Props.Sent_count -> p.Packet.sent_count
+          | Progmp_lang.Props.User_prop i -> Packet.user_prop p i)
+      | None -> 0)
+  | Isa.H_sent_on -> (
+      match (packet_of_handle st (arg 0), subflow_of_handle st (arg 1)) with
+      | Some p, Some v ->
+          if Packet.sent_on p ~sbf_id:v.Subflow_view.id then 1 else 0
+      | _, _ -> 0)
+  | Isa.H_has_window -> (
+      match (subflow_of_handle st (arg 0), packet_of_handle st (arg 1)) with
+      | Some v, Some p -> if Subflow_view.has_window_for v p then 1 else 0
+      | _, _ -> 0)
+  | Isa.H_push -> (
+      match (subflow_of_handle st (arg 0), packet_of_handle st (arg 1)) with
+      | Some v, Some p ->
+          Env.emit_push st.env ~sbf_id:v.Subflow_view.id p;
+          0
+      | _, _ -> 0)
+  | Isa.H_drop -> (
+      match packet_of_handle st (arg 0) with
+      | Some p ->
+          Env.emit_drop st.env p;
+          0
+      | None -> 0)
+  | Isa.H_get_reg -> Env.get_register st.env (arg 0)
+  | Isa.H_set_reg ->
+      Env.set_register st.env (arg 0) (arg 1);
+      0
+
+let exec_alu op a b =
+  match (op : Isa.aluop) with
+  | Isa.Add -> a + b
+  | Isa.Sub -> a - b
+  | Isa.Mul -> a * b
+  | Isa.Div -> if b = 0 then 0 else a / b
+  | Isa.Mod -> if b = 0 then 0 else a mod b
+  | Isa.And -> a land b
+  | Isa.Or -> a lor b
+  | Isa.Xor -> a lxor b
+  | Isa.Lsh -> if b < 0 || b >= 63 then 0 else a lsl b
+  | Isa.Rsh -> if b < 0 then 0 else if b >= 63 then 0 else a asr b
+
+let exec_cond c a b =
+  match (c : Isa.cond) with
+  | Isa.Jeq -> a = b
+  | Isa.Jne -> a <> b
+  | Isa.Jlt -> a < b
+  | Isa.Jle -> a <= b
+  | Isa.Jgt -> a > b
+  | Isa.Jge -> a >= b
+
+(** Run a compiled scheduler for one execution against [env] (prepared
+    with {!Progmp_runtime.Env.begin_execution}). @raise Fault on invalid
+    handles, bad queue codes or an exhausted step budget. *)
+let run ?(max_steps = default_max_steps) (prog : prog) (env : Env.t) =
+  Array.fill prog.scratch_regs 0 Isa.num_regs 0;
+  Hashtbl.reset prog.scratch_packets;
+  let st =
+    {
+      env;
+      regs = prog.scratch_regs;
+      stack = prog.scratch_stack;
+      packets = prog.scratch_packets;
+    }
+  in
+  let code = prog.code in
+  let len = Array.length code in
+  let steps = ref 0 in
+  let rec step pc =
+    if pc < 0 || pc >= len then fault "pc %d out of bounds" pc;
+    incr steps;
+    if !steps > max_steps then fault "step budget exhausted";
+    match code.(pc) with
+    | Isa.Mov (d, s) ->
+        st.regs.(d) <- st.regs.(s);
+        step (pc + 1)
+    | Isa.Movi (d, n) ->
+        st.regs.(d) <- n;
+        step (pc + 1)
+    | Isa.Alu (op, d, s) ->
+        st.regs.(d) <- exec_alu op st.regs.(d) st.regs.(s);
+        step (pc + 1)
+    | Isa.Alui (op, d, n) ->
+        st.regs.(d) <- exec_alu op st.regs.(d) n;
+        step (pc + 1)
+    | Isa.Jmp t -> step t
+    | Isa.Jcc (c, a, b, t) ->
+        if exec_cond c st.regs.(a) st.regs.(b) then step t else step (pc + 1)
+    | Isa.Jcci (c, a, n, t) ->
+        if exec_cond c st.regs.(a) n then step t else step (pc + 1)
+    | Isa.Call h ->
+        st.regs.(0) <- exec_helper st h;
+        step (pc + 1)
+    | Isa.Ldx (d, slot) ->
+        if slot < 0 || slot >= Isa.stack_words then fault "stack load oob";
+        st.regs.(d) <- st.stack.(slot);
+        step (pc + 1)
+    | Isa.Stx (slot, s) ->
+        if slot < 0 || slot >= Isa.stack_words then fault "stack store oob";
+        st.stack.(slot) <- st.regs.(s);
+        step (pc + 1)
+    | Isa.Exit -> ()
+  in
+  if len > 0 then step 0
+
+(** Number of instructions — the analogue of the paper's per-scheduler
+    memory figures (§4.3). *)
+let size prog = Array.length prog.code

@@ -1,0 +1,32 @@
+(** The bytecode virtual machine — the stand-in for the kernel's eBPF
+    JIT execution. Helpers implement the same graceful-failure semantics
+    as the interpreter (NULL handles read as 0, PUSH/DROP of NULL are
+    no-ops, division by zero yields 0). *)
+
+type prog = {
+  code : Isa.instr array;
+  spill_slots : int;
+  specialized_for : int option;
+      (** compiled for a constant subflow count; the engine guards on it *)
+  scratch_regs : int array;
+  scratch_stack : int array;
+  scratch_packets : (int, Progmp_runtime.Packet.t) Hashtbl.t;
+}
+
+val make_prog : ?specialized_for:int -> spill_slots:int -> Isa.instr array -> prog
+(** Wrap verified code into an executable program with reusable scratch
+    state (programs are not reentrant, like a per-scheduler kernel
+    object). *)
+
+exception Fault of string
+(** Invalid handle, bad queue code, stack violation or exhausted step
+    budget. *)
+
+val default_max_steps : int
+
+val run : ?max_steps:int -> prog -> Progmp_runtime.Env.t -> unit
+(** Execute one scheduler run against an environment prepared with
+    [Env.begin_execution]. @raise Fault as above. *)
+
+val size : prog -> int
+(** Instruction count (the paper's per-scheduler memory analogue). *)

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Char Fmt List Loc String Token

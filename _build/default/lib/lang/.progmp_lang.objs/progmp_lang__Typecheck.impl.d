@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Array Ast Fmt List Loc Parser Props Tast Ty

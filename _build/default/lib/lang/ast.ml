@@ -1,0 +1,92 @@
+(** Abstract syntax of ProgMP scheduler specifications.
+
+    The AST is produced by {!Parser.parse} and consumed by
+    {!Typecheck.check}, which resolves member names ([.RTT], [.FILTER],
+    ...) against the programming-model concepts and produces the typed
+    intermediate representation in [Progmp_ir]. At this stage member
+    accesses are uninterpreted strings. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Not | Neg
+
+(** A lambda as it appears in [FILTER(sbf => ...)]: one parameter and a
+    body expression. *)
+type lambda = { param : string; body : expr }
+
+and expr = { desc : expr_desc; loc : Loc.t }
+
+and expr_desc =
+  | Int of int
+  | Bool of bool
+  | Null
+  | Register of int  (** 0-based register index *)
+  | Var of string
+  | Queue of queue_id  (** the built-in queues [Q], [QU], [RQ] *)
+  | Subflows  (** the built-in subflow set *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Member of expr * string * arg list
+      (** [e.NAME] (empty argument list) or [e.NAME(args)]. Covers
+          properties ([sbf.RTT]), declarative operations
+          ([SUBFLOWS.FILTER(sbf => ...)]) and effectful calls
+          ([Q.POP()]). *)
+
+and arg = Arg_expr of expr | Arg_lambda of lambda
+
+and queue_id = Send_queue | Unacked_queue | Reinject_queue
+
+type stmt = { stmt_desc : stmt_desc; stmt_loc : Loc.t }
+
+and stmt_desc =
+  | Var_decl of string * expr
+  | If of expr * block * block option
+  | Foreach of string * expr * block
+  | Set_register of int * expr
+  | Drop of expr
+  | Expr_stmt of expr
+      (** an expression in statement position; the type checker requires it
+          to be a [PUSH] call (the only expression with a useful side
+          effect in that position) *)
+  | Return
+
+and block = stmt list
+
+type program = block
+
+let queue_name = function
+  | Send_queue -> "Q"
+  | Unacked_queue -> "QU"
+  | Reinject_queue -> "RQ"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+
+let mk_expr ?(loc = Loc.dummy) desc = { desc; loc }
+
+let mk_stmt ?(loc = Loc.dummy) stmt_desc = { stmt_desc; stmt_loc = loc }

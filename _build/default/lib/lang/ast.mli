@@ -1,0 +1,74 @@
+(** Abstract syntax of ProgMP scheduler specifications, as produced by
+    {!Parser.parse}. Member accesses are uninterpreted strings at this
+    stage; {!Typecheck.check} resolves them against the programming
+    model's concepts. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Not | Neg
+
+(** A lambda as it appears in [FILTER(sbf => ...)]: one parameter and a
+    body expression. *)
+type lambda = { param : string; body : expr }
+
+and expr = { desc : expr_desc; loc : Loc.t }
+
+and expr_desc =
+  | Int of int
+  | Bool of bool
+  | Null
+  | Register of int  (** 0-based register index *)
+  | Var of string
+  | Queue of queue_id  (** the built-in queues [Q], [QU], [RQ] *)
+  | Subflows  (** the built-in subflow set *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Member of expr * string * arg list
+      (** [e.NAME] (empty argument list) or [e.NAME(args)]. Covers
+          properties ([sbf.RTT]), declarative operations
+          ([SUBFLOWS.FILTER(sbf => ...)]) and effectful calls
+          ([Q.POP()]). *)
+
+and arg = Arg_expr of expr | Arg_lambda of lambda
+
+and queue_id = Send_queue | Unacked_queue | Reinject_queue
+
+type stmt = { stmt_desc : stmt_desc; stmt_loc : Loc.t }
+
+and stmt_desc =
+  | Var_decl of string * expr
+  | If of expr * block * block option
+  | Foreach of string * expr * block
+  | Set_register of int * expr
+  | Drop of expr
+  | Expr_stmt of expr
+      (** an expression in statement position; the type checker requires it
+          to be a [PUSH] call (the only expression with a useful side
+          effect in that position) *)
+  | Return
+
+and block = stmt list
+
+type program = block
+
+
+val queue_name : queue_id -> string
+
+val binop_name : binop -> string
+
+val mk_expr : ?loc:Loc.t -> expr_desc -> expr
+
+val mk_stmt : ?loc:Loc.t -> stmt_desc -> stmt

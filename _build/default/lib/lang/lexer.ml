@@ -1,0 +1,212 @@
+(** Hand-written lexer for the ProgMP scheduler language.
+
+    Comments use the C++ styles [// ...] and [/* ... */]. Keywords are
+    case-sensitive and upper-case, matching the specifications printed in
+    the paper. Anything alphabetic that is not a keyword or a register is
+    an identifier (lambda parameter or variable name). *)
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun m -> raise (Error (m, loc))) fmt
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make_state src = { src; pos = 0; line = 1; col = 1 }
+
+let loc st = Loc.make ~line:st.line ~col:st.col
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      let start = loc st in
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> error start "unterminated comment"
+        | Some _, _ ->
+            advance st;
+            to_close ()
+      in
+      to_close ();
+      skip_trivia st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  Token.INT (int_of_string text)
+
+(* Registers are R1..R6 exactly; everything else alphabetic falls through
+   to keywords then identifiers. *)
+let register_of_word w =
+  if String.length w = 2 && w.[0] = 'R' && w.[1] >= '1' && w.[1] <= '6' then
+    Some (Char.code w.[1] - Char.code '1')
+  else None
+
+let keyword_of_word = function
+  | "IF" -> Some Token.KW_IF
+  | "ELSE" -> Some Token.KW_ELSE
+  | "VAR" -> Some Token.KW_VAR
+  | "FOREACH" -> Some Token.KW_FOREACH
+  | "IN" -> Some Token.KW_IN
+  | "SET" -> Some Token.KW_SET
+  | "DROP" -> Some Token.KW_DROP
+  | "RETURN" -> Some Token.KW_RETURN
+  | "TRUE" -> Some Token.KW_TRUE
+  | "FALSE" -> Some Token.KW_FALSE
+  | "NULL" -> Some Token.KW_NULL
+  | "Q" -> Some Token.KW_Q
+  | "QU" -> Some Token.KW_QU
+  | "RQ" -> Some Token.KW_RQ
+  | "SUBFLOWS" -> Some Token.KW_SUBFLOWS
+  | "AND" -> Some Token.KW_AND
+  | "OR" -> Some Token.KW_OR
+  | "NOT" -> Some Token.KW_NOT
+  | _ -> None
+
+let lex_word st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let w = String.sub st.src start (st.pos - start) in
+  match keyword_of_word w with
+  | Some t -> t
+  | None -> (
+      match register_of_word w with
+      | Some i -> Token.REGISTER i
+      | None -> Token.IDENT w)
+
+let next_token st =
+  skip_trivia st;
+  let l = loc st in
+  let tok =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number st
+    | Some c when is_ident_start c -> lex_word st
+    | Some '=' -> (
+        advance st;
+        match peek st with
+        | Some '=' ->
+            advance st;
+            Token.EQ
+        | Some '>' ->
+            advance st;
+            Token.ARROW
+        | Some _ | None -> Token.ASSIGN)
+    | Some '!' -> (
+        advance st;
+        match peek st with
+        | Some '=' ->
+            advance st;
+            Token.NEQ
+        | Some _ | None -> Token.KW_NOT)
+    | Some '<' -> (
+        advance st;
+        match peek st with
+        | Some '=' ->
+            advance st;
+            Token.LE
+        | Some _ | None -> Token.LT)
+    | Some '>' -> (
+        advance st;
+        match peek st with
+        | Some '=' ->
+            advance st;
+            Token.GE
+        | Some _ | None -> Token.GT)
+    | Some '.' ->
+        advance st;
+        Token.DOT
+    | Some ',' ->
+        advance st;
+        Token.COMMA
+    | Some ';' ->
+        advance st;
+        Token.SEMI
+    | Some '(' ->
+        advance st;
+        Token.LPAREN
+    | Some ')' ->
+        advance st;
+        Token.RPAREN
+    | Some '{' ->
+        advance st;
+        Token.LBRACE
+    | Some '}' ->
+        advance st;
+        Token.RBRACE
+    | Some '+' ->
+        advance st;
+        Token.PLUS
+    | Some '-' ->
+        advance st;
+        Token.MINUS
+    | Some '*' ->
+        advance st;
+        Token.STAR
+    | Some '/' ->
+        advance st;
+        Token.SLASH
+    | Some '%' ->
+        advance st;
+        Token.PERCENT
+    | Some c -> error l "unexpected character %C" c
+  in
+  (tok, l)
+
+(** [tokenize src] lexes the full source, returning tokens paired with their
+    start locations; the list always ends with [EOF]. *)
+let tokenize src =
+  let st = make_state src in
+  let rec loop acc =
+    let (tok, _) as t = next_token st in
+    if tok = Token.EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []

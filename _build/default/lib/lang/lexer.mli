@@ -1,0 +1,12 @@
+(** Hand-written lexer for the ProgMP scheduler language.
+
+    Keywords are upper-case and case-sensitive, as in the paper's
+    specifications; [//] and [/* ... */] comments are skipped; [R1]–[R6]
+    lex to registers, any other word to an identifier. *)
+
+exception Error of string * Loc.t
+(** Lexical error with its position. *)
+
+val tokenize : string -> (Token.t * Loc.t) list
+(** Lex the full source; the result always ends with {!Token.EOF}.
+    @raise Error on an unterminated comment or an unexpected character. *)

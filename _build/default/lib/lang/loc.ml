@@ -1,0 +1,19 @@
+(** Source locations for error reporting.
+
+    Every token produced by the {!Lexer} carries a location; the {!Parser}
+    threads locations onto AST nodes so that the type checker and the
+    runtime loader can point at the offending piece of a scheduler
+    specification. *)
+
+type t = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+let dummy = { line = 0; col = 0 }
+
+let make ~line ~col = { line; col }
+
+let pp ppf { line; col } = Fmt.pf ppf "line %d, column %d" line col
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,16 @@
+(** Source locations for error reporting. *)
+
+type t = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+val dummy : t
+(** Placeholder for synthesized nodes. *)
+
+val make : line:int -> col:int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["line L, column C"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,159 @@
+(** Optimization passes over the typed IR (paper §4.1, "Runtime
+    Optimizations").
+
+    The declarative language elements make these safe and simple:
+    predicates and keys are statically pure, so folding and pruning them
+    can never drop a side effect. Implemented passes:
+
+    - constant folding of integer arithmetic, comparisons and boolean
+      operators (with the model's division-by-zero-is-zero semantics);
+    - boolean short-circuit simplification ([TRUE AND e] -> [e],
+      [FALSE AND e] -> [FALSE], dually for [OR], double negation);
+    - branch pruning: [IF] with a constant condition inlines the taken
+      branch; empty [IF]s with pure conditions disappear;
+    - dead-code elimination after [RETURN].
+
+    Late materialization of FILTER chains and the constant-subflow-count
+    specialization are performed by the execution backends themselves
+    (see [Progmp_runtime.Interpreter] and [Progmp_compiler.Codegen]). *)
+
+let rec opt_expr (e : Tast.expr) : Tast.expr =
+  let mk desc = { e with Tast.desc } in
+  match e.Tast.desc with
+  | Tast.Int_lit _ | Tast.Bool_lit _ | Tast.Null _ | Tast.Register _
+  | Tast.Slot _ | Tast.Subflows ->
+      e
+  | Tast.Not a -> (
+      match (opt_expr a).Tast.desc with
+      | Tast.Bool_lit b -> mk (Tast.Bool_lit (not b))
+      | Tast.Not inner -> inner.Tast.desc |> mk
+      | desc -> mk (Tast.Not (mk desc)))
+  | Tast.Neg a -> (
+      let a' = opt_expr a in
+      match a'.Tast.desc with
+      | Tast.Int_lit n -> mk (Tast.Int_lit (-n))
+      | _ -> mk (Tast.Neg a'))
+  | Tast.Binop (op, a, b) -> opt_binop e op (opt_expr a) (opt_expr b)
+  | Tast.Sbf_filter (l, lam) -> mk (Tast.Sbf_filter (opt_expr l, opt_lambda lam))
+  | Tast.Sbf_min (l, lam) -> mk (Tast.Sbf_min (opt_expr l, opt_lambda lam))
+  | Tast.Sbf_max (l, lam) -> mk (Tast.Sbf_max (opt_expr l, opt_lambda lam))
+  | Tast.Sbf_sum (l, lam) -> mk (Tast.Sbf_sum (opt_expr l, opt_lambda lam))
+  | Tast.Sbf_get (l, i) -> mk (Tast.Sbf_get (opt_expr l, opt_expr i))
+  | Tast.Sbf_count l -> mk (Tast.Sbf_count (opt_expr l))
+  | Tast.Sbf_empty l -> mk (Tast.Sbf_empty (opt_expr l))
+  | Tast.Sbf_prop (s, p) -> mk (Tast.Sbf_prop (opt_expr s, p))
+  | Tast.Has_window_for (s, p) ->
+      mk (Tast.Has_window_for (opt_expr s, opt_expr p))
+  | Tast.Q_top v -> mk (Tast.Q_top (opt_view v))
+  | Tast.Q_pop v -> mk (Tast.Q_pop (opt_view v))
+  | Tast.Q_min (v, lam) -> mk (Tast.Q_min (opt_view v, opt_lambda lam))
+  | Tast.Q_max (v, lam) -> mk (Tast.Q_max (opt_view v, opt_lambda lam))
+  | Tast.Q_count v -> mk (Tast.Q_count (opt_view v))
+  | Tast.Q_empty v -> mk (Tast.Q_empty (opt_view v))
+  | Tast.Pkt_prop (p, prop) -> mk (Tast.Pkt_prop (opt_expr p, prop))
+  | Tast.Sent_on (p, s) -> mk (Tast.Sent_on (opt_expr p, opt_expr s))
+
+and opt_lambda (lam : Tast.lambda) : Tast.lambda =
+  (* A filter whose body folded to TRUE could be dropped from its view;
+     we keep the lambda node (simpler) but with the folded body. *)
+  { lam with Tast.body = opt_expr lam.Tast.body }
+
+and opt_view (v : Tast.queue_view) : Tast.queue_view =
+  let filters =
+    List.filter
+      (fun (lam : Tast.lambda) ->
+        (* drop always-true filters: pure by construction *)
+        match lam.Tast.body.Tast.desc with
+        | Tast.Bool_lit true -> false
+        | _ -> true)
+      (List.map opt_lambda v.Tast.filters)
+  in
+  { v with Tast.filters }
+
+and opt_binop (e : Tast.expr) op (a : Tast.expr) (b : Tast.expr) : Tast.expr =
+  let mk desc = { e with Tast.desc } in
+  let int_result n = mk (Tast.Int_lit n) in
+  let bool_result v = mk (Tast.Bool_lit v) in
+  match (op, a.Tast.desc, b.Tast.desc) with
+  (* integer arithmetic, with the model's total division semantics *)
+  | Tast.Add, Tast.Int_lit x, Tast.Int_lit y -> int_result (x + y)
+  | Tast.Sub, Tast.Int_lit x, Tast.Int_lit y -> int_result (x - y)
+  | Tast.Mul, Tast.Int_lit x, Tast.Int_lit y -> int_result (x * y)
+  | Tast.Div, Tast.Int_lit x, Tast.Int_lit y ->
+      int_result (if y = 0 then 0 else x / y)
+  | Tast.Mod, Tast.Int_lit x, Tast.Int_lit y ->
+      int_result (if y = 0 then 0 else x mod y)
+  (* comparisons on literals *)
+  | Tast.Lt, Tast.Int_lit x, Tast.Int_lit y -> bool_result (x < y)
+  | Tast.Le, Tast.Int_lit x, Tast.Int_lit y -> bool_result (x <= y)
+  | Tast.Gt, Tast.Int_lit x, Tast.Int_lit y -> bool_result (x > y)
+  | Tast.Ge, Tast.Int_lit x, Tast.Int_lit y -> bool_result (x >= y)
+  | Tast.Eq, Tast.Int_lit x, Tast.Int_lit y -> bool_result (x = y)
+  | Tast.Neq, Tast.Int_lit x, Tast.Int_lit y -> bool_result (x <> y)
+  | Tast.Eq, Tast.Bool_lit x, Tast.Bool_lit y -> bool_result (x = y)
+  | Tast.Neq, Tast.Bool_lit x, Tast.Bool_lit y -> bool_result (x <> y)
+  | (Tast.Eq | Tast.Neq), Tast.Null _, Tast.Null _ ->
+      bool_result (op = Tast.Eq)
+  (* boolean short circuits: the discarded operand is statically pure *)
+  | Tast.And, Tast.Bool_lit true, _ -> b
+  | Tast.And, Tast.Bool_lit false, _ -> bool_result false
+  | Tast.And, _, Tast.Bool_lit true -> a
+  | Tast.Or, Tast.Bool_lit false, _ -> b
+  | Tast.Or, Tast.Bool_lit true, _ -> bool_result true
+  | Tast.Or, _, Tast.Bool_lit false -> a
+  (* arithmetic identities *)
+  | Tast.Add, Tast.Int_lit 0, _ -> b
+  | (Tast.Add | Tast.Sub), _, Tast.Int_lit 0 -> a
+  | Tast.Mul, Tast.Int_lit 1, _ -> b
+  | (Tast.Mul | Tast.Div), _, Tast.Int_lit 1 -> a
+  | _, _, _ -> mk (Tast.Binop (op, a, b))
+
+(* An expression is effect-free when it contains no POP; only such
+   conditions may be dropped together with an empty IF. Predicates are
+   pure by typing, but an IF condition may pop in neither branch... the
+   type system already forbids POP in conditions, so conditions are
+   always droppable; we keep the check for robustness. *)
+let rec effect_free (e : Tast.expr) =
+  not
+    (Tast.fold_expr
+       (fun acc x -> acc || match x.Tast.desc with Tast.Q_pop _ -> true | _ -> false)
+       false e)
+  [@@warning "-32"]
+
+and opt_stmt (s : Tast.stmt) : Tast.stmt option =
+  match s with
+  | Tast.Var_decl (slot, e) -> Some (Tast.Var_decl (slot, opt_expr e))
+  | Tast.If (cond, then_, else_) -> (
+      let cond = opt_expr cond in
+      let then_ = opt_block then_ and else_ = opt_block else_ in
+      match cond.Tast.desc with
+      | Tast.Bool_lit true -> Some (Tast.If (cond, then_, []))
+      | Tast.Bool_lit false -> (
+          match else_ with [] -> None | _ -> Some (Tast.If (cond, [], else_)))
+      | _ ->
+          if then_ = [] && else_ = [] && effect_free cond then None
+          else Some (Tast.If (cond, then_, else_)))
+  | Tast.Foreach (slot, src, body) ->
+      Some (Tast.Foreach (slot, opt_expr src, opt_block body))
+  | Tast.Set_register (r, e) -> Some (Tast.Set_register (r, opt_expr e))
+  | Tast.Push (s, p) -> Some (Tast.Push (opt_expr s, opt_expr p))
+  | Tast.Drop e -> Some (Tast.Drop (opt_expr e))
+  | Tast.Return -> Some Tast.Return
+
+and opt_block (b : Tast.block) : Tast.block =
+  (* drop statements after RETURN *)
+  let rec go = function
+    | [] -> []
+    | s :: rest -> (
+        match opt_stmt s with
+        | Some (Tast.Return as r) -> [ r ]
+        | Some s' -> s' :: go rest
+        | None -> go rest)
+  in
+  go b
+
+(** Optimize a program. Semantics-preserving: the differential test
+    suite checks optimized against unoptimized execution on random
+    programs and environments. *)
+let program (p : Tast.program) : Tast.program =
+  { p with Tast.body = opt_block p.Tast.body }

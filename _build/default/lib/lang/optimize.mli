@@ -1,0 +1,15 @@
+(** Optimization passes over the typed IR (paper §4.1, "Runtime
+    Optimizations"): constant folding with the model's total arithmetic,
+    boolean short-circuit simplification, branch pruning, dead code after
+    [RETURN], and elimination of always-true filters.
+
+    All passes are semantics-preserving (predicates are statically pure,
+    so folding them never drops an effect); the property is checked by
+    the differential test suite. *)
+
+val program : Tast.program -> Tast.program
+
+val opt_expr : Tast.expr -> Tast.expr
+(** Expression-level entry point, exposed for tests. *)
+
+val opt_block : Tast.block -> Tast.block

@@ -1,0 +1,309 @@
+(** Recursive-descent parser for the ProgMP scheduler language.
+
+    Grammar (informally; see the paper's Figs. 3, 5, 10a, 12, 13 for
+    concrete examples):
+
+    {v
+    program  ::= { stmt }
+    stmt     ::= "VAR" IDENT "=" expr ";"
+               | "IF" "(" expr ")" block [ "ELSE" (block | if-stmt) ]
+               | "FOREACH" "(" "VAR" IDENT "IN" expr ")" block
+               | "SET" "(" REGISTER "," expr ")" ";"
+               | "DROP" "(" expr ")" ";"
+               | "RETURN" ";"
+               | expr ";"
+    block    ::= "{" { stmt } "}"
+    expr     ::= or-expr with the usual precedence:
+                 OR < AND < comparisons < additive < multiplicative < unary
+    postfix  ::= primary { "." IDENT [ "(" args ")" ] }
+    args     ::= [ arg { "," arg } ]
+    arg      ::= IDENT "=>" expr | expr
+    primary  ::= INT | TRUE | FALSE | NULL | Rn | IDENT
+               | Q | QU | RQ | SUBFLOWS | "(" expr ")"
+    v} *)
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun m -> raise (Error (m, loc))) fmt
+
+type state = { mutable toks : (Token.t * Loc.t) list }
+
+let peek st =
+  match st.toks with [] -> (Token.EOF, Loc.dummy) | t :: _ -> t
+
+let peek_tok st = fst (peek st)
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  let got, loc = peek st in
+  if got = tok then advance st
+  else error loc "expected %s but found %s" (Token.to_string tok) (Token.to_string got)
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT s, _ ->
+      advance st;
+      s
+  | got, loc -> error loc "expected identifier but found %s" (Token.to_string got)
+
+(* Member names after a dot: identifiers, but also tokens that double as
+   keywords cannot appear here, so a plain IDENT suffices. *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec loop lhs =
+    match peek st with
+    | Token.KW_OR, loc ->
+        advance st;
+        let rhs = parse_and st in
+        loop (Ast.mk_expr ~loc (Ast.Binop (Ast.Or, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  let rec loop lhs =
+    match peek st with
+    | Token.KW_AND, loc ->
+        advance st;
+        let rhs = parse_cmp st in
+        loop (Ast.mk_expr ~loc (Ast.Binop (Ast.And, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek_tok st with
+    | Token.EQ -> Some Ast.Eq
+    | Token.NEQ -> Some Ast.Neq
+    | Token.LT -> Some Ast.Lt
+    | Token.LE -> Some Ast.Le
+    | Token.GT -> Some Ast.Gt
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      let _, loc = peek st in
+      advance st;
+      let rhs = parse_add st in
+      Ast.mk_expr ~loc (Ast.Binop (op, lhs, rhs))
+
+and parse_add st =
+  let lhs = parse_mul st in
+  let rec loop lhs =
+    match peek st with
+    | Token.PLUS, loc ->
+        advance st;
+        loop (Ast.mk_expr ~loc (Ast.Binop (Ast.Add, lhs, parse_mul st)))
+    | Token.MINUS, loc ->
+        advance st;
+        loop (Ast.mk_expr ~loc (Ast.Binop (Ast.Sub, lhs, parse_mul st)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_mul st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match peek st with
+    | Token.STAR, loc ->
+        advance st;
+        loop (Ast.mk_expr ~loc (Ast.Binop (Ast.Mul, lhs, parse_unary st)))
+    | Token.SLASH, loc ->
+        advance st;
+        loop (Ast.mk_expr ~loc (Ast.Binop (Ast.Div, lhs, parse_unary st)))
+    | Token.PERCENT, loc ->
+        advance st;
+        loop (Ast.mk_expr ~loc (Ast.Binop (Ast.Mod, lhs, parse_unary st)))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.KW_NOT, loc ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Unop (Ast.Not, parse_unary st))
+  | Token.MINUS, loc ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Unop (Ast.Neg, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec loop e =
+    match peek st with
+    | Token.DOT, loc ->
+        advance st;
+        let name = expect_ident st in
+        let args =
+          if peek_tok st = Token.LPAREN then begin
+            advance st;
+            let args = parse_args st in
+            expect st Token.RPAREN;
+            args
+          end
+          else []
+        in
+        loop (Ast.mk_expr ~loc (Ast.Member (e, name, args)))
+    | _ -> e
+  in
+  loop e
+
+and parse_args st =
+  if peek_tok st = Token.RPAREN then []
+  else
+    let rec loop acc =
+      let arg = parse_arg st in
+      if peek_tok st = Token.COMMA then begin
+        advance st;
+        loop (arg :: acc)
+      end
+      else List.rev (arg :: acc)
+    in
+    loop []
+
+and parse_arg st =
+  (* Lambda arguments are recognized by the two-token lookahead
+     [IDENT =>]. *)
+  match st.toks with
+  | (Token.IDENT param, _) :: (Token.ARROW, _) :: rest ->
+      st.toks <- rest;
+      let body = parse_expr st in
+      Ast.Arg_lambda { Ast.param; body }
+  | _ -> Ast.Arg_expr (parse_expr st)
+
+and parse_primary st =
+  let tok, loc = peek st in
+  match tok with
+  | Token.INT n ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Int n)
+  | Token.KW_TRUE ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Bool true)
+  | Token.KW_FALSE ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Bool false)
+  | Token.KW_NULL ->
+      advance st;
+      Ast.mk_expr ~loc Ast.Null
+  | Token.REGISTER i ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Register i)
+  | Token.IDENT s ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Var s)
+  | Token.KW_Q ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Queue Ast.Send_queue)
+  | Token.KW_QU ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Queue Ast.Unacked_queue)
+  | Token.KW_RQ ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Queue Ast.Reinject_queue)
+  | Token.KW_SUBFLOWS ->
+      advance st;
+      Ast.mk_expr ~loc Ast.Subflows
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | t -> error loc "expected an expression but found %s" (Token.to_string t)
+
+let rec parse_stmt st =
+  let tok, loc = peek st in
+  match tok with
+  | Token.KW_VAR ->
+      advance st;
+      let name = expect_ident st in
+      expect st Token.ASSIGN;
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      Ast.mk_stmt ~loc (Ast.Var_decl (name, e))
+  | Token.KW_IF ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let then_ = parse_block st in
+      let else_ =
+        match peek st with
+        | Token.KW_ELSE, _ ->
+            advance st;
+            if peek_tok st = Token.KW_IF then Some [ parse_stmt st ]
+            else Some (parse_block st)
+        | _ -> None
+      in
+      Ast.mk_stmt ~loc (Ast.If (cond, then_, else_))
+  | Token.KW_FOREACH ->
+      advance st;
+      expect st Token.LPAREN;
+      expect st Token.KW_VAR;
+      let name = expect_ident st in
+      expect st Token.KW_IN;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      let body = parse_block st in
+      Ast.mk_stmt ~loc (Ast.Foreach (name, e, body))
+  | Token.KW_SET ->
+      advance st;
+      expect st Token.LPAREN;
+      let reg =
+        match peek st with
+        | Token.REGISTER i, _ ->
+            advance st;
+            i
+        | t, l -> error l "SET expects a register R1..R6, found %s" (Token.to_string t)
+      in
+      expect st Token.COMMA;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      expect st Token.SEMI;
+      Ast.mk_stmt ~loc (Ast.Set_register (reg, e))
+  | Token.KW_DROP ->
+      advance st;
+      expect st Token.LPAREN;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      expect st Token.SEMI;
+      Ast.mk_stmt ~loc (Ast.Drop e)
+  | Token.KW_RETURN ->
+      advance st;
+      expect st Token.SEMI;
+      Ast.mk_stmt ~loc Ast.Return
+  | _ ->
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      Ast.mk_stmt ~loc (Ast.Expr_stmt e)
+
+and parse_block st =
+  expect st Token.LBRACE;
+  let rec loop acc =
+    if peek_tok st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(** [parse src] lexes and parses a full scheduler specification.
+    @raise Error on syntax errors.
+    @raise Lexer.Error on lexical errors. *)
+let parse src : Ast.program =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    if peek_tok st = Token.EOF then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  loop []

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the ProgMP scheduler language.
+
+    See the implementation header for the grammar. Operator precedence,
+    loosest to tightest: [OR] < [AND] < comparisons (non-associative) <
+    [+ -] < [* / %] < unary [! -] < member access. *)
+
+exception Error of string * Loc.t
+(** Syntax error with its position. *)
+
+val parse : string -> Ast.program
+(** Lex and parse a full scheduler specification.
+    @raise Error on syntax errors.
+    @raise Lexer.Error on lexical errors. *)

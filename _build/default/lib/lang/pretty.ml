@@ -1,0 +1,79 @@
+(** Pretty-printer for surface ASTs.
+
+    Produces canonical specification text: parsing the output of
+    [pp_program] yields an AST equal (up to locations) to the input,
+    which the round-trip property tests exercise. *)
+
+open Ast
+
+let prec_of_binop = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+let rec pp_prec prec ppf (e : expr) =
+  match e.desc with
+  | Int n -> Fmt.int ppf n
+  | Bool true -> Fmt.string ppf "TRUE"
+  | Bool false -> Fmt.string ppf "FALSE"
+  | Null -> Fmt.string ppf "NULL"
+  | Register i -> Fmt.pf ppf "R%d" (i + 1)
+  | Var s -> Fmt.string ppf s
+  | Queue q -> Fmt.string ppf (queue_name q)
+  | Subflows -> Fmt.string ppf "SUBFLOWS"
+  | Unop (Not, a) -> Fmt.pf ppf "!%a" (pp_prec 6) a
+  | Unop (Neg, a) -> Fmt.pf ppf "-%a" (pp_prec 6) a
+  | Binop (op, a, b) ->
+      let p = prec_of_binop op in
+      (* Comparisons are non-associative in the grammar, so a comparison
+         operand of a comparison must be parenthesized on both sides. *)
+      let lp = match op with Eq | Neq | Lt | Le | Gt | Ge -> p + 1 | _ -> p in
+      let body ppf () =
+        Fmt.pf ppf "%a %s %a" (pp_prec lp) a (binop_name op)
+          (pp_prec (p + 1)) b
+      in
+      if p < prec then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | Member (recv, name, []) when name = "POP" ->
+      (* POP always prints with parentheses, as in the paper. *)
+      Fmt.pf ppf "%a.POP()" (pp_prec 6) recv
+  | Member (recv, name, []) -> Fmt.pf ppf "%a.%s" (pp_prec 6) recv name
+  | Member (recv, name, args) ->
+      Fmt.pf ppf "%a.%s(%a)" (pp_prec 6) recv name
+        Fmt.(list ~sep:(any ", ") pp_arg)
+        args
+
+and pp_expr ppf e = pp_prec 0 ppf e
+
+and pp_arg ppf = function
+  | Arg_expr e -> pp_expr ppf e
+  | Arg_lambda { param; body } -> Fmt.pf ppf "%s => %a" param pp_expr body
+
+let rec pp_stmt ~indent ppf (s : stmt) =
+  let pad = String.make indent ' ' in
+  match s.stmt_desc with
+  | Var_decl (name, e) -> Fmt.pf ppf "%sVAR %s = %a;" pad name pp_expr e
+  | Set_register (r, e) -> Fmt.pf ppf "%sSET(R%d, %a);" pad (r + 1) pp_expr e
+  | Drop e -> Fmt.pf ppf "%sDROP(%a);" pad pp_expr e
+  | Return -> Fmt.pf ppf "%sRETURN;" pad
+  | Expr_stmt e -> Fmt.pf ppf "%s%a;" pad pp_expr e
+  | If (cond, then_, else_) -> (
+      Fmt.pf ppf "%sIF (%a) {@\n%a@\n%s}" pad pp_expr cond
+        (pp_block ~indent:(indent + 2))
+        then_ pad;
+      match else_ with
+      | None -> ()
+      | Some b ->
+          Fmt.pf ppf " ELSE {@\n%a@\n%s}" (pp_block ~indent:(indent + 2)) b pad)
+  | Foreach (name, e, body) ->
+      Fmt.pf ppf "%sFOREACH (VAR %s IN %a) {@\n%a@\n%s}" pad name pp_expr e
+        (pp_block ~indent:(indent + 2))
+        body pad
+
+and pp_block ~indent ppf (b : block) =
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any "@\n") (pp_stmt ~indent)) b
+
+let pp_program ppf (p : program) = pp_block ~indent:0 ppf p
+
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,16 @@
+(** Pretty-printer for surface ASTs.
+
+    Produces canonical specification text: parsing the output of
+    {!pp_program} yields an AST equal (up to locations) to the input —
+    a property the round-trip tests check on the scheduler zoo and on
+    random expressions. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+
+val pp_stmt : indent:int -> Format.formatter -> Ast.stmt -> unit
+
+val pp_block : indent:int -> Format.formatter -> Ast.block -> unit
+
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val program_to_string : Ast.program -> string

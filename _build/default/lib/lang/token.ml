@@ -1,0 +1,96 @@
+(** Tokens of the ProgMP scheduler specification language.
+
+    The surface syntax follows the paper (Frömmgen et al., Middleware'17):
+    upper-case keywords ([IF], [VAR], [FOREACH], [SET], [DROP], ...), the
+    three packet queues [Q], [QU] and [RQ], the subflow set [SUBFLOWS] and
+    registers [R1] ... [R6]. *)
+
+type t =
+  | INT of int
+  | IDENT of string  (** lambda parameters and VAR names, e.g. [sbf], [skb] *)
+  | REGISTER of int  (** [R1] .. [R6], stored 0-based *)
+  | KW_IF
+  | KW_ELSE
+  | KW_VAR
+  | KW_FOREACH
+  | KW_IN
+  | KW_SET
+  | KW_DROP
+  | KW_RETURN
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NULL
+  | KW_Q
+  | KW_QU
+  | KW_RQ
+  | KW_SUBFLOWS
+  | KW_AND
+  | KW_OR
+  | KW_NOT  (** spelled [NOT]; [!] lexes to the same token *)
+  | ARROW  (** [=>] in lambda expressions *)
+  | DOT
+  | COMMA
+  | SEMI
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | ASSIGN  (** [=] *)
+  | EQ  (** [==] *)
+  | NEQ  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | REGISTER i -> "R" ^ string_of_int (i + 1)
+  | KW_IF -> "IF"
+  | KW_ELSE -> "ELSE"
+  | KW_VAR -> "VAR"
+  | KW_FOREACH -> "FOREACH"
+  | KW_IN -> "IN"
+  | KW_SET -> "SET"
+  | KW_DROP -> "DROP"
+  | KW_RETURN -> "RETURN"
+  | KW_TRUE -> "TRUE"
+  | KW_FALSE -> "FALSE"
+  | KW_NULL -> "NULL"
+  | KW_Q -> "Q"
+  | KW_QU -> "QU"
+  | KW_RQ -> "RQ"
+  | KW_SUBFLOWS -> "SUBFLOWS"
+  | KW_AND -> "AND"
+  | KW_OR -> "OR"
+  | KW_NOT -> "!"
+  | ARROW -> "=>"
+  | DOT -> "."
+  | COMMA -> ","
+  | SEMI -> ";"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | ASSIGN -> "="
+  | EQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EOF -> "<eof>"
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,50 @@
+(** Tokens of the ProgMP scheduler specification language. *)
+
+type t =
+  | INT of int
+  | IDENT of string  (** lambda parameters and VAR names, e.g. [sbf], [skb] *)
+  | REGISTER of int  (** [R1] .. [R6], stored 0-based *)
+  | KW_IF
+  | KW_ELSE
+  | KW_VAR
+  | KW_FOREACH
+  | KW_IN
+  | KW_SET
+  | KW_DROP
+  | KW_RETURN
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NULL
+  | KW_Q
+  | KW_QU
+  | KW_RQ
+  | KW_SUBFLOWS
+  | KW_AND
+  | KW_OR
+  | KW_NOT  (** spelled [NOT]; [!] lexes to the same token *)
+  | ARROW  (** [=>] in lambda expressions *)
+  | DOT
+  | COMMA
+  | SEMI
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | ASSIGN  (** [=] *)
+  | EQ  (** [==] *)
+  | NEQ  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EOF
+
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

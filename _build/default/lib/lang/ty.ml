@@ -1,0 +1,33 @@
+(** The static type system of the programming model (paper, Table 1):
+    [int], [bool], [packet], [subflow], [subflow list] and [packet queue].
+
+    [packet] and [subflow] values are nullable: declarative selections such
+    as [MIN] over an empty set yield [NULL], and the runtime handles
+    operations on [NULL] gracefully ("no exceptions by design"). *)
+
+type t =
+  | Int
+  | Bool
+  | Packet
+  | Subflow
+  | Subflow_list
+  | Queue
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Int -> "int"
+  | Bool -> "bool"
+  | Packet -> "packet"
+  | Subflow -> "subflow"
+  | Subflow_list -> "subflow list"
+  | Queue -> "packet queue"
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(** Types that may be stored in a [VAR]: packet queues are views over the
+    live kernel queues and must be consumed where they are built, keeping
+    the interpreter and the compiled code free of materialized queues. *)
+let storable = function
+  | Int | Bool | Packet | Subflow | Subflow_list -> true
+  | Queue -> false

@@ -1,0 +1,17 @@
+(** The static type system of the programming model (paper, Table 1).
+
+    [Packet] and [Subflow] values are nullable: declarative selections
+    over empty sets yield [NULL], handled gracefully by the runtime. *)
+
+type t = Int | Bool | Packet | Subflow | Subflow_list | Queue
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val storable : t -> bool
+(** Whether a [VAR] may hold a value of this type — everything except
+    packet queues, which are views over live kernel queues and must be
+    consumed where they are built. *)

@@ -1,0 +1,387 @@
+(** Static checking of scheduler specifications.
+
+    Enforces the programming-model guarantees of the paper (Table 1):
+
+    - static types with implicit typing of variables;
+    - single-assignment variables (no reassignment, no shadowing);
+    - side effects restricted to statement position: [POP] may only occur
+      in the right-hand side of a [VAR], or as an argument of [PUSH] /
+      [DROP]; predicates and keys of [FILTER]/[MIN]/[MAX]/[SUM], [IF]
+      conditions, [FOREACH] sources and [SET] values are pure;
+    - queue views cannot be stored in variables;
+    - member names resolve against the model's concepts.
+
+    On success, produces the typed program ({!Tast.program}) with all
+    variables resolved to slots. *)
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun m -> raise (Error (m, loc))) fmt
+
+(** Maximum variable slots per program: keeps scheduler frames small and
+    statically sized, as required for in-kernel execution. *)
+let max_slots = 64
+
+type effect_ctx =
+  | Effectful  (** [POP] permitted *)
+  | Pure of string  (** [POP] forbidden; the string names the context *)
+
+type env = {
+  scope : (string * (int * Ty.t)) list;  (** innermost first *)
+  next_slot : int ref;  (** shared across scope copies *)
+  slot_types : Ty.t array;
+}
+
+let fresh_slot env ty loc =
+  if !(env.next_slot) >= max_slots then
+    error loc "too many variables: the model allows at most %d slots" max_slots;
+  let slot = !(env.next_slot) in
+  env.next_slot := slot + 1;
+  env.slot_types.(slot) <- ty;
+  slot
+
+(* Single assignment: a name cannot be redeclared (or shadowed) while a
+   binding for it is in scope; once the binding's scope ends (a lambda
+   parameter after its lambda, a block-local after its block) the name may
+   be reused, as in the paper's specifications, which use [sbf] for many
+   lambda parameters. Every declaration still gets a fresh slot. *)
+let declare env name ty loc =
+  if List.mem_assoc name env.scope then
+    error loc
+      "variable %s is already defined in this scope: variables are \
+       single-assignment and shadowing is not allowed"
+      name;
+  let slot = fresh_slot env ty loc in
+  ({ env with scope = (name, (slot, ty)) :: env.scope }, slot)
+
+let lookup env name loc =
+  match List.assoc_opt name env.scope with
+  | Some v -> v
+  | None -> error loc "unknown variable %s" name
+
+let te desc ty loc : Tast.expr = { Tast.desc; ty; loc }
+
+(* Equality is defined on ints, bools and on nullable entities (packet,
+   subflow), where it means identity; NULL literals adopt the type of the
+   other operand. *)
+let check_equality op (a : Tast.expr) (b : Tast.expr) loc =
+  let mk x y = te (Tast.Binop (op, x, y)) Ty.Bool loc in
+  match (a.ty, b.ty, a.desc, b.desc) with
+  | Ty.Int, Ty.Int, _, _ | Ty.Bool, Ty.Bool, _, _ -> mk a b
+  | Ty.Packet, Ty.Packet, _, _ | Ty.Subflow, Ty.Subflow, _, _ -> mk a b
+  (* One side is an untyped NULL placeholder (typed as Packet by default in
+     [check_expr]); retype it from the other operand. *)
+  | _, _, Tast.Null _, _ when b.ty = Ty.Packet || b.ty = Ty.Subflow ->
+      mk (te (Tast.Null b.ty) b.ty a.loc) b
+  | _, _, _, Tast.Null _ when a.ty = Ty.Packet || a.ty = Ty.Subflow ->
+      mk a (te (Tast.Null a.ty) a.ty b.loc)
+  | ta, tb, _, _ ->
+      error loc "cannot compare %s with %s" (Ty.to_string ta) (Ty.to_string tb)
+
+let rec check_expr env eff (e : Ast.expr) : Tast.expr =
+  let loc = e.loc in
+  match e.desc with
+  | Ast.Int n -> te (Tast.Int_lit n) Ty.Int loc
+  | Ast.Bool b -> te (Tast.Bool_lit b) Ty.Bool loc
+  | Ast.Null ->
+      (* Placeholder type; only legal directly under ==/!=, where it is
+         retyped. Other uses are rejected by the surrounding rule. *)
+      te (Tast.Null Ty.Packet) Ty.Packet loc
+  | Ast.Register i -> te (Tast.Register i) Ty.Int loc
+  | Ast.Var name ->
+      let slot, ty = lookup env name loc in
+      te (Tast.Slot slot) ty loc
+  | Ast.Queue _ | Ast.Subflows | Ast.Member _ -> check_entity env eff e
+  | Ast.Unop (Ast.Not, a) ->
+      let ta = check_expr env eff a in
+      if ta.ty <> Ty.Bool then
+        error loc "! expects bool, found %s" (Ty.to_string ta.ty);
+      te (Tast.Not ta) Ty.Bool loc
+  | Ast.Unop (Ast.Neg, a) ->
+      let ta = check_expr env eff a in
+      if ta.ty <> Ty.Int then
+        error loc "unary - expects int, found %s" (Ty.to_string ta.ty);
+      te (Tast.Neg ta) Ty.Int loc
+  | Ast.Binop (op, a, b) -> (
+      let ta = check_expr env eff a in
+      let tb = check_expr env eff b in
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+          if ta.ty <> Ty.Int || tb.ty <> Ty.Int then
+            error loc "%s expects int operands, found %s and %s"
+              (Ast.binop_name op) (Ty.to_string ta.ty) (Ty.to_string tb.ty);
+          te (Tast.Binop (op, ta, tb)) Ty.Int loc
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+          if ta.ty <> Ty.Int || tb.ty <> Ty.Int then
+            error loc "%s expects int operands, found %s and %s"
+              (Ast.binop_name op) (Ty.to_string ta.ty) (Ty.to_string tb.ty);
+          te (Tast.Binop (op, ta, tb)) Ty.Bool loc
+      | Ast.Eq | Ast.Neq -> check_equality op ta tb loc
+      | Ast.And | Ast.Or ->
+          if ta.ty <> Ty.Bool || tb.ty <> Ty.Bool then
+            error loc "%s expects bool operands, found %s and %s"
+              (Ast.binop_name op) (Ty.to_string ta.ty) (Ty.to_string tb.ty);
+          te (Tast.Binop (op, ta, tb)) Ty.Bool loc)
+
+(* Entities are queue views, subflow lists, subflows and packets, built
+   from the roots Q/QU/RQ/SUBFLOWS/variables through member chains. Queue
+   views are kept symbolic ({!Tast.queue_view}) until consumed by
+   TOP/POP/COUNT/EMPTY/MIN/MAX. *)
+and check_entity env eff (e : Ast.expr) : Tast.expr =
+  match check_entity_or_view env eff e with
+  | `Expr te -> te
+  | `View (_, loc) ->
+      error loc
+        "a packet queue cannot be used as a value here; finish the \
+         expression with TOP, POP(), COUNT, EMPTY, MIN or MAX"
+
+and check_entity_or_view env eff (e : Ast.expr) :
+    [ `Expr of Tast.expr | `View of Tast.queue_view * Loc.t ] =
+  let loc = e.loc in
+  match e.desc with
+  | Ast.Queue q -> `View ({ Tast.base = q; filters = [] }, loc)
+  | Ast.Subflows -> `Expr (te Tast.Subflows Ty.Subflow_list loc)
+  | Ast.Member (recv, name, args) -> check_member env eff recv name args loc
+  | _ -> `Expr (check_expr env eff e)
+
+and check_lambda env name ~param_ty ~body_ty (lam : Ast.lambda) loc :
+    Tast.lambda =
+  let env', slot = declare env lam.Ast.param param_ty lam.Ast.body.Ast.loc in
+  let tbody =
+    check_expr env'
+      (Pure (Fmt.str "the %s predicate" name))
+      lam.Ast.body
+  in
+  if tbody.ty <> body_ty then
+    error loc "%s expects a %s-valued function, found %s" name
+      (Ty.to_string body_ty) (Ty.to_string tbody.ty);
+  { Tast.param = slot; param_ty; body = tbody }
+
+and expect_lambda name args loc =
+  match args with
+  | [ Ast.Arg_lambda lam ] -> lam
+  | _ -> error loc "%s expects exactly one argument of the form x => expr" name
+
+and expect_expr_arg env eff name args loc =
+  match args with
+  | [ Ast.Arg_expr a ] -> check_expr env eff a
+  | _ -> error loc "%s expects exactly one expression argument" name
+
+and expect_no_args name args loc =
+  match args with
+  | [] -> ()
+  | _ -> error loc "%s does not take arguments" name
+
+and check_member env eff recv name args loc :
+    [ `Expr of Tast.expr | `View of Tast.queue_view * Loc.t ] =
+  match check_entity_or_view env eff recv with
+  | `View (view, _) -> check_queue_member env eff view name args loc
+  | `Expr trecv -> (
+      match trecv.ty with
+      | Ty.Subflow_list -> `Expr (check_sbf_list_member env eff trecv name args loc)
+      | Ty.Subflow -> `Expr (check_subflow_member env eff trecv name args loc)
+      | Ty.Packet -> `Expr (check_packet_member env eff trecv name args loc)
+      | ty ->
+          error loc "%s values have no member %s" (Ty.to_string ty) name)
+
+and check_queue_member env eff view name args loc :
+    [ `Expr of Tast.expr | `View of Tast.queue_view * Loc.t ] =
+  match name with
+  | "FILTER" ->
+      let lam = expect_lambda "FILTER" args loc in
+      let tlam =
+        check_lambda env "FILTER" ~param_ty:Ty.Packet ~body_ty:Ty.Bool lam loc
+      in
+      `View ({ view with Tast.filters = view.Tast.filters @ [ tlam ] }, loc)
+  | "TOP" ->
+      expect_no_args "TOP" args loc;
+      `Expr (te (Tast.Q_top view) Ty.Packet loc)
+  | "POP" ->
+      (match eff with
+      | Effectful -> ()
+      | Pure ctx ->
+          error loc
+            "POP() removes a packet and is not allowed in %s; side effects \
+             are restricted to PUSH, DROP and VAR statements"
+            ctx);
+      expect_no_args "POP" args loc;
+      `Expr (te (Tast.Q_pop view) Ty.Packet loc)
+  | "MIN" | "MAX" ->
+      let lam = expect_lambda name args loc in
+      let tlam =
+        check_lambda env name ~param_ty:Ty.Packet ~body_ty:Ty.Int lam loc
+      in
+      let desc =
+        if name = "MIN" then Tast.Q_min (view, tlam) else Tast.Q_max (view, tlam)
+      in
+      `Expr (te desc Ty.Packet loc)
+  | "COUNT" ->
+      expect_no_args "COUNT" args loc;
+      `Expr (te (Tast.Q_count view) Ty.Int loc)
+  | "EMPTY" ->
+      expect_no_args "EMPTY" args loc;
+      `Expr (te (Tast.Q_empty view) Ty.Bool loc)
+  | _ ->
+      error loc
+        "packet queues have no member %s (expected FILTER, TOP, POP, MIN, \
+         MAX, COUNT or EMPTY)"
+        name
+
+and check_sbf_list_member env _eff trecv name args loc : Tast.expr =
+  match name with
+  | "FILTER" ->
+      let lam = expect_lambda "FILTER" args loc in
+      let tlam =
+        check_lambda env "FILTER" ~param_ty:Ty.Subflow ~body_ty:Ty.Bool lam loc
+      in
+      te (Tast.Sbf_filter (trecv, tlam)) Ty.Subflow_list loc
+  | "MIN" | "MAX" | "SUM" ->
+      let lam = expect_lambda name args loc in
+      let tlam =
+        check_lambda env name ~param_ty:Ty.Subflow ~body_ty:Ty.Int lam loc
+      in
+      let desc, ty =
+        match name with
+        | "MIN" -> (Tast.Sbf_min (trecv, tlam), Ty.Subflow)
+        | "MAX" -> (Tast.Sbf_max (trecv, tlam), Ty.Subflow)
+        | _ -> (Tast.Sbf_sum (trecv, tlam), Ty.Int)
+      in
+      te desc ty loc
+  | "GET" ->
+      let idx = expect_expr_arg env (Pure "a GET index") "GET" args loc in
+      if idx.ty <> Ty.Int then
+        error loc "GET expects an int index, found %s" (Ty.to_string idx.ty);
+      te (Tast.Sbf_get (trecv, idx)) Ty.Subflow loc
+  | "COUNT" ->
+      expect_no_args "COUNT" args loc;
+      te (Tast.Sbf_count trecv) Ty.Int loc
+  | "EMPTY" ->
+      expect_no_args "EMPTY" args loc;
+      te (Tast.Sbf_empty trecv) Ty.Bool loc
+  | _ ->
+      error loc
+        "subflow lists have no member %s (expected FILTER, MIN, MAX, SUM, \
+         GET, COUNT or EMPTY)"
+        name
+
+and check_subflow_member env eff trecv name args loc : Tast.expr =
+  match Props.subflow_prop_of_name name with
+  | Some prop ->
+      expect_no_args name args loc;
+      te (Tast.Sbf_prop (trecv, prop)) (Props.subflow_prop_type prop) loc
+  | None -> (
+      match name with
+      | "HAS_WINDOW_FOR" ->
+          let pkt = expect_expr_arg env eff "HAS_WINDOW_FOR" args loc in
+          if pkt.ty <> Ty.Packet then
+            error loc "HAS_WINDOW_FOR expects a packet, found %s"
+              (Ty.to_string pkt.ty);
+          te (Tast.Has_window_for (trecv, pkt)) Ty.Bool loc
+      | "PUSH" ->
+          error loc
+            "PUSH is a statement, not an expression; write it on its own \
+             line: sbf.PUSH(...);"
+      | _ -> error loc "subflows have no property %s" name)
+
+and check_packet_member env eff trecv name args loc : Tast.expr =
+  match Props.packet_prop_of_name name with
+  | Some prop ->
+      expect_no_args name args loc;
+      te (Tast.Pkt_prop (trecv, prop)) (Props.packet_prop_type prop) loc
+  | None -> (
+      match name with
+      | "SENT_ON" ->
+          let sbf = expect_expr_arg env eff "SENT_ON" args loc in
+          if sbf.ty <> Ty.Subflow then
+            error loc "SENT_ON expects a subflow, found %s" (Ty.to_string sbf.ty);
+          te (Tast.Sent_on (trecv, sbf)) Ty.Bool loc
+      | _ -> error loc "packets have no property %s" name)
+
+let reject_null (e : Tast.expr) what =
+  match e.desc with
+  | Tast.Null _ -> error e.loc "NULL cannot be used as %s" what
+  | _ -> ()
+
+let rec check_stmt env (s : Ast.stmt) : env * Tast.stmt =
+  let loc = s.stmt_loc in
+  match s.stmt_desc with
+  | Ast.Var_decl (name, rhs) ->
+      let trhs = check_expr env Effectful rhs in
+      reject_null trhs "the value of a variable";
+      if not (Ty.storable trhs.ty) then
+        error loc
+          "a %s cannot be stored in a variable; consume the queue view \
+           where it is built"
+          (Ty.to_string trhs.ty);
+      let env', slot = declare env name trhs.ty loc in
+      (env', Tast.Var_decl (slot, trhs))
+  | Ast.If (cond, then_, else_) ->
+      let tcond = check_expr env (Pure "an IF condition") cond in
+      if tcond.ty <> Ty.Bool then
+        error loc "IF expects a bool condition, found %s" (Ty.to_string tcond.ty);
+      let tthen = check_block env then_ in
+      let telse = match else_ with None -> [] | Some b -> check_block env b in
+      (env, Tast.If (tcond, tthen, telse))
+  | Ast.Foreach (name, src, body) ->
+      let tsrc = check_expr env (Pure "a FOREACH source") src in
+      if tsrc.ty <> Ty.Subflow_list then
+        error loc "FOREACH iterates over a subflow list, found %s"
+          (Ty.to_string tsrc.ty);
+      let env', slot = declare env name Ty.Subflow loc in
+      let tbody = check_block env' body in
+      (env, Tast.Foreach (slot, tsrc, tbody))
+  | Ast.Set_register (reg, rhs) ->
+      let trhs = check_expr env (Pure "a SET value") rhs in
+      if trhs.ty <> Ty.Int then
+        error loc "SET expects an int value, found %s" (Ty.to_string trhs.ty);
+      (env, Tast.Set_register (reg, trhs))
+  | Ast.Drop rhs ->
+      let trhs = check_expr env Effectful rhs in
+      reject_null trhs "the argument of DROP";
+      if trhs.ty <> Ty.Packet then
+        error loc "DROP expects a packet, found %s" (Ty.to_string trhs.ty);
+      (env, Tast.Drop trhs)
+  | Ast.Return -> (env, Tast.Return)
+  | Ast.Expr_stmt { desc = Ast.Member (recv, "PUSH", args); loc = mloc } ->
+      let trecv = check_expr env (Pure "a PUSH target") recv in
+      if trecv.ty <> Ty.Subflow then
+        error mloc "PUSH expects a subflow target, found %s"
+          (Ty.to_string trecv.ty);
+      let pkt = expect_expr_arg env Effectful "PUSH" args mloc in
+      reject_null pkt "the argument of PUSH";
+      if pkt.ty <> Ty.Packet then
+        error mloc "PUSH expects a packet, found %s" (Ty.to_string pkt.ty);
+      (env, Tast.Push (trecv, pkt))
+  | Ast.Expr_stmt _ ->
+      error loc
+        "only PUSH calls may appear in statement position; expressions \
+         without effect are dead code by the model's rules"
+
+and check_block env (b : Ast.block) : Tast.block =
+  (* Declarations are visible to later statements of the same block but go
+     out of scope with it; slots are never reused, preserving
+     single-assignment at the frame level. *)
+  let _, rev =
+    List.fold_left
+      (fun (env, acc) s ->
+        let env', ts = check_stmt env s in
+        (env', ts :: acc))
+      (env, []) b
+  in
+  List.rev rev
+
+(** Type-check a parsed program. @raise Error on any violation. *)
+let check ?(source = "") (p : Ast.program) : Tast.program =
+  let env =
+    { scope = []; next_slot = ref 0; slot_types = Array.make max_slots Ty.Int }
+  in
+  let body = check_block env p in
+  {
+    Tast.body;
+    num_slots = !(env.next_slot);
+    slot_types = Array.sub env.slot_types 0 !(env.next_slot);
+    source;
+  }
+
+(** Convenience: parse and check in one step. *)
+let compile_source src = check ~source:src (Parser.parse src)

@@ -1,0 +1,25 @@
+(** Static checking of scheduler specifications.
+
+    Enforces the programming-model guarantees of the paper (Table 1):
+    static types with implicit variable typing; single-assignment
+    variables (no redeclaration or shadowing while a binding is in
+    scope); side effects restricted to statement position — [POP] may
+    only occur in a [VAR] right-hand side or as a [PUSH]/[DROP]
+    argument, and predicates, [IF] conditions, [FOREACH] sources and
+    [SET] values are pure; queue views are not first-class; member
+    names resolve against the model's concepts. *)
+
+exception Error of string * Loc.t
+(** Type or semantic error with its position. *)
+
+val max_slots : int
+(** Maximum variable slots per program, keeping scheduler frames small
+    and statically sized. *)
+
+val check : ?source:string -> Ast.program -> Tast.program
+(** Type-check a parsed program, resolving variables to slots.
+    @raise Error on any violation. *)
+
+val compile_source : string -> Tast.program
+(** Parse and check in one step.
+    @raise Error / [Parser.Error] / [Lexer.Error] accordingly. *)

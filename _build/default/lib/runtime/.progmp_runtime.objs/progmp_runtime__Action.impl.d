@@ -1,0 +1,1 @@
+lib/runtime/action.ml: Fmt Packet

@@ -1,0 +1,1 @@
+lib/runtime/aot.ml: Array Env Fun Interpreter List Option Packet Pqueue Progmp_lang Props Subflow_view Tast Ty

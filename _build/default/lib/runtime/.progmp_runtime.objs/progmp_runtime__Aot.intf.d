@@ -1,0 +1,1 @@
+lib/runtime/aot.mli: Env Progmp_lang

@@ -1,0 +1,1 @@
+lib/runtime/api.ml: Array Env Fmt Lazy Progmp_lang Scheduler

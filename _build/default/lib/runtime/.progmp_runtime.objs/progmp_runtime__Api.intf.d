@@ -1,0 +1,1 @@
+lib/runtime/api.mli: Env Scheduler

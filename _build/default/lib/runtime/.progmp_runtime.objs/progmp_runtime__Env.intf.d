@@ -1,0 +1,1 @@
+lib/runtime/env.mli: Action Packet Pqueue Progmp_lang Subflow_view

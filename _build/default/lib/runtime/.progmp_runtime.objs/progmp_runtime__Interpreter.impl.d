@@ -1,0 +1,1 @@
+lib/runtime/interpreter.ml: Array Env Fun List Option Packet Pqueue Progmp_lang Props Subflow_view Tast Ty

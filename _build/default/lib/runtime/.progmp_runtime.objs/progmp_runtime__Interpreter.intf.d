@@ -1,0 +1,1 @@
+lib/runtime/interpreter.mli: Env Packet Progmp_lang

@@ -1,0 +1,1 @@
+lib/runtime/packet.ml: Array Fmt Progmp_lang

@@ -1,0 +1,1 @@
+lib/runtime/packet.mli: Format

@@ -1,0 +1,1 @@
+lib/runtime/pqueue.ml: Array Fmt List Packet

@@ -1,0 +1,1 @@
+lib/runtime/pqueue.mli: Format Packet

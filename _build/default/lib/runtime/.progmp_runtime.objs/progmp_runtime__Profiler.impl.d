@@ -1,0 +1,1 @@
+lib/runtime/profiler.ml: Array Buffer Env Fmt Interpreter List Progmp_lang Scheduler String Tast Unix

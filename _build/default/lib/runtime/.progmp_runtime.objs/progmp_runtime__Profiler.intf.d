@@ -1,0 +1,1 @@
+lib/runtime/profiler.mli: Progmp_lang Scheduler

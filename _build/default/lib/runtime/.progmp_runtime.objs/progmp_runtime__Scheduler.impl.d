@@ -1,0 +1,1 @@
+lib/runtime/scheduler.ml: Aot Env Fmt Hashtbl Interpreter List Progmp_lang

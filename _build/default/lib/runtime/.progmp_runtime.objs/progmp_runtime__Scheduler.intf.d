@@ -1,0 +1,1 @@
+lib/runtime/scheduler.mli: Action Env Progmp_lang Subflow_view

@@ -1,0 +1,1 @@
+lib/runtime/source_gen.ml: Array Buffer Fmt List Progmp_lang Props String Tast Ty

@@ -1,0 +1,1 @@
+lib/runtime/source_gen.mli: Progmp_lang

@@ -1,0 +1,1 @@
+lib/runtime/subflow_view.ml: Fmt Packet Progmp_lang

@@ -1,0 +1,1 @@
+lib/runtime/subflow_view.mli: Format Packet Progmp_lang

@@ -1,0 +1,26 @@
+(** Scheduler actions.
+
+    The runtime decouples the evaluation of a scheduler program from the
+    actual packet transmission with an action queue (paper §4.1): during
+    execution, [PUSH] and [DROP] only append actions; the host applies
+    them afterwards. This keeps subflow and packet properties immutable
+    during an execution and lets the host handle subflows that ceased to
+    exist without losing packets. *)
+
+type t =
+  | Push of { sbf_id : int; pkt : Packet.t }
+      (** transmit [pkt] on the subflow with id [sbf_id] *)
+  | Drop of Packet.t
+      (** the program explicitly discarded the packet from the sending
+          queue *)
+
+let pp ppf = function
+  | Push { sbf_id; pkt } -> Fmt.pf ppf "PUSH(sbf#%d, %a)" sbf_id Packet.pp pkt
+  | Drop pkt -> Fmt.pf ppf "DROP(%a)" Packet.pp pkt
+
+let equal a b =
+  match (a, b) with
+  | Push { sbf_id = s1; pkt = p1 }, Push { sbf_id = s2; pkt = p2 } ->
+      s1 = s2 && p1.Packet.id = p2.Packet.id
+  | Drop p1, Drop p2 -> p1.Packet.id = p2.Packet.id
+  | Push _, Drop _ | Drop _, Push _ -> false

@@ -1,0 +1,16 @@
+(** Scheduler actions. The runtime decouples program evaluation from
+    packet transmission with an action queue (paper §4.1): [PUSH] and
+    [DROP] append actions during execution; the host applies them
+    afterwards, keeping properties immutable per execution and handling
+    vanished subflows without packet loss. *)
+
+type t =
+  | Push of { sbf_id : int; pkt : Packet.t }
+      (** transmit [pkt] on the subflow with id [sbf_id] *)
+  | Drop of Packet.t
+      (** the program explicitly discarded the packet from its queue *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+(** Structural equality up to packet identity. *)

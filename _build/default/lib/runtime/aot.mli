@@ -1,0 +1,9 @@
+(** Ahead-of-time compilation backend — execution alternative 2.
+
+    The paper's AOT backend generates and compiles C; the OCaml analogue
+    is closure compilation: the typed IR is translated once into a tree
+    of closures, removing all per-execution dispatch on IR constructors.
+    Semantics are identical to {!Interpreter} (differentially tested). *)
+
+val compile : Progmp_lang.Tast.program -> Env.t -> unit
+(** [compile p] translates once; the returned engine runs many times. *)

@@ -1,0 +1,43 @@
+(** The extended scheduling API (paper §3.2, Figs. 7–8): the
+    application-facing handle through which schedulers are loaded and
+    selected per connection, scheduling intents are signalled through
+    registers, and outgoing data is annotated with per-packet
+    properties. *)
+
+type socket = {
+  sock_name : string;
+  env : Env.t;
+  mutable scheduler : Scheduler.t;
+  mutable default_props : int array;
+      (** properties stamped on packets created from subsequent writes *)
+}
+
+exception Api_error of string
+
+val default_scheduler_source : string
+(** The paper's default scheduler (min-RTT, reinjections first, backup
+    semantics), installed on fresh sockets. *)
+
+val create : ?name:string -> unit -> socket
+
+val load_scheduler : string -> name:string -> unit
+(** Compile [spec] and register it for {!set_scheduler}.
+    @raise Api_error when the specification does not compile. *)
+
+val set_scheduler : socket -> string -> unit
+(** Select a previously loaded scheduler for this connection.
+    @raise Api_error when no scheduler of that name is loaded. *)
+
+val set_register : socket -> int -> int -> unit
+(** Set scheduler register [reg] (0-based, R1..R6).
+    @raise Api_error on an out-of-range register. *)
+
+val get_register : socket -> int -> int
+
+val set_packet_property : socket -> prop:int -> int -> unit
+(** Set a default per-packet property (0-based, PROP1..PROP4): data
+    written afterwards carries it. @raise Api_error out of range. *)
+
+val current_packet_props : socket -> int array
+
+val scheduler_name : socket -> string

@@ -1,0 +1,86 @@
+(** The scheduling environment a program executes against.
+
+    Holds the three queues of the model (Q, QU, RQ), the per-execution
+    subflow snapshots, the register file, and the action buffer filled by
+    [PUSH]/[DROP]. Both execution backends (the {!Interpreter} and the
+    compiled {!Progmp_compiler.Vm}) operate on this same structure, which is
+    what makes their differential testing meaningful. *)
+
+type t = {
+  q : Pqueue.t;  (** sending queue: data from the application *)
+  qu : Pqueue.t;  (** unacknowledged packets in flight *)
+  rq : Pqueue.t;  (** reinjection queue: suspected-lost packets *)
+  mutable subflows : Subflow_view.t array;  (** snapshot for this execution *)
+  registers : int array;  (** R1..R6, persistent across executions *)
+  mutable actions : Action.t list;  (** reversed action buffer *)
+  mutable popped : (Pqueue.t * Packet.t) list;
+      (** packets popped during the current execution, with their source
+          queue (most recent first) *)
+}
+
+let create () =
+  {
+    q = Pqueue.create ~name:"Q" ();
+    qu = Pqueue.create ~name:"QU" ();
+    rq = Pqueue.create ~name:"RQ" ();
+    subflows = [||];
+    registers = Array.make Progmp_lang.Props.num_registers 0;
+    actions = [];
+    popped = [];
+  }
+
+let queue t : Progmp_lang.Ast.queue_id -> Pqueue.t = function
+  | Send_queue -> t.q
+  | Unacked_queue -> t.qu
+  | Reinject_queue -> t.rq
+
+let subflow_by_id t id =
+  let n = Array.length t.subflows in
+  let rec find i =
+    if i >= n then None
+    else if t.subflows.(i).Subflow_view.id = id then Some t.subflows.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let get_register t i =
+  if i < 0 || i >= Array.length t.registers then 0 else t.registers.(i)
+
+let set_register t i v =
+  if i >= 0 && i < Array.length t.registers then t.registers.(i) <- v
+
+(** Record a [POP]: the packet has been removed from [src]; unless a
+    subsequent PUSH or DROP handles it, {!finish_execution} returns it to
+    the front of its source queue so that no packet is ever lost
+    (paper §3.3). *)
+let record_pop t src pkt = t.popped <- (src, pkt) :: t.popped
+
+let emit_push t ~sbf_id pkt = t.actions <- Action.Push { sbf_id; pkt } :: t.actions
+
+let emit_drop t pkt = t.actions <- Action.Drop pkt :: t.actions
+
+let begin_execution t ~subflows =
+  t.subflows <- subflows;
+  t.actions <- [];
+  t.popped <- []
+
+(** Finish one scheduler execution: returns the actions in program order
+    after re-inserting packets that were popped but neither pushed nor
+    dropped (in their original order, at the front of Q). *)
+let finish_execution t =
+  let actions = List.rev t.actions in
+  let handled p =
+    List.exists
+      (function
+        | Action.Push { pkt; _ } -> pkt.Packet.id = p.Packet.id
+        | Action.Drop pkt -> pkt.Packet.id = p.Packet.id)
+      actions
+  in
+  (* [t.popped] is most-recent-first; iterating in that order and pushing
+     each orphan to the front restores the original queue order. *)
+  List.iter
+    (fun (src, p) -> if not (handled p) then Pqueue.push_front src p)
+    t.popped;
+  t.popped <- [];
+  t.actions <- [];
+  actions

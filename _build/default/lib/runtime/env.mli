@@ -1,0 +1,41 @@
+(** The scheduling environment a program executes against: the three
+    queues of the model (Q, QU, RQ), the per-execution subflow
+    snapshots, the persistent register file, and the action buffer.
+    Both execution backends operate on this same structure. *)
+
+type t = {
+  q : Pqueue.t;  (** sending queue: data from the application *)
+  qu : Pqueue.t;  (** unacknowledged packets in flight *)
+  rq : Pqueue.t;  (** reinjection queue: suspected-lost packets *)
+  mutable subflows : Subflow_view.t array;
+  registers : int array;  (** R1..R6, persistent across executions *)
+  mutable actions : Action.t list;  (** reversed action buffer *)
+  mutable popped : (Pqueue.t * Packet.t) list;
+      (** packets popped during the current execution, with their source
+          queue (most recent first) *)
+}
+
+val create : unit -> t
+
+val queue : t -> Progmp_lang.Ast.queue_id -> Pqueue.t
+
+val subflow_by_id : t -> int -> Subflow_view.t option
+
+val get_register : t -> int -> int
+(** Out-of-range registers read 0. *)
+
+val set_register : t -> int -> int -> unit
+(** Out-of-range writes are ignored. *)
+
+val record_pop : t -> Pqueue.t -> Packet.t -> unit
+(** Note a [POP]; unless a later PUSH/DROP handles the packet,
+    {!finish_execution} restores it to the front of its source queue. *)
+
+val emit_push : t -> sbf_id:int -> Packet.t -> unit
+
+val emit_drop : t -> Packet.t -> unit
+
+val begin_execution : t -> subflows:Subflow_view.t array -> unit
+
+val finish_execution : t -> Action.t list
+(** Actions in program order, after restoring orphaned pops. *)

@@ -1,0 +1,266 @@
+(** Tree-walking interpreter over the typed IR — execution alternative 1
+    of the paper's runtime (§4.1), and the semantic reference for the
+    compiled backend.
+
+    Graceful-failure semantics ("no exceptions by design"):
+    - declarative selections over empty sets yield [NULL];
+    - properties of [NULL] entities read as 0 / [false];
+    - [PUSH]/[DROP] of [NULL] are no-ops;
+    - division and modulo by zero yield 0.
+
+    Queue [FILTER]s are evaluated with late materialization: a view is
+    never built; the base queue is scanned and each candidate packet is
+    tested against the filter stack. *)
+
+open Progmp_lang
+
+type value =
+  | Vint of int
+  | Vbool of bool
+  | Vpacket of Packet.t option
+  | Vsubflow of int option  (** index into [env.subflows] *)
+  | Vsubflows of int list  (** indices into [env.subflows], in order *)
+
+(* Only raised on interpreter bugs: the type checker rules these out. *)
+exception Type_bug of string
+
+let as_int = function
+  | Vint n -> n
+  | Vbool b -> if b then 1 else 0
+  | Vpacket _ | Vsubflow _ | Vsubflows _ -> raise (Type_bug "expected int")
+
+let as_bool = function
+  | Vbool b -> b
+  | Vint _ | Vpacket _ | Vsubflow _ | Vsubflows _ -> raise (Type_bug "expected bool")
+
+let as_packet = function
+  | Vpacket p -> p
+  | Vint _ | Vbool _ | Vsubflow _ | Vsubflows _ -> raise (Type_bug "expected packet")
+
+let as_subflow = function
+  | Vsubflow s -> s
+  | Vint _ | Vbool _ | Vpacket _ | Vsubflows _ -> raise (Type_bug "expected subflow")
+
+let as_subflows = function
+  | Vsubflows l -> l
+  | Vint _ | Vbool _ | Vpacket _ | Vsubflow _ ->
+      raise (Type_bug "expected subflow list")
+
+type frame = { env : Env.t; slots : value array }
+
+let subflow_view frame idx = frame.env.Env.subflows.(idx)
+
+(* Packet matches the whole filter stack of a view. *)
+let rec matches frame (filters : Tast.lambda list) (pkt : Packet.t) =
+  match filters with
+  | [] -> true
+  | lam :: rest ->
+      frame.slots.(lam.Tast.param) <- Vpacket (Some pkt);
+      as_bool (eval frame lam.Tast.body) && matches frame rest pkt
+
+and scan_queue frame (view : Tast.queue_view) ~f =
+  (* Iterate matching packets front-to-back; [f] returns [None] to keep
+     scanning. Index-based so that POP (which mutates) can stop safely. *)
+  let q = Env.queue frame.env view.Tast.base in
+  let rec go i =
+    match Pqueue.nth q i with
+    | None -> None
+    | Some pkt ->
+        if matches frame view.Tast.filters pkt then
+          match f i pkt with None -> go (i + 1) | Some _ as r -> r
+        else go (i + 1)
+  in
+  go 0
+
+and eval frame (e : Tast.expr) : value =
+  match e.Tast.desc with
+  | Tast.Int_lit n -> Vint n
+  | Tast.Bool_lit b -> Vbool b
+  | Tast.Null ty -> (
+      match ty with
+      | Ty.Subflow -> Vsubflow None
+      | Ty.Packet | Ty.Int | Ty.Bool | Ty.Subflow_list | Ty.Queue ->
+          Vpacket None)
+  | Tast.Register i -> Vint (Env.get_register frame.env i)
+  | Tast.Slot i -> frame.slots.(i)
+  | Tast.Not a -> Vbool (not (as_bool (eval frame a)))
+  | Tast.Neg a -> Vint (-as_int (eval frame a))
+  | Tast.Binop (op, a, b) -> eval_binop frame op a b
+  | Tast.Subflows ->
+      Vsubflows (List.init (Array.length frame.env.Env.subflows) Fun.id)
+  | Tast.Sbf_filter (l, lam) ->
+      let idxs = as_subflows (eval frame l) in
+      Vsubflows
+        (List.filter
+           (fun i ->
+             frame.slots.(lam.Tast.param) <- Vsubflow (Some i);
+             as_bool (eval frame lam.Tast.body))
+           idxs)
+  | Tast.Sbf_min (l, lam) -> Vsubflow (select_sbf frame ~better:( < ) l lam)
+  | Tast.Sbf_max (l, lam) -> Vsubflow (select_sbf frame ~better:( > ) l lam)
+  | Tast.Sbf_sum (l, lam) ->
+      let idxs = as_subflows (eval frame l) in
+      Vint
+        (List.fold_left
+           (fun acc i ->
+             frame.slots.(lam.Tast.param) <- Vsubflow (Some i);
+             acc + as_int (eval frame lam.Tast.body))
+           0 idxs)
+  | Tast.Sbf_get (l, idx) ->
+      let idxs = as_subflows (eval frame l) in
+      let i = as_int (eval frame idx) in
+      (* negative indices are NULL, like any out-of-range GET *)
+      Vsubflow (if i < 0 then None else List.nth_opt idxs i)
+  | Tast.Sbf_count l -> Vint (List.length (as_subflows (eval frame l)))
+  | Tast.Sbf_empty l -> Vbool (as_subflows (eval frame l) = [])
+  | Tast.Sbf_prop (s, prop) -> (
+      match as_subflow (eval frame s) with
+      | None -> (
+          match Props.subflow_prop_type prop with
+          | Ty.Bool -> Vbool false
+          | _ -> Vint 0)
+      | Some i -> (
+          let v = Subflow_view.prop_int (subflow_view frame i) prop in
+          match Props.subflow_prop_type prop with
+          | Ty.Bool -> Vbool (v <> 0)
+          | _ -> Vint v))
+  | Tast.Has_window_for (s, p) -> (
+      match (as_subflow (eval frame s), as_packet (eval frame p)) with
+      | Some i, Some pkt ->
+          Vbool (Subflow_view.has_window_for (subflow_view frame i) pkt)
+      | _, _ -> Vbool false)
+  | Tast.Q_top view -> Vpacket (scan_queue frame view ~f:(fun _ p -> Some p))
+  | Tast.Q_pop view ->
+      let q = Env.queue frame.env view.Tast.base in
+      let found =
+        scan_queue frame view ~f:(fun i p ->
+            ignore (Pqueue.remove_at q i);
+            Env.record_pop frame.env q p;
+            Some p)
+      in
+      Vpacket found
+  | Tast.Q_min (view, lam) -> Vpacket (select_pkt frame ~better:( < ) view lam)
+  | Tast.Q_max (view, lam) -> Vpacket (select_pkt frame ~better:( > ) view lam)
+  | Tast.Q_count view ->
+      let n = ref 0 in
+      ignore
+        (scan_queue frame view ~f:(fun _ _ ->
+             incr n;
+             None));
+      Vint !n
+  | Tast.Q_empty view ->
+      Vbool (scan_queue frame view ~f:(fun _ p -> Some p) = None)
+  | Tast.Pkt_prop (p, prop) -> (
+      match as_packet (eval frame p) with
+      | None -> Vint 0
+      | Some pkt -> (
+          match prop with
+          | Props.Size -> Vint pkt.Packet.size
+          | Props.Seq -> Vint pkt.Packet.seq
+          | Props.Sent_count -> Vint pkt.Packet.sent_count
+          | Props.User_prop i -> Vint (Packet.user_prop pkt i)))
+  | Tast.Sent_on (p, s) -> (
+      match (as_packet (eval frame p), as_subflow (eval frame s)) with
+      | Some pkt, Some i ->
+          Vbool (Packet.sent_on pkt ~sbf_id:(subflow_view frame i).Subflow_view.id)
+      | _, _ -> Vbool false)
+
+and eval_binop frame op a b =
+  match op with
+  (* AND/OR short-circuit, as predicates rely on it. *)
+  | Tast.And -> Vbool (as_bool (eval frame a) && as_bool (eval frame b))
+  | Tast.Or -> Vbool (as_bool (eval frame a) || as_bool (eval frame b))
+  | Tast.Add -> Vint (as_int (eval frame a) + as_int (eval frame b))
+  | Tast.Sub -> Vint (as_int (eval frame a) - as_int (eval frame b))
+  | Tast.Mul -> Vint (as_int (eval frame a) * as_int (eval frame b))
+  | Tast.Div ->
+      let d = as_int (eval frame b) in
+      Vint (if d = 0 then 0 else as_int (eval frame a) / d)
+  | Tast.Mod ->
+      let d = as_int (eval frame b) in
+      Vint (if d = 0 then 0 else as_int (eval frame a) mod d)
+  | Tast.Lt -> Vbool (as_int (eval frame a) < as_int (eval frame b))
+  | Tast.Le -> Vbool (as_int (eval frame a) <= as_int (eval frame b))
+  | Tast.Gt -> Vbool (as_int (eval frame a) > as_int (eval frame b))
+  | Tast.Ge -> Vbool (as_int (eval frame a) >= as_int (eval frame b))
+  | Tast.Eq | Tast.Neq ->
+      let va = eval frame a and vb = eval frame b in
+      let equal =
+        match (va, vb) with
+        | Vint x, Vint y -> x = y
+        | Vbool x, Vbool y -> x = y
+        | Vpacket x, Vpacket y -> (
+            match (x, y) with
+            | None, None -> true
+            | Some p, Some q -> p.Packet.id = q.Packet.id
+            | None, Some _ | Some _, None -> false)
+        | Vsubflow x, Vsubflow y -> x = y
+        | (Vint _ | Vbool _ | Vpacket _ | Vsubflow _ | Vsubflows _), _ ->
+            raise (Type_bug "equality on incompatible values")
+      in
+      Vbool (if op = Tast.Eq then equal else not equal)
+
+and select_sbf frame ~better l (lam : Tast.lambda) =
+  let idxs = as_subflows (eval frame l) in
+  let best =
+    List.fold_left
+      (fun acc i ->
+        frame.slots.(lam.Tast.param) <- Vsubflow (Some i);
+        let key = as_int (eval frame lam.Tast.body) in
+        match acc with
+        | Some (_, bk) when not (better key bk) -> acc
+        | Some _ | None -> Some (i, key))
+      None idxs
+  in
+  Option.map fst best
+
+and select_pkt frame ~better (view : Tast.queue_view) (lam : Tast.lambda) =
+  let best = ref None in
+  ignore
+    (scan_queue frame view ~f:(fun _ pkt ->
+         frame.slots.(lam.Tast.param) <- Vpacket (Some pkt);
+         let key = as_int (eval frame lam.Tast.body) in
+         (match !best with
+         | Some (_, bk) when not (better key bk) -> ()
+         | Some _ | None -> best := Some (pkt, key));
+         None));
+  Option.map fst !best
+
+exception Returned
+
+let rec exec_stmt frame (s : Tast.stmt) =
+  match s with
+  | Tast.Var_decl (slot, e) -> frame.slots.(slot) <- eval frame e
+  | Tast.If (cond, then_, else_) ->
+      if as_bool (eval frame cond) then exec_block frame then_
+      else exec_block frame else_
+  | Tast.Foreach (slot, src, body) ->
+      let idxs = as_subflows (eval frame src) in
+      List.iter
+        (fun i ->
+          frame.slots.(slot) <- Vsubflow (Some i);
+          exec_block frame body)
+        idxs
+  | Tast.Set_register (r, e) ->
+      Env.set_register frame.env r (as_int (eval frame e))
+  | Tast.Push (s, p) -> (
+      match (as_subflow (eval frame s), as_packet (eval frame p)) with
+      | Some i, Some pkt ->
+          Env.emit_push frame.env
+            ~sbf_id:(subflow_view frame i).Subflow_view.id pkt
+      | _, _ -> () (* graceful: PUSH on NULL is a no-op *))
+  | Tast.Drop e -> (
+      match as_packet (eval frame e) with
+      | Some pkt -> Env.emit_drop frame.env pkt
+      | None -> ())
+  | Tast.Return -> raise Returned
+
+and exec_block frame b = List.iter (exec_stmt frame) b
+
+(** Execute one scheduler invocation: evaluates the program body against
+    [env] (which must have been prepared with {!Env.begin_execution}).
+    Actions are buffered in [env]; the caller collects them with
+    {!Env.finish_execution}. *)
+let run (p : Tast.program) (env : Env.t) =
+  let frame = { env; slots = Array.make (max 1 p.Tast.num_slots) (Vint 0) } in
+  try exec_block frame p.Tast.body with Returned -> ()

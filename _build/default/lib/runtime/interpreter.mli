@@ -1,0 +1,46 @@
+(** Tree-walking interpreter over the typed IR — execution alternative 1
+    of the paper's runtime (§4.1) and the semantic reference for the
+    compiled backends.
+
+    Graceful-failure semantics: selections over empty sets yield NULL,
+    properties of NULL read as 0/false, PUSH/DROP of NULL are no-ops,
+    division and modulo by zero yield 0. Queue filters evaluate with
+    late materialization (no view is ever built). *)
+
+type value =
+  | Vint of int
+  | Vbool of bool
+  | Vpacket of Packet.t option
+  | Vsubflow of int option  (** index into [env.subflows] *)
+  | Vsubflows of int list  (** indices, in snapshot order *)
+
+exception Type_bug of string
+(** Only raised on interpreter bugs; the type checker rules these out
+    for checked programs. *)
+
+val as_int : value -> int
+
+val as_bool : value -> bool
+
+val as_packet : value -> Packet.t option
+
+val as_subflow : value -> int option
+
+val as_subflows : value -> int list
+
+type frame = { env : Env.t; slots : value array }
+
+exception Returned
+(** Internal control-flow marker for [RETURN]; escapes only from
+    {!exec_stmt}/{!exec_block} when used directly (e.g. by the
+    profiler), never from {!run}. *)
+
+val eval : frame -> Progmp_lang.Tast.expr -> value
+
+val exec_stmt : frame -> Progmp_lang.Tast.stmt -> unit
+
+val exec_block : frame -> Progmp_lang.Tast.block -> unit
+
+val run : Progmp_lang.Tast.program -> Env.t -> unit
+(** One scheduler execution against an environment prepared with
+    {!Env.begin_execution}; actions are buffered in the environment. *)

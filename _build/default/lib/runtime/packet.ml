@@ -1,0 +1,52 @@
+(** Packets — the runtime's [sk_buff] analogue.
+
+    A packet is one MSS-sized segment of application data identified by its
+    data (meta-level) sequence number. The mutable fields mirror the flags
+    the paper's runtime adds to [sk_buff]s (e.g. the [in_queue] flag and the
+    subflows the packet was already sent on); they are only updated
+    {e between} scheduler executions, preserving the model's immutability
+    guarantee during a single execution. *)
+
+type t = {
+  id : int;  (** stable handle, > 0 (0 is the NULL handle in compiled code) *)
+  seq : int;  (** data sequence number (segment index within the stream) *)
+  size : int;  (** payload bytes *)
+  user_props : int array;  (** PROP1..PROP4, set via the extended API *)
+  mutable sent_on_mask : int;  (** bit [i] set: pushed on subflow id [i] *)
+  mutable sent_count : int;  (** number of pushes (redundant copies) *)
+  mutable enqueue_time : float;  (** when the application queued the data *)
+  mutable acked : bool;  (** meta-level (data) acknowledgement received *)
+}
+
+let next_id = ref 0
+
+(** Create a fresh packet with a process-unique positive id. *)
+let create ?(props = [||]) ~seq ~size ~now () =
+  incr next_id;
+  let user_props = Array.make Progmp_lang.Props.num_user_props 0 in
+  Array.iteri (fun i v -> if i < Array.length user_props then user_props.(i) <- v) props;
+  {
+    id = !next_id;
+    seq;
+    size;
+    user_props;
+    sent_on_mask = 0;
+    sent_count = 0;
+    enqueue_time = now;
+    acked = false;
+  }
+
+let sent_on t ~sbf_id = t.sent_on_mask land (1 lsl sbf_id) <> 0
+
+let mark_sent t ~sbf_id =
+  t.sent_on_mask <- t.sent_on_mask lor (1 lsl sbf_id);
+  t.sent_count <- t.sent_count + 1
+
+let user_prop t i =
+  if i >= 0 && i < Array.length t.user_props then t.user_props.(i) else 0
+
+let set_user_prop t i v =
+  if i >= 0 && i < Array.length t.user_props then t.user_props.(i) <- v
+
+let pp ppf t =
+  Fmt.pf ppf "pkt#%d(seq=%d,size=%d,sent=%d)" t.id t.seq t.size t.sent_count

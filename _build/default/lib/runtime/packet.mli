@@ -1,0 +1,30 @@
+(** Packets — the runtime's [sk_buff] analogue: one MSS-sized segment of
+    application data identified by its data (meta-level) sequence
+    number. Mutable fields are only updated between scheduler
+    executions, preserving the model's immutability guarantee. *)
+
+type t = {
+  id : int;  (** stable handle, > 0 (0 is the NULL handle) *)
+  seq : int;  (** data sequence number *)
+  size : int;  (** payload bytes *)
+  user_props : int array;  (** PROP1..PROP4, set via the extended API *)
+  mutable sent_on_mask : int;  (** bit [i] set: pushed on subflow id [i] *)
+  mutable sent_count : int;  (** number of pushes (redundant copies) *)
+  mutable enqueue_time : float;  (** when the application queued the data *)
+  mutable acked : bool;  (** meta-level (data) acknowledgement received *)
+}
+
+val create : ?props:int array -> seq:int -> size:int -> now:float -> unit -> t
+(** Fresh packet with a process-unique positive id. *)
+
+val sent_on : t -> sbf_id:int -> bool
+
+val mark_sent : t -> sbf_id:int -> unit
+
+val user_prop : t -> int -> int
+(** Out-of-range indices read 0. *)
+
+val set_user_prop : t -> int -> int -> unit
+(** Out-of-range indices are ignored. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,138 @@
+(** The augmented packet queue of the runtime environment.
+
+    Implements the abstractions the paper builds on top of the kernel's
+    [sk_write_queue] (§4.1): a FIFO that additionally supports [POP]
+    {e in the middle} of the queue (needed when a filter selects a packet
+    that is not at the head) and [TOP] without removal.
+
+    Representation: a growable circular buffer with a head offset, so the
+    common operations — push at the back, inspect/remove at or near the
+    front — are O(1); removal in the middle shifts at most the shorter
+    side. *)
+
+type t = {
+  mutable buf : Packet.t option array;
+  mutable head : int;  (** index of the first element *)
+  mutable len : int;
+  name : string;
+}
+
+let create ?(name = "queue") () = { buf = Array.make 16 None; head = 0; len = 0; name }
+
+let name t = t.name
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let phys_index t i = (t.head + i) mod Array.length t.buf
+
+let unsafe_get t i =
+  match t.buf.(phys_index t i) with
+  | Some p -> p
+  | None -> invalid_arg "Pqueue: internal hole"
+
+(** [nth t i] is the i-th packet from the front, or [None] when out of
+    range. *)
+let nth t i = if i < 0 || i >= t.len then None else Some (unsafe_get t i)
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf' = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    buf'.(i) <- t.buf.(phys_index t i)
+  done;
+  t.buf <- buf';
+  t.head <- 0
+
+let push_back t p =
+  if t.len = Array.length t.buf then grow t;
+  t.buf.(phys_index t t.len) <- Some p;
+  t.len <- t.len + 1
+
+(** Re-insert at the front (used when a popped packet must be returned to
+    the sending queue, e.g. because its target subflow disappeared). *)
+let push_front t p =
+  if t.len = Array.length t.buf then grow t;
+  t.head <- (t.head + Array.length t.buf - 1) mod Array.length t.buf;
+  t.buf.(t.head) <- Some p;
+  t.len <- t.len + 1
+
+(** Remove and return the i-th packet, shifting the shorter side. *)
+let remove_at t i =
+  if i < 0 || i >= t.len then None
+  else begin
+    let p = unsafe_get t i in
+    if i < t.len - i - 1 then begin
+      (* shift the front segment towards the back *)
+      for k = i downto 1 do
+        t.buf.(phys_index t k) <- t.buf.(phys_index t (k - 1))
+      done;
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod Array.length t.buf
+    end
+    else begin
+      for k = i to t.len - 2 do
+        t.buf.(phys_index t k) <- t.buf.(phys_index t (k + 1))
+      done;
+      t.buf.(phys_index t (t.len - 1)) <- None
+    end;
+    t.len <- t.len - 1;
+    Some p
+  end
+
+let pop_front t = remove_at t 0
+
+(** [remove_packet t p] removes the packet with [p]'s id if present;
+    returns whether it was found. *)
+let remove_packet t (p : Packet.t) =
+  let rec find i =
+    if i >= t.len then None
+    else if (unsafe_get t i).Packet.id = p.Packet.id then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some i ->
+      ignore (remove_at t i);
+      true
+
+let mem t (p : Packet.t) =
+  let rec find i =
+    if i >= t.len then false
+    else (unsafe_get t i).Packet.id = p.Packet.id || find (i + 1)
+  in
+  find 0
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f (unsafe_get t i)
+  done
+
+let fold t f acc =
+  let acc = ref acc in
+  iter t (fun p -> acc := f !acc p);
+  !acc
+
+(** Remove every packet satisfying [pred]; returns the removed packets in
+    queue order. Used for cumulative-ack cleanup ("acknowledged packets
+    are automatically removed from all queues"). *)
+let remove_if t pred =
+  let kept = ref [] and removed = ref [] in
+  iter t (fun p -> if pred p then removed := p :: !removed else kept := p :: !kept);
+  let kept = List.rev !kept in
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0;
+  List.iter (push_back t) kept;
+  List.rev !removed
+
+let to_list t = List.rev (fold t (fun acc p -> p :: acc) [])
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0
+
+let pp ppf t =
+  Fmt.pf ppf "%s[%a]" t.name Fmt.(list ~sep:(any "; ") Packet.pp) (to_list t)

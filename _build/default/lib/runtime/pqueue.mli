@@ -1,0 +1,52 @@
+(** The augmented packet queue of the runtime environment (paper §4.1):
+    a FIFO that additionally supports removal {e in the middle} (a
+    filtered [POP]), inspection without removal ([TOP]), and
+    re-insertion at the front (the no-packet-loss guarantee).
+
+    Representation: a growable circular buffer; push/pop at the ends are
+    O(1), middle removal shifts the shorter side. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val nth : t -> int -> Packet.t option
+(** [nth t i] is the i-th packet from the front, or [None] out of
+    range. *)
+
+val push_back : t -> Packet.t -> unit
+
+val push_front : t -> Packet.t -> unit
+(** Re-insert at the front (e.g. a popped packet whose target subflow
+    disappeared). *)
+
+val remove_at : t -> int -> Packet.t option
+(** Remove and return the i-th packet. *)
+
+val pop_front : t -> Packet.t option
+
+val remove_packet : t -> Packet.t -> bool
+(** Remove the packet with the same id, if present. *)
+
+val mem : t -> Packet.t -> bool
+(** Membership by packet id. *)
+
+val iter : t -> (Packet.t -> unit) -> unit
+
+val fold : t -> ('a -> Packet.t -> 'a) -> 'a -> 'a
+
+val remove_if : t -> (Packet.t -> bool) -> Packet.t list
+(** Remove every packet satisfying the predicate; returns them in queue
+    order (cumulative-ack cleanup). *)
+
+val to_list : t -> Packet.t list
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

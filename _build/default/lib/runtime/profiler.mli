@@ -1,0 +1,29 @@
+(** Scheduler profiling — the analogue of the paper's proc-based
+    debugging interface with control-flow profiling traces (§4.1). *)
+
+type istmt = { id : int; depth : int; label : string; node : inode }
+
+and inode =
+  | I_simple of Progmp_lang.Tast.stmt
+  | I_if of Progmp_lang.Tast.expr * istmt list * istmt list
+  | I_foreach of int * Progmp_lang.Tast.expr * istmt list
+
+type t = {
+  sched : Scheduler.t;
+  body : istmt list;
+  hits : int array;  (** per-statement execution counts, pre-order ids *)
+  mutable executions : int;
+  mutable actions : int;
+  mutable total_time : float;  (** seconds spent inside scheduler runs *)
+}
+
+val attach : Scheduler.t -> t
+(** Install an instrumented interpreting engine on the scheduler and
+    return the profile handle. Re-install another backend to stop
+    profiling. *)
+
+val report : t -> string
+(** The annotated control-flow trace (the "proc file" content). *)
+
+val stats : t -> int * int * float
+(** (executions, actions, total seconds). *)

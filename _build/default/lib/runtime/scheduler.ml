@@ -1,0 +1,97 @@
+(** Scheduler loading, registry and execution.
+
+    A {e scheduler} is a checked program plus an execution engine. Loaded
+    schedulers are kept in a global registry so applications can reuse
+    them by name without re-compilation (paper §3.2, "Choosing a
+    Scheduler"). Engines are interchangeable: the interpreter (default),
+    the AOT closure backend, or the eBPF-style VM installed by
+    [Progmp_compiler] through {!set_engine}. *)
+
+type engine = Interpret | Aot | Custom of string
+
+type t = {
+  name : string;
+  program : Progmp_lang.Tast.program;
+  mutable engine_name : engine;
+  mutable run : Env.t -> unit;
+}
+
+exception Load_error of string
+
+let describe_error = function
+  | Progmp_lang.Lexer.Error (m, loc) ->
+      Some (Fmt.str "lexical error at %a: %s" Progmp_lang.Loc.pp loc m)
+  | Progmp_lang.Parser.Error (m, loc) ->
+      Some (Fmt.str "syntax error at %a: %s" Progmp_lang.Loc.pp loc m)
+  | Progmp_lang.Typecheck.Error (m, loc) ->
+      Some (Fmt.str "type error at %a: %s" Progmp_lang.Loc.pp loc m)
+  | _ -> None
+
+(** Compile a specification into a scheduler with the interpreter engine.
+    @raise Load_error with a located message when the spec is invalid. *)
+let of_source ~name src =
+  let program =
+    try Progmp_lang.Optimize.program (Progmp_lang.Typecheck.compile_source src)
+    with e -> (
+      match describe_error e with
+      | Some msg -> raise (Load_error (Fmt.str "scheduler %s: %s" name msg))
+      | None -> raise e)
+  in
+  {
+    name;
+    program;
+    engine_name = Interpret;
+    run = (fun env -> Interpreter.run program env);
+  }
+
+let use_aot t =
+  t.run <- Aot.compile t.program;
+  t.engine_name <- Aot
+
+let set_engine t ~name run =
+  t.run <- run;
+  t.engine_name <- Custom name
+
+let engine_label t =
+  match t.engine_name with
+  | Interpret -> "interpreter"
+  | Aot -> "aot"
+  | Custom n -> n
+
+(* Global registry of loaded schedulers, keyed by name. *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let load ~name src =
+  let t = of_source ~name src in
+  Hashtbl.replace registry name t;
+  t
+
+let find name = Hashtbl.find_opt registry name
+
+let loaded_names () = Hashtbl.fold (fun k _ acc -> k :: acc) registry []
+
+(** Run one scheduler execution against [env] with the given subflow
+    snapshot; returns the produced actions. *)
+let execute t (env : Env.t) ~subflows =
+  Env.begin_execution env ~subflows;
+  t.run env;
+  Env.finish_execution env
+
+(** Compressed execution (paper §4.1): rather than triggering the
+    scheduler once per event, keep re-executing while it makes progress,
+    bounded by [max_rounds]. [apply] must apply each round's actions to
+    the host state and [snapshot] must return fresh subflow views (so
+    that e.g. QUEUED reflects earlier rounds and congestion-window checks
+    eventually stop the loop). Returns all actions in order. *)
+let execute_compressed ?(max_rounds = 64) t (env : Env.t) ~snapshot ~apply =
+  let rec go rounds acc =
+    if rounds >= max_rounds then List.concat (List.rev acc)
+    else
+      let actions = execute t env ~subflows:(snapshot ()) in
+      if actions = [] then List.concat (List.rev acc)
+      else begin
+        List.iter apply actions;
+        go (rounds + 1) (actions :: acc)
+      end
+  in
+  go 0 []

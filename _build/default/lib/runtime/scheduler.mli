@@ -1,0 +1,59 @@
+(** Scheduler loading, registry and execution.
+
+    A scheduler is a checked + optimized program plus an execution
+    engine. Loaded schedulers live in a global registry so applications
+    can reuse them by name without recompilation (paper §3.2). Engines
+    are interchangeable: the interpreter (default), the AOT closure
+    backend ({!use_aot}), or the eBPF-style VM installed by
+    [Progmp_compiler.Compile.install] via {!set_engine}. *)
+
+type engine = Interpret | Aot | Custom of string
+
+type t = {
+  name : string;
+  program : Progmp_lang.Tast.program;
+  mutable engine_name : engine;
+  mutable run : Env.t -> unit;
+}
+
+exception Load_error of string
+(** Raised with a located, human-readable message when a specification
+    fails to lex, parse or type-check. *)
+
+val of_source : name:string -> string -> t
+(** Compile a specification (without registering it).
+    @raise Load_error when the spec is invalid. *)
+
+val use_aot : t -> unit
+(** Switch to the closure-compiling AOT engine. *)
+
+val set_engine : t -> name:string -> (Env.t -> unit) -> unit
+(** Install a custom engine (e.g. the compiled VM, a profiler, or a
+    native baseline). *)
+
+val engine_label : t -> string
+
+val load : name:string -> string -> t
+(** Compile and register under [name], replacing any previous entry.
+    @raise Load_error when the spec is invalid. *)
+
+val find : string -> t option
+
+val loaded_names : unit -> string list
+
+val execute : t -> Env.t -> subflows:Subflow_view.t array -> Action.t list
+(** One scheduler execution against a subflow snapshot; returns the
+    produced actions in program order (after restoring popped-but-
+    unhandled packets to their queues). *)
+
+val execute_compressed :
+  ?max_rounds:int ->
+  t ->
+  Env.t ->
+  snapshot:(unit -> Subflow_view.t array) ->
+  apply:(Action.t -> unit) ->
+  Action.t list
+(** Compressed execution (paper §4.1): re-execute while the scheduler
+    makes progress, bounded by [max_rounds] (default 64). [apply] must
+    apply each action to the host state and [snapshot] must return fresh
+    views, so congestion-window checks eventually stop the loop. *)

@@ -1,0 +1,8 @@
+(** Source-generating AOT backend — the analogue of the paper's
+    ahead-of-time compiler that "generates and compiles C functions"
+    (§4.1): renders a checked program as a standalone OCaml module
+    exposing [val engine : Progmp_runtime.Env.t -> unit]. Generated
+    modules are compiled by a dune rule and differentially tested
+    against the interpreter (see test/gen). *)
+
+val emit : ?name:string -> Progmp_lang.Tast.program -> string

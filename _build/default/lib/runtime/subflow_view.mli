@@ -1,0 +1,36 @@
+(** Immutable per-execution snapshot of a subflow's state — the
+    properties the programming model exposes (paper §3.1/Table 1). The
+    host builds one view per subflow before each scheduler execution.
+    Times are in microseconds, throughput in bytes/second. *)
+
+type t = {
+  id : int;  (** stable subflow identifier, 0-based and < 62 *)
+  rtt_us : int;
+  rtt_avg_us : int;
+  rtt_var_us : int;
+  cwnd : int;  (** congestion window, segments *)
+  ssthresh : int;
+  skbs_in_flight : int;
+  queued : int;  (** segments assigned but not yet on the wire *)
+  lost_skbs : int;
+  is_backup : bool;
+  tsq_throttled : bool;
+  lossy : bool;
+  rto_us : int;
+  throughput_bps : int;  (** achievable-rate estimate, bytes/second *)
+  mss : int;
+  receive_window_bytes : int;  (** free receive-window space *)
+}
+
+val default : t
+(** A plausible 10 ms / cwnd-10 subflow; tests and examples override
+    fields of interest. *)
+
+val has_window_for : t -> Packet.t -> bool
+(** The model's [HAS_WINDOW_FOR]. *)
+
+val prop_int : t -> Progmp_lang.Props.subflow_prop -> int
+(** Property read shared by the interpreter and the VM helpers;
+    booleans encode as 0/1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/schedulers/native.ml: Array Env List Packet Pqueue Progmp_runtime Scheduler Subflow_view

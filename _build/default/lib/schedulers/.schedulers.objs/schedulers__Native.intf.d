@@ -1,0 +1,1 @@
+lib/schedulers/native.mli: Progmp_runtime

@@ -1,0 +1,1 @@
+lib/schedulers/specs.ml: List Progmp_runtime

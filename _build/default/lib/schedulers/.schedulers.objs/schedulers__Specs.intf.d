@@ -1,0 +1,1 @@
+lib/schedulers/specs.mli: Progmp_runtime

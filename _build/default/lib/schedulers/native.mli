@@ -1,0 +1,15 @@
+(** Hand-written OCaml schedulers — the counterpart of the paper's
+    in-kernel C implementations, used as the Fig. 9 overhead baseline
+    and as semantic oracles in the differential tests. Each engine
+    implements exactly the policy of its {!Specs} counterpart. *)
+
+val default : Progmp_runtime.Env.t -> unit
+
+val round_robin : Progmp_runtime.Env.t -> unit
+(** Cursor in register R3, like the spec, so the two variants are
+    interchangeable mid-connection. *)
+
+val redundant_if_no_q : Progmp_runtime.Env.t -> unit
+
+val install : Progmp_runtime.Scheduler.t -> (Progmp_runtime.Env.t -> unit) -> unit
+(** Install a native engine on a loaded scheduler. *)

@@ -1,0 +1,472 @@
+(** The scheduler zoo: ProgMP specifications of every scheduler discussed
+    in the paper — the mainline ones it revisits (§3.4) and the novel
+    ones it contributes (§5) — plus a few design-space variants from
+    Table 2.
+
+    Register conventions used across the zoo (set through the extended
+    API, {!Progmp_runtime.Api}):
+
+    - [R1] — application intent value: target bandwidth in bytes/second
+      (TAP, deadline), tolerable RTT in microseconds (target-RTT), or a
+      mode flag, depending on the scheduler;
+    - [R2] — end-of-flow signal (0 = more data expected, 1 = flow ends
+      with the current queue content), used by the compensating family;
+    - [R3] — scratch state owned by the scheduler itself (e.g. the
+      round-robin cursor). *)
+
+(** Default (minimum-RTT) scheduler, §3.4: lowest-RTT subflow with a free
+    congestion window; reinjections first; backup subflows only when no
+    active subflow exists. Re-exported from the API module, where it is
+    the scheduler installed on fresh sockets. *)
+let default = Progmp_runtime.Api.default_scheduler_source
+
+(** Fig. 3: the minimal illustrative min-RTT scheduler. *)
+let minrtt_minimal =
+  {|
+IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {
+  SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+}
+|}
+
+(** Fig. 5: round robin with a cyclic cursor in R3, skipping
+    TSQ-throttled and lossy subflows, work-conserving on the congestion
+    window. *)
+let round_robin =
+  {|
+VAR sbfs = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY);
+IF (R3 >= sbfs.COUNT) { SET(R3, 0); }
+IF (!Q.EMPTY) {
+  VAR sbf = sbfs.GET(R3);
+  IF (sbf != NULL) {
+    IF (sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED) {
+      sbf.PUSH(Q.POP());
+    }
+    SET(R3, R3 + 1);
+  }
+}
+|}
+
+(** Fig. 10a (top): the existing redundant scheduler [17, 32]. Every
+    subflow first catches up on in-flight packets it has not carried yet,
+    then receives fresh data; the first received copy wins. *)
+let redundant =
+  {|
+VAR sbfCandidates = SUBFLOWS.FILTER(sbf =>
+  sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+FOREACH (VAR sbf IN sbfCandidates) {
+  VAR skb = QU.FILTER(s => !s.SENT_ON(sbf)).TOP;
+  IF (skb != NULL) {
+    sbf.PUSH(skb);
+  } ELSE {
+    IF (!Q.EMPTY) {
+      sbf.PUSH(Q.POP());
+    }
+  }
+}
+|}
+
+(** §5.1: OpportunisticRedundant — a packet is sent on all subflows with
+    a free congestion window at the moment it is {e first} scheduled;
+    afterwards fresh packets take priority over completing redundancy, so
+    a filling Q gradually degrades to plain scheduling. *)
+let opportunistic_redundant =
+  {|
+VAR sbfCandidates = SUBFLOWS.FILTER(sbf =>
+  sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!sbfCandidates.EMPTY AND !Q.EMPTY) {
+  VAR skb = Q.TOP;
+  FOREACH (VAR sbf IN sbfCandidates) {
+    sbf.PUSH(skb);
+  }
+  DROP(Q.POP());
+}
+|}
+
+(** §5.1: RedundantIfNoQ — always favour fresh packets; spend leftover
+    capacity on redundant copies only while the sending queue is empty.
+    Outperforms all other schedulers on short flows over lossy paths
+    (Fig. 10b). *)
+let redundant_if_no_q =
+  {|
+VAR sbfCandidates = SUBFLOWS.FILTER(sbf =>
+  sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+FOREACH (VAR sbf IN sbfCandidates) {
+  IF (!Q.EMPTY) {
+    sbf.PUSH(Q.POP());
+  } ELSE {
+    VAR skb = QU.FILTER(s => !s.SENT_ON(sbf)).TOP;
+    IF (skb != NULL) {
+      sbf.PUSH(skb);
+    }
+  }
+}
+|}
+
+(** §5.3, Fig. 12: Compensating scheduler. Normal operation is the
+    default min-RTT strategy; when the application signals the end of the
+    flow (R2 = 1), previous scheduling decisions are compensated by
+    retransmitting every packet still in flight on the subflows it has
+    not used yet. *)
+let compensating =
+  {|
+VAR open = SUBFLOWS.FILTER(sbf =>
+  sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!Q.EMPTY) {
+  VAR sbf = open.MIN(m => m.RTT);
+  IF (sbf != NULL) { sbf.PUSH(Q.POP()); }
+} ELSE {
+  IF (R2 == 1) {
+    FOREACH (VAR c IN SUBFLOWS) {
+      VAR skb = QU.FILTER(u => !u.SENT_ON(c)).TOP;
+      IF (skb != NULL) { c.PUSH(skb); }
+    }
+  }
+}
+|}
+
+(** §5.3, Fig. 12 (highlighted): Selective Compensation — compensate only
+    when the subflow RTTs actually diverge (ratio > 2), balancing the FCT
+    gain against the retransmission overhead. *)
+let selective_compensation =
+  {|
+VAR open = SUBFLOWS.FILTER(sbf =>
+  sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!Q.EMPTY) {
+  VAR sbf = open.MIN(m => m.RTT);
+  IF (sbf != NULL) { sbf.PUSH(Q.POP()); }
+} ELSE {
+  IF (R2 == 1) {
+    VAR fast = SUBFLOWS.MIN(f => f.RTT);
+    VAR slow = SUBFLOWS.MAX(g => g.RTT);
+    IF (fast != NULL AND slow.RTT > 2 * fast.RTT) {
+      FOREACH (VAR c IN SUBFLOWS) {
+        VAR skb = QU.FILTER(u => !u.SENT_ON(c)).TOP;
+        IF (skb != NULL) { c.PUSH(skb); }
+      }
+    }
+  }
+}
+|}
+
+(** §5.4, Fig. 13: TAP — the throughput- and preference-aware scheduler.
+    The application signals the required stream bandwidth (bytes/second)
+    in R1. Preferred (non-backup) subflows are always used first;
+    non-preferred subflows (e.g. metered LTE, flagged backup) receive a
+    packet only when every preferred subflow is congestion-blocked
+    {e and} the preferred capacity estimate cannot sustain the target —
+    together these two gates restrict the non-preferred subflows to the
+    leftover fraction of the traffic, the paper's
+    (targetBw - capacityPreferred) / targetBw. *)
+let tap =
+  {|
+VAR preferred = SUBFLOWS.FILTER(p => !p.IS_BACKUP);
+// expected throughput from the congestion window and the current RTT
+// (computed per scheduling decision, as in the paper): under load the
+// RTT estimate inflates with the queue, so this bound tracks what the
+// preferred subflows actually sustain
+VAR capacityPreferred = preferred.SUM(c =>
+  c.CWND * c.MSS * 1000000 / c.RTT);
+VAR openPreferred = preferred.FILTER(o =>
+  o.CWND > o.SKBS_IN_FLIGHT + o.QUEUED);
+VAR spill = SUBFLOWS.FILTER(s => s.IS_BACKUP AND
+  s.CWND > s.SKBS_IN_FLIGHT + s.QUEUED);
+VAR needSpill = capacityPreferred < R1;
+IF (!RQ.EMPTY) {
+  // a suspected loss blocks in-order delivery and thus the throughput
+  // target: reinject it on the preferred subflows if possible, on a
+  // non-preferred one if the target is otherwise unreachable
+  IF (!openPreferred.EMPTY) {
+    openPreferred.MIN(r => r.RTT).PUSH(RQ.POP());
+  } ELSE {
+    IF (needSpill AND !spill.EMPTY) {
+      spill.MIN(r2 => r2.RTT).PUSH(RQ.POP());
+    }
+  }
+} ELSE {
+  IF (!Q.EMPTY) {
+    IF (!openPreferred.EMPTY) {
+      openPreferred.MIN(m => m.RTT).PUSH(Q.POP());
+    } ELSE {
+      // every preferred subflow is congestion-blocked AND the preferred
+      // capacity estimate cannot sustain the target: spill the leftover
+      // onto the non-preferred subflows, lowest RTT first
+      IF (needSpill AND !spill.EMPTY) {
+        spill.MIN(n => n.RTT).PUSH(Q.POP());
+      }
+    }
+  }
+}
+|}
+
+(** §5.4: deadline-driven (MP-DASH-style) scheduler. The application's
+    control loop signals the throughput required to meet the next chunk
+    deadline in R1 (bytes/second, recomputed as deadlines approach; see
+    [Apps.Dash]). Compared to {!tap} the preferred gate also respects the
+    TSQ/loss state: data waits in Q (late binding) rather than being
+    buried in a struggling preferred subflow's queue, so an approaching
+    deadline can still divert it — one of the "many flavors" the
+    programming model makes cheap to tune (§5.4). *)
+let target_deadline =
+  {|
+VAR preferred = SUBFLOWS.FILTER(p => !p.IS_BACKUP);
+VAR capacityPreferred = preferred.SUM(c => c.THROUGHPUT);
+VAR openPreferred = preferred.FILTER(o =>
+  !o.TSQ_THROTTLED AND !o.LOSSY AND
+  o.CWND > o.SKBS_IN_FLIGHT + o.QUEUED);
+VAR spill = SUBFLOWS.FILTER(s => s.IS_BACKUP AND
+  s.CWND > s.SKBS_IN_FLIGHT + s.QUEUED);
+VAR needSpill = capacityPreferred < R1;
+IF (!RQ.EMPTY) {
+  IF (!openPreferred.EMPTY) {
+    openPreferred.MIN(r => r.RTT).PUSH(RQ.POP());
+  } ELSE {
+    IF (needSpill AND !spill.EMPTY) {
+      spill.MIN(r2 => r2.RTT).PUSH(RQ.POP());
+    }
+  }
+} ELSE {
+  IF (!Q.EMPTY) {
+    IF (!openPreferred.EMPTY) {
+      openPreferred.MIN(m => m.RTT).PUSH(Q.POP());
+    } ELSE {
+      IF (needSpill AND !spill.EMPTY) {
+        spill.MIN(n => n.RTT).PUSH(Q.POP());
+      }
+    }
+  }
+}
+|}
+
+(** §5.4: latency- and preference-aware scheduler — retain a tolerable
+    RTT (microseconds, in R1) and resort to non-preferred subflows only
+    when every preferred subflow exceeds it. *)
+let target_rtt =
+  {|
+VAR preferred = SUBFLOWS.FILTER(p => !p.IS_BACKUP);
+VAR openPreferred = preferred.FILTER(o =>
+  o.CWND > o.SKBS_IN_FLIGHT + o.QUEUED);
+VAR fastEnough = openPreferred.FILTER(f => f.RTT <= R1);
+IF (!Q.EMPTY) {
+  IF (!fastEnough.EMPTY) {
+    // a preferred subflow meets the target: preferences win
+    fastEnough.MIN(m => m.RTT).PUSH(Q.POP());
+  } ELSE {
+    // no preferred subflow can retain the target RTT: fall back to the
+    // globally fastest open subflow, backup or not
+    VAR any = SUBFLOWS.FILTER(a =>
+      a.CWND > a.SKBS_IN_FLIGHT + a.QUEUED);
+    VAR fallback = any.MIN(b => b.RTT);
+    IF (fallback != NULL) { fallback.PUSH(Q.POP()); }
+  }
+}
+|}
+
+(** §5.2: handover-aware scheduler. R1 = the subflow id of the handover
+    target. In handover mode the scheduler aggressively reinjects: all
+    packets in flight that the target subflow has not carried are
+    retransmitted on it, compensating losses on the dying subflow. *)
+let handover =
+  {|
+VAR target = SUBFLOWS.FILTER(t => t.ID == R1);
+IF (!target.EMPTY) {
+  VAR nsbf = target.GET(0);
+  VAR skb = QU.FILTER(u => !u.SENT_ON(nsbf)).TOP;
+  IF (skb != NULL) {
+    nsbf.PUSH(skb);
+  } ELSE {
+    IF (!RQ.EMPTY) {
+      nsbf.PUSH(RQ.POP());
+    } ELSE {
+      IF (!Q.EMPTY) { nsbf.PUSH(Q.POP()); }
+    }
+  }
+} ELSE {
+  VAR open = SUBFLOWS.FILTER(sbf =>
+    sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+  VAR sbf2 = open.MIN(m => m.RTT);
+  IF (sbf2 != NULL AND !Q.EMPTY) { sbf2.PUSH(Q.POP()); }
+}
+|}
+
+(** §5.5, Fig. 14: HTTP/2-aware scheduler. The MPTCP-aware web server
+    annotates packets with their content class in PROP1:
+    1 = dependency-critical head (HTML/JS that references external
+    resources), 2 = remaining initial-view content, 3 = content below the
+    initial view. Critical packets avoid high-RTT subflows (they wait for
+    the fastest subflow); initial-view content uses the default min-RTT
+    strategy; below-the-fold content is preference-aware and stays off
+    non-preferred (metered) subflows entirely. *)
+let http2_aware =
+  {|
+VAR open = SUBFLOWS.FILTER(sbf =>
+  sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+VAR fastest = SUBFLOWS.MIN(f => f.RTT);
+VAR crit = Q.FILTER(c => c.PROP1 == 1).TOP;
+IF (crit != NULL) {
+  // dependency-critical data: only ever on the lowest-RTT subflow
+  IF (fastest != NULL) {
+    IF (fastest.CWND > fastest.SKBS_IN_FLIGHT + fastest.QUEUED) {
+      fastest.PUSH(Q.FILTER(d => d.PROP1 == 1).POP());
+    }
+  }
+} ELSE {
+  VAR initial = Q.FILTER(i => i.PROP1 == 2).TOP;
+  IF (initial != NULL) {
+    VAR sbf = open.MIN(m => m.RTT);
+    IF (sbf != NULL) { sbf.PUSH(Q.FILTER(j => j.PROP1 == 2).POP()); }
+  } ELSE {
+    // below-the-fold content: preference-aware, metered subflows avoided
+    VAR openPreferred = open.FILTER(p => !p.IS_BACKUP);
+    VAR psbf = openPreferred.MIN(n => n.RTT);
+    IF (psbf != NULL AND !Q.EMPTY) { psbf.PUSH(Q.POP()); }
+  }
+}
+|}
+
+(** Table 2 (Redundancy with preferences): use backup subflows for
+    redundancy only while the non-backup subflows look unhealthy — high
+    RTT variance relative to the average, or recent losses. Fresh data
+    still goes to the preferred subflows min-RTT; the backups carry
+    only duplicate copies, so the extra cost buys pure insurance. *)
+let backup_redundant =
+  {|
+VAR actives = SUBFLOWS.FILTER(a => !a.IS_BACKUP);
+VAR openActives = actives.FILTER(o =>
+  o.CWND > o.SKBS_IN_FLIGHT + o.QUEUED);
+IF (!Q.EMPTY) {
+  VAR sbf = openActives.MIN(m => m.RTT);
+  IF (sbf != NULL) { sbf.PUSH(Q.POP()); }
+}
+// insurance: non-backup path looks shaky when the RTT variance exceeds
+// a quarter of the average RTT, or it is in loss recovery
+VAR shaky = actives.FILTER(sh =>
+  4 * sh.RTT_VAR > sh.RTT_AVG OR sh.LOSSY OR sh.LOST_SKBS > 0);
+IF (!shaky.EMPTY) {
+  VAR insurers = SUBFLOWS.FILTER(i => i.IS_BACKUP AND
+    i.CWND > i.SKBS_IN_FLIGHT + i.QUEUED);
+  FOREACH (VAR b IN insurers) {
+    VAR skb = QU.FILTER(u => !u.SENT_ON(b)).TOP;
+    IF (skb != NULL) { b.PUSH(skb); }
+  }
+}
+|}
+
+(** Table 2 (Heterogeneous subflows, "flow size signaled / avoid slow
+    subflow at end of flow"): the application keeps R1 updated with the
+    bytes remaining in the current flow; while plenty remains, schedule
+    min-RTT over all subflows, but once the remainder is small enough
+    that the slow subflow's extra RTT would dominate the FCT, place the
+    tail only on the fastest subflow. The proactive sibling of the
+    (reactive) Compensating scheduler. *)
+let flow_size_aware =
+  {|
+VAR open = SUBFLOWS.FILTER(sbf =>
+  sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+VAR fast = SUBFLOWS.MIN(f => f.RTT);
+IF (!Q.EMPTY AND fast != NULL) {
+  // tail threshold: what the fastest subflow can carry in one window
+  IF (R1 <= fast.CWND * fast.MSS) {
+    IF (fast.CWND > fast.SKBS_IN_FLIGHT + fast.QUEUED) {
+      fast.PUSH(Q.POP());
+    }
+  } ELSE {
+    VAR sbf = open.MIN(m => m.RTT);
+    IF (sbf != NULL) { sbf.PUSH(Q.POP()); }
+  }
+}
+|}
+
+(** §3.2 (packet properties): priority-aware redundancy. The extended
+    API marks latency-critical packets with PROP2 = 1 (e.g. a database's
+    small requests, the paper's motivating example): those are pulled
+    out of the queue ahead of bulk data and sent redundantly on every
+    subflow with room — backups included. Ordinary packets follow the
+    default min-RTT strategy on non-backup subflows. *)
+let priority_redundant =
+  {|
+VAR prio = Q.FILTER(c => c.PROP2 == 1).TOP;
+IF (prio != NULL) {
+  VAR open = SUBFLOWS.FILTER(o =>
+    o.CWND > o.SKBS_IN_FLIGHT + o.QUEUED);
+  IF (!open.EMPTY) {
+    VAR skb = Q.FILTER(d => d.PROP2 == 1).POP();
+    FOREACH (VAR sbf IN open) {
+      sbf.PUSH(skb);
+    }
+  }
+} ELSE {
+  VAR actives = SUBFLOWS.FILTER(a => !a.IS_BACKUP AND
+    a.CWND > a.SKBS_IN_FLIGHT + a.QUEUED);
+  VAR best = actives.MIN(m => m.RTT);
+  IF (best != NULL AND !Q.EMPTY) { best.PUSH(Q.POP()); }
+}
+|}
+
+(** Table 2 (Probing): keep RTT estimates of otherwise idle subflows
+    fresh by recurrently sending one redundant copy on subflows that
+    carry no traffic. R3 counts executions; every 64th execution probes. *)
+let probing =
+  {|
+VAR open = SUBFLOWS.FILTER(sbf =>
+  sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!Q.EMPTY) {
+  VAR sbf = open.MIN(m => m.RTT);
+  IF (sbf != NULL) { sbf.PUSH(Q.POP()); }
+}
+SET(R3, R3 + 1);
+IF (R3 >= 64) {
+  SET(R3, 0);
+  VAR idle = SUBFLOWS.FILTER(i => i.SKBS_IN_FLIGHT == 0 AND i.QUEUED == 0);
+  IF (!idle.EMPTY) {
+    VAR probe = QU.TOP;
+    IF (probe != NULL) { idle.GET(0).PUSH(probe); }
+  }
+}
+|}
+
+(** §3.4 (Opportunistic Retransmission): when the receive window blocks
+    the fastest subflow, retransmit in-flight packets from slower
+    subflows on it instead of idling. *)
+let opportunistic_retransmission =
+  {|
+VAR open = SUBFLOWS.FILTER(sbf =>
+  sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+VAR minRttSbf = open.MIN(m => m.RTT);
+IF (minRttSbf != NULL) {
+  IF (!Q.EMPTY) {
+    IF (minRttSbf.HAS_WINDOW_FOR(Q.TOP)) {
+      minRttSbf.PUSH(Q.POP());
+    } ELSE {
+      VAR skb = QU.FILTER(u => !u.SENT_ON(minRttSbf)).TOP;
+      IF (skb != NULL) { minRttSbf.PUSH(skb); }
+    }
+  }
+}
+|}
+
+(** All named specifications, for bulk loading, fuzzing and the CLI. *)
+let all =
+  [
+    ("default", default);
+    ("minrtt_minimal", minrtt_minimal);
+    ("round_robin", round_robin);
+    ("redundant", redundant);
+    ("opportunistic_redundant", opportunistic_redundant);
+    ("redundant_if_no_q", redundant_if_no_q);
+    ("compensating", compensating);
+    ("selective_compensation", selective_compensation);
+    ("tap", tap);
+    ("target_rtt", target_rtt);
+    ("target_deadline", target_deadline);
+    ("handover", handover);
+    ("backup_redundant", backup_redundant);
+    ("priority_redundant", priority_redundant);
+    ("flow_size_aware", flow_size_aware);
+    ("http2_aware", http2_aware);
+    ("probing", probing);
+    ("opportunistic_retransmission", opportunistic_retransmission);
+  ]
+
+(** Load every scheduler of the zoo into the runtime registry. *)
+let load_all () =
+  List.map (fun (name, src) -> Progmp_runtime.Scheduler.load ~name src) all

@@ -1,0 +1,86 @@
+(** The scheduler zoo: ProgMP specifications of every scheduler the paper
+    discusses — the mainline ones it revisits (§3.4), the novel ones it
+    contributes (§5), and design-space variants from Table 2.
+
+    Register conventions: R1 carries the application intent value
+    (target bandwidth in bytes/s, tolerable RTT in µs, or a mode flag
+    depending on the scheduler); R2 is the end-of-flow signal for the
+    compensating family; R3 is scheduler-owned scratch (e.g. the
+    round-robin cursor); R4 is TAP-family scratch. *)
+
+val default : string
+(** §3.4: min-RTT with free congestion window, reinjections first,
+    backup subflows only when no active subflow exists. *)
+
+val minrtt_minimal : string
+(** Fig. 3: the minimal illustrative min-RTT scheduler. *)
+
+val round_robin : string
+(** Fig. 5: cyclic cursor in R3, work-conserving on the congestion
+    window, skipping TSQ-throttled and lossy subflows. *)
+
+val redundant : string
+(** Fig. 10a: the existing fully-redundant scheduler [17, 32]. *)
+
+val opportunistic_redundant : string
+(** §5.1: redundancy only when a packet is first scheduled. *)
+
+val redundant_if_no_q : string
+(** §5.1: fresh packets always first; redundancy only on an empty Q. *)
+
+val compensating : string
+(** §5.3: retransmit in-flight packets cross-subflow at the signalled
+    end of flow (R2 = 1). *)
+
+val selective_compensation : string
+(** §5.3: compensate only when the subflow RTT ratio exceeds 2. *)
+
+val tap : string
+(** §5.4, Fig. 13: throughput- and preference-aware scheduler; target
+    bandwidth in R1, non-preferred subflows take only the capacity
+    deficit. *)
+
+val target_rtt : string
+(** §5.4: tolerable RTT in R1; non-preferred subflows rescue latency
+    when every preferred subflow violates the target. *)
+
+val target_deadline : string
+(** §5.4: MP-DASH-style deadline scheduler (required rate in R1,
+    recomputed by the application's control loop); TSQ-aware late
+    binding. *)
+
+val handover : string
+(** §5.2: aggressive catch-up retransmission on the handover target
+    subflow (id in R1). *)
+
+val backup_redundant : string
+(** Table 2: backup subflows carry redundant copies only while the
+    non-backup paths look unhealthy (RTT variance, loss state). *)
+
+val priority_redundant : string
+(** §3.2: packets the application marks high-priority (PROP2 = 1) jump
+    the queue and are sent redundantly on every subflow with room,
+    backups included; ordinary data follows min-RTT on non-backups. *)
+
+val flow_size_aware : string
+(** Table 2: with the remaining flow size signalled in R1, the tail of
+    a flow avoids slow subflows proactively. *)
+
+val http2_aware : string
+(** §5.5: content classes in PROP1 — dependency-critical data only on
+    the fastest subflow, initial-view data min-RTT, below-the-fold data
+    preference-aware. *)
+
+val probing : string
+(** Table 2: keep RTT estimates of idle subflows fresh with recurrent
+    redundant probes. *)
+
+val opportunistic_retransmission : string
+(** §3.4: retransmit in-flight packets on the fastest subflow when the
+    receive window blocks it. *)
+
+val all : (string * string) list
+(** Every named specification, for bulk loading, fuzzing and the CLI. *)
+
+val load_all : unit -> Progmp_runtime.Scheduler.t list
+(** Load the whole zoo into the runtime registry. *)

@@ -1,0 +1,1 @@
+lib/sim/congestion.ml: Float List Tcp_subflow

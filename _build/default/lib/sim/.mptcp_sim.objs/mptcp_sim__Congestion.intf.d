@@ -1,0 +1,1 @@
+lib/sim/congestion.mli: Tcp_subflow

@@ -1,0 +1,1 @@
+lib/sim/connection.ml: Congestion Eventq List Meta_socket Path_manager Rng Tcp_subflow

@@ -1,0 +1,1 @@
+lib/sim/connection.mli: Eventq Link Meta_socket Path_manager Progmp_runtime Rng Tcp_subflow

@@ -1,0 +1,1 @@
+lib/sim/link.mli: Eventq Rng

@@ -1,0 +1,1 @@
+lib/sim/meta_socket.mli: Action Api Env Eventq Hashtbl Packet Progmp_runtime Subflow_view Tcp_subflow

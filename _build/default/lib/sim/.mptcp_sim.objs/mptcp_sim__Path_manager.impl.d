@@ -1,0 +1,1 @@
+lib/sim/path_manager.ml: Eventq Link List Meta_socket Rng Tcp_subflow

@@ -1,0 +1,1 @@
+lib/sim/path_manager.mli: Eventq Link Meta_socket Rng Tcp_subflow

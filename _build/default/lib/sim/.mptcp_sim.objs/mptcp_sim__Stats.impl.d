@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Array Connection Float List Path_manager Tcp_subflow

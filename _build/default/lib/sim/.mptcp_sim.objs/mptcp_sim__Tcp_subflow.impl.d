@@ -1,0 +1,1 @@
+lib/sim/tcp_subflow.ml: Eventq Float Hashtbl Link List Packet Progmp_runtime Queue Sim_log Subflow_view

@@ -1,0 +1,1 @@
+lib/sim/tcp_subflow.mli: Eventq Hashtbl Link Packet Progmp_runtime Queue Subflow_view

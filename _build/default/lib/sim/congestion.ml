@@ -1,0 +1,61 @@
+(** Pluggable congestion-control window increase.
+
+    Each {!Tcp_subflow.t} carries a [cc_on_ack] hook; this module provides
+    the two policies used in the evaluation:
+
+    - {!reno}: standard uncoupled NewReno per subflow (the loss/recovery
+      machinery lives in [Tcp_subflow] and is shared by both policies);
+    - {!lia}: the coupled increase of RFC 6356 ("Linked Increases"),
+      which caps the aggregate aggressiveness of all subflows so MPTCP
+      stays friendly to single-path TCP on shared bottlenecks.
+
+    The paper treats congestion control as a separate building block the
+    scheduler merely observes (§2.1); both policies expose the same CWND
+    to the programming model. *)
+
+let reno = Tcp_subflow.reno_on_ack
+
+(** Install the LIA coupled increase across [subflows]: per ack,
+    cwnd_i += min(alpha / cwnd_total, 1 / cwnd_i), with
+    alpha = cwnd_total * max_i(cwnd_i / rtt_i^2) / (sum_i cwnd_i / rtt_i)^2. *)
+let install_lia (subflows : Tcp_subflow.t list) =
+  let lia_alpha () =
+    let act =
+      List.filter (fun s -> s.Tcp_subflow.established) subflows
+    in
+    let rtt s =
+      Float.max 1e-4
+        (if s.Tcp_subflow.rtt_samples = 0 then 0.05 else s.Tcp_subflow.srtt)
+    in
+    let total = List.fold_left (fun a s -> a +. s.Tcp_subflow.cwnd) 0.0 act in
+    let best =
+      List.fold_left
+        (fun a s -> Float.max a (s.Tcp_subflow.cwnd /. (rtt s *. rtt s)))
+        0.0 act
+    in
+    let denom =
+      List.fold_left (fun a s -> a +. (s.Tcp_subflow.cwnd /. rtt s)) 0.0 act
+    in
+    if denom <= 0.0 then 1.0 else total *. best /. (denom *. denom)
+  in
+  let coupled (s : Tcp_subflow.t) acked =
+    if s.Tcp_subflow.cwnd < s.Tcp_subflow.ssthresh then
+      (* slow start is uncoupled, as in the Linux implementation *)
+      s.Tcp_subflow.cwnd <- s.Tcp_subflow.cwnd +. float_of_int acked
+    else begin
+      let total =
+        List.fold_left
+          (fun a x ->
+            if x.Tcp_subflow.established then a +. x.Tcp_subflow.cwnd else a)
+          0.0 subflows
+      in
+      let alpha = lia_alpha () in
+      let inc =
+        Float.min
+          (alpha /. Float.max 1.0 total)
+          (1.0 /. Float.max 1.0 s.Tcp_subflow.cwnd)
+      in
+      s.Tcp_subflow.cwnd <- s.Tcp_subflow.cwnd +. (float_of_int acked *. inc)
+    end
+  in
+  List.iter (fun s -> s.Tcp_subflow.cc_on_ack <- coupled) subflows

@@ -1,0 +1,13 @@
+(** Pluggable congestion-control window increase for subflows: standard
+    uncoupled NewReno, and the coupled increase of RFC 6356 (LIA), which
+    caps the aggregate aggressiveness of all subflows so MPTCP stays
+    friendly to single-path TCP on shared bottlenecks (paper §2.1). *)
+
+val reno : Tcp_subflow.t -> int -> unit
+(** The default per-subflow increase (re-exported from
+    {!Tcp_subflow.reno_on_ack}). *)
+
+val install_lia : Tcp_subflow.t list -> unit
+(** Install the LIA coupled increase across the given subflows: per
+    ack, cwnd_i += min(alpha / cwnd_total, 1 / cwnd_i). Slow start
+    remains uncoupled, as in the Linux implementation. *)

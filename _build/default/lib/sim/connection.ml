@@ -1,0 +1,108 @@
+(** A complete simulated MPTCP connection: clock, RNG, meta socket,
+    managed paths, and convenience accessors for experiments. This is the
+    top-level object benchmark scenarios construct. *)
+
+type cc_policy = Uncoupled_reno | Coupled_lia
+
+type t = {
+  clock : Eventq.t;
+  rng : Rng.t;
+  meta : Meta_socket.t;
+  mutable paths : Path_manager.managed list;
+}
+
+(** Build a connection over [paths]. [delivery_mode] selects the
+    receiver behaviour of §4.2 (defaults to the paper's
+    earliest-possible delivery); [cc] the congestion-control coupling.
+    Pass [clock] (and a distinct [seed]) to place several connections in
+    the same simulated network — e.g. competing over a shared
+    bottleneck; see {!create_on_links}. *)
+let create ?clock ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
+    ?(compressed = true) ?(min_rto = 0.2)
+    ?(delivery_mode = Tcp_subflow.Immediate)
+    ?(ordering = Meta_socket.Ordered) ?(cc = Coupled_lia) ~paths () =
+  let clock = match clock with Some c -> c | None -> Eventq.create () in
+  let rng = Rng.create seed in
+  let meta = Meta_socket.create ~mss ~rcv_buffer ~compressed ~ordering ~clock () in
+  let managed =
+    Path_manager.establish_all ~clock ~rng ~meta ~min_rto ~delivery_mode paths
+  in
+  (match cc with
+  | Uncoupled_reno -> ()
+  | Coupled_lia ->
+      Congestion.install_lia (List.map (fun m -> m.Path_manager.subflow) managed));
+  { clock; rng; meta; paths = managed }
+
+(** Build a connection whose subflows run over caller-provided links —
+    several connections handed the same {!Link.t} then compete for its
+    bottleneck (the shared-bottleneck scenarios of §2.1). Each element
+    is [(spec, data_link, ack_link)]. *)
+let create_on_links ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
+    ?(compressed = true) ?(min_rto = 0.2)
+    ?(delivery_mode = Tcp_subflow.Immediate) ?(cc = Coupled_lia) ~clock ~links
+    () =
+  let rng = Rng.create seed in
+  let meta = Meta_socket.create ~mss ~rcv_buffer ~compressed ~clock () in
+  let managed =
+    List.mapi
+      (fun i (spec, data_link, ack_link) ->
+        Path_manager.attach_with_links ~clock ~meta ~min_rto ~delivery_mode
+          ~id:i ~data_link ~ack_link spec)
+      links
+  in
+  (match cc with
+  | Uncoupled_reno -> ()
+  | Coupled_lia ->
+      Congestion.install_lia (List.map (fun m -> m.Path_manager.subflow) managed));
+  { clock; rng; meta; paths = managed }
+
+let now t = Eventq.now t.clock
+
+(** Run the event loop (optionally up to an absolute time). *)
+let run ?until t = ignore (Eventq.run ?until t.clock)
+
+(** Schedule an action at an absolute simulation time. *)
+let at t ~time f = ignore (Eventq.schedule t.clock ~at:time f)
+
+let sock t = t.meta.Meta_socket.sock
+
+(** Nudge the scheduler (e.g. after the application changed a register):
+    one of the Fig. 4 calling-model events. *)
+let notify_scheduler t = Meta_socket.trigger t.meta
+
+(** Write application data now (see {!Meta_socket.write}). *)
+let write ?props t bytes = Meta_socket.write ?props t.meta bytes
+
+(** Write application data at a future time. *)
+let write_at ?props t ~time bytes =
+  at t ~time (fun () -> ignore (Meta_socket.write ?props t.meta bytes))
+
+let subflow t i = (List.nth t.paths i).Path_manager.subflow
+
+let data_link t i = (List.nth t.paths i).Path_manager.data_link
+
+let find_path t name =
+  List.find_opt (fun m -> m.Path_manager.spec.Path_manager.path_name = name) t.paths
+
+(** Dynamically add a path (handover scenarios). *)
+let add_path t ~at spec =
+  let id = List.length t.paths in
+  let m =
+    Path_manager.add_path ~clock:t.clock ~rng:t.rng ~meta:t.meta ~id ~at spec
+  in
+  t.paths <- t.paths @ [ m ];
+  m
+
+(** Fail a path at a given time. *)
+let fail_path t m ~at = Path_manager.fail_subflow ~clock:t.clock m ~at
+
+(** Total application bytes delivered in order at the receiver. *)
+let delivered_bytes t = t.meta.Meta_socket.delivered_bytes
+
+(** Bytes put on the wire per subflow (including retransmissions). *)
+let bytes_sent_per_subflow t =
+  List.map
+    (fun m ->
+      ( m.Path_manager.spec.Path_manager.path_name,
+        m.Path_manager.subflow.Tcp_subflow.bytes_sent ))
+    t.paths

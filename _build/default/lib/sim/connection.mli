@@ -1,0 +1,79 @@
+(** A complete simulated MPTCP connection: clock, RNG, meta socket and
+    managed paths — the top-level object experiments construct. Several
+    connections may share one clock (and even links) to model competing
+    traffic. *)
+
+type cc_policy = Uncoupled_reno | Coupled_lia
+
+type t = {
+  clock : Eventq.t;
+  rng : Rng.t;
+  meta : Meta_socket.t;
+  mutable paths : Path_manager.managed list;
+}
+
+val create :
+  ?clock:Eventq.t ->
+  ?seed:int ->
+  ?mss:int ->
+  ?rcv_buffer:int ->
+  ?compressed:bool ->
+  ?min_rto:float ->
+  ?delivery_mode:Tcp_subflow.delivery_mode ->
+  ?ordering:Meta_socket.ordering ->
+  ?cc:cc_policy ->
+  paths:Path_manager.path_spec list ->
+  unit ->
+  t
+(** Build a connection over [paths]. [delivery_mode] selects the §4.2
+    receiver behaviour (default: earliest-possible delivery);
+    [ordering] the §6 delivery discipline; [cc] the congestion-control
+    coupling (default LIA). Pass [clock] to share a simulated network
+    epoch with other connections. *)
+
+val create_on_links :
+  ?seed:int ->
+  ?mss:int ->
+  ?rcv_buffer:int ->
+  ?compressed:bool ->
+  ?min_rto:float ->
+  ?delivery_mode:Tcp_subflow.delivery_mode ->
+  ?cc:cc_policy ->
+  clock:Eventq.t ->
+  links:(Path_manager.path_spec * Link.t * Link.t) list ->
+  unit ->
+  t
+(** Subflows over caller-provided [(spec, data_link, ack_link)] — hand
+    several connections the same data link and they compete for its
+    bottleneck (§2.1 TCP-friendliness experiments). *)
+
+val now : t -> float
+
+val run : ?until:float -> t -> unit
+
+val at : t -> time:float -> (unit -> unit) -> unit
+
+val sock : t -> Progmp_runtime.Api.socket
+
+val notify_scheduler : t -> unit
+(** Nudge the scheduler (e.g. after the application changed a
+    register) — one of the Fig. 4 calling-model events. *)
+
+val write : ?props:int array -> t -> int -> int list
+(** Write application data now; returns the data sequence numbers. *)
+
+val write_at : ?props:int array -> t -> time:float -> int -> unit
+
+val subflow : t -> int -> Tcp_subflow.t
+
+val data_link : t -> int -> Link.t
+
+val find_path : t -> string -> Path_manager.managed option
+
+val add_path : t -> at:float -> Path_manager.path_spec -> Path_manager.managed
+
+val fail_path : t -> Path_manager.managed -> at:float -> unit
+
+val delivered_bytes : t -> int
+
+val bytes_sent_per_subflow : t -> (string * int) list

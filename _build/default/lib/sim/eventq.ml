@@ -1,0 +1,107 @@
+(** Discrete-event simulation core: a clock and a time-ordered event
+    queue (binary min-heap). Events scheduled for the same instant fire
+    in scheduling order (a monotone sequence number breaks ties), which
+    keeps runs deterministic. *)
+
+type event = { time : float; seq : int; mutable cancelled : bool; action : unit -> unit }
+
+type t = {
+  mutable now : float;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () =
+  {
+    now = 0.0;
+    heap = Array.make 256 { time = 0.; seq = 0; cancelled = true; action = ignore };
+    size = 0;
+    next_seq = 0;
+  }
+
+let now t = t.now
+
+let before (a : event) (b : event) =
+  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+(** Schedule [action] at absolute time [at] (>= now). Returns a handle
+    that {!cancel} accepts. *)
+let schedule t ~at action =
+  let at = if at < t.now then t.now else at in
+  let ev = { time = at; seq = t.next_seq; cancelled = false; action } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.heap then begin
+    let heap' = Array.make (2 * t.size) ev in
+    Array.blit t.heap 0 heap' 0 t.size;
+    t.heap <- heap'
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  ev
+
+(** Schedule relative to the current time. *)
+let schedule_in t ~delay action = schedule t ~at:(t.now +. delay) action
+
+let cancel (ev : event) = ev.cancelled <- true
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let ev = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0;
+    Some ev
+  end
+
+(** Run events until the queue drains or the clock passes [until]
+    (default: drain). Returns the number of events executed. *)
+let run ?until t =
+  let executed = ref 0 in
+  let limit = match until with Some u -> u | None -> infinity in
+  let rec loop () =
+    match pop t with
+    | None -> ()
+    | Some ev when ev.time > limit ->
+        (* put it back: future runs may extend the horizon *)
+        t.size <- t.size + 1;
+        if t.size > Array.length t.heap then assert false;
+        t.heap.(t.size - 1) <- ev;
+        sift_up t (t.size - 1);
+        t.now <- limit
+    | Some ev ->
+        t.now <- ev.time;
+        if not ev.cancelled then begin
+          ev.action ();
+          incr executed
+        end;
+        loop ()
+  in
+  loop ();
+  !executed

@@ -1,0 +1,24 @@
+(** Discrete-event simulation core: a clock and a time-ordered event
+    queue. Events scheduled for the same instant fire in scheduling
+    order, keeping runs deterministic. *)
+
+type t
+
+type event
+(** Handle for cancellation. *)
+
+val create : unit -> t
+
+val now : t -> float
+
+val schedule : t -> at:float -> (unit -> unit) -> event
+(** Schedule at absolute time (clamped to now when in the past). *)
+
+val schedule_in : t -> delay:float -> (unit -> unit) -> event
+
+val cancel : event -> unit
+
+val run : ?until:float -> t -> int
+(** Run events until the queue drains or the clock passes [until]
+    (later events are kept for future runs). Returns the number of
+    events executed. *)

@@ -1,0 +1,97 @@
+(** Unidirectional path model: serialization at a (possibly fluctuating)
+    bottleneck rate, propagation delay, optional jitter, Bernoulli loss
+    and a drop-tail buffer.
+
+    This is the stand-in for the paper's Mininet links (Figs. 10, 12) and
+    for the in-the-wild WiFi/LTE paths (Figs. 1, 13, 14): the schedulers
+    under study only observe path {e behaviour} (RTT, loss, rate), which
+    these parameters produce. *)
+
+type params = {
+  bandwidth : float;  (** bytes per second at the bottleneck *)
+  delay : float;  (** one-way propagation delay, seconds *)
+  loss : float;  (** packet loss probability in [0, 1] *)
+  jitter : float;  (** std-dev of gaussian delay noise, seconds *)
+  buffer_bytes : int;  (** drop-tail bottleneck buffer size *)
+}
+
+let default_params =
+  {
+    bandwidth = 1_250_000.0 (* 10 Mbit/s *);
+    delay = 0.010;
+    loss = 0.0;
+    jitter = 0.0;
+    buffer_bytes = 256 * 1024;
+  }
+
+type t = {
+  mutable params : params;
+  rng : Rng.t;
+  clock : Eventq.t;
+  mutable busy_until : float;  (** bottleneck serialization horizon *)
+  mutable delivered : int;  (** packets that made it across *)
+  mutable lost : int;  (** random losses *)
+  mutable tail_dropped : int;  (** buffer overflows *)
+}
+
+let create ?(params = default_params) ~clock ~rng () =
+  { params; rng; clock; busy_until = 0.0; delivered = 0; lost = 0; tail_dropped = 0 }
+
+(** Change the bottleneck rate at runtime (bandwidth fluctuation, e.g.
+    the WiFi throughput dips of Fig. 13). *)
+let set_bandwidth t bw = t.params <- { t.params with bandwidth = bw }
+
+let set_delay t d = t.params <- { t.params with delay = d }
+
+let set_loss t l = t.params <- { t.params with loss = l }
+
+let bandwidth t = t.params.bandwidth
+
+let delay t = t.params.delay
+
+(** Serialization horizon: the absolute time at which everything
+    currently queued at the bottleneck will have been put on the wire. *)
+let busy_until t = t.busy_until
+
+(** Bytes currently sitting in the bottleneck buffer (waiting for
+    serialization), across all users of the link. *)
+let backlog_bytes t =
+  let pending = t.busy_until -. Eventq.now t.clock in
+  if pending <= 0.0 then 0 else int_of_float (pending *. t.params.bandwidth)
+
+type outcome = Delivered of float | Lost_random | Dropped_tail
+
+(** Send [size] bytes over the link; on success schedules [deliver] at
+    the arrival time and returns it. Loss is decided at entry (a dropped
+    packet still consumes serialization time, like a corrupted frame). *)
+let transmit t ~size deliver : outcome =
+  let now = Eventq.now t.clock in
+  if backlog_bytes t + size > t.params.buffer_bytes then begin
+    t.tail_dropped <- t.tail_dropped + 1;
+    Dropped_tail
+  end
+  else begin
+    let start = if t.busy_until > now then t.busy_until else now in
+    let tx_time = float_of_int size /. t.params.bandwidth in
+    t.busy_until <- start +. tx_time;
+    if Rng.coin t.rng ~p:t.params.loss then begin
+      t.lost <- t.lost + 1;
+      Lost_random
+    end
+    else begin
+      let noise =
+        if t.params.jitter > 0.0 then
+          Float.max 0.0 (Rng.gaussian t.rng *. t.params.jitter)
+        else 0.0
+      in
+      let arrival = t.busy_until +. t.params.delay +. noise in
+      ignore (Eventq.schedule t.clock ~at:arrival deliver);
+      t.delivered <- t.delivered + 1;
+      Delivered arrival
+    end
+  end
+
+(** Convenience for ack/control paths: no bandwidth constraint, no loss. *)
+let deliver_control t deliver =
+  let at = Eventq.now t.clock +. t.params.delay in
+  ignore (Eventq.schedule t.clock ~at deliver)

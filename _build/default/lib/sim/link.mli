@@ -1,0 +1,56 @@
+(** Unidirectional path model: serialization at a (possibly changing)
+    bottleneck rate, propagation delay, optional jitter, Bernoulli loss
+    and a drop-tail buffer — the stand-in for the paper's Mininet links
+    and in-the-wild WiFi/LTE paths. A link may be shared by several
+    subflows (shared-bottleneck experiments). *)
+
+type params = {
+  bandwidth : float;  (** bytes per second at the bottleneck *)
+  delay : float;  (** one-way propagation delay, seconds *)
+  loss : float;  (** packet loss probability in [0, 1] *)
+  jitter : float;  (** std-dev of gaussian delay noise, seconds *)
+  buffer_bytes : int;  (** drop-tail bottleneck buffer size *)
+}
+
+val default_params : params
+(** 10 Mbit/s, 10 ms, lossless, 256 kB buffer. *)
+
+type t = {
+  mutable params : params;
+  rng : Rng.t;
+  clock : Eventq.t;
+  mutable busy_until : float;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable tail_dropped : int;
+}
+
+val create : ?params:params -> clock:Eventq.t -> rng:Rng.t -> unit -> t
+
+val set_bandwidth : t -> float -> unit
+(** Change the bottleneck rate at runtime (bandwidth fluctuation). *)
+
+val set_delay : t -> float -> unit
+
+val set_loss : t -> float -> unit
+
+val bandwidth : t -> float
+
+val delay : t -> float
+
+val busy_until : t -> float
+(** Absolute time at which everything currently queued will be on the
+    wire. *)
+
+val backlog_bytes : t -> int
+(** Bytes waiting for serialization, across all users of the link. *)
+
+type outcome = Delivered of float | Lost_random | Dropped_tail
+
+val transmit : t -> size:int -> (unit -> unit) -> outcome
+(** Send [size] bytes; on success the callback fires at the arrival
+    time. A randomly lost packet still consumes serialization time; a
+    tail-dropped one does not. *)
+
+val deliver_control : t -> (unit -> unit) -> unit
+(** Ack/control path: propagation delay only, no loss or bandwidth. *)

@@ -1,0 +1,298 @@
+(** The MPTCP meta socket: the central abstraction of a connection
+    (paper §2.1), tying the application-facing socket, the sending
+    queues, the scheduler and the subflows together.
+
+    Sender side: application writes are segmented into packets that enter
+    the sending queue Q; the scheduler is triggered by the calling-model
+    events of Fig. 4 (new data in Q, acks, reinjections, subflow
+    establishment) and its PUSH/DROP actions are applied to the subflows.
+    Suspected losses enter the reinjection queue RQ automatically;
+    data-acked packets are removed from {e all} queues.
+
+    Receiver side: data-level reordering with cumulative data acks and a
+    finite receive buffer that backs the advertised window
+    ([HAS_WINDOW_FOR]). Delivery times per segment feed the experiment
+    statistics (FCT, goodput). *)
+
+open Progmp_runtime
+
+(** Receiver-side delivery discipline. [Ordered] is MPTCP: data reaches
+    the application in data-sequence order. [Unordered] departs from the
+    in-order property as the paper's "Going Beyond MPTCP" (§6)
+    envisions for multipath media transports ([34], [36]): every first
+    copy is handed to the application immediately, the out-of-order
+    buffer stays empty, and only the cumulative data-ack bookkeeping
+    still tracks sequence numbers. *)
+type ordering = Ordered | Unordered
+
+type t = {
+  name : string;
+  clock : Eventq.t;
+  sock : Api.socket;
+  mss : int;
+  mutable subflows : Tcp_subflow.t list;
+  mutable next_seq : int;  (** next data sequence number (segment units) *)
+  mutable data_una : int;  (** highest cumulative data ack received *)
+  mutable compressed : bool;  (** use compressed executions (§4.1) *)
+  mutable scheduling : bool;  (** re-entrancy guard *)
+  (* receiver state *)
+  ordering : ordering;
+  mutable rcv_expected : int;
+  rcv_ooo : (int, int) Hashtbl.t;  (** data seq -> size, buffered out of order *)
+  mutable rcv_ooo_bytes : int;
+  rcv_buffer_bytes : int;
+  mutable on_deliver : seq:int -> size:int -> time:float -> unit;
+  (* statistics *)
+  delivery_time : (int, float) Hashtbl.t;  (** data seq -> in-order delivery *)
+  mutable delivered_bytes : int;
+  mutable delivered_segments : int;
+  mutable app_segments : int;  (** distinct segments written by the app *)
+  mutable pushes : int;  (** PUSH actions applied *)
+  mutable drops : int;  (** DROP actions applied *)
+  mutable data_dropped : int;  (** dropped without ever being sent *)
+  mutable sched_executions : int;
+}
+
+let env t = t.sock.Api.env
+
+let create ?(name = "conn") ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
+    ?(compressed = true) ?(ordering = Ordered) ~clock () =
+  {
+    name;
+    clock;
+    sock = Api.create ~name ();
+    mss;
+    subflows = [];
+    next_seq = 0;
+    data_una = 0;
+    compressed;
+    scheduling = false;
+    ordering;
+    rcv_expected = 0;
+    rcv_ooo = Hashtbl.create 256;
+    rcv_ooo_bytes = 0;
+    rcv_buffer_bytes = rcv_buffer;
+    on_deliver = (fun ~seq:_ ~size:_ ~time:_ -> ());
+    delivery_time = Hashtbl.create 1024;
+    delivered_bytes = 0;
+    delivered_segments = 0;
+    app_segments = 0;
+    pushes = 0;
+    drops = 0;
+    data_dropped = 0;
+    sched_executions = 0;
+  }
+
+(* ---------- receiver ---------- *)
+
+let rwnd_bytes t = max 0 (t.rcv_buffer_bytes - t.rcv_ooo_bytes)
+
+let deliver_in_order t seq size =
+  let now = Eventq.now t.clock in
+  Hashtbl.replace t.delivery_time seq now;
+  t.delivered_bytes <- t.delivered_bytes + size;
+  t.delivered_segments <- t.delivered_segments + 1;
+  t.on_deliver ~seq ~size ~time:now
+
+(* Unordered mode: deliver first copies at once; [rcv_expected] (and so
+   the cumulative data ack) advances over the set of delivered seqs. *)
+let on_meta_receive_unordered t (pkt : Packet.t) =
+  let seq = pkt.Packet.seq in
+  if seq >= t.rcv_expected && not (Hashtbl.mem t.delivery_time seq) then begin
+    deliver_in_order t seq pkt.Packet.size;
+    while Hashtbl.mem t.delivery_time t.rcv_expected do
+      t.rcv_expected <- t.rcv_expected + 1
+    done
+  end
+
+let on_meta_receive_ordered t (pkt : Packet.t) =
+  let seq = pkt.Packet.seq in
+  if seq = t.rcv_expected then begin
+    t.rcv_expected <- seq + 1;
+    deliver_in_order t seq pkt.Packet.size;
+    let rec drain () =
+      match Hashtbl.find_opt t.rcv_ooo t.rcv_expected with
+      | Some size ->
+          Hashtbl.remove t.rcv_ooo t.rcv_expected;
+          t.rcv_ooo_bytes <- t.rcv_ooo_bytes - size;
+          deliver_in_order t t.rcv_expected size;
+          t.rcv_expected <- t.rcv_expected + 1;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  end
+  else if seq > t.rcv_expected && not (Hashtbl.mem t.rcv_ooo seq) then begin
+    Hashtbl.replace t.rcv_ooo seq pkt.Packet.size;
+    t.rcv_ooo_bytes <- t.rcv_ooo_bytes + pkt.Packet.size
+  end
+(* duplicates and already-delivered copies are ignored: first copy wins *)
+
+let on_meta_receive t pkt =
+  match t.ordering with
+  | Ordered -> on_meta_receive_ordered t pkt
+  | Unordered -> on_meta_receive_unordered t pkt
+
+(* ---------- scheduler triggering and actions ---------- *)
+
+let established_subflows t =
+  List.filter (fun s -> s.Tcp_subflow.established) t.subflows
+
+let snapshot t =
+  Array.of_list (List.map Tcp_subflow.view (established_subflows t))
+
+let find_subflow t sbf_id =
+  List.find_opt (fun s -> s.Tcp_subflow.id = sbf_id) t.subflows
+
+let apply_action t (a : Action.t) =
+  match a with
+  | Action.Push { sbf_id; pkt } -> (
+      match find_subflow t sbf_id with
+      | Some sbf when sbf.Tcp_subflow.established ->
+          if not pkt.Packet.acked then begin
+            t.pushes <- t.pushes + 1;
+            Packet.mark_sent pkt ~sbf_id;
+            if not (Pqueue.mem (env t).Env.qu pkt) then
+              Pqueue.push_back (env t).Env.qu pkt;
+            Tcp_subflow.send sbf pkt
+          end
+      | Some _ | None ->
+          (* target subflow gone: never lose the packet (§3.3) *)
+          if
+            (not pkt.Packet.acked)
+            && (not (Pqueue.mem (env t).Env.q pkt))
+            && pkt.Packet.sent_count = 0
+          then Pqueue.push_front (env t).Env.q pkt)
+  | Action.Drop pkt ->
+      t.drops <- t.drops + 1;
+      if pkt.Packet.sent_count = 0 && not pkt.Packet.acked then
+        t.data_dropped <- t.data_dropped + 1
+
+(** Run the scheduler now (one of the calling-model events fired). *)
+let trigger t =
+  if not t.scheduling then begin
+    t.scheduling <- true;
+    let sched = t.sock.Api.scheduler in
+    let e = env t in
+    if t.compressed then
+      ignore
+        (Scheduler.execute_compressed sched e
+           ~snapshot:(fun () ->
+             t.sched_executions <- t.sched_executions + 1;
+             snapshot t)
+           ~apply:(apply_action t))
+    else begin
+      t.sched_executions <- t.sched_executions + 1;
+      let actions = Scheduler.execute sched e ~subflows:(snapshot t) in
+      List.iter (apply_action t) actions
+    end;
+    (* a trigger also acts as a window update: blocking conditions (the
+       advertised receive window, a reopened congestion window) may have
+       cleared for subflows that have no ack of their own pending *)
+    List.iter Tcp_subflow.kick (established_subflows t);
+    t.scheduling <- false
+  end
+
+(* ---------- sender-side callbacks from subflows ---------- *)
+
+let on_data_ack t upto =
+  if upto > t.data_una then t.data_una <- upto;
+  if upto > 0 then begin
+    let is_acked (p : Packet.t) = p.Packet.seq < upto in
+    let newly (p : Packet.t) = is_acked p && not p.Packet.acked in
+    let progressed =
+      Pqueue.fold (env t).Env.qu (fun acc p -> acc || newly p) false
+    in
+    (* acknowledged packets leave all queues *)
+    let mark ps = List.iter (fun (p : Packet.t) -> p.Packet.acked <- true) ps in
+    mark (Pqueue.remove_if (env t).Env.qu is_acked);
+    mark (Pqueue.remove_if (env t).Env.q is_acked);
+    mark (Pqueue.remove_if (env t).Env.rq is_acked);
+    if progressed then trigger t
+  end
+
+let on_suspected_loss t (pkt : Packet.t) =
+  if (not pkt.Packet.acked) && not (Pqueue.mem (env t).Env.rq pkt) then begin
+    Sim_log.debug (fun m ->
+        m "%s: seq %d suspected lost, enters RQ (|RQ| = %d)" t.name
+          pkt.Packet.seq
+          (Pqueue.length (env t).Env.rq + 1));
+    Pqueue.push_back (env t).Env.rq pkt;
+    trigger t
+  end
+
+(* A subflow died: its unacknowledged packets are no longer in flight on
+   that path; re-queue them (in sequence order) at the front of Q so any
+   scheduler — including ones that ignore RQ — re-schedules them. *)
+let on_subflow_failed t pkts =
+  let e = env t in
+  let requeued =
+    List.filter
+      (fun (p : Packet.t) ->
+        ignore (Pqueue.remove_packet e.Env.rq p);
+        (not p.Packet.acked) && not (Pqueue.mem e.Env.q p))
+      pkts
+  in
+  List.iter
+    (fun p -> Pqueue.push_front e.Env.q p)
+    (List.rev
+       (List.sort (fun (a : Packet.t) b -> compare a.Packet.seq b.Packet.seq) requeued));
+  if requeued <> [] then trigger t
+
+(* ---------- wiring ---------- *)
+
+(** Attach a subflow created by the path manager. *)
+let attach t (sbf : Tcp_subflow.t) =
+  sbf.Tcp_subflow.on_meta_deliver <- (fun pkt -> on_meta_receive t pkt);
+  sbf.Tcp_subflow.on_suspected_loss <- (fun pkt -> on_suspected_loss t pkt);
+  sbf.Tcp_subflow.on_failed <- (fun pkts -> on_subflow_failed t pkts);
+  sbf.Tcp_subflow.on_sender_event <- (fun () -> trigger t);
+  sbf.Tcp_subflow.is_data_acked <- (fun pkt -> pkt.Packet.acked);
+  sbf.Tcp_subflow.data_ack_value <- (fun () -> t.rcv_expected);
+  sbf.Tcp_subflow.on_data_ack <- (fun upto -> on_data_ack t upto);
+  sbf.Tcp_subflow.rwnd_bytes <- (fun () -> rwnd_bytes t);
+  sbf.Tcp_subflow.rwnd_exempt <-
+    (fun pkt -> pkt.Packet.seq <= t.data_una);
+  t.subflows <- t.subflows @ [ sbf ]
+
+(* ---------- application interface ---------- *)
+
+(** Write [bytes] of application data: segments enter the sending queue Q
+    stamped with the socket's current packet properties, and the
+    scheduler is triggered. Returns the data sequence numbers used. *)
+let write ?props t bytes =
+  let props = match props with Some p -> p | None -> Api.current_packet_props t.sock in
+  let now = Eventq.now t.clock in
+  let nsegs = max 1 ((bytes + t.mss - 1) / t.mss) in
+  let seqs = ref [] in
+  for i = 0 to nsegs - 1 do
+    let size = if i = nsegs - 1 then bytes - ((nsegs - 1) * t.mss) else t.mss in
+    let size = max 1 size in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    t.app_segments <- t.app_segments + 1;
+    let pkt = Packet.create ~props ~seq ~size ~now () in
+    Pqueue.push_back (env t).Env.q pkt;
+    seqs := seq :: !seqs
+  done;
+  trigger t;
+  List.rev !seqs
+
+(** All data written so far has been delivered in order to the receiving
+    application. *)
+let all_delivered t = t.rcv_expected >= t.next_seq
+
+(** In-order delivery time of a data segment, if delivered. *)
+let delivery_time_of t seq = Hashtbl.find_opt t.delivery_time seq
+
+(** Flow completion time of the segment range [first, last]: the latest
+    in-order delivery time, or [None] when incomplete. *)
+let fct t ~first ~last =
+  let rec go seq acc =
+    if seq > last then Some acc
+    else
+      match delivery_time_of t seq with
+      | Some d -> go (seq + 1) (Float.max acc d)
+      | None -> None
+  in
+  go first 0.0

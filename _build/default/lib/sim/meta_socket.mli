@@ -1,0 +1,95 @@
+(** The MPTCP meta socket (paper §2.1): the central abstraction of a
+    connection, tying the application-facing socket, the sending queues,
+    the scheduler-calling model of Fig. 4 and the subflows together, and
+    implementing the data-level receiver (ordering, cumulative data
+    acks, finite receive buffer). *)
+
+open Progmp_runtime
+
+type ordering = Ordered | Unordered
+
+type t = {
+  name : string;
+  clock : Eventq.t;
+  sock : Api.socket;
+  mss : int;
+  mutable subflows : Tcp_subflow.t list;
+  mutable next_seq : int;  (** next data sequence number (segment units) *)
+  mutable data_una : int;  (** highest cumulative data ack received *)
+  mutable compressed : bool;  (** use compressed executions (§4.1) *)
+  mutable scheduling : bool;  (** re-entrancy guard *)
+  (* receiver state *)
+  ordering : ordering;
+  mutable rcv_expected : int;
+  rcv_ooo : (int, int) Hashtbl.t;  (** data seq -> size, buffered out of order *)
+  mutable rcv_ooo_bytes : int;
+  rcv_buffer_bytes : int;
+  mutable on_deliver : seq:int -> size:int -> time:float -> unit;
+  (* statistics *)
+  delivery_time : (int, float) Hashtbl.t;  (** data seq -> in-order delivery *)
+  mutable delivered_bytes : int;
+  mutable delivered_segments : int;
+  mutable app_segments : int;  (** distinct segments written by the app *)
+  mutable pushes : int;  (** PUSH actions applied *)
+  mutable drops : int;  (** DROP actions applied *)
+  mutable data_dropped : int;  (** dropped without ever being sent *)
+  mutable sched_executions : int;
+}
+
+
+val env : t -> Env.t
+
+val create :
+  ?name:string ->
+  ?mss:int ->
+  ?rcv_buffer:int ->
+  ?compressed:bool ->
+  ?ordering:ordering ->
+  clock:Eventq.t ->
+  unit ->
+  t
+
+val rwnd_bytes : t -> int
+(** Advertised receive window: buffer capacity minus out-of-order
+    bytes. *)
+
+val established_subflows : t -> Tcp_subflow.t list
+
+val snapshot : t -> Subflow_view.t array
+(** Immutable views of the established subflows for one execution. *)
+
+val find_subflow : t -> int -> Tcp_subflow.t option
+
+val apply_action : t -> Action.t -> unit
+(** Apply one scheduler action: a [Push] marks the packet, tracks it in
+    QU and hands it to the subflow; a push to a vanished subflow returns
+    the packet to Q (never lost). *)
+
+val trigger : t -> unit
+(** Run the scheduler now (one of the calling-model events fired); also
+    re-kicks subflows whose blocking conditions may have cleared. *)
+
+val on_data_ack : t -> int -> unit
+(** Cumulative data ack: acknowledged packets leave all queues. *)
+
+val on_suspected_loss : t -> Packet.t -> unit
+(** Suspected losses enter the reinjection queue RQ and trigger the
+    scheduler. *)
+
+val attach : t -> Tcp_subflow.t -> unit
+(** Wire a subflow's callbacks to this meta socket. *)
+
+val write : ?props:int array -> t -> int -> int list
+(** Segment application data into Q (stamped with the socket's current
+    packet properties) and trigger the scheduler; returns the data
+    sequence numbers used. *)
+
+val all_delivered : t -> bool
+
+val delivery_time_of : t -> int -> float option
+(** Delivery time of a data segment under the active ordering
+    discipline. *)
+
+val fct : t -> first:int -> last:int -> float option
+(** Latest delivery time of the segment range, or [None] when
+    incomplete. *)

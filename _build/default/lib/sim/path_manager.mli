@@ -1,0 +1,69 @@
+(** The path manager building block (paper §2.1): creation and removal
+    of subflows over declared paths, including dynamic arrival and
+    failure (the WiFi/LTE handover of §5.2). *)
+
+type path_spec = {
+  path_name : string;
+  up : Link.params;  (** sender -> receiver direction *)
+  down : Link.params;  (** receiver -> sender (acks) *)
+  backup : bool;
+  establish_at : float;  (** when the manager starts the handshake *)
+}
+
+val path :
+  ?name:string ->
+  ?backup:bool ->
+  ?establish_at:float ->
+  ?down:Link.params ->
+  Link.params ->
+  path_spec
+
+val symmetric :
+  ?name:string -> ?backup:bool -> ?establish_at:float -> Link.params -> path_spec
+(** Acks travel back over the same delay, unconstrained and lossless. *)
+
+type managed = {
+  spec : path_spec;
+  subflow : Tcp_subflow.t;
+  data_link : Link.t;
+  ack_link : Link.t;
+}
+
+val attach_with_links :
+  clock:Eventq.t ->
+  meta:Meta_socket.t ->
+  ?min_rto:float ->
+  ?delivery_mode:Tcp_subflow.delivery_mode ->
+  id:int ->
+  data_link:Link.t ->
+  ack_link:Link.t ->
+  path_spec ->
+  managed
+(** Attach one subflow over pre-built links (shared-bottleneck
+    experiments hand several connections the same data link). *)
+
+val establish_all :
+  clock:Eventq.t ->
+  rng:Rng.t ->
+  meta:Meta_socket.t ->
+  ?min_rto:float ->
+  ?delivery_mode:Tcp_subflow.delivery_mode ->
+  path_spec list ->
+  managed list
+(** One subflow per path, links created from the specs. *)
+
+val add_path :
+  clock:Eventq.t ->
+  rng:Rng.t ->
+  meta:Meta_socket.t ->
+  ?min_rto:float ->
+  ?delivery_mode:Tcp_subflow.delivery_mode ->
+  id:int ->
+  at:float ->
+  path_spec ->
+  managed
+(** Bring up an additional path at [at] (handover target). *)
+
+val fail_subflow : clock:Eventq.t -> managed -> at:float -> unit
+(** Schedule a clean subflow failure: in-flight and buffered packets are
+    reported upward for reinjection. *)

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every stochastic element of the simulator — link loss, jitter,
+    bandwidth fluctuation, workload arrivals — draws from an explicitly
+    seeded generator, so that every experiment in the bench harness is
+    exactly reproducible. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* SplitMix64 step (Steele, Lea, Flood 2014). *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+(** Uniform int in [0, bound). [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  int_of_float (float t *. float_of_int bound)
+
+(** Bernoulli draw. *)
+let coin t ~p = float t < p
+
+(** Exponential with the given [mean]. *)
+let exponential t ~mean =
+  let u = float t in
+  -.mean *. log (1.0 -. u)
+
+(** Standard normal via Box-Muller. *)
+let gaussian t =
+  let u1 = float t and u2 = float t in
+  let u1 = if u1 <= 1e-12 then 1e-12 else u1 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(** Split off an independently seeded generator (for sub-components). *)
+let split t = { state = next_int64 t }

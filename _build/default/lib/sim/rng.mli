@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random numbers (SplitMix64). Every stochastic
+    element of the simulator draws from an explicitly seeded generator,
+    making every experiment exactly reproducible. *)
+
+type t
+
+val create : int -> t
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound). @raise Invalid_argument on bound <= 0. *)
+
+val coin : t -> p:float -> bool
+
+val exponential : t -> mean:float -> float
+
+val gaussian : t -> float
+(** Standard normal (Box-Muller). *)
+
+val split : t -> t
+(** An independently seeded generator for a sub-component. *)

@@ -1,0 +1,11 @@
+(** Log source for the simulator. Enable with, e.g.:
+    [Logs.set_reporter (Logs_fmt.reporter ());
+     Logs.Src.set_level Sim_log.src (Some Logs.Debug)].
+    All messages are debug-level: the simulator is silent by default and
+    the closures cost nothing while disabled. *)
+
+let src = Logs.Src.create "mptcp_sim" ~doc:"MPTCP simulator events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let debug = Log.debug

@@ -1,0 +1,6 @@
+(** Log source for the simulator; silent unless the embedder enables it:
+    [Logs.Src.set_level Sim_log.src (Some Logs.Debug)]. *)
+
+val src : Logs.src
+
+val debug : ('a, unit) Logs.msgf -> unit

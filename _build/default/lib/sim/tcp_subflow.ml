@@ -1,0 +1,530 @@
+(** One MPTCP subflow: a complete simulated TCP connection.
+
+    Sender side: NewReno-style congestion control (slow start, congestion
+    avoidance, fast retransmit on three duplicate acks, RTO with
+    exponential backoff), RFC-6298 RTT estimation, a send buffer fed by
+    the MPTCP scheduler, and a TSQ (TCP small queue) approximation based
+    on the link's serialization backlog.
+
+    Receiver side: per-subflow cumulative acks with out-of-order
+    buffering; segments are released to the meta socket according to the
+    delivery mode (two-layer kernel behaviour vs. the paper's
+    earliest-possible delivery, §4.2).
+
+    Loss handling mirrors Linux MPTCP: a segment suspected lost is
+    retransmitted {e on the same subflow} (TCP reliability per subflow)
+    and its packet is reported upward so the meta socket can place it in
+    the reinjection queue RQ for the scheduler. *)
+
+open Progmp_runtime
+
+type delivery_mode =
+  | Two_layer
+      (** stock kernel: a segment reaches the meta socket only once it is
+          in-order {e within its subflow} *)
+  | Immediate
+      (** the paper's receiver fix: every arriving segment is handed to
+          the meta socket at once; ordering happens only at the data
+          level *)
+
+type entry = {
+  e_pkt : Packet.t;
+  e_size : int;
+  mutable e_sent_at : float;
+  mutable e_retx : bool;
+  mutable e_lost : bool;  (** marked lost by SACK-style hole detection *)
+}
+
+type t = {
+  id : int;
+  mss : int;
+  mutable is_backup : bool;
+  clock : Eventq.t;
+  data_link : Link.t;
+  ack_link : Link.t;
+  delivery_mode : delivery_mode;
+  (* --- sender state --- *)
+  mutable established : bool;
+  mutable cwnd : float;  (** segments *)
+  mutable ssthresh : float;
+  mutable snd_nxt : int;
+  mutable snd_una : int;
+  inflight : (int, entry) Hashtbl.t;
+  send_buffer : Packet.t Queue.t;
+  mutable dupacks : int;
+  mutable recover : int;  (** NewReno recovery point; -1 = not in recovery *)
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable rtt_avg : float;
+  mutable rtt_samples : int;
+  mutable rto : float;
+  min_rto : float;
+  mutable rto_timer : Eventq.event option;
+  mutable lost_skbs : int;
+  (* --- receiver-side subflow state --- *)
+  mutable rcv_expected : int;
+  rcv_ooo : (int, Packet.t) Hashtbl.t;
+  (* --- statistics --- *)
+  mutable segs_sent : int;
+  mutable segs_retx : int;
+  mutable bytes_sent : int;
+  mutable bytes_acked : int;
+  mutable tsq_entries : (float * int) list;
+      (** (serialization completion time, bytes) of this subflow's
+          segments queued at the bottleneck — per-subflow TSQ state *)
+  (* delivery-rate estimator backing the THROUGHPUT property *)
+  mutable rate_anchor_t : float;
+  mutable rate_anchor_bytes : int;
+  mutable rate_ewma : float;  (** bytes/second; 0 until the first sample *)
+  mutable rate_samples : (float * float) list;
+      (** recent (time, bytes/s) samples, newest first, for the
+          windowed-max achievable-rate filter *)
+  (* --- callbacks wired by the meta socket --- *)
+  mutable on_meta_deliver : Packet.t -> unit;
+      (** a segment's payload reached the meta socket (per delivery mode) *)
+  mutable on_suspected_loss : Packet.t -> unit;  (** -> RQ *)
+  mutable on_failed : Packet.t list -> unit;
+      (** the subflow died with these packets unacknowledged: they are
+          no longer in flight anywhere on this path and must be
+          re-queued as fresh data (RQ is only for transient suspected
+          losses, which RQ-ignoring schedulers may legitimately leave to
+          subflow-level retransmission) *)
+  mutable on_sender_event : unit -> unit;  (** re-trigger the scheduler *)
+  mutable is_data_acked : Packet.t -> bool;
+  mutable data_ack_value : unit -> int;  (** receiver's cumulative data ack *)
+  mutable on_data_ack : int -> unit;
+  mutable rwnd_bytes : unit -> int;  (** advertised meta receive window *)
+  mutable rwnd_exempt : Packet.t -> bool;
+      (** next-in-order data may be sent even against a closed window: it
+          is consumed by the application immediately and never occupies
+          the out-of-order buffer, which avoids the zero-window deadlock
+          where only the blocked packet could reopen the window *)
+  mutable cc_on_ack : t -> int -> unit;  (** pluggable window increase *)
+}
+
+let initial_cwnd = 10 (* segments, as in modern Linux *)
+
+(* Reno/NewReno increase: slow start below ssthresh, then one segment per
+   window. *)
+let reno_on_ack t acked =
+  if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. float_of_int acked
+  else t.cwnd <- t.cwnd +. (float_of_int acked /. Float.max 1.0 t.cwnd)
+
+let create ~id ~clock ~data_link ~ack_link ?(mss = 1448) ?(is_backup = false)
+    ?(min_rto = 0.2) ?(delivery_mode = Immediate) () =
+  {
+    id;
+    mss;
+    is_backup;
+    clock;
+    data_link;
+    ack_link;
+    delivery_mode;
+    established = false;
+    cwnd = float_of_int initial_cwnd;
+    ssthresh = 1e9;
+    snd_nxt = 0;
+    snd_una = 0;
+    inflight = Hashtbl.create 64;
+    send_buffer = Queue.create ();
+    dupacks = 0;
+    recover = -1;
+    srtt = 0.0;
+    rttvar = 0.0;
+    rtt_avg = 0.0;
+    rtt_samples = 0;
+    rto = 1.0;
+    min_rto;
+    rto_timer = None;
+    lost_skbs = 0;
+    rcv_expected = 0;
+    rcv_ooo = Hashtbl.create 64;
+    segs_sent = 0;
+    segs_retx = 0;
+    bytes_sent = 0;
+    bytes_acked = 0;
+    tsq_entries = [];
+    rate_anchor_t = 0.0;
+    rate_anchor_bytes = 0;
+    rate_ewma = 0.0;
+    rate_samples = [];
+    on_meta_deliver = (fun _ -> ());
+    on_suspected_loss = (fun _ -> ());
+    on_failed = (fun _ -> ());
+    on_sender_event = (fun () -> ());
+    is_data_acked = (fun _ -> false);
+    data_ack_value = (fun () -> 0);
+    on_data_ack = (fun _ -> ());
+    rwnd_bytes = (fun () -> max_int);
+    rwnd_exempt = (fun _ -> false);
+    cc_on_ack = reno_on_ack;
+  }
+
+let in_flight_count t = Hashtbl.length t.inflight
+
+let in_recovery t = t.recover >= 0
+
+let lossy t = in_recovery t
+
+(* TSQ approximation: throttled when more than two segments' worth of
+   the subflow's OWN bytes sit unserialized at the bottleneck. Own-bytes
+   accounting matters on shared links: another flow's queue must not
+   throttle this one (TSQ is per-socket in the kernel). *)
+let own_backlog_bytes t =
+  let now = Eventq.now t.clock in
+  t.tsq_entries <- List.filter (fun (until, _) -> until > now) t.tsq_entries;
+  List.fold_left (fun acc (_, size) -> acc + size) 0 t.tsq_entries
+
+let tsq_throttled t = own_backlog_bytes t > 2 * t.mss
+
+let rtt_us t =
+  if t.rtt_samples = 0 then int_of_float (2.0 *. Link.delay t.data_link *. 1e6)
+  else int_of_float (t.srtt *. 1e6)
+
+(** Length of the achievable-rate filter window, seconds. *)
+let rate_window = 2.0
+
+(* THROUGHPUT: the subflow's achievable rate, estimated as the maximum
+   delivery-rate sample of the last {!rate_window} seconds (a BBR-style
+   max filter). The max filter matters: the instantaneous rate is
+   self-fulfilling for capacity-gated schedulers (spilling load away
+   from a subflow lowers its measured rate, which would justify more
+   spilling), while a pure cwnd/RTT bound badly overestimates
+   application-limited subflows. Before any sample exists, the cwnd/RTT
+   bound is used. *)
+let throughput_estimate t =
+  let now = Eventq.now t.clock in
+  let recent =
+    List.filter (fun (ts, _) -> now -. ts <= rate_window) t.rate_samples
+  in
+  match recent with
+  | _ :: _ ->
+      int_of_float (List.fold_left (fun a (_, r) -> Float.max a r) 0.0 recent)
+  | [] ->
+      let rtt =
+        if t.rtt_samples = 0 then 2.0 *. Link.delay t.data_link else t.srtt
+      in
+      if rtt <= 0.0 then 0
+      else int_of_float (t.cwnd *. float_of_int t.mss /. rtt)
+
+let update_rate_estimate t =
+  let now = Eventq.now t.clock in
+  if t.rate_anchor_t = 0.0 then begin
+    t.rate_anchor_t <- now;
+    t.rate_anchor_bytes <- t.bytes_acked
+  end
+  else begin
+    let dt = now -. t.rate_anchor_t in
+    if dt >= 0.2 then begin
+      let sample = float_of_int (t.bytes_acked - t.rate_anchor_bytes) /. dt in
+      t.rate_ewma <-
+        (if t.rate_ewma = 0.0 then sample
+         else (0.7 *. t.rate_ewma) +. (0.3 *. sample));
+      t.rate_samples <-
+        (now, sample)
+        :: List.filter (fun (ts, _) -> now -. ts <= rate_window) t.rate_samples;
+      t.rate_anchor_t <- now;
+      t.rate_anchor_bytes <- t.bytes_acked
+    end
+  end
+
+(** Build the immutable snapshot the scheduler sees. *)
+let view t : Subflow_view.t =
+  {
+    Subflow_view.id = t.id;
+    rtt_us = rtt_us t;
+    rtt_avg_us = (if t.rtt_samples = 0 then rtt_us t else int_of_float (t.rtt_avg *. 1e6));
+    rtt_var_us = int_of_float (t.rttvar *. 1e6);
+    cwnd = int_of_float t.cwnd;
+    ssthresh = (if t.ssthresh > 1e8 then max_int / 2 else int_of_float t.ssthresh);
+    skbs_in_flight = in_flight_count t;
+    queued = Queue.length t.send_buffer;
+    lost_skbs = t.lost_skbs;
+    is_backup = t.is_backup;
+    tsq_throttled = tsq_throttled t;
+    lossy = lossy t;
+    rto_us = int_of_float (t.rto *. 1e6);
+    throughput_bps = throughput_estimate t;
+    mss = t.mss;
+    receive_window_bytes = (let w = t.rwnd_bytes () in if w > (1 lsl 30) then 1 lsl 30 else w);
+  }
+
+(* ---------- RTT estimation (RFC 6298) ---------- *)
+
+let sample_rtt t r =
+  if t.rtt_samples = 0 then begin
+    t.srtt <- r;
+    t.rttvar <- r /. 2.0;
+    t.rtt_avg <- r
+  end
+  else begin
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. r));
+    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. r);
+    t.rtt_avg <- (0.9 *. t.rtt_avg) +. (0.1 *. r)
+  end;
+  t.rtt_samples <- t.rtt_samples + 1;
+  t.rto <- Float.max t.min_rto (t.srtt +. (4.0 *. t.rttvar))
+
+(* ---------- RTO timer ---------- *)
+
+let cancel_rto t =
+  match t.rto_timer with
+  | Some ev ->
+      Eventq.cancel ev;
+      t.rto_timer <- None
+  | None -> ()
+
+let rec arm_rto t =
+  cancel_rto t;
+  if Hashtbl.length t.inflight > 0 then
+    t.rto_timer <- Some (Eventq.schedule_in t.clock ~delay:t.rto (fun () -> on_rto t))
+
+(* ---------- transmission ---------- *)
+
+and transmit_entry t seq (entry : entry) =
+  entry.e_sent_at <- Eventq.now t.clock;
+  t.segs_sent <- t.segs_sent + 1;
+  t.bytes_sent <- t.bytes_sent + entry.e_size;
+  if entry.e_retx then t.segs_retx <- t.segs_retx + 1;
+  let deliver () = on_segment_arrival t seq entry.e_pkt in
+  (match Link.transmit t.data_link ~size:(entry.e_size + 60) deliver with
+  | Link.Delivered _ | Link.Lost_random ->
+      (* the segment occupies the bottleneck until serialized, even when
+         it will be lost on the wire *)
+      t.tsq_entries <-
+        (Link.busy_until t.data_link, entry.e_size + 60) :: t.tsq_entries
+  | Link.Dropped_tail -> ());
+  if t.rto_timer = None then arm_rto t
+
+(** Move packets from the send buffer onto the wire while the congestion
+    window and the peer's receive window allow. *)
+and try_transmit t =
+  if t.established then begin
+    let continue = ref true in
+    while
+      !continue
+      && (not (Queue.is_empty t.send_buffer))
+      && in_flight_count t < int_of_float t.cwnd
+    do
+      let pkt = Queue.peek t.send_buffer in
+      if t.is_data_acked pkt then
+        (* acked at the data level while waiting: never send it
+           (paper §5.1: removed from QU before being sent) *)
+        ignore (Queue.pop t.send_buffer)
+      else if
+        (in_flight_count t + 1) * t.mss > t.rwnd_bytes ()
+        && not (t.rwnd_exempt pkt)
+      then continue := false (* receive-window blocked *)
+      else begin
+        ignore (Queue.pop t.send_buffer);
+        let seq = t.snd_nxt in
+        t.snd_nxt <- seq + 1;
+        let entry =
+          {
+            e_pkt = pkt; e_size = pkt.Packet.size; e_sent_at = 0.0;
+            e_retx = false; e_lost = false;
+          }
+        in
+        Hashtbl.replace t.inflight seq entry;
+        transmit_entry t seq entry
+      end
+    done
+  end
+
+and retransmit_head t =
+  match Hashtbl.find_opt t.inflight t.snd_una with
+  | Some entry ->
+      entry.e_retx <- true;
+      transmit_entry t t.snd_una entry
+  | None -> ()
+
+(* ---------- loss events ---------- *)
+
+(* SACK-style loss marking: the receiver's out-of-order set tells the
+   sender exactly which in-flight segments are holes; every hole is
+   reported upward once, so the meta socket can reinject all of them
+   without waiting for NewReno's one-hole-per-RTT discovery. *)
+and mark_sack_holes t =
+  if t.recover >= 0 then
+    for seq = t.snd_una to t.recover do
+      match Hashtbl.find_opt t.inflight seq with
+      | Some entry when (not entry.e_lost) && not (Hashtbl.mem t.rcv_ooo seq) ->
+          entry.e_lost <- true;
+          t.on_suspected_loss entry.e_pkt
+      | Some _ | None -> ()
+    done
+
+and enter_recovery t ~cause =
+  Sim_log.debug (fun m ->
+      m "sbf#%d enters recovery (%s): cwnd %.1f, %d in flight" t.id
+        (match cause with `Dupacks -> "3 dupacks" | `Rto -> "RTO")
+        t.cwnd (in_flight_count t));
+  let flight = float_of_int (in_flight_count t) in
+  t.ssthresh <- Float.max 2.0 (flight /. 2.0);
+  (match cause with
+  | `Dupacks -> t.cwnd <- t.ssthresh
+  | `Rto ->
+      t.cwnd <- 1.0;
+      t.rto <- Float.min 60.0 (t.rto *. 2.0));
+  t.recover <- t.snd_nxt - 1;
+  t.lost_skbs <- t.lost_skbs + 1;
+  (match Hashtbl.find_opt t.inflight t.snd_una with
+  | Some entry ->
+      retransmit_head t;
+      t.on_suspected_loss entry.e_pkt
+  | None -> ());
+  mark_sack_holes t;
+  arm_rto t
+
+and on_rto t =
+  t.rto_timer <- None;
+  if Hashtbl.length t.inflight > 0 then begin
+    t.dupacks <- 0;
+    enter_recovery t ~cause:`Rto;
+    t.on_sender_event ()
+  end
+
+(* ---------- receiver side ---------- *)
+
+and on_segment_arrival t seq pkt =
+  if seq = t.rcv_expected then begin
+    t.rcv_expected <- seq + 1;
+    if t.delivery_mode = Two_layer then t.on_meta_deliver pkt;
+    (* drain the out-of-order buffer *)
+    let rec drain () =
+      match Hashtbl.find_opt t.rcv_ooo t.rcv_expected with
+      | Some p ->
+          Hashtbl.remove t.rcv_ooo t.rcv_expected;
+          t.rcv_expected <- t.rcv_expected + 1;
+          if t.delivery_mode = Two_layer then t.on_meta_deliver p;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    if t.delivery_mode = Immediate then t.on_meta_deliver pkt
+  end
+  else if seq > t.rcv_expected then begin
+    if not (Hashtbl.mem t.rcv_ooo seq) then Hashtbl.replace t.rcv_ooo seq pkt;
+    if t.delivery_mode = Immediate then t.on_meta_deliver pkt
+  end;
+  (* duplicate segments (seq < expected) still trigger an ack *)
+  send_ack t
+
+and send_ack t =
+  let sbf_ack = t.rcv_expected in
+  let data_ack = t.data_ack_value () in
+  Link.deliver_control t.ack_link (fun () -> on_ack t ~sbf_ack ~data_ack)
+
+(* ---------- sender-side ack processing ---------- *)
+
+and on_ack t ~sbf_ack ~data_ack =
+  t.on_data_ack data_ack;
+  if sbf_ack > t.snd_una then begin
+    let inflight_before = in_flight_count t in
+    let acked = ref 0 in
+    let best_sample = ref infinity in
+    for seq = t.snd_una to sbf_ack - 1 do
+      match Hashtbl.find_opt t.inflight seq with
+      | Some entry ->
+          incr acked;
+          t.bytes_acked <- t.bytes_acked + entry.e_size;
+          (* Karn's rule: only sample RTT from unretransmitted segments *)
+          if not entry.e_retx then
+            best_sample :=
+              Float.min !best_sample (Eventq.now t.clock -. entry.e_sent_at);
+          Hashtbl.remove t.inflight seq
+      | None -> ()
+    done;
+    (* A cumulative ack may cover segments that arrived long ago and were
+       blocked behind a gap; the freshest (smallest) sample is the one
+       that reflects the path RTT, as a timestamp option would. *)
+    if !best_sample < infinity then sample_rtt t !best_sample;
+    update_rate_estimate t;
+    t.snd_una <- sbf_ack;
+    t.dupacks <- 0;
+    if in_recovery t then begin
+      if t.snd_una > t.recover then begin
+        (* full recovery *)
+        Sim_log.debug (fun m ->
+            m "sbf#%d leaves recovery: cwnd %.1f -> %.1f" t.id t.cwnd t.ssthresh);
+        t.recover <- -1;
+        t.cwnd <- t.ssthresh
+      end
+      else begin
+        (* partial ack: retransmit the next hole and refresh the
+           SACK-style loss marks *)
+        retransmit_head t;
+        mark_sack_holes t
+      end
+    end
+    else if inflight_before >= int_of_float t.cwnd then
+      (* congestion-window validation (RFC 2861): only grow the window
+         when the flow was actually using it *)
+      t.cc_on_ack t !acked;
+    if Hashtbl.length t.inflight = 0 then cancel_rto t else arm_rto t;
+    try_transmit t;
+    t.on_sender_event ()
+  end
+  else if Hashtbl.length t.inflight > 0 then begin
+    t.dupacks <- t.dupacks + 1;
+    if t.dupacks = 3 && not (in_recovery t) then begin
+      enter_recovery t ~cause:`Dupacks;
+      t.on_sender_event ()
+    end
+  end
+
+(* ---------- scheduler-facing operations ---------- *)
+
+(** Enqueue a packet assigned by the scheduler and try to put it on the
+    wire immediately. *)
+let send t pkt =
+  Queue.push pkt t.send_buffer;
+  try_transmit t
+
+(** Complete the (abstracted) handshake after one RTT and seed the RTT
+    estimator with the handshake sample, then notify the sender. *)
+let establish ?(at = 0.0) t =
+  ignore
+    (Eventq.schedule t.clock ~at (fun () ->
+         ignore
+           (Eventq.schedule_in t.clock ~delay:(2.0 *. Link.delay t.data_link)
+              (fun () ->
+                Sim_log.debug (fun m ->
+                    m "sbf#%d established (handshake rtt %.1f ms)" t.id
+                      (2.0 *. Link.delay t.data_link *. 1e3));
+                t.established <- true;
+                sample_rtt t (2.0 *. Link.delay t.data_link);
+                try_transmit t;
+                t.on_sender_event ()))))
+
+(** Tear the subflow down (e.g. WiFi loss during handover): everything in
+    flight or buffered is reported as suspected lost so the scheduler can
+    reinject it elsewhere. *)
+let fail t =
+  Sim_log.debug (fun m ->
+      m "sbf#%d fails: %d in flight and %d buffered re-queued" t.id
+        (in_flight_count t)
+        (Queue.length t.send_buffer));
+  t.established <- false;
+  cancel_rto t;
+  let pending = Hashtbl.fold (fun seq e acc -> (seq, e) :: acc) t.inflight [] in
+  let in_flight =
+    List.map
+      (fun (seq, (e : entry)) ->
+        Hashtbl.remove t.inflight seq;
+        e.e_pkt)
+      (List.sort compare pending)
+  in
+  let buffered = List.of_seq (Queue.to_seq t.send_buffer) in
+  Queue.clear t.send_buffer;
+  t.on_failed (in_flight @ buffered)
+
+(** Testing hook (packetdrill analogue, §4.2): inject a segment arrival
+    at the receiver side of the subflow, bypassing the link — used to
+    craft exact loss/reordering patterns in the receiver test suite. *)
+let inject_arrival t ~seq pkt = on_segment_arrival t seq pkt
+
+(** Re-attempt transmission of buffered packets — called by the meta
+    socket when a blocking condition may have cleared (e.g. the receive
+    window reopened after out-of-order data drained). *)
+let kick = try_transmit

@@ -1,0 +1,156 @@
+(** One MPTCP subflow: a complete simulated TCP connection — NewReno
+    congestion control with SACK-style hole marking, RTO with backoff,
+    RFC 6298 RTT estimation plus a BBR-style windowed-max delivery-rate
+    filter (the [THROUGHPUT] property), per-subflow TSQ accounting, and
+    the receiver-side subflow ordering of §4.2. Suspected losses are
+    retransmitted on the same subflow (TCP reliability) {e and} reported
+    upward for cross-subflow reinjection, as in Linux MPTCP. *)
+
+open Progmp_runtime
+
+type delivery_mode =
+  | Two_layer
+      (** stock kernel: a segment reaches the meta socket only once it is
+          in-order {e within its subflow} *)
+  | Immediate
+      (** the paper's receiver fix: every arriving segment is handed to
+          the meta socket at once; ordering happens only at the data
+          level *)
+
+type entry = {
+  e_pkt : Packet.t;
+  e_size : int;
+  mutable e_sent_at : float;
+  mutable e_retx : bool;
+  mutable e_lost : bool;  (** marked lost by SACK-style hole detection *)
+}
+
+type t = {
+  id : int;
+  mss : int;
+  mutable is_backup : bool;
+  clock : Eventq.t;
+  data_link : Link.t;
+  ack_link : Link.t;
+  delivery_mode : delivery_mode;
+  (* --- sender state --- *)
+  mutable established : bool;
+  mutable cwnd : float;  (** segments *)
+  mutable ssthresh : float;
+  mutable snd_nxt : int;
+  mutable snd_una : int;
+  inflight : (int, entry) Hashtbl.t;
+  send_buffer : Packet.t Queue.t;
+  mutable dupacks : int;
+  mutable recover : int;  (** NewReno recovery point; -1 = not in recovery *)
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable rtt_avg : float;
+  mutable rtt_samples : int;
+  mutable rto : float;
+  min_rto : float;
+  mutable rto_timer : Eventq.event option;
+  mutable lost_skbs : int;
+  (* --- receiver-side subflow state --- *)
+  mutable rcv_expected : int;
+  rcv_ooo : (int, Packet.t) Hashtbl.t;
+  (* --- statistics --- *)
+  mutable segs_sent : int;
+  mutable segs_retx : int;
+  mutable bytes_sent : int;
+  mutable bytes_acked : int;
+  mutable tsq_entries : (float * int) list;
+      (** (serialization completion time, bytes) of this subflow's
+          segments queued at the bottleneck — per-subflow TSQ state *)
+  (* delivery-rate estimator backing the THROUGHPUT property *)
+  mutable rate_anchor_t : float;
+  mutable rate_anchor_bytes : int;
+  mutable rate_ewma : float;  (** bytes/second; 0 until the first sample *)
+  mutable rate_samples : (float * float) list;
+      (** recent (time, bytes/s) samples, newest first, for the
+          windowed-max achievable-rate filter *)
+  (* --- callbacks wired by the meta socket --- *)
+  mutable on_meta_deliver : Packet.t -> unit;
+      (** a segment's payload reached the meta socket (per delivery mode) *)
+  mutable on_suspected_loss : Packet.t -> unit;  (** -> RQ *)
+  mutable on_failed : Packet.t list -> unit;
+      (** the subflow died with these packets unacknowledged: they are
+          no longer in flight anywhere on this path and must be
+          re-queued as fresh data (RQ is only for transient suspected
+          losses, which RQ-ignoring schedulers may legitimately leave to
+          subflow-level retransmission) *)
+  mutable on_sender_event : unit -> unit;  (** re-trigger the scheduler *)
+  mutable is_data_acked : Packet.t -> bool;
+  mutable data_ack_value : unit -> int;  (** receiver's cumulative data ack *)
+  mutable on_data_ack : int -> unit;
+  mutable rwnd_bytes : unit -> int;  (** advertised meta receive window *)
+  mutable rwnd_exempt : Packet.t -> bool;
+      (** next-in-order data may be sent even against a closed window: it
+          is consumed by the application immediately and never occupies
+          the out-of-order buffer, which avoids the zero-window deadlock
+          where only the blocked packet could reopen the window *)
+  mutable cc_on_ack : t -> int -> unit;  (** pluggable window increase *)
+}
+
+
+val initial_cwnd : int
+
+val reno_on_ack : t -> int -> unit
+(** Default window increase: slow start below ssthresh, then one
+    segment per window. *)
+
+val create :
+  id:int ->
+  clock:Eventq.t ->
+  data_link:Link.t ->
+  ack_link:Link.t ->
+  ?mss:int ->
+  ?is_backup:bool ->
+  ?min_rto:float ->
+  ?delivery_mode:delivery_mode ->
+  unit ->
+  t
+
+val in_flight_count : t -> int
+
+val in_recovery : t -> bool
+
+val lossy : t -> bool
+
+val own_backlog_bytes : t -> int
+(** This subflow's unserialized bytes at the bottleneck (per-subflow
+    TSQ state: another flow's queue does not throttle this one). *)
+
+val tsq_throttled : t -> bool
+
+val rtt_us : t -> int
+
+val rate_window : float
+(** Length of the achievable-rate max filter window, seconds. *)
+
+val throughput_estimate : t -> int
+(** Achievable rate: max delivery-rate sample of the last
+    {!rate_window} seconds, falling back to the cwnd/RTT bound before
+    any sample exists. *)
+
+val view : t -> Subflow_view.t
+(** The immutable snapshot the scheduler sees. *)
+
+val send : t -> Packet.t -> unit
+(** Enqueue a packet assigned by the scheduler; transmits immediately
+    while the congestion and receive windows allow. *)
+
+val kick : t -> unit
+(** Re-attempt transmission of buffered packets (blocking conditions
+    may have cleared). *)
+
+val establish : ?at:float -> t -> unit
+(** Complete the abstracted handshake one RTT after [at]. *)
+
+val fail : t -> unit
+(** Connection break: everything in flight or buffered is handed to
+    {!field-on_failed} for re-queueing at the meta level. *)
+
+val inject_arrival : t -> seq:int -> Packet.t -> unit
+(** Testing hook (packetdrill analogue, §4.2): inject a segment arrival
+    at the receiver side, bypassing the link. *)

@@ -1,0 +1,1 @@
+test/gen.ml: Ast Fmt Fun Helpers List Option Progmp_lang Progmp_runtime QCheck2 Subflow_view Ty

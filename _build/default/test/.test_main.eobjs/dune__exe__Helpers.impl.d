@@ -1,0 +1,1 @@
+test/helpers.ml: Action Alcotest Array Env Fmt List Packet Pqueue Progmp_lang Progmp_runtime Scheduler Subflow_view

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Api Apps Connection Helpers Link List Mptcp_sim Path_manager Progmp_runtime Rng Schedulers Stats

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Codegen Compile Disasm Fmt Gen Helpers Isa List Progmp_compiler Progmp_lang Progmp_runtime QCheck2 QCheck_alcotest Regalloc Schedulers String Vcode Verifier Vm

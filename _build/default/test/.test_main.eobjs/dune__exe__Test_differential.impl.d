@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Aot Array Env Fmt Fun Gen Helpers Interpreter List Progmp_compiler Progmp_lang Progmp_runtime QCheck2 QCheck_alcotest Schedulers Subflow_view

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Char Helpers Lexer Optimize Parser Progmp_compiler Progmp_lang Progmp_runtime QCheck2 QCheck_alcotest Schedulers String Tast Typecheck

@@ -1,0 +1,1 @@
+test/test_interpreter.ml: Alcotest Helpers List Progmp_runtime

@@ -1,0 +1,1 @@
+test/test_meta.ml: Action Alcotest Api Apps Connection Env Fun Helpers List Meta_socket Mptcp_sim Packet Path_manager Pqueue Progmp_runtime QCheck2 QCheck_alcotest Schedulers Tcp_subflow

@@ -1,0 +1,1 @@
+test/test_multiconn.ml: Alcotest Api Apps Connection Eventq Fmt Helpers Link List Meta_socket Mptcp_sim Path_manager Progmp_runtime Rng Schedulers

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Gen Helpers List Optimize Progmp_lang Progmp_runtime QCheck2 QCheck_alcotest Schedulers Tast Typecheck

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Fmt Helpers List Parser Progmp_lang Schedulers String

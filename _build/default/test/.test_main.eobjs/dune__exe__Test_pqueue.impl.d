@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Fun Helpers List Option Packet Pqueue Progmp_runtime QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Fmt Helpers List Loc Parser Pretty Progmp_lang QCheck2 QCheck_alcotest Schedulers

@@ -1,0 +1,1 @@
+test/test_receiver.ml: Alcotest Eventq Fun Helpers Link List Meta_socket Mptcp_sim Packet Progmp_runtime Rng Tcp_subflow

@@ -1,0 +1,1 @@
+test/test_schedulers.ml: Alcotest Env Helpers List Packet Pqueue Progmp_runtime Scheduler Schedulers Subflow_view

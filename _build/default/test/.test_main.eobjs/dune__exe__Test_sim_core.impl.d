@@ -1,0 +1,1 @@
+test/test_sim_core.ml: Alcotest Eventq Fun Helpers Link List Mptcp_sim QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Congestion Eventq Fmt Fun Helpers Link List Mptcp_sim Packet Progmp_runtime Queue Rng Subflow_view Tcp_subflow

@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Array Helpers List Loc Progmp_lang Schedulers Tast Ty Typecheck

@@ -1,0 +1,1 @@
+test/gen/gen_minrtt.ml: Array Env Fun List Pqueue Progmp_lang Progmp_runtime Subflow_view

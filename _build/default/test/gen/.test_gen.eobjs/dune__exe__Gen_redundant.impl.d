@@ -1,0 +1,1 @@
+test/gen/gen_redundant.ml: Array Env Fun List Packet Pqueue Progmp_lang Progmp_runtime Subflow_view

@@ -1,0 +1,1 @@
+test/gen/test_gen.ml: Action Alcotest Array Env Gen_compensating Gen_minrtt Gen_redundant Gen_round_robin Interpreter List Packet Pqueue Progmp_lang Progmp_runtime Scheduler Schedulers Subflow_view

@@ -1,0 +1,89 @@
+(** Shared helpers for the test suites: environment construction,
+    action normalization (comparing runs across independently built
+    environments), and spec shorthands. *)
+
+open Progmp_runtime
+
+(** Description of a reproducible environment. *)
+type env_spec = {
+  q_seqs : int list;  (** packets (by data seq) initially in Q *)
+  qu_seqs : (int * int list) list;  (** (seq, subflow ids it was sent on) *)
+  rq_seqs : int list;  (** seqs (must also be in QU) in RQ *)
+  views : Subflow_view.t list;
+  regs : (int * int) list;
+}
+
+let default_env_spec =
+  {
+    q_seqs = [ 0; 1; 2 ];
+    qu_seqs = [];
+    rq_seqs = [];
+    views =
+      [
+        { Subflow_view.default with Subflow_view.id = 0; rtt_us = 40_000 };
+        { Subflow_view.default with Subflow_view.id = 1; rtt_us = 10_000 };
+      ];
+    regs = [];
+  }
+
+(** Build a fresh environment (packets get fresh ids; comparisons must go
+    through {!norm_action}/seq numbers). Returns the env and the subflow
+    snapshot to execute against. *)
+let build (spec : env_spec) =
+  let env = Env.create () in
+  let mk seq = Packet.create ~seq ~size:1448 ~now:0.0 () in
+  List.iter (fun seq -> Pqueue.push_back env.Env.q (mk seq)) spec.q_seqs;
+  let qu_packets =
+    List.map
+      (fun (seq, sent_on) ->
+        let p = mk seq in
+        List.iter (fun sbf_id -> Packet.mark_sent p ~sbf_id) sent_on;
+        Pqueue.push_back env.Env.qu p;
+        (seq, p))
+      spec.qu_seqs
+  in
+  List.iter
+    (fun seq ->
+      match List.assoc_opt seq qu_packets with
+      | Some p -> Pqueue.push_back env.Env.rq p
+      | None -> Pqueue.push_back env.Env.rq (mk seq))
+    spec.rq_seqs;
+  List.iter (fun (r, v) -> Env.set_register env r v) spec.regs;
+  (env, Array.of_list spec.views)
+
+(** Environment-independent view of an action. *)
+type norm_action = N_push of int * int  (** sbf id, seq *) | N_drop of int
+
+let norm_action = function
+  | Action.Push { sbf_id; pkt } -> N_push (sbf_id, pkt.Packet.seq)
+  | Action.Drop pkt -> N_drop pkt.Packet.seq
+
+let pp_norm ppf = function
+  | N_push (s, q) -> Fmt.pf ppf "push(%d,seq%d)" s q
+  | N_drop q -> Fmt.pf ppf "drop(seq%d)" q
+
+let norm_testable = Alcotest.testable pp_norm ( = )
+
+let seqs_of q = List.map (fun p -> p.Packet.seq) (Pqueue.to_list q)
+
+(** Run [sched] once against a fresh build of [spec]; returns normalized
+    actions plus the final (Q, QU, RQ) seq lists and registers. *)
+let run_once sched spec =
+  let env, views = build spec in
+  let actions = Scheduler.execute sched env ~subflows:views in
+  ( List.map norm_action actions,
+    (seqs_of env.Env.q, seqs_of env.Env.qu, seqs_of env.Env.rq),
+    Array.to_list env.Env.registers )
+
+let load_anon =
+  let n = ref 0 in
+  fun src ->
+    incr n;
+    Scheduler.of_source ~name:(Fmt.str "test-%d" !n) src
+
+let check_type_error src =
+  match Progmp_lang.Typecheck.compile_source src with
+  | _ -> Alcotest.failf "expected a type error for:@\n%s" src
+  | exception Progmp_lang.Typecheck.Error _ -> ()
+
+let tc name f = Alcotest.test_case name `Quick f

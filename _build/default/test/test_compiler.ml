@@ -1,0 +1,260 @@
+(** Compiler pipeline tests: register allocation invariants, verifier
+    acceptance/rejection, VM fault handling, constant-subflow-count
+    specialization, and disassembly. *)
+
+open Progmp_compiler
+open Helpers
+
+(* substring containment, used on disassembly text *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let compile_src src =
+  Compile.compile (Progmp_lang.Typecheck.compile_source src)
+
+(* Allocation invariants, checked over the zoo and random programs:
+   no two vregs with overlapping intervals share a register, and every
+   used vreg has a home. *)
+let check_alloc (vcode : Vcode.t) =
+  let alloc = Regalloc.allocate vcode in
+  let iv = Vcode.intervals vcode in
+  let ok = ref true in
+  Array.iteri
+    (fun v interval ->
+      match (interval, alloc.Regalloc.homes.(v)) with
+      | Some _, None -> ok := false (* used but homeless *)
+      | None, _ | _, Some (Regalloc.Stack _) -> ()
+      | Some (s1, e1), Some (Regalloc.Reg r) ->
+          Array.iteri
+            (fun w winterval ->
+              if w > v then
+                match (winterval, alloc.Regalloc.homes.(w)) with
+                | Some (s2, e2), Some (Regalloc.Reg r2) when r = r2 ->
+                    if not (e1 < s2 || e2 < s1) then ok := false
+                | _, _ -> ())
+            iv)
+    iv;
+  !ok
+
+let alloc_random =
+  QCheck2.Test.make ~name:"register allocation never double-books" ~count:300
+    Gen.gen_program (fun ast ->
+      let program = Progmp_lang.Typecheck.check ast in
+      check_alloc (Codegen.generate program))
+
+let verify_random =
+  QCheck2.Test.make ~name:"compiled random programs verify" ~count:300
+    Gen.gen_program (fun ast ->
+      let program = Progmp_lang.Typecheck.check ast in
+      match Compile.compile program with
+      | (_ : Vm.prog) -> true
+      | exception Compile.Rejected _ -> false)
+
+let suite =
+  [
+    ( "compiler",
+      [
+        tc "zoo compiles and verifies" (fun () ->
+            List.iter (fun (_, src) -> ignore (compile_src src)) Schedulers.Specs.all);
+        tc "zoo allocation invariant" (fun () ->
+            List.iter
+              (fun (name, src) ->
+                let p = Progmp_lang.Typecheck.compile_source src in
+                if not (check_alloc (Codegen.generate p)) then
+                  Alcotest.failf "%s: overlapping intervals share a register"
+                    name)
+              Schedulers.Specs.all);
+        tc "program ends with exit" (fun () ->
+            let prog = compile_src "SET(R1, 1);" in
+            match prog.Vm.code.(Array.length prog.Vm.code - 1) with
+            | Isa.Exit -> ()
+            | _ -> Alcotest.fail "last instruction must be Exit");
+        tc "disassembly mentions helpers" (fun () ->
+            let prog = compile_src Schedulers.Specs.minrtt_minimal in
+            let text = Disasm.to_string prog.Vm.code in
+            List.iter
+              (fun h ->
+                if not (contains text h) then
+                  Alcotest.failf "disassembly lacks %s" h)
+              [ "call  sbf_count"; "call  sbf_prop"; "call  q_remove"; "exit" ]);
+        tc "verifier rejects out-of-bounds jump" (fun () ->
+            match Verifier.verify [| Isa.Jmp 99 |] with
+            | [] -> Alcotest.fail "expected rejection"
+            | _ :: _ -> ());
+        tc "verifier rejects fallthrough" (fun () ->
+            match Verifier.verify [| Isa.Movi (0, 1) |] with
+            | [] -> Alcotest.fail "expected rejection"
+            | _ :: _ -> ());
+        tc "verifier rejects read-before-write" (fun () ->
+            match Verifier.verify [| Isa.Mov (0, 6); Isa.Exit |] with
+            | [] -> Alcotest.fail "expected rejection"
+            | _ :: _ -> ());
+        tc "verifier rejects r1-r5 reads after call" (fun () ->
+            let code =
+              [|
+                Isa.Movi (1, 0); Isa.Movi (2, 0); Isa.Call Isa.H_q_nth;
+                Isa.Mov (6, 1) (* r1 clobbered by the call *); Isa.Exit;
+              |]
+            in
+            match Verifier.verify code with
+            | [] -> Alcotest.fail "expected rejection"
+            | _ :: _ -> ());
+        tc "verifier accepts r0 result after call" (fun () ->
+            let code =
+              [| Isa.Call Isa.H_sbf_count; Isa.Mov (6, 0); Isa.Exit |]
+            in
+            Alcotest.(check int) "no errors" 0 (List.length (Verifier.verify code)));
+        tc "verifier rejects bad stack slot" (fun () ->
+            match Verifier.verify [| Isa.Stx (9999, 0); Isa.Exit |] with
+            | [] -> Alcotest.fail "expected rejection"
+            | _ :: _ -> ());
+        tc "verifier rejects empty program" (fun () ->
+            match Verifier.verify [||] with
+            | [] -> Alcotest.fail "expected rejection"
+            | _ :: _ -> ());
+        tc "verifier rejects call with uninitialized args" (fun () ->
+            match Verifier.verify [| Isa.Call Isa.H_q_nth; Isa.Exit |] with
+            | [] -> Alcotest.fail "expected rejection"
+            | _ :: _ -> ());
+        tc "vm step budget faults on infinite loop" (fun () ->
+            let prog = Vm.make_prog ~spill_slots:0 [| Isa.Jmp 0 |] in
+            let env, views = build default_env_spec in
+            Progmp_runtime.Env.begin_execution env ~subflows:views;
+            match Vm.run ~max_steps:1000 prog env with
+            | () -> Alcotest.fail "expected fault"
+            | exception Vm.Fault _ -> ());
+        tc "vm faults on bad queue code" (fun () ->
+            let prog =
+              Vm.make_prog ~spill_slots:0
+                [|
+                  Isa.Movi (1, 7); Isa.Movi (2, 0); Isa.Call Isa.H_q_nth;
+                  Isa.Exit;
+                |]
+            in
+            let env, views = build default_env_spec in
+            Progmp_runtime.Env.begin_execution env ~subflows:views;
+            match Vm.run prog env with
+            | () -> Alcotest.fail "expected fault"
+            | exception Vm.Fault _ -> ());
+        tc "specialization agrees on matching subflow count" (fun () ->
+            let program =
+              Progmp_lang.Typecheck.compile_source Schedulers.Specs.default
+            in
+            let spec_prog = Compile.compile ~subflow_count:2 program in
+            let gen_prog = Compile.compile program in
+            let run prog =
+              let env, views = build default_env_spec in
+              Progmp_runtime.Env.begin_execution env ~subflows:views;
+              Vm.run prog env;
+              List.map norm_action (Progmp_runtime.Env.finish_execution env)
+            in
+            Alcotest.(check (list norm_testable))
+              "same actions" (run gen_prog) (run spec_prog));
+        tc "specialized engine falls back on count mismatch" (fun () ->
+            let sched = load_anon Schedulers.Specs.minrtt_minimal in
+            let interp_called = ref false in
+            let prog =
+              Compile.compile ~subflow_count:5
+                sched.Progmp_runtime.Scheduler.program
+            in
+            let engine =
+              Compile.engine ~fallback:(fun _ -> interp_called := true) prog
+            in
+            let env, views = build default_env_spec (* 2 subflows <> 5 *) in
+            Progmp_runtime.Env.begin_execution env ~subflows:views;
+            engine env;
+            Alcotest.(check bool) "fell back" true !interp_called);
+        tc "install swaps the engine" (fun () ->
+            let sched = load_anon Schedulers.Specs.minrtt_minimal in
+            ignore (Compile.install sched);
+            Alcotest.(check string)
+              "engine label" "ebpf-vm"
+              (Progmp_runtime.Scheduler.engine_label sched));
+        tc "compile stats are sane" (fun () ->
+            let program =
+              Progmp_lang.Typecheck.compile_source Schedulers.Specs.default
+            in
+            let _, stats = Compile.compile_with_stats program in
+            Alcotest.(check bool) "instrs > vinstrs / 2" true
+              (stats.Compile.instrs > stats.Compile.vinstrs / 2);
+            Alcotest.(check bool) "spill slots bounded" true
+              (stats.Compile.spill_slots < Isa.stack_words));
+        QCheck_alcotest.to_alcotest alloc_random;
+        QCheck_alcotest.to_alcotest verify_random;
+      ] );
+  ]
+
+(* Targeted register-allocator tests on synthetic virtual code. *)
+let regalloc_suite =
+  [
+    ( "regalloc",
+      [
+        tc "second chance re-promotes a spilled interval into a gap"
+          (fun () ->
+            (* Five long overlapping intervals exhaust the four registers;
+               a later short interval must still get a register because
+               every register has a gap after position 12. *)
+            let b = Vcode.create_builder ~reserved_vregs:0 in
+            let v = Array.init 6 (fun _ -> Vcode.fresh_vreg b) in
+            (* defs for v0..v4 at positions 0..4 *)
+            for i = 0 to 4 do
+              Vcode.emit b (Vcode.Vmovi (v.(i), i))
+            done;
+            (* uses of v0..v4 at positions 5..9: all five live at once *)
+            for i = 0 to 4 do
+              Vcode.emit b (Vcode.Valui (Isa.Add, v.(i), v.(i), 1))
+            done;
+            (* a late, short-lived interval *)
+            Vcode.emit b (Vcode.Vmovi (v.(5), 9));
+            Vcode.emit b (Vcode.Valui (Isa.Add, v.(5), v.(5), 1));
+            Vcode.emit b Vcode.Vexit;
+            let code = Vcode.finish b ~num_vregs:6 in
+            let alloc = Regalloc.allocate code in
+            let regs, stacks =
+              Array.fold_left
+                (fun (r, s) home ->
+                  match home with
+                  | Some (Regalloc.Reg _) -> (r + 1, s)
+                  | Some (Regalloc.Stack _) -> (r, s + 1)
+                  | None -> (r, s))
+                (0, 0) alloc.Regalloc.homes
+            in
+            Alcotest.(check int) "one spilled of six" 1 stacks;
+            Alcotest.(check int) "five in registers" 5 regs;
+            (* the late interval must be register-allocated (first pass or
+               second chance) *)
+            match alloc.Regalloc.homes.(5) with
+            | Some (Regalloc.Reg _) -> ()
+            | _ -> Alcotest.fail "late interval should sit in a register");
+        tc "loop extension keeps loop-carried values apart" (fun () ->
+            (* v0 is defined before a loop and used inside it: its interval
+               must extend to the loop end, so a vreg defined inside the
+               loop must not share its register. *)
+            let b = Vcode.create_builder ~reserved_vregs:0 in
+            let v0 = Vcode.fresh_vreg b in
+            let v1 = Vcode.fresh_vreg b in
+            Vcode.emit b (Vcode.Vmovi (v0, 7));
+            let l = Vcode.fresh_label b in
+            let start = Vcode.here b in
+            Vcode.emit b (Vcode.Vlabel l);
+            Vcode.emit b (Vcode.Valui (Isa.Add, v1, v0, 1));
+            Vcode.emit b (Vcode.Vjcci (Isa.Jne, v1, 0, l));
+            Vcode.record_loop b ~start ~stop:(Vcode.here b);
+            Vcode.emit b Vcode.Vexit;
+            let code = Vcode.finish b ~num_vregs:2 in
+            let iv = Vcode.intervals code in
+            (match (iv.(0), iv.(1)) with
+            | Some (_, e0), Some (s1, _) ->
+                Alcotest.(check bool)
+                  (Fmt.str "v0 end %d covers v1 start %d" e0 s1)
+                  true (e0 >= s1)
+            | _ -> Alcotest.fail "missing intervals");
+            let alloc = Regalloc.allocate code in
+            match (alloc.Regalloc.homes.(0), alloc.Regalloc.homes.(1)) with
+            | Some (Regalloc.Reg a), Some (Regalloc.Reg b') ->
+                Alcotest.(check bool) "distinct registers" true (a <> b')
+            | _ -> Alcotest.fail "expected register homes");
+      ] );
+  ]

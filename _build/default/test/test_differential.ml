@@ -1,0 +1,208 @@
+(** Differential testing of the three execution backends (the paper's
+    interpreter / AOT / eBPF-JIT triad): for the whole scheduler zoo and
+    for thousands of randomly generated well-typed programs, all backends
+    must produce identical action sequences, queue states and register
+    files on identical environments. *)
+
+open Progmp_runtime
+open Helpers
+
+type observation = {
+  o_actions : norm_action list;
+  o_queues : int list * int list * int list;
+  o_regs : int list;
+}
+
+let pp_obs ppf o =
+  let q, qu, rq = o.o_queues in
+  Fmt.pf ppf "actions=[%a] q=[%a] qu=[%a] rq=[%a] regs=[%a]"
+    Fmt.(list ~sep:(any ";") pp_norm)
+    o.o_actions
+    Fmt.(list ~sep:(any ",") int)
+    q
+    Fmt.(list ~sep:(any ",") int)
+    qu
+    Fmt.(list ~sep:(any ",") int)
+    rq
+    Fmt.(list ~sep:(any ",") int)
+    o.o_regs
+
+let obs_testable = Alcotest.testable pp_obs ( = )
+
+let observe engine (program : Progmp_lang.Tast.program) spec =
+  let env, views = build spec in
+  Env.begin_execution env ~subflows:views;
+  engine env;
+  let actions = List.map norm_action (Env.finish_execution env) in
+  {
+    o_actions = actions;
+    o_queues = (seqs_of env.Env.q, seqs_of env.Env.qu, seqs_of env.Env.rq);
+    o_regs = Array.to_list env.Env.registers;
+  }
+  [@@warning "-27"]
+
+let backends (program : Progmp_lang.Tast.program) =
+  let vm_prog = Progmp_compiler.Compile.compile program in
+  [
+    ("interpreter", fun env -> Interpreter.run program env);
+    ("aot", Aot.compile program);
+    ("vm", fun env -> Progmp_compiler.Vm.run vm_prog env);
+  ]
+
+let agree program spec =
+  match backends program with
+  | (_, ref_engine) :: rest ->
+      let reference = observe ref_engine program spec in
+      List.iter
+        (fun (name, engine) ->
+          let o = observe engine program spec in
+          Alcotest.check obs_testable (name ^ " agrees with interpreter")
+            reference o)
+        rest
+  | [] -> assert false
+
+(* Hand-picked env specs stressing different aspects. *)
+let specs =
+  let v ?(backup = false) ?(throttled = false) ?(lossy = false)
+      ?(cwnd = 10) ?(inflight = 0) ?(queued = 0) id rtt =
+    {
+      Subflow_view.default with
+      Subflow_view.id;
+      rtt_us = rtt;
+      rtt_avg_us = rtt;
+      cwnd;
+      skbs_in_flight = inflight;
+      queued;
+      is_backup = backup;
+      tsq_throttled = throttled;
+      lossy;
+      throughput_bps = cwnd * 1448 * 1_000_000 / rtt;
+    }
+  in
+  [
+    ("no subflows", { default_env_spec with views = [] });
+    ("empty queues", { default_env_spec with q_seqs = [] });
+    ("default", default_env_spec);
+    ( "exhausted cwnd",
+      {
+        default_env_spec with
+        views = [ v ~cwnd:2 ~inflight:2 0 10_000; v ~cwnd:4 ~inflight:1 1 40_000 ];
+      } );
+    ( "all backup",
+      {
+        default_env_spec with
+        views = [ v ~backup:true 0 10_000; v ~backup:true 1 40_000 ];
+      } );
+    ( "throttled and lossy",
+      {
+        default_env_spec with
+        views = [ v ~throttled:true 0 10_000; v ~lossy:true 1 40_000 ];
+      } );
+    ( "reinjections pending",
+      {
+        default_env_spec with
+        qu_seqs = [ (50, [ 0 ]); (51, [ 0; 1 ]) ];
+        rq_seqs = [ 50 ];
+        regs = [ (0, 1_000_000); (1, 1) ];
+      } );
+    ( "four subflows",
+      {
+        q_seqs = [ 0; 1; 2; 3; 4; 5 ];
+        qu_seqs = [ (10, [ 0 ]); (11, [ 1; 2 ]); (12, []) ];
+        rq_seqs = [ 12 ];
+        views =
+          [
+            v 0 10_000; v ~backup:true 1 40_000; v ~cwnd:1 ~inflight:1 2 5_000;
+            v ~lossy:true 3 80_000;
+          ];
+        regs = [ (0, 2_000_000); (1, 1); (2, 1) ];
+      } );
+    ( "single subflow, deep queues",
+      {
+        q_seqs = List.init 40 Fun.id;
+        qu_seqs = List.init 10 (fun i -> (100 + i, [ 0 ]));
+        rq_seqs = [ 104; 107 ];
+        views = [ v ~cwnd:32 ~inflight:10 0 15_000 ];
+        regs = [ (0, 500_000) ];
+      } );
+    ( "equal RTTs (tie-breaking)",
+      {
+        default_env_spec with
+        views = [ v 0 20_000; v 1 20_000; v 2 20_000 ];
+      } );
+    ( "registers at extremes",
+      {
+        default_env_spec with
+        regs = [ (0, max_int / 2); (1, -1); (3, min_int / 2) ];
+      } );
+  ]
+
+let zoo_cases =
+  List.concat_map
+    (fun (sched_name, src) ->
+      let program = Progmp_lang.Typecheck.compile_source src in
+      List.map
+        (fun (spec_name, spec) ->
+          tc
+            (Fmt.str "%s / %s" sched_name spec_name)
+            (fun () -> agree program spec))
+        specs)
+    Schedulers.Specs.all
+
+(* Native oracles: the hand-written OCaml schedulers must match their DSL
+   counterparts action-for-action. *)
+let native_cases =
+  let pairs =
+    [
+      ("default", Schedulers.Specs.default, Schedulers.Native.default);
+      ("round_robin", Schedulers.Specs.round_robin, Schedulers.Native.round_robin);
+      ( "redundant_if_no_q",
+        Schedulers.Specs.redundant_if_no_q,
+        Schedulers.Native.redundant_if_no_q );
+    ]
+  in
+  List.concat_map
+    (fun (name, src, native) ->
+      let program = Progmp_lang.Typecheck.compile_source src in
+      List.map
+        (fun (spec_name, spec) ->
+          tc (Fmt.str "native %s / %s" name spec_name) (fun () ->
+              let reference =
+                observe (fun env -> Interpreter.run program env) program spec
+              in
+              let o = observe native program spec in
+              Alcotest.check obs_testable "native agrees" reference o))
+        specs)
+    pairs
+
+(* Random programs x random environments. *)
+let random_diff =
+  let gen =
+    QCheck2.Gen.pair Gen.gen_program
+      (QCheck2.Gen.small_list Gen.gen_env_spec)
+  in
+  QCheck2.Test.make ~name:"random programs agree across backends" ~count:500
+    gen (fun (ast, env_specs) ->
+      let program =
+        try Progmp_lang.Typecheck.check ast
+        with Progmp_lang.Typecheck.Error (m, _) ->
+          QCheck2.Test.fail_reportf
+            "generator produced ill-typed program: %s@\n%s" m
+            (Progmp_lang.Pretty.program_to_string ast)
+      in
+      let specs = default_env_spec :: env_specs in
+      List.for_all
+        (fun spec ->
+          let engines = backends program in
+          match List.map (fun (_, e) -> observe e program spec) engines with
+          | reference :: others -> List.for_all (( = ) reference) others
+          | [] -> true)
+        specs)
+
+let suite =
+  [
+    ("differential-zoo", zoo_cases);
+    ("differential-native", native_cases);
+    ( "differential-random",
+      [ QCheck_alcotest.to_alcotest random_diff ] );
+  ]

@@ -1,0 +1,94 @@
+(** Robustness fuzzing: arbitrary input never crashes the toolchain —
+    the frontend either produces a program or raises one of its three
+    documented, located errors; printable garbage, truncations and
+    mutations of valid specifications are all handled. *)
+
+open Progmp_lang
+open Helpers
+
+let load_or_error src =
+  match Typecheck.compile_source src with
+  | (_ : Tast.program) -> true
+  | exception Lexer.Error (_, _) -> true
+  | exception Parser.Error (_, _) -> true
+  | exception Typecheck.Error (_, _) -> true
+
+(* Arbitrary printable strings. *)
+let gen_garbage =
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (int_bound 200))
+
+let fuzz_garbage =
+  QCheck2.Test.make ~name:"frontend survives printable garbage" ~count:2000
+    gen_garbage load_or_error
+
+(* Token soup: random sequences of valid lexemes stress the parser. *)
+let lexemes =
+  [|
+    "IF"; "ELSE"; "VAR"; "FOREACH"; "IN"; "SET"; "DROP"; "RETURN"; "TRUE";
+    "FALSE"; "NULL"; "Q"; "QU"; "RQ"; "SUBFLOWS"; "AND"; "OR"; "R1"; "R2";
+    "sbf"; "skb"; "x"; "42"; "0"; "=>"; "."; ","; ";"; "("; ")"; "{"; "}";
+    "="; "=="; "!="; "<"; "<="; ">"; ">="; "+"; "-"; "*"; "/"; "%"; "!";
+    "RTT"; "CWND"; "FILTER"; "MIN"; "MAX"; "TOP"; "POP"; "PUSH"; "EMPTY";
+    "COUNT";
+  |]
+
+let gen_token_soup =
+  QCheck2.Gen.(
+    map (String.concat " ")
+      (list_size (int_bound 60) (oneofl (Array.to_list lexemes))))
+
+let fuzz_soup =
+  QCheck2.Test.make ~name:"frontend survives token soup" ~count:2000
+    gen_token_soup load_or_error
+
+(* Mutations of valid specifications: delete/duplicate a random chunk. *)
+let gen_mutant =
+  let open QCheck2.Gen in
+  let* _, src = oneofl Schedulers.Specs.all in
+  let* pos = int_bound (max 1 (String.length src - 1)) in
+  let* len = int_bound 20 in
+  let* mode = bool in
+  let len = min len (String.length src - pos) in
+  if mode then
+    (* delete *)
+    return (String.sub src 0 pos ^ String.sub src (pos + len) (String.length src - pos - len))
+  else
+    (* duplicate *)
+    return (String.sub src 0 (pos + len) ^ String.sub src pos (String.length src - pos))
+
+let fuzz_mutants =
+  QCheck2.Test.make ~name:"frontend survives mutated zoo specs" ~count:2000
+    gen_mutant load_or_error
+
+(* Whatever parses and checks must also compile, verify and execute
+   without OCaml-level exceptions. *)
+let fuzz_full_pipeline =
+  QCheck2.Test.make ~name:"checked mutants run on all backends" ~count:500
+    gen_mutant (fun src ->
+      match Typecheck.compile_source src with
+      | exception (Lexer.Error _ | Parser.Error _ | Typecheck.Error _) -> true
+      | program -> (
+          let program = Optimize.program program in
+          let env, views = build default_env_spec in
+          Progmp_runtime.Env.begin_execution env ~subflows:views;
+          Progmp_runtime.Interpreter.run program env;
+          ignore (Progmp_runtime.Env.finish_execution env);
+          match Progmp_compiler.Compile.compile program with
+          | prog ->
+              let env2, views2 = build default_env_spec in
+              Progmp_runtime.Env.begin_execution env2 ~subflows:views2;
+              Progmp_compiler.Vm.run prog env2;
+              ignore (Progmp_runtime.Env.finish_execution env2);
+              true
+          | exception Progmp_compiler.Compile.Rejected _ -> false))
+
+let suite =
+  [
+    ( "fuzz",
+      [
+        QCheck_alcotest.to_alcotest fuzz_garbage;
+        QCheck_alcotest.to_alcotest fuzz_soup;
+        QCheck_alcotest.to_alcotest fuzz_mutants;
+        QCheck_alcotest.to_alcotest fuzz_full_pipeline;
+      ] );
+  ]

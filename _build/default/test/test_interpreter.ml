@@ -1,0 +1,147 @@
+(** Interpreter semantics tests: declarative selection, queue views with
+    late materialization, graceful NULL handling, effect ordering, the
+    no-packet-loss guarantee, and register persistence. *)
+
+open Helpers
+
+let exec ?(spec = default_env_spec) src = run_once (load_anon src) spec
+
+let check_actions name ?spec src expected =
+  tc name (fun () ->
+      let actions, _, _ = exec ?spec src in
+      Alcotest.(check (list norm_testable)) name expected actions)
+
+let suite =
+  [
+    ( "interpreter",
+      [
+        check_actions "min rtt picks the faster subflow"
+          "SUBFLOWS.MIN(s => s.RTT).PUSH(Q.POP());"
+          [ N_push (1, 0) ];
+        check_actions "max rtt picks the slower subflow"
+          "SUBFLOWS.MAX(s => s.RTT).PUSH(Q.POP());"
+          [ N_push (0, 0) ];
+        check_actions "min ties resolve to the first subflow"
+          ~spec:
+            {
+              default_env_spec with
+              views =
+                [
+                  { Progmp_runtime.Subflow_view.default with id = 3; rtt_us = 7 };
+                  { Progmp_runtime.Subflow_view.default with id = 4; rtt_us = 7 };
+                ];
+            }
+          "SUBFLOWS.MIN(s => s.RTT).PUSH(Q.POP());"
+          [ N_push (3, 0) ];
+        check_actions "filter narrows the set"
+          "SUBFLOWS.FILTER(s => s.RTT < 20000).MIN(s2 => s2.RTT).PUSH(Q.POP());"
+          [ N_push (1, 0) ];
+        check_actions "empty selection pushes nothing (graceful NULL)"
+          "SUBFLOWS.FILTER(s => s.RTT > 1000000).MIN(s2 => s2.RTT).PUSH(Q.POP());"
+          [];
+        check_actions "foreach visits subflows in order"
+          "FOREACH (VAR s IN SUBFLOWS) { s.PUSH(Q.TOP); }"
+          [ N_push (0, 0); N_push (1, 0) ];
+        check_actions "pop removes: two pops give two packets"
+          "SUBFLOWS.GET(0).PUSH(Q.POP()); SUBFLOWS.GET(0).PUSH(Q.POP());"
+          [ N_push (0, 0); N_push (0, 1) ];
+        check_actions "top does not remove"
+          "SUBFLOWS.GET(0).PUSH(Q.TOP); SUBFLOWS.GET(1).PUSH(Q.TOP);"
+          [ N_push (0, 0); N_push (1, 0) ];
+        check_actions "filtered pop removes mid-queue"
+          "SUBFLOWS.GET(0).PUSH(Q.FILTER(p => p.SEQ == 1).POP());"
+          [ N_push (0, 1) ];
+        check_actions "get out of range is NULL"
+          "VAR s = SUBFLOWS.GET(9);\nIF (s != NULL) { s.PUSH(Q.POP()); }"
+          [];
+        check_actions "drop emits a drop action" "DROP(Q.POP());"
+          [ N_drop 0 ];
+        check_actions "return stops execution"
+          "SUBFLOWS.GET(0).PUSH(Q.POP()); RETURN; SUBFLOWS.GET(0).PUSH(Q.POP());"
+          [ N_push (0, 0) ];
+        check_actions "if/else branches"
+          "IF (Q.COUNT > 2) { SUBFLOWS.GET(0).PUSH(Q.POP()); } ELSE { SUBFLOWS.GET(1).PUSH(Q.POP()); }"
+          [ N_push (0, 0) ];
+        check_actions "queue min selects by key"
+          "SUBFLOWS.GET(0).PUSH(Q.MIN(p => 0 - p.SEQ));"
+          [ N_push (0, 2) ];
+        check_actions "properties of NULL read as zero"
+          "VAR ghost = SUBFLOWS.FILTER(s => FALSE).MIN(m => m.RTT);\n\
+           IF (ghost.RTT == 0 AND !ghost.LOSSY) { SUBFLOWS.GET(0).PUSH(Q.POP()); }"
+          [ N_push (0, 0) ];
+        check_actions "division by zero yields zero"
+          "IF (5 / 0 == 0 AND 5 % 0 == 0) { SUBFLOWS.GET(0).PUSH(Q.POP()); }"
+          [ N_push (0, 0) ];
+        check_actions "and short-circuits before queue access"
+          "IF (FALSE AND Q.TOP.SIZE > 0) { SUBFLOWS.GET(0).PUSH(Q.POP()); }"
+          [];
+        tc "final queue state after pop" (fun () ->
+            let _, (q, _, _), _ =
+              exec "SUBFLOWS.GET(0).PUSH(Q.POP());"
+            in
+            Alcotest.(check (list int)) "q" [ 1; 2 ] q);
+        tc "popped but unpushed packet returns to Q front" (fun () ->
+            let _, (q, _, _), _ = exec "VAR x = Q.POP();" in
+            Alcotest.(check (list int)) "q restored" [ 0; 1; 2 ] q);
+        tc "two orphan pops restore original order" (fun () ->
+            let _, (q, _, _), _ = exec "VAR x = Q.POP(); VAR y = Q.POP();" in
+            Alcotest.(check (list int)) "q restored" [ 0; 1; 2 ] q);
+        tc "dropped packet does not return" (fun () ->
+            let _, (q, _, _), _ = exec "DROP(Q.POP());" in
+            Alcotest.(check (list int)) "q" [ 1; 2 ] q);
+        tc "pop from RQ returns to RQ when unhandled" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                qu_seqs = [ (5, [ 0 ]) ];
+                rq_seqs = [ 5 ];
+              }
+            in
+            let _, (_, _, rq), _ =
+              run_once (load_anon "VAR x = RQ.POP();") spec
+            in
+            Alcotest.(check (list int)) "rq restored" [ 5 ] rq);
+        tc "registers persist across executions" (fun () ->
+            let sched = load_anon "SET(R1, R1 + 1);" in
+            let env, views = build default_env_spec in
+            ignore (Progmp_runtime.Scheduler.execute sched env ~subflows:views);
+            ignore (Progmp_runtime.Scheduler.execute sched env ~subflows:views);
+            ignore (Progmp_runtime.Scheduler.execute sched env ~subflows:views);
+            Alcotest.(check int) "R1" 3 (Progmp_runtime.Env.get_register env 0));
+        tc "register read default is zero" (fun () ->
+            let actions, _, _ =
+              exec "IF (R5 == 0) { SUBFLOWS.GET(0).PUSH(Q.POP()); }"
+            in
+            Alcotest.(check int) "one push" 1 (List.length actions));
+        check_actions "sent_on is respected"
+          ~spec:
+            {
+              default_env_spec with
+              q_seqs = [];
+              qu_seqs = [ (7, [ 0 ]); (8, [ 0; 1 ]) ];
+            }
+          "FOREACH (VAR s IN SUBFLOWS) {\n\
+           VAR skb = QU.FILTER(u => !u.SENT_ON(s)).TOP;\n\
+           IF (skb != NULL) { s.PUSH(skb); }\n\
+           }"
+          [ N_push (1, 7) ];
+        check_actions "queue chained filters compose"
+          ~spec:{ default_env_spec with q_seqs = [ 0; 1; 2; 3; 4 ] }
+          "SUBFLOWS.GET(0).PUSH(Q.FILTER(a => a.SEQ > 1).FILTER(b => b.SEQ < 4).POP());"
+          [ N_push (0, 2) ];
+        tc "count and empty on views" (fun () ->
+            let actions, _, _ =
+              exec
+                "IF (Q.FILTER(p => p.SEQ > 0).COUNT == 2 AND \
+                 !Q.EMPTY AND RQ.EMPTY) { SUBFLOWS.GET(0).PUSH(Q.POP()); }"
+            in
+            Alcotest.(check int) "one push" 1 (List.length actions));
+        tc "subflow sum" (fun () ->
+            let actions, _, _ =
+              exec
+                "IF (SUBFLOWS.SUM(s => s.RTT) == 50000) { \
+                 SUBFLOWS.GET(0).PUSH(Q.POP()); }"
+            in
+            Alcotest.(check int) "one push" 1 (List.length actions));
+      ] );
+  ]

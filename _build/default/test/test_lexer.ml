@@ -1,0 +1,74 @@
+(** Lexer unit tests. *)
+
+open Progmp_lang
+open Helpers
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let tok_list = Alcotest.testable (Fmt.of_to_string Token.to_string) ( = )
+
+let check_toks name src expected =
+  tc name (fun () ->
+      Alcotest.(check (list tok_list)) name (expected @ [ Token.EOF ]) (toks src))
+
+let suite =
+  [
+    ( "lexer",
+      [
+        check_toks "empty" "" [];
+        check_toks "whitespace only" "  \n\t  " [];
+        check_toks "integer" "42" [ Token.INT 42 ];
+        check_toks "keywords" "IF ELSE VAR FOREACH IN SET DROP RETURN"
+          Token.
+            [
+              KW_IF; KW_ELSE; KW_VAR; KW_FOREACH; KW_IN; KW_SET; KW_DROP;
+              KW_RETURN;
+            ];
+        check_toks "queues and subflows" "Q QU RQ SUBFLOWS"
+          Token.[ KW_Q; KW_QU; KW_RQ; KW_SUBFLOWS ];
+        check_toks "booleans and null" "TRUE FALSE NULL"
+          Token.[ KW_TRUE; KW_FALSE; KW_NULL ];
+        check_toks "registers" "R1 R2 R6"
+          Token.[ REGISTER 0; REGISTER 1; REGISTER 5 ];
+        check_toks "R7 is an identifier, not a register" "R7"
+          [ Token.IDENT "R7" ];
+        check_toks "R0 is an identifier" "R0" [ Token.IDENT "R0" ];
+        check_toks "identifiers" "sbf skb foo_bar x2"
+          Token.[ IDENT "sbf"; IDENT "skb"; IDENT "foo_bar"; IDENT "x2" ];
+        check_toks "operators"
+          "== != <= >= < > = => + - * / % ! . , ; ( ) { }"
+          Token.
+            [
+              EQ; NEQ; LE; GE; LT; GT; ASSIGN; ARROW; PLUS; MINUS; STAR; SLASH;
+              PERCENT; KW_NOT; DOT; COMMA; SEMI; LPAREN; RPAREN; LBRACE; RBRACE;
+            ];
+        check_toks "NOT keyword and bang are the same token" "NOT !"
+          Token.[ KW_NOT; KW_NOT ];
+        check_toks "AND OR" "AND OR" Token.[ KW_AND; KW_OR ];
+        check_toks "line comment" "1 // comment here\n2"
+          Token.[ INT 1; INT 2 ];
+        check_toks "block comment" "1 /* multi\nline */ 2"
+          Token.[ INT 1; INT 2 ];
+        check_toks "member chain" "Q.POP()"
+          Token.[ KW_Q; DOT; IDENT "POP"; LPAREN; RPAREN ];
+        check_toks "lambda" "sbf => sbf.RTT"
+          Token.[ IDENT "sbf"; ARROW; IDENT "sbf"; DOT; IDENT "RTT" ];
+        tc "locations advance by line" (fun () ->
+            let l =
+              List.map snd (Lexer.tokenize "1\n  2")
+              |> List.map (fun (l : Loc.t) -> (l.Loc.line, l.Loc.col))
+            in
+            Alcotest.(check (list (pair int int)))
+              "positions"
+              [ (1, 1); (2, 3); (2, 4) ]
+              l);
+        tc "unterminated comment fails" (fun () ->
+            match Lexer.tokenize "/* oops" with
+            | _ -> Alcotest.fail "expected lexer error"
+            | exception Lexer.Error _ -> ());
+        tc "unexpected character fails" (fun () ->
+            match Lexer.tokenize "a @ b" with
+            | _ -> Alcotest.fail "expected lexer error"
+            | exception Lexer.Error _ -> ());
+      ] );
+  ]

@@ -1,0 +1,204 @@
+(** Multi-connection simulations: several meta sockets in one simulated
+    network, competing over a shared bottleneck — the TCP-friendliness
+    setting of §2.1 (RFC 6356) — and scheduler isolation between
+    tenants. *)
+
+open Mptcp_sim
+open Progmp_runtime
+open Helpers
+
+(* A light random loss keeps the flows in loss-driven congestion
+   avoidance (otherwise per-flow TSQ pacing reaches an equilibrium in
+   which windows never probe the buffer and coupling has nothing to
+   do). *)
+let bottleneck_params =
+  {
+    Link.default_params with
+    Link.bandwidth = 1_250_000.0;
+    delay = 0.02;
+    buffer_bytes = 128 * 1024;
+    loss = 0.005;
+  }
+
+let spec name = Path_manager.symmetric ~name bottleneck_params
+
+(* One MPTCP connection with [n] subflows ALL through the shared
+   bottleneck, competing with a single-path TCP connection. Returns
+   (mptcp delivered, single-path delivered). *)
+let compete ~cc ~n ~seconds =
+  ignore (Schedulers.Specs.load_all ());
+  let clock = Eventq.create () in
+  let rng = Rng.create 5 in
+  let bottleneck = Link.create ~params:bottleneck_params ~clock ~rng () in
+  let ack () =
+    Link.create
+      ~params:{ bottleneck_params with Link.bandwidth = 1e9 }
+      ~clock ~rng:(Rng.split rng) ()
+  in
+  let mptcp =
+    Connection.create_on_links ~seed:1 ~cc ~clock
+      ~links:(List.init n (fun i -> (spec (Fmt.str "m%d" i), bottleneck, ack ())))
+      ()
+  in
+  let single =
+    Connection.create_on_links ~seed:2 ~cc:Connection.Uncoupled_reno ~clock
+      ~links:[ (spec "tcp", bottleneck, ack ()) ]
+      ()
+  in
+  (* saturating sources *)
+  Apps.Workload.cbr mptcp ~start:0.2 ~stop:seconds ~interval:0.05
+    ~rate:(fun _ -> 1_600_000.0);
+  Apps.Workload.cbr single ~start:0.2 ~stop:seconds ~interval:0.05
+    ~rate:(fun _ -> 1_600_000.0);
+  ignore (Eventq.run ~until:seconds clock);
+  (Connection.delivered_bytes mptcp, Connection.delivered_bytes single)
+
+let suite =
+  [
+    ( "multi-connection",
+      [
+        tc "two connections share one clock and both complete" (fun () ->
+            let clock = Eventq.create () in
+            let mk seed =
+              Connection.create ~clock ~seed
+                ~paths:(Apps.Scenario.mininet_two_subflows ())
+                ()
+            in
+            let a = mk 1 and b = mk 2 in
+            Connection.write_at a ~time:0.1 200_000;
+            Connection.write_at b ~time:0.1 200_000;
+            ignore (Eventq.run ~until:60.0 clock);
+            Alcotest.(check bool) "a complete" true
+              (Meta_socket.all_delivered a.Connection.meta);
+            Alcotest.(check bool) "b complete" true
+              (Meta_socket.all_delivered b.Connection.meta));
+        tc "shared bottleneck splits capacity" (fun () ->
+            let m, s = compete ~cc:Connection.Uncoupled_reno ~n:1 ~seconds:20.0 in
+            let total = float_of_int (m + s) in
+            (* two Reno flows over a lossy 1.25 MB/s bottleneck: most of
+               the capacity is used and neither flow starves *)
+            Alcotest.(check bool)
+              (Fmt.str "total %.0f > 60%% of capacity" total)
+              true
+              (total > 0.6 *. 1_250_000.0 *. 19.8);
+            let share = float_of_int m /. total in
+            Alcotest.(check bool)
+              (Fmt.str "fair-ish split (mptcp share %.2f)" share)
+              true
+              (share > 0.3 && share < 0.7));
+        tc "lia is friendlier than uncoupled reno on a shared bottleneck"
+          (fun () ->
+            let m_lia, s_lia = compete ~cc:Connection.Coupled_lia ~n:2 ~seconds:30.0 in
+            let m_reno, s_reno =
+              compete ~cc:Connection.Uncoupled_reno ~n:2 ~seconds:30.0
+            in
+            let share m s = float_of_int m /. float_of_int (m + s) in
+            let lia = share m_lia s_lia and reno = share m_reno s_reno in
+            (* 2 uncoupled subflows vs 1 TCP tends towards 2/3; LIA caps
+               the aggregate aggressiveness *)
+            Alcotest.(check bool)
+              (Fmt.str "lia share %.2f < reno share %.2f" lia reno)
+              true (lia < reno));
+        tc "tenants get isolated schedulers and registers" (fun () ->
+            ignore (Schedulers.Specs.load_all ());
+            let clock = Eventq.create () in
+            let a =
+              Connection.create ~clock ~seed:1
+                ~paths:(Apps.Scenario.wifi_lte ())
+                ()
+            in
+            let b =
+              Connection.create ~clock ~seed:2
+                ~paths:(Apps.Scenario.wifi_lte ())
+                ()
+            in
+            Api.set_scheduler (Connection.sock a) "tap";
+            Api.set_scheduler (Connection.sock b) "round_robin";
+            Api.set_register (Connection.sock a) 0 4_000_000;
+            Alcotest.(check string) "a" "tap" (Api.scheduler_name (Connection.sock a));
+            Alcotest.(check string) "b" "round_robin"
+              (Api.scheduler_name (Connection.sock b));
+            Alcotest.(check int) "b register untouched" 0
+              (Api.get_register (Connection.sock b) 0);
+            Connection.write_at a ~time:0.1 100_000;
+            Connection.write_at b ~time:0.1 100_000;
+            ignore (Eventq.run ~until:60.0 clock);
+            Alcotest.(check bool) "a complete" true
+              (Meta_socket.all_delivered a.Connection.meta);
+            Alcotest.(check bool) "b complete" true
+              (Meta_socket.all_delivered b.Connection.meta));
+      ] );
+  ]
+
+(* "Beyond MPTCP" (§6): the unordered delivery discipline. *)
+let unordered_suite =
+  [
+    ( "unordered-delivery",
+      [
+        tc "unordered delivers everything exactly once" (fun () ->
+            let paths =
+              Apps.Scenario.mininet_two_subflows ~rtt_ratio:4.0 ~loss:0.05 ()
+            in
+            let conn =
+              Connection.create ~seed:3 ~ordering:Meta_socket.Unordered ~paths ()
+            in
+            Connection.write_at conn ~time:0.1 300_000;
+            Connection.run ~until:120.0 conn;
+            let meta = conn.Connection.meta in
+            Alcotest.(check bool) "all delivered" true (Meta_socket.all_delivered meta);
+            Alcotest.(check int) "exactly once" meta.Meta_socket.next_seq
+              meta.Meta_socket.delivered_segments;
+            Alcotest.(check int) "delivered bytes" 300_000
+              (Connection.delivered_bytes conn));
+        tc "unordered delivery can be out of data order" (fun () ->
+            let paths =
+              Apps.Scenario.mininet_two_subflows ~rtt_ratio:6.0 ~loss:0.05 ()
+            in
+            let conn =
+              Connection.create ~seed:3 ~ordering:Meta_socket.Unordered ~paths ()
+            in
+            let order = ref [] in
+            conn.Connection.meta.Meta_socket.on_deliver <-
+              (fun ~seq ~size:_ ~time:_ -> order := seq :: !order);
+            Connection.write_at conn ~time:0.1 300_000;
+            Connection.run ~until:120.0 conn;
+            let got = List.rev !order in
+            Alcotest.(check bool) "some reordering observed" true
+              (got <> List.sort compare got));
+        tc "unordered is never later than ordered per segment" (fun () ->
+            let run ordering =
+              let paths =
+                Apps.Scenario.mininet_two_subflows ~rtt_ratio:4.0 ~loss:0.05 ()
+              in
+              let conn = Connection.create ~seed:9 ~ordering ~paths () in
+              Connection.write_at conn ~time:0.1 200_000;
+              Connection.run ~until:120.0 conn;
+              conn.Connection.meta
+            in
+            let u = run Meta_socket.Unordered in
+            let o = run Meta_socket.Ordered in
+            for seq = 0 to u.Meta_socket.next_seq - 1 do
+              match
+                ( Meta_socket.delivery_time_of u seq,
+                  Meta_socket.delivery_time_of o seq )
+              with
+              | Some tu, Some to_ ->
+                  Alcotest.(check bool)
+                    (Fmt.str "seq %d: %.4f <= %.4f" seq tu to_)
+                    true
+                    (tu <= to_ +. 1e-9)
+              | _ -> Alcotest.failf "segment %d missing" seq
+            done);
+        tc "unordered keeps the receive window open" (fun () ->
+            let paths =
+              Apps.Scenario.mininet_two_subflows ~rtt_ratio:6.0 ~loss:0.05 ()
+            in
+            let conn =
+              Connection.create ~seed:3 ~ordering:Meta_socket.Unordered ~paths ()
+            in
+            Connection.write_at conn ~time:0.1 300_000;
+            Connection.run ~until:120.0 conn;
+            Alcotest.(check int) "no ooo bytes buffered" 0
+              conn.Connection.meta.Meta_socket.rcv_ooo_bytes);
+      ] );
+  ]

@@ -1,0 +1,119 @@
+(** Parser unit tests: structure of parsed specifications, precedence,
+    and the paper's own example programs. *)
+
+open Progmp_lang
+open Helpers
+
+let parse = Parser.parse
+
+let expect_syntax_error name src =
+  tc name (fun () ->
+      match parse src with
+      | _ -> Alcotest.failf "expected syntax error for %S" src
+      | exception Parser.Error _ -> ())
+
+let stmt_count src n =
+  Alcotest.(check int) "statement count" n (List.length (parse src))
+
+(* Navigate the parsed structure without locations. *)
+let rec expr_to_string (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int n -> string_of_int n
+  | Ast.Bool b -> string_of_bool b
+  | Ast.Null -> "null"
+  | Ast.Register i -> Fmt.str "R%d" (i + 1)
+  | Ast.Var v -> v
+  | Ast.Queue q -> Ast.queue_name q
+  | Ast.Subflows -> "SUBFLOWS"
+  | Ast.Binop (op, a, b) ->
+      Fmt.str "(%s %s %s)" (expr_to_string a) (Ast.binop_name op)
+        (expr_to_string b)
+  | Ast.Unop (Ast.Not, a) -> Fmt.str "(not %s)" (expr_to_string a)
+  | Ast.Unop (Ast.Neg, a) -> Fmt.str "(neg %s)" (expr_to_string a)
+  | Ast.Member (r, n, args) ->
+      Fmt.str "%s.%s[%s]" (expr_to_string r) n
+        (String.concat ","
+           (List.map
+              (function
+                | Ast.Arg_expr e -> expr_to_string e
+                | Ast.Arg_lambda l ->
+                    Fmt.str "%s=>%s" l.Ast.param (expr_to_string l.Ast.body))
+              args))
+
+let first_expr src =
+  match parse src with
+  | [ { Ast.stmt_desc = Ast.Expr_stmt e; _ } ] -> expr_to_string e
+  | [ { Ast.stmt_desc = Ast.Var_decl (_, e); _ } ] -> expr_to_string e
+  | _ -> Alcotest.fail "expected a single expression statement"
+
+let check_expr name src expected =
+  tc name (fun () -> Alcotest.(check string) src expected (first_expr src))
+
+let suite =
+  [
+    ( "parser",
+      [
+        check_expr "precedence: mul over add" "VAR x = 1 + 2 * 3;"
+          "(1 + (2 * 3))";
+        check_expr "precedence: add over compare" "VAR x = 1 + 2 < 3 + 4;"
+          "((1 + 2) < (3 + 4))";
+        check_expr "precedence: compare over AND" "VAR x = 1 < 2 AND 3 < 4;"
+          "((1 < 2) AND (3 < 4))";
+        check_expr "precedence: AND over OR" "VAR x = TRUE OR TRUE AND FALSE;"
+          "(true OR (true AND false))";
+        check_expr "parentheses override" "VAR x = (1 + 2) * 3;"
+          "((1 + 2) * 3)";
+        check_expr "unary not binds tight" "VAR x = !Q.EMPTY AND TRUE;"
+          "((not Q.EMPTY[]) AND true)";
+        check_expr "member chain" "VAR x = SUBFLOWS.MIN(sbf => sbf.RTT);"
+          "SUBFLOWS.MIN[sbf=>sbf.RTT[]]";
+        check_expr "chained filters"
+          "VAR x = Q.FILTER(a => TRUE).FILTER(b => FALSE).COUNT;"
+          "Q.FILTER[a=>true].FILTER[b=>false].COUNT[]";
+        check_expr "null comparison" "VAR x = Q.TOP != NULL;"
+          "(Q.TOP[] != null)";
+        check_expr "subtraction is left associative" "VAR x = 5 - 2 - 1;"
+          "((5 - 2) - 1)";
+        check_expr "division and modulo" "VAR x = 7 / 2 % 3;"
+          "((7 / 2) % 3)";
+        tc "if/else if chains" (fun () ->
+            match
+              parse "IF (TRUE) { RETURN; } ELSE IF (FALSE) { RETURN; } ELSE { RETURN; }"
+            with
+            | [ { Ast.stmt_desc = Ast.If (_, _, Some [ inner ]); _ } ] -> (
+                match inner.Ast.stmt_desc with
+                | Ast.If (_, _, Some _) -> ()
+                | _ -> Alcotest.fail "expected nested if in else branch")
+            | _ -> Alcotest.fail "expected if statement");
+        tc "foreach structure" (fun () ->
+            match parse "FOREACH (VAR sbf IN SUBFLOWS) { sbf.PUSH(Q.POP()); }" with
+            | [ { Ast.stmt_desc = Ast.Foreach ("sbf", _, [ _ ]); _ } ] -> ()
+            | _ -> Alcotest.fail "expected foreach");
+        tc "set register" (fun () ->
+            match parse "SET(R3, R3 + 1);" with
+            | [ { Ast.stmt_desc = Ast.Set_register (2, _); _ } ] -> ()
+            | _ -> Alcotest.fail "expected SET of R3");
+        tc "drop statement" (fun () ->
+            match parse "DROP(Q.POP());" with
+            | [ { Ast.stmt_desc = Ast.Drop _; _ } ] -> ()
+            | _ -> Alcotest.fail "expected DROP");
+        tc "paper fig 3 parses" (fun () ->
+            stmt_count Schedulers.Specs.minrtt_minimal 1);
+        tc "paper fig 5 (round robin) parses" (fun () ->
+            stmt_count Schedulers.Specs.round_robin 3);
+        tc "every zoo spec parses" (fun () ->
+            List.iter
+              (fun (name, src) ->
+                match parse src with
+                | [] -> Alcotest.failf "%s parsed to an empty program" name
+                | _ :: _ -> ())
+              Schedulers.Specs.all);
+        expect_syntax_error "missing semicolon" "VAR x = 1";
+        expect_syntax_error "missing paren" "IF (TRUE { RETURN; }";
+        expect_syntax_error "missing brace" "IF (TRUE) RETURN;";
+        expect_syntax_error "SET on non-register" "SET(x, 1);";
+        expect_syntax_error "empty expression" "VAR x = ;";
+        expect_syntax_error "dangling dot" "VAR x = Q.;";
+        expect_syntax_error "bad foreach" "FOREACH (sbf IN SUBFLOWS) { }";
+      ] );
+  ]

@@ -1,0 +1,121 @@
+(** Property tests for the augmented packet queue (mid-queue removal,
+    front reinsertion, predicate removal) against a list model. *)
+
+open Progmp_runtime
+open Helpers
+
+type op =
+  | Push_back of int
+  | Push_front of int
+  | Pop_front
+  | Remove_at of int
+  | Remove_if_even
+
+let gen_ops =
+  let open QCheck2.Gen in
+  small_list
+    (oneof
+       [
+         map (fun s -> Push_back (abs s mod 1000)) small_int;
+         map (fun s -> Push_front (abs s mod 1000)) small_int;
+         return Pop_front;
+         map (fun i -> Remove_at (abs i mod 12)) small_int;
+         return Remove_if_even;
+       ])
+
+(* Execute ops against both the real queue and a list model; compare. *)
+let model_matches ops =
+  let q = Pqueue.create () in
+  let model = ref [] in
+  let mk seq = Packet.create ~seq ~size:100 ~now:0.0 () in
+  List.for_all
+    (fun op ->
+      (match op with
+      | Push_back s ->
+          let p = mk s in
+          Pqueue.push_back q p;
+          model := !model @ [ s ]
+      | Push_front s ->
+          let p = mk s in
+          Pqueue.push_front q p;
+          model := s :: !model
+      | Pop_front -> (
+          let got = Option.map (fun p -> p.Packet.seq) (Pqueue.pop_front q) in
+          match !model with
+          | [] -> assert (got = None)
+          | x :: rest ->
+              assert (got = Some x);
+              model := rest)
+      | Remove_at i -> (
+          let got = Option.map (fun p -> p.Packet.seq) (Pqueue.remove_at q i) in
+          if i < List.length !model then begin
+            assert (got = Some (List.nth !model i));
+            model := List.filteri (fun j _ -> j <> i) !model
+          end
+          else assert (got = None))
+      | Remove_if_even ->
+          let removed =
+            List.map (fun p -> p.Packet.seq)
+              (Pqueue.remove_if q (fun p -> p.Packet.seq mod 2 = 0))
+          in
+          let expect_removed = List.filter (fun s -> s mod 2 = 0) !model in
+          assert (removed = expect_removed);
+          model := List.filter (fun s -> s mod 2 <> 0) !model);
+      seqs_of q = !model && Pqueue.length q = List.length !model)
+    ops
+
+let qprop =
+  QCheck2.Test.make ~name:"pqueue behaves like a list model" ~count:1000
+    gen_ops model_matches
+
+let suite =
+  [
+    ( "pqueue",
+      [
+        tc "empty queue basics" (fun () ->
+            let q = Pqueue.create () in
+            Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+            Alcotest.(check int) "len" 0 (Pqueue.length q);
+            Alcotest.(check bool) "pop none" true (Pqueue.pop_front q = None);
+            Alcotest.(check bool) "nth none" true (Pqueue.nth q 0 = None));
+        tc "fifo order" (fun () ->
+            let q = Pqueue.create () in
+            for i = 0 to 99 do
+              Pqueue.push_back q (Packet.create ~seq:i ~size:1 ~now:0.0 ())
+            done;
+            Alcotest.(check (list int)) "order" (List.init 100 Fun.id) (seqs_of q));
+        tc "growth across wrap-around" (fun () ->
+            let q = Pqueue.create () in
+            (* interleave pushes and pops to move the head offset, then
+               force growth *)
+            for i = 0 to 9 do
+              Pqueue.push_back q (Packet.create ~seq:i ~size:1 ~now:0.0 ())
+            done;
+            for _ = 0 to 7 do
+              ignore (Pqueue.pop_front q)
+            done;
+            for i = 10 to 59 do
+              Pqueue.push_back q (Packet.create ~seq:i ~size:1 ~now:0.0 ())
+            done;
+            Alcotest.(check (list int)) "order preserved"
+              (List.init 52 (fun i -> i + 8))
+              (seqs_of q));
+        tc "remove_packet by identity" (fun () ->
+            let q = Pqueue.create () in
+            let p1 = Packet.create ~seq:1 ~size:1 ~now:0.0 () in
+            let p2 = Packet.create ~seq:2 ~size:1 ~now:0.0 () in
+            Pqueue.push_back q p1;
+            Pqueue.push_back q p2;
+            Alcotest.(check bool) "removed" true (Pqueue.remove_packet q p1);
+            Alcotest.(check bool) "gone" false (Pqueue.mem q p1);
+            Alcotest.(check bool) "kept" true (Pqueue.mem q p2);
+            Alcotest.(check bool) "second removal fails" false
+              (Pqueue.remove_packet q p1));
+        tc "clear" (fun () ->
+            let q = Pqueue.create () in
+            Pqueue.push_back q (Packet.create ~seq:0 ~size:1 ~now:0.0 ());
+            Pqueue.clear q;
+            Alcotest.(check int) "len" 0 (Pqueue.length q));
+        QCheck_alcotest.to_alcotest qprop;
+      ] );
+  ]

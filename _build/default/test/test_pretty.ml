@@ -1,0 +1,155 @@
+(** Pretty-printer tests: printing a parsed program and re-parsing it
+    yields the same structure (round trip), checked on hand-written
+    programs, the scheduler zoo, and randomly generated ASTs. *)
+
+open Progmp_lang
+open Helpers
+
+(* Structural equality modulo locations. *)
+let rec eq_expr (a : Ast.expr) (b : Ast.expr) =
+  match (a.Ast.desc, b.Ast.desc) with
+  | Ast.Int x, Ast.Int y -> x = y
+  | Ast.Bool x, Ast.Bool y -> x = y
+  | Ast.Null, Ast.Null -> true
+  | Ast.Register x, Ast.Register y -> x = y
+  | Ast.Var x, Ast.Var y -> x = y
+  | Ast.Queue x, Ast.Queue y -> x = y
+  | Ast.Subflows, Ast.Subflows -> true
+  | Ast.Binop (o1, a1, b1), Ast.Binop (o2, a2, b2) ->
+      o1 = o2 && eq_expr a1 a2 && eq_expr b1 b2
+  | Ast.Unop (o1, a1), Ast.Unop (o2, a2) -> o1 = o2 && eq_expr a1 a2
+  | Ast.Member (r1, n1, as1), Ast.Member (r2, n2, as2) ->
+      n1 = n2 && eq_expr r1 r2
+      && List.length as1 = List.length as2
+      && List.for_all2 eq_arg as1 as2
+  | _, _ -> false
+
+and eq_arg a b =
+  match (a, b) with
+  | Ast.Arg_expr x, Ast.Arg_expr y -> eq_expr x y
+  | Ast.Arg_lambda x, Ast.Arg_lambda y ->
+      x.Ast.param = y.Ast.param && eq_expr x.Ast.body y.Ast.body
+  | _, _ -> false
+
+let rec eq_stmt (a : Ast.stmt) (b : Ast.stmt) =
+  match (a.Ast.stmt_desc, b.Ast.stmt_desc) with
+  | Ast.Var_decl (n1, e1), Ast.Var_decl (n2, e2) -> n1 = n2 && eq_expr e1 e2
+  | Ast.If (c1, t1, e1), Ast.If (c2, t2, e2) ->
+      eq_expr c1 c2 && eq_block t1 t2
+      && (match (e1, e2) with
+         | None, None -> true
+         | Some x, Some y -> eq_block x y
+         | _, _ -> false)
+  | Ast.Foreach (n1, e1, b1), Ast.Foreach (n2, e2, b2) ->
+      n1 = n2 && eq_expr e1 e2 && eq_block b1 b2
+  | Ast.Set_register (r1, e1), Ast.Set_register (r2, e2) ->
+      r1 = r2 && eq_expr e1 e2
+  | Ast.Drop e1, Ast.Drop e2 -> eq_expr e1 e2
+  | Ast.Expr_stmt e1, Ast.Expr_stmt e2 -> eq_expr e1 e2
+  | Ast.Return, Ast.Return -> true
+  | _, _ -> false
+
+and eq_block a b = List.length a = List.length b && List.for_all2 eq_stmt a b
+
+let roundtrip name src =
+  tc name (fun () ->
+      let p1 = Parser.parse src in
+      let printed = Pretty.program_to_string p1 in
+      let p2 =
+        try Parser.parse printed
+        with Parser.Error (m, loc) ->
+          Alcotest.failf "reparse failed at %a: %s@\noutput was:@\n%s" Loc.pp
+            loc m printed
+      in
+      if not (eq_block p1 p2) then
+        Alcotest.failf "round trip changed the program:@\n%s" printed)
+
+(* Random well-formed surface expressions (ints and bools only: entity
+   expressions are covered by the zoo round trips). *)
+let gen_expr =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let leaf_int =
+        oneof [ map (fun i -> Ast.mk_expr (Ast.Int (abs i))) small_int;
+                map (fun i -> Ast.mk_expr (Ast.Register (abs i mod 6))) small_int ]
+      in
+      let leaf_bool = map (fun b -> Ast.mk_expr (Ast.Bool b)) bool in
+      if n <= 0 then oneof [ leaf_int; leaf_bool ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            leaf_int;
+            leaf_bool;
+            map2 (fun a b -> Ast.mk_expr (Ast.Binop (Ast.Add, a, b))) sub sub;
+            map2 (fun a b -> Ast.mk_expr (Ast.Binop (Ast.Mul, a, b))) sub sub;
+            map2 (fun a b -> Ast.mk_expr (Ast.Binop (Ast.Sub, a, b))) sub sub;
+            map2 (fun a b -> Ast.mk_expr (Ast.Binop (Ast.Lt, a, b))) sub sub;
+            map (fun a -> Ast.mk_expr (Ast.Unop (Ast.Neg, a))) sub;
+          ])
+
+let roundtrip_random =
+  QCheck2.Test.make ~name:"random expression round trips" ~count:300 gen_expr
+    (fun e ->
+      let src = Fmt.str "SET(R1, R1 * 0);VAR x = %a;" Pretty.pp_expr e in
+      match Parser.parse src with
+      | [ _; { Ast.stmt_desc = Ast.Var_decl ("x", e2); _ } ] -> eq_expr e e2
+      | _ -> false)
+
+let suite =
+  [
+    ( "pretty",
+      [
+        roundtrip "minimal minrtt" Schedulers.Specs.minrtt_minimal;
+        roundtrip "nested if/else"
+          "IF (TRUE) { IF (FALSE) { RETURN; } ELSE { SET(R1, 1); } }";
+        roundtrip "foreach with body"
+          "FOREACH (VAR s IN SUBFLOWS) { s.PUSH(Q.POP()); }";
+        roundtrip "precedence preserved" "VAR x = (1 + 2) * 3 - -4;";
+        roundtrip "boolean precedence" "VAR b = TRUE OR FALSE AND 1 < 2;";
+        tc "all zoo specs round trip" (fun () ->
+            List.iter
+              (fun (name, src) ->
+                let p1 = Parser.parse src in
+                let printed = Pretty.program_to_string p1 in
+                let p2 = Parser.parse printed in
+                if not (eq_block p1 p2) then
+                  Alcotest.failf "%s: round trip changed program" name)
+              Schedulers.Specs.all);
+        QCheck_alcotest.to_alcotest roundtrip_random;
+      ] );
+  ]
+
+(* Semantic round trip: printing a zoo scheduler and re-loading the
+   printed text yields a scheduler with identical behaviour. *)
+let semantic_suite =
+  [
+    ( "pretty-semantic",
+      [
+        tc "printed zoo specs behave identically" (fun () ->
+            List.iter
+              (fun (name, src) ->
+                let printed =
+                  Pretty.program_to_string (Parser.parse src)
+                in
+                let original = load_anon src in
+                let reprinted = load_anon printed in
+                List.iter
+                  (fun (_, spec) ->
+                    let a1, q1, r1 = run_once original spec in
+                    let a2, q2, r2 = run_once reprinted spec in
+                    if (a1, q1, r1) <> (a2, q2, r2) then
+                      Alcotest.failf "%s changed behaviour after printing" name)
+                  [
+                    ("default", default_env_spec);
+                    ( "loaded",
+                      {
+                        default_env_spec with
+                        qu_seqs = [ (9, [ 0 ]) ];
+                        rq_seqs = [ 9 ];
+                        regs = [ (0, 1_000_000); (1, 1) ];
+                      } );
+                  ])
+              Schedulers.Specs.all);
+      ] );
+  ]

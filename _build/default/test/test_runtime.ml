@@ -1,0 +1,238 @@
+(** Runtime tests: environment bookkeeping (the no-packet-loss guarantee
+    across executions), scheduler registry and compressed execution, and
+    the extended application API. *)
+
+open Progmp_runtime
+open Helpers
+
+(* substring containment *)
+module Astring_like = struct
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+end
+
+(* QCheck: whatever a random program does, packets are conserved — every
+   packet initially in Q is afterwards in Q, or pushed, or dropped; never
+   silently gone. *)
+let no_loss =
+  QCheck2.Test.make ~name:"packets are never lost by an execution" ~count:500
+    (QCheck2.Gen.pair Gen.gen_program Gen.gen_env_spec)
+    (fun (ast, spec) ->
+      let program = Progmp_lang.Typecheck.check ast in
+      let env, views = build spec in
+      let before = seqs_of env.Env.q in
+      Env.begin_execution env ~subflows:views;
+      Interpreter.run program env;
+      let actions = Env.finish_execution env in
+      let after = seqs_of env.Env.q in
+      let handled seq =
+        List.exists
+          (function
+            | Action.Push { pkt; _ } -> pkt.Packet.seq = seq
+            | Action.Drop pkt -> pkt.Packet.seq = seq)
+          actions
+      in
+      List.for_all (fun seq -> List.mem seq after || handled seq) before)
+
+let suite =
+  [
+    ( "runtime",
+      [
+        tc "packet sent_on mask tracks subflows" (fun () ->
+            let p = Packet.create ~seq:0 ~size:1 ~now:0.0 () in
+            Packet.mark_sent p ~sbf_id:3;
+            Packet.mark_sent p ~sbf_id:0;
+            Alcotest.(check bool) "on 3" true (Packet.sent_on p ~sbf_id:3);
+            Alcotest.(check bool) "on 0" true (Packet.sent_on p ~sbf_id:0);
+            Alcotest.(check bool) "not on 1" false (Packet.sent_on p ~sbf_id:1);
+            Alcotest.(check int) "count" 2 p.Packet.sent_count);
+        tc "packet ids are unique" (fun () ->
+            let a = Packet.create ~seq:0 ~size:1 ~now:0.0 () in
+            let b = Packet.create ~seq:0 ~size:1 ~now:0.0 () in
+            Alcotest.(check bool) "distinct" true (a.Packet.id <> b.Packet.id));
+        tc "user props clamp out-of-range" (fun () ->
+            let p = Packet.create ~seq:0 ~size:1 ~now:0.0 () in
+            Packet.set_user_prop p 0 7;
+            Packet.set_user_prop p 99 5;
+            Alcotest.(check int) "prop1" 7 (Packet.user_prop p 0);
+            Alcotest.(check int) "oob reads 0" 0 (Packet.user_prop p 99));
+        tc "registers out of range read as zero" (fun () ->
+            let env = Env.create () in
+            Alcotest.(check int) "r99" 0 (Env.get_register env 99);
+            Env.set_register env 99 5 (* ignored *);
+            Alcotest.(check int) "still 0" 0 (Env.get_register env 99));
+        tc "has_window_for respects receive window" (fun () ->
+            let v =
+              {
+                Subflow_view.default with
+                Subflow_view.receive_window_bytes = 3000;
+                skbs_in_flight = 1;
+                mss = 1448;
+              }
+            in
+            let small = Packet.create ~seq:0 ~size:1000 ~now:0.0 () in
+            let big = Packet.create ~seq:1 ~size:2000 ~now:0.0 () in
+            Alcotest.(check bool) "small fits" true (Subflow_view.has_window_for v small);
+            Alcotest.(check bool) "big blocked" false (Subflow_view.has_window_for v big));
+        tc "scheduler registry load and find" (fun () ->
+            let _ = Scheduler.load ~name:"reg-test" Schedulers.Specs.minrtt_minimal in
+            (match Scheduler.find "reg-test" with
+            | Some s -> Alcotest.(check string) "name" "reg-test" s.Scheduler.name
+            | None -> Alcotest.fail "not found");
+            Alcotest.(check bool) "unknown absent" true
+              (Scheduler.find "no-such-scheduler" = None));
+        tc "load error on bad spec" (fun () ->
+            match Scheduler.load ~name:"broken" "VAR x = ;" with
+            | _ -> Alcotest.fail "expected Load_error"
+            | exception Scheduler.Load_error _ -> ());
+        tc "compressed execution drains until cwnd closes" (fun () ->
+            (* one subflow with cwnd 3: compressed execution must push
+               exactly 3 of the 10 queued packets *)
+            let sched = load_anon Schedulers.Specs.default in
+            let env = Env.create () in
+            for i = 0 to 9 do
+              Pqueue.push_back env.Env.q (Packet.create ~seq:i ~size:1448 ~now:0.0 ())
+            done;
+            let queued = ref 0 in
+            let snapshot () =
+              [| { Subflow_view.default with Subflow_view.cwnd = 3; queued = !queued } |]
+            in
+            let actions =
+              Scheduler.execute_compressed sched env ~snapshot ~apply:(function
+                | Action.Push _ -> incr queued
+                | Action.Drop _ -> ())
+            in
+            Alcotest.(check int) "three pushes" 3 (List.length actions);
+            Alcotest.(check int) "seven remain" 7 (Pqueue.length env.Env.q));
+        tc "compressed execution respects max_rounds" (fun () ->
+            let sched = load_anon "SET(R1, R1 + 1); SUBFLOWS.GET(0).PUSH(Q.TOP);" in
+            let env = Env.create () in
+            Pqueue.push_back env.Env.q (Packet.create ~seq:0 ~size:1 ~now:0.0 ());
+            let snapshot () = [| Subflow_view.default |] in
+            let actions =
+              Scheduler.execute_compressed ~max_rounds:5 sched env ~snapshot
+                ~apply:(fun _ -> ())
+            in
+            Alcotest.(check int) "bounded" 5 (List.length actions);
+            Alcotest.(check int) "five rounds ran" 5 (Env.get_register env 0));
+        tc "api: set/get register" (fun () ->
+            let sock = Api.create () in
+            Api.set_register sock 0 1234;
+            Alcotest.(check int) "r1" 1234 (Api.get_register sock 0);
+            match Api.set_register sock 9 1 with
+            | () -> Alcotest.fail "expected Api_error"
+            | exception Api.Api_error _ -> ());
+        tc "api: default scheduler installed" (fun () ->
+            let sock = Api.create () in
+            Alcotest.(check string) "default" "default" (Api.scheduler_name sock));
+        tc "api: load and select scheduler" (fun () ->
+            let sock = Api.create () in
+            Api.load_scheduler Schedulers.Specs.round_robin ~name:"rr-api";
+            Api.set_scheduler sock "rr-api";
+            Alcotest.(check string) "selected" "rr-api" (Api.scheduler_name sock));
+        tc "api: selecting unknown scheduler fails" (fun () ->
+            let sock = Api.create () in
+            match Api.set_scheduler sock "does-not-exist" with
+            | () -> Alcotest.fail "expected Api_error"
+            | exception Api.Api_error _ -> ());
+        tc "api: loading invalid spec fails" (fun () ->
+            match Api.load_scheduler "IF (" ~name:"broken-api" with
+            | () -> Alcotest.fail "expected Api_error"
+            | exception Api.Api_error _ -> ());
+        tc "api: packet properties" (fun () ->
+            let sock = Api.create () in
+            Api.set_packet_property sock ~prop:0 3;
+            Alcotest.(check int) "prop set" 3 (Api.current_packet_props sock).(0);
+            match Api.set_packet_property sock ~prop:9 1 with
+            | () -> Alcotest.fail "expected Api_error"
+            | exception Api.Api_error _ -> ());
+        tc "per-connection registers are isolated" (fun () ->
+            let s1 = Api.create () and s2 = Api.create () in
+            Api.set_register s1 0 1;
+            Api.set_register s2 0 2;
+            Alcotest.(check int) "s1" 1 (Api.get_register s1 0);
+            Alcotest.(check int) "s2" 2 (Api.get_register s2 0));
+        tc "aot engine can be installed" (fun () ->
+            let sched = load_anon Schedulers.Specs.minrtt_minimal in
+            Scheduler.use_aot sched;
+            Alcotest.(check string) "label" "aot" (Scheduler.engine_label sched));
+        QCheck_alcotest.to_alcotest no_loss;
+      ] );
+  ]
+
+(* Profiler tests live here to reuse the runtime helpers. *)
+let profiler_suite =
+  [
+    ( "profiler",
+      [
+        tc "counts executions and statements" (fun () ->
+            let sched = load_anon Schedulers.Specs.round_robin in
+            let profile = Profiler.attach sched in
+            let env, views = build default_env_spec in
+            for _ = 1 to 5 do
+              ignore (Scheduler.execute sched env ~subflows:views)
+            done;
+            let executions, actions, _ = Profiler.stats profile in
+            Alcotest.(check int) "executions" 5 executions;
+            Alcotest.(check bool) "actions counted" true (actions >= 3);
+            let report = Profiler.report profile in
+            Alcotest.(check bool) "mentions IF" true
+              (Astring_like.contains report "IF (...)");
+            Alcotest.(check bool) "mentions executions" true
+              (Astring_like.contains report "5 executions"));
+        tc "branch hit counts reflect control flow" (fun () ->
+            let sched =
+              load_anon
+                "IF (R1 == 1) { SET(R2, 1); } ELSE { SET(R3, 1); } SET(R4, 0);"
+            in
+            let profile = Profiler.attach sched in
+            let env, views = build default_env_spec in
+            Env.set_register env 0 1;
+            ignore (Scheduler.execute sched env ~subflows:views);
+            Env.set_register env 0 0;
+            ignore (Scheduler.execute sched env ~subflows:views);
+            ignore (Scheduler.execute sched env ~subflows:views);
+            (* ids: 0 = IF, 1 = SET(R2) (then), 2 = SET(R3) (else), 3 = SET(R4) *)
+            Alcotest.(check int) "if entered 3x" 3 profile.Profiler.hits.(0);
+            Alcotest.(check int) "then 1x" 1 profile.Profiler.hits.(1);
+            Alcotest.(check int) "else 2x" 2 profile.Profiler.hits.(2);
+            Alcotest.(check int) "tail 3x" 3 profile.Profiler.hits.(3));
+        tc "profiled engine produces the same actions" (fun () ->
+            let plain = load_anon Schedulers.Specs.default in
+            let profiled = load_anon Schedulers.Specs.default in
+            ignore (Profiler.attach profiled);
+            let a1, q1, _ = run_once plain default_env_spec in
+            let a2, q2, _ = run_once profiled default_env_spec in
+            Alcotest.(check (list norm_testable)) "same actions" a1 a2;
+            Alcotest.(check bool) "same queues" true (q1 = q2));
+      ] );
+  ]
+
+(* A coarse performance guard: interpreting the default scheduler must
+   stay within an order-of-magnitude envelope (micro-optimizations are
+   benchmarked in bench/main.exe fig9; this only catches accidental
+   quadratic blowups). *)
+let perf_suite =
+  [
+    ( "perf-guard",
+      [
+        tc "default scheduler executes in < 100 us" (fun () ->
+            let sched = load_anon Schedulers.Specs.default in
+            let env, views = build default_env_spec in
+            (* warm up *)
+            for _ = 1 to 100 do
+              ignore (Scheduler.execute sched env ~subflows:views)
+            done;
+            let n = 2_000 in
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to n do
+              ignore (Scheduler.execute sched env ~subflows:views)
+            done;
+            let per = (Unix.gettimeofday () -. t0) /. float_of_int n in
+            Alcotest.(check bool)
+              (Fmt.str "%.1f us per execution" (per *. 1e6))
+              true (per < 100e-6));
+      ] );
+  ]

@@ -1,0 +1,624 @@
+(** Per-scheduler semantic tests: each scheduler of the zoo does what its
+    specification promises, checked both on crafted single executions and
+    on small simulations. *)
+
+open Progmp_runtime
+open Helpers
+
+let sched name =
+  ignore (Schedulers.Specs.load_all ());
+  match Scheduler.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "scheduler %s not loaded" name
+
+let v ?(backup = false) ?(throttled = false) ?(lossy = false) ?(cwnd = 10)
+    ?(inflight = 0) ?(queued = 0) ?(throughput = 1_000_000) id rtt =
+  {
+    Subflow_view.default with
+    Subflow_view.id;
+    rtt_us = rtt;
+    rtt_avg_us = rtt;
+    cwnd;
+    skbs_in_flight = inflight;
+    queued;
+    is_backup = backup;
+    tsq_throttled = throttled;
+    lossy;
+    throughput_bps = throughput;
+  }
+
+let suite =
+  [
+    ( "schedulers",
+      [
+        tc "default: min-rtt subflow wins" (fun () ->
+            let actions, _, _ = run_once (sched "default") default_env_spec in
+            Alcotest.(check (list norm_testable)) "push on fast" [ N_push (1, 0) ]
+              actions);
+        tc "default: skips throttled subflows" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v 0 40_000; v ~throttled:true 1 10_000 ];
+              }
+            in
+            let actions, _, _ = run_once (sched "default") spec in
+            Alcotest.(check (list norm_testable)) "slow gets it" [ N_push (0, 0) ]
+              actions);
+        tc "default: skips lossy subflows" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v 0 40_000; v ~lossy:true 1 10_000 ];
+              }
+            in
+            let actions, _, _ = run_once (sched "default") spec in
+            Alcotest.(check (list norm_testable)) "slow gets it" [ N_push (0, 0) ]
+              actions);
+        tc "default: backup unused while an active subflow exists" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v ~cwnd:1 ~inflight:1 0 40_000; v ~backup:true 1 10_000 ];
+              }
+            in
+            (* active subflow exhausted, but backup must still not carry *)
+            let actions, _, _ = run_once (sched "default") spec in
+            Alcotest.(check (list norm_testable)) "nothing" [] actions);
+        tc "default: backup used when no active subflow exists" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v ~backup:true 0 40_000; v ~backup:true 1 10_000 ];
+              }
+            in
+            let actions, _, _ = run_once (sched "default") spec in
+            Alcotest.(check (list norm_testable)) "backup carries"
+              [ N_push (1, 0) ] actions);
+        tc "default: reinjection queue served first" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                qu_seqs = [ (9, [ 0 ]) ];
+                rq_seqs = [ 9 ];
+              }
+            in
+            let actions, _, _ = run_once (sched "default") spec in
+            Alcotest.(check (list norm_testable)) "rq first" [ N_push (1, 9) ]
+              actions);
+        tc "default: cwnd-exhausted subflows skipped" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views =
+                  [ v ~cwnd:2 ~inflight:1 ~queued:1 0 40_000; v ~cwnd:2 ~inflight:2 1 10_000 ];
+              }
+            in
+            let actions, _, _ = run_once (sched "default") spec in
+            Alcotest.(check (list norm_testable)) "nothing free" [] actions);
+        tc "round robin: cycles across executions" (fun () ->
+            let rr = sched "round_robin" in
+            let env, views = build default_env_spec in
+            let a1 = List.map norm_action (Scheduler.execute rr env ~subflows:views) in
+            let a2 = List.map norm_action (Scheduler.execute rr env ~subflows:views) in
+            let a3 = List.map norm_action (Scheduler.execute rr env ~subflows:views) in
+            Alcotest.(check (list norm_testable)) "first" [ N_push (0, 0) ] a1;
+            Alcotest.(check (list norm_testable)) "second" [ N_push (1, 1) ] a2;
+            Alcotest.(check (list norm_testable)) "wraps" [ N_push (0, 2) ] a3);
+        tc "redundant: every open subflow gets a packet" (fun () ->
+            let actions, _, _ = run_once (sched "redundant") default_env_spec in
+            Alcotest.(check int) "two pushes" 2 (List.length actions));
+        tc "redundant: catches up unacked packets not sent on a subflow"
+          (fun () ->
+            let spec =
+              { default_env_spec with q_seqs = []; qu_seqs = [ (4, [ 0 ]) ] }
+            in
+            let actions, _, _ = run_once (sched "redundant") spec in
+            Alcotest.(check (list norm_testable)) "copy to sbf 1"
+              [ N_push (1, 4) ] actions);
+        tc "opportunistic_redundant: one packet to all open, then dropped from Q"
+          (fun () ->
+            let actions, (q, _, _), _ =
+              run_once (sched "opportunistic_redundant") default_env_spec
+            in
+            Alcotest.(check (list norm_testable)) "both subflows + drop"
+              [ N_push (0, 0); N_push (1, 0); N_drop 0 ]
+              actions;
+            Alcotest.(check (list int)) "popped from q" [ 1; 2 ] q);
+        tc "redundant_if_no_q: fresh data first" (fun () ->
+            let actions, _, _ =
+              run_once (sched "redundant_if_no_q") default_env_spec
+            in
+            (* both subflows pull fresh packets, no redundancy while Q
+               is non-empty *)
+            Alcotest.(check (list norm_testable)) "fresh to each"
+              [ N_push (0, 0); N_push (1, 1) ]
+              actions);
+        tc "redundant_if_no_q: redundancy only when Q empty" (fun () ->
+            let spec =
+              { default_env_spec with q_seqs = []; qu_seqs = [ (6, [ 1 ]) ] }
+            in
+            let actions, _, _ = run_once (sched "redundant_if_no_q") spec in
+            Alcotest.(check (list norm_testable)) "copy on idle sbf 0"
+              [ N_push (0, 6) ] actions);
+        tc "compensating: min-rtt while data remains" (fun () ->
+            let actions, _, _ =
+              run_once (sched "compensating")
+                { default_env_spec with regs = [ (1, 1) ] }
+            in
+            Alcotest.(check (list norm_testable)) "minrtt" [ N_push (1, 0) ]
+              actions);
+        tc "compensating: retransmits in-flight on flow end" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                q_seqs = [];
+                qu_seqs = [ (3, [ 0 ]); (4, [ 1 ]) ];
+                regs = [ (1, 1) ] (* R2 = end of flow *);
+              }
+            in
+            let actions, _, _ = run_once (sched "compensating") spec in
+            Alcotest.(check (list norm_testable)) "cross copies"
+              [ N_push (0, 4); N_push (1, 3) ]
+              actions);
+        tc "compensating: quiet without the end-of-flow signal" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                q_seqs = [];
+                qu_seqs = [ (3, [ 0 ]); (4, [ 1 ]) ];
+                regs = [];
+              }
+            in
+            let actions, _, _ = run_once (sched "compensating") spec in
+            Alcotest.(check (list norm_testable)) "nothing" [] actions);
+        tc "selective_compensation: only under high rtt ratio" (fun () ->
+            let mk ratio =
+              {
+                default_env_spec with
+                q_seqs = [];
+                qu_seqs = [ (3, [ 0 ]); (4, [ 1 ]) ];
+                views = [ v 0 (10_000 * ratio); v 1 10_000 ];
+                regs = [ (1, 1) ];
+              }
+            in
+            let low, _, _ = run_once (sched "selective_compensation") (mk 1) in
+            let high, _, _ = run_once (sched "selective_compensation") (mk 4) in
+            Alcotest.(check (list norm_testable)) "ratio 1: quiet" [] low;
+            Alcotest.(check int) "ratio 4: compensates" 2 (List.length high));
+        tc "tap: preferred subflow used while open" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v 0 10_000; v ~backup:true 1 40_000 ];
+                regs = [ (0, 4_000_000) ];
+              }
+            in
+            let actions, _, _ = run_once (sched "tap") spec in
+            Alcotest.(check (list norm_testable)) "wifi" [ N_push (0, 0) ] actions);
+        tc "tap: no spill when preferred capacity suffices" (fun () ->
+            (* cwnd * mss / rtt = 40 * 1448 B / 10 ms = 5.8 MB/s >= target *)
+            let spec =
+              {
+                default_env_spec with
+                views =
+                  [ v ~cwnd:40 ~inflight:40 0 10_000; v ~backup:true 1 40_000 ];
+                regs = [ (0, 4_000_000) ];
+              }
+            in
+            let actions, _, _ = run_once (sched "tap") spec in
+            Alcotest.(check (list norm_testable)) "wait for wifi" [] actions);
+        tc "tap: spills when capacity is short and preferred is blocked"
+          (fun () ->
+            (* cwnd * mss / rtt = 2 * 1448 B / 10 ms = 0.29 MB/s < target *)
+            let spec =
+              {
+                default_env_spec with
+                views =
+                  [ v ~cwnd:2 ~inflight:2 0 10_000; v ~backup:true 1 40_000 ];
+                regs = [ (0, 4_000_000) ];
+              }
+            in
+            let actions, _, _ = run_once (sched "tap") spec in
+            Alcotest.(check (list norm_testable)) "spill to lte"
+              [ N_push (1, 0) ] actions);
+        tc "tap: reinjections outrank fresh data" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v 0 10_000; v ~backup:true 1 40_000 ];
+                qu_seqs = [ (9, [ 0 ]) ];
+                rq_seqs = [ 9 ];
+                regs = [ (0, 4_000_000) ];
+              }
+            in
+            let actions, _, _ = run_once (sched "tap") spec in
+            Alcotest.(check (list norm_testable)) "rq first on preferred"
+              [ N_push (0, 9) ] actions);
+        tc "target_deadline: waits for a throttled preferred subflow when             capacity suffices"
+          (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views =
+                  [
+                    v ~throttled:true ~cwnd:40 ~inflight:2 0 10_000;
+                    v ~backup:true 1 40_000;
+                  ];
+                regs = [ (0, 1_000_000) ];
+              }
+            in
+            let actions, _, _ = run_once (sched "target_deadline") spec in
+            Alcotest.(check (list norm_testable)) "late binding" [] actions);
+        tc "target_rtt: stays on preferred fast subflow" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v 0 10_000; v ~backup:true 1 5_000 ];
+                regs = [ (0, 20_000) ] (* tolerable RTT 20 ms *);
+              }
+            in
+            let actions, _, _ = run_once (sched "target_rtt") spec in
+            Alcotest.(check (list norm_testable)) "preferred ok"
+              [ N_push (0, 0) ] actions);
+        tc "target_rtt: falls back when preferred RTT violates target"
+          (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v 0 80_000; v ~backup:true 1 5_000 ];
+                regs = [ (0, 20_000) ];
+              }
+            in
+            let actions, _, _ = run_once (sched "target_rtt") spec in
+            Alcotest.(check (list norm_testable)) "backup rescues latency"
+              [ N_push (1, 0) ] actions);
+        tc "http2_aware: critical content only on the fastest subflow"
+          (fun () ->
+            (* packets: seq 0 deferred (PROP1=3), seq 1 critical; fastest
+               subflow must carry seq 1 first even though seq 0 heads Q *)
+            let env, views =
+              build { default_env_spec with q_seqs = [] }
+            in
+            let p0 = Packet.create ~props:[| 3 |] ~seq:0 ~size:1448 ~now:0.0 () in
+            let p1 = Packet.create ~props:[| 1 |] ~seq:1 ~size:1448 ~now:0.0 () in
+            Pqueue.push_back env.Env.q p0;
+            Pqueue.push_back env.Env.q p1;
+            let actions =
+              List.map norm_action
+                (Scheduler.execute (sched "http2_aware") env ~subflows:views)
+            in
+            Alcotest.(check (list norm_testable)) "critical first on fast"
+              [ N_push (1, 1) ] actions);
+        tc "http2_aware: deferred content avoids backup subflows" (fun () ->
+            let env, _ = build { default_env_spec with q_seqs = [] } in
+            let views = [| v 0 10_000; v ~backup:true 1 5_000 |] in
+            let p = Packet.create ~props:[| 3 |] ~seq:0 ~size:1448 ~now:0.0 () in
+            Pqueue.push_back env.Env.q p;
+            let actions =
+              List.map norm_action
+                (Scheduler.execute (sched "http2_aware") env ~subflows:views)
+            in
+            (* even though backup has lower RTT, deferred data stays on
+               the preferred subflow *)
+            Alcotest.(check (list norm_testable)) "preferred only"
+              [ N_push (0, 0) ] actions);
+        tc "handover: target subflow receives catch-up copies" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                q_seqs = [ 0 ];
+                qu_seqs = [ (5, [ 0 ]) ];
+                regs = [ (0, 1) ] (* R1 = handover target id 1 *);
+              }
+            in
+            let actions, _, _ = run_once (sched "handover") spec in
+            Alcotest.(check (list norm_testable)) "catch-up first"
+              [ N_push (1, 5) ] actions);
+        tc "opportunistic_retransmission: retransmits when window blocks"
+          (fun () ->
+            let views =
+              [| { (v 0 10_000) with Subflow_view.receive_window_bytes = 0 } |]
+            in
+            let spec =
+              {
+                default_env_spec with
+                q_seqs = [ 0 ];
+                qu_seqs = [ (7, [ 1 ]) ];
+                views = [];
+              }
+            in
+            let env, _ = build spec in
+            let actions =
+              List.map norm_action
+                (Scheduler.execute (sched "opportunistic_retransmission") env
+                   ~subflows:views)
+            in
+            Alcotest.(check (list norm_testable)) "old packet retransmitted"
+              [ N_push (0, 7) ] actions);
+      ] );
+  ]
+
+(* Table 2 design-space additions. *)
+let design_space_suite =
+  [
+    ( "schedulers-design-space",
+      [
+        tc "backup_redundant: no insurance while actives are healthy"
+          (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                q_seqs = [ 0 ];
+                qu_seqs = [ (5, [ 0 ]) ];
+                views = [ v 0 10_000; v ~backup:true 1 40_000 ];
+              }
+            in
+            let actions, _, _ = run_once (sched "backup_redundant") spec in
+            Alcotest.(check (list norm_testable)) "fresh data only"
+              [ N_push (0, 0) ] actions);
+        tc "backup_redundant: shaky actives trigger backup copies" (fun () ->
+            let shaky =
+              {
+                (v 0 10_000) with
+                Subflow_view.rtt_var_us = 8_000 (* 4*var > avg *);
+              }
+            in
+            let spec =
+              {
+                default_env_spec with
+                q_seqs = [ 0 ];
+                qu_seqs = [ (5, [ 0 ]) ];
+                views = [ shaky; v ~backup:true 1 40_000 ];
+              }
+            in
+            let actions, _, _ = run_once (sched "backup_redundant") spec in
+            Alcotest.(check (list norm_testable)) "fresh + insurance copy"
+              [ N_push (0, 0); N_push (1, 5) ]
+              actions);
+        tc "backup_redundant: lossy active also triggers insurance" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                q_seqs = [];
+                qu_seqs = [ (5, [ 0 ]) ];
+                views = [ v ~lossy:true 0 10_000; v ~backup:true 1 40_000 ];
+              }
+            in
+            let actions, _, _ = run_once (sched "backup_redundant") spec in
+            Alcotest.(check (list norm_testable)) "insurance copy"
+              [ N_push (1, 5) ] actions);
+        tc "flow_size_aware: bulk phase uses min-RTT over all subflows"
+          (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v ~cwnd:10 ~inflight:10 1 10_000; v 0 40_000 ];
+                regs = [ (0, 10_000_000) ] (* lots remaining *);
+              }
+            in
+            (* fast subflow blocked: bulk data accepts the slow one *)
+            let actions, _, _ = run_once (sched "flow_size_aware") spec in
+            Alcotest.(check (list norm_testable)) "slow subflow used"
+              [ N_push (0, 0) ] actions);
+        tc "flow_size_aware: flow tail avoids the slow subflow" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v ~cwnd:10 ~inflight:10 1 10_000; v 0 40_000 ];
+                regs = [ (0, 2_000) ] (* tail: < one window of the fast one *);
+              }
+            in
+            (* fast subflow blocked, but the tail still waits for it *)
+            let actions, _, _ = run_once (sched "flow_size_aware") spec in
+            Alcotest.(check (list norm_testable)) "wait for fast" [] actions);
+        tc "flow_size_aware: tail goes to the fast subflow when open"
+          (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v 1 10_000; v 0 40_000 ];
+                regs = [ (0, 2_000) ];
+              }
+            in
+            let actions, _, _ = run_once (sched "flow_size_aware") spec in
+            Alcotest.(check (list norm_testable)) "fast subflow"
+              [ N_push (1, 0) ] actions);
+      ] );
+  ]
+
+(* probing scheduler (Table 2). *)
+let probing_suite =
+  [
+    ( "schedulers-probing",
+      [
+        tc "probing sends a probe copy on idle subflows every 64th execution"
+          (fun () ->
+            let p = sched "probing" in
+            let env, _ = build { default_env_spec with q_seqs = [] } in
+            (* one busy subflow, one idle; a packet is in flight *)
+            let views = [| v ~inflight:3 0 10_000; v 1 40_000 |] in
+            let pkt = Packet.create ~seq:7 ~size:1448 ~now:0.0 () in
+            Packet.mark_sent pkt ~sbf_id:0;
+            Pqueue.push_back env.Env.qu pkt;
+            let probes = ref 0 in
+            for _ = 1 to 130 do
+              List.iter
+                (fun a ->
+                  match Helpers.norm_action a with
+                  | N_push (1, 7) -> incr probes
+                  | N_push _ | N_drop _ -> ())
+                (Scheduler.execute p env ~subflows:views)
+            done;
+            Alcotest.(check int) "two probes in 130 executions" 2 !probes);
+      ] );
+  ]
+
+(* Additional edge-case coverage for the preference/content families. *)
+let edge_suite =
+  [
+    ( "schedulers-edges",
+      [
+        tc "http2_aware: initial-view beats deferred regardless of order"
+          (fun () ->
+            let env, views = build { default_env_spec with q_seqs = [] } in
+            let p0 = Packet.create ~props:[| 3 |] ~seq:0 ~size:1448 ~now:0.0 () in
+            let p1 = Packet.create ~props:[| 2 |] ~seq:1 ~size:1448 ~now:0.0 () in
+            Pqueue.push_back env.Env.q p0;
+            Pqueue.push_back env.Env.q p1;
+            let actions =
+              List.map norm_action
+                (Scheduler.execute (sched "http2_aware") env ~subflows:views)
+            in
+            Alcotest.(check (list norm_testable)) "initial view first"
+              [ N_push (1, 1) ] actions);
+        tc "http2_aware: deferred data waits when only backups are open"
+          (fun () ->
+            let env, _ = build { default_env_spec with q_seqs = [] } in
+            let views =
+              [| v ~cwnd:1 ~inflight:1 0 10_000; v ~backup:true 1 5_000 |]
+            in
+            let p = Packet.create ~props:[| 3 |] ~seq:0 ~size:1448 ~now:0.0 () in
+            Pqueue.push_back env.Env.q p;
+            let actions =
+              Scheduler.execute (sched "http2_aware") env ~subflows:views
+            in
+            Alcotest.(check int) "no push" 0 (List.length actions));
+        tc "http2_aware: critical waits for the fastest subflow" (fun () ->
+            (* the fastest subflow has no window: the critical packet is
+               NOT diverted to the slower one *)
+            let env, _ = build { default_env_spec with q_seqs = [] } in
+            let views = [| v ~cwnd:1 ~inflight:1 0 5_000; v 1 40_000 |] in
+            let p = Packet.create ~props:[| 1 |] ~seq:0 ~size:1448 ~now:0.0 () in
+            Pqueue.push_back env.Env.q p;
+            let actions =
+              Scheduler.execute (sched "http2_aware") env ~subflows:views
+            in
+            Alcotest.(check int) "waits" 0 (List.length actions));
+        tc "handover: without handover signal behaves like min-RTT" (fun () ->
+            let spec =
+              { default_env_spec with regs = [ (0, 99) ] (* no such id *) }
+            in
+            let actions, _, _ = run_once (sched "handover") spec in
+            Alcotest.(check (list norm_testable)) "minrtt fallback"
+              [ N_push (1, 0) ] actions);
+        tc "handover: drains RQ on the target before fresh data" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                q_seqs = [ 0 ];
+                qu_seqs = [ (5, [ 0; 1 ]) ];
+                rq_seqs = [ 5 ];
+                regs = [ (0, 1) ];
+              }
+            in
+            (* packet 5 already sent on both, so catch-up finds nothing and
+               RQ is served next *)
+            let actions, _, _ = run_once (sched "handover") spec in
+            Alcotest.(check (list norm_testable)) "rq first"
+              [ N_push (1, 5) ] actions);
+        tc "selective_compensation: single subflow never compensates"
+          (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                q_seqs = [];
+                qu_seqs = [ (3, [ 0 ]) ];
+                views = [ v 0 10_000 ];
+                regs = [ (1, 1) ];
+              }
+            in
+            (* fast = slow = the only subflow: ratio is 1 *)
+            let actions, _, _ =
+              run_once (sched "selective_compensation") spec
+            in
+            Alcotest.(check (list norm_testable)) "quiet" [] actions);
+        tc "tap: reinjection spills to backup when preferred is closed and \
+            capacity short"
+          (fun () ->
+            let spec =
+              {
+                Helpers.q_seqs = [];
+                qu_seqs = [ (8, [ 0 ]) ];
+                rq_seqs = [ 8 ];
+                views =
+                  [ v ~cwnd:2 ~inflight:2 0 10_000; v ~backup:true 1 40_000 ];
+                regs = [ (0, 4_000_000) ];
+              }
+            in
+            let actions, _, _ = run_once (sched "tap") spec in
+            Alcotest.(check (list norm_testable)) "rescued on backup"
+              [ N_push (1, 8) ] actions);
+        tc "tap: reinjection stays on preferred when open" (fun () ->
+            let spec =
+              {
+                Helpers.q_seqs = [ 0 ];
+                qu_seqs = [ (8, [ 1 ]) ];
+                rq_seqs = [ 8 ];
+                views = [ v 0 10_000; v ~backup:true 1 40_000 ];
+                regs = [ (0, 4_000_000) ];
+              }
+            in
+            let actions, _, _ = run_once (sched "tap") spec in
+            Alcotest.(check (list norm_testable)) "preferred reinjection"
+              [ N_push (0, 8) ] actions);
+        tc "round robin: lossy subflows are skipped by the cursor" (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v ~lossy:true 0 10_000; v 1 40_000 ];
+              }
+            in
+            let rr = sched "round_robin" in
+            let env, views = build spec in
+            let a1 =
+              List.map norm_action (Scheduler.execute rr env ~subflows:views)
+            in
+            let a2 =
+              List.map norm_action (Scheduler.execute rr env ~subflows:views)
+            in
+            Alcotest.(check (list norm_testable)) "healthy only (1st)"
+              [ N_push (1, 0) ] a1;
+            Alcotest.(check (list norm_testable)) "healthy only (2nd)"
+              [ N_push (1, 1) ] a2);
+      ] );
+  ]
+
+(* §3.2 priority-aware redundancy. *)
+let priority_suite =
+  [
+    ( "schedulers-priority",
+      [
+        tc "priority packets jump the queue and go everywhere" (fun () ->
+            let env, _ = build { default_env_spec with q_seqs = [] } in
+            let views = [| v 0 10_000; v ~backup:true 1 40_000 |] in
+            let bulk = Packet.create ~seq:0 ~size:1448 ~now:0.0 () in
+            let prio =
+              Packet.create ~props:[| 0; 1 |] ~seq:1 ~size:200 ~now:0.0 ()
+            in
+            Pqueue.push_back env.Env.q bulk;
+            Pqueue.push_back env.Env.q prio;
+            let actions =
+              List.map norm_action
+                (Scheduler.execute (sched "priority_redundant") env
+                   ~subflows:views)
+            in
+            Alcotest.(check (list norm_testable))
+              "redundant on both, including the backup"
+              [ N_push (0, 1); N_push (1, 1) ]
+              actions;
+            (* the priority packet left Q; bulk remains *)
+            Alcotest.(check (list int)) "bulk stays" [ 0 ] (seqs_of env.Env.q));
+        tc "without priority packets, bulk follows min-RTT on non-backups"
+          (fun () ->
+            let spec =
+              {
+                default_env_spec with
+                views = [ v 0 10_000; v ~backup:true 1 5_000 ];
+              }
+            in
+            let actions, _, _ = run_once (sched "priority_redundant") spec in
+            Alcotest.(check (list norm_testable)) "non-backup despite RTT"
+              [ N_push (0, 0) ] actions);
+      ] );
+  ]

@@ -1,0 +1,151 @@
+(** Simulator-wide invariants (DESIGN.md §6), checked across a random
+    sweep of network conditions and schedulers:
+
+    - conservation of data: delivered byte stream equals the written
+      stream, in order, exactly once;
+    - cwnd never collapses below one segment;
+    - SRTT stays within [path RTT, path RTT + worst-case queueing + RTO
+      slack];
+    - after completion, all scheduler queues drain and no packet is
+      marked dropped without having been sent. *)
+
+open Mptcp_sim
+open Progmp_runtime
+
+let ( let* ) = QCheck2.Gen.( let* )
+
+let gen_config =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 10_000 in
+  let* loss_pct = int_range 0 6 in
+  let* rtt_ratio = int_range 1 6 in
+  let* bw_kb = int_range 300 3_000 in
+  let* size_kb = int_range 10 300 in
+  let* sched = oneofl [ "default"; "round_robin"; "redundant_if_no_q"; "redundant" ] in
+  return (seed, float_of_int loss_pct /. 100.0, float_of_int rtt_ratio, float_of_int bw_kb *. 1000.0, size_kb * 1000, sched)
+
+let sweep =
+  QCheck2.Test.make ~name:"simulator invariants hold across conditions"
+    ~count:40 gen_config
+    (fun (seed, loss, rtt_ratio, bandwidth, size, sched) ->
+      ignore (Schedulers.Specs.load_all ());
+      let base_rtt = 0.02 in
+      let paths =
+        Apps.Scenario.mininet_two_subflows ~bandwidth ~base_rtt ~rtt_ratio
+          ~loss ()
+      in
+      let conn = Connection.create ~seed ~paths () in
+      Api.set_scheduler (Connection.sock conn) sched;
+      let order = ref [] in
+      conn.Connection.meta.Meta_socket.on_deliver <-
+        (fun ~seq ~size:_ ~time:_ -> order := seq :: !order);
+      Connection.write_at conn ~time:0.1 size;
+      Connection.run ~until:300.0 conn;
+      let meta = conn.Connection.meta in
+      let delivered_in_order =
+        let got = List.rev !order in
+        got = List.init (List.length got) Fun.id
+      in
+      let complete = Meta_socket.all_delivered meta in
+      let conserved = Connection.delivered_bytes conn = size in
+      let queues_drained =
+        let env = Meta_socket.env meta in
+        Pqueue.is_empty env.Env.q && Pqueue.is_empty env.Env.qu
+        && Pqueue.is_empty env.Env.rq
+      in
+      let sane_subflows =
+        List.for_all
+          (fun m ->
+            let s = m.Path_manager.subflow in
+            let cwnd_ok = s.Tcp_subflow.cwnd >= 1.0 in
+            let link_rtt = 2.0 *. Link.delay m.Path_manager.data_link in
+            let srtt_ok =
+              s.Tcp_subflow.rtt_samples = 0
+              || (s.Tcp_subflow.srtt >= 0.9 *. link_rtt
+                 && s.Tcp_subflow.srtt
+                    <= link_rtt +. 2.0
+                       +. (2.0
+                          *. float_of_int
+                               m.Path_manager.data_link.Link.params
+                                 .Link.buffer_bytes
+                          /. bandwidth))
+            in
+            cwnd_ok && srtt_ok)
+          conn.Connection.paths
+      in
+      let no_data_dropped = meta.Meta_socket.data_dropped = 0 in
+      if
+        not
+          (delivered_in_order && complete && conserved && queues_drained
+         && sane_subflows && no_data_dropped)
+      then
+        QCheck2.Test.fail_reportf
+          "violation: sched=%s seed=%d loss=%.2f ratio=%.0f bw=%.0f size=%d \
+           (in_order=%b complete=%b conserved=%b drained=%b sane=%b \
+           nodrop=%b)"
+          sched seed loss rtt_ratio bandwidth size delivered_in_order complete
+          conserved queues_drained sane_subflows no_data_dropped
+      else true)
+
+let suite = [ ("sim-invariants", [ QCheck_alcotest.to_alcotest sweep ]) ]
+
+(* Failure injection: subflows die mid-transfer at random times; as long
+   as one path survives, everything must still be delivered in order,
+   exactly once. *)
+let gen_failure_config =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 10_000 in
+  let* n = int_range 2 4 in
+  let* kill = int_range 1 (n - 1) in
+  let* kill_at = float_range 0.15 1.5 in
+  let* loss_pct = int_range 0 4 in
+  let* sched = oneofl [ "default"; "redundant_if_no_q"; "round_robin" ] in
+  return (seed, n, kill, kill_at, float_of_int loss_pct /. 100.0, sched)
+
+let failure_sweep =
+  QCheck2.Test.make ~name:"path failures never lose or reorder data"
+    ~count:25 gen_failure_config
+    (fun (seed, n, kill, kill_at, loss, sched) ->
+      ignore (Schedulers.Specs.load_all ());
+      let paths =
+        List.init n (fun i ->
+            Path_manager.symmetric
+              ~name:(Fmt.str "p%d" i)
+              {
+                Link.default_params with
+                Link.bandwidth = 1_000_000.0;
+                delay = 0.005 *. float_of_int (i + 1);
+                loss;
+              })
+      in
+      let conn = Connection.create ~seed ~paths () in
+      Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched;
+      (* kill [kill] paths at staggered times, always leaving at least
+         one alive *)
+      List.iteri
+        (fun i m ->
+          if i < kill then
+            Connection.fail_path conn m
+              ~at:(kill_at +. (0.2 *. float_of_int i)))
+        conn.Connection.paths;
+      let order = ref [] in
+      conn.Connection.meta.Meta_socket.on_deliver <-
+        (fun ~seq ~size:_ ~time:_ -> order := seq :: !order);
+      Connection.write_at conn ~time:0.1 400_000;
+      Connection.run ~until:300.0 conn;
+      let got = List.rev !order in
+      let ok =
+        Meta_socket.all_delivered conn.Connection.meta
+        && Connection.delivered_bytes conn = 400_000
+        && got = List.init (List.length got) Fun.id
+      in
+      if not ok then
+        QCheck2.Test.fail_reportf
+          "failure config: seed=%d n=%d kill=%d at=%.2f loss=%.2f sched=%s            delivered=%d complete=%b"
+          seed n kill kill_at loss sched
+          (Connection.delivered_bytes conn)
+          (Meta_socket.all_delivered conn.Connection.meta)
+      else true)
+
+let failure_suite =
+  [ ("sim-failures", [ QCheck_alcotest.to_alcotest failure_sweep ]) ]

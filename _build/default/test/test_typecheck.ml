@@ -1,0 +1,114 @@
+(** Type-checker tests: the static guarantees of Table 1 — typing rules,
+    single assignment, purity of predicates, queue views not being
+    first-class, graceful NULL handling. *)
+
+open Progmp_lang
+open Helpers
+
+let ok name src =
+  tc name (fun () ->
+      match Typecheck.compile_source src with
+      | (_ : Tast.program) -> ()
+      | exception Typecheck.Error (m, loc) ->
+          Alcotest.failf "unexpected type error at %a: %s" Loc.pp loc m)
+
+let bad name src = tc name (fun () -> check_type_error src)
+
+let suite =
+  [
+    ( "typecheck",
+      [
+        ok "int arithmetic" "VAR x = 1 + 2 * 3 - 4 / 2 % 3;";
+        ok "bool logic" "VAR b = TRUE AND !FALSE OR 1 < 2;";
+        ok "subflow property" "VAR x = SUBFLOWS.MIN(s => s.RTT).CWND;";
+        ok "packet property through filter"
+          "VAR x = Q.FILTER(p => p.SIZE > 100).COUNT;";
+        ok "null comparison both sides"
+          "IF (NULL == Q.TOP) { RETURN; } IF (Q.TOP != NULL) { RETURN; }";
+        ok "subflow null comparison"
+          "IF (SUBFLOWS.MIN(s => s.RTT) != NULL) { RETURN; }";
+        ok "registers are ints" "SET(R1, R2 + R6);";
+        ok "pop in var decl" "VAR skb = Q.POP();";
+        ok "pop as push argument"
+          "IF (!SUBFLOWS.EMPTY) { SUBFLOWS.GET(0).PUSH(Q.POP()); }";
+        ok "pop in drop" "DROP(Q.POP());";
+        ok "sent_on and has_window_for"
+          "VAR s = SUBFLOWS.GET(0);\n\
+           VAR x = QU.FILTER(p => !p.SENT_ON(s)).TOP;\n\
+           IF (x != NULL AND s.HAS_WINDOW_FOR(x)) { s.PUSH(x); }";
+        ok "user packet properties" "VAR x = Q.FILTER(p => p.PROP1 == 1).COUNT;";
+        ok "name reuse after scope ends"
+          "VAR a = SUBFLOWS.FILTER(sbf => !sbf.LOSSY);\n\
+           VAR b = a.MIN(sbf => sbf.RTT);";
+        ok "sum over subflows" "VAR t = SUBFLOWS.SUM(s => s.THROUGHPUT);";
+        ok "queue min/max" "VAR p = QU.MIN(x => x.SEQ); VAR q = QU.MAX(y => y.SEQ);";
+        (* ---- rejections ---- *)
+        bad "pop in if condition (the paper's Q.POP().RTT pitfall)"
+          "IF (Q.POP().SIZE > 0) { RETURN; }";
+        bad "pop inside filter predicate"
+          "VAR x = SUBFLOWS.FILTER(s => Q.POP() != NULL).COUNT;";
+        bad "pop in set value" "SET(R1, Q.POP().SIZE);";
+        bad "pop in foreach source"
+          "FOREACH (VAR s IN SUBFLOWS.FILTER(x => Q.POP() == NULL)) { RETURN; }";
+        bad "queue stored in variable" "VAR v = Q.FILTER(p => TRUE);";
+        bad "bare queue in variable" "VAR v = Q;";
+        bad "redeclaration in same scope" "VAR x = 1; VAR x = 2;";
+        bad "shadowing in nested block" "VAR x = 1; IF (TRUE) { VAR x = 2; }";
+        bad "lambda shadowing outer variable"
+          "VAR s = 1; VAR y = SUBFLOWS.FILTER(s => TRUE).COUNT;";
+        bad "unknown variable" "VAR x = y + 1;";
+        bad "unknown subflow property" "VAR x = SUBFLOWS.GET(0).FOO;";
+        bad "unknown packet property" "VAR x = Q.TOP.BAR;";
+        bad "int where bool expected" "IF (1) { RETURN; }";
+        bad "bool arithmetic" "VAR x = TRUE + 1;";
+        bad "comparing packet to int" "VAR x = Q.TOP == 1;";
+        bad "comparing packet to subflow"
+          "VAR x = Q.TOP == SUBFLOWS.GET(0);";
+        bad "push as expression" "VAR x = SUBFLOWS.GET(0).PUSH(Q.POP());";
+        bad "push of null literal" "SUBFLOWS.GET(0).PUSH(NULL);";
+        bad "null stored in variable" "VAR x = NULL;";
+        bad "bare null condition" "IF (NULL) { RETURN; }";
+        bad "expression statement without effect" "1 + 2;";
+        bad "expression statement non-push member" "Q.TOP;";
+        bad "filter with non-bool lambda"
+          "VAR x = SUBFLOWS.FILTER(s => s.RTT).COUNT;";
+        bad "min with bool lambda"
+          "VAR x = SUBFLOWS.MIN(s => s.LOSSY);";
+        bad "get with bool index" "VAR x = SUBFLOWS.GET(TRUE);";
+        bad "set with bool value" "SET(R1, TRUE);";
+        bad "drop of a subflow" "DROP(SUBFLOWS.GET(0));";
+        bad "push packet on packet" "Q.TOP.PUSH(Q.POP());";
+        bad "foreach over queue" "FOREACH (VAR p IN Q) { RETURN; }";
+        bad "min over queue without lambda arg" "VAR x = Q.MIN();";
+        bad "filter arity" "VAR x = SUBFLOWS.FILTER().COUNT;";
+        bad "too many args to TOP" "VAR x = Q.TOP(1);";
+        tc "every zoo spec typechecks" (fun () ->
+            List.iter
+              (fun (name, src) ->
+                match Typecheck.compile_source src with
+                | (_ : Tast.program) -> ()
+                | exception Typecheck.Error (m, loc) ->
+                    Alcotest.failf "%s: type error at %a: %s" name Loc.pp loc m)
+              Schedulers.Specs.all);
+        tc "slot count is bounded" (fun () ->
+            List.iter
+              (fun (_, src) ->
+                let p = Typecheck.compile_source src in
+                Alcotest.(check bool)
+                  "slots within bound" true
+                  (p.Tast.num_slots <= Typecheck.max_slots))
+              Schedulers.Specs.all);
+        tc "slot types recorded" (fun () ->
+            let p = Typecheck.compile_source "VAR x = 1; VAR b = TRUE;" in
+            Alcotest.(check int) "two slots" 2 p.Tast.num_slots;
+            Alcotest.(check string) "slot 0 int" "int"
+              (Ty.to_string p.Tast.slot_types.(0));
+            Alcotest.(check string) "slot 1 bool" "bool"
+              (Ty.to_string p.Tast.slot_types.(1)));
+        tc "uses_pop detection" (fun () ->
+            let p1 = Typecheck.compile_source "VAR x = Q.POP();" in
+            let p2 = Typecheck.compile_source "VAR x = Q.TOP;" in
+            Alcotest.(check bool) "pop" true (Tast.uses_pop p1);
+            Alcotest.(check bool) "no pop" false (Tast.uses_pop p2));
+      ] );
+  ]
