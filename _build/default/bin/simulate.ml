@@ -38,6 +38,32 @@ let backend_arg =
     & opt (enum [ ("interp", `Interp); ("aot", `Aot); ("vm", `Vm) ]) `Interp
     & info [ "backend" ] ~doc:"Scheduler execution backend.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"FILE"
+        ~doc:
+          "Fault script applied to the connection(s): one TIME PATH ACTION \
+           step per line (see docs/FAULTS.md).")
+
+let invariants_arg =
+  Arg.(
+    value & flag
+    & info [ "check-invariants" ]
+        ~doc:
+          "Attach the cross-layer invariant checker to every connection and \
+           fail (exit 3) on any violation.")
+
+let load_faults = function
+  | None -> []
+  | Some file -> (
+      match Faults.load file with
+      | Ok script -> script
+      | Error msg ->
+          Fmt.epr "simulate: %s@." msg;
+          exit 2)
+
 let setup_scheduler name backend =
   ignore (Schedulers.Specs.load_all ());
   match Progmp_runtime.Scheduler.find name with
@@ -75,15 +101,23 @@ let summary conn =
   | Some t -> Fmt.pr "flow completion    : %.3f s@." t
   | None -> Fmt.pr "flow completion    : (incomplete)@."
 
-let run_scenario scenario scheduler seed loss duration backend verbose =
+let run_scenario scenario scheduler seed loss duration backend faults_file
+    check_inv verbose =
   setup_logging verbose;
   let sched_name = scheduler in
   ignore (setup_scheduler sched_name backend);
-  match scenario with
+  let faults = load_faults faults_file in
+  let checkers = ref [] in
+  let instrument conn =
+    Faults.apply conn faults;
+    if check_inv then checkers := Invariants.attach conn :: !checkers
+  in
+  (match scenario with
   | `Bulk ->
       let paths = Apps.Scenario.mininet_two_subflows ~rtt_ratio:2.0 ~loss () in
       let conn = Connection.create ~seed ~paths () in
       Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
+      instrument conn;
       Apps.Workload.bulk conn ~at:0.1 ~bytes:4_000_000;
       Connection.run ~until:duration conn;
       summary conn
@@ -91,6 +125,7 @@ let run_scenario scenario scheduler seed loss duration backend verbose =
       let paths = Apps.Scenario.wifi_lte ~wifi_loss:loss ~lte_loss:loss () in
       let conn = Connection.create ~seed ~paths () in
       Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
+      instrument conn;
       let rate t = if t < duration /. 3.0 then 1_000_000.0 else 4_000_000.0 in
       Apps.Workload.cbr ~signal_register:0 conn ~start:0.2
         ~stop:(duration -. 2.0) ~interval:0.1 ~rate;
@@ -105,6 +140,7 @@ let run_scenario scenario scheduler seed loss duration backend verbose =
         in
         let conn = Connection.create ~seed ~paths () in
         Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
+        instrument conn;
         conn
       in
       let before_write conn =
@@ -123,6 +159,7 @@ let run_scenario scenario scheduler seed loss duration backend verbose =
   | `Http2 ->
       let paths = Apps.Scenario.wifi_lte ~wifi_loss:loss ~lte_loss:loss () in
       let conn = Connection.create ~seed ~paths () in
+      instrument conn;
       (match
          Apps.Webserver.serve_with ~scheduler_name:sched_name conn
            Apps.Http2.optimized_page
@@ -138,6 +175,7 @@ let run_scenario scenario scheduler seed loss duration backend verbose =
       let paths = Apps.Scenario.wifi_lte ~wifi_loss:loss ~lte_loss:loss () in
       let conn = Connection.create ~seed ~paths () in
       Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
+      instrument conn;
       let session =
         Apps.Dash.start ~period:0.5
           ~count:(int_of_float (duration /. 0.75))
@@ -149,7 +187,15 @@ let run_scenario scenario scheduler seed loss duration backend verbose =
       Fmt.pr "deadline misses    : %d (worst lateness %.1f ms)@."
         o.Apps.Dash.deadline_misses
         (o.Apps.Dash.worst_lateness *. 1e3);
-      Fmt.pr "backup bytes       : %d@." o.Apps.Dash.backup_bytes
+      Fmt.pr "backup bytes       : %d@." o.Apps.Dash.backup_bytes);
+  if check_inv then
+    match List.find_opt (fun c -> not (Invariants.ok c)) !checkers with
+    | None -> Fmt.pr "invariants         : ok@."
+    | Some c ->
+        (match Invariants.report c with
+        | Some r -> Fmt.epr "%s@." r
+        | None -> ());
+        exit 3
 
 let scenario_arg =
   Arg.(
@@ -172,6 +218,6 @@ let main =
        ~doc:"Run MPTCP scheduling scenarios in the simulator")
     Term.(
       const run_scenario $ scenario_arg $ scheduler_arg $ seed_arg $ loss_arg
-      $ duration_arg $ backend_arg $ verbose_arg)
+      $ duration_arg $ backend_arg $ faults_arg $ invariants_arg $ verbose_arg)
 
 let () = exit (Cmd.eval main)

@@ -2,3 +2,14 @@
   $ ../bin/simulate.exe short-flows -s compensating --loss 0.02
   $ ../bin/simulate.exe http2 -s http2_aware
   $ ../bin/simulate.exe bulk -s nonsense
+  $ cat > outage.fs << EOF
+  > # one-second outage on the first path
+  > 0.5 sbf1 down
+  > 1.5 sbf1 up
+  > EOF
+  $ ../bin/simulate.exe bulk --duration 40 --faults outage.fs --check-invariants
+  $ cat > bad.fs << EOF
+  > 0.5 sbf1 down
+  > 1.0 sbf1 explode
+  > EOF
+  $ ../bin/simulate.exe bulk --faults bad.fs

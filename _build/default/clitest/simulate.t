@@ -26,3 +26,30 @@ Unknown schedulers are rejected:
   $ ../bin/simulate.exe bulk -s nonsense
   unknown scheduler nonsense
   [2]
+
+Fault injection: subflow 1 loses its link mid-transfer and the traffic
+shifts to subflow 2, with the invariant checker attached:
+
+  $ cat > outage.fs << EOF
+  > # one-second outage on the first path
+  > 0.5 sbf1 down
+  > 1.5 sbf1 up
+  > EOF
+  $ ../bin/simulate.exe bulk --duration 40 --faults outage.fs --check-invariants
+  simulated time     : 3.785 s
+  delivered          : 4000000 bytes (2763 segments, complete: true)
+  subflow sbf1       : sent   909344 B (628 segs, 15 retx), srtt 21.2 ms, cwnd 14.6
+  subflow sbf2       : sent  3129752 B (2162 segs, 0 retx), srtt 42.1 ms, cwnd 37.0
+  scheduler events   : 7241 executions, 2775 pushes, 0 drops
+  flow completion    : 2.854 s
+  invariants         : ok
+
+Malformed fault scripts are rejected with a one-line diagnostic:
+
+  $ cat > bad.fs << EOF
+  > 0.5 sbf1 down
+  > 1.0 sbf1 explode
+  > EOF
+  $ ../bin/simulate.exe bulk --faults bad.fs
+  simulate: fault script line 2: unknown fault action "explode"
+  [2]

@@ -1,0 +1,1 @@
+examples/handover.ml: Apps Connection Faults Fmt Invariants List Meta_socket Mptcp_sim Progmp_runtime Schedulers Tcp_subflow

@@ -1,1 +1,1 @@
-lib/sim/eventq.ml: Array
+lib/sim/eventq.ml: Array List

@@ -1,0 +1,1 @@
+lib/sim/faults.ml: Connection Fmt In_channel Link List Path_manager Rng Sim_log String Tcp_subflow

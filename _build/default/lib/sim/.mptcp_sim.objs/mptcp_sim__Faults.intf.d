@@ -1,0 +1,1 @@
+lib/sim/faults.mli: Connection Format

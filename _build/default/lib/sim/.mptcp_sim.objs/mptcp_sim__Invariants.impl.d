@@ -1,0 +1,1 @@
+lib/sim/invariants.ml: Connection Eventq Float Fmt Hashtbl Link List Meta_socket Path_manager Progmp_runtime Tcp_subflow

@@ -1,0 +1,1 @@
+lib/sim/invariants.mli: Connection

@@ -1,1 +1,1 @@
-lib/sim/link.ml: Eventq Float Rng
+lib/sim/link.ml: Eventq Float List Rng

@@ -10,6 +10,8 @@ type t = {
   mutable heap : event array;
   mutable size : int;
   mutable next_seq : int;
+  mutable observers : (unit -> unit) list;
+      (** run after every executed event, in registration order *)
 }
 
 let create () =
@@ -18,7 +20,13 @@ let create () =
     heap = Array.make 256 { time = 0.; seq = 0; cancelled = true; action = ignore };
     size = 0;
     next_seq = 0;
+    observers = [];
   }
+
+(** Register [f] to run after every executed (non-cancelled) event —
+    the hook invariant checkers attach to. Observers run in registration
+    order and must not schedule events themselves. *)
+let add_observer t f = t.observers <- t.observers @ [ f ]
 
 let now t = t.now
 
@@ -99,7 +107,10 @@ let run ?until t =
         t.now <- ev.time;
         if not ev.cancelled then begin
           ev.action ();
-          incr executed
+          incr executed;
+          match t.observers with
+          | [] -> ()
+          | obs -> List.iter (fun f -> f ()) obs
         end;
         loop ()
   in

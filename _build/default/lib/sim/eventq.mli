@@ -18,6 +18,11 @@ val schedule_in : t -> delay:float -> (unit -> unit) -> event
 
 val cancel : event -> unit
 
+val add_observer : t -> (unit -> unit) -> unit
+(** Register a callback that runs after every executed event, in
+    registration order — the hook invariant checkers attach to.
+    Observers must not schedule or cancel events. *)
+
 val run : ?until:float -> t -> int
 (** Run events until the queue drains or the clock passes [until]
     (later events are kept for future runs). Returns the number of

@@ -1,0 +1,233 @@
+(** Declarative, deterministic fault injection: a timeline of scripted
+    network events — bandwidth/delay/loss changes, link outages, burst
+    loss (Gilbert–Elliott), subflow failure and re-establishment —
+    applied to a running connection through the event queue.
+
+    This is the reproducible stand-in for the network dynamics the
+    paper's §5.2 handover and §5.4 streaming experiments rely on: rather
+    than poking links from ad-hoc callsites, an experiment declares a
+    {!script} (in OCaml, via the combinators, or parsed from the
+    [--faults] text format) and {!apply}s it. Identical scripts and seeds
+    yield identical traces, which is what makes scheduler comparisons
+    under dynamics credible. *)
+
+type event =
+  | Set_bandwidth of float  (** bytes/second at the bottleneck *)
+  | Set_delay of float  (** one-way propagation delay, seconds *)
+  | Set_loss of float  (** (good-state) loss probability *)
+  | Loss_burst of { p_enter : float; p_exit : float; loss_bad : float }
+      (** switch the data link to Gilbert–Elliott burst loss *)
+  | Loss_model_reset  (** back to independent (Bernoulli) losses *)
+  | Link_down  (** outage: both directions of the path go dark *)
+  | Link_up
+  | Subflow_fail  (** connection break: in-flight data re-queued *)
+  | Subflow_reestablish  (** new handshake on the same path *)
+  | Set_backup of bool  (** toggle the scheduler-visible backup flag *)
+  | Set_lossy of bool  (** force the scheduler-visible lossy flag *)
+
+type step = { at : float; path : string; ev : event }
+
+(** A fault script: steps applied in time order; steps with equal
+    timestamps apply in list order. *)
+type script = step list
+
+let step ~at path ev = { at; path; ev }
+
+let pp_event ppf = function
+  | Set_bandwidth bw -> Fmt.pf ppf "bw %.0f" bw
+  | Set_delay d -> Fmt.pf ppf "delay %g" d
+  | Set_loss l -> Fmt.pf ppf "loss %g" l
+  | Loss_burst { p_enter; p_exit; loss_bad } ->
+      Fmt.pf ppf "burst %g %g %g" p_enter p_exit loss_bad
+  | Loss_model_reset -> Fmt.pf ppf "bernoulli"
+  | Link_down -> Fmt.pf ppf "down"
+  | Link_up -> Fmt.pf ppf "up"
+  | Subflow_fail -> Fmt.pf ppf "fail"
+  | Subflow_reestablish -> Fmt.pf ppf "reestablish"
+  | Set_backup b -> Fmt.pf ppf "backup %s" (if b then "on" else "off")
+  | Set_lossy b -> Fmt.pf ppf "lossy %s" (if b then "on" else "off")
+
+let pp_step ppf s = Fmt.pf ppf "%.3f %s %a" s.at s.path pp_event s.ev
+
+(* ---------- combinators ---------- *)
+
+(** [periodic ~start ~period ~until path ev]: one step every [period]
+    seconds in [start, until). *)
+let periodic ~start ~period ~until path ev =
+  if period <= 0.0 then invalid_arg "Faults.periodic: period must be positive";
+  let rec go t acc =
+    if t >= until then List.rev acc else go (t +. period) (step ~at:t path ev :: acc)
+  in
+  go start []
+
+(** [flap ~start ~period ~down_for ~until path]: a WiFi-style flap —
+    every [period] seconds the path goes down for [down_for] seconds.
+    The final down is always paired with an up, even past [until]. *)
+let flap ~start ~period ~down_for ~until path =
+  if down_for >= period then
+    invalid_arg "Faults.flap: down_for must be shorter than period";
+  List.concat_map
+    (fun s -> [ s; step ~at:(s.at +. down_for) path Link_up ])
+    (periodic ~start ~period ~until path Link_down)
+
+(** Deterministically jitter every step time by a uniform draw from
+    [0, amount), from an explicit [seed] — the same seed reproduces the
+    same perturbed timeline. The result is re-sorted (stably) by time. *)
+let jitter ~seed ~amount script =
+  let rng = Rng.create seed in
+  List.stable_sort
+    (fun a b -> compare a.at b.at)
+    (List.map (fun s -> { s with at = s.at +. (Rng.float rng *. amount) }) script)
+
+(* ---------- application ---------- *)
+
+let exec_on (conn : Connection.t) path ev =
+  match Connection.find_path conn path with
+  | None ->
+      Sim_log.debug (fun m ->
+          m "fault for unknown path %S at %.3f skipped" path
+            (Connection.now conn))
+  | Some mg -> (
+      let data = mg.Path_manager.data_link
+      and ack = mg.Path_manager.ack_link
+      and sbf = mg.Path_manager.subflow in
+      Sim_log.debug (fun m ->
+          m "fault @ %.3f: %s %a" (Connection.now conn) path pp_event ev);
+      match ev with
+      | Set_bandwidth bw -> Link.set_bandwidth data bw
+      | Set_delay d ->
+          Link.set_delay data d;
+          Link.set_delay ack d
+      | Set_loss l -> Link.set_loss data l
+      | Loss_burst { p_enter; p_exit; loss_bad } ->
+          Link.set_gilbert data ~p_enter ~p_exit ~loss_bad
+      | Loss_model_reset -> Link.set_bernoulli data
+      | Link_down ->
+          Link.set_down data;
+          Link.set_down ack
+      | Link_up ->
+          Link.set_up data;
+          Link.set_up ack
+      | Subflow_fail -> Tcp_subflow.fail sbf
+      | Subflow_reestablish ->
+          Tcp_subflow.reestablish ~at:(Connection.now conn) sbf
+      | Set_backup b ->
+          sbf.Tcp_subflow.is_backup <- b;
+          Connection.notify_scheduler conn
+      | Set_lossy b ->
+          sbf.Tcp_subflow.forced_lossy <- b;
+          Connection.notify_scheduler conn)
+
+(** Schedule every step of [script] on the connection's event queue.
+    Steps sharing a timestamp fire in script order (the queue breaks ties
+    by scheduling order); a step naming a path the connection does not
+    (yet) have is skipped with a debug log, so scripts can reference
+    paths added later via {!Connection.add_path}. *)
+let apply (conn : Connection.t) (script : script) =
+  List.iter
+    (fun s -> Connection.at conn ~time:s.at (fun () -> exec_on conn s.path s.ev))
+    (List.stable_sort (fun a b -> compare a.at b.at) script)
+
+(* ---------- text format ---------- *)
+
+(* One step per line: TIME PATH ACTION [ARGS...]; '#' starts a comment.
+   Actions: bw B | delay S | loss P | burst P_ENTER P_EXIT LOSS_BAD |
+   bernoulli | down | up | fail | reestablish | backup on|off |
+   lossy on|off. *)
+
+let parse_error n fmt = Fmt.kstr (fun m -> Error (Fmt.str "fault script line %d: %s" n m)) fmt
+
+let float_arg n what s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> parse_error n "%s: not a number (%S)" what s
+
+let prob_arg n what s =
+  match float_arg n what s with
+  | Ok p when p < 0.0 || p > 1.0 ->
+      parse_error n "%s: probability %g out of [0, 1]" what p
+  | r -> r
+
+let bool_arg n what = function
+  | "on" -> Ok true
+  | "off" -> Ok false
+  | s -> parse_error n "%s: expected on|off, got %S" what s
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_line n line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [] -> Ok None
+  | [ _ ] | [ _; _ ] -> parse_error n "expected TIME PATH ACTION [ARGS...]"
+  | at :: path :: action :: args -> (
+      let* at = float_arg n "time" at in
+      if at < 0.0 then parse_error n "time %g is negative" at
+      else
+        let mk ev = Ok (Some (step ~at path ev)) in
+        let arity k = parse_error n "action %S takes %d argument%s" action k
+          (if k = 1 then "" else "s") in
+        match (action, args) with
+        | "bw", [ b ] ->
+            let* bw = float_arg n "bandwidth" b in
+            if bw <= 0.0 then parse_error n "bandwidth must be positive"
+            else mk (Set_bandwidth bw)
+        | "bw", _ -> arity 1
+        | "delay", [ d ] ->
+            let* d = float_arg n "delay" d in
+            if d < 0.0 then parse_error n "delay must be non-negative"
+            else mk (Set_delay d)
+        | "delay", _ -> arity 1
+        | "loss", [ l ] ->
+            let* l = prob_arg n "loss" l in
+            mk (Set_loss l)
+        | "loss", _ -> arity 1
+        | "burst", [ pe; px; lb ] ->
+            let* p_enter = prob_arg n "p_enter" pe in
+            let* p_exit = prob_arg n "p_exit" px in
+            let* loss_bad = prob_arg n "loss_bad" lb in
+            mk (Loss_burst { p_enter; p_exit; loss_bad })
+        | "burst", _ -> arity 3
+        | "bernoulli", [] -> mk Loss_model_reset
+        | "bernoulli", _ -> arity 0
+        | "down", [] -> mk Link_down
+        | "down", _ -> arity 0
+        | "up", [] -> mk Link_up
+        | "up", _ -> arity 0
+        | "fail", [] -> mk Subflow_fail
+        | "fail", _ -> arity 0
+        | "reestablish", [] -> mk Subflow_reestablish
+        | "reestablish", _ -> arity 0
+        | "backup", [ b ] ->
+            let* b = bool_arg n "backup" b in
+            mk (Set_backup b)
+        | "backup", _ -> arity 1
+        | "lossy", [ b ] ->
+            let* b = bool_arg n "lossy" b in
+            mk (Set_lossy b)
+        | "lossy", _ -> arity 1
+        | _ -> parse_error n "unknown fault action %S" action)
+
+(** Parse the text format; the error is a single-line diagnostic naming
+    the offending line. *)
+let parse text : (script, string) result =
+  let lines = String.split_on_char '\n' text in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line n line with
+        | Ok None -> go (n + 1) acc rest
+        | Ok (Some s) -> go (n + 1) (s :: acc) rest
+        | Error _ as e -> e)
+  in
+  go 1 [] lines
+
+(** Read and parse a fault-script file. *)
+let load file : (script, string) result =
+  match In_channel.with_open_text file In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error (Fmt.str "fault script: %s" msg)

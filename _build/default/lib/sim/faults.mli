@@ -1,0 +1,57 @@
+(** Declarative, deterministic fault injection: a scripted timeline of
+    network events (bandwidth/delay/loss changes, outages, burst loss,
+    subflow failure and re-establishment) applied to a running connection
+    through the event queue. Identical scripts and seeds yield identical
+    traces. See docs/FAULTS.md for the text format. *)
+
+type event =
+  | Set_bandwidth of float  (** bytes/second at the bottleneck *)
+  | Set_delay of float  (** one-way propagation delay, seconds *)
+  | Set_loss of float  (** (good-state) loss probability *)
+  | Loss_burst of { p_enter : float; p_exit : float; loss_bad : float }
+      (** switch the data link to Gilbert–Elliott burst loss *)
+  | Loss_model_reset  (** back to independent (Bernoulli) losses *)
+  | Link_down  (** outage: both directions of the path go dark *)
+  | Link_up
+  | Subflow_fail  (** connection break: in-flight data re-queued *)
+  | Subflow_reestablish  (** new handshake on the same path *)
+  | Set_backup of bool  (** toggle the scheduler-visible backup flag *)
+  | Set_lossy of bool  (** force the scheduler-visible lossy flag *)
+
+type step = { at : float; path : string; ev : event }
+
+type script = step list
+(** Steps applied in time order; equal timestamps apply in list order. *)
+
+val step : at:float -> string -> event -> step
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_step : Format.formatter -> step -> unit
+
+val periodic :
+  start:float -> period:float -> until:float -> string -> event -> script
+(** One step every [period] seconds in [start, until). *)
+
+val flap :
+  start:float -> period:float -> down_for:float -> until:float -> string ->
+  script
+(** WiFi-style flapping: every [period] seconds the path goes down for
+    [down_for] seconds (each down paired with an up). *)
+
+val jitter : seed:int -> amount:float -> script -> script
+(** Shift every step time by a uniform draw from [0, amount), seeded —
+    the same seed reproduces the same perturbed timeline. *)
+
+val apply : Connection.t -> script -> unit
+(** Schedule every step on the connection's event queue. Steps sharing a
+    timestamp fire in script order; steps naming a path the connection
+    does not (yet) have are skipped with a debug log. *)
+
+val parse : string -> (script, string) result
+(** Parse the text format (one [TIME PATH ACTION [ARGS...]] step per
+    line, [#] comments); errors are one-line diagnostics naming the
+    offending line. *)
+
+val load : string -> (script, string) result
+(** Read and parse a fault-script file. *)

@@ -1,6 +1,7 @@
 (** Unidirectional path model: serialization at a (possibly fluctuating)
-    bottleneck rate, propagation delay, optional jitter, Bernoulli loss
-    and a drop-tail buffer.
+    bottleneck rate, propagation delay, optional jitter, random loss
+    (Bernoulli or bursty Gilbert–Elliott) and a drop-tail buffer, plus an
+    up/down state for scripted outages (handover, WiFi flaps).
 
     This is the stand-in for the paper's Mininet links (Figs. 10, 12) and
     for the in-the-wild WiFi/LTE paths (Figs. 1, 13, 14): the schedulers
@@ -24,26 +25,83 @@ let default_params =
     buffer_bytes = 256 * 1024;
   }
 
+(** Gilbert–Elliott two-state loss process: per packet the chain first
+    moves (good -> bad with [p_enter], bad -> good with [p_exit]), then
+    the packet is lost with the state's loss probability — [params.loss]
+    in the good state, [loss_bad] in the bad state. Burstiness comes from
+    the chain dwelling in the bad state for ~1/[p_exit] packets. *)
+type gilbert = {
+  p_enter : float;  (** good -> bad transition probability per packet *)
+  p_exit : float;  (** bad -> good transition probability per packet *)
+  loss_bad : float;  (** loss probability while in the bad state *)
+  mutable bad : bool;  (** current chain state *)
+}
+
+type loss_model = Bernoulli | Gilbert of gilbert
+
 type t = {
   mutable params : params;
   rng : Rng.t;
   clock : Eventq.t;
+  mutable up : bool;  (** a down link delivers nothing in either state *)
+  mutable loss_model : loss_model;
   mutable busy_until : float;  (** bottleneck serialization horizon *)
+  mutable queue : (float * int) list;
+      (** (serialization completion time, bytes) of packets accepted into
+          the bottleneck buffer, newest first — byte-accurate backlog
+          accounting that is immune to later bandwidth changes *)
   mutable delivered : int;  (** packets that made it across *)
   mutable lost : int;  (** random losses *)
   mutable tail_dropped : int;  (** buffer overflows *)
+  mutable lost_down : int;  (** packets destroyed by a down link *)
 }
 
 let create ?(params = default_params) ~clock ~rng () =
-  { params; rng; clock; busy_until = 0.0; delivered = 0; lost = 0; tail_dropped = 0 }
+  {
+    params;
+    rng;
+    clock;
+    up = true;
+    loss_model = Bernoulli;
+    busy_until = 0.0;
+    queue = [];
+    delivered = 0;
+    lost = 0;
+    tail_dropped = 0;
+    lost_down = 0;
+  }
 
 (** Change the bottleneck rate at runtime (bandwidth fluctuation, e.g.
-    the WiFi throughput dips of Fig. 13). *)
+    the WiFi throughput dips of Fig. 13). Packets already serialized or
+    queued keep the arrival times and byte accounting they were admitted
+    with; only subsequent transmissions see the new rate. *)
 let set_bandwidth t bw = t.params <- { t.params with bandwidth = bw }
 
 let set_delay t d = t.params <- { t.params with delay = d }
 
+(** Change the (good-state) loss probability. Loss is decided when a
+    packet enters the bottleneck, so packets already in flight are
+    unaffected. *)
 let set_loss t l = t.params <- { t.params with loss = l }
+
+(** Switch to a Gilbert–Elliott burst-loss process (chain starts in the
+    good state). [params.loss] remains the good-state loss. *)
+let set_gilbert t ~p_enter ~p_exit ~loss_bad =
+  t.loss_model <- Gilbert { p_enter; p_exit; loss_bad; bad = false }
+
+(** Back to independent (Bernoulli) losses at [params.loss]. *)
+let set_bernoulli t = t.loss_model <- Bernoulli
+
+(** Take the link down: packets sent while down are destroyed without
+    consuming serialization time, and packets still in the air are lost
+    at their arrival instant. Idempotent. *)
+let set_down t = t.up <- false
+
+(** Bring the link back up. Idempotent; only packets transmitted after
+    this instant can be delivered. *)
+let set_up t = t.up <- true
+
+let is_up t = t.up
 
 let bandwidth t = t.params.bandwidth
 
@@ -54,19 +112,39 @@ let delay t = t.params.delay
 let busy_until t = t.busy_until
 
 (** Bytes currently sitting in the bottleneck buffer (waiting for
-    serialization), across all users of the link. *)
+    serialization), across all users of the link. Tracked per packet at
+    admission time, so a later {!set_bandwidth} cannot retroactively
+    change what the buffer holds. *)
 let backlog_bytes t =
-  let pending = t.busy_until -. Eventq.now t.clock in
-  if pending <= 0.0 then 0 else int_of_float (pending *. t.params.bandwidth)
+  let now = Eventq.now t.clock in
+  t.queue <- List.filter (fun (until, _) -> until > now) t.queue;
+  List.fold_left (fun acc (_, size) -> acc + size) 0 t.queue
 
-type outcome = Delivered of float | Lost_random | Dropped_tail
+(* Per-packet loss decision; advances the Gilbert–Elliott chain. *)
+let draw_loss t =
+  match t.loss_model with
+  | Bernoulli -> Rng.coin t.rng ~p:t.params.loss
+  | Gilbert g ->
+      (if g.bad then begin
+         if Rng.coin t.rng ~p:g.p_exit then g.bad <- false
+       end
+       else if Rng.coin t.rng ~p:g.p_enter then g.bad <- true);
+      Rng.coin t.rng ~p:(if g.bad then g.loss_bad else t.params.loss)
+
+type outcome = Delivered of float | Lost_random | Dropped_tail | Lost_down
 
 (** Send [size] bytes over the link; on success schedules [deliver] at
     the arrival time and returns it. Loss is decided at entry (a dropped
-    packet still consumes serialization time, like a corrupted frame). *)
+    packet still consumes serialization time, like a corrupted frame).
+    On a down link the packet is destroyed immediately; a packet still in
+    the air when the link goes down is destroyed at its arrival time. *)
 let transmit t ~size deliver : outcome =
   let now = Eventq.now t.clock in
-  if backlog_bytes t + size > t.params.buffer_bytes then begin
+  if not t.up then begin
+    t.lost_down <- t.lost_down + 1;
+    Lost_down
+  end
+  else if backlog_bytes t + size > t.params.buffer_bytes then begin
     t.tail_dropped <- t.tail_dropped + 1;
     Dropped_tail
   end
@@ -74,7 +152,8 @@ let transmit t ~size deliver : outcome =
     let start = if t.busy_until > now then t.busy_until else now in
     let tx_time = float_of_int size /. t.params.bandwidth in
     t.busy_until <- start +. tx_time;
-    if Rng.coin t.rng ~p:t.params.loss then begin
+    t.queue <- (t.busy_until, size) :: t.queue;
+    if draw_loss t then begin
       t.lost <- t.lost + 1;
       Lost_random
     end
@@ -85,13 +164,22 @@ let transmit t ~size deliver : outcome =
         else 0.0
       in
       let arrival = t.busy_until +. t.params.delay +. noise in
-      ignore (Eventq.schedule t.clock ~at:arrival deliver);
-      t.delivered <- t.delivered + 1;
+      ignore
+        (Eventq.schedule t.clock ~at:arrival (fun () ->
+             if t.up then begin
+               t.delivered <- t.delivered + 1;
+               deliver ()
+             end
+             else t.lost_down <- t.lost_down + 1));
       Delivered arrival
     end
   end
 
-(** Convenience for ack/control paths: no bandwidth constraint, no loss. *)
+(** Convenience for ack/control paths: no bandwidth constraint, no random
+    loss — but a down link still destroys them (at arrival). *)
 let deliver_control t deliver =
-  let at = Eventq.now t.clock +. t.params.delay in
-  ignore (Eventq.schedule t.clock ~at deliver)
+  if t.up then begin
+    let at = Eventq.now t.clock +. t.params.delay in
+    ignore
+      (Eventq.schedule t.clock ~at (fun () -> if t.up then deliver ()))
+  end

@@ -1,8 +1,9 @@
 (** Unidirectional path model: serialization at a (possibly changing)
-    bottleneck rate, propagation delay, optional jitter, Bernoulli loss
-    and a drop-tail buffer — the stand-in for the paper's Mininet links
-    and in-the-wild WiFi/LTE paths. A link may be shared by several
-    subflows (shared-bottleneck experiments). *)
+    bottleneck rate, propagation delay, optional jitter, random loss
+    (Bernoulli or bursty Gilbert–Elliott), a drop-tail buffer and an
+    up/down state for scripted outages — the stand-in for the paper's
+    Mininet links and in-the-wild WiFi/LTE paths. A link may be shared by
+    several subflows (shared-bottleneck experiments). *)
 
 type params = {
   bandwidth : float;  (** bytes per second at the bottleneck *)
@@ -15,24 +16,61 @@ type params = {
 val default_params : params
 (** 10 Mbit/s, 10 ms, lossless, 256 kB buffer. *)
 
+type gilbert = {
+  p_enter : float;  (** good -> bad transition probability per packet *)
+  p_exit : float;  (** bad -> good transition probability per packet *)
+  loss_bad : float;  (** loss probability while in the bad state *)
+  mutable bad : bool;  (** current chain state *)
+}
+
+type loss_model = Bernoulli | Gilbert of gilbert
+
 type t = {
   mutable params : params;
   rng : Rng.t;
   clock : Eventq.t;
+  mutable up : bool;
+  mutable loss_model : loss_model;
   mutable busy_until : float;
+  mutable queue : (float * int) list;
   mutable delivered : int;
   mutable lost : int;
   mutable tail_dropped : int;
+  mutable lost_down : int;
 }
 
 val create : ?params:params -> clock:Eventq.t -> rng:Rng.t -> unit -> t
 
 val set_bandwidth : t -> float -> unit
-(** Change the bottleneck rate at runtime (bandwidth fluctuation). *)
+(** Change the bottleneck rate at runtime (bandwidth fluctuation).
+    Packets already accepted keep the arrival times and byte accounting
+    they were admitted with; only later transmissions see the new rate. *)
 
 val set_delay : t -> float -> unit
 
 val set_loss : t -> float -> unit
+(** Change the (good-state) loss probability; packets already in flight
+    keep the loss decision made when they entered the bottleneck. *)
+
+val set_gilbert : t -> p_enter:float -> p_exit:float -> loss_bad:float -> unit
+(** Switch to a Gilbert–Elliott burst-loss process (starting in the good
+    state, whose loss stays [params.loss]). The chain advances once per
+    transmitted packet; the stationary loss rate is
+    [pi_bad * loss_bad + (1 - pi_bad) * params.loss] with
+    [pi_bad = p_enter / (p_enter + p_exit)]. *)
+
+val set_bernoulli : t -> unit
+(** Back to independent losses at [params.loss]. *)
+
+val set_down : t -> unit
+(** Take the link down: packets sent while down are destroyed without
+    consuming serialization time, and packets still in the air are lost
+    at their arrival instant. Idempotent. *)
+
+val set_up : t -> unit
+(** Bring the link back up (idempotent). *)
+
+val is_up : t -> bool
 
 val bandwidth : t -> float
 
@@ -43,14 +81,19 @@ val busy_until : t -> float
     wire. *)
 
 val backlog_bytes : t -> int
-(** Bytes waiting for serialization, across all users of the link. *)
+(** Bytes waiting for serialization, across all users of the link —
+    tracked per packet at admission time, immune to later
+    {!set_bandwidth} calls. *)
 
-type outcome = Delivered of float | Lost_random | Dropped_tail
+type outcome = Delivered of float | Lost_random | Dropped_tail | Lost_down
 
 val transmit : t -> size:int -> (unit -> unit) -> outcome
 (** Send [size] bytes; on success the callback fires at the arrival
     time. A randomly lost packet still consumes serialization time; a
-    tail-dropped one does not. *)
+    tail-dropped one does not. On a down link the packet is destroyed
+    immediately ([Lost_down]); one still in the air when the link goes
+    down is destroyed at arrival. *)
 
 val deliver_control : t -> (unit -> unit) -> unit
-(** Ack/control path: propagation delay only, no loss or bandwidth. *)
+(** Ack/control path: propagation delay only, no loss or bandwidth — but
+    a down link destroys control packets too. *)

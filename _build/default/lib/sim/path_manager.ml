@@ -80,3 +80,8 @@ let add_path ~clock ~rng ~(meta : Meta_socket.t) ?(min_rto = 0.2)
     in flight or buffered on it are reported to RQ. *)
 let fail_subflow ~clock (m : managed) ~at =
   ignore (Eventq.schedule clock ~at (fun () -> Tcp_subflow.fail m.subflow))
+
+(** Schedule re-establishment of a failed subflow at [at] (the reverse of
+    {!fail_subflow}; the handshake takes its usual round-trip). *)
+let reestablish_subflow (m : managed) ~at =
+  Tcp_subflow.reestablish ~at m.subflow

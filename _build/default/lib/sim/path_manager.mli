@@ -67,3 +67,7 @@ val add_path :
 val fail_subflow : clock:Eventq.t -> managed -> at:float -> unit
 (** Schedule a clean subflow failure: in-flight and buffered packets are
     reported upward for reinjection. *)
+
+val reestablish_subflow : managed -> at:float -> unit
+(** Schedule re-establishment of a failed subflow (the reverse of
+    {!fail_subflow}; the handshake takes its usual round-trip). *)

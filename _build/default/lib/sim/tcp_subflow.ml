@@ -39,6 +39,9 @@ type t = {
   id : int;
   mss : int;
   mutable is_backup : bool;
+  mutable forced_lossy : bool;
+      (** externally injected lossiness (e.g. L2 signal quality reported
+          by a connectivity manager): ORed into the LOSSY property *)
   clock : Eventq.t;
   data_link : Link.t;
   ack_link : Link.t;
@@ -116,6 +119,7 @@ let create ~id ~clock ~data_link ~ack_link ?(mss = 1448) ?(is_backup = false)
     id;
     mss;
     is_backup;
+    forced_lossy = false;
     clock;
     data_link;
     ack_link;
@@ -164,7 +168,7 @@ let in_flight_count t = Hashtbl.length t.inflight
 
 let in_recovery t = t.recover >= 0
 
-let lossy t = in_recovery t
+let lossy t = in_recovery t || t.forced_lossy
 
 (* TSQ approximation: throttled when more than two segments' worth of
    the subflow's OWN bytes sit unserialized at the bottleneck. Own-bytes
@@ -293,7 +297,7 @@ and transmit_entry t seq (entry : entry) =
          it will be lost on the wire *)
       t.tsq_entries <-
         (Link.busy_until t.data_link, entry.e_size + 60) :: t.tsq_entries
-  | Link.Dropped_tail -> ());
+  | Link.Dropped_tail | Link.Lost_down -> ());
   if t.rto_timer = None then arm_rto t
 
 (** Move packets from the send buffer onto the wire while the congestion
@@ -518,6 +522,41 @@ let fail t =
   let buffered = List.of_seq (Queue.to_seq t.send_buffer) in
   Queue.clear t.send_buffer;
   t.on_failed (in_flight @ buffered)
+
+(** Re-establish a previously failed subflow at [at] (e.g. WiFi regained
+    after a handover): congestion and RTT state restart from scratch, and
+    the subflow-level sequence spaces are resynchronized — segments lost
+    forever with the old connection were already re-queued at the meta
+    level by {!fail}, so the receiver forgets the stale gap and expects
+    the fresh connection's first segment. *)
+let reestablish ?(at = 0.0) t =
+  ignore
+    (Eventq.schedule t.clock ~at (fun () ->
+         if not t.established then begin
+           t.cwnd <- float_of_int initial_cwnd;
+           t.ssthresh <- 1e9;
+           t.dupacks <- 0;
+           t.recover <- -1;
+           t.srtt <- 0.0;
+           t.rttvar <- 0.0;
+           t.rtt_avg <- 0.0;
+           t.rtt_samples <- 0;
+           t.rto <- 1.0;
+           t.lost_skbs <- 0;
+           t.tsq_entries <- [];
+           t.rate_anchor_t <- 0.0;
+           t.rate_anchor_bytes <- 0;
+           t.rate_ewma <- 0.0;
+           t.rate_samples <- [];
+           (* resync: the new connection's sequence space starts at
+              snd_nxt; whatever the old receiver buffered out of order is
+              covered by the meta-level re-queue in {!fail} *)
+           t.snd_una <- t.snd_nxt;
+           t.rcv_expected <- t.snd_nxt;
+           Hashtbl.reset t.rcv_ooo;
+           Sim_log.debug (fun m -> m "sbf#%d re-establishing" t.id);
+           establish ~at:(Eventq.now t.clock) t
+         end))
 
 (** Testing hook (packetdrill analogue, §4.2): inject a segment arrival
     at the receiver side of the subflow, bypassing the link — used to

@@ -29,6 +29,9 @@ type t = {
   id : int;
   mss : int;
   mutable is_backup : bool;
+  mutable forced_lossy : bool;
+      (** externally injected lossiness (e.g. L2 signal quality reported
+          by a connectivity manager): ORed into the LOSSY property *)
   clock : Eventq.t;
   data_link : Link.t;
   ack_link : Link.t;
@@ -150,6 +153,12 @@ val establish : ?at:float -> t -> unit
 val fail : t -> unit
 (** Connection break: everything in flight or buffered is handed to
     {!field-on_failed} for re-queueing at the meta level. *)
+
+val reestablish : ?at:float -> t -> unit
+(** Re-establish a previously failed subflow at [at]: congestion and RTT
+    state restart from scratch and the subflow-level sequence spaces are
+    resynchronized (the meta level already re-queued what the old
+    connection lost). A no-op on an established subflow. *)
 
 val inject_arrival : t -> seq:int -> Packet.t -> unit
 (** Testing hook (packetdrill analogue, §4.2): inject a segment arrival

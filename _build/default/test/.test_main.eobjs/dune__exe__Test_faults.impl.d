@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Apps Connection Eventq Faults Float Fmt Fun Helpers Invariants Link List Meta_socket Mptcp_sim Option Path_manager Progmp_runtime Rng Schedulers String Tcp_subflow

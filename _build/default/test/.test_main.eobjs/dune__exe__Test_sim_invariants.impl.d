@@ -1,1 +1,1 @@
-test/test_sim_invariants.ml: Api Apps Connection Env Fmt Fun Link List Meta_socket Mptcp_sim Path_manager Pqueue Progmp_runtime QCheck2 QCheck_alcotest Schedulers Tcp_subflow
+test/test_sim_invariants.ml: Api Apps Connection Env Faults Fmt Fun Invariants Link List Meta_socket Mptcp_sim Option Path_manager Pqueue Progmp_runtime QCheck2 QCheck_alcotest Schedulers Tcp_subflow

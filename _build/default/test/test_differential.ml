@@ -199,10 +199,113 @@ let random_diff =
           | [] -> true)
         specs)
 
+(* Whole-simulation differential under fault injection: the same
+   scheduler driven by the interpreter, the AOT engine and the bytecode
+   VM, over identical network dynamics (flapping outage, loss episode,
+   bandwidth change, subflow fail/reestablish), must make identical
+   scheduling decisions — observed as identical delivery order, subflow
+   counters and meta-socket statistics. *)
+
+type sim_fingerprint = {
+  f_order : int list;
+  f_subflows : (int * int * int * int * int) list;
+      (** per subflow: segs_sent, segs_retx, bytes_sent, bytes_acked,
+          snd_nxt *)
+  f_meta : int * int * int;  (** pushes, drops, sched_executions *)
+  f_delivered : int;
+  f_complete : bool;
+}
+
+let pp_sim_fingerprint ppf f =
+  let pushes, drops, execs = f.f_meta in
+  Fmt.pf ppf
+    "delivered=%d complete=%b meta=(%d,%d,%d) subflows=[%a] order_len=%d"
+    f.f_delivered f.f_complete pushes drops execs
+    Fmt.(
+      list ~sep:(any ";") (fun ppf (a, b, c, d, e) ->
+          pf ppf "(%d,%d,%d,%d,%d)" a b c d e))
+    f.f_subflows (List.length f.f_order)
+
+let sim_fp_testable = Alcotest.testable pp_sim_fingerprint ( = )
+
+let sim_fault_script =
+  let open Mptcp_sim in
+  Faults.flap ~start:0.3 ~period:1.0 ~down_for:0.3 ~until:3.0 "sbf2"
+  @ [
+      Faults.step ~at:0.4 "sbf1" (Faults.Set_bandwidth 800_000.0);
+      Faults.step ~at:0.5 "sbf1" (Faults.Set_loss 0.02);
+      Faults.step ~at:1.2 "sbf1" Faults.Subflow_fail;
+      Faults.step ~at:2.2 "sbf1" (Faults.Set_loss 0.0);
+      Faults.step ~at:2.5 "sbf1" Faults.Subflow_reestablish;
+    ]
+
+let sim_run sched_src ~name ~engine =
+  let open Mptcp_sim in
+  let sched = Scheduler.of_source ~name:(Fmt.str "simdiff-%s" name) sched_src in
+  (match engine with
+  | `Interp -> ()
+  | `Aot -> Scheduler.use_aot sched
+  | `Vm -> ignore (Progmp_compiler.Compile.install sched));
+  let paths = Apps.Scenario.mininet_two_subflows ~rtt_ratio:2.0 () in
+  let conn = Connection.create ~seed:11 ~paths () in
+  (Connection.sock conn).Api.scheduler <- sched;
+  Faults.apply conn sim_fault_script;
+  let order = ref [] in
+  conn.Connection.meta.Meta_socket.on_deliver <-
+    (fun ~seq ~size:_ ~time:_ -> order := seq :: !order);
+  let checker = Invariants.attach conn in
+  Connection.write_at conn ~time:0.1 200_000;
+  Connection.run ~until:300.0 conn;
+  Alcotest.(check int)
+    (Fmt.str "invariants clean (%s): %s" name
+       (Option.value ~default:"" (Invariants.report checker)))
+    0 (Invariants.total checker);
+  let meta = conn.Connection.meta in
+  {
+    f_order = List.rev !order;
+    f_subflows =
+      List.map
+        (fun m ->
+          let s = m.Path_manager.subflow in
+          ( s.Tcp_subflow.segs_sent,
+            s.Tcp_subflow.segs_retx,
+            s.Tcp_subflow.bytes_sent,
+            s.Tcp_subflow.bytes_acked,
+            s.Tcp_subflow.snd_nxt ))
+        conn.Connection.paths;
+    f_meta =
+      ( meta.Meta_socket.pushes,
+        meta.Meta_socket.drops,
+        meta.Meta_socket.sched_executions );
+    f_delivered = Connection.delivered_bytes conn;
+    f_complete = Meta_socket.all_delivered meta;
+  }
+
+let sim_fault_cases =
+  List.map
+    (fun sched_name ->
+      let src = List.assoc sched_name Schedulers.Specs.all in
+      tc
+        (Fmt.str "%s under faults: interp = aot = vm" sched_name)
+        (fun () ->
+          let reference = sim_run src ~name:sched_name ~engine:`Interp in
+          Alcotest.(check bool)
+            (Fmt.str "reference run delivered everything: %a"
+               pp_sim_fingerprint reference)
+            true reference.f_complete;
+          List.iter
+            (fun (label, engine) ->
+              let o = sim_run src ~name:sched_name ~engine in
+              Alcotest.check sim_fp_testable
+                (label ^ " matches the interpreter") reference o)
+            [ ("aot", `Aot); ("vm", `Vm) ]))
+    [ "default"; "redundant"; "target_rtt" ]
+
 let suite =
   [
     ("differential-zoo", zoo_cases);
     ("differential-native", native_cases);
     ( "differential-random",
       [ QCheck_alcotest.to_alcotest random_diff ] );
+    ("differential-sim-faults", sim_fault_cases);
   ]

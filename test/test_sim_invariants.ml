@@ -39,6 +39,7 @@ let sweep =
       let order = ref [] in
       conn.Connection.meta.Meta_socket.on_deliver <-
         (fun ~seq ~size:_ ~time:_ -> order := seq :: !order);
+      let checker = Invariants.attach conn in
       Connection.write_at conn ~time:0.1 size;
       Connection.run ~until:300.0 conn;
       let meta = conn.Connection.meta in
@@ -77,14 +78,16 @@ let sweep =
       if
         not
           (delivered_in_order && complete && conserved && queues_drained
-         && sane_subflows && no_data_dropped)
+         && sane_subflows && no_data_dropped
+          && Invariants.ok checker)
       then
         QCheck2.Test.fail_reportf
           "violation: sched=%s seed=%d loss=%.2f ratio=%.0f bw=%.0f size=%d \
            (in_order=%b complete=%b conserved=%b drained=%b sane=%b \
-           nodrop=%b)"
+           nodrop=%b)@\nchecker: %s"
           sched seed loss rtt_ratio bandwidth size delivered_in_order complete
           conserved queues_drained sane_subflows no_data_dropped
+          (Option.value ~default:"ok" (Invariants.report checker))
       else true)
 
 let suite = [ ("sim-invariants", [ QCheck_alcotest.to_alcotest sweep ]) ]
@@ -131,6 +134,7 @@ let failure_sweep =
       let order = ref [] in
       conn.Connection.meta.Meta_socket.on_deliver <-
         (fun ~seq ~size:_ ~time:_ -> order := seq :: !order);
+      let checker = Invariants.attach conn in
       Connection.write_at conn ~time:0.1 400_000;
       Connection.run ~until:300.0 conn;
       let got = List.rev !order in
@@ -138,14 +142,95 @@ let failure_sweep =
         Meta_socket.all_delivered conn.Connection.meta
         && Connection.delivered_bytes conn = 400_000
         && got = List.init (List.length got) Fun.id
+        && Invariants.ok checker
       in
       if not ok then
         QCheck2.Test.fail_reportf
-          "failure config: seed=%d n=%d kill=%d at=%.2f loss=%.2f sched=%s            delivered=%d complete=%b"
+          "failure config: seed=%d n=%d kill=%d at=%.2f loss=%.2f sched=%s            delivered=%d complete=%b checker=%s"
           seed n kill kill_at loss sched
           (Connection.delivered_bytes conn)
           (Meta_socket.all_delivered conn.Connection.meta)
+          (Option.value ~default:"ok" (Invariants.report checker))
       else true)
 
 let failure_suite =
   [ ("sim-failures", [ QCheck_alcotest.to_alcotest failure_sweep ]) ]
+
+(* Random fault scripts — flapping outages on one path, bandwidth
+   changes, moderate Bernoulli loss plus a burst-loss episode on the
+   other, optionally a subflow fail/reestablish cycle — all jittered
+   from an explicit seed. Whatever the script, the attached invariant
+   checker must stay silent and every byte must arrive exactly once, in
+   order. *)
+let gen_fault_script_config =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 10_000 in
+  let* sched = oneofl [ "default"; "redundant"; "target_rtt" ] in
+  let* size_kb = int_range 100 300 in
+  let* period_ms = int_range 900 2_000 in
+  let* down_ms = int_range 100 800 in
+  let* bw_kb = int_range 400 2_000 in
+  let* loss_pct = int_range 0 3 in
+  let* do_fail = bool in
+  let* jitter_seed = int_range 0 1_000 in
+  return
+    (seed, sched, size_kb * 1000, float_of_int period_ms /. 1000.0,
+     float_of_int down_ms /. 1000.0, float_of_int bw_kb *. 1000.0,
+     float_of_int loss_pct /. 100.0, do_fail, jitter_seed)
+
+let fault_sweep =
+  QCheck2.Test.make
+    ~name:"invariants hold under random fault scripts" ~count:25
+    gen_fault_script_config
+    (fun (seed, sched, size, period, down_for, bw, loss, do_fail, jitter_seed) ->
+      ignore (Schedulers.Specs.load_all ());
+      let paths = Apps.Scenario.mininet_two_subflows ~rtt_ratio:2.0 () in
+      let conn = Connection.create ~seed ~paths () in
+      Api.set_scheduler (Connection.sock conn) sched;
+      let script =
+        Faults.jitter ~seed:jitter_seed ~amount:0.05
+          (Faults.flap ~start:0.3 ~period ~down_for ~until:3.0 "sbf2"
+          @ [
+              Faults.step ~at:0.4 "sbf1" (Faults.Set_bandwidth bw);
+              Faults.step ~at:0.8 "sbf1" (Faults.Set_loss loss);
+              Faults.step ~at:1.0 "sbf1"
+                (Faults.Loss_burst
+                   { p_enter = 0.05; p_exit = 0.3; loss_bad = 0.3 });
+              Faults.step ~at:2.0 "sbf1" Faults.Loss_model_reset;
+              Faults.step ~at:2.2 "sbf1" (Faults.Set_loss 0.0);
+            ]
+          @
+          if do_fail then
+            [
+              Faults.step ~at:1.2 "sbf1" Faults.Subflow_fail;
+              Faults.step ~at:2.5 "sbf1" Faults.Subflow_reestablish;
+            ]
+          else [])
+      in
+      Faults.apply conn script;
+      let order = ref [] in
+      conn.Connection.meta.Meta_socket.on_deliver <-
+        (fun ~seq ~size:_ ~time:_ -> order := seq :: !order);
+      let checker = Invariants.attach conn in
+      Connection.write_at conn ~time:0.1 size;
+      Connection.run ~until:300.0 conn;
+      let got = List.rev !order in
+      let ok =
+        Meta_socket.all_delivered conn.Connection.meta
+        && Connection.delivered_bytes conn = size
+        && got = List.init (List.length got) Fun.id
+        && Invariants.ok checker
+      in
+      if not ok then
+        QCheck2.Test.fail_reportf
+          "fault script config: seed=%d sched=%s size=%d period=%.2f \
+           down=%.2f bw=%.0f loss=%.2f fail=%b jitter=%d delivered=%d \
+           complete=%b checker=%s"
+          seed sched size period down_for bw loss do_fail jitter_seed
+          (Connection.delivered_bytes conn)
+          (Meta_socket.all_delivered conn.Connection.meta)
+          (Option.value ~default:"ok" (Invariants.report checker))
+      else true)
+
+let fault_suite =
+  [ ("sim-fault-scripts", [ QCheck_alcotest.to_alcotest fault_sweep ]) ]
