@@ -129,13 +129,13 @@ let backends_for src =
   let fresh name = Scheduler.of_source ~name src in
   let interp = fresh "interp" in
   let aot = fresh "aot" in
-  Scheduler.use_aot aot;
+  Scheduler.set_engine aot "aot";
   let vm = fresh "vm" in
-  ignore (Progmp_compiler.Compile.install vm);
+  Scheduler.set_engine vm "vm";
   let native = fresh "native" in
   Schedulers.Native.install native Schedulers.Native.default;
   let gen = fresh "generated" in
-  Scheduler.set_engine gen ~name:"aot-source" Gen_default.engine;
+  Scheduler.install_custom gen ~name:"aot-source" Gen_default.engine;
   [ ("native (C analogue)", native); ("aot (generated source)", gen);
     ("interpreter", interp); ("aot (closure)", aot); ("ebpf-vm", vm) ]
 
@@ -220,36 +220,28 @@ let fig9 () =
         (100.0 *. ns /. native))
     timings;
   (* throughput is unchanged across backends *)
-  Fmt.pr "@.simulated bulk throughput per backend (must be identical):@.";
+  Fmt.pr "@.simulated bulk throughput per engine (must be identical):@.";
   List.iter
-    (fun backend ->
+    (fun engine ->
       load_zoo ();
       let sched =
         match Scheduler.find "default" with Some s -> s | None -> assert false
       in
-      (match backend with
-      | `Interp ->
-          Scheduler.set_engine sched ~name:"interpreter" (fun env ->
-              Interpreter.run sched.Scheduler.program env)
-      | `Aot -> Scheduler.use_aot sched
-      | `Vm -> ignore (Progmp_compiler.Compile.install sched));
+      Scheduler.set_engine sched engine;
       let paths = Apps.Scenario.mininet_two_subflows () in
       let conn = Connection.create ~seed:5 ~paths () in
       Apps.Workload.bulk conn ~at:0.1 ~bytes:4_000_000;
       Connection.run ~until:60.0 conn;
-      let label =
-        match backend with `Interp -> "interpreter" | `Aot -> "aot" | `Vm -> "ebpf-vm"
-      in
       match
         Meta_socket.fct conn.Connection.meta ~first:0
           ~last:(conn.Connection.meta.Meta_socket.next_seq - 1)
       with
       | Some t ->
-          Fmt.pr "  %-12s %7.2f Mbit/s (FCT %.3f s)@." label
+          Fmt.pr "  %-12s %7.2f Mbit/s (FCT %.3f s)@." engine
             (4_000_000.0 *. 8.0 /. (t -. 0.1) /. 1e6)
             t
-      | None -> Fmt.pr "  %-12s incomplete@." label)
-    [ `Interp; `Aot; `Vm ];
+      | None -> Fmt.pr "  %-12s incomplete@." engine)
+    (Engine.names ());
   (* ablation: the two optimizations §4.1 calls out *)
   Fmt.pr "@.ablation — constant-subflow-count specialization (decision path):@.";
   let sched = Scheduler.of_source ~name:"spec-abl" Schedulers.Specs.default in
@@ -322,6 +314,46 @@ let fig9 () =
      (%.1fx)@."
     (in_kernel *. 1e6) (upcall *. 1e6)
     (upcall /. in_kernel)
+
+(* ------------------------------------------------------------------ *)
+(* engines — decisions/sec of every registered engine across the zoo   *)
+(* ------------------------------------------------------------------ *)
+
+(* [--smoke] shrinks the iteration counts so the whole experiment runs
+   in well under a second; dune runtest uses it as an end-to-end check
+   that every (scheduler, engine) pair still executes. *)
+let smoke = ref false
+
+let engines_bench () =
+  section "engines"
+    "decision throughput of every registered engine across the scheduler zoo"
+    "the interpreter is the slowest reference; aot and vm close most of the \
+     gap to native (Fig. 9 measures the default scheduler in detail)";
+  let iters = if !smoke then 20 else 20_000 in
+  Fmt.pr "%-28s %-14s %14s %16s@." "scheduler" "engine" "ns/decision"
+    "decisions/sec";
+  List.iter
+    (fun (name, src) ->
+      List.iter
+        (fun engine ->
+          let sched = Scheduler.of_source ~name:(name ^ "@" ^ engine) src in
+          Scheduler.set_engine sched engine;
+          let env, views = overhead_env ~subflows:2 ~packets:64 in
+          (* warm up (and fault early if the pair cannot execute) *)
+          ignore (Scheduler.execute sched env ~subflows:views);
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to iters do
+            ignore (Scheduler.execute sched env ~subflows:views)
+          done;
+          let dt = Unix.gettimeofday () -. t0 in
+          let ns = dt /. float_of_int iters *. 1e9 in
+          let per_sec = float_of_int iters /. dt in
+          csv ~experiment:"engines"
+            ~header:[ "scheduler"; "engine"; "ns_per_decision"; "decisions_per_sec" ]
+            [ name; engine; Fmt.str "%.1f" ns; Fmt.str "%.0f" per_sec ];
+          Fmt.pr "%-28s %-14s %14.0f %16.0f@." name engine ns per_sec)
+        (Engine.names ()))
+    Schedulers.Specs.all
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 10b — FCT vs flow size for the redundancy family               *)
@@ -1009,6 +1041,7 @@ let experiments =
   [
     ("fig1", fig1);
     ("fig9", fig9);
+    ("engines", engines_bench);
     ("fig10b", fig10b);
     ("fig10c", fig10c);
     ("fig12", fig12);
@@ -1026,10 +1059,14 @@ let experiments =
   ]
 
 let () =
+  Progmp_compiler.Compile.register_engines ();
   let args = List.tl (Array.to_list Sys.argv) in
   let rec split_flags acc = function
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
+        split_flags acc rest
+    | "--smoke" :: rest ->
+        smoke := true;
         split_flags acc rest
     | x :: rest -> split_flags (x :: acc) rest
     | [] -> List.rev acc

@@ -86,13 +86,24 @@ let compile_cmd =
 
 (* ---- run (dry run against a synthetic environment) ---- *)
 
-let run_cmd =
-  let backend =
-    Arg.(
-      value
-      & opt (enum [ ("interp", `Interp); ("aot", `Aot); ("vm", `Vm) ]) `Interp
-      & info [ "backend" ] ~doc:"Execution backend: interp, aot or vm.")
+let engine_arg =
+  let doc =
+    "Execution engine, selected from the engine registry (see $(b,progmp \
+     engines)): interpreter, aot or vm."
   in
+  Arg.(
+    value
+    & opt string "interpreter"
+    & info [ "engine"; "backend" ] ~docv:"ENGINE" ~doc)
+
+let select_engine sched name =
+  match Progmp_runtime.Scheduler.set_engine sched name with
+  | () -> ()
+  | exception Progmp_runtime.Engine.Unknown msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 2
+
+let run_cmd =
   let packets =
     Arg.(value & opt int 3 & info [ "packets" ] ~doc:"Packets in the sending queue Q.")
   in
@@ -111,15 +122,12 @@ let run_cmd =
       & info [ "profile" ]
           ~doc:
             "Run with the profiling interpreter and print the annotated \
-             control-flow trace afterwards (overrides --backend).")
+             control-flow trace afterwards (overrides --engine).")
   in
-  let run spec backend packets executions registers profile =
+  let run spec engine packets executions registers profile =
     let src = read_spec spec in
     let sched = load src in
-    (match backend with
-    | `Interp -> ()
-    | `Aot -> Progmp_runtime.Scheduler.use_aot sched
-    | `Vm -> ignore (Progmp_compiler.Compile.install sched));
+    select_engine sched engine;
     let prof =
       if profile then Some (Progmp_runtime.Profiler.attach sched) else None
     in
@@ -156,7 +164,7 @@ let run_cmd =
          "Dry-run a scheduler against a synthetic two-subflow environment \
           (40 ms and 10 ms RTT)")
     Term.(
-      const run $ spec_arg $ backend $ packets $ executions $ registers
+      const run $ spec_arg $ engine_arg $ packets $ executions $ registers
       $ profile_flag)
 
 (* ---- gen-ocaml ---- *)
@@ -193,10 +201,34 @@ let show_cmd =
     (Cmd.info "show" ~doc:"Print the source of a built-in scheduler")
     Term.(const run $ spec_arg)
 
+(* ---- engines ---- *)
+
+let engines_cmd =
+  let run () =
+    List.iter
+      (fun (e : Progmp_runtime.Engine.t) ->
+        Fmt.pr "%-12s %s%s@." e.Progmp_runtime.Engine.engine_name
+          e.Progmp_runtime.Engine.caps.Progmp_runtime.Engine.description
+          (if e.Progmp_runtime.Engine.caps.Progmp_runtime.Engine.verified then
+             " [verified]"
+           else ""))
+      (Progmp_runtime.Engine.all ())
+  in
+  Cmd.v
+    (Cmd.info "engines" ~doc:"List the registered execution engines")
+    Term.(const run $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "progmp" ~version:"1.0.0"
        ~doc:"ProgMP: application-defined Multipath TCP scheduling toolchain")
-    [ check_cmd; compile_cmd; run_cmd; gen_ocaml_cmd; list_cmd; show_cmd ]
+    [
+      check_cmd; compile_cmd; run_cmd; gen_ocaml_cmd; list_cmd; show_cmd;
+      engines_cmd;
+    ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Force-link the compiler so its "vm" engine registration runs even
+     though this binary only selects engines by name. *)
+  Progmp_compiler.Compile.register_engines ();
+  exit (Cmd.eval main)

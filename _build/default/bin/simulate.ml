@@ -32,11 +32,14 @@ let setup_logging verbose =
     Logs.Src.set_level Sim_log.src (Some Logs.Debug)
   end
 
-let backend_arg =
+let engine_arg =
   Arg.(
     value
-    & opt (enum [ ("interp", `Interp); ("aot", `Aot); ("vm", `Vm) ]) `Interp
-    & info [ "backend" ] ~doc:"Scheduler execution backend.")
+    & opt string "interpreter"
+    & info [ "engine"; "backend" ] ~docv:"ENGINE"
+        ~doc:
+          "Scheduler execution engine (from the engine registry): \
+           interpreter, aot or vm.")
 
 let faults_arg =
   Arg.(
@@ -64,18 +67,18 @@ let load_faults = function
           Fmt.epr "simulate: %s@." msg;
           exit 2)
 
-let setup_scheduler name backend =
+let setup_scheduler name engine =
   ignore (Schedulers.Specs.load_all ());
   match Progmp_runtime.Scheduler.find name with
   | None ->
       Fmt.epr "unknown scheduler %s@." name;
       exit 2
-  | Some sched ->
-      (match backend with
-      | `Interp -> ()
-      | `Aot -> Progmp_runtime.Scheduler.use_aot sched
-      | `Vm -> ignore (Progmp_compiler.Compile.install sched));
-      sched
+  | Some sched -> (
+      match Progmp_runtime.Scheduler.set_engine sched engine with
+      | () -> sched
+      | exception Progmp_runtime.Engine.Unknown msg ->
+          Fmt.epr "simulate: %s@." msg;
+          exit 2)
 
 let summary conn =
   let meta = conn.Connection.meta in
@@ -101,11 +104,11 @@ let summary conn =
   | Some t -> Fmt.pr "flow completion    : %.3f s@." t
   | None -> Fmt.pr "flow completion    : (incomplete)@."
 
-let run_scenario scenario scheduler seed loss duration backend faults_file
+let run_scenario scenario scheduler seed loss duration engine faults_file
     check_inv verbose =
   setup_logging verbose;
   let sched_name = scheduler in
-  ignore (setup_scheduler sched_name backend);
+  ignore (setup_scheduler sched_name engine);
   let faults = load_faults faults_file in
   let checkers = ref [] in
   let instrument conn =
@@ -218,6 +221,10 @@ let main =
        ~doc:"Run MPTCP scheduling scenarios in the simulator")
     Term.(
       const run_scenario $ scenario_arg $ scheduler_arg $ seed_arg $ loss_arg
-      $ duration_arg $ backend_arg $ faults_arg $ invariants_arg $ verbose_arg)
+      $ duration_arg $ engine_arg $ faults_arg $ invariants_arg $ verbose_arg)
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Force-link the compiler so its "vm" engine registration runs even
+     though this binary only selects engines by name. *)
+  Progmp_compiler.Compile.register_engines ();
+  exit (Cmd.eval main)

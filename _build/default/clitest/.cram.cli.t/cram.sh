@@ -15,8 +15,11 @@
   $ ../bin/progmp_cli.exe compile minrtt_minimal
   $ echo 'SET(R2, R1 + 1);' | ../bin/progmp_cli.exe compile - --disasm
   $ ../bin/progmp_cli.exe run minrtt_minimal -n 2
+  $ ../bin/progmp_cli.exe engines
+  $ ../bin/progmp_cli.exe run minrtt_minimal --engine vm | tail -3
+  $ ../bin/progmp_cli.exe run minrtt_minimal --engine aot | tail -3
   $ ../bin/progmp_cli.exe run minrtt_minimal --backend vm | tail -2
-  $ ../bin/progmp_cli.exe run minrtt_minimal --backend aot | tail -2
+  $ ../bin/progmp_cli.exe run minrtt_minimal --engine jit
   $ ../bin/progmp_cli.exe run round_robin -n 2 -r 3=1
   $ ../bin/progmp_cli.exe run minrtt_minimal -n 2 --profile | tail -2
   $ ../bin/progmp_cli.exe gen-ocaml minrtt_minimal | head -9

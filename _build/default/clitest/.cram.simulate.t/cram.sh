@@ -1,7 +1,10 @@
   $ ../bin/simulate.exe bulk --duration 40
   $ ../bin/simulate.exe short-flows -s compensating --loss 0.02
   $ ../bin/simulate.exe http2 -s http2_aware
+  $ ../bin/simulate.exe bulk --duration 40 --engine vm | head -2
+  $ ../bin/simulate.exe bulk --duration 40 --engine aot | head -2
   $ ../bin/simulate.exe bulk -s nonsense
+  $ ../bin/simulate.exe bulk --engine jit
   $ cat > outage.fs << EOF
   > # one-second outage on the first path
   > 0.5 sbf1 down

@@ -21,10 +21,26 @@ An HTTP/2 page load with the content-aware scheduler:
   full load          : 144.9 ms
   wifi / lte bytes   : 615520 / 14480
 
-Unknown schedulers are rejected:
+The execution engine is selected by name from the engine registry; every
+engine makes identical decisions, so the summaries match the interpreter
+run above:
+
+  $ ../bin/simulate.exe bulk --duration 40 --engine vm | head -2
+  simulated time     : 2.121 s
+  delivered          : 4000000 bytes (2763 segments, complete: true)
+
+  $ ../bin/simulate.exe bulk --duration 40 --engine aot | head -2
+  simulated time     : 2.121 s
+  delivered          : 4000000 bytes (2763 segments, complete: true)
+
+Unknown schedulers and engines are rejected:
 
   $ ../bin/simulate.exe bulk -s nonsense
   unknown scheduler nonsense
+  [2]
+
+  $ ../bin/simulate.exe bulk --engine jit
+  simulate: unknown engine jit (available: aot, interpreter, vm)
   [2]
 
 Fault injection: subflow 1 loses its link mid-transfer and the traffic

@@ -37,12 +37,14 @@ let () =
   Progmp_runtime.Api.load_scheduler my_scheduler ~name:"min-jitter";
   Progmp_runtime.Api.set_scheduler sock "min-jitter";
 
-  (* Optional: run it as compiled bytecode instead of interpreted. *)
+  (* Optional: run it as compiled bytecode instead of interpreted, by
+     selecting the "vm" engine from the registry. *)
+  Progmp_compiler.Compile.register_engines ();
   (match Progmp_runtime.Scheduler.find "min-jitter" with
   | Some sched ->
-      let prog = Progmp_compiler.Compile.install sched in
-      Fmt.pr "scheduler compiled to %d bytecode instructions@."
-        (Progmp_compiler.Vm.size prog)
+      Progmp_runtime.Scheduler.set_engine sched "vm";
+      Fmt.pr "scheduler now runs on the %s engine@."
+        (Progmp_runtime.Scheduler.engine_label sched)
   | None -> assert false);
 
   (* 3. Transfer 2 MB and report. *)

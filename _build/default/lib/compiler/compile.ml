@@ -55,11 +55,37 @@ let engine ?fallback (prog : Vm.prog) : Progmp_runtime.Env.t -> unit =
       | None -> Vm.run prog env)
   | Some _ | None -> Vm.run prog env
 
-(** Compile [sched]'s program and install the VM engine on it, so that
-    subsequent {!Progmp_runtime.Scheduler.execute} calls run bytecode. *)
-let install ?subflow_count (sched : Progmp_runtime.Scheduler.t) =
-  let interp = sched.Progmp_runtime.Scheduler.run in
-  let prog = compile ?subflow_count sched.Progmp_runtime.Scheduler.program in
-  Progmp_runtime.Scheduler.set_engine sched ~name:"ebpf-vm"
-    (engine ~fallback:interp prog);
+(** Register the "vm" engine with the runtime's {!Progmp_runtime.Engine}
+    registry. Runs once when this module is linked; binaries that select
+    engines purely by name call it explicitly so the linker cannot drop
+    this module (and its registration) as unreferenced. *)
+let register_engines =
+  let registered = ref false in
+  fun () ->
+    if not !registered then begin
+      registered := true;
+      Progmp_runtime.Engine.register "vm"
+        ~caps:
+          {
+            Progmp_runtime.Engine.compiled = true;
+            verified = true;
+            description =
+              "eBPF-style bytecode VM (codegen -> regalloc -> emit -> \
+               verifier)";
+          }
+        (fun program -> engine (compile program))
+    end
+
+let () = register_engines ()
+
+(** Compile [sched]'s program specialized for a constant subflow count
+    (§4.1) and install the result, falling back to the scheduler's
+    previous engine when the live count differs. Generic (unspecialized)
+    VM selection goes through [Scheduler.set_engine sched "vm"] instead. *)
+let install_specialized ~subflow_count (sched : Progmp_runtime.Scheduler.t) =
+  let previous = sched.Progmp_runtime.Scheduler.run in
+  let prog = compile ~subflow_count sched.Progmp_runtime.Scheduler.program in
+  Progmp_runtime.Scheduler.install_custom sched
+    ~name:(Fmt.str "vm[%d]" subflow_count)
+    (engine ~fallback:previous prog);
   prog

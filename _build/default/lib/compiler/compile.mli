@@ -32,7 +32,16 @@ val engine :
 (** Build an execution engine; a specialized program falls back to
     [fallback] when the live subflow count differs. *)
 
-val install : ?subflow_count:int -> Progmp_runtime.Scheduler.t -> Vm.prog
-(** Compile the scheduler's program and install the VM engine on it
-    (with interpreter fallback for specialized programs). Returns the
-    compiled program for inspection. *)
+val register_engines : unit -> unit
+(** Register the "vm" engine with {!Progmp_runtime.Engine}. Idempotent;
+    also runs automatically when this module is linked. Call it from
+    binaries that select engines only by name, so the linker keeps this
+    module. *)
+
+val install_specialized :
+  subflow_count:int -> Progmp_runtime.Scheduler.t -> Vm.prog
+(** Compile the scheduler's program specialized for a constant subflow
+    count and install it, falling back to the scheduler's previous
+    engine when the live count differs. Returns the compiled program
+    for inspection. Generic VM selection goes through
+    [Scheduler.set_engine sched "vm"]. *)

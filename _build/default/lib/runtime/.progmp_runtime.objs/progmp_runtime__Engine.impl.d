@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Aot Env Fmt Hashtbl Interpreter List Progmp_lang String

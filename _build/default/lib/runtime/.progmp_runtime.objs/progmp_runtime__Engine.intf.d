@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Env Progmp_lang

@@ -1,1 +1,1 @@
-lib/runtime/env.ml: Action Array List Packet Pqueue Progmp_lang Subflow_view
+lib/runtime/env.ml: Action Array Hashtbl Packet Pqueue Progmp_lang Subflow_view

@@ -1,1 +1,1 @@
-lib/runtime/env.mli: Action Packet Pqueue Progmp_lang Subflow_view
+lib/runtime/env.mli: Action Hashtbl Packet Pqueue Progmp_lang Subflow_view

@@ -1,1 +1,1 @@
-lib/runtime/scheduler.ml: Aot Env Fmt Hashtbl Interpreter List Progmp_lang
+lib/runtime/scheduler.ml: Digest Engine Env Fmt Hashtbl List Progmp_lang

@@ -1,0 +1,86 @@
+(** First-class execution-engine registry — see engine.mli. *)
+
+type caps = {
+  compiled : bool;
+  verified : bool;
+  description : string;
+}
+
+type factory = Progmp_lang.Tast.program -> Env.t -> unit
+
+type t = { engine_name : string; caps : caps; factory : factory }
+
+exception Unknown of string
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let register ?caps name factory =
+  let caps =
+    match caps with
+    | Some c -> c
+    | None -> { compiled = false; verified = false; description = name }
+  in
+  Hashtbl.replace registry name { engine_name = name; caps; factory }
+
+let find name = Hashtbl.find_opt registry name
+
+let names () =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
+
+let all () = List.filter_map find (names ())
+
+let get name =
+  match find name with
+  | Some e -> e
+  | None ->
+      raise
+        (Unknown
+           (Fmt.str "unknown engine %s (available: %s)" name
+              (String.concat ", " (names ()))))
+
+(* Instantiation cache: (engine name, source digest) -> decision
+   function. Keyed by the source digest so N schedulers loaded from the
+   same specification share one compilation per engine. *)
+let cache : (string * string, Env.t -> unit) Hashtbl.t = Hashtbl.create 32
+
+let cache_hits = ref 0
+
+let cache_misses = ref 0
+
+let cache_stats () = (!cache_hits, !cache_misses)
+
+let instantiate ?digest name program =
+  let e = get name in
+  match digest with
+  | None -> e.factory program
+  | Some d -> (
+      let key = (name, d) in
+      match Hashtbl.find_opt cache key with
+      | Some run ->
+          incr cache_hits;
+          run
+      | None ->
+          incr cache_misses;
+          let run = e.factory program in
+          Hashtbl.replace cache key run;
+          run)
+
+(* The two runtime-resident backends register themselves when this
+   library is linked; [Progmp_compiler.Compile] adds "vm". *)
+let () =
+  register "interpreter"
+    ~caps:
+      {
+        compiled = false;
+        verified = false;
+        description = "reference tree-walking interpreter over the typed IR";
+      }
+    (fun program env -> Interpreter.run program env);
+  register "aot"
+    ~caps:
+      {
+        compiled = true;
+        verified = false;
+        description = "ahead-of-time closure compiler (the paper's AOT backend)";
+      }
+    Aot.compile

@@ -1,0 +1,56 @@
+(** First-class execution-engine layer (paper §4.1, Table 3).
+
+    An {e engine} is a named way of turning a checked scheduler program
+    into an executable decision function [Env.t -> unit]. The registry
+    makes the backends interchangeable and discoverable by name: the
+    interpreter and the AOT closure compiler register themselves here,
+    and [Progmp_compiler] adds the eBPF-style VM at link time. All
+    backend selection — CLIs, benchmarks, differential tests, the
+    simulator — goes through this one registry.
+
+    Instantiation is cached: when the caller provides the source digest
+    of the program, compiling the same specification for the same
+    engine a second time (e.g. N connections loading one zoo scheduler)
+    reuses the first compilation. *)
+
+type caps = {
+  compiled : bool;
+      (** runs translated code rather than walking the typed IR *)
+  verified : bool;
+      (** passes through a load-time verifier before running *)
+  description : string;
+}
+
+type factory = Progmp_lang.Tast.program -> Env.t -> unit
+(** Translate once; the returned decision function runs many times. *)
+
+type t = { engine_name : string; caps : caps; factory : factory }
+
+exception Unknown of string
+(** Raised by {!get}/{!instantiate} with a message naming the unknown
+    engine and listing the registered ones. *)
+
+val register : ?caps:caps -> string -> factory -> unit
+(** [register name factory] (re-)registers an engine. Replaces any
+    previous registration of the same name (idempotent). *)
+
+val find : string -> t option
+
+val get : string -> t
+(** @raise Unknown when no engine of that name is registered. *)
+
+val names : unit -> string list
+(** Registered engine names, sorted (deterministic listings). *)
+
+val all : unit -> t list
+(** Registered engines, sorted by name. *)
+
+val instantiate : ?digest:string -> string -> factory
+(** [instantiate ?digest name program] builds the decision function
+    with engine [name]. With [digest] (the source digest of [program])
+    the result is memoized per (engine, digest): repeated loads of the
+    same source share one compilation.
+    @raise Unknown when no engine of that name is registered. *)
+
+val cache_stats : unit -> int * int
+(** (hits, misses) of the instantiation cache, for tests and metrics. *)

@@ -4,7 +4,18 @@
     subflow snapshots, the register file, and the action buffer filled by
     [PUSH]/[DROP]. Both execution backends (the {!Interpreter} and the
     compiled {!Progmp_compiler.Vm}) operate on this same structure, which is
-    what makes their differential testing meaningful. *)
+    what makes their differential testing meaningful.
+
+    The structure sits on the per-packet decision path, so per-execution
+    state lives in reusable growable buffers rather than freshly
+    allocated lists: {!begin_execution} only resets counters, and
+    {!finish_execution} does one O(actions + popped) pass. *)
+
+(* Subflow ids are stable, 0-based and < 62 (see Subflow_view); ids in
+   this range resolve through a constant-time index refreshed per
+   execution. Larger ids (never produced by the simulator) fall back to
+   a linear scan. *)
+let max_indexed_sbf = 64
 
 type t = {
   q : Pqueue.t;  (** sending queue: data from the application *)
@@ -12,10 +23,23 @@ type t = {
   rq : Pqueue.t;  (** reinjection queue: suspected-lost packets *)
   mutable subflows : Subflow_view.t array;  (** snapshot for this execution *)
   registers : int array;  (** R1..R6, persistent across executions *)
-  mutable actions : Action.t list;  (** reversed action buffer *)
-  mutable popped : (Pqueue.t * Packet.t) list;
-      (** packets popped during the current execution, with their source
-          queue (most recent first) *)
+  (* action buffer, in program order; [num_actions] live entries *)
+  mutable actions : Action.t array;
+  mutable num_actions : int;
+  (* packets popped during the current execution with their source
+     queue, in pop order; [num_popped] live entries *)
+  mutable popped_src : Pqueue.t array;
+  mutable popped_pkt : Packet.t array;
+  mutable num_popped : int;
+  handled : (int, unit) Hashtbl.t;
+      (** scratch: packet ids handled by an action, reused per execution *)
+  (* subflow-id index: [sbf_slot.(id)] is the snapshot position of the
+     subflow with that id when [sbf_gen.(id)] matches [generation];
+     stale entries are invalidated by bumping [generation] instead of
+     clearing the arrays. *)
+  sbf_slot : int array;
+  sbf_gen : int array;
+  mutable generation : int;
 }
 
 let create () =
@@ -25,8 +49,15 @@ let create () =
     rq = Pqueue.create ~name:"RQ" ();
     subflows = [||];
     registers = Array.make Progmp_lang.Props.num_registers 0;
-    actions = [];
-    popped = [];
+    actions = [||];
+    num_actions = 0;
+    popped_src = [||];
+    popped_pkt = [||];
+    num_popped = 0;
+    handled = Hashtbl.create 64;
+    sbf_slot = Array.make max_indexed_sbf 0;
+    sbf_gen = Array.make max_indexed_sbf (-1);
+    generation = 0;
   }
 
 let queue t : Progmp_lang.Ast.queue_id -> Pqueue.t = function
@@ -35,13 +66,19 @@ let queue t : Progmp_lang.Ast.queue_id -> Pqueue.t = function
   | Reinject_queue -> t.rq
 
 let subflow_by_id t id =
-  let n = Array.length t.subflows in
-  let rec find i =
-    if i >= n then None
-    else if t.subflows.(i).Subflow_view.id = id then Some t.subflows.(i)
-    else find (i + 1)
-  in
-  find 0
+  if id >= 0 && id < max_indexed_sbf then
+    if t.sbf_gen.(id) = t.generation then Some t.subflows.(t.sbf_slot.(id))
+    else None
+  else begin
+    (* out-of-range ids: linear fallback *)
+    let n = Array.length t.subflows in
+    let rec find i =
+      if i >= n then None
+      else if t.subflows.(i).Subflow_view.id = id then Some t.subflows.(i)
+      else find (i + 1)
+    in
+    find 0
+  end
 
 let get_register t i =
   if i < 0 || i >= Array.length t.registers then 0 else t.registers.(i)
@@ -49,38 +86,79 @@ let get_register t i =
 let set_register t i v =
   if i >= 0 && i < Array.length t.registers then t.registers.(i) <- v
 
+(* Append to a growable buffer; the pushed element doubles as the fill
+   value so no dummy element is ever needed. *)
+let grow arr len fill =
+  let cap = Array.length arr in
+  if len < cap then arr
+  else begin
+    let bigger = Array.make (max 8 (2 * cap)) fill in
+    Array.blit arr 0 bigger 0 cap;
+    bigger
+  end
+
 (** Record a [POP]: the packet has been removed from [src]; unless a
     subsequent PUSH or DROP handles it, {!finish_execution} returns it to
     the front of its source queue so that no packet is ever lost
     (paper §3.3). *)
-let record_pop t src pkt = t.popped <- (src, pkt) :: t.popped
+let record_pop t src pkt =
+  t.popped_src <- grow t.popped_src t.num_popped src;
+  t.popped_pkt <- grow t.popped_pkt t.num_popped pkt;
+  t.popped_src.(t.num_popped) <- src;
+  t.popped_pkt.(t.num_popped) <- pkt;
+  t.num_popped <- t.num_popped + 1
 
-let emit_push t ~sbf_id pkt = t.actions <- Action.Push { sbf_id; pkt } :: t.actions
+let emit_action t a =
+  t.actions <- grow t.actions t.num_actions a;
+  t.actions.(t.num_actions) <- a;
+  t.num_actions <- t.num_actions + 1
 
-let emit_drop t pkt = t.actions <- Action.Drop pkt :: t.actions
+let emit_push t ~sbf_id pkt = emit_action t (Action.Push { sbf_id; pkt })
+
+let emit_drop t pkt = emit_action t (Action.Drop pkt)
+
+let action_count t = t.num_actions
 
 let begin_execution t ~subflows =
   t.subflows <- subflows;
-  t.actions <- [];
-  t.popped <- []
+  t.num_actions <- 0;
+  t.num_popped <- 0;
+  t.generation <- t.generation + 1;
+  (* refresh the id index; reverse order so that on (malformed)
+     duplicate ids the first occurrence wins, like a front-to-back
+     scan would *)
+  for i = Array.length subflows - 1 downto 0 do
+    let id = subflows.(i).Subflow_view.id in
+    if id >= 0 && id < max_indexed_sbf then begin
+      t.sbf_slot.(id) <- i;
+      t.sbf_gen.(id) <- t.generation
+    end
+  done
 
 (** Finish one scheduler execution: returns the actions in program order
     after re-inserting packets that were popped but neither pushed nor
     dropped (in their original order, at the front of Q). *)
 let finish_execution t =
-  let actions = List.rev t.actions in
-  let handled p =
-    List.exists
-      (function
-        | Action.Push { pkt; _ } -> pkt.Packet.id = p.Packet.id
-        | Action.Drop pkt -> pkt.Packet.id = p.Packet.id)
-      actions
-  in
-  (* [t.popped] is most-recent-first; iterating in that order and pushing
-     each orphan to the front restores the original queue order. *)
-  List.iter
-    (fun (src, p) -> if not (handled p) then Pqueue.push_front src p)
-    t.popped;
-  t.popped <- [];
-  t.actions <- [];
-  actions
+  let actions = ref [] in
+  for i = t.num_actions - 1 downto 0 do
+    actions := t.actions.(i) :: !actions
+  done;
+  if t.num_popped > 0 then begin
+    Hashtbl.clear t.handled;
+    for i = 0 to t.num_actions - 1 do
+      match t.actions.(i) with
+      | Action.Push { pkt; _ } | Action.Drop pkt ->
+          Hashtbl.replace t.handled pkt.Packet.id ()
+    done;
+    (* pops were recorded oldest-first; walking them newest-first and
+       pushing each orphan to the front restores the original queue
+       order *)
+    for i = t.num_popped - 1 downto 0 do
+      let p = t.popped_pkt.(i) in
+      if not (Hashtbl.mem t.handled p.Packet.id) then
+        Pqueue.push_front t.popped_src.(i) p
+    done
+  end;
+  t.num_popped <- 0;
+  t.num_actions <- 0;
+  !actions

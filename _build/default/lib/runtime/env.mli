@@ -1,7 +1,11 @@
 (** The scheduling environment a program executes against: the three
     queues of the model (Q, QU, RQ), the per-execution subflow
     snapshots, the persistent register file, and the action buffer.
-    Both execution backends operate on this same structure. *)
+    Both execution backends operate on this same structure.
+
+    Per-execution state (actions, popped packets, the subflow-id index)
+    lives in reusable buffers owned by the environment: the decision
+    hot path allocates nothing beyond the actions the caller asked for. *)
 
 type t = {
   q : Pqueue.t;  (** sending queue: data from the application *)
@@ -9,10 +13,21 @@ type t = {
   rq : Pqueue.t;  (** reinjection queue: suspected-lost packets *)
   mutable subflows : Subflow_view.t array;
   registers : int array;  (** R1..R6, persistent across executions *)
-  mutable actions : Action.t list;  (** reversed action buffer *)
-  mutable popped : (Pqueue.t * Packet.t) list;
-      (** packets popped during the current execution, with their source
-          queue (most recent first) *)
+  mutable actions : Action.t array;
+      (** reusable action buffer, program order; only the first
+          [num_actions] entries are live *)
+  mutable num_actions : int;
+  mutable popped_src : Pqueue.t array;
+      (** source queues of popped packets, pop order *)
+  mutable popped_pkt : Packet.t array;
+      (** packets popped during the current execution, pop order; only
+          the first [num_popped] entries are live *)
+  mutable num_popped : int;
+  handled : (int, unit) Hashtbl.t;
+      (** scratch set of handled packet ids, reused per execution *)
+  sbf_slot : int array;  (** subflow id -> snapshot position *)
+  sbf_gen : int array;  (** generation stamp validating [sbf_slot] *)
+  mutable generation : int;
 }
 
 val create : unit -> t
@@ -20,6 +35,8 @@ val create : unit -> t
 val queue : t -> Progmp_lang.Ast.queue_id -> Pqueue.t
 
 val subflow_by_id : t -> int -> Subflow_view.t option
+(** Constant-time lookup in the current snapshot (linear only for ids
+    beyond the indexed range, which the simulator never produces). *)
 
 val get_register : t -> int -> int
 (** Out-of-range registers read 0. *)
@@ -35,7 +52,11 @@ val emit_push : t -> sbf_id:int -> Packet.t -> unit
 
 val emit_drop : t -> Packet.t -> unit
 
+val action_count : t -> int
+(** Actions buffered so far in the current execution. *)
+
 val begin_execution : t -> subflows:Subflow_view.t array -> unit
 
 val finish_execution : t -> Action.t list
-(** Actions in program order, after restoring orphaned pops. *)
+(** Actions in program order, after restoring orphaned pops. Orphan
+    detection is O(actions + popped) via the reusable handled-id set. *)

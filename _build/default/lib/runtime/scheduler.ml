@@ -1,18 +1,18 @@
 (** Scheduler loading, registry and execution.
 
-    A {e scheduler} is a checked program plus an execution engine. Loaded
-    schedulers are kept in a global registry so applications can reuse
-    them by name without re-compilation (paper §3.2, "Choosing a
-    Scheduler"). Engines are interchangeable: the interpreter (default),
-    the AOT closure backend, or the eBPF-style VM installed by
-    [Progmp_compiler] through {!set_engine}. *)
-
-type engine = Interpret | Aot | Custom of string
+    A {e scheduler} is a checked program plus an execution engine
+    selected by name from the {!Engine} registry (paper §3.2, "Choosing
+    a Scheduler"; §4.1, interchangeable backends). Loaded schedulers are
+    kept in a global registry so applications can reuse them by name
+    without re-compilation; compilation itself is cached by source
+    digest, so N connections loading the same specification share one
+    typechecked program and one compiled engine instance. *)
 
 type t = {
   name : string;
   program : Progmp_lang.Tast.program;
-  mutable engine_name : engine;
+  digest : string;  (** digest of the source text, the compilation-cache key *)
+  mutable engine : string;  (** name of the selected engine *)
   mutable run : Env.t -> unit;
 }
 
@@ -27,36 +27,64 @@ let describe_error = function
       Some (Fmt.str "type error at %a: %s" Progmp_lang.Loc.pp loc m)
   | _ -> None
 
+(* Compilation cache: source digest -> typechecked + optimized program.
+   Loading the same specification twice (zoo reloads, one scheduler per
+   connection) reuses the first front-end run. *)
+let program_cache : (string, Progmp_lang.Tast.program) Hashtbl.t =
+  Hashtbl.create 32
+
+let program_cache_hits = ref 0
+
+let program_cache_misses = ref 0
+
+let compilation_cache_stats () = (!program_cache_hits, !program_cache_misses)
+
+let compile_cached ~name src =
+  let digest = Digest.to_hex (Digest.string src) in
+  match Hashtbl.find_opt program_cache digest with
+  | Some program ->
+      incr program_cache_hits;
+      (program, digest)
+  | None -> (
+      incr program_cache_misses;
+      try
+        let program =
+          Progmp_lang.Optimize.program (Progmp_lang.Typecheck.compile_source src)
+        in
+        Hashtbl.replace program_cache digest program;
+        (program, digest)
+      with e -> (
+        match describe_error e with
+        | Some msg -> raise (Load_error (Fmt.str "scheduler %s: %s" name msg))
+        | None -> raise e))
+
 (** Compile a specification into a scheduler with the interpreter engine.
     @raise Load_error with a located message when the spec is invalid. *)
 let of_source ~name src =
-  let program =
-    try Progmp_lang.Optimize.program (Progmp_lang.Typecheck.compile_source src)
-    with e -> (
-      match describe_error e with
-      | Some msg -> raise (Load_error (Fmt.str "scheduler %s: %s" name msg))
-      | None -> raise e)
-  in
+  let program, digest = compile_cached ~name src in
   {
     name;
     program;
-    engine_name = Interpret;
-    run = (fun env -> Interpreter.run program env);
+    digest;
+    engine = "interpreter";
+    run = Engine.instantiate ~digest "interpreter" program;
   }
 
-let use_aot t =
-  t.run <- Aot.compile t.program;
-  t.engine_name <- Aot
+(** Select an execution engine by registry name ("interpreter", "aot",
+    "vm", ...). Instantiation is cached per (engine, source digest).
+    @raise Engine.Unknown when no such engine is registered. *)
+let set_engine t name =
+  t.run <- Engine.instantiate ~digest:t.digest name t.program;
+  t.engine <- name
 
-let set_engine t ~name run =
+(** Install an ad-hoc decision function that is not a registry backend —
+    an instrumented interpreter ({!Profiler}), a hand-written native
+    oracle, or a generated OCaml module. [name] is only a label. *)
+let install_custom t ~name run =
   t.run <- run;
-  t.engine_name <- Custom name
+  t.engine <- name
 
-let engine_label t =
-  match t.engine_name with
-  | Interpret -> "interpreter"
-  | Aot -> "aot"
-  | Custom n -> n
+let engine_label t = t.engine
 
 (* Global registry of loaded schedulers, keyed by name. *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
@@ -68,7 +96,8 @@ let load ~name src =
 
 let find name = Hashtbl.find_opt registry name
 
-let loaded_names () = Hashtbl.fold (fun k _ acc -> k :: acc) registry []
+let loaded_names () =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
 
 (** Run one scheduler execution against [env] with the given subflow
     snapshot; returns the produced actions. *)
@@ -85,13 +114,13 @@ let execute t (env : Env.t) ~subflows =
     eventually stop the loop). Returns all actions in order. *)
 let execute_compressed ?(max_rounds = 64) t (env : Env.t) ~snapshot ~apply =
   let rec go rounds acc =
-    if rounds >= max_rounds then List.concat (List.rev acc)
+    if rounds >= max_rounds then List.rev acc
     else
       let actions = execute t env ~subflows:(snapshot ()) in
-      if actions = [] then List.concat (List.rev acc)
+      if actions = [] then List.rev acc
       else begin
         List.iter apply actions;
-        go (rounds + 1) (actions :: acc)
+        go (rounds + 1) (List.rev_append actions acc)
       end
   in
   go 0 []

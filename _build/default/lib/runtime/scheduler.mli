@@ -1,18 +1,17 @@
 (** Scheduler loading, registry and execution.
 
     A scheduler is a checked + optimized program plus an execution
-    engine. Loaded schedulers live in a global registry so applications
-    can reuse them by name without recompilation (paper §3.2). Engines
-    are interchangeable: the interpreter (default), the AOT closure
-    backend ({!use_aot}), or the eBPF-style VM installed by
-    [Progmp_compiler.Compile.install] via {!set_engine}. *)
-
-type engine = Interpret | Aot | Custom of string
+    engine selected by name from the {!Engine} registry. Loaded
+    schedulers live in a global registry so applications can reuse them
+    by name without recompilation (paper §3.2); the front end and the
+    per-engine instantiation are both cached by source digest, so many
+    connections loading one specification share one compilation. *)
 
 type t = {
   name : string;
   program : Progmp_lang.Tast.program;
-  mutable engine_name : engine;
+  digest : string;  (** digest of the source text, the compilation-cache key *)
+  mutable engine : string;  (** name of the selected engine *)
   mutable run : Env.t -> unit;
 }
 
@@ -21,17 +20,24 @@ exception Load_error of string
     fails to lex, parse or type-check. *)
 
 val of_source : name:string -> string -> t
-(** Compile a specification (without registering it).
+(** Compile a specification (without registering it); the interpreter
+    engine is selected initially.
     @raise Load_error when the spec is invalid. *)
 
-val use_aot : t -> unit
-(** Switch to the closure-compiling AOT engine. *)
+val set_engine : t -> string -> unit
+(** Select an execution engine by registry name ("interpreter", "aot",
+    "vm", ...); instantiation is cached per (engine, source digest).
+    @raise Engine.Unknown when no such engine is registered. *)
 
-val set_engine : t -> name:string -> (Env.t -> unit) -> unit
-(** Install a custom engine (e.g. the compiled VM, a profiler, or a
-    native baseline). *)
+val install_custom : t -> name:string -> (Env.t -> unit) -> unit
+(** Install an ad-hoc decision function that is not a registry backend
+    (the profiler's instrumented interpreter, a native oracle, a
+    generated OCaml module); [name] is only a label. *)
 
 val engine_label : t -> string
+
+val compilation_cache_stats : unit -> int * int
+(** (hits, misses) of the source-digest front-end cache. *)
 
 val load : name:string -> string -> t
 (** Compile and register under [name], replacing any previous entry.
@@ -40,6 +46,7 @@ val load : name:string -> string -> t
 val find : string -> t option
 
 val loaded_names : unit -> string list
+(** Names of loaded schedulers, sorted. *)
 
 val execute : t -> Env.t -> subflows:Subflow_view.t array -> Action.t list
 (** One scheduler execution against a subflow snapshot; returns the

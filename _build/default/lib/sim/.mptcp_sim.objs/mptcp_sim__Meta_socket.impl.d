@@ -1,1 +1,1 @@
-lib/sim/meta_socket.ml: Action Api Array Env Eventq Float Hashtbl List Packet Pqueue Progmp_runtime Scheduler Sim_log Tcp_subflow
+lib/sim/meta_socket.ml: Action Api Array Env Eventq Float Hashtbl List Packet Pqueue Progmp_runtime Scheduler Sim_log Subflow_view Tcp_subflow

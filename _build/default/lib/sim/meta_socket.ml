@@ -51,6 +51,9 @@ type t = {
   mutable drops : int;  (** DROP actions applied *)
   mutable data_dropped : int;  (** dropped without ever being sent *)
   mutable sched_executions : int;
+  mutable view_arena : Subflow_view.t array;
+      (** reusable snapshot array for {!snapshot}; refilled per trigger,
+          reallocated only when the established-subflow count changes *)
 }
 
 let env t = t.sock.Api.env
@@ -81,6 +84,7 @@ let create ?(name = "conn") ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
     drops = 0;
     data_dropped = 0;
     sched_executions = 0;
+    view_arena = [||];
   }
 
 (* ---------- receiver ---------- *)
@@ -138,8 +142,27 @@ let on_meta_receive t pkt =
 let established_subflows t =
   List.filter (fun s -> s.Tcp_subflow.established) t.subflows
 
+(* Per-trigger subflow snapshot. The array is an arena owned by the
+   meta socket: in steady state (stable established count) each trigger
+   only refills it, so the per-packet decision path allocates no
+   intermediate list and no fresh array. *)
 let snapshot t =
-  Array.of_list (List.map Tcp_subflow.view (established_subflows t))
+  let count =
+    List.fold_left
+      (fun n s -> if s.Tcp_subflow.established then n + 1 else n)
+      0 t.subflows
+  in
+  if Array.length t.view_arena <> count then
+    t.view_arena <- Array.make count Subflow_view.default;
+  let i = ref 0 in
+  List.iter
+    (fun s ->
+      if s.Tcp_subflow.established then begin
+        t.view_arena.(!i) <- Tcp_subflow.view s;
+        incr i
+      end)
+    t.subflows;
+  t.view_arena
 
 let find_subflow t sbf_id =
   List.find_opt (fun s -> s.Tcp_subflow.id = sbf_id) t.subflows

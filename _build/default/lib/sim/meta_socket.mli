@@ -34,6 +34,8 @@ type t = {
   mutable drops : int;  (** DROP actions applied *)
   mutable data_dropped : int;  (** dropped without ever being sent *)
   mutable sched_executions : int;
+  mutable view_arena : Subflow_view.t array;
+      (** reusable snapshot array for {!snapshot} *)
 }
 
 
@@ -56,7 +58,10 @@ val rwnd_bytes : t -> int
 val established_subflows : t -> Tcp_subflow.t list
 
 val snapshot : t -> Subflow_view.t array
-(** Immutable views of the established subflows for one execution. *)
+(** Immutable views of the established subflows for one execution. The
+    returned array is an arena owned by the meta socket and is refilled
+    on the next trigger — callers must not retain it across
+    executions. *)
 
 val find_subflow : t -> int -> Tcp_subflow.t option
 

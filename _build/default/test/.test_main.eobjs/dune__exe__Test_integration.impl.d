@@ -1,1 +1,1 @@
-test/test_integration.ml: Alcotest Api Apps Connection Fmt Hashtbl Helpers Interpreter Link List Meta_socket Mptcp_sim Path_manager Progmp_compiler Progmp_runtime Scheduler Schedulers Stats Tcp_subflow
+test/test_integration.ml: Alcotest Api Apps Connection Fmt Hashtbl Helpers Link List Meta_socket Mptcp_sim Path_manager Progmp_compiler Progmp_runtime Scheduler Schedulers Stats Tcp_subflow

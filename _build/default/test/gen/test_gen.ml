@@ -92,7 +92,7 @@ let () =
               let sched =
                 Scheduler.of_source ~name:"gen" Schedulers.Specs.minrtt_minimal
               in
-              Scheduler.set_engine sched ~name:"generated-ocaml"
+              Scheduler.install_custom sched ~name:"generated-ocaml"
                 Gen_minrtt.engine;
               let env, views = build (List.hd specs) in
               let actions = Scheduler.execute sched env ~subflows:views in

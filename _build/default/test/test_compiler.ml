@@ -166,11 +166,12 @@ let suite =
             Progmp_runtime.Env.begin_execution env ~subflows:views;
             engine env;
             Alcotest.(check bool) "fell back" true !interp_called);
-        tc "install swaps the engine" (fun () ->
+        tc "registry selection swaps in the vm engine" (fun () ->
+            Compile.register_engines ();
             let sched = load_anon Schedulers.Specs.minrtt_minimal in
-            ignore (Compile.install sched);
+            Progmp_runtime.Scheduler.set_engine sched "vm";
             Alcotest.(check string)
-              "engine label" "ebpf-vm"
+              "engine label" "vm"
               (Progmp_runtime.Scheduler.engine_label sched));
         tc "compile stats are sane" (fun () ->
             let program =

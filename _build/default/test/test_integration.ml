@@ -122,13 +122,10 @@ let suite =
                 conn.Connection.meta.Meta_socket.pushes,
                 List.map snd (Connection.bytes_sent_per_subflow conn) )
             in
-            let interp =
-              run (fun s ->
-                  Scheduler.set_engine s ~name:"interpreter" (fun env ->
-                      Interpreter.run s.Scheduler.program env))
-            in
-            let vm = run (fun s -> ignore (Progmp_compiler.Compile.install s)) in
-            let aot = run Scheduler.use_aot in
+            Progmp_compiler.Compile.register_engines ();
+            let interp = run (fun s -> Scheduler.set_engine s "interpreter") in
+            let vm = run (fun s -> Scheduler.set_engine s "vm") in
+            let aot = run (fun s -> Scheduler.set_engine s "aot") in
             Alcotest.(check bool) "vm identical" true (interp = vm);
             Alcotest.(check bool) "aot identical" true (interp = aot));
         tc "per-packet intents steer individual packets" (fun () ->

@@ -95,11 +95,12 @@ let run t (env : Env.t) =
   (try List.iter (exec_istmt t frame) t.body with Interpreter.Returned -> ());
   t.total_time <- t.total_time +. (Unix.gettimeofday () -. t0);
   t.executions <- t.executions + 1;
-  t.actions <- t.actions + List.length env.Env.actions
+  t.actions <- t.actions + Env.action_count env
 
 (** Install an instrumented (interpreting) engine on [sched] and return
-    the profile handle. Profiling replaces the current engine; re-install
-    a backend (e.g. {!Scheduler.use_aot}) to stop profiling. *)
+    the profile handle. Profiling replaces the current engine; re-select
+    a backend (e.g. [Scheduler.set_engine sched "interpreter"]) to stop
+    profiling. *)
 let attach (sched : Scheduler.t) : t =
   let body, count = instrument sched.Scheduler.program in
   let t =
@@ -112,7 +113,7 @@ let attach (sched : Scheduler.t) : t =
       total_time = 0.0;
     }
   in
-  Scheduler.set_engine sched ~name:"profiled-interpreter" (run t);
+  Scheduler.install_custom sched ~name:"profiled-interpreter" (run t);
   t
 
 (** Render the annotated control-flow trace (the "proc file" content). *)

@@ -5,7 +5,7 @@
 
     {[ val engine : Progmp_runtime.Env.t -> unit ]}
 
-    compatible with {!Scheduler.set_engine}. The repository compiles
+    compatible with {!Scheduler.install_custom}. The repository compiles
     generated modules through a dune rule and differentially tests them
     against the interpreter (see [test/gen/]); the [progmp gen-ocaml]
     CLI command exposes the generator to users.
@@ -261,7 +261,7 @@ let emit ?(name = "generated scheduler") (p : Tast.program) : string =
   buf_add ctx.buf
     (Fmt.str
        "(* OCaml engine generated by progmp gen-ocaml from %s.\n\
-       \   Install with: Scheduler.set_engine sched ~name:\"generated\" \
+       \   Install with: Scheduler.install_custom sched ~name:\"generated\" \
         engine.\n\
        \   Do not edit: regenerate instead. *)\n\n\
         open Progmp_runtime\n\n\

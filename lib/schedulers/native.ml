@@ -1,9 +1,9 @@
 (** Hand-written OCaml schedulers — the counterpart of the paper's
     in-kernel C implementations, used as the baseline in the overhead
     evaluation (Fig. 9) and as semantic oracles in the differential test
-    suite. Each function is an execution engine compatible with
-    {!Progmp_runtime.Scheduler.set_engine} and implements exactly the same
-    policy as the corresponding spec in {!Specs}. *)
+    suite. Each function is a decision function compatible with
+    {!Progmp_runtime.Scheduler.install_custom} and implements exactly the
+    same policy as the corresponding spec in {!Specs}. *)
 
 open Progmp_runtime
 
@@ -119,4 +119,4 @@ let redundant_if_no_q (env : Env.t) =
 
 (** Install a native engine on a loaded scheduler. *)
 let install (sched : Scheduler.t) engine =
-  Scheduler.set_engine sched ~name:"native" engine
+  Scheduler.install_custom sched ~name:"native" engine

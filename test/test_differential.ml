@@ -41,16 +41,22 @@ let observe engine (program : Progmp_lang.Tast.program) spec =
   }
   [@@warning "-27"]
 
+(* All engines come from the registry: the differential suite then
+   exercises exactly the factories production code selects by name. *)
+let () = Progmp_compiler.Compile.register_engines ()
+
 let backends (program : Progmp_lang.Tast.program) =
-  let vm_prog = Progmp_compiler.Compile.compile program in
-  [
-    ("interpreter", fun env -> Interpreter.run program env);
-    ("aot", Aot.compile program);
-    ("vm", fun env -> Progmp_compiler.Vm.run vm_prog env);
-  ]
+  List.map
+    (fun name -> (name, Engine.instantiate name program))
+    (Engine.names ())
+
+let interpreter_first engines =
+  let is_interp (name, _) = String.equal name "interpreter" in
+  List.filter is_interp engines
+  @ List.filter (fun e -> not (is_interp e)) engines
 
 let agree program spec =
-  match backends program with
+  match interpreter_first (backends program) with
   | (_, ref_engine) :: rest ->
       let reference = observe ref_engine program spec in
       List.iter
@@ -193,7 +199,7 @@ let random_diff =
       let specs = default_env_spec :: env_specs in
       List.for_all
         (fun spec ->
-          let engines = backends program in
+          let engines = interpreter_first (backends program) in
           match List.map (fun (_, e) -> observe e program spec) engines with
           | reference :: others -> List.for_all (( = ) reference) others
           | [] -> true)
@@ -242,10 +248,7 @@ let sim_fault_script =
 let sim_run sched_src ~name ~engine =
   let open Mptcp_sim in
   let sched = Scheduler.of_source ~name:(Fmt.str "simdiff-%s" name) sched_src in
-  (match engine with
-  | `Interp -> ()
-  | `Aot -> Scheduler.use_aot sched
-  | `Vm -> ignore (Progmp_compiler.Compile.install sched));
+  Scheduler.set_engine sched engine;
   let paths = Apps.Scenario.mininet_two_subflows ~rtt_ratio:2.0 () in
   let conn = Connection.create ~seed:11 ~paths () in
   (Connection.sock conn).Api.scheduler <- sched;
@@ -286,20 +289,21 @@ let sim_fault_cases =
     (fun sched_name ->
       let src = List.assoc sched_name Schedulers.Specs.all in
       tc
-        (Fmt.str "%s under faults: interp = aot = vm" sched_name)
+        (Fmt.str "%s under faults: all engines agree" sched_name)
         (fun () ->
-          let reference = sim_run src ~name:sched_name ~engine:`Interp in
+          let reference = sim_run src ~name:sched_name ~engine:"interpreter" in
           Alcotest.(check bool)
             (Fmt.str "reference run delivered everything: %a"
                pp_sim_fingerprint reference)
             true reference.f_complete;
           List.iter
-            (fun (label, engine) ->
-              let o = sim_run src ~name:sched_name ~engine in
-              Alcotest.check sim_fp_testable
-                (label ^ " matches the interpreter") reference o)
-            [ ("aot", `Aot); ("vm", `Vm) ]))
-    [ "default"; "redundant"; "target_rtt" ]
+            (fun engine ->
+              if not (String.equal engine "interpreter") then
+                let o = sim_run src ~name:sched_name ~engine in
+                Alcotest.check sim_fp_testable
+                  (engine ^ " matches the interpreter") reference o)
+            (Engine.names ())))
+    [ "default"; "round_robin"; "redundant"; "redundant_if_no_q"; "target_rtt" ]
 
 let suite =
   [

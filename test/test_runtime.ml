@@ -154,10 +154,87 @@ let suite =
             Api.set_register s2 0 2;
             Alcotest.(check int) "s1" 1 (Api.get_register s1 0);
             Alcotest.(check int) "s2" 2 (Api.get_register s2 0));
-        tc "aot engine can be installed" (fun () ->
+        tc "aot engine can be selected from the registry" (fun () ->
             let sched = load_anon Schedulers.Specs.minrtt_minimal in
-            Scheduler.use_aot sched;
+            Scheduler.set_engine sched "aot";
             Alcotest.(check string) "label" "aot" (Scheduler.engine_label sched));
+        tc "selecting an unknown engine raises" (fun () ->
+            let sched = load_anon Schedulers.Specs.minrtt_minimal in
+            match Scheduler.set_engine sched "no-such-engine" with
+            | () -> Alcotest.fail "expected Engine.Unknown"
+            | exception Engine.Unknown msg ->
+                Alcotest.(check bool) "names the engine" true
+                  (Astring_like.contains msg "no-such-engine");
+                Alcotest.(check bool) "lists alternatives" true
+                  (Astring_like.contains msg "interpreter"));
+        tc "engine names are sorted and include the core engines" (fun () ->
+            let names = Engine.names () in
+            Alcotest.(check (list string))
+              "sorted" (List.sort compare names) names;
+            List.iter
+              (fun n ->
+                Alcotest.(check bool) (n ^ " registered") true
+                  (List.mem n names))
+              [ "interpreter"; "aot" ]);
+        tc "loaded_names is sorted" (fun () ->
+            ignore (Scheduler.load ~name:"zz-last" Schedulers.Specs.minrtt_minimal);
+            ignore (Scheduler.load ~name:"aa-first" Schedulers.Specs.minrtt_minimal);
+            let names = Scheduler.loaded_names () in
+            Alcotest.(check (list string))
+              "sorted" (List.sort compare names) names);
+        tc "duplicate load hits the compilation cache" (fun () ->
+            let hits0, _ = Scheduler.compilation_cache_stats () in
+            let a = Scheduler.load ~name:"cache-a" Schedulers.Specs.round_robin in
+            let b = Scheduler.load ~name:"cache-b" Schedulers.Specs.round_robin in
+            let hits1, _ = Scheduler.compilation_cache_stats () in
+            Alcotest.(check bool) "cache hit recorded" true (hits1 > hits0);
+            Alcotest.(check bool) "typed program shared" true
+              (a.Scheduler.program == b.Scheduler.program);
+            Alcotest.(check string) "same digest" a.Scheduler.digest
+              b.Scheduler.digest);
+        tc "finish_execution restores unhandled pops, newest in front" (fun () ->
+            (* many pops, none handled: all must return to the front of Q
+               in their original order (regression guard for the former
+               O(actions x pops) scan) *)
+            let env = Env.create () in
+            let n = 500 in
+            for i = 0 to n - 1 do
+              Pqueue.push_back env.Env.q
+                (Packet.create ~seq:i ~size:1 ~now:0.0 ())
+            done;
+            Env.begin_execution env ~subflows:[| Subflow_view.default |];
+            for _ = 1 to n do
+              match Pqueue.pop_front env.Env.q with
+              | Some pkt -> Env.record_pop env env.Env.q pkt
+              | None -> Alcotest.fail "queue exhausted early"
+            done;
+            let actions = Env.finish_execution env in
+            Alcotest.(check int) "no actions" 0 (List.length actions);
+            Alcotest.(check (list int))
+              "all packets restored in order"
+              (List.init n Fun.id)
+              (seqs_of env.Env.q));
+        tc "finish_execution keeps handled pops out of the queue" (fun () ->
+            let env = Env.create () in
+            for i = 0 to 3 do
+              Pqueue.push_back env.Env.q
+                (Packet.create ~seq:i ~size:1 ~now:0.0 ())
+            done;
+            Env.begin_execution env ~subflows:[| Subflow_view.default |];
+            (* pop two; push the first, leave the second orphaned *)
+            (match Pqueue.pop_front env.Env.q with
+            | Some pkt ->
+                Env.record_pop env env.Env.q pkt;
+                Env.emit_push env ~sbf_id:0 pkt
+            | None -> Alcotest.fail "empty");
+            (match Pqueue.pop_front env.Env.q with
+            | Some pkt -> Env.record_pop env env.Env.q pkt
+            | None -> Alcotest.fail "empty");
+            let actions = Env.finish_execution env in
+            Alcotest.(check int) "one push" 1 (List.length actions);
+            Alcotest.(check (list int))
+              "orphan restored, pushed one gone" [ 1; 2; 3 ]
+              (seqs_of env.Env.q));
         QCheck_alcotest.to_alcotest no_loss;
       ] );
   ]
