@@ -356,6 +356,82 @@ let engines_bench () =
     Schedulers.Specs.all
 
 (* ------------------------------------------------------------------ *)
+(* obs — overhead of the flight-recorder observability layer           *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole claim the observability layer must keep: with tracing
+   disabled the decision hot path is untouched (one ref deref + match),
+   and even a full JSONL decision trace costs only the serialization.
+   Measured as ns/decision on the default scheduler: baseline, with a
+   null tracer installed, and with a JSONL trace written to /dev/null.
+   Results also land in BENCH_obs.json (machine-readable). *)
+let obs_bench () =
+  section "obs"
+    "decision-path cost of the flight recorder (disabled / null / jsonl)"
+    "disabled tracing must be within noise of the baseline; a serializing \
+     trace costs roughly one order of magnitude more than the decision";
+  let iters = if !smoke then 200 else 200_000 in
+  let sched = Scheduler.of_source ~name:"obs-bench" Schedulers.Specs.default in
+  let measure label =
+    let env, views = overhead_env ~subflows:2 ~packets:64 in
+    ignore (Scheduler.execute sched env ~subflows:views);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Scheduler.execute sched env ~subflows:views)
+    done;
+    let ns = (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9 in
+    Fmt.pr "  %-28s %8.1f ns/decision@." label ns;
+    (label, ns)
+  in
+  Scheduler.clear_tracer ();
+  let baseline = measure "tracing disabled" in
+  let traced = ref 0 in
+  Scheduler.set_tracer (fun _ -> incr traced);
+  let null = measure "null tracer" in
+  let devnull = open_out "/dev/null" in
+  let sink = Mptcp_obs.Trace.jsonl devnull in
+  Scheduler.set_tracer (fun xr ->
+      Mptcp_obs.Trace.emit sink ~time:0.0
+        (Mptcp_obs.Trace.Sched_invoke
+           {
+             scheduler = xr.Scheduler.xr_scheduler;
+             engine = xr.Scheduler.xr_engine;
+             actions = List.length xr.Scheduler.xr_actions;
+             regs_read = xr.Scheduler.xr_regs_read;
+             regs_written = xr.Scheduler.xr_regs_written;
+             q = Pqueue.length xr.Scheduler.xr_env.Env.q;
+             qu = Pqueue.length xr.Scheduler.xr_env.Env.qu;
+             rq = Pqueue.length xr.Scheduler.xr_env.Env.rq;
+           }));
+  let jsonl = measure "jsonl trace to /dev/null" in
+  Scheduler.clear_tracer ();
+  close_out devnull;
+  let pct (_, ns) = 100.0 *. ns /. snd baseline in
+  Fmt.pr "  null tracer %.1f%% of baseline, jsonl %.1f%% of baseline (%d \
+          executions traced)@."
+    (pct null) (pct jsonl) !traced;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"obs\",\n\
+    \  \"scheduler\": \"default\",\n\
+    \  \"iterations\": %d,\n\
+    \  \"ns_per_decision\": {\n\
+    \    \"tracing_disabled\": %.1f,\n\
+    \    \"null_tracer\": %.1f,\n\
+    \    \"jsonl_to_devnull\": %.1f\n\
+    \  },\n\
+    \  \"overhead_pct_vs_disabled\": {\n\
+    \    \"null_tracer\": %.1f,\n\
+    \    \"jsonl_to_devnull\": %.1f\n\
+    \  }\n\
+     }\n"
+    iters (snd baseline) (snd null) (snd jsonl)
+    (pct null -. 100.0) (pct jsonl -. 100.0);
+  close_out oc;
+  Fmt.pr "  machine-readable results written to BENCH_obs.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Fig. 10b — FCT vs flow size for the redundancy family               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1042,6 +1118,7 @@ let experiments =
     ("fig1", fig1);
     ("fig9", fig9);
     ("engines", engines_bench);
+    ("obs", obs_bench);
     ("fig10b", fig10b);
     ("fig10c", fig10c);
     ("fig12", fig12);

@@ -124,7 +124,29 @@ let run_cmd =
             "Run with the profiling interpreter and print the annotated \
              control-flow trace afterwards (overrides --engine).")
   in
-  let run spec engine packets executions registers profile =
+  let trace_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record each execution's decision (scheduler, engine, register \
+             access masks, emitted actions) as JSON Lines to $(docv) ('-' \
+             for stdout); the time column is the execution index. A .csv \
+             suffix selects the CSV encoding.")
+  in
+  let metrics_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write one CSV metrics row per synthetic subflow per execution \
+             to $(docv) ('-' for stdout), in the simulator's metrics \
+             format.")
+  in
+  let run spec engine packets executions registers profile trace_file
+      metrics_file =
     let src = read_spec spec in
     let sched = load src in
     select_engine sched engine;
@@ -143,13 +165,100 @@ let run_cmd =
         { Progmp_runtime.Subflow_view.default with Progmp_runtime.Subflow_view.id = 1; rtt_us = 10_000 };
       |]
     in
+    let out_for f = if f = "-" then (stdout, false) else (open_out f, true) in
+    let exec_index = ref 0 in
+    let trace =
+      match trace_file with
+      | None -> None
+      | Some f ->
+          let oc, close = out_for f in
+          let sink =
+            if Filename.check_suffix f ".csv" then Mptcp_obs.Trace.csv oc
+            else Mptcp_obs.Trace.jsonl oc
+          in
+          (* there is no simulated clock in a dry run: trace decisions
+             through the runtime hook, stamped with the execution index *)
+          Progmp_runtime.Scheduler.set_tracer (fun xr ->
+              let time = float_of_int !exec_index in
+              Mptcp_obs.Trace.emit sink ~time
+                (Mptcp_obs.Trace.Sched_invoke
+                   {
+                     scheduler = xr.Progmp_runtime.Scheduler.xr_scheduler;
+                     engine = xr.Progmp_runtime.Scheduler.xr_engine;
+                     actions =
+                       List.length xr.Progmp_runtime.Scheduler.xr_actions;
+                     regs_read = xr.Progmp_runtime.Scheduler.xr_regs_read;
+                     regs_written = xr.Progmp_runtime.Scheduler.xr_regs_written;
+                     q = Progmp_runtime.Pqueue.length env.Progmp_runtime.Env.q;
+                     qu = Progmp_runtime.Pqueue.length env.Progmp_runtime.Env.qu;
+                     rq = Progmp_runtime.Pqueue.length env.Progmp_runtime.Env.rq;
+                   });
+              List.iter
+                (fun a ->
+                  Mptcp_obs.Trace.emit sink ~time
+                    (Mptcp_obs.Trace.Sched_action
+                       {
+                         scheduler = xr.Progmp_runtime.Scheduler.xr_scheduler;
+                         action = Fmt.to_to_string Progmp_runtime.Action.pp a;
+                       }))
+                xr.Progmp_runtime.Scheduler.xr_actions);
+          Some (sink, oc, close)
+    in
+    let metrics =
+      match metrics_file with
+      | None -> None
+      | Some f ->
+          let oc, close = out_for f in
+          output_string oc (Mptcp_obs.Metrics.csv_header ^ "\n");
+          Some (oc, close)
+    in
+    let sample_views () =
+      match metrics with
+      | None -> ()
+      | Some (oc, _) ->
+          Array.iter
+            (fun (v : Progmp_runtime.Subflow_view.t) ->
+              Mptcp_obs.Metrics.write_row oc
+                {
+                  Mptcp_obs.Metrics.time = float_of_int !exec_index;
+                  sbf = v.Progmp_runtime.Subflow_view.id;
+                  path = Fmt.str "sbf%d" v.Progmp_runtime.Subflow_view.id;
+                  cwnd = float_of_int v.Progmp_runtime.Subflow_view.cwnd;
+                  ssthresh = float_of_int v.Progmp_runtime.Subflow_view.ssthresh;
+                  srtt_ms =
+                    float_of_int v.Progmp_runtime.Subflow_view.rtt_us /. 1e3;
+                  rto_ms =
+                    float_of_int v.Progmp_runtime.Subflow_view.rto_us /. 1e3;
+                  in_flight = v.Progmp_runtime.Subflow_view.skbs_in_flight;
+                  queued = v.Progmp_runtime.Subflow_view.queued;
+                  q = Progmp_runtime.Pqueue.length env.Progmp_runtime.Env.q;
+                  qu = Progmp_runtime.Pqueue.length env.Progmp_runtime.Env.qu;
+                  rq = Progmp_runtime.Pqueue.length env.Progmp_runtime.Env.rq;
+                  bytes_acked = 0;
+                  goodput_bps =
+                    float_of_int v.Progmp_runtime.Subflow_view.throughput_bps;
+                  delivered_bytes = 0;
+                })
+            views
+    in
     for i = 1 to executions do
+      exec_index := i;
       let actions = Progmp_runtime.Scheduler.execute sched env ~subflows:views in
+      sample_views ();
       Fmt.pr "execution %d (%s):@." i (Progmp_runtime.Scheduler.engine_label sched);
       if actions = [] then Fmt.pr "  (no actions)@."
       else
         List.iter (fun a -> Fmt.pr "  %a@." Progmp_runtime.Action.pp a) actions
     done;
+    (match trace with
+    | None -> ()
+    | Some (sink, oc, close) ->
+        Progmp_runtime.Scheduler.clear_tracer ();
+        Mptcp_obs.Trace.flush sink;
+        if close then close_out oc);
+    (match metrics with
+    | None -> ()
+    | Some (oc, close) -> if close then close_out oc else flush oc);
     Fmt.pr "Q after: %d packet(s); registers: %a@."
       (Progmp_runtime.Pqueue.length env.Progmp_runtime.Env.q)
       Fmt.(array ~sep:(any " ") int)
@@ -165,7 +274,7 @@ let run_cmd =
           (40 ms and 10 ms RTT)")
     Term.(
       const run $ spec_arg $ engine_arg $ packets $ executions $ registers
-      $ profile_flag)
+      $ profile_flag $ trace_opt $ metrics_opt)
 
 (* ---- gen-ocaml ---- *)
 

@@ -58,6 +58,33 @@ let invariants_arg =
           "Attach the cross-layer invariant checker to every connection and \
            fail (exit 3) on any violation.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured event trace (packet lifecycle, estimator \
+           updates, scheduler decisions, faults) as JSON Lines to $(docv) \
+           ('-' for stdout); a .csv suffix selects the CSV encoding.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Sample per-subflow time-series metrics (cwnd, srtt, in-flight, \
+           queue depths, goodput) and write them as CSV to $(docv) ('-' for \
+           stdout).")
+
+let metrics_interval_arg =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "metrics-interval" ] ~docv:"SECONDS"
+        ~doc:"Sampling interval for $(b,--metrics).")
+
 let load_faults = function
   | None -> []
   | Some file -> (
@@ -105,15 +132,61 @@ let summary conn =
   | None -> Fmt.pr "flow completion    : (incomplete)@."
 
 let run_scenario scenario scheduler seed loss duration engine faults_file
-    check_inv verbose =
+    check_inv trace_file metrics_file metrics_interval verbose =
   setup_logging verbose;
   let sched_name = scheduler in
   ignore (setup_scheduler sched_name engine);
   let faults = load_faults faults_file in
   let checkers = ref [] in
+  let trace =
+    match trace_file with
+    | None -> None
+    | Some file ->
+        let oc = if file = "-" then stdout else open_out file in
+        let sink =
+          if Filename.check_suffix file ".csv" then Mptcp_obs.Trace.csv oc
+          else Mptcp_obs.Trace.jsonl oc
+        in
+        Some (sink, oc, file <> "-")
+  in
+  let metrics =
+    match metrics_file with
+    | None -> None
+    | Some file ->
+        Some ((if file = "-" then stdout else open_out file), file <> "-")
+  in
+  let recorders = ref [] in
+  let collectors = ref [] in
   let instrument conn =
     Faults.apply conn faults;
-    if check_inv then checkers := Invariants.attach conn :: !checkers
+    if check_inv then checkers := Invariants.attach conn :: !checkers;
+    (match trace with
+    | Some (sink, _, _) ->
+        recorders := Mptcp_obs.Recorder.attach sink conn :: !recorders
+    | None -> ());
+    match metrics with
+    | Some _ ->
+        collectors :=
+          Mptcp_obs.Metrics.attach ~interval:metrics_interval ~until:duration
+            conn
+          :: !collectors
+    | None -> ()
+  in
+  let finish_observability () =
+    (match trace with
+    | None -> ()
+    | Some (sink, oc, close) ->
+        List.iter Mptcp_obs.Recorder.detach !recorders;
+        Mptcp_obs.Trace.flush sink;
+        if close then close_out oc);
+    match metrics with
+    | None -> ()
+    | Some (oc, close) ->
+        output_string oc (Mptcp_obs.Metrics.csv_header ^ "\n");
+        List.iter
+          (fun c -> Mptcp_obs.Metrics.iter c (Mptcp_obs.Metrics.write_row oc))
+          (List.rev !collectors);
+        if close then close_out oc else flush oc
   in
   (match scenario with
   | `Bulk ->
@@ -191,6 +264,7 @@ let run_scenario scenario scheduler seed loss duration engine faults_file
         o.Apps.Dash.deadline_misses
         (o.Apps.Dash.worst_lateness *. 1e3);
       Fmt.pr "backup bytes       : %d@." o.Apps.Dash.backup_bytes);
+  finish_observability ();
   if check_inv then
     match List.find_opt (fun c -> not (Invariants.ok c)) !checkers with
     | None -> Fmt.pr "invariants         : ok@."
@@ -221,7 +295,8 @@ let main =
        ~doc:"Run MPTCP scheduling scenarios in the simulator")
     Term.(
       const run_scenario $ scenario_arg $ scheduler_arg $ seed_arg $ loss_arg
-      $ duration_arg $ engine_arg $ faults_arg $ invariants_arg $ verbose_arg)
+      $ duration_arg $ engine_arg $ faults_arg $ invariants_arg $ trace_arg
+      $ metrics_arg $ metrics_interval_arg $ verbose_arg)
 
 let () =
   (* Force-link the compiler so its "vm" engine registration runs even

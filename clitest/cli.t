@@ -61,6 +61,13 @@ Type errors are located and explained; the exit code is non-zero:
   scheduler cli: type error at line 1, column 12: variable x is already defined in this scope: variables are single-assignment and shadowing is not allowed
   [1]
 
+An integer literal beyond the native range is a located lexical error,
+not a crash:
+
+  $ echo 'IF (Q.TOP.SIZE > 99999999999999999999) { RETURN; }' | ../bin/progmp_cli.exe check -
+  scheduler cli: lexical error at line 1, column 18: integer literal 99999999999999999999 is out of range
+  [1]
+
 Compilation reports code size and passes the verifier:
 
   $ ../bin/progmp_cli.exe compile minrtt_minimal

@@ -1,0 +1,64 @@
+The flight recorder from the command line: --trace records structured
+events as JSON Lines, --metrics samples a per-subflow time-series CSV.
+
+  $ ../bin/simulate.exe bulk --duration 4 --trace t.jsonl --metrics m.csv > /dev/null
+
+Every trace line is framed as a single JSON object carrying a decimal
+timestamp and an event name:
+
+  $ awk '!/^\{"t":[0-9.]+,"ev":"[a-z_]+"/ || !/\}$/ { bad++ } END { printf "bad lines: %d of %d\n", bad+0, NR }' t.jsonl
+  bad lines: 0 of 19152
+
+A clean bulk transfer exercises most of the event taxonomy:
+
+  $ grep -o '"ev":"[a-z_]*"' t.jsonl | sort -u
+  "ev":"cwnd"
+  "ev":"deliver"
+  "ev":"pkt_ack"
+  "ev":"pkt_send"
+  "ev":"sched_action"
+  "ev":"sched_invoke"
+  "ev":"srtt"
+  "ev":"subflow_up"
+
+The metrics CSV starts with the stable header and every row is
+full-width:
+
+  $ head -1 m.csv
+  time,sbf,path,cwnd,ssthresh,srtt_ms,rto_ms,in_flight,queued,q,qu,rq,bytes_acked,goodput_bps,delivered_bytes
+
+  $ awk -F, 'NR > 1 && NF != 15 { bad++ } END { printf "malformed rows: %d of %d\n", bad+0, NR-1 }' m.csv
+  malformed rows: 0 of 78
+
+Fault-injection transitions and the retransmission timeouts they cause
+land on the same tape:
+
+  $ cat > outage.fs << EOF
+  > 1.0 sbf1 down
+  > 2.0 sbf1 up
+  > EOF
+  $ ../bin/simulate.exe bulk --duration 6 --faults outage.fs --trace tf.jsonl > /dev/null
+  $ grep '"ev":"fault"' tf.jsonl
+  {"t":1.000000,"ev":"fault","path":"sbf1","fault":"down"}
+  {"t":2.000000,"ev":"fault","path":"sbf1","fault":"up"}
+  $ grep -o '"ev":"rto"' tf.jsonl | sort -u
+  "ev":"rto"
+
+The dry-run CLI records its decision trace in the same formats; the
+time column is the execution index:
+
+  $ ../bin/progmp_cli.exe run default -n 3 --trace d.jsonl --metrics dm.csv > /dev/null
+  $ awk '!/^\{"t":[0-9.]+,"ev":"sched_/ { bad++ } END { printf "bad lines: %d of %d\n", bad+0, NR }' d.jsonl
+  bad lines: 0 of 6
+  $ head -2 d.jsonl
+  {"t":1.000000,"ev":"sched_invoke","scheduler":"cli","engine":"interpreter","actions":1,"regs_read":0,"regs_written":0,"q":2,"qu":0,"rq":0}
+  {"t":1.000000,"ev":"sched_action","scheduler":"cli","action":"PUSH(sbf#1, pkt#1(seq=0,size=1448,sent=0))"}
+  $ head -1 dm.csv
+  time,sbf,path,cwnd,ssthresh,srtt_ms,rto_ms,in_flight,queued,q,qu,rq,bytes_acked,goodput_bps,delivered_bytes
+
+A .csv suffix on --trace selects the wide-row CSV encoding under a
+stable header:
+
+  $ ../bin/progmp_cli.exe run default -n 2 --trace d.csv > /dev/null
+  $ head -1 d.csv
+  time,event,sbf,count,bytes,retx,snd_una,lost,rto,cwnd,ssthresh,srtt,rttvar,seq,size,scheduler,engine,actions,regs_read,regs_written,q,qu,rq,path,fault

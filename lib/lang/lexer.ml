@@ -74,12 +74,17 @@ let rec skip_trivia st =
   | Some _ | None -> ()
 
 let lex_number st =
+  let l = loc st in
   let start = st.pos in
   while (match peek st with Some c -> is_digit c | None -> false) do
     advance st
   done;
   let text = String.sub st.src start (st.pos - start) in
-  Token.INT (int_of_string text)
+  (* [int_of_string] raises on literals beyond the native int range; an
+     overflowing constant is a syntax error, not a crash *)
+  match int_of_string_opt text with
+  | Some n -> Token.INT n
+  | None -> error l "integer literal %s is out of range" text
 
 (* Registers are R1..R6 exactly; everything else alphabetic falls through
    to keywords then identifiers. *)

@@ -1,0 +1,57 @@
+(** Periodic per-subflow time-series collection with ring-buffer
+    storage. A collector samples every managed subflow of a connection
+    at a fixed interval into a bounded ring (memory stays O(window)
+    regardless of run length); ticks are pre-scheduled up to an explicit
+    horizon so the event queue still drains. *)
+
+type sample = {
+  time : float;
+  sbf : int;
+  path : string;
+  cwnd : float;  (** segments *)
+  ssthresh : float;
+  srtt_ms : float;
+  rto_ms : float;
+  in_flight : int;
+  queued : int;  (** segments buffered at the subflow, not yet on the wire *)
+  q : int;
+  qu : int;
+  rq : int;  (** meta-level queue depths *)
+  bytes_acked : int;  (** cumulative, subflow level *)
+  goodput_bps : float;
+      (** subflow-level acked bytes over the last interval, per second *)
+  delivered_bytes : int;  (** cumulative in-order data-level delivery *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty ring; [capacity] (default 65536) bounds retained samples —
+    once full, the oldest sample is overwritten. *)
+
+val add : t -> sample -> unit
+
+val length : t -> int
+(** Retained samples. *)
+
+val dropped : t -> int
+(** Samples overwritten because the ring was full. *)
+
+val iter : t -> (sample -> unit) -> unit
+(** Retained samples, oldest first. *)
+
+val fold : t -> ('a -> sample -> 'a) -> 'a -> 'a
+
+val to_list : t -> sample list
+
+val csv_header : string
+
+val write_row : out_channel -> sample -> unit
+
+val to_csv : out_channel -> t -> unit
+(** Header plus every retained sample, oldest first. *)
+
+val attach :
+  ?capacity:int -> interval:float -> until:float -> Mptcp_sim.Connection.t -> t
+(** Attach a collector: one tick every [interval] seconds pre-scheduled
+    up to [until]; each tick appends one sample per managed subflow. *)

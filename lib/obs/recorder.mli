@@ -1,0 +1,21 @@
+(** The flight recorder: derives {!Trace} events from a running
+    connection and forwards them to a sink.
+
+    Three taps feed the tape: a state-diffing event-queue observer
+    (packet send/ack/loss, RTO, cwnd/srtt updates, subflow lifecycle —
+    the simulator itself is not modified), the scheduler decision-trace
+    hook ([Sched_invoke]/[Sched_action] with register access masks,
+    scoped to this connection), and the fault-injection transition hook
+    ([Fault] events). With no recorder attached the hot paths stay
+    allocation-free. *)
+
+type t
+
+val attach : Trace.t -> Mptcp_sim.Connection.t -> t
+(** Start recording into the sink; pre-existing state is taken as a
+    silent baseline. Chains the meta socket's delivery callback — attach
+    {e after} installing experiment-side hooks. *)
+
+val detach : t -> unit
+(** Stop recording and flush the sink. Safe to call once per
+    recorder. *)

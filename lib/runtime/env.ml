@@ -40,6 +40,12 @@ type t = {
   sbf_slot : int array;
   sbf_gen : int array;
   mutable generation : int;
+  (* register-access masks for the current execution, maintained
+     unconditionally (two [lor]s per access, no allocation): bit [i] set
+     means R(i+1) was read/written — the raw material for decision
+     traces (which registers a scheduler actually consulted) *)
+  mutable reg_reads : int;
+  mutable reg_writes : int;
 }
 
 let create () =
@@ -58,6 +64,8 @@ let create () =
     sbf_slot = Array.make max_indexed_sbf 0;
     sbf_gen = Array.make max_indexed_sbf (-1);
     generation = 0;
+    reg_reads = 0;
+    reg_writes = 0;
   }
 
 let queue t : Progmp_lang.Ast.queue_id -> Pqueue.t = function
@@ -81,10 +89,17 @@ let subflow_by_id t id =
   end
 
 let get_register t i =
-  if i < 0 || i >= Array.length t.registers then 0 else t.registers.(i)
+  if i < 0 || i >= Array.length t.registers then 0
+  else begin
+    t.reg_reads <- t.reg_reads lor (1 lsl i);
+    t.registers.(i)
+  end
 
 let set_register t i v =
-  if i >= 0 && i < Array.length t.registers then t.registers.(i) <- v
+  if i >= 0 && i < Array.length t.registers then begin
+    t.reg_writes <- t.reg_writes lor (1 lsl i);
+    t.registers.(i) <- v
+  end
 
 (* Append to a growable buffer; the pushed element doubles as the fill
    value so no dummy element is ever needed. *)
@@ -123,6 +138,8 @@ let begin_execution t ~subflows =
   t.subflows <- subflows;
   t.num_actions <- 0;
   t.num_popped <- 0;
+  t.reg_reads <- 0;
+  t.reg_writes <- 0;
   t.generation <- t.generation + 1;
   (* refresh the id index; reverse order so that on (malformed)
      duplicate ids the first occurrence wins, like a front-to-back

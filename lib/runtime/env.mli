@@ -28,6 +28,11 @@ type t = {
   sbf_slot : int array;  (** subflow id -> snapshot position *)
   sbf_gen : int array;  (** generation stamp validating [sbf_slot] *)
   mutable generation : int;
+  mutable reg_reads : int;
+      (** bitmask of registers read during the current execution (bit
+          [i] is R(i+1)); reset by {!begin_execution} *)
+  mutable reg_writes : int;
+      (** bitmask of registers written during the current execution *)
 }
 
 val create : unit -> t

@@ -99,12 +99,45 @@ let find name = Hashtbl.find_opt registry name
 let loaded_names () =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
 
+type execution_record = {
+  xr_scheduler : string;
+  xr_engine : string;
+  xr_actions : Action.t list;
+  xr_regs_read : int;  (** bitmask, bit [i] is R(i+1) *)
+  xr_regs_written : int;
+  xr_env : Env.t;  (** the environment as left by the execution *)
+}
+
+(* Decision-trace hook: fired once per {!execute} with a record of what
+   ran and what it did. A global option ref keeps the disabled path down
+   to one deref + match (no allocation, no indirection through a list of
+   observers — the observability layer multiplexes on its side). *)
+let tracer : (execution_record -> unit) option ref = ref None
+
+let set_tracer f = tracer := Some f
+
+let clear_tracer () = tracer := None
+
 (** Run one scheduler execution against [env] with the given subflow
     snapshot; returns the produced actions. *)
 let execute t (env : Env.t) ~subflows =
   Env.begin_execution env ~subflows;
   t.run env;
-  Env.finish_execution env
+  let reads = env.Env.reg_reads and writes = env.Env.reg_writes in
+  let actions = Env.finish_execution env in
+  (match !tracer with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          xr_scheduler = t.name;
+          xr_engine = t.engine;
+          xr_actions = actions;
+          xr_regs_read = reads;
+          xr_regs_written = writes;
+          xr_env = env;
+        });
+  actions
 
 (** Compressed execution (paper §4.1): rather than triggering the
     scheduler once per event, keep re-executing while it makes progress,

@@ -48,6 +48,22 @@ val find : string -> t option
 val loaded_names : unit -> string list
 (** Names of loaded schedulers, sorted. *)
 
+type execution_record = {
+  xr_scheduler : string;  (** scheduler name *)
+  xr_engine : string;  (** engine label that produced the decision *)
+  xr_actions : Action.t list;  (** actions emitted, program order *)
+  xr_regs_read : int;  (** bitmask of registers read (bit [i] is R(i+1)) *)
+  xr_regs_written : int;  (** bitmask of registers written *)
+  xr_env : Env.t;  (** environment as left by the execution *)
+}
+
+val set_tracer : (execution_record -> unit) -> unit
+(** Install the global decision-trace hook, fired after every
+    {!execute}. The disabled path is one ref deref + match; keep the
+    callback cheap, it runs on the decision hot path. *)
+
+val clear_tracer : unit -> unit
+
 val execute : t -> Env.t -> subflows:Subflow_view.t array -> Action.t list
 (** One scheduler execution against a subflow snapshot; returns the
     produced actions in program order (after restoring popped-but-

@@ -81,6 +81,15 @@ let jitter ~seed ~amount script =
 
 (* ---------- application ---------- *)
 
+(* Fault-transition hook, fired once per applied step (not for steps
+   skipped over an unknown path). Same single-ref shape as the scheduler
+   tracer: the disabled path is one deref + match. *)
+let tracer : (Connection.t -> step -> unit) option ref = ref None
+
+let set_tracer f = tracer := Some f
+
+let clear_tracer () = tracer := None
+
 let exec_on (conn : Connection.t) path ev =
   match Connection.find_path conn path with
   | None ->
@@ -116,7 +125,10 @@ let exec_on (conn : Connection.t) path ev =
           Connection.notify_scheduler conn
       | Set_lossy b ->
           sbf.Tcp_subflow.forced_lossy <- b;
-          Connection.notify_scheduler conn)
+          Connection.notify_scheduler conn);
+      (match !tracer with
+      | None -> ()
+      | Some f -> f conn { at = Connection.now conn; path; ev })
 
 (** Schedule every step of [script] on the connection's event queue.
     Steps sharing a timestamp fire in script order (the queue breaks ties

@@ -43,6 +43,13 @@ val jitter : seed:int -> amount:float -> script -> script
 (** Shift every step time by a uniform draw from [0, amount), seeded —
     the same seed reproduces the same perturbed timeline. *)
 
+val set_tracer : (Connection.t -> step -> unit) -> unit
+(** Install the global fault-transition hook, fired once per applied
+    step (steps skipped over an unknown path do not fire it). The step's
+    [at] is the simulated application time. *)
+
+val clear_tracer : unit -> unit
+
 val apply : Connection.t -> script -> unit
 (** Schedule every step on the connection's event queue. Steps sharing a
     timestamp fire in script order; steps naming a path the connection

@@ -198,13 +198,17 @@ let rate_window = 2.0
    bound is used. *)
 let throughput_estimate t =
   let now = Eventq.now t.clock in
-  let recent =
-    List.filter (fun (ts, _) -> now -. ts <= rate_window) t.rate_samples
+  (* samples are newest-first, so the scan can stop at the first stale
+     one; this sits on the per-snapshot decision path and must not
+     allocate (the filtered-list version rebuilt the history per call) *)
+  let rec max_recent best seen = function
+    | (ts, r) :: rest when now -. ts <= rate_window ->
+        max_recent (Float.max best r) true rest
+    | _ :: _ | [] -> if seen then Some best else None
   in
-  match recent with
-  | _ :: _ ->
-      int_of_float (List.fold_left (fun a (_, r) -> Float.max a r) 0.0 recent)
-  | [] ->
+  match max_recent 0.0 false t.rate_samples with
+  | Some best -> int_of_float best
+  | None ->
       let rtt =
         if t.rtt_samples = 0 then 2.0 *. Link.delay t.data_link else t.srtt
       in

@@ -384,6 +384,56 @@ let handover_run ~with_handover =
     0 (Invariants.total checker);
   (float_of_int !pre /. 2.0, float_of_int !during /. 5.0)
 
+(* ---------- RTO backoff under sustained blackout ---------- *)
+
+let test_rto_backoff_cap () =
+  (* a blackout with data in flight drives exponential RTO backoff; the
+     doubling must stop exactly at the 60 s cap, not overflow past it *)
+  let conn = one_path () in
+  Faults.apply conn [ Faults.step ~at:0.5 "p0" Faults.Link_down ];
+  (* enough data that the blackout catches the transfer mid-flight, so
+     the retransmit timer keeps firing with a non-empty inflight table *)
+  Connection.write_at conn ~time:0.45 500_000;
+  Connection.run ~until:200.0 conn;
+  let sbf = Connection.subflow conn 0 in
+  Alcotest.(check (float 0.0)) "rto capped at 60 s" 60.0 sbf.Tcp_subflow.rto;
+  Alcotest.(check (float 0.0)) "cwnd collapsed to 1" 1.0 sbf.Tcp_subflow.cwnd;
+  Alcotest.(check bool) "timer still armed at the cap" true
+    (sbf.Tcp_subflow.rto_timer <> None)
+
+let test_rto_resets_after_reestablish () =
+  (* after the backoff has hit the cap, a fail + reestablish cycle must
+     restart the timer from the initial 1 s, re-arm it for new traffic,
+     and let the (re-queued) transfer complete *)
+  let conn = one_path () in
+  Faults.apply conn
+    [
+      Faults.step ~at:0.5 "p0" Faults.Link_down;
+      Faults.step ~at:200.0 "p0" Faults.Link_up;
+      Faults.step ~at:200.0 "p0" Faults.Subflow_fail;
+      Faults.step ~at:201.0 "p0" Faults.Subflow_reestablish;
+    ];
+  Connection.write_at conn ~time:0.45 500_000;
+  Connection.run ~until:199.0 conn;
+  let sbf = Connection.subflow conn 0 in
+  Alcotest.(check (float 0.0)) "backed off to the cap first" 60.0
+    sbf.Tcp_subflow.rto;
+  (* probe just after the new handshake, while the retransmission burst
+     is in flight: backoff gone, timer armed *)
+  let probed_rto = ref infinity and probed_timer = ref false in
+  Connection.at conn ~time:201.05 (fun () ->
+      probed_rto := sbf.Tcp_subflow.rto;
+      probed_timer := sbf.Tcp_subflow.rto_timer <> None);
+  Connection.run ~until:400.0 conn;
+  Alcotest.(check bool)
+    (Fmt.str "rto restarted from scratch (%.3f <= 1 s)" !probed_rto)
+    true
+    (!probed_rto <= 1.0);
+  Alcotest.(check bool) "timer re-armed for the retransmitted data" true
+    !probed_timer;
+  Alcotest.(check bool) "transfer completes after reestablish" true
+    (Meta_socket.all_delivered conn.Connection.meta)
+
 let test_handover_criterion () =
   let pre_d, during_d = handover_run ~with_handover:false in
   Alcotest.(check bool)
@@ -423,6 +473,13 @@ let suite =
     ( "faults-subflow",
       [ tc "fail + reestablish still delivers everything"
           test_fail_reestablish_completes ] );
+    ( "faults-rto",
+      [
+        tc "sustained blackout caps the RTO backoff at 60 s"
+          test_rto_backoff_cap;
+        tc "reestablish resets the backoff and re-arms the timer"
+          test_rto_resets_after_reestablish;
+      ] );
     ( "faults-combinators",
       [
         tc "periodic" test_periodic;

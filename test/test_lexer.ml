@@ -70,5 +70,23 @@ let suite =
             match Lexer.tokenize "a @ b" with
             | _ -> Alcotest.fail "expected lexer error"
             | exception Lexer.Error _ -> ());
+        check_toks "max_int still lexes" (string_of_int max_int)
+          [ Token.INT max_int ];
+        tc "overflowing integer literal is a located error" (fun () ->
+            match Lexer.tokenize "PUSH 99999999999999999999" with
+            | _ -> Alcotest.fail "expected lexer error"
+            | exception Lexer.Error (msg, loc) ->
+                let contains s sub =
+                  let n = String.length sub in
+                  let rec go i =
+                    i + n <= String.length s
+                    && (String.sub s i n = sub || go (i + 1))
+                  in
+                  go 0
+                in
+                Alcotest.(check bool)
+                  "message names the literal" true
+                  (contains msg "99999999999999999999");
+                Alcotest.(check int) "column" 6 loc.Loc.col);
       ] );
   ]

@@ -1,0 +1,280 @@
+(** Flight-recorder observability layer: sink encodings (JSONL
+    escaping, CSV shape), the bounded metrics ring, and the recorder
+    end to end on a faulted connection — including that [detach]
+    actually silences the tape and clears the global hooks. *)
+
+open Mptcp_sim
+open Helpers
+module Trace = Mptcp_obs.Trace
+module Metrics = Mptcp_obs.Metrics
+module Recorder = Mptcp_obs.Recorder
+
+(* ---------- sinks ---------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "obs_test" ".out" in
+  let oc = open_out path in
+  let sink = f oc in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      Sys.remove path)
+    (fun () ->
+      sink ();
+      flush oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines)
+
+(* tiny substring check (no string-utils dependency in the tests) *)
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let test_jsonl_shape () =
+  let lines =
+    with_temp_file (fun oc ->
+        let t = Trace.jsonl oc in
+        Trace.emit t ~time:1.5
+          (Trace.Pkt_send { sbf = 0; count = 2; bytes = 2896; retx = 0 });
+        Trace.emit t ~time:2.25
+          (Trace.Sched_invoke
+             {
+               scheduler = "default";
+               engine = "interpreter";
+               actions = 1;
+               regs_read = 3;
+               regs_written = 0;
+               q = 4;
+               qu = 1;
+               rq = 0;
+             });
+        fun () -> Trace.flush t)
+  in
+  Alcotest.(check int) "one object per event" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is a JSON object" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  let first = List.nth lines 0 and second = List.nth lines 1 in
+  Alcotest.(check bool) "timestamp serialized in plain decimal" true
+    (String.length first >= 14 && String.sub first 0 14 = {|{"t":1.500000,|});
+  Alcotest.(check bool) "event name on the wire" true
+    (contains ~affix:{|"ev":"pkt_send"|} first);
+  Alcotest.(check bool) "int field" true (contains ~affix:{|"bytes":2896|} first);
+  Alcotest.(check bool) "string field quoted" true
+    (contains ~affix:{|"scheduler":"default"|} second);
+  Alcotest.(check bool) "register mask as int" true
+    (contains ~affix:{|"regs_read":3|} second)
+
+let test_jsonl_escaping () =
+  (* scheduler names come from user programs: quotes, backslashes and
+     control characters must not corrupt the line-oriented framing *)
+  let lines =
+    with_temp_file (fun oc ->
+        let t = Trace.jsonl oc in
+        Trace.emit t ~time:0.0
+          (Trace.Sched_action
+             { scheduler = "we\"ird\\name"; action = "line1\nline2\ttab" });
+        fun () -> Trace.flush t)
+  in
+  Alcotest.(check int) "framing survives embedded newline" 1
+    (List.length lines);
+  let l = List.hd lines in
+  Alcotest.(check bool) "quote escaped" true
+    (contains ~affix:{|we\"ird\\name|} l);
+  Alcotest.(check bool) "newline escaped" true
+    (contains ~affix:{|line1\nline2\ttab|} l)
+
+let test_csv_sink () =
+  let lines =
+    with_temp_file (fun oc ->
+        let t = Trace.csv oc in
+        Trace.emit t ~time:0.5 (Trace.Deliver { seq = 7; size = 1448 });
+        Trace.emit t ~time:0.75 (Trace.Fault { path = "wifi"; fault = "down" });
+        fun () -> Trace.flush t)
+  in
+  Alcotest.(check int) "header + one row per event" 3 (List.length lines);
+  Alcotest.(check string) "header" Trace.csv_header (List.hd lines);
+  let cols s = List.length (String.split_on_char ',' s) in
+  let width = cols Trace.csv_header in
+  List.iter
+    (fun l -> Alcotest.(check int) "row width matches header" width (cols l))
+    (List.tl lines)
+
+let test_memory_and_tee () =
+  let mem, events = Trace.memory () in
+  let mem2, events2 = Trace.memory () in
+  let t = Trace.tee [ mem; mem2 ] in
+  Trace.emit t ~time:1.0 (Trace.Subflow_up { sbf = 0 });
+  Trace.emit t ~time:2.0 (Trace.Subflow_down { sbf = 0 });
+  Alcotest.(check int) "tee counts emissions" 2 (Trace.event_count t);
+  Alcotest.(check int) "first branch got both" 2 (List.length (events ()));
+  Alcotest.(check int) "second branch got both" 2 (List.length (events2 ()));
+  match events () with
+  | [ (1.0, Trace.Subflow_up { sbf = 0 }); (2.0, Trace.Subflow_down { sbf = 0 }) ]
+    ->
+      ()
+  | _ -> Alcotest.fail "memory sink should keep emission order"
+
+(* ---------- metrics ring ---------- *)
+
+let sample_at time =
+  {
+    Metrics.time;
+    sbf = 0;
+    path = "p0";
+    cwnd = 10.0;
+    ssthresh = 1e9;
+    srtt_ms = 20.0;
+    rto_ms = 200.0;
+    in_flight = 3;
+    queued = 1;
+    q = 2;
+    qu = 1;
+    rq = 0;
+    bytes_acked = 1000;
+    goodput_bps = 8e5;
+    delivered_bytes = 1000;
+  }
+
+let test_ring_overwrite () =
+  let r = Metrics.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Metrics.add r (sample_at (float_of_int i))
+  done;
+  Alcotest.(check int) "length clamps at capacity" 4 (Metrics.length r);
+  Alcotest.(check int) "overwrites counted" 6 (Metrics.dropped r);
+  let times = List.map (fun s -> s.Metrics.time) (Metrics.to_list r) in
+  Alcotest.(check (list (float 0.0))) "oldest-first, newest retained"
+    [ 6.0; 7.0; 8.0; 9.0 ] times
+
+let test_ring_partial () =
+  let r = Metrics.create ~capacity:8 () in
+  Metrics.add r (sample_at 1.0);
+  Metrics.add r (sample_at 2.0);
+  Alcotest.(check int) "length before wrap" 2 (Metrics.length r);
+  Alcotest.(check int) "nothing dropped" 0 (Metrics.dropped r);
+  Alcotest.(check int) "fold sees every sample" 2
+    (Metrics.fold r (fun n _ -> n + 1) 0)
+
+let test_metrics_csv () =
+  let lines =
+    with_temp_file (fun oc ->
+        let r = Metrics.create ~capacity:4 () in
+        Metrics.add r (sample_at 0.25);
+        fun () -> Metrics.to_csv oc r)
+  in
+  Alcotest.(check int) "header + row" 2 (List.length lines);
+  Alcotest.(check string) "header" Metrics.csv_header (List.hd lines);
+  let width = List.length (String.split_on_char ',' Metrics.csv_header) in
+  Alcotest.(check int) "row width" width
+    (List.length (String.split_on_char ',' (List.nth lines 1)))
+
+(* ---------- recorder end to end ---------- *)
+
+let faulted_run () =
+  let mk name delay =
+    Path_manager.symmetric ~name
+      { Link.default_params with Link.bandwidth = 1_000_000.0; delay }
+  in
+  let conn =
+    Connection.create ~seed:5 ~paths:[ mk "p0" 0.01; mk "p1" 0.03 ] ()
+  in
+  let sink, events = Trace.memory () in
+  let rec_ = Recorder.attach sink conn in
+  Faults.apply conn
+    [
+      Faults.step ~at:0.5 "p0" Faults.Link_down;
+      Faults.step ~at:1.0 "p0" Faults.Link_up;
+    ];
+  Connection.write_at conn ~time:0.1 100_000;
+  Connection.run ~until:30.0 conn;
+  (conn, rec_, sink, events)
+
+let test_recorder_derives_events () =
+  let _conn, rec_, _sink, events = faulted_run () in
+  Recorder.detach rec_;
+  let evs = List.map snd (events ()) in
+  let has p = List.exists p evs in
+  Alcotest.(check bool) "subflow establishment seen" true
+    (has (function Trace.Subflow_up _ -> true | _ -> false));
+  Alcotest.(check bool) "data left the subflows" true
+    (has (function Trace.Pkt_send _ -> true | _ -> false));
+  Alcotest.(check bool) "acks observed" true
+    (has (function Trace.Pkt_ack _ -> true | _ -> false));
+  Alcotest.(check bool) "cwnd updates observed" true
+    (has (function Trace.Cwnd _ -> true | _ -> false));
+  Alcotest.(check bool) "srtt updates observed" true
+    (has (function Trace.Srtt _ -> true | _ -> false));
+  Alcotest.(check bool) "deliveries observed" true
+    (has (function Trace.Deliver _ -> true | _ -> false));
+  Alcotest.(check bool) "scheduler decisions observed" true
+    (has (function Trace.Sched_invoke _ -> true | _ -> false));
+  Alcotest.(check bool) "fault transitions observed" true
+    (has (function
+      | Trace.Fault { path = "p0"; fault = "down" } -> true
+      | _ -> false))
+
+let test_detach_silences () =
+  let conn, rec_, sink, _events = faulted_run () in
+  Recorder.detach rec_;
+  let count = Trace.event_count sink in
+  Alcotest.(check bool) "recorded something while attached" true (count > 0);
+  (* more traffic after detach: the tape must not move *)
+  Connection.write_at conn ~time:31.0 50_000;
+  Connection.run ~until:60.0 conn;
+  Alcotest.(check int) "tape frozen after detach" count
+    (Trace.event_count sink);
+  Alcotest.(check bool) "new traffic did flow" true
+    (Meta_socket.all_delivered conn.Connection.meta)
+
+let test_sched_invoke_consistency () =
+  (* every Sched_invoke must name a registered engine and carry
+     non-negative queue depths; Sched_action events follow their
+     invocation and name the same scheduler *)
+  let _conn, rec_, _sink, events = faulted_run () in
+  Recorder.detach rec_;
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Trace.Sched_invoke { scheduler; engine; q; qu; rq; actions; _ } ->
+          Alcotest.(check bool) "scheduler named" true (scheduler <> "");
+          Alcotest.(check bool) "engine named" true (engine <> "");
+          Alcotest.(check bool) "queue depths sane" true
+            (q >= 0 && qu >= 0 && rq >= 0 && actions >= 0)
+      | _ -> ())
+    (events ())
+
+let suite =
+  [
+    ( "obs-sinks",
+      [
+        tc "jsonl: one self-describing object per line" test_jsonl_shape;
+        tc "jsonl: strings are escaped" test_jsonl_escaping;
+        tc "csv: fixed-width rows under a stable header" test_csv_sink;
+        tc "memory and tee" test_memory_and_tee;
+      ] );
+    ( "obs-metrics",
+      [
+        tc "ring overwrites oldest at capacity" test_ring_overwrite;
+        tc "ring below capacity" test_ring_partial;
+        tc "csv export" test_metrics_csv;
+      ] );
+    ( "obs-recorder",
+      [
+        tc "derives the full event taxonomy from a faulted run"
+          test_recorder_derives_events;
+        tc "detach freezes the tape" test_detach_silences;
+        tc "scheduler decision records are consistent"
+          test_sched_invoke_consistency;
+      ] );
+  ]

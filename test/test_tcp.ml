@@ -242,5 +242,33 @@ let estimator_suite =
             ignore (Eventq.run ~until:0.5 h.clock);
             Alcotest.(check int) "only the exempt segment went out" 1
               h.sbf.Tcp_subflow.segs_sent);
+        tc "rate-sample history stays bounded over a million-event run"
+          (fun () ->
+            (* the max filter keeps one sample per >= 0.2 s within a 2 s
+               window, so the history can never exceed 11 entries no
+               matter how long the subflow runs; regression for the
+               unbounded-growth / per-call-allocation bug *)
+            let h = make_harness ~bandwidth:1e8 ~delay:0.005 () in
+            let events = ref 0 in
+            let chunk = 20_000 and chunks = 28 in
+            for c = 0 to chunks - 1 do
+              for i = 0 to chunk - 1 do
+                Tcp_subflow.send h.sbf
+                  (Packet.create ~seq:((c * chunk) + i) ~size:1448 ~now:0.0 ())
+              done;
+              events := !events + Eventq.run h.clock
+            done;
+            Alcotest.(check bool)
+              (Fmt.str "worked through %d events (>= 1e6)" !events)
+              true (!events >= 1_000_000);
+            let n = List.length h.sbf.Tcp_subflow.rate_samples in
+            Alcotest.(check bool)
+              (Fmt.str "history holds %d samples (<= 12)" n)
+              true (n <= 12);
+            let est = float_of_int (Tcp_subflow.throughput_estimate h.sbf) in
+            Alcotest.(check bool)
+              (Fmt.str "estimate %.3e is sample-derived and sane" est)
+              true
+              (est > 1e6 && est < 1.5e8));
       ] );
   ]

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo-hygiene check, run as part of `dune runtest`: fails when build
+# artifacts are tracked in git (they churned every PR before the purge)
+# or when the root .gitignore stops covering _build/. Skips silently
+# when git or the checkout is unavailable (release tarballs, sandboxes).
+set -u
+
+command -v git >/dev/null 2>&1 || exit 0
+
+# The script runs from inside _build; walk up to the checkout root.
+dir=$PWD
+while [ "$dir" != "/" ] && [ ! -e "$dir/.git" ]; do
+  dir=$(dirname "$dir")
+done
+[ -e "$dir/.git" ] || exit 0
+
+tracked=$(git -C "$dir" ls-files -- _build 2>/dev/null | head -n 5)
+if [ -n "$tracked" ]; then
+  echo "error: build artifacts are tracked in git; run: git rm -r --cached _build" >&2
+  echo "first offenders:" >&2
+  echo "$tracked" >&2
+  exit 1
+fi
+
+if ! grep -qs '^_build/$' "$dir/.gitignore"; then
+  echo "error: root .gitignore must contain a '_build/' entry" >&2
+  exit 1
+fi
+
+exit 0
