@@ -330,8 +330,8 @@ let engines_bench () =
     "the interpreter is the slowest reference; aot and vm close most of the \
      gap to native (Fig. 9 measures the default scheduler in detail)";
   let iters = if !smoke then 20 else 20_000 in
-  Fmt.pr "%-28s %-14s %14s %16s@." "scheduler" "engine" "ns/decision"
-    "decisions/sec";
+  Fmt.pr "%-28s %-14s %14s %16s %12s@." "scheduler" "engine" "ns/decision"
+    "decisions/sec" "mw/decision";
   List.iter
     (fun (name, src) ->
       List.iter
@@ -341,17 +341,25 @@ let engines_bench () =
           let env, views = overhead_env ~subflows:2 ~packets:64 in
           (* warm up (and fault early if the pair cannot execute) *)
           ignore (Scheduler.execute sched env ~subflows:views);
+          let mw0 = Gc.minor_words () in
           let t0 = Unix.gettimeofday () in
           for _ = 1 to iters do
             ignore (Scheduler.execute sched env ~subflows:views)
           done;
           let dt = Unix.gettimeofday () -. t0 in
+          (* minor words per decision: the allocation the hot path pays;
+             Gc.minor_words is monotonic and cheap, so measuring it does
+             not perturb the timing loop *)
+          let mw = (Gc.minor_words () -. mw0) /. float_of_int iters in
           let ns = dt /. float_of_int iters *. 1e9 in
           let per_sec = float_of_int iters /. dt in
           csv ~experiment:"engines"
-            ~header:[ "scheduler"; "engine"; "ns_per_decision"; "decisions_per_sec" ]
-            [ name; engine; Fmt.str "%.1f" ns; Fmt.str "%.0f" per_sec ];
-          Fmt.pr "%-28s %-14s %14.0f %16.0f@." name engine ns per_sec)
+            ~header:
+              [ "scheduler"; "engine"; "ns_per_decision"; "decisions_per_sec";
+                "minor_words_per_decision" ]
+            [ name; engine; Fmt.str "%.1f" ns; Fmt.str "%.0f" per_sec;
+              Fmt.str "%.1f" mw ];
+          Fmt.pr "%-28s %-14s %14.0f %16.0f %12.1f@." name engine ns per_sec mw)
         (Engine.names ()))
     Schedulers.Specs.all
 
@@ -430,6 +438,98 @@ let obs_bench () =
     (pct null -. 100.0) (pct jsonl -. 100.0);
   close_out oc;
   Fmt.pr "  machine-readable results written to BENCH_obs.json@."
+
+(* ------------------------------------------------------------------ *)
+(* sweep — throughput and scaling of the parallel campaign engine      *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed 32-run campaign executed at jobs ∈ {1, 2, 4, 8}: wall time,
+   runs/sec, speedup vs the serial run, and — the contract that actually
+   matters — an [equal_report] check that every parallel report is
+   structurally identical to the serial one. Results land in
+   BENCH_sweep.json together with the machine's core count: on a 1-core
+   box the domains time-slice one CPU, so speedup ≈ 1.0 is the honest
+   expected reading there, not a regression. *)
+let sweep_bench () =
+  section "sweep"
+    "campaign-engine scaling: one 32-run grid at 1/2/4/8 worker domains"
+    "runs/sec scales with the worker count up to the physical core count \
+     while every report stays equal_report-identical to the serial one";
+  let open Mptcp_exp in
+  let spec =
+    {
+      Spec.default with
+      Spec.scenarios = [ "bulk" ];
+      schedulers = [ "default"; "redundant_if_no_q" ];
+      engines = [ "interpreter" ];
+      losses = [ 0.0; 0.02 ];
+      seeds = List.init (if !smoke then 2 else 8) (fun i -> i + 1);
+      duration = (if !smoke then 1.0 else 3.0);
+    }
+  in
+  let jobs_list = if !smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  let n_runs = Spec.run_count spec in
+  Fmt.pr "%d runs, %d recommended domain(s) on this machine@.@." n_runs cores;
+  Fmt.pr "%6s %10s %12s %10s %12s@." "jobs" "wall(s)" "runs/sec" "speedup"
+    "identical";
+  let baseline = ref None in
+  let series =
+    List.map
+      (fun jobs ->
+        let t0 = Unix.gettimeofday () in
+        match Sweep.execute ~jobs spec with
+        | Error msg ->
+            Fmt.epr "sweep benchmark failed at jobs=%d: %s@." jobs msg;
+            exit 2
+        | Ok report ->
+            let wall = Unix.gettimeofday () -. t0 in
+            let rps = float_of_int n_runs /. wall in
+            let serial_wall, identical =
+              match !baseline with
+              | None ->
+                  baseline := Some (wall, report);
+                  (wall, true)
+              | Some (w, serial) -> (w, Sweep.equal_report serial report)
+            in
+            if not identical then begin
+              Fmt.epr
+                "sweep benchmark: report at jobs=%d differs from jobs=1@." jobs;
+              exit 2
+            end;
+            let speedup = serial_wall /. wall in
+            csv ~experiment:"sweep"
+              ~header:[ "jobs"; "wall_s"; "runs_per_sec"; "speedup" ]
+              [ string_of_int jobs; Fmt.str "%.3f" wall; Fmt.str "%.2f" rps;
+                Fmt.str "%.2f" speedup ];
+            Fmt.pr "%6d %10.3f %12.2f %10.2f %12b@." jobs wall rps speedup
+              identical;
+            (jobs, wall, rps, speedup))
+      jobs_list
+  in
+  let oc = open_out "BENCH_sweep.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"sweep\",\n\
+    \  \"cores\": %d,\n\
+    \  \"smoke\": %b,\n\
+    \  \"runs\": %d,\n\
+    \  \"grid\": \"bulk x {default, redundant_if_no_q} x interpreter x loss \
+     {0.0, 0.02} x %d seeds, %.1f s each\",\n\
+    \  \"reports_identical_across_jobs\": true,\n\
+    \  \"series\": [\n"
+    cores !smoke n_runs (List.length spec.Spec.seeds) spec.Spec.duration;
+  List.iteri
+    (fun i (jobs, wall, rps, speedup) ->
+      Printf.fprintf oc
+        "    { \"jobs\": %d, \"wall_s\": %.3f, \"runs_per_sec\": %.2f, \
+         \"speedup_vs_serial\": %.2f }%s\n"
+        jobs wall rps speedup
+        (if i = List.length series - 1 then "" else ","))
+    series;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Fmt.pr "  machine-readable results written to BENCH_sweep.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 10b — FCT vs flow size for the redundancy family               *)
@@ -1119,6 +1219,7 @@ let experiments =
     ("fig9", fig9);
     ("engines", engines_bench);
     ("obs", obs_bench);
+    ("sweep", sweep_bench);
     ("fig10b", fig10b);
     ("fig10c", fig10c);
     ("fig12", fig12);

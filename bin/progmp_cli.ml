@@ -333,7 +333,7 @@ let main =
        ~doc:"ProgMP: application-defined Multipath TCP scheduling toolchain")
     [
       check_cmd; compile_cmd; run_cmd; gen_ocaml_cmd; list_cmd; show_cmd;
-      engines_cmd;
+      engines_cmd; Mptcp_exp.Sweep_cli.cmd ~prog:"progmp sweep";
     ]
 
 let () =

@@ -289,17 +289,41 @@ let scenario_arg =
     & info [] ~docv:"SCENARIO"
         ~doc:"One of: bulk, stream, short-flows, http2, dash.")
 
-let main =
+let scenario_term =
+  Term.(
+    const run_scenario $ scenario_arg $ scheduler_arg $ seed_arg $ loss_arg
+    $ duration_arg $ engine_arg $ faults_arg $ invariants_arg $ trace_arg
+    $ metrics_arg $ metrics_interval_arg $ verbose_arg)
+
+let scenario_cmd =
   Cmd.v
     (Cmd.info "simulate" ~version:"1.0.0"
+       ~doc:
+         "Run MPTCP scheduling scenarios in the simulator (see also: \
+          simulate sweep)")
+    scenario_term
+
+let group =
+  Cmd.group
+    (Cmd.info "simulate" ~version:"1.0.0"
        ~doc:"Run MPTCP scheduling scenarios in the simulator")
-    Term.(
-      const run_scenario $ scenario_arg $ scheduler_arg $ seed_arg $ loss_arg
-      $ duration_arg $ engine_arg $ faults_arg $ invariants_arg $ trace_arg
-      $ metrics_arg $ metrics_interval_arg $ verbose_arg)
+    [
+      Cmd.v
+        (Cmd.info "run" ~doc:"Run a single scenario (the default command)")
+        scenario_term;
+      Mptcp_exp.Sweep_cli.cmd ~prog:"simulate sweep";
+    ]
 
 let () =
   (* Force-link the compiler so its "vm" engine registration runs even
      though this binary only selects engines by name. *)
   Progmp_compiler.Compile.register_engines ();
-  exit (Cmd.eval main)
+  (* cmdliner's Cmd.group treats every first positional argument as a
+     subcommand name, which would break the classic [simulate bulk]
+     spelling — dispatch to the group only when a real subcommand is
+     named, and keep the positional-scenario interface the default *)
+  let subcommand =
+    Array.length Sys.argv > 1
+    && (Sys.argv.(1) = "run" || Sys.argv.(1) = "sweep")
+  in
+  exit (Cmd.eval (if subcommand then group else scenario_cmd))

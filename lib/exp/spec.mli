@@ -1,0 +1,58 @@
+(** Declarative experiment-campaign specifications: a parameter grid
+    over scenarios, schedulers, engines, loss rates, fault timelines and
+    RNG seeds, parsed from a line-oriented text format (one axis per
+    line; see docs/EXPERIMENTS.md). Expansion order is fixed, so the run
+    list — and therefore a campaign report — is a pure function of the
+    spec, identical for serial and parallel executions. *)
+
+type fault_axis = {
+  fault_label : string;  (** "none", or the label before [=] *)
+  fault_file : string option;  (** fault-script path; [None] for "none" *)
+}
+
+type t = {
+  scenarios : string list;  (** bulk | stream | short-flows | http2 | dash *)
+  schedulers : string list;  (** zoo names, cf. [Schedulers.Specs] *)
+  engines : string list;  (** engine-registry names *)
+  losses : float list;
+  faults : fault_axis list;
+  seeds : int list;
+  duration : float;  (** simulated seconds per run *)
+  invariants : bool;  (** attach the cross-layer invariant checker *)
+}
+
+val default : t
+(** One bulk run: default scheduler, interpreter, no loss, no faults,
+    seed 42, 10 s, invariants off. *)
+
+val known_scenarios : string list
+
+val parse : string -> (t, string) result
+(** Parse the text format ([KEY VALUE...] lines, [#] comments; keys:
+    scenario, scheduler, engine, loss, fault, seed, duration,
+    invariants; seeds accept [A..B] ranges; faults are [none] or
+    [LABEL=FILE]). Unset keys keep their {!default}. Errors are one-line
+    diagnostics naming the offending line. *)
+
+val load : string -> (t, string) result
+(** Read and parse a campaign file. *)
+
+type run_params = {
+  run_id : int;  (** index in expansion order *)
+  scenario : string;
+  scheduler : string;
+  engine : string;
+  loss : float;
+  fault : fault_axis;
+  seed : int;
+}
+
+val runs : t -> run_params list
+(** The cartesian product in the fixed expansion order — scenario,
+    scheduler, engine, loss, fault, seed (seeds innermost) — with
+    [run_id] consecutive from 0. *)
+
+val run_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Render a spec back in the text format (canonical form). *)

@@ -1,0 +1,514 @@
+(** Parallel campaign execution on OCaml 5 domains.
+
+    A campaign (a {!Spec.t} grid) is executed across a fixed pool of
+    domains pulling run indices from one atomic counter — no work
+    stealing, no shared mutable simulation state. Every run owns its
+    entire world: a fresh {!Connection} (event queue, links, RNG seeded
+    from the run's own seed) and a {e private} scheduler instance
+    ({!Progmp_runtime.Scheduler.instantiate_private}) so no decision
+    closure's scratch state is ever entered from two domains. All
+    cross-domain communication is the counter, the per-index result
+    slots (published by [Domain.join]), and read-only registries
+    populated before any domain spawns.
+
+    Determinism contract: a run's result is a pure function of its
+    {!Spec.run_params}, so reports are structurally identical whatever
+    the job count — [--jobs 1] and [--jobs 8] produce equal reports
+    (enforced by [test/test_exp.ml]). *)
+
+open Mptcp_sim
+module R = Progmp_runtime
+
+(* ---------- results ---------- *)
+
+type run_result = {
+  r_params : Spec.run_params;
+  r_sim_time : float;  (** final simulated clock, seconds *)
+  r_delivered : int;  (** bytes delivered at the meta level *)
+  r_goodput_bps : float;  (** bits/second over completion (or sim) time *)
+  r_completion : float option;  (** flow completion time, seconds *)
+  r_executions : int;  (** scheduler executions *)
+  r_pushes : int;
+  r_subflow_bytes : (string * int) list;  (** wire bytes per path *)
+  r_inv_total : int;  (** invariant violations (0 when checking is off) *)
+  r_inv_messages : string list;  (** recorded violation messages *)
+  r_extra : (string * float) list;  (** scenario-specific measurements *)
+}
+
+type group = {
+  g_scenario : string;
+  g_scheduler : string;
+  g_engine : string;
+  g_loss : float;
+  g_fault : string;
+  g_runs : int;  (** seeds aggregated *)
+  g_completed : int;  (** runs with a completion time *)
+  g_goodput_mean : float;
+  g_goodput_min : float;
+  g_goodput_max : float;
+  g_completion_mean : float;  (** over completed runs; 0 when none *)
+  g_inv_total : int;
+}
+
+type report = {
+  spec : Spec.t;
+  jobs : int;  (** how this report was produced; not part of equality *)
+  runs : run_result list;  (** ordered by [run_id] *)
+  groups : group list;  (** aggregated over seeds, expansion order *)
+}
+
+(** Structural equality modulo how the campaign was executed (job
+    count): the determinism contract that serial and parallel sweeps
+    must produce interchangeable reports. *)
+let equal_report a b =
+  a.spec = b.spec && a.runs = b.runs && a.groups = b.groups
+
+(* ---------- preparation (main domain only) ---------- *)
+
+type ctx = {
+  schedulers : (string, R.Scheduler.t) Hashtbl.t;
+  fault_scripts : (string, Faults.script) Hashtbl.t;
+  duration : float;
+  invariants : bool;
+}
+
+let rec first_error = function
+  | [] -> Ok ()
+  | Ok () :: rest -> first_error rest
+  | (Error _ as e) :: _ -> e
+
+(** Resolve and validate everything shared, on the calling domain,
+    before any worker exists: force the default-scheduler lazy, load the
+    zoo, resolve scheduler and engine names, parse fault scripts, and
+    pre-instantiate one private engine per (scheduler, engine) pair so
+    every factory code path has run at least once single-threaded.
+    Workers afterwards only read these registries. *)
+let prepare (spec : Spec.t) =
+  Progmp_compiler.Compile.register_engines ();
+  ignore (R.Api.create ~name:"sweep-warmup" ());
+  ignore (Schedulers.Specs.load_all ());
+  let schedulers = Hashtbl.create 8 and fault_scripts = Hashtbl.create 8 in
+  let resolve_scheduler name =
+    match R.Scheduler.find name with
+    | Some s ->
+        Hashtbl.replace schedulers name s;
+        Ok ()
+    | None -> Error (Fmt.str "unknown scheduler %s" name)
+  in
+  let known_engines = R.Engine.names () in
+  let resolve_engine name =
+    if List.mem name known_engines then Ok ()
+    else
+      Error
+        (Fmt.str "unknown engine %s (available: %s)" name
+           (String.concat ", " known_engines))
+  in
+  let resolve_fault (f : Spec.fault_axis) =
+    match f.Spec.fault_file with
+    | None ->
+        Hashtbl.replace fault_scripts f.Spec.fault_label [];
+        Ok ()
+    | Some file -> (
+        match Faults.load file with
+        | Ok script ->
+            Hashtbl.replace fault_scripts f.Spec.fault_label script;
+            Ok ()
+        | Error msg -> Error msg)
+  in
+  Result.bind (first_error (List.map resolve_scheduler spec.Spec.schedulers))
+  @@ fun () ->
+  Result.bind (first_error (List.map resolve_engine spec.Spec.engines))
+  @@ fun () ->
+  Result.bind (first_error (List.map resolve_fault spec.Spec.faults))
+  @@ fun () ->
+  Hashtbl.iter
+    (fun _ sched ->
+      List.iter
+        (fun engine ->
+          ignore (R.Scheduler.instantiate_private sched ~engine))
+        spec.Spec.engines)
+    schedulers;
+  Ok
+    {
+      schedulers;
+      fault_scripts;
+      duration = spec.Spec.duration;
+      invariants = spec.Spec.invariants;
+    }
+
+(* ---------- one run (worker side, fully run-local) ---------- *)
+
+let install ctx conn (p : Spec.run_params) =
+  let sched = Hashtbl.find ctx.schedulers p.Spec.scheduler in
+  (Connection.sock conn).R.Api.scheduler <-
+    R.Scheduler.instantiate_private sched ~engine:p.Spec.engine
+
+let conn_result ?(extra = []) checkers conn (p : Spec.run_params) =
+  let meta = conn.Connection.meta in
+  let sim_time = Connection.now conn in
+  let delivered = Connection.delivered_bytes conn in
+  let completion =
+    if meta.Meta_socket.next_seq = 0 then None
+    else Meta_socket.fct meta ~first:0 ~last:(meta.Meta_socket.next_seq - 1)
+  in
+  let span =
+    match completion with
+    | Some t when t > 0.0 -> t
+    | Some _ | None -> sim_time
+  in
+  {
+    r_params = p;
+    r_sim_time = sim_time;
+    r_delivered = delivered;
+    r_goodput_bps =
+      (if span > 0.0 then 8.0 *. float_of_int delivered /. span else 0.0);
+    r_completion = completion;
+    r_executions = meta.Meta_socket.sched_executions;
+    r_pushes = meta.Meta_socket.pushes;
+    r_subflow_bytes = Connection.bytes_sent_per_subflow conn;
+    r_inv_total = List.fold_left (fun n c -> n + Invariants.total c) 0 checkers;
+    r_inv_messages = List.concat_map Invariants.violations checkers;
+    r_extra = extra;
+  }
+
+let run_one ctx (p : Spec.run_params) =
+  let duration = ctx.duration in
+  let script = Hashtbl.find ctx.fault_scripts p.Spec.fault.Spec.fault_label in
+  let checkers = ref [] in
+  let instrument conn =
+    Faults.apply conn script;
+    if ctx.invariants then checkers := Invariants.attach conn :: !checkers
+  in
+  match p.Spec.scenario with
+  | "bulk" ->
+      let paths =
+        Apps.Scenario.mininet_two_subflows ~rtt_ratio:2.0 ~loss:p.Spec.loss ()
+      in
+      let conn = Connection.create ~seed:p.Spec.seed ~paths () in
+      install ctx conn p;
+      instrument conn;
+      Apps.Workload.bulk conn ~at:0.1 ~bytes:4_000_000;
+      Connection.run ~until:duration conn;
+      conn_result !checkers conn p
+  | "stream" ->
+      let paths =
+        Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss ~lte_loss:p.Spec.loss ()
+      in
+      let conn = Connection.create ~seed:p.Spec.seed ~paths () in
+      install ctx conn p;
+      instrument conn;
+      let rate t = if t < duration /. 3.0 then 1_000_000.0 else 4_000_000.0 in
+      Apps.Workload.cbr ~signal_register:0 conn ~start:0.2
+        ~stop:(duration -. 2.0) ~interval:0.1 ~rate;
+      Apps.Scenario.fluctuate_wifi conn
+        ~rng:(Rng.create (p.Spec.seed + 1))
+        ~until:duration ~low:3_000_000.0 ~high:5_500_000.0 ();
+      Connection.run ~until:duration conn;
+      conn_result !checkers conn p
+  | "short-flows" ->
+      let mk_conn ~seed =
+        let paths =
+          Apps.Scenario.mininet_two_subflows ~rtt_ratio:4.0 ~loss:p.Spec.loss ()
+        in
+        let conn = Connection.create ~seed:(p.Spec.seed + seed) ~paths () in
+        install ctx conn p;
+        instrument conn;
+        conn
+      in
+      let before_write conn =
+        R.Api.set_register (Connection.sock conn) 0 1_000_000
+      in
+      let after_write conn = R.Api.set_register (Connection.sock conn) 1 1 in
+      let size = 50_000 and reps = 10 in
+      let fct, wire, completed =
+        Apps.Workload.measure_flows ~before_write ~after_write ~mk_conn ~size
+          ~reps ()
+      in
+      {
+        r_params = p;
+        r_sim_time = 0.0;
+        r_delivered = completed * size;
+        r_goodput_bps =
+          (if fct > 0.0 then 8.0 *. float_of_int size /. fct else 0.0);
+        r_completion = (if completed = reps then Some fct else None);
+        r_executions = 0;
+        r_pushes = 0;
+        r_subflow_bytes = [];
+        r_inv_total =
+          List.fold_left (fun n c -> n + Invariants.total c) 0 !checkers;
+        r_inv_messages = List.concat_map Invariants.violations !checkers;
+        r_extra =
+          [
+            ("completed", float_of_int completed);
+            ("mean_fct_ms", fct *. 1e3);
+            ("mean_wire_bytes", wire);
+          ];
+      }
+  | "http2" ->
+      let paths =
+        Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss ~lte_loss:p.Spec.loss ()
+      in
+      let conn = Connection.create ~seed:p.Spec.seed ~paths () in
+      instrument conn;
+      install ctx conn p;
+      let extra =
+        match Apps.Http2.load_page conn Apps.Http2.optimized_page with
+        | Some r ->
+            [
+              ("dependency_ms", r.Apps.Http2.dependency_time *. 1e3);
+              ("initial_view_ms", r.Apps.Http2.initial_view_time *. 1e3);
+              ("full_load_ms", r.Apps.Http2.full_load_time *. 1e3);
+              ("wifi_bytes", float_of_int r.Apps.Http2.wifi_bytes);
+              ("lte_bytes", float_of_int r.Apps.Http2.lte_bytes);
+            ]
+        | None -> [ ("incomplete", 1.0) ]
+      in
+      conn_result ~extra !checkers conn p
+  | "dash" ->
+      let paths =
+        Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss ~lte_loss:p.Spec.loss ()
+      in
+      let conn = Connection.create ~seed:p.Spec.seed ~paths () in
+      install ctx conn p;
+      instrument conn;
+      let session =
+        Apps.Dash.start ~period:0.5
+          ~count:(int_of_float (duration /. 0.75))
+          ~chunk_bytes:(fun _ -> 400_000)
+          conn
+      in
+      Connection.run ~until:duration conn;
+      let o = Apps.Dash.evaluate session in
+      conn_result
+        ~extra:
+          [
+            ("deadline_misses", float_of_int o.Apps.Dash.deadline_misses);
+            ("worst_lateness_ms", o.Apps.Dash.worst_lateness *. 1e3);
+            ("backup_bytes", float_of_int o.Apps.Dash.backup_bytes);
+          ]
+        !checkers conn p
+  | other -> Fmt.invalid_arg "Sweep.run_one: unknown scenario %s" other
+
+(* ---------- aggregation ---------- *)
+
+let aggregate runs =
+  let key (r : run_result) =
+    let p = r.r_params in
+    ( p.Spec.scenario,
+      p.Spec.scheduler,
+      p.Spec.engine,
+      p.Spec.loss,
+      p.Spec.fault.Spec.fault_label )
+  in
+  let order = ref [] and tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let k = key r in
+      match Hashtbl.find_opt tbl k with
+      | Some rs -> rs := r :: !rs
+      | None ->
+          Hashtbl.replace tbl k (ref [ r ]);
+          order := k :: !order)
+    runs;
+  List.rev_map
+    (fun ((scenario, scheduler, engine, loss, fault) as k) ->
+      let rs = List.rev !(Hashtbl.find tbl k) in
+      let n = List.length rs in
+      let goodputs = List.map (fun r -> r.r_goodput_bps) rs in
+      let completions = List.filter_map (fun r -> r.r_completion) rs in
+      let sum = List.fold_left ( +. ) 0.0 in
+      {
+        g_scenario = scenario;
+        g_scheduler = scheduler;
+        g_engine = engine;
+        g_loss = loss;
+        g_fault = fault;
+        g_runs = n;
+        g_completed = List.length completions;
+        g_goodput_mean = (if n = 0 then 0.0 else sum goodputs /. float_of_int n);
+        g_goodput_min = List.fold_left Float.min infinity goodputs;
+        g_goodput_max = List.fold_left Float.max 0.0 goodputs;
+        g_completion_mean =
+          (match completions with
+          | [] -> 0.0
+          | l -> sum l /. float_of_int (List.length l));
+        g_inv_total = List.fold_left (fun acc r -> acc + r.r_inv_total) 0 rs;
+      })
+    !order
+
+(* ---------- the domain pool ---------- *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(** Execute the campaign. [jobs] domains (default
+    {!Domain.recommended_domain_count}) pull run indices from an atomic
+    counter; the calling domain is one of them, so [jobs = 1] runs
+    everything inline with no spawn at all. Results land in per-index
+    slots and are assembled in [run_id] order, making the report
+    independent of scheduling interleavings by construction. *)
+let execute ?jobs (spec : Spec.t) =
+  match prepare spec with
+  | Error _ as e -> e
+  | Ok ctx -> (
+      let jobs =
+        match jobs with Some j -> max 1 j | None -> default_jobs ()
+      in
+      let runs = Array.of_list (Spec.runs spec) in
+      let results = Array.make (Array.length runs) None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < Array.length runs then begin
+            (results.(i) <-
+               (match run_one ctx runs.(i) with
+               | r -> Some (Ok r)
+               | exception e ->
+                   Some
+                     (Error
+                        (Fmt.str "run %d (%s/%s/%s seed %d): %s"
+                           runs.(i).Spec.run_id runs.(i).Spec.scenario
+                           runs.(i).Spec.scheduler runs.(i).Spec.engine
+                           runs.(i).Spec.seed (Printexc.to_string e)))));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned =
+        List.init
+          (min (jobs - 1) (max 0 (Array.length runs - 1)))
+          (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      List.iter Domain.join spawned;
+      let rec collect i acc =
+        if i < 0 then Ok { spec; jobs; runs = acc; groups = [] }
+        else
+          match results.(i) with
+          | Some (Ok r) -> collect (i - 1) (r :: acc)
+          | Some (Error _ as e) -> e
+          | None -> Error (Fmt.str "run %d produced no result" i)
+      in
+      match collect (Array.length runs - 1) [] with
+      | Error _ as e -> e
+      | Ok report -> Ok { report with groups = aggregate report.runs })
+
+(* ---------- emitters ---------- *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let assoc_cell fmt l =
+  String.concat ";" (List.map (fun (k, v) -> Fmt.str "%s=%s" k (fmt v)) l)
+
+let to_csv report =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "run_id,scenario,scheduler,engine,loss,fault,seed,sim_time_s,\
+     delivered_bytes,goodput_bps,completion_s,executions,pushes,\
+     invariant_violations,subflow_bytes,extra\n";
+  List.iter
+    (fun r ->
+      let p = r.r_params in
+      Buffer.add_string b
+        (Fmt.str "%d,%s,%s,%s,%g,%s,%d,%.6f,%d,%.1f,%s,%d,%d,%d,%s,%s\n"
+           p.Spec.run_id p.Spec.scenario p.Spec.scheduler p.Spec.engine
+           p.Spec.loss p.Spec.fault.Spec.fault_label p.Spec.seed r.r_sim_time
+           r.r_delivered r.r_goodput_bps
+           (match r.r_completion with
+           | Some t -> Fmt.str "%.6f" t
+           | None -> "")
+           r.r_executions r.r_pushes r.r_inv_total
+           (csv_escape (assoc_cell string_of_int r.r_subflow_bytes))
+           (csv_escape (assoc_cell (Fmt.str "%.3f") r.r_extra))))
+    report.runs;
+  Buffer.contents b
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json report =
+  let b = Buffer.create 8192 in
+  let assoc_json fmt l =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Fmt.str "%s:%s" (json_string k) (fmt v)) l)
+    ^ "}"
+  in
+  Buffer.add_string b
+    (Fmt.str "{\"jobs\":%d,\"run_count\":%d,\"runs\":[" report.jobs
+       (List.length report.runs));
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      let p = r.r_params in
+      Buffer.add_string b
+        (Fmt.str
+           "{\"run_id\":%d,\"scenario\":%s,\"scheduler\":%s,\"engine\":%s,\
+            \"loss\":%g,\"fault\":%s,\"seed\":%d,\"sim_time_s\":%.6f,\
+            \"delivered_bytes\":%d,\"goodput_bps\":%.1f,\"completion_s\":%s,\
+            \"executions\":%d,\"pushes\":%d,\"invariant_violations\":%d,\
+            \"subflow_bytes\":%s,\"extra\":%s}"
+           p.Spec.run_id (json_string p.Spec.scenario)
+           (json_string p.Spec.scheduler) (json_string p.Spec.engine)
+           p.Spec.loss
+           (json_string p.Spec.fault.Spec.fault_label)
+           p.Spec.seed r.r_sim_time r.r_delivered r.r_goodput_bps
+           (match r.r_completion with
+           | Some t -> Fmt.str "%.6f" t
+           | None -> "null")
+           r.r_executions r.r_pushes r.r_inv_total
+           (assoc_json string_of_int r.r_subflow_bytes)
+           (assoc_json (Fmt.str "%.3f") r.r_extra)))
+    report.runs;
+  Buffer.add_string b "],\"groups\":[";
+  List.iteri
+    (fun i g ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Fmt.str
+           "{\"scenario\":%s,\"scheduler\":%s,\"engine\":%s,\"loss\":%g,\
+            \"fault\":%s,\"runs\":%d,\"completed\":%d,\
+            \"goodput_mean_bps\":%.1f,\"goodput_min_bps\":%.1f,\
+            \"goodput_max_bps\":%.1f,\"completion_mean_s\":%.6f,\
+            \"invariant_violations\":%d}"
+           (json_string g.g_scenario) (json_string g.g_scheduler)
+           (json_string g.g_engine) g.g_loss (json_string g.g_fault) g.g_runs
+           g.g_completed g.g_goodput_mean g.g_goodput_min g.g_goodput_max
+           g.g_completion_mean g.g_inv_total))
+    report.groups;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(** Deterministic human-readable summary: one line per aggregate group
+    (means over seeds), independent of execution order and job count. *)
+let pp_report ppf report =
+  Fmt.pf ppf "%d runs (%d groups x %d seeds)@." (List.length report.runs)
+    (List.length report.groups)
+    (List.length report.spec.Spec.seeds);
+  List.iter
+    (fun g ->
+      Fmt.pf ppf
+        "%-12s %-22s %-11s loss %-5g fault %-10s : goodput %8.0f bps mean \
+         (%d/%d complete%s)@."
+        g.g_scenario g.g_scheduler g.g_engine g.g_loss g.g_fault
+        g.g_goodput_mean g.g_completed g.g_runs
+        (if g.g_inv_total > 0 then
+           Fmt.str ", %d INVARIANT VIOLATIONS" g.g_inv_total
+         else ""))
+    report.groups

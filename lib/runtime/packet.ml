@@ -18,15 +18,19 @@ type t = {
   mutable acked : bool;  (** meta-level (data) acknowledgement received *)
 }
 
-let next_id = ref 0
+(* Atomic so concurrent simulations (one per domain in a parallel
+   experiment sweep) still mint unique ids. Id values never influence
+   simulated behaviour — they are compared only for equality — so the
+   cross-domain interleaving does not break run determinism. *)
+let next_id = Atomic.make 0
 
 (** Create a fresh packet with a process-unique positive id. *)
 let create ?(props = [||]) ~seq ~size ~now () =
-  incr next_id;
+  let id = Atomic.fetch_and_add next_id 1 + 1 in
   let user_props = Array.make Progmp_lang.Props.num_user_props 0 in
   Array.iteri (fun i v -> if i < Array.length user_props then user_props.(i) <- v) props;
   {
-    id = !next_id;
+    id;
     seq;
     size;
     user_props;

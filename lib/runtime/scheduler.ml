@@ -86,6 +86,17 @@ let install_custom t ~name run =
 
 let engine_label t = t.engine
 
+(** A private copy of [t] with its own, uncached engine instance.
+    Registry-cached instances are shared across every connection using
+    the same (engine, digest) pair and their decision closures carry
+    per-instance scratch state, so they must not be entered from two
+    domains. A private instance shares the (immutable) typechecked
+    program but nothing mutable — the parallel sweep runner gives each
+    run its own.
+    @raise Engine.Unknown when no such engine is registered. *)
+let instantiate_private t ~engine =
+  { t with engine; run = Engine.instantiate engine t.program }
+
 (* Global registry of loaded schedulers, keyed by name. *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 

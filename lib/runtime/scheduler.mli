@@ -36,6 +36,14 @@ val install_custom : t -> name:string -> (Env.t -> unit) -> unit
 
 val engine_label : t -> string
 
+val instantiate_private : t -> engine:string -> t
+(** A copy of [t] driving its own, uncached engine instance — sharing
+    the immutable typechecked program but no mutable state with the
+    original or with registry-cached instances (whose decision closures
+    carry per-instance scratch and are not reentrant across domains).
+    Parallel runners give every run a private instance.
+    @raise Engine.Unknown when no such engine is registered. *)
+
 val compilation_cache_stats : unit -> int * int
 (** (hits, misses) of the source-digest front-end cache. *)
 

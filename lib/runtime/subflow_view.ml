@@ -1,28 +1,34 @@
-(** Immutable per-execution snapshot of a subflow's state.
+(** Per-execution snapshot of a subflow's state.
 
     The host (the MPTCP simulator, or a test harness) builds one view per
     subflow before each scheduler execution; the programming model
     guarantees that subflow properties do not change during a single
-    execution, which this snapshot realizes. Units follow {!Progmp_lang.Props}:
-    times in microseconds, throughput in bytes/second. *)
+    execution, which this snapshot realizes. The fields are mutable only
+    so a host can reuse one record per subflow across executions (the
+    simulator's snapshot arena refills views in place instead of
+    allocating sixteen-field records per decision); every consumer must
+    treat a view as frozen for the duration of an execution. Units
+    follow {!Progmp_lang.Props}: times in microseconds, throughput in
+    bytes/second. *)
 
 type t = {
-  id : int;  (** stable subflow identifier, 0-based and < 62 *)
-  rtt_us : int;
-  rtt_avg_us : int;
-  rtt_var_us : int;
-  cwnd : int;  (** congestion window, segments *)
-  ssthresh : int;
-  skbs_in_flight : int;
-  queued : int;  (** segments handed to the subflow, not yet on the wire *)
-  lost_skbs : int;
-  is_backup : bool;
-  tsq_throttled : bool;
-  lossy : bool;
-  rto_us : int;
-  throughput_bps : int;  (** cwnd-based estimate, bytes per second *)
-  mss : int;
-  receive_window_bytes : int;  (** free receive-window space *)
+  mutable id : int;  (** stable subflow identifier, 0-based and < 62 *)
+  mutable rtt_us : int;
+  mutable rtt_avg_us : int;
+  mutable rtt_var_us : int;
+  mutable cwnd : int;  (** congestion window, segments *)
+  mutable ssthresh : int;
+  mutable skbs_in_flight : int;
+  mutable queued : int;
+      (** segments handed to the subflow, not yet on the wire *)
+  mutable lost_skbs : int;
+  mutable is_backup : bool;
+  mutable tsq_throttled : bool;
+  mutable lossy : bool;
+  mutable rto_us : int;
+  mutable throughput_bps : int;  (** cwnd-based estimate, bytes per second *)
+  mutable mss : int;
+  mutable receive_window_bytes : int;  (** free receive-window space *)
 }
 
 let default =
@@ -44,6 +50,13 @@ let default =
     mss = 1448;
     receive_window_bytes = 1 lsl 20;
   }
+
+(** A fresh, unshared copy (of [v], or of {!default}) — what arenas of
+    in-place-refilled views must be seeded with, so that no two slots
+    alias one record. *)
+let copy v = { v with id = v.id }
+
+let fresh () = copy default
 
 (** [has_window_for v pkt] — the model's [HAS_WINDOW_FOR]: does the
     receive window admit this packet on top of what is in flight? *)

@@ -4,27 +4,38 @@
     Times are in microseconds, throughput in bytes/second. *)
 
 type t = {
-  id : int;  (** stable subflow identifier, 0-based and < 62 *)
-  rtt_us : int;
-  rtt_avg_us : int;
-  rtt_var_us : int;
-  cwnd : int;  (** congestion window, segments *)
-  ssthresh : int;
-  skbs_in_flight : int;
-  queued : int;  (** segments assigned but not yet on the wire *)
-  lost_skbs : int;
-  is_backup : bool;
-  tsq_throttled : bool;
-  lossy : bool;
-  rto_us : int;
-  throughput_bps : int;  (** achievable-rate estimate, bytes/second *)
-  mss : int;
-  receive_window_bytes : int;  (** free receive-window space *)
+  mutable id : int;  (** stable subflow identifier, 0-based and < 62 *)
+  mutable rtt_us : int;
+  mutable rtt_avg_us : int;
+  mutable rtt_var_us : int;
+  mutable cwnd : int;  (** congestion window, segments *)
+  mutable ssthresh : int;
+  mutable skbs_in_flight : int;
+  mutable queued : int;  (** segments assigned but not yet on the wire *)
+  mutable lost_skbs : int;
+  mutable is_backup : bool;
+  mutable tsq_throttled : bool;
+  mutable lossy : bool;
+  mutable rto_us : int;
+  mutable throughput_bps : int;  (** achievable-rate estimate, bytes/second *)
+  mutable mss : int;
+  mutable receive_window_bytes : int;  (** free receive-window space *)
 }
+(** Fields are mutable only so hosts can refill one record per subflow
+    across executions (arena reuse); consumers must treat views as
+    frozen during an execution. *)
 
 val default : t
 (** A plausible 10 ms / cwnd-10 subflow; tests and examples override
-    fields of interest. *)
+    fields of interest. Shared — never mutate it; use {!copy}/{!fresh}
+    for records that will be refilled. *)
+
+val copy : t -> t
+(** A fresh, unshared copy. *)
+
+val fresh : unit -> t
+(** [fresh () = copy default] — seed value for in-place-refilled
+    arenas. *)
 
 val has_window_for : t -> Packet.t -> bool
 (** The model's [HAS_WINDOW_FOR]. *)

@@ -78,6 +78,42 @@ let schedule_in t ~delay action = schedule t ~at:(t.now +. delay) action
 
 let cancel (ev : event) = ev.cancelled <- true
 
+(* ---------- re-armable timers ---------- *)
+
+(** A timer is a re-armable event whose action closure is built exactly
+    once, at creation. Hot paths that arm an event per packet or per ack
+    (the RTO timer being the canonical case) would otherwise allocate a
+    fresh closure — typically with a non-trivial capture — on every arm;
+    with a timer, each arm costs only the small heap node {!schedule}
+    creates. Semantics are identical to cancel-then-schedule: one
+    sequence number is consumed per arm, and a cancelled arm is skipped
+    lazily at pop time, so event traces match the closure-per-arm code
+    bit for bit. *)
+type timer = { mutable armed : event option; mutable fire : unit -> unit }
+
+let timer action =
+  let tm = { armed = None; fire = ignore } in
+  tm.fire <-
+    (fun () ->
+      tm.armed <- None;
+      action ());
+  tm
+
+let timer_armed tm = tm.armed <> None
+
+let timer_cancel tm =
+  match tm.armed with
+  | Some ev ->
+      cancel ev;
+      tm.armed <- None
+  | None -> ()
+
+let timer_arm t tm ~at =
+  timer_cancel tm;
+  tm.armed <- Some (schedule t ~at tm.fire)
+
+let timer_arm_in t tm ~delay = timer_arm t tm ~at:(t.now +. delay)
+
 let pop t =
   if t.size = 0 then None
   else begin

@@ -18,6 +18,26 @@ val schedule_in : t -> delay:float -> (unit -> unit) -> event
 
 val cancel : event -> unit
 
+type timer
+(** A re-armable event whose action closure is allocated once, at
+    creation — for hot paths (RTO timers) that would otherwise build a
+    fresh capture-carrying closure on every arm. Arming behaves exactly
+    like cancel-then-{!schedule}: one sequence number per arm. *)
+
+val timer : (unit -> unit) -> timer
+(** Create an unarmed timer running [action] each time an arm fires. *)
+
+val timer_arm : t -> timer -> at:float -> unit
+(** (Re-)arm at absolute time [at] (clamped to now); any previous arm is
+    cancelled. *)
+
+val timer_arm_in : t -> timer -> delay:float -> unit
+
+val timer_cancel : timer -> unit
+(** Cancel the pending arm, if any; the timer can be re-armed. *)
+
+val timer_armed : timer -> bool
+
 val add_observer : t -> (unit -> unit) -> unit
 (** Register a callback that runs after every executed event, in
     registration order — the hook invariant checkers attach to.

@@ -46,10 +46,19 @@ type t = {
   mutable up : bool;  (** a down link delivers nothing in either state *)
   mutable loss_model : loss_model;
   mutable busy_until : float;  (** bottleneck serialization horizon *)
-  mutable queue : (float * int) list;
-      (** (serialization completion time, bytes) of packets accepted into
-          the bottleneck buffer, newest first — byte-accurate backlog
-          accounting that is immune to later bandwidth changes *)
+  (* Backlog accounting ring: (serialization completion time, bytes) of
+     packets accepted into the bottleneck buffer, oldest at [q_head] —
+     byte-accurate and immune to later bandwidth changes. Completion
+     times are admitted in nondecreasing order (the serialization
+     horizon only advances), so expiry is always a prefix of the ring
+     and {!backlog_bytes} prunes from the head in O(expired) with a
+     running byte total, where the list representation rebuilt and
+     re-summed the whole backlog on every call. *)
+  mutable q_time : float array;
+  mutable q_size : int array;
+  mutable q_head : int;
+  mutable q_len : int;
+  mutable q_bytes : int;  (** sum of live [q_size] entries *)
   mutable delivered : int;  (** packets that made it across *)
   mutable lost : int;  (** random losses *)
   mutable tail_dropped : int;  (** buffer overflows *)
@@ -64,7 +73,11 @@ let create ?(params = default_params) ~clock ~rng () =
     up = true;
     loss_model = Bernoulli;
     busy_until = 0.0;
-    queue = [];
+    q_time = Array.make 64 0.0;
+    q_size = Array.make 64 0;
+    q_head = 0;
+    q_len = 0;
+    q_bytes = 0;
     delivered = 0;
     lost = 0;
     tail_dropped = 0;
@@ -111,14 +124,36 @@ let delay t = t.params.delay
     currently queued at the bottleneck will have been put on the wire. *)
 let busy_until t = t.busy_until
 
+let queue_push t ~until ~size =
+  let cap = Array.length t.q_time in
+  if t.q_len = cap then begin
+    let time' = Array.make (2 * cap) 0.0 and size' = Array.make (2 * cap) 0 in
+    for i = 0 to t.q_len - 1 do
+      time'.(i) <- t.q_time.((t.q_head + i) mod cap);
+      size'.(i) <- t.q_size.((t.q_head + i) mod cap)
+    done;
+    t.q_time <- time';
+    t.q_size <- size';
+    t.q_head <- 0
+  end;
+  let tail = (t.q_head + t.q_len) mod Array.length t.q_time in
+  t.q_time.(tail) <- until;
+  t.q_size.(tail) <- size;
+  t.q_len <- t.q_len + 1;
+  t.q_bytes <- t.q_bytes + size
+
 (** Bytes currently sitting in the bottleneck buffer (waiting for
     serialization), across all users of the link. Tracked per packet at
     admission time, so a later {!set_bandwidth} cannot retroactively
     change what the buffer holds. *)
 let backlog_bytes t =
   let now = Eventq.now t.clock in
-  t.queue <- List.filter (fun (until, _) -> until > now) t.queue;
-  List.fold_left (fun acc (_, size) -> acc + size) 0 t.queue
+  while t.q_len > 0 && t.q_time.(t.q_head) <= now do
+    t.q_bytes <- t.q_bytes - t.q_size.(t.q_head);
+    t.q_head <- (t.q_head + 1) mod Array.length t.q_time;
+    t.q_len <- t.q_len - 1
+  done;
+  t.q_bytes
 
 (* Per-packet loss decision; advances the Gilbert–Elliott chain. *)
 let draw_loss t =
@@ -133,12 +168,28 @@ let draw_loss t =
 
 type outcome = Delivered of float | Lost_random | Dropped_tail | Lost_down
 
-(** Send [size] bytes over the link; on success schedules [deliver] at
-    the arrival time and returns it. Loss is decided at entry (a dropped
-    packet still consumes serialization time, like a corrupted frame).
-    On a down link the packet is destroyed immediately; a packet still in
-    the air when the link goes down is destroyed at its arrival time. *)
-let transmit t ~size deliver : outcome =
+(** Record a data packet reaching the far end of the link {e now}:
+    counts it delivered and returns [true] when the link is up, counts
+    it lost-in-flight and returns [false] when it went down while the
+    packet was in the air. Pre-built arrival callbacks passed to
+    {!transmit_direct} must call this (and give up on [false]). *)
+let arrival t =
+  if t.up then begin
+    t.delivered <- t.delivered + 1;
+    true
+  end
+  else begin
+    t.lost_down <- t.lost_down + 1;
+    false
+  end
+
+(** Like {!transmit}, but the callback is scheduled as the arrival event
+    {e directly} — no wrapper closure is allocated per packet. In
+    exchange the callback itself is responsible for the arrival-time
+    bookkeeping: it must start with [if Link.arrival link then ...].
+    This is the data hot path of {!Tcp_subflow}, whose per-segment
+    arrival closures are built once per in-flight entry. *)
+let transmit_direct t ~size arrive : outcome =
   let now = Eventq.now t.clock in
   if not t.up then begin
     t.lost_down <- t.lost_down + 1;
@@ -152,7 +203,7 @@ let transmit t ~size deliver : outcome =
     let start = if t.busy_until > now then t.busy_until else now in
     let tx_time = float_of_int size /. t.params.bandwidth in
     t.busy_until <- start +. tx_time;
-    t.queue <- (t.busy_until, size) :: t.queue;
+    queue_push t ~until:t.busy_until ~size;
     if draw_loss t then begin
       t.lost <- t.lost + 1;
       Lost_random
@@ -164,22 +215,35 @@ let transmit t ~size deliver : outcome =
         else 0.0
       in
       let arrival = t.busy_until +. t.params.delay +. noise in
-      ignore
-        (Eventq.schedule t.clock ~at:arrival (fun () ->
-             if t.up then begin
-               t.delivered <- t.delivered + 1;
-               deliver ()
-             end
-             else t.lost_down <- t.lost_down + 1));
+      ignore (Eventq.schedule t.clock ~at:arrival arrive);
       Delivered arrival
     end
   end
 
+(** Send [size] bytes over the link; on success schedules [deliver] at
+    the arrival time and returns it. Loss is decided at entry (a dropped
+    packet still consumes serialization time, like a corrupted frame).
+    On a down link the packet is destroyed immediately; a packet still in
+    the air when the link goes down is destroyed at its arrival time. *)
+let transmit t ~size deliver : outcome =
+  transmit_direct t ~size (fun () -> if arrival t then deliver ())
+
+(** Ack/control hot path: schedule [fire] at now + delay with no
+    bandwidth constraint and no random loss. Returns [false] (nothing
+    scheduled) when the link is already down at send time, so a caller
+    pooling its callbacks can recycle immediately. The callback must
+    check {!is_up} at arrival itself — a link that went down while the
+    control packet was in flight destroys it. *)
+let control_send t fire =
+  t.up
+  && begin
+       ignore
+         (Eventq.schedule t.clock ~at:(Eventq.now t.clock +. t.params.delay)
+            fire);
+       true
+     end
+
 (** Convenience for ack/control paths: no bandwidth constraint, no random
     loss — but a down link still destroys them (at arrival). *)
 let deliver_control t deliver =
-  if t.up then begin
-    let at = Eventq.now t.clock +. t.params.delay in
-    ignore
-      (Eventq.schedule t.clock ~at (fun () -> if t.up then deliver ()))
-  end
+  ignore (control_send t (fun () -> if t.up then deliver ()))

@@ -32,7 +32,12 @@ type t = {
   mutable up : bool;
   mutable loss_model : loss_model;
   mutable busy_until : float;
-  mutable queue : (float * int) list;
+  (* backlog ring, oldest at [q_head]; completion times nondecreasing *)
+  mutable q_time : float array;
+  mutable q_size : int array;
+  mutable q_head : int;
+  mutable q_len : int;
+  mutable q_bytes : int;
   mutable delivered : int;
   mutable lost : int;
   mutable tail_dropped : int;
@@ -93,6 +98,23 @@ val transmit : t -> size:int -> (unit -> unit) -> outcome
     tail-dropped one does not. On a down link the packet is destroyed
     immediately ([Lost_down]); one still in the air when the link goes
     down is destroyed at arrival. *)
+
+val arrival : t -> bool
+(** Record a data-packet arrival now: [true] (and counted delivered)
+    when the link is up, [false] (counted lost) when it went down while
+    the packet was in flight. For {!transmit_direct} callbacks. *)
+
+val transmit_direct : t -> size:int -> (unit -> unit) -> outcome
+(** Like {!transmit} but schedules the given callback as the arrival
+    event directly — no per-packet wrapper closure. The callback must
+    begin with [if Link.arrival link then ...]; it is typically built
+    once per retransmittable segment and reused across retransmissions. *)
+
+val control_send : t -> (unit -> unit) -> bool
+(** Ack/control hot path: schedule the callback at now + delay (no loss,
+    no bandwidth), with no wrapper allocation. [false] when the link is
+    down at send time (nothing scheduled). The callback must check
+    {!is_up} at arrival itself. *)
 
 val deliver_control : t -> (unit -> unit) -> unit
 (** Ack/control path: propagation delay only, no loss or bandwidth — but

@@ -153,12 +153,13 @@ let snapshot t =
       0 t.subflows
   in
   if Array.length t.view_arena <> count then
-    t.view_arena <- Array.make count Subflow_view.default;
+    (* distinct records per slot: the refill below mutates them in place *)
+    t.view_arena <- Array.init count (fun _ -> Subflow_view.fresh ());
   let i = ref 0 in
   List.iter
     (fun s ->
       if s.Tcp_subflow.established then begin
-        t.view_arena.(!i) <- Tcp_subflow.view s;
+        Tcp_subflow.view_into s t.view_arena.(!i);
         incr i
       end)
     t.subflows;

@@ -43,3 +43,27 @@ let gaussian t =
 
 (** Split off an independently seeded generator (for sub-components). *)
 let split t = { state = next_int64 t }
+
+(* SplitMix64 finalizer on its own: a strong 64-bit mixing function. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Keyed stream derivation: the [index]-th independent stream of
+    [seed]. Unlike {!split} this is a pure function of [(seed, index)] —
+    no generator state is consumed — so any number of concurrent
+    consumers (e.g. the parallel runs of an experiment sweep) can derive
+    their streams in any order and still observe bit-identical draws. *)
+let stream ~seed index =
+  let a = mix (Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L) in
+  let b = mix (Int64.add (Int64.of_int index) 0xBF58476D1CE4E5B9L) in
+  { state = mix (Int64.logxor a b) }
+
+(** An integer seed derived from [(seed, index)], for components that
+    take a seed rather than a generator (e.g. {!Connection.create}). *)
+let stream_seed ~seed index =
+  (* shift by 2, not 1: a native int holds 63 bits, so a 63-bit value
+     would wrap negative in Int64.to_int *)
+  Int64.to_int (Int64.shift_right_logical (mix (Int64.logxor
+    (mix (Int64.of_int seed)) (Int64.add (Int64.of_int index) 0x94D049BB133111EBL))) 2)

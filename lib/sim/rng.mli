@@ -20,4 +20,15 @@ val gaussian : t -> float
 (** Standard normal (Box-Muller). *)
 
 val split : t -> t
-(** An independently seeded generator for a sub-component. *)
+(** An independently seeded generator for a sub-component. Consumes one
+    draw of [t]: successive splits differ. *)
+
+val stream : seed:int -> int -> t
+(** [stream ~seed i] is the [i]-th independent stream of [seed] — a pure
+    function of [(seed, i)] that consumes no generator state, so
+    parallel and serial consumers derive bit-identical streams
+    regardless of evaluation order. *)
+
+val stream_seed : seed:int -> int -> int
+(** A non-negative integer seed derived from [(seed, i)], for components
+    that take a seed rather than a generator. Pure, like {!stream}. *)

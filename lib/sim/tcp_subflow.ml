@@ -33,6 +33,23 @@ type entry = {
   mutable e_sent_at : float;
   mutable e_retx : bool;
   mutable e_lost : bool;  (** marked lost by SACK-style hole detection *)
+  e_deliver : unit -> unit;
+      (** arrival event for this segment, built once at entry creation
+          and reused across retransmissions — the data path schedules it
+          directly ({!Link.transmit_direct}) instead of allocating a
+          wrapper closure per transmission *)
+}
+
+(** Pooled ack: the in-flight representation of one subflow+data ack.
+    [a_fire] is allocated once per cell (tied back to the owning cell by
+    a knot in [send_ack]) and reads the two mutable fields at arrival
+    time; cells are recycled through the subflow's freelist the moment
+    they fire or fail to send, so a steady ack clock reuses one cell
+    instead of allocating a closure per ack. *)
+type ack_cell = {
+  mutable a_sbf : int;
+  mutable a_data : int;
+  mutable a_fire : unit -> unit;
 }
 
 type t = {
@@ -62,19 +79,28 @@ type t = {
   mutable rtt_samples : int;
   mutable rto : float;
   min_rto : float;
-  mutable rto_timer : Eventq.event option;
+  mutable rto_timer : Eventq.timer;
   mutable lost_skbs : int;
   (* --- receiver-side subflow state --- *)
   mutable rcv_expected : int;
   rcv_ooo : (int, Packet.t) Hashtbl.t;
+  mutable ack_free : ack_cell list;  (** recycled ack cells *)
   (* --- statistics --- *)
   mutable segs_sent : int;
   mutable segs_retx : int;
   mutable bytes_sent : int;
   mutable bytes_acked : int;
-  mutable tsq_entries : (float * int) list;
-      (** (serialization completion time, bytes) of this subflow's
-          segments queued at the bottleneck — per-subflow TSQ state *)
+  (* Per-subflow TSQ ring: (serialization completion time, bytes) of
+     this subflow's segments queued at the bottleneck, oldest at
+     [tsq_head]. Completion times are pushed in nondecreasing order (the
+     link's serialization horizon only advances), so expiry is a prefix
+     and {!own_backlog_bytes} prunes from the head against a running
+     byte total instead of rebuilding a list per call. *)
+  mutable tsq_time : float array;
+  mutable tsq_size : int array;
+  mutable tsq_head : int;
+  mutable tsq_len : int;
+  mutable tsq_bytes : int;
   (* delivery-rate estimator backing the THROUGHPUT property *)
   mutable rate_anchor_t : float;
   mutable rate_anchor_bytes : int;
@@ -113,62 +139,29 @@ let reno_on_ack t acked =
   if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. float_of_int acked
   else t.cwnd <- t.cwnd +. (float_of_int acked /. Float.max 1.0 t.cwnd)
 
-let create ~id ~clock ~data_link ~ack_link ?(mss = 1448) ?(is_backup = false)
-    ?(min_rto = 0.2) ?(delivery_mode = Immediate) () =
-  {
-    id;
-    mss;
-    is_backup;
-    forced_lossy = false;
-    clock;
-    data_link;
-    ack_link;
-    delivery_mode;
-    established = false;
-    cwnd = float_of_int initial_cwnd;
-    ssthresh = 1e9;
-    snd_nxt = 0;
-    snd_una = 0;
-    inflight = Hashtbl.create 64;
-    send_buffer = Queue.create ();
-    dupacks = 0;
-    recover = -1;
-    srtt = 0.0;
-    rttvar = 0.0;
-    rtt_avg = 0.0;
-    rtt_samples = 0;
-    rto = 1.0;
-    min_rto;
-    rto_timer = None;
-    lost_skbs = 0;
-    rcv_expected = 0;
-    rcv_ooo = Hashtbl.create 64;
-    segs_sent = 0;
-    segs_retx = 0;
-    bytes_sent = 0;
-    bytes_acked = 0;
-    tsq_entries = [];
-    rate_anchor_t = 0.0;
-    rate_anchor_bytes = 0;
-    rate_ewma = 0.0;
-    rate_samples = [];
-    on_meta_deliver = (fun _ -> ());
-    on_suspected_loss = (fun _ -> ());
-    on_failed = (fun _ -> ());
-    on_sender_event = (fun () -> ());
-    is_data_acked = (fun _ -> false);
-    data_ack_value = (fun () -> 0);
-    on_data_ack = (fun _ -> ());
-    rwnd_bytes = (fun () -> max_int);
-    rwnd_exempt = (fun _ -> false);
-    cc_on_ack = reno_on_ack;
-  }
-
 let in_flight_count t = Hashtbl.length t.inflight
 
 let in_recovery t = t.recover >= 0
 
 let lossy t = in_recovery t || t.forced_lossy
+
+let tsq_push t ~until ~size =
+  let cap = Array.length t.tsq_time in
+  if t.tsq_len = cap then begin
+    let time' = Array.make (2 * cap) 0.0 and size' = Array.make (2 * cap) 0 in
+    for i = 0 to t.tsq_len - 1 do
+      time'.(i) <- t.tsq_time.((t.tsq_head + i) mod cap);
+      size'.(i) <- t.tsq_size.((t.tsq_head + i) mod cap)
+    done;
+    t.tsq_time <- time';
+    t.tsq_size <- size';
+    t.tsq_head <- 0
+  end;
+  let tail = (t.tsq_head + t.tsq_len) mod Array.length t.tsq_time in
+  t.tsq_time.(tail) <- until;
+  t.tsq_size.(tail) <- size;
+  t.tsq_len <- t.tsq_len + 1;
+  t.tsq_bytes <- t.tsq_bytes + size
 
 (* TSQ approximation: throttled when more than two segments' worth of
    the subflow's OWN bytes sit unserialized at the bottleneck. Own-bytes
@@ -176,8 +169,12 @@ let lossy t = in_recovery t || t.forced_lossy
    throttle this one (TSQ is per-socket in the kernel). *)
 let own_backlog_bytes t =
   let now = Eventq.now t.clock in
-  t.tsq_entries <- List.filter (fun (until, _) -> until > now) t.tsq_entries;
-  List.fold_left (fun acc (_, size) -> acc + size) 0 t.tsq_entries
+  while t.tsq_len > 0 && t.tsq_time.(t.tsq_head) <= now do
+    t.tsq_bytes <- t.tsq_bytes - t.tsq_size.(t.tsq_head);
+    t.tsq_head <- (t.tsq_head + 1) mod Array.length t.tsq_time;
+    t.tsq_len <- t.tsq_len - 1
+  done;
+  t.tsq_bytes
 
 let tsq_throttled t = own_backlog_bytes t > 2 * t.mss
 
@@ -236,26 +233,37 @@ let update_rate_estimate t =
     end
   end
 
-(** Build the immutable snapshot the scheduler sees. *)
+(** Refill [v] in place with the snapshot the scheduler sees — the
+    per-decision path; the meta socket reuses one view per subflow
+    across executions instead of allocating a sixteen-field record per
+    snapshot. *)
+let view_into t (v : Subflow_view.t) =
+  v.Subflow_view.id <- t.id;
+  v.rtt_us <- rtt_us t;
+  v.rtt_avg_us <-
+    (if t.rtt_samples = 0 then rtt_us t else int_of_float (t.rtt_avg *. 1e6));
+  v.rtt_var_us <- int_of_float (t.rttvar *. 1e6);
+  v.cwnd <- int_of_float t.cwnd;
+  v.ssthresh <-
+    (if t.ssthresh > 1e8 then max_int / 2 else int_of_float t.ssthresh);
+  v.skbs_in_flight <- in_flight_count t;
+  v.queued <- Queue.length t.send_buffer;
+  v.lost_skbs <- t.lost_skbs;
+  v.is_backup <- t.is_backup;
+  v.tsq_throttled <- tsq_throttled t;
+  v.lossy <- lossy t;
+  v.rto_us <- int_of_float (t.rto *. 1e6);
+  v.throughput_bps <- throughput_estimate t;
+  v.mss <- t.mss;
+  v.receive_window_bytes <-
+    (let w = t.rwnd_bytes () in
+     if w > 1 lsl 30 then 1 lsl 30 else w)
+
+(** Build a fresh snapshot (cold paths: invariant checkers, tests). *)
 let view t : Subflow_view.t =
-  {
-    Subflow_view.id = t.id;
-    rtt_us = rtt_us t;
-    rtt_avg_us = (if t.rtt_samples = 0 then rtt_us t else int_of_float (t.rtt_avg *. 1e6));
-    rtt_var_us = int_of_float (t.rttvar *. 1e6);
-    cwnd = int_of_float t.cwnd;
-    ssthresh = (if t.ssthresh > 1e8 then max_int / 2 else int_of_float t.ssthresh);
-    skbs_in_flight = in_flight_count t;
-    queued = Queue.length t.send_buffer;
-    lost_skbs = t.lost_skbs;
-    is_backup = t.is_backup;
-    tsq_throttled = tsq_throttled t;
-    lossy = lossy t;
-    rto_us = int_of_float (t.rto *. 1e6);
-    throughput_bps = throughput_estimate t;
-    mss = t.mss;
-    receive_window_bytes = (let w = t.rwnd_bytes () in if w > (1 lsl 30) then 1 lsl 30 else w);
-  }
+  let v = Subflow_view.fresh () in
+  view_into t v;
+  v
 
 (* ---------- RTT estimation (RFC 6298) ---------- *)
 
@@ -275,34 +283,33 @@ let sample_rtt t r =
 
 (* ---------- RTO timer ---------- *)
 
-let cancel_rto t =
-  match t.rto_timer with
-  | Some ev ->
-      Eventq.cancel ev;
-      t.rto_timer <- None
-  | None -> ()
+(* The timer's action closure is allocated once, in [create]; an arm
+   consumes exactly one event sequence number (like the old
+   cancel-then-schedule), keeping event traces bit-identical. *)
 
-let rec arm_rto t =
-  cancel_rto t;
+let cancel_rto t = Eventq.timer_cancel t.rto_timer
+
+let arm_rto t =
   if Hashtbl.length t.inflight > 0 then
-    t.rto_timer <- Some (Eventq.schedule_in t.clock ~delay:t.rto (fun () -> on_rto t))
+    Eventq.timer_arm_in t.clock t.rto_timer ~delay:t.rto
+  else Eventq.timer_cancel t.rto_timer
 
 (* ---------- transmission ---------- *)
 
-and transmit_entry t seq (entry : entry) =
+let rec transmit_entry t (entry : entry) =
   entry.e_sent_at <- Eventq.now t.clock;
   t.segs_sent <- t.segs_sent + 1;
   t.bytes_sent <- t.bytes_sent + entry.e_size;
   if entry.e_retx then t.segs_retx <- t.segs_retx + 1;
-  let deliver () = on_segment_arrival t seq entry.e_pkt in
-  (match Link.transmit t.data_link ~size:(entry.e_size + 60) deliver with
+  (match
+     Link.transmit_direct t.data_link ~size:(entry.e_size + 60) entry.e_deliver
+   with
   | Link.Delivered _ | Link.Lost_random ->
       (* the segment occupies the bottleneck until serialized, even when
          it will be lost on the wire *)
-      t.tsq_entries <-
-        (Link.busy_until t.data_link, entry.e_size + 60) :: t.tsq_entries
+      tsq_push t ~until:(Link.busy_until t.data_link) ~size:(entry.e_size + 60)
   | Link.Dropped_tail | Link.Lost_down -> ());
-  if t.rto_timer = None then arm_rto t
+  if not (Eventq.timer_armed t.rto_timer) then arm_rto t
 
 (** Move packets from the send buffer onto the wire while the congestion
     window and the peer's receive window allow. *)
@@ -331,10 +338,13 @@ and try_transmit t =
           {
             e_pkt = pkt; e_size = pkt.Packet.size; e_sent_at = 0.0;
             e_retx = false; e_lost = false;
+            e_deliver =
+              (fun () ->
+                if Link.arrival t.data_link then on_segment_arrival t seq pkt);
           }
         in
         Hashtbl.replace t.inflight seq entry;
-        transmit_entry t seq entry
+        transmit_entry t entry
       end
     done
   end
@@ -343,7 +353,7 @@ and retransmit_head t =
   match Hashtbl.find_opt t.inflight t.snd_una with
   | Some entry ->
       entry.e_retx <- true;
-      transmit_entry t t.snd_una entry
+      transmit_entry t entry
   | None -> ()
 
 (* ---------- loss events ---------- *)
@@ -385,7 +395,7 @@ and enter_recovery t ~cause =
   arm_rto t
 
 and on_rto t =
-  t.rto_timer <- None;
+  (* the timer machinery has already disarmed itself *)
   if Hashtbl.length t.inflight > 0 then begin
     t.dupacks <- 0;
     enter_recovery t ~cause:`Rto;
@@ -419,9 +429,27 @@ and on_segment_arrival t seq pkt =
   send_ack t
 
 and send_ack t =
-  let sbf_ack = t.rcv_expected in
-  let data_ack = t.data_ack_value () in
-  Link.deliver_control t.ack_link (fun () -> on_ack t ~sbf_ack ~data_ack)
+  let cell =
+    match t.ack_free with
+    | c :: rest ->
+        t.ack_free <- rest;
+        c
+    | [] ->
+        let c = { a_sbf = 0; a_data = 0; a_fire = ignore } in
+        c.a_fire <-
+          (fun () ->
+            (* copy to locals before recycling: a recursive send during
+               [on_ack] may grab this very cell *)
+            let sbf_ack = c.a_sbf and data_ack = c.a_data in
+            t.ack_free <- c :: t.ack_free;
+            if Link.is_up t.ack_link then on_ack t ~sbf_ack ~data_ack);
+        c
+  in
+  cell.a_sbf <- t.rcv_expected;
+  cell.a_data <- t.data_ack_value ();
+  if not (Link.control_send t.ack_link cell.a_fire) then
+    (* destroyed at send (link down): recycle immediately *)
+    t.ack_free <- cell :: t.ack_free
 
 (* ---------- sender-side ack processing ---------- *)
 
@@ -480,6 +508,70 @@ and on_ack t ~sbf_ack ~data_ack =
       t.on_sender_event ()
     end
   end
+
+(* ---------- construction ---------- *)
+
+(* Defined after the sender/receiver event chain: the RTO timer's single
+   action closure captures [t] and calls {!on_rto}. *)
+let create ~id ~clock ~data_link ~ack_link ?(mss = 1448) ?(is_backup = false)
+    ?(min_rto = 0.2) ?(delivery_mode = Immediate) () =
+  let t =
+    {
+      id;
+      mss;
+      is_backup;
+      forced_lossy = false;
+      clock;
+      data_link;
+      ack_link;
+      delivery_mode;
+      established = false;
+      cwnd = float_of_int initial_cwnd;
+      ssthresh = 1e9;
+      snd_nxt = 0;
+      snd_una = 0;
+      inflight = Hashtbl.create 64;
+      send_buffer = Queue.create ();
+      dupacks = 0;
+      recover = -1;
+      srtt = 0.0;
+      rttvar = 0.0;
+      rtt_avg = 0.0;
+      rtt_samples = 0;
+      rto = 1.0;
+      min_rto;
+      rto_timer = Eventq.timer ignore (* replaced below *);
+      lost_skbs = 0;
+      rcv_expected = 0;
+      rcv_ooo = Hashtbl.create 64;
+      ack_free = [];
+      segs_sent = 0;
+      segs_retx = 0;
+      bytes_sent = 0;
+      bytes_acked = 0;
+      tsq_time = Array.make 64 0.0;
+      tsq_size = Array.make 64 0;
+      tsq_head = 0;
+      tsq_len = 0;
+      tsq_bytes = 0;
+      rate_anchor_t = 0.0;
+      rate_anchor_bytes = 0;
+      rate_ewma = 0.0;
+      rate_samples = [];
+      on_meta_deliver = (fun _ -> ());
+      on_suspected_loss = (fun _ -> ());
+      on_failed = (fun _ -> ());
+      on_sender_event = (fun () -> ());
+      is_data_acked = (fun _ -> false);
+      data_ack_value = (fun () -> 0);
+      on_data_ack = (fun _ -> ());
+      rwnd_bytes = (fun () -> max_int);
+      rwnd_exempt = (fun _ -> false);
+      cc_on_ack = reno_on_ack;
+    }
+  in
+  t.rto_timer <- Eventq.timer (fun () -> on_rto t);
+  t
 
 (* ---------- scheduler-facing operations ---------- *)
 
@@ -547,7 +639,9 @@ let reestablish ?(at = 0.0) t =
            t.rtt_samples <- 0;
            t.rto <- 1.0;
            t.lost_skbs <- 0;
-           t.tsq_entries <- [];
+           t.tsq_head <- 0;
+           t.tsq_len <- 0;
+           t.tsq_bytes <- 0;
            t.rate_anchor_t <- 0.0;
            t.rate_anchor_bytes <- 0;
            t.rate_ewma <- 0.0;

@@ -23,7 +23,18 @@ type entry = {
   mutable e_sent_at : float;
   mutable e_retx : bool;
   mutable e_lost : bool;  (** marked lost by SACK-style hole detection *)
+  e_deliver : unit -> unit;
+      (** the segment's arrival event, built once at entry creation and
+          reused across retransmissions *)
 }
+
+type ack_cell = {
+  mutable a_sbf : int;
+  mutable a_data : int;
+  mutable a_fire : unit -> unit;
+}
+(** Pooled in-flight ack (subflow + data ack values); recycled through
+    the subflow's freelist when it fires or fails to send. *)
 
 type t = {
   id : int;
@@ -52,19 +63,27 @@ type t = {
   mutable rtt_samples : int;
   mutable rto : float;
   min_rto : float;
-  mutable rto_timer : Eventq.event option;
+  mutable rto_timer : Eventq.timer;
+      (** re-armable RTO; its action closure is allocated once, at
+          subflow creation *)
   mutable lost_skbs : int;
   (* --- receiver-side subflow state --- *)
   mutable rcv_expected : int;
   rcv_ooo : (int, Packet.t) Hashtbl.t;
+  mutable ack_free : ack_cell list;  (** recycled ack cells *)
   (* --- statistics --- *)
   mutable segs_sent : int;
   mutable segs_retx : int;
   mutable bytes_sent : int;
   mutable bytes_acked : int;
-  mutable tsq_entries : (float * int) list;
-      (** (serialization completion time, bytes) of this subflow's
-          segments queued at the bottleneck — per-subflow TSQ state *)
+  (* per-subflow TSQ ring: (serialization completion time, bytes) of
+     this subflow's segments queued at the bottleneck, oldest at
+     [tsq_head], completion times nondecreasing *)
+  mutable tsq_time : float array;
+  mutable tsq_size : int array;
+  mutable tsq_head : int;
+  mutable tsq_len : int;
+  mutable tsq_bytes : int;
   (* delivery-rate estimator backing the THROUGHPUT property *)
   mutable rate_anchor_t : float;
   mutable rate_anchor_bytes : int;
@@ -136,8 +155,12 @@ val throughput_estimate : t -> int
     {!rate_window} seconds, falling back to the cwnd/RTT bound before
     any sample exists. *)
 
+val view_into : t -> Subflow_view.t -> unit
+(** Refill an existing view in place — the per-decision snapshot path;
+    the meta socket reuses one record per subflow across executions. *)
+
 val view : t -> Subflow_view.t
-(** The immutable snapshot the scheduler sees. *)
+(** A fresh snapshot (cold paths: invariant checkers, tests). *)
 
 val send : t -> Packet.t -> unit
 (** Enqueue a packet assigned by the scheduler; transmits immediately

@@ -1,0 +1,146 @@
+(** Property tests for the event queue against a sorted-reference
+    model: pop order equals a stable sort by (time, scheduling order),
+    same-timestamp events fire FIFO, cancellation removes exactly the
+    cancelled event, and re-armable timers behave like
+    cancel-then-schedule (one sequence number per arm). *)
+
+open Mptcp_sim
+open Helpers
+
+type op =
+  | Schedule of int  (** time bucket 0..9 *)
+  | Cancel of int  (** index into the events scheduled so far *)
+  | Arm of int * int  (** timer index 0..2, time bucket *)
+  | Disarm of int
+
+type tag = Ev of int | Tm of int
+
+let gen_ops =
+  let open QCheck2.Gen in
+  small_list
+    (oneof
+       [
+         map (fun b -> Schedule (abs b mod 10)) small_int;
+         map (fun i -> Cancel (abs i mod 15)) small_int;
+         map2 (fun k b -> Arm (abs k mod 3, abs b mod 10)) small_int small_int;
+         map (fun k -> Disarm (abs k mod 3)) small_int;
+       ])
+
+(* Execute ops against a real queue and a (seq, time, tag) model, then
+   run to completion: the firing order must equal the model sorted by
+   time with scheduling sequence as the tie-break. Timer arms consume a
+   sequence number exactly like a fresh schedule; cancels consume
+   none. *)
+let model_matches ops =
+  let q = Eventq.create () in
+  let fired = ref [] in
+  let timers =
+    Array.init 3 (fun k -> Eventq.timer (fun () -> fired := Tm k :: !fired))
+  in
+  let seq = ref 0 in
+  let next_seq () =
+    incr seq;
+    !seq
+  in
+  let events = ref [] and n_ev = ref 0 in
+  let model = ref [] in
+  let drop tag = model := List.filter (fun (_, _, t) -> t <> tag) !model in
+  List.iter
+    (fun op ->
+      match op with
+      | Schedule b ->
+          let id = !n_ev in
+          incr n_ev;
+          let t = float_of_int b /. 10.0 in
+          let h = Eventq.schedule q ~at:t (fun () -> fired := Ev id :: !fired) in
+          events := !events @ [ (h, id) ];
+          model := (next_seq (), t, Ev id) :: !model
+      | Cancel i -> (
+          match List.nth_opt !events i with
+          | Some (h, id) ->
+              Eventq.cancel h;
+              drop (Ev id)
+          | None -> ())
+      | Arm (k, b) ->
+          let t = float_of_int b /. 10.0 in
+          Eventq.timer_arm q timers.(k) ~at:t;
+          drop (Tm k);
+          model := (next_seq (), t, Tm k) :: !model
+      | Disarm k ->
+          Eventq.timer_cancel timers.(k);
+          drop (Tm k))
+    ops;
+  Array.iteri
+    (fun k timer ->
+      let armed = List.exists (fun (_, _, t) -> t = Tm k) !model in
+      assert (Eventq.timer_armed timer = armed))
+    timers;
+  ignore (Eventq.run q);
+  let expected =
+    List.sort
+      (fun (s1, t1, _) (s2, t2, _) ->
+        match compare (t1 : float) t2 with 0 -> compare s1 s2 | c -> c)
+      !model
+    |> List.map (fun (_, _, tag) -> tag)
+  in
+  List.rev !fired = expected && Array.for_all (fun t -> not (Eventq.timer_armed t)) timers
+
+let qprop =
+  QCheck2.Test.make ~name:"eventq pops in (time, scheduling order)"
+    ~count:1000 gen_ops model_matches
+
+let suite =
+  [
+    ( "eventq",
+      [
+        tc "same-timestamp events fire FIFO" (fun () ->
+            let q = Eventq.create () in
+            let fired = ref [] in
+            for i = 0 to 9 do
+              ignore
+                (Eventq.schedule q ~at:1.0 (fun () -> fired := i :: !fired))
+            done;
+            ignore (Eventq.run q);
+            Alcotest.(check (list int))
+              "order" (List.init 10 Fun.id) (List.rev !fired));
+        tc "run ~until keeps later events" (fun () ->
+            let q = Eventq.create () in
+            let fired = ref [] in
+            List.iter
+              (fun t ->
+                ignore
+                  (Eventq.schedule q ~at:t (fun () ->
+                       fired := t :: !fired)))
+              [ 0.5; 1.5; 2.5 ];
+            ignore (Eventq.run ~until:1.0 q);
+            Alcotest.(check (list (float 1e-9))) "early" [ 0.5 ] (List.rev !fired);
+            ignore (Eventq.run q);
+            Alcotest.(check (list (float 1e-9)))
+              "rest" [ 0.5; 1.5; 2.5 ] (List.rev !fired));
+        tc "timer re-arms itself from its own action" (fun () ->
+            let q = Eventq.create () in
+            let count = ref 0 in
+            let timer = ref (Eventq.timer ignore) in
+            (timer :=
+               Eventq.timer (fun () ->
+                   incr count;
+                   if !count < 5 then
+                     Eventq.timer_arm_in q !timer ~delay:0.1));
+            Eventq.timer_arm q !timer ~at:0.1;
+            ignore (Eventq.run q);
+            Alcotest.(check int) "fired 5 times" 5 !count;
+            Alcotest.(check bool) "disarmed" false (Eventq.timer_armed !timer));
+        tc "re-arm supersedes the pending arm" (fun () ->
+            let q = Eventq.create () in
+            let times = ref [] in
+            let timer =
+              Eventq.timer (fun () -> times := Eventq.now q :: !times)
+            in
+            Eventq.timer_arm q timer ~at:5.0;
+            Eventq.timer_arm q timer ~at:1.0;
+            ignore (Eventq.run q);
+            Alcotest.(check (list (float 1e-9)))
+              "fires once, at the later arm's time" [ 1.0 ] (List.rev !times));
+        QCheck_alcotest.to_alcotest qprop;
+      ] );
+  ]

@@ -1,0 +1,278 @@
+(** Tests for the experiment-sweep subsystem: campaign-spec parsing,
+    grid expansion order, RNG stream independence, the serial-vs-parallel
+    determinism contract ([Sweep.execute ~jobs:1] equals [~jobs:4]), and
+    a fault-axis campaign with invariant checking on a domain pool. *)
+
+open Mptcp_exp
+open Helpers
+
+let spec_ok text =
+  match Spec.parse text with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+
+let spec_err text =
+  match Spec.parse text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg -> msg
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let spec_suite =
+  [
+    ( "exp spec",
+      [
+        tc "defaults" (fun () ->
+            let s = spec_ok "" in
+            Alcotest.(check (list string)) "scenario" [ "bulk" ] s.Spec.scenarios;
+            Alcotest.(check (list int)) "seed" [ 42 ] s.Spec.seeds;
+            Alcotest.(check bool) "invariants" false s.Spec.invariants);
+        tc "full campaign with ranges, comments and faults" (fun () ->
+            let s =
+              spec_ok
+                "# figure 10b\n\
+                 scenario bulk stream\n\
+                 scheduler default redundant_if_no_q\n\
+                 engine interpreter vm\n\
+                 loss 0.0 0.02   # two loss points\n\
+                 seed 1..3 7\n\
+                 fault none outage=outage.fs\n\
+                 duration 2.5\n\
+                 invariants on\n"
+            in
+            Alcotest.(check (list string))
+              "scenarios" [ "bulk"; "stream" ] s.Spec.scenarios;
+            Alcotest.(check (list string))
+              "schedulers"
+              [ "default"; "redundant_if_no_q" ]
+              s.Spec.schedulers;
+            Alcotest.(check (list int)) "seeds" [ 1; 2; 3; 7 ] s.Spec.seeds;
+            Alcotest.(check (list string))
+              "fault labels" [ "none"; "outage" ]
+              (List.map (fun f -> f.Spec.fault_label) s.Spec.faults);
+            Alcotest.(check (option string))
+              "fault file" (Some "outage.fs")
+              (List.nth s.Spec.faults 1).Spec.fault_file;
+            Alcotest.(check (float 1e-9)) "duration" 2.5 s.Spec.duration;
+            Alcotest.(check bool) "invariants" true s.Spec.invariants);
+        tc "errors carry the line number" (fun () ->
+            Alcotest.(check bool)
+              "unknown key at line 2" true
+              (contains ~sub:"spec:2" (spec_err "seed 1\nbogus x\n"));
+            Alcotest.(check bool)
+              "unknown scenario" true
+              (contains ~sub:"unknown scenario mars" (spec_err "scenario mars"));
+            Alcotest.(check bool)
+              "duplicate key" true
+              (contains ~sub:"duplicate key seed" (spec_err "seed 1\nseed 2"));
+            Alcotest.(check bool)
+              "empty range" true
+              (contains ~sub:"empty seed range" (spec_err "seed 5..2"));
+            Alcotest.(check bool)
+              "malformed fault" true
+              (contains ~sub:"malformed fault" (spec_err "fault oops"));
+            Alcotest.(check bool)
+              "bad duration" true
+              (contains ~sub:"positive" (spec_err "duration -1")));
+        tc "pp round-trips" (fun () ->
+            let s =
+              spec_ok
+                "scenario dash\nscheduler default\nloss 0.01\nseed 1..4\n\
+                 fault none blip=f.fs\nduration 3\ninvariants on\n"
+            in
+            let s' = spec_ok (Fmt.str "%a" Spec.pp s) in
+            Alcotest.(check bool) "equal" true (s = s'));
+        tc "grid expansion: seeds innermost, run_id consecutive" (fun () ->
+            let s =
+              spec_ok "scheduler a b\nloss 0.0 0.1\nseed 1..3\n"
+            in
+            let runs = Spec.runs s in
+            Alcotest.(check int) "count" 12 (List.length runs);
+            Alcotest.(check int) "run_count" 12 (Spec.run_count s);
+            List.iteri
+              (fun i r -> Alcotest.(check int) "run_id" i r.Spec.run_id)
+              runs;
+            let r1 = List.nth runs 1 and r3 = List.nth runs 3 in
+            Alcotest.(check int) "seed varies first" 2 r1.Spec.seed;
+            Alcotest.(check (float 1e-9)) "then loss" 0.1 r3.Spec.loss;
+            Alcotest.(check string) "scheduler last"
+              "b" (List.nth runs 6).Spec.scheduler);
+      ] );
+  ]
+
+let rng_suite =
+  [
+    ( "exp rng streams",
+      [
+        tc "stream is a pure function of (seed, i)" (fun () ->
+            let draws r = List.init 5 (fun _ -> Mptcp_sim.Rng.float r) in
+            Alcotest.(check (list (float 0.0)))
+              "same stream twice"
+              (draws (Mptcp_sim.Rng.stream ~seed:1 2))
+              (draws (Mptcp_sim.Rng.stream ~seed:1 2));
+            Alcotest.(check bool)
+              "distinct indices differ" true
+              (draws (Mptcp_sim.Rng.stream ~seed:1 2)
+              <> draws (Mptcp_sim.Rng.stream ~seed:1 3));
+            Alcotest.(check bool)
+              "distinct seeds differ" true
+              (draws (Mptcp_sim.Rng.stream ~seed:1 2)
+              <> draws (Mptcp_sim.Rng.stream ~seed:4 2)));
+        tc "stream_seed is pure and non-negative" (fun () ->
+            Alcotest.(check int)
+              "pure"
+              (Mptcp_sim.Rng.stream_seed ~seed:9 4)
+              (Mptcp_sim.Rng.stream_seed ~seed:9 4);
+            for i = 0 to 20 do
+              Alcotest.(check bool)
+                "non-negative" true
+                (Mptcp_sim.Rng.stream_seed ~seed:123 i >= 0)
+            done);
+        tc "split decorrelates successive children" (fun () ->
+            let r = Mptcp_sim.Rng.create 7 in
+            let a = Mptcp_sim.Rng.split r and b = Mptcp_sim.Rng.split r in
+            Alcotest.(check bool)
+              "children differ" true
+              (Mptcp_sim.Rng.float a <> Mptcp_sim.Rng.float b));
+      ] );
+  ]
+
+(* The acceptance test of the determinism contract: one 12-run campaign
+   executed serially and on 4 domains must produce structurally equal
+   reports (modulo the jobs field). *)
+let determinism_spec =
+  {
+    Spec.default with
+    Spec.schedulers = [ "default"; "redundant_if_no_q" ];
+    losses = [ 0.0; 0.02 ];
+    seeds = [ 1; 2; 3 ];
+    (* the loss-free bulk transfer completes at ~1.9 s simulated *)
+    duration = 2.5;
+  }
+
+let execute_ok ~jobs spec =
+  match Sweep.execute ~jobs spec with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "sweep failed (jobs=%d): %s" jobs msg
+
+let sweep_suite =
+  [
+    ( "exp sweep",
+      [
+        tc "serial and 4-domain runs produce equal reports" (fun () ->
+            let serial = execute_ok ~jobs:1 determinism_spec in
+            let parallel = execute_ok ~jobs:4 determinism_spec in
+            Alcotest.(check int) "12 runs" 12 (List.length serial.Sweep.runs);
+            Alcotest.(check int) "jobs recorded" 4 parallel.Sweep.jobs;
+            Alcotest.(check bool)
+              "equal_report" true
+              (Sweep.equal_report serial parallel);
+            (* sanity on the content: the loss-free default-scheduler
+               runs complete inside the 2.5 s window (the redundant
+               family trades completion time for tail latency) *)
+            List.iter
+              (fun r ->
+                if
+                  r.Sweep.r_params.Spec.loss = 0.0
+                  && r.Sweep.r_params.Spec.scheduler = "default"
+                then
+                  Alcotest.(check bool)
+                    "completed" true
+                    (r.Sweep.r_completion <> None))
+              serial.Sweep.runs);
+        tc "unknown scheduler and engine are rejected up front" (fun () ->
+            (match
+               Sweep.execute ~jobs:2
+                 { Spec.default with Spec.schedulers = [ "nosuch" ] }
+             with
+            | Ok _ -> Alcotest.fail "expected an error"
+            | Error msg ->
+                Alcotest.(check bool)
+                  "names the scheduler" true
+                  (contains ~sub:"unknown scheduler nosuch" msg));
+            match
+              Sweep.execute ~jobs:2
+                { Spec.default with Spec.engines = [ "jit" ] }
+            with
+            | Ok _ -> Alcotest.fail "expected an error"
+            | Error msg ->
+                Alcotest.(check bool)
+                  "names the engine" true
+                  (contains ~sub:"unknown engine jit" msg));
+        tc "fault-axis campaign with invariants on, 2 domains" (fun () ->
+            let file = Filename.temp_file "sweep" ".fs" in
+            Out_channel.with_open_text file (fun oc ->
+                output_string oc "0.5 sbf1 down\n1.5 sbf1 up\n");
+            Fun.protect
+              ~finally:(fun () -> Sys.remove file)
+              (fun () ->
+                let spec =
+                  {
+                    Spec.default with
+                    Spec.faults =
+                      [
+                        { Spec.fault_label = "none"; fault_file = None };
+                        { Spec.fault_label = "outage"; fault_file = Some file };
+                      ];
+                    seeds = [ 1; 2 ];
+                    duration = 6.0;
+                    invariants = true;
+                  }
+                in
+                let report = execute_ok ~jobs:2 spec in
+                Alcotest.(check int) "4 runs" 4 (List.length report.Sweep.runs);
+                List.iter
+                  (fun r ->
+                    Alcotest.(check int)
+                      "no invariant violations" 0 r.Sweep.r_inv_total;
+                    Alcotest.(check bool)
+                      "completed" true
+                      (r.Sweep.r_completion <> None))
+                  report.Sweep.runs;
+                (* the fault axis must actually bite: the outage delays
+                   the flow on every seed *)
+                let completion r =
+                  match r.Sweep.r_completion with
+                  | Some t -> t
+                  | None -> Alcotest.fail "incomplete"
+                in
+                let by_label label =
+                  List.filter
+                    (fun r ->
+                      r.Sweep.r_params.Spec.fault.Spec.fault_label = label)
+                    report.Sweep.runs
+                in
+                List.iter2
+                  (fun clean faulted ->
+                    Alcotest.(check bool)
+                      "outage delays completion" true
+                      (completion faulted > completion clean +. 0.5))
+                  (by_label "none") (by_label "outage"));
+            ());
+        tc "bad fault script is rejected up front" (fun () ->
+            let file = Filename.temp_file "sweep" ".fs" in
+            Out_channel.with_open_text file (fun oc ->
+                output_string oc "0.5 sbf1 explode\n");
+            Fun.protect
+              ~finally:(fun () -> Sys.remove file)
+              (fun () ->
+                match
+                  Sweep.execute ~jobs:1
+                    {
+                      Spec.default with
+                      Spec.faults =
+                        [ { Spec.fault_label = "boom"; fault_file = Some file } ];
+                    }
+                with
+                | Ok _ -> Alcotest.fail "expected an error"
+                | Error msg ->
+                    Alcotest.(check bool)
+                      "diagnostic mentions the action" true
+                      (contains ~sub:"explode" msg)))
+      ] );
+  ]
+
+let suite = spec_suite @ rng_suite @ sweep_suite

@@ -399,7 +399,7 @@ let test_rto_backoff_cap () =
   Alcotest.(check (float 0.0)) "rto capped at 60 s" 60.0 sbf.Tcp_subflow.rto;
   Alcotest.(check (float 0.0)) "cwnd collapsed to 1" 1.0 sbf.Tcp_subflow.cwnd;
   Alcotest.(check bool) "timer still armed at the cap" true
-    (sbf.Tcp_subflow.rto_timer <> None)
+    (Eventq.timer_armed sbf.Tcp_subflow.rto_timer)
 
 let test_rto_resets_after_reestablish () =
   (* after the backoff has hit the cap, a fail + reestablish cycle must
@@ -423,7 +423,7 @@ let test_rto_resets_after_reestablish () =
   let probed_rto = ref infinity and probed_timer = ref false in
   Connection.at conn ~time:201.05 (fun () ->
       probed_rto := sbf.Tcp_subflow.rto;
-      probed_timer := sbf.Tcp_subflow.rto_timer <> None);
+      probed_timer := Eventq.timer_armed sbf.Tcp_subflow.rto_timer);
   Connection.run ~until:400.0 conn;
   Alcotest.(check bool)
     (Fmt.str "rto restarted from scratch (%.3f <= 1 s)" !probed_rto)
