@@ -328,10 +328,12 @@ let engines_bench () =
   section "engines"
     "decision throughput of every registered engine across the scheduler zoo"
     "the interpreter is the slowest reference; aot and vm close most of the \
-     gap to native (Fig. 9 measures the default scheduler in detail)";
-  let iters = if !smoke then 20 else 20_000 in
+     gap to native, and vm beats vm-noopt by the middle-end + flat-encoding \
+     margin (Fig. 9 measures the default scheduler in detail)";
+  let iters = if !smoke then 2_000 else 20_000 in
   Fmt.pr "%-28s %-14s %14s %16s %12s@." "scheduler" "engine" "ns/decision"
     "decisions/sec" "mw/decision";
+  let results = ref [] in
   List.iter
     (fun (name, src) ->
       List.iter
@@ -353,6 +355,7 @@ let engines_bench () =
           let mw = (Gc.minor_words () -. mw0) /. float_of_int iters in
           let ns = dt /. float_of_int iters *. 1e9 in
           let per_sec = float_of_int iters /. dt in
+          results := ((name, engine), ns) :: !results;
           csv ~experiment:"engines"
             ~header:
               [ "scheduler"; "engine"; "ns_per_decision"; "decisions_per_sec";
@@ -361,7 +364,47 @@ let engines_bench () =
               Fmt.str "%.1f" mw ];
           Fmt.pr "%-28s %-14s %14.0f %16.0f %12.1f@." name engine ns per_sec mw)
         (Engine.names ()))
-    Schedulers.Specs.all
+    Schedulers.Specs.all;
+  (* The optimization margin the bytecode middle-end + flat encoding buys
+     over the same bytecode pipeline without them, per scheduler. *)
+  let results = !results in
+  let ns_of name engine = List.assoc_opt (name, engine) results in
+  let margins =
+    List.filter_map
+      (fun (name, _) ->
+        match (ns_of name "vm", ns_of name "vm-noopt") with
+        | Some opt, Some noopt when noopt > 0.0 ->
+            Some (name, opt, noopt, 100.0 *. (noopt -. opt) /. noopt)
+        | _ -> None)
+      Schedulers.Specs.all
+  in
+  Fmt.pr "@.bytecode middle-end + flat encoding (vm vs vm-noopt):@.";
+  Fmt.pr "%-28s %14s %16s %12s@." "scheduler" "vm ns" "vm-noopt ns"
+    "improvement";
+  List.iter
+    (fun (name, opt, noopt, pct) ->
+      Fmt.pr "%-28s %14.0f %16.0f %11.1f%%@." name opt noopt pct)
+    margins;
+  let oc = open_out "BENCH_engines.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"engines\",\n\
+    \  \"iterations\": %d,\n\
+    \  \"smoke\": %b,\n\
+    \  \"schedulers\": [\n"
+    iters !smoke;
+  let last = List.length margins - 1 in
+  List.iteri
+    (fun i (name, opt, noopt, pct) ->
+      Printf.fprintf oc
+        "    {\"scheduler\": %S, \"vm_ns_per_decision\": %.1f, \
+         \"vm_noopt_ns_per_decision\": %.1f, \"improvement_pct\": %.1f}%s\n"
+        name opt noopt pct
+        (if i = last then "" else ","))
+    margins;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Fmt.pr "  machine-readable results written to BENCH_engines.json@."
 
 (* ------------------------------------------------------------------ *)
 (* obs — overhead of the flight-recorder observability layer           *)
@@ -478,7 +521,7 @@ let sweep_bench () =
     List.map
       (fun jobs ->
         let t0 = Unix.gettimeofday () in
-        match Sweep.execute ~jobs spec with
+        match Sweep.execute ~force_jobs:true ~jobs spec with
         | Error msg ->
             Fmt.epr "sweep benchmark failed at jobs=%d: %s@." jobs msg;
             exit 2

@@ -67,9 +67,10 @@ let compile_cmd =
     with
     | prog, stats ->
         Fmt.pr
-          "compiled: %d virtual instrs -> %d instrs, %d stack slots, %d \
-           spilled vregs@."
+          "compiled: %d virtual instrs -> %d emitted -> %d optimized, %d \
+           stack slots, %d spilled vregs@."
           stats.Progmp_compiler.Compile.vinstrs
+          stats.Progmp_compiler.Compile.raw_instrs
           stats.Progmp_compiler.Compile.instrs
           stats.Progmp_compiler.Compile.spill_slots
           stats.Progmp_compiler.Compile.spilled_vregs;

@@ -71,25 +71,30 @@ not a crash:
 Compilation reports code size and passes the verifier:
 
   $ ../bin/progmp_cli.exe compile minrtt_minimal
-  compiled: 77 virtual instrs -> 115 instrs, 7 stack slots, 7 spilled vregs
+  compiled: 77 virtual instrs -> 115 emitted -> 82 optimized, 7 stack slots, 7 spilled vregs
 
 The disassembly is stable, verified eBPF-style code:
 
   $ echo 'SET(R2, R1 + 1);' | ../bin/progmp_cli.exe compile - --disasm
-  compiled: 7 virtual instrs -> 13 instrs, 0 stack slots, 0 spilled vregs
-     0: mov   r6, #0
-     1: mov   r1, r6
-     2: call  get_reg
-     3: mov   r7, r0
-     4: mov   r6, #1
-     5: mov   r0, r7
-     6: add   r0, r6
-     7: mov   r8, r0
-     8: mov   r6, #1
-     9: mov   r1, r6
-    10: mov   r2, r8
-    11: call  set_reg
-    12: exit
+  compiled: 7 virtual instrs -> 13 emitted -> 7 optimized, 0 stack slots, 0 spilled vregs
+     0: mov   r1, #0
+     1: call  get_reg
+     2: add   r0, #1
+     3: mov   r1, #1
+     4: mov   r2, r0
+     5: call  set_reg
+     6: exit
+
+On a real zoo scheduler the middle-end fuses frequent pairs into
+superinstructions — compare-and-branch on a helper result (call.cc)
+or on a spilled operand (ldx.cc):
+
+  $ ../bin/progmp_cli.exe compile minrtt_minimal --disasm | grep -E 'call\.|ldx\.'
+     6: call.jeq q_nth, #0, 11
+    41: ldx.jge r0, (r2=[fp-3]), 65
+    55: ldx.jeq r0, [fp-4], #0, 57
+    56: ldx.jge r8, (r2=[fp-5]), 61
+    69: call.jeq q_nth, #0, 77
 
 Dry runs show scheduling decisions against a synthetic 2-subflow
 environment (40 ms and 10 ms RTT):
@@ -106,7 +111,8 @@ The engine registry lists every execution backend:
   $ ../bin/progmp_cli.exe engines
   aot          ahead-of-time closure compiler (the paper's AOT backend)
   interpreter  reference tree-walking interpreter over the typed IR
-  vm           eBPF-style bytecode VM (codegen -> regalloc -> emit -> verifier) [verified]
+  vm           eBPF-style bytecode VM (codegen -> regalloc -> emit -> bytecode opt -> verifier -> flat encoding) [verified]
+  vm-noopt     bytecode VM without the middle-end optimizer or flat encoding (escape hatch / optimization baseline) [verified]
 
 All engines agree (selected by name; --backend stays as an alias):
 
@@ -127,7 +133,7 @@ All engines agree (selected by name; --backend stays as an alias):
 An unknown engine fails with the available names:
 
   $ ../bin/progmp_cli.exe run minrtt_minimal --engine jit
-  error: unknown engine jit (available: aot, interpreter, vm)
+  error: unknown engine jit (available: aot, interpreter, vm, vm-noopt)
   [2]
 
 Registers can be preset; round robin's cursor lives in R3:

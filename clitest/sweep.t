@@ -27,10 +27,11 @@ The CSV holds one row per run, in run-id order (seeds innermost):
 
 The determinism contract: a serial and a parallel execution of the same
 campaign produce identical reports — only the recorded job count may
-differ:
+differ. (--jobs-force keeps 4 domains even on smaller machines, where
+plain --jobs is clamped to the recommended domain count.)
 
   $ ../bin/simulate.exe sweep campaign.spec --jobs 1 --json serial.json 2>/dev/null > /dev/null
-  $ ../bin/simulate.exe sweep campaign.spec --jobs 4 --json parallel.json 2>/dev/null > /dev/null
+  $ ../bin/simulate.exe sweep campaign.spec --jobs 4 --jobs-force --json parallel.json 2>/dev/null > /dev/null
   $ sed 's/"jobs":[0-9]*//' serial.json > a && sed 's/"jobs":[0-9]*//' parallel.json > b
   $ cmp a b
 

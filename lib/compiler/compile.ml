@@ -3,43 +3,68 @@
 
     Pipeline: {!Codegen.generate} (lowering + primitive fusion) ->
     {!Regalloc.allocate} (second-chance binpacking) -> {!Emit.emit}
-    (calling-convention lowering, label resolution) -> {!Verifier.verify}.
-    A program that fails verification is never installed — mirroring the
-    kernel refusing to load an eBPF object. *)
+    (calling-convention lowering, label resolution) -> {!Bopt.optimize}
+    (bytecode middle-end: copy propagation, dead-store elimination,
+    jump threading, superinstruction fusion) -> {!Verifier.verify} ->
+    {!Flat.encode} (packed int encoding for the VM's fast path).
+
+    Verification runs on the optimized program — the artifact that
+    actually executes — and the flat encoding is decoded back and
+    verified again before installation, so both representations carry
+    the verifier's guarantees. A program that fails verification is
+    never installed — mirroring the kernel refusing to load an eBPF
+    object. *)
 
 exception Rejected of string
 
 type stats = {
   vinstrs : int;  (** virtual instructions before lowering *)
-  instrs : int;  (** final instruction count *)
+  raw_instrs : int;  (** emitted instructions before the middle-end *)
+  instrs : int;  (** final instruction count (= raw when unoptimized) *)
   spill_slots : int;
   spilled_vregs : int;
 }
 
-let compile_with_stats ?subflow_count (p : Progmp_lang.Tast.program) :
-    Vm.prog * stats =
-  let vcode = Codegen.generate ?subflow_count p in
-  let alloc = Regalloc.allocate vcode in
-  let code = Emit.emit vcode alloc in
-  (match Verifier.verify code with
+let verify_or_reject what code =
+  match Verifier.verify code with
   | [] -> ()
   | errors ->
       raise
         (Rejected
-           (Fmt.str "verifier rejected the program:@\n%a"
+           (Fmt.str "verifier rejected the %s program:@\n%a" what
               Fmt.(list ~sep:(any "@\n") Verifier.pp_error)
-              errors)));
-  ( (match subflow_count with
-    | Some k -> Vm.make_prog ~specialized_for:k ~spill_slots:alloc.Regalloc.spill_slots code
-    | None -> Vm.make_prog ~spill_slots:alloc.Regalloc.spill_slots code),
+              errors))
+
+let compile_with_stats ?(optimize = true) ?subflow_count
+    (p : Progmp_lang.Tast.program) : Vm.prog * stats =
+  let vcode = Codegen.generate ?subflow_count p in
+  let alloc = Regalloc.allocate vcode in
+  let raw = Emit.emit vcode alloc in
+  let code = if optimize then Bopt.optimize raw else raw in
+  verify_or_reject "compiled" code;
+  let flat =
+    if optimize then begin
+      (* Re-verify the flattened artifact itself: decode must round-trip
+         to verifier-accepted code before the unchecked fast path may
+         run it. *)
+      let f = Flat.encode code in
+      verify_or_reject "flattened" (Flat.decode f);
+      f
+    end
+    else [||]
+  in
+  ( Vm.make_prog ?specialized_for:subflow_count ~flat
+      ~spill_slots:alloc.Regalloc.spill_slots code,
     {
       vinstrs = Array.length vcode.Vcode.code;
+      raw_instrs = Array.length raw;
       instrs = Array.length code;
       spill_slots = alloc.Regalloc.spill_slots;
       spilled_vregs = alloc.Regalloc.spilled;
     } )
 
-let compile ?subflow_count p = fst (compile_with_stats ?subflow_count p)
+let compile ?optimize ?subflow_count p =
+  fst (compile_with_stats ?optimize ?subflow_count p)
 
 (** Build an execution engine from a compiled program. When the program
     was specialized for a constant subflow count (§4.1, "constant subflow
@@ -55,10 +80,14 @@ let engine ?fallback (prog : Vm.prog) : Progmp_runtime.Env.t -> unit =
       | None -> Vm.run prog env)
   | Some _ | None -> Vm.run prog env
 
-(** Register the "vm" engine with the runtime's {!Progmp_runtime.Engine}
-    registry. Runs once when this module is linked; binaries that select
-    engines purely by name call it explicitly so the linker cannot drop
-    this module (and its registration) as unreferenced. *)
+(** Register the bytecode engines with the runtime's
+    {!Progmp_runtime.Engine} registry: "vm" is the optimized,
+    flat-encoded fast path; "vm-noopt" the escape hatch running the
+    un-optimized emit output on the boxed interpreter (the baseline
+    [bench engines] measures the middle-end against). Runs once when
+    this module is linked; binaries that select engines purely by name
+    call it explicitly so the linker cannot drop this module (and its
+    registration) as unreferenced. *)
 let register_engines =
   let registered = ref false in
   fun () ->
@@ -71,9 +100,19 @@ let register_engines =
             verified = true;
             description =
               "eBPF-style bytecode VM (codegen -> regalloc -> emit -> \
-               verifier)";
+               bytecode opt -> verifier -> flat encoding)";
           }
-        (fun program -> engine (compile program))
+        (fun program -> engine (compile program));
+      Progmp_runtime.Engine.register "vm-noopt"
+        ~caps:
+          {
+            Progmp_runtime.Engine.compiled = true;
+            verified = true;
+            description =
+              "bytecode VM without the middle-end optimizer or flat \
+               encoding (escape hatch / optimization baseline)";
+          }
+        (fun program -> engine (compile ~optimize:false program))
     end
 
 let () = register_engines ()

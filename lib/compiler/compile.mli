@@ -2,9 +2,11 @@
     installation into the runtime's scheduler registry.
 
     Pipeline: {!Codegen.generate} -> {!Regalloc.allocate} ->
-    {!Emit.emit} -> {!Verifier.verify}. A program that fails
-    verification is never installed, mirroring the kernel refusing an
-    eBPF object. *)
+    {!Emit.emit} -> {!Bopt.optimize} -> {!Verifier.verify} ->
+    {!Flat.encode}. Verification runs on the optimized program, and the
+    flat encoding is decoded and verified again before installation. A
+    program that fails verification is never installed, mirroring the
+    kernel refusing an eBPF object. *)
 
 exception Rejected of string
 (** The verifier rejected the generated code (a compiler bug by
@@ -12,17 +14,24 @@ exception Rejected of string
 
 type stats = {
   vinstrs : int;  (** virtual instructions before lowering *)
-  instrs : int;  (** final instruction count *)
+  raw_instrs : int;  (** emitted instructions before the middle-end *)
+  instrs : int;  (** final instruction count (= raw when unoptimized) *)
   spill_slots : int;
   spilled_vregs : int;
 }
 
 val compile_with_stats :
-  ?subflow_count:int -> Progmp_lang.Tast.program -> Vm.prog * stats
+  ?optimize:bool ->
+  ?subflow_count:int ->
+  Progmp_lang.Tast.program ->
+  Vm.prog * stats
 (** Compile and verify; [subflow_count] specializes for a constant
-    number of subflows (§4.1). @raise Rejected on verifier failure. *)
+    number of subflows (§4.1). [optimize] (default [true]) runs the
+    bytecode middle-end and produces the flat encoding; [false] is the
+    "vm-noopt" escape hatch. @raise Rejected on verifier failure. *)
 
-val compile : ?subflow_count:int -> Progmp_lang.Tast.program -> Vm.prog
+val compile :
+  ?optimize:bool -> ?subflow_count:int -> Progmp_lang.Tast.program -> Vm.prog
 
 val engine :
   ?fallback:(Progmp_runtime.Env.t -> unit) ->
@@ -33,10 +42,11 @@ val engine :
     [fallback] when the live subflow count differs. *)
 
 val register_engines : unit -> unit
-(** Register the "vm" engine with {!Progmp_runtime.Engine}. Idempotent;
-    also runs automatically when this module is linked. Call it from
-    binaries that select engines only by name, so the linker keeps this
-    module. *)
+(** Register the "vm" (optimized + flat-encoded) and "vm-noopt"
+    (escape-hatch baseline) engines with {!Progmp_runtime.Engine}.
+    Idempotent; also runs automatically when this module is linked.
+    Call it from binaries that select engines only by name, so the
+    linker keeps this module. *)
 
 val install_specialized :
   subflow_count:int -> Progmp_runtime.Scheduler.t -> Vm.prog

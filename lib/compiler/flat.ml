@@ -1,0 +1,199 @@
+(** Flat program encoding: the instruction stream packed into one int
+    array, four words per instruction — opcode, then up to three
+    operands — with jump targets pre-scaled to word offsets. The VM's
+    fast path dispatches over this encoding with no per-instruction
+    boxed-variant loads (Ertl & Gregg: flattened threaded code is the
+    difference between an efficient and a naive interpreter).
+
+    Layout (word 0 = opcode, [w1]-[w3] = operands):
+
+    {v
+    0                exit
+    1                mov   w1=d  w2=s
+    2                movi  w1=d  w2=imm
+    3                jmp   w1=t
+    4                call  w1=helper
+    5                ldx   w1=d  w2=slot
+    6                stx   w1=slot w2=s
+    8  + aluop       alu   w1=d  w2=s          (10 opcodes)
+    18 + aluop       alui  w1=d  w2=imm        (10 opcodes)
+    28 + cond        jcc   w1=a  w2=b  w3=t    (6 opcodes)
+    34 + cond        jcci  w1=a  w2=imm w3=t   (6 opcodes)
+    40 + cond        call_jcci w1=helper w2=imm w3=t
+    46 + cond        ldx_jcci  w1=slot*16+d w2=imm w3=t
+    52 + cond        ldx_jcc   w1=(slot*16+d)*16+a w2=t
+    v}
+
+    ALU opcode and branch condition are folded into the opcode so the
+    dispatch match selects the exact operation in one indirect jump.
+    Register numbers fit in 4 bits ([Isa.num_regs] = 11) and stack slots
+    in 9 ([Isa.stack_words] = 512), so the packed fields of the fused
+    forms are exact. Encoding is only applied to verifier-accepted code;
+    {!decode} restores the instruction array exactly (round-trip
+    property-tested), which is how the flattened artifact itself is
+    re-verified before installation. *)
+
+let aluop_code : Isa.aluop -> int = function
+  | Isa.Add -> 0
+  | Isa.Sub -> 1
+  | Isa.Mul -> 2
+  | Isa.Div -> 3
+  | Isa.Mod -> 4
+  | Isa.And -> 5
+  | Isa.Or -> 6
+  | Isa.Xor -> 7
+  | Isa.Lsh -> 8
+  | Isa.Rsh -> 9
+
+let aluop_of_code = function
+  | 0 -> Isa.Add
+  | 1 -> Isa.Sub
+  | 2 -> Isa.Mul
+  | 3 -> Isa.Div
+  | 4 -> Isa.Mod
+  | 5 -> Isa.And
+  | 6 -> Isa.Or
+  | 7 -> Isa.Xor
+  | 8 -> Isa.Lsh
+  | _ -> Isa.Rsh
+
+let cond_code : Isa.cond -> int = function
+  | Isa.Jeq -> 0
+  | Isa.Jne -> 1
+  | Isa.Jlt -> 2
+  | Isa.Jle -> 3
+  | Isa.Jgt -> 4
+  | Isa.Jge -> 5
+
+let cond_of_code = function
+  | 0 -> Isa.Jeq
+  | 1 -> Isa.Jne
+  | 2 -> Isa.Jlt
+  | 3 -> Isa.Jle
+  | 4 -> Isa.Jgt
+  | _ -> Isa.Jge
+
+let helper_code : Isa.helper -> int = function
+  | Isa.H_q_nth -> 0
+  | Isa.H_q_remove -> 1
+  | Isa.H_sbf_count -> 2
+  | Isa.H_sbf_prop -> 3
+  | Isa.H_pkt_prop -> 4
+  | Isa.H_sent_on -> 5
+  | Isa.H_has_window -> 6
+  | Isa.H_push -> 7
+  | Isa.H_drop -> 8
+  | Isa.H_get_reg -> 9
+  | Isa.H_set_reg -> 10
+
+let helper_of_code = function
+  | 0 -> Isa.H_q_nth
+  | 1 -> Isa.H_q_remove
+  | 2 -> Isa.H_sbf_count
+  | 3 -> Isa.H_sbf_prop
+  | 4 -> Isa.H_pkt_prop
+  | 5 -> Isa.H_sent_on
+  | 6 -> Isa.H_has_window
+  | 7 -> Isa.H_push
+  | 8 -> Isa.H_drop
+  | 9 -> Isa.H_get_reg
+  | _ -> Isa.H_set_reg
+
+let op_exit = 0
+let op_mov = 1
+let op_movi = 2
+let op_jmp = 3
+let op_call = 4
+let op_ldx = 5
+let op_stx = 6
+let op_alu = 8 (* + aluop *)
+let op_alui = 18 (* + aluop *)
+let op_jcc = 28 (* + cond *)
+let op_jcci = 34 (* + cond *)
+let op_call_jcci = 40 (* + cond *)
+let op_ldx_jcci = 46 (* + cond *)
+let op_ldx_jcc = 52 (* + cond *)
+
+let words_per_instr = 4
+
+let encode (code : Isa.instr array) : int array =
+  let n = Array.length code in
+  let f = Array.make (n * words_per_instr) 0 in
+  let w = words_per_instr in
+  let set pc op a b c =
+    f.(pc * w) <- op;
+    f.((pc * w) + 1) <- a;
+    f.((pc * w) + 2) <- b;
+    f.((pc * w) + 3) <- c
+  in
+  Array.iteri
+    (fun pc i ->
+      match (i : Isa.instr) with
+      | Isa.Exit -> set pc op_exit 0 0 0
+      | Isa.Mov (d, s) -> set pc op_mov d s 0
+      | Isa.Movi (d, n) -> set pc op_movi d n 0
+      | Isa.Jmp t -> set pc op_jmp (t * w) 0 0
+      | Isa.Call h -> set pc op_call (helper_code h) 0 0
+      | Isa.Ldx (d, s) -> set pc op_ldx d s 0
+      | Isa.Stx (s, r) -> set pc op_stx s r 0
+      | Isa.Alu (op, d, s) -> set pc (op_alu + aluop_code op) d s 0
+      | Isa.Alui (op, d, n) -> set pc (op_alui + aluop_code op) d n 0
+      | Isa.Jcc (c, a, b, t) -> set pc (op_jcc + cond_code c) a b (t * w)
+      | Isa.Jcci (c, a, n, t) -> set pc (op_jcci + cond_code c) a n (t * w)
+      | Isa.CallJcci (h, c, n, t) ->
+          set pc (op_call_jcci + cond_code c) (helper_code h) n (t * w)
+      | Isa.LdxJcci (c, d, slot, n, t) ->
+          set pc (op_ldx_jcci + cond_code c) ((slot * 16) + d) n (t * w)
+      | Isa.LdxJcc (c, a, d, slot, t) ->
+          set pc (op_ldx_jcc + cond_code c) ((((slot * 16) + d) * 16) + a)
+            (t * w) 0)
+    code;
+  f
+
+(** Exact inverse of {!encode} (on well-formed encodings): lets the
+    flattened artifact be disassembled and re-verified as ordinary
+    {!Isa} code. @raise Invalid_argument on a malformed stream. *)
+let decode (f : int array) : Isa.instr array =
+  let w = words_per_instr in
+  if Array.length f mod w <> 0 then
+    invalid_arg "Flat.decode: stream length not a multiple of the stride";
+  let n = Array.length f / w in
+  Array.init n (fun pc ->
+      let op = f.(pc * w) in
+      let a = f.((pc * w) + 1)
+      and b = f.((pc * w) + 2)
+      and c = f.((pc * w) + 3) in
+      let t x =
+        if x mod w <> 0 then
+          invalid_arg "Flat.decode: jump target off the instruction grid";
+        x / w
+      in
+      if op = op_exit then Isa.Exit
+      else if op = op_mov then Isa.Mov (a, b)
+      else if op = op_movi then Isa.Movi (a, b)
+      else if op = op_jmp then Isa.Jmp (t a)
+      else if op = op_call then Isa.Call (helper_of_code a)
+      else if op = op_ldx then Isa.Ldx (a, b)
+      else if op = op_stx then Isa.Stx (a, b)
+      else if op >= op_alu && op < op_alu + 10 then
+        Isa.Alu (aluop_of_code (op - op_alu), a, b)
+      else if op >= op_alui && op < op_alui + 10 then
+        Isa.Alui (aluop_of_code (op - op_alui), a, b)
+      else if op >= op_jcc && op < op_jcc + 6 then
+        Isa.Jcc (cond_of_code (op - op_jcc), a, b, t c)
+      else if op >= op_jcci && op < op_jcci + 6 then
+        Isa.Jcci (cond_of_code (op - op_jcci), a, b, t c)
+      else if op >= op_call_jcci && op < op_call_jcci + 6 then
+        Isa.CallJcci
+          (helper_of_code a, cond_of_code (op - op_call_jcci), b, t c)
+      else if op >= op_ldx_jcci && op < op_ldx_jcci + 6 then
+        Isa.LdxJcci
+          (cond_of_code (op - op_ldx_jcci), a land 15, a lsr 4, b, t c)
+      else if op >= op_ldx_jcc && op < op_ldx_jcc + 6 then
+        Isa.LdxJcc
+          ( cond_of_code (op - op_ldx_jcc),
+            a land 15,
+            (a lsr 4) land 15,
+            a lsr 8,
+            t b )
+      else invalid_arg (Fmt.str "Flat.decode: unknown opcode %d" op))

@@ -1,0 +1,20 @@
+(** Flat program encoding: the instruction stream packed into one int
+    array, {!words_per_instr} words per instruction (opcode + up to
+    three operands), jump targets pre-scaled to word offsets. The VM's
+    fast path dispatches over this encoding; {!decode} restores the
+    instruction array exactly, which is how the flattened artifact is
+    re-verified before installation. *)
+
+val words_per_instr : int
+
+val encode : Isa.instr array -> int array
+(** Only apply to verifier-accepted code (the VM's fast path relies on
+    the verifier's bounds when executing the encoding unchecked). *)
+
+val decode : int array -> Isa.instr array
+(** Exact inverse of {!encode}. @raise Invalid_argument on a malformed
+    stream. *)
+
+val helper_of_code : int -> Isa.helper
+
+val helper_code : Isa.helper -> int

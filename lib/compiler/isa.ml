@@ -74,6 +74,22 @@ type instr =
   | Ldx of reg * int  (** dst := stack[slot] *)
   | Stx of int * reg  (** stack[slot] := src *)
   | Exit
+  (* Superinstructions, formed only by the bytecode middle-end
+     ({!Bopt.fuse}); the code generator never emits them directly. Each
+     is exactly the sequential composition of its two constituent
+     instructions, so fusing is always semantics-preserving. *)
+  | CallJcci of helper * cond * int * int
+      (** [Call h] then [Jcci (c, r0, imm, t)]: the load-field-then-
+          compare idiom (property reads and queue probes are helper
+          calls whose result lands in r0). r0 keeps the call result. *)
+  | LdxJcci of cond * reg * int * int * int
+      (** [(c, d, slot, imm, t)]: [Ldx (d, slot)] then
+          [Jcci (c, d, imm, t)] — compare-and-branch on a spilled
+          operand. [d] keeps the loaded value. *)
+  | LdxJcc of cond * reg * reg * int * int
+      (** [(c, a, d, slot, t)]: [Ldx (d, slot)] then [Jcc (c, a, d, t)]
+          — compare-and-branch whose right operand is reloaded from the
+          stack. [d] keeps the loaded value. *)
 
 (** Stack size in words, as in eBPF's 512-byte stack. *)
 let stack_words = 512
@@ -144,6 +160,16 @@ let aluop_name = function
   | Xor -> "xor"
   | Lsh -> "lsh"
   | Rsh -> "rsh"
+
+(* [a c b] iff [b (cond_swap c) a] — used when fusing rewrites a
+   comparison so that its reloaded operand sits on the right. *)
+let cond_swap = function
+  | Jeq -> Jeq
+  | Jne -> Jne
+  | Jlt -> Jgt
+  | Jle -> Jge
+  | Jgt -> Jlt
+  | Jge -> Jle
 
 let cond_name = function
   | Jeq -> "jeq"

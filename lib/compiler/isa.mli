@@ -50,6 +50,18 @@ type instr =
   | Ldx of reg * int  (** dst := stack[slot] *)
   | Stx of int * reg  (** stack[slot] := src *)
   | Exit
+  (* Superinstructions, formed only by the bytecode middle-end
+     ({!Bopt.fuse}); each is exactly the sequential composition of its
+     two constituent instructions. *)
+  | CallJcci of helper * cond * int * int
+      (** [Call h] then [Jcci (c, r0, imm, t)]: load-field-then-compare
+          (property reads and queue probes are helper calls). *)
+  | LdxJcci of cond * reg * int * int * int
+      (** [(c, d, slot, imm, t)]: [Ldx (d, slot)] then
+          [Jcci (c, d, imm, t)]. *)
+  | LdxJcc of cond * reg * reg * int * int
+      (** [(c, a, d, slot, t)]: [Ldx (d, slot)] then
+          [Jcc (c, a, d, t)]. *)
 
 val stack_words : int
 (** Stack size in words (eBPF's 512-byte stack analogue). *)
@@ -65,5 +77,8 @@ val pkt_prop_code : Progmp_lang.Props.packet_prop -> int
 val pkt_prop_of_code : int -> Progmp_lang.Props.packet_prop
 
 val aluop_name : aluop -> string
+
+val cond_swap : cond -> cond
+(** [a c b] iff [b (cond_swap c) a]. *)
 
 val cond_name : cond -> string

@@ -72,7 +72,18 @@ let verify (code : Isa.instr array) : error list =
         | Isa.Stx (s, r) ->
             check_slot s;
             check_reg r "source"
-        | Isa.Exit -> ())
+        | Isa.Exit -> ()
+        (* Superinstructions: the checks of both constituents. *)
+        | Isa.CallJcci (_, _, _, t) -> check_target t
+        | Isa.LdxJcci (_, d, s, _, t) ->
+            check_reg d "destination";
+            check_slot s;
+            check_target t
+        | Isa.LdxJcc (_, a, d, s, t) ->
+            check_reg a "comparison";
+            check_reg d "destination";
+            check_slot s;
+            check_target t)
       code;
     (* Fall-through off the end. *)
     (match code.(len - 1) with
@@ -133,6 +144,24 @@ let verify (code : Isa.instr array) : error list =
             require pc state r;
             propagate (pc + 1) state
         | Isa.Exit -> ()
+        (* Superinstructions: the transfer of the first constituent
+           feeds both branch successors. *)
+        | Isa.CallJcci (h, _, _, t) ->
+            for i = 1 to Isa.helper_arity h do
+              require pc state i
+            done;
+            let state' = state land lnot caller_saved_mask lor reg_bit 0 in
+            propagate t state';
+            propagate (pc + 1) state'
+        | Isa.LdxJcci (_, d, _, _, t) ->
+            let state' = state lor reg_bit d in
+            propagate t state';
+            propagate (pc + 1) state'
+        | Isa.LdxJcc (_, a, d, _, t) ->
+            require pc state a;
+            let state' = state lor reg_bit d in
+            propagate t state';
+            propagate (pc + 1) state'
       done
     end
   end;

@@ -13,6 +13,11 @@ open Progmp_runtime
 
 type prog = {
   code : Isa.instr array;
+  flat : int array;
+      (** {!Flat} encoding of [code], or [[||]] to run the boxed
+          interpreter. Only ever non-empty for verifier-accepted code:
+          the fast path executes it without bounds checks, relying on
+          the verifier's jump/register/stack guarantees. *)
   spill_slots : int;
   specialized_for : int option;
       (** compiled for a constant subflow count; the engine guards on it *)
@@ -24,10 +29,12 @@ type prog = {
 
 (** Wrap verified code into an executable program with its scratch
     state. Programs are not reentrant (one execution at a time), exactly
-    like a per-scheduler kernel object. *)
-let make_prog ?specialized_for ~spill_slots code =
+    like a per-scheduler kernel object. [flat] selects the flat-encoded
+    fast path; pass it only for code the verifier has accepted. *)
+let make_prog ?specialized_for ?(flat = [||]) ~spill_slots code =
   {
     code;
+    flat;
     spill_slots;
     specialized_for;
     scratch_regs = Array.make Isa.num_regs 0;
@@ -147,21 +154,10 @@ let exec_cond c a b =
   | Isa.Jgt -> a > b
   | Isa.Jge -> a >= b
 
-(** Run a compiled scheduler for one execution against [env] (prepared
-    with {!Progmp_runtime.Env.begin_execution}). @raise Fault on invalid
-    handles, bad queue codes or an exhausted step budget. *)
-let run ?(max_steps = default_max_steps) (prog : prog) (env : Env.t) =
-  Array.fill prog.scratch_regs 0 Isa.num_regs 0;
-  Hashtbl.reset prog.scratch_packets;
-  let st =
-    {
-      env;
-      regs = prog.scratch_regs;
-      stack = prog.scratch_stack;
-      packets = prog.scratch_packets;
-    }
-  in
-  let code = prog.code in
+(* The boxed-variant interpreter: executes [Isa.instr array] directly,
+   with full bounds checking. This is the "vm-noopt" escape-hatch path
+   (and the path for hand-built programs that were never flattened). *)
+let run_boxed st (code : Isa.instr array) max_steps =
   let len = Array.length code in
   let steps = ref 0 in
   let rec step pc =
@@ -198,8 +194,190 @@ let run ?(max_steps = default_max_steps) (prog : prog) (env : Env.t) =
         st.stack.(slot) <- st.regs.(s);
         step (pc + 1)
     | Isa.Exit -> ()
+    (* Superinstructions: exactly the sequential composition of their
+       two constituents (see {!Isa}). *)
+    | Isa.CallJcci (h, c, n, t) ->
+        st.regs.(0) <- exec_helper st h;
+        if exec_cond c st.regs.(0) n then step t else step (pc + 1)
+    | Isa.LdxJcci (c, d, slot, n, t) ->
+        if slot < 0 || slot >= Isa.stack_words then fault "stack load oob";
+        st.regs.(d) <- st.stack.(slot);
+        if exec_cond c st.regs.(d) n then step t else step (pc + 1)
+    | Isa.LdxJcc (c, a, d, slot, t) ->
+        if slot < 0 || slot >= Isa.stack_words then fault "stack load oob";
+        st.regs.(d) <- st.stack.(slot);
+        if exec_cond c st.regs.(a) st.regs.(d) then step t else step (pc + 1)
   in
   if len > 0 then step 0
+
+(* The flat-encoded fast path: a tight dispatch loop over the packed
+   int stream of {!Flat}, with the ALU operation and branch condition
+   folded into the opcode so each arm is straight-line code. Array
+   accesses are unchecked ([Array.unsafe_get]/[unsafe_set]) — sound
+   because [prog.flat] is only ever built from verifier-accepted code:
+   every jump target is in range and on the instruction grid (encode
+   pre-scales them), every register index is < [Isa.num_regs], every
+   stack slot is < [Isa.stack_words], and the program cannot fall off
+   the end (the last instruction is an exit or an unconditional jump),
+   so every pc this loop can reach is a valid instruction start. The
+   opcode numbers must stay in sync with {!Flat} (pinned by the
+   encode/decode round-trip test and the vm/vm-noopt differential
+   suite). *)
+let run_flat st (f : int array) max_steps =
+  let regs = st.regs and stack = st.stack in
+  let steps = ref 0 in
+  let rec go pc =
+    incr steps;
+    if !steps > max_steps then fault "step budget exhausted";
+    match Array.unsafe_get f pc with
+    | 0 -> () (* exit *)
+    | 1 ->
+        (* mov *)
+        Array.unsafe_set regs
+          (Array.unsafe_get f (pc + 1))
+          (Array.unsafe_get regs (Array.unsafe_get f (pc + 2)));
+        go (pc + 4)
+    | 2 ->
+        (* movi *)
+        Array.unsafe_set regs
+          (Array.unsafe_get f (pc + 1))
+          (Array.unsafe_get f (pc + 2));
+        go (pc + 4)
+    | 3 -> go (Array.unsafe_get f (pc + 1)) (* jmp *)
+    | 4 ->
+        (* call *)
+        Array.unsafe_set regs 0
+          (exec_helper st (Flat.helper_of_code (Array.unsafe_get f (pc + 1))));
+        go (pc + 4)
+    | 5 ->
+        (* ldx *)
+        Array.unsafe_set regs
+          (Array.unsafe_get f (pc + 1))
+          (Array.unsafe_get stack (Array.unsafe_get f (pc + 2)));
+        go (pc + 4)
+    | 6 ->
+        (* stx *)
+        Array.unsafe_set stack
+          (Array.unsafe_get f (pc + 1))
+          (Array.unsafe_get regs (Array.unsafe_get f (pc + 2)));
+        go (pc + 4)
+    | 8 -> alu_rr pc (fun a b -> a + b)
+    | 9 -> alu_rr pc (fun a b -> a - b)
+    | 10 -> alu_rr pc (fun a b -> a * b)
+    | 11 -> alu_rr pc (fun a b -> if b = 0 then 0 else a / b)
+    | 12 -> alu_rr pc (fun a b -> if b = 0 then 0 else a mod b)
+    | 13 -> alu_rr pc (fun a b -> a land b)
+    | 14 -> alu_rr pc (fun a b -> a lor b)
+    | 15 -> alu_rr pc (fun a b -> a lxor b)
+    | 16 -> alu_rr pc (fun a b -> if b < 0 || b >= 63 then 0 else a lsl b)
+    | 17 -> alu_rr pc (fun a b -> if b < 0 || b >= 63 then 0 else a asr b)
+    | 18 -> alu_ri pc (fun a b -> a + b)
+    | 19 -> alu_ri pc (fun a b -> a - b)
+    | 20 -> alu_ri pc (fun a b -> a * b)
+    | 21 -> alu_ri pc (fun a b -> if b = 0 then 0 else a / b)
+    | 22 -> alu_ri pc (fun a b -> if b = 0 then 0 else a mod b)
+    | 23 -> alu_ri pc (fun a b -> a land b)
+    | 24 -> alu_ri pc (fun a b -> a lor b)
+    | 25 -> alu_ri pc (fun a b -> a lxor b)
+    | 26 -> alu_ri pc (fun a b -> if b < 0 || b >= 63 then 0 else a lsl b)
+    | 27 -> alu_ri pc (fun a b -> if b < 0 || b >= 63 then 0 else a asr b)
+    | 28 -> jcc_rr pc (fun a b -> a = b)
+    | 29 -> jcc_rr pc (fun a b -> a <> b)
+    | 30 -> jcc_rr pc (fun a b -> a < b)
+    | 31 -> jcc_rr pc (fun a b -> a <= b)
+    | 32 -> jcc_rr pc (fun a b -> a > b)
+    | 33 -> jcc_rr pc (fun a b -> a >= b)
+    | 34 -> jcc_ri pc (fun a b -> a = b)
+    | 35 -> jcc_ri pc (fun a b -> a <> b)
+    | 36 -> jcc_ri pc (fun a b -> a < b)
+    | 37 -> jcc_ri pc (fun a b -> a <= b)
+    | 38 -> jcc_ri pc (fun a b -> a > b)
+    | 39 -> jcc_ri pc (fun a b -> a >= b)
+    | 40 -> call_jcci pc (fun a b -> a = b)
+    | 41 -> call_jcci pc (fun a b -> a <> b)
+    | 42 -> call_jcci pc (fun a b -> a < b)
+    | 43 -> call_jcci pc (fun a b -> a <= b)
+    | 44 -> call_jcci pc (fun a b -> a > b)
+    | 45 -> call_jcci pc (fun a b -> a >= b)
+    | 46 -> ldx_jcci pc (fun a b -> a = b)
+    | 47 -> ldx_jcci pc (fun a b -> a <> b)
+    | 48 -> ldx_jcci pc (fun a b -> a < b)
+    | 49 -> ldx_jcci pc (fun a b -> a <= b)
+    | 50 -> ldx_jcci pc (fun a b -> a > b)
+    | 51 -> ldx_jcci pc (fun a b -> a >= b)
+    | 52 -> ldx_jcc pc (fun a b -> a = b)
+    | 53 -> ldx_jcc pc (fun a b -> a <> b)
+    | 54 -> ldx_jcc pc (fun a b -> a < b)
+    | 55 -> ldx_jcc pc (fun a b -> a <= b)
+    | 56 -> ldx_jcc pc (fun a b -> a > b)
+    | 57 -> ldx_jcc pc (fun a b -> a >= b)
+    | op -> fault "bad flat opcode %d" op
+  and[@inline] alu_rr pc op =
+    let d = Array.unsafe_get f (pc + 1) in
+    Array.unsafe_set regs d
+      (op (Array.unsafe_get regs d)
+         (Array.unsafe_get regs (Array.unsafe_get f (pc + 2))));
+    go (pc + 4)
+  and[@inline] alu_ri pc op =
+    let d = Array.unsafe_get f (pc + 1) in
+    Array.unsafe_set regs d
+      (op (Array.unsafe_get regs d) (Array.unsafe_get f (pc + 2)));
+    go (pc + 4)
+  and[@inline] jcc_rr pc cmp =
+    if
+      cmp
+        (Array.unsafe_get regs (Array.unsafe_get f (pc + 1)))
+        (Array.unsafe_get regs (Array.unsafe_get f (pc + 2)))
+    then go (Array.unsafe_get f (pc + 3))
+    else go (pc + 4)
+  and[@inline] jcc_ri pc cmp =
+    if
+      cmp
+        (Array.unsafe_get regs (Array.unsafe_get f (pc + 1)))
+        (Array.unsafe_get f (pc + 2))
+    then go (Array.unsafe_get f (pc + 3))
+    else go (pc + 4)
+  and[@inline] call_jcci pc cmp =
+    let r =
+      exec_helper st (Flat.helper_of_code (Array.unsafe_get f (pc + 1)))
+    in
+    Array.unsafe_set regs 0 r;
+    if cmp r (Array.unsafe_get f (pc + 2)) then go (Array.unsafe_get f (pc + 3))
+    else go (pc + 4)
+  and[@inline] ldx_jcci pc cmp =
+    let ds = Array.unsafe_get f (pc + 1) in
+    let v = Array.unsafe_get stack (ds lsr 4) in
+    Array.unsafe_set regs (ds land 15) v;
+    if cmp v (Array.unsafe_get f (pc + 2)) then go (Array.unsafe_get f (pc + 3))
+    else go (pc + 4)
+  and[@inline] ldx_jcc pc cmp =
+    let dsa = Array.unsafe_get f (pc + 1) in
+    let v = Array.unsafe_get stack (dsa lsr 8) in
+    Array.unsafe_set regs ((dsa lsr 4) land 15) v;
+    if cmp (Array.unsafe_get regs (dsa land 15)) v then
+      go (Array.unsafe_get f (pc + 2))
+    else go (pc + 4)
+  in
+  if Array.length f > 0 then go 0
+
+(** Run a compiled scheduler for one execution against [env] (prepared
+    with {!Progmp_runtime.Env.begin_execution}). Programs carrying a
+    flat encoding run on the fast path; everything else runs on the
+    boxed interpreter. @raise Fault on invalid handles, bad queue codes
+    or an exhausted step budget. *)
+let run ?(max_steps = default_max_steps) (prog : prog) (env : Env.t) =
+  Array.fill prog.scratch_regs 0 Isa.num_regs 0;
+  Hashtbl.reset prog.scratch_packets;
+  let st =
+    {
+      env;
+      regs = prog.scratch_regs;
+      stack = prog.scratch_stack;
+      packets = prog.scratch_packets;
+    }
+  in
+  if Array.length prog.flat > 0 then run_flat st prog.flat max_steps
+  else run_boxed st prog.code max_steps
 
 (** Number of instructions — the analogue of the paper's per-scheduler
     memory figures (§4.3). *)

@@ -5,6 +5,10 @@
 
 type prog = {
   code : Isa.instr array;
+  flat : int array;
+      (** {!Flat} encoding of [code], or [[||]] to run the boxed
+          interpreter; only ever non-empty for verifier-accepted code
+          (the fast path runs it without bounds checks) *)
   spill_slots : int;
   specialized_for : int option;
       (** compiled for a constant subflow count; the engine guards on it *)
@@ -13,10 +17,17 @@ type prog = {
   scratch_packets : (int, Progmp_runtime.Packet.t) Hashtbl.t;
 }
 
-val make_prog : ?specialized_for:int -> spill_slots:int -> Isa.instr array -> prog
+val make_prog :
+  ?specialized_for:int ->
+  ?flat:int array ->
+  spill_slots:int ->
+  Isa.instr array ->
+  prog
 (** Wrap verified code into an executable program with reusable scratch
     state (programs are not reentrant, like a per-scheduler kernel
-    object). *)
+    object). [flat] (default [[||]], meaning the boxed interpreter)
+    selects the flat-encoded fast path and must only be passed for code
+    the verifier has accepted. *)
 
 exception Fault of string
 (** Invalid handle, bad queue code, stack violation or exhausted step

@@ -343,15 +343,29 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
 (** Execute the campaign. [jobs] domains (default
     {!Domain.recommended_domain_count}) pull run indices from an atomic
     counter; the calling domain is one of them, so [jobs = 1] runs
-    everything inline with no spawn at all. Results land in per-index
-    slots and are assembled in [run_id] order, making the report
-    independent of scheduling interleavings by construction. *)
-let execute ?jobs (spec : Spec.t) =
+    everything inline with no spawn at all. A request above the
+    recommended domain count is clamped to it (with a note on stderr):
+    OCaml 5 domains are heavyweight and oversubscription only adds
+    contention. [force_jobs] keeps the requested count verbatim — the
+    escape hatch oversubscription benchmarks need. Results land in
+    per-index slots and are assembled in [run_id] order, making the
+    report independent of scheduling interleavings by construction. *)
+let execute ?(force_jobs = false) ?jobs (spec : Spec.t) =
   match prepare spec with
   | Error _ as e -> e
   | Ok ctx -> (
       let jobs =
-        match jobs with Some j -> max 1 j | None -> default_jobs ()
+        match jobs with
+        | None -> default_jobs ()
+        | Some j when force_jobs -> max 1 j
+        | Some j ->
+            let cap = default_jobs () in
+            if j > cap then
+              Fmt.epr
+                "sweep: clamping --jobs %d to %d (recommended domain \
+                 count; pass --jobs-force to oversubscribe)@."
+                j cap;
+            max 1 (min j cap)
       in
       let runs = Array.of_list (Spec.runs spec) in
       let results = Array.make (Array.length runs) None in

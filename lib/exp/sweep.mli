@@ -52,13 +52,17 @@ val equal_report : report -> report -> bool
 val default_jobs : unit -> int
 (** [max 1 (Domain.recommended_domain_count ())]. *)
 
-val execute : ?jobs:int -> Spec.t -> (report, string) result
+val execute : ?force_jobs:bool -> ?jobs:int -> Spec.t -> (report, string) result
 (** Run the campaign on [jobs] domains (default {!default_jobs}; the
-    calling domain is one of them, so [jobs = 1] never spawns). All
-    shared setup — scheduler zoo, engine registry, fault scripts — is
-    resolved and validated on the calling domain before any worker
-    starts; workers only read it. [Error] on unknown scheduler/engine
-    names, unreadable fault scripts, or a failed run. *)
+    calling domain is one of them, so [jobs = 1] never spawns). A [jobs]
+    above {!default_jobs} is clamped to it with a note on stderr —
+    domains are heavyweight and oversubscription only adds contention —
+    unless [force_jobs] is set (the [--jobs-force] escape hatch, for
+    oversubscription benchmarks). All shared setup — scheduler zoo,
+    engine registry, fault scripts — is resolved and validated on the
+    calling domain before any worker starts; workers only read it.
+    [Error] on unknown scheduler/engine names, unreadable fault scripts,
+    or a failed run. *)
 
 val to_csv : report -> string
 (** One line per run, [run_id] order; list-valued cells are

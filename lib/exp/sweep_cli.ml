@@ -23,7 +23,18 @@ let jobs_arg =
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
           "Worker domains (default: the machine's recommended domain \
-           count). Results are identical for every value of $(docv).")
+           count; higher requests are clamped to it unless \
+           $(b,--jobs-force) is given). Results are identical for every \
+           value of $(docv).")
+
+let jobs_force_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "jobs-force" ]
+        ~doc:
+          "Use $(b,--jobs) verbatim even above the recommended domain \
+           count (oversubscription benchmarks).")
 
 let csv_arg =
   Arg.(
@@ -42,14 +53,14 @@ let write_file file contents =
   Out_channel.with_open_text file (fun oc ->
       Out_channel.output_string oc contents)
 
-let run prog spec_file jobs csv json =
+let run prog spec_file jobs force_jobs csv json =
   match Spec.load spec_file with
   | Error msg ->
       Fmt.epr "%s: %s@." prog msg;
       exit 2
   | Ok spec -> (
       let t0 = Unix.gettimeofday () in
-      match Sweep.execute ?jobs spec with
+      match Sweep.execute ~force_jobs ?jobs spec with
       | Error msg ->
           Fmt.epr "%s: %s@." prog msg;
           exit 2
@@ -77,4 +88,6 @@ let cmd ~prog =
        ~doc:
          "Run an experiment campaign (a parameter grid of simulations) in \
           parallel on OCaml domains")
-    Term.(const (run prog) $ spec_arg $ jobs_arg $ csv_arg $ json_arg)
+    Term.(
+      const (run prog) $ spec_arg $ jobs_arg $ jobs_force_arg $ csv_arg
+      $ json_arg)

@@ -33,7 +33,9 @@ let unsafe_get t i =
   | None -> invalid_arg "Pqueue: internal hole"
 
 (** [nth t i] is the i-th packet from the front, or [None] when out of
-    range. *)
+    range. O(1): the circular buffer makes this an offset computation,
+    not a list walk — [H_q_nth] sits on the VM's per-decision hot
+    path. *)
 let nth t i = if i < 0 || i >= t.len then None else Some (unsafe_get t i)
 
 let grow t =
@@ -58,7 +60,9 @@ let push_front t p =
   t.buf.(t.head) <- Some p;
   t.len <- t.len + 1
 
-(** Remove and return the i-th packet, shifting the shorter side. *)
+(** Remove and return the i-th packet, shifting the shorter side:
+    O(min(i, len - i)) single-cell moves, so both ends are O(1) and the
+    worst case (dead middle) is len/2. *)
 let remove_at t i =
   if i < 0 || i >= t.len then None
   else begin

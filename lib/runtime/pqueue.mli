@@ -4,7 +4,16 @@
     re-insertion at the front (the no-packet-loss guarantee).
 
     Representation: a growable circular buffer; push/pop at the ends are
-    O(1), middle removal shifts the shorter side. *)
+    O(1), middle removal shifts the shorter side.
+
+    Decision-path cost audit (the operations the VM's helpers hit on
+    every scheduling decision): {!nth} is O(1) — an offset into the
+    buffer, {e not} a list walk — and {!remove_at}[ t i] is
+    O(min(i, length t - i)) element moves, so [pop_front] and
+    back-removal are O(1) and the worst case (dead middle) is n/2 moves
+    of one array cell each. {!remove_packet}, {!mem} and {!remove_if}
+    scan by id and stay O(n); they run on the ACK path, not per
+    decision. *)
 
 type t
 

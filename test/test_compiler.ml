@@ -52,6 +52,76 @@ let verify_random =
       | (_ : Vm.prog) -> true
       | exception Compile.Rejected _ -> false)
 
+(* Emitted-but-unoptimized code for a source program: the middle-end's
+   input. *)
+let raw_code src =
+  let p = Progmp_lang.Typecheck.compile_source src in
+  let vcode = Codegen.generate p in
+  Emit.emit vcode (Regalloc.allocate vcode)
+
+let verifier_accepts code = Verifier.verify code = []
+
+(* Middle-end contract, over the whole zoo: every pass maps
+   verifier-accepted code to verifier-accepted code and is idempotent
+   (a second application is the identity). *)
+let bopt_suite =
+  let over_zoo f =
+    List.iter (fun (name, src) -> f name (raw_code src)) Schedulers.Specs.all
+  in
+  [
+    ( "bopt",
+      List.map
+        (fun (pass_name, pass) ->
+          tc (Fmt.str "pass %s: accepted + idempotent on zoo" pass_name)
+            (fun () ->
+              over_zoo (fun name raw ->
+                  let once = pass raw in
+                  if not (verifier_accepts once) then
+                    Alcotest.failf "%s: %s output rejected by verifier" name
+                      pass_name;
+                  if pass once <> once then
+                    Alcotest.failf "%s: %s is not idempotent" name pass_name)))
+        Bopt.passes
+      @ [
+          tc "full optimize: accepted + idempotent on zoo" (fun () ->
+              over_zoo (fun name raw ->
+                  let opt = Bopt.optimize raw in
+                  if not (verifier_accepts opt) then
+                    Alcotest.failf "%s: optimized program rejected" name;
+                  if Bopt.optimize opt <> opt then
+                    Alcotest.failf "%s: optimize is not idempotent" name));
+          tc "optimize shrinks every zoo program" (fun () ->
+              over_zoo (fun name raw ->
+                  let opt = Bopt.optimize raw in
+                  if Array.length opt > Array.length raw then
+                    Alcotest.failf "%s: optimize grew %d -> %d" name
+                      (Array.length raw) (Array.length opt)));
+          tc "flat encoding round-trips the optimized zoo" (fun () ->
+              over_zoo (fun name raw ->
+                  let opt = Bopt.optimize raw in
+                  let back = Flat.decode (Flat.encode opt) in
+                  if back <> opt then
+                    Alcotest.failf "%s: flat encode/decode is not exact" name;
+                  if not (verifier_accepts back) then
+                    Alcotest.failf "%s: decoded flat program rejected" name));
+          QCheck_alcotest.to_alcotest
+            (QCheck2.Test.make
+               ~name:"passes accepted + idempotent on random programs"
+               ~count:100 Gen.gen_program (fun ast ->
+                 let p = Progmp_lang.Typecheck.check ast in
+                 let vcode = Codegen.generate p in
+                 let raw = Emit.emit vcode (Regalloc.allocate vcode) in
+                 List.for_all
+                   (fun (_, pass) ->
+                     let once = pass raw in
+                     verifier_accepts once && pass once = once)
+                   Bopt.passes
+                 &&
+                 let opt = Bopt.optimize raw in
+                 verifier_accepts opt && Flat.decode (Flat.encode opt) = opt));
+        ] );
+  ]
+
 let suite =
   [
     ( "compiler",

@@ -154,7 +154,9 @@ let determinism_spec =
   }
 
 let execute_ok ~jobs spec =
-  match Sweep.execute ~jobs spec with
+  (* force_jobs: the determinism contract is tested at a fixed job
+     count regardless of the machine's core count *)
+  match Sweep.execute ~force_jobs:true ~jobs spec with
   | Ok r -> r
   | Error msg -> Alcotest.failf "sweep failed (jobs=%d): %s" jobs msg
 

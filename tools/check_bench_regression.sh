@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Decision-throughput regression gate, run as part of `dune runtest`:
+# runs a fresh `bench engines --smoke` and compares the optimized VM's
+# ns/decision per scheduler against the committed full-run baseline
+# (BENCH_engines.json at the repo root). The geometric mean of the
+# per-scheduler fresh/baseline ratios must stay within TOLERANCE x, and
+# no single scheduler may exceed HARD_CAP x — the mean absorbs the
+# noise of a single ~µs-scale smoke measurement on a contended test
+# machine, while the cap still catches one fast path falling off a
+# cliff (e.g. the flat encoding silently degrading to the boxed
+# interpreter). Skips silently when the baseline or the bench binary is
+# unavailable (release tarballs, partial checkouts).
+set -u
+
+TOLERANCE=2.0
+HARD_CAP=4.0
+
+# The script runs from inside _build; walk up to the checkout root.
+dir=$PWD
+while [ "$dir" != "/" ] && [ ! -e "$dir/.git" ]; do
+  dir=$(dirname "$dir")
+done
+baseline="$dir/BENCH_engines.json"
+[ -f "$baseline" ] || exit 0
+
+bench=""
+for candidate in \
+  "$dir/_build/default/bench/main.exe" \
+  "$(dirname "$0")/../bench/main.exe"; do
+  if [ -x "$candidate" ]; then
+    bench="$candidate"
+    break
+  fi
+done
+[ -n "$bench" ] || exit 0
+
+# Run the smoke bench in a scratch dir: it writes its own
+# BENCH_engines.json into the cwd and must not clobber the baseline.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+(cd "$tmp" && "$bench" engines --smoke >/dev/null 2>&1) || {
+  echo "error: bench engines --smoke failed" >&2
+  exit 1
+}
+fresh="$tmp/BENCH_engines.json"
+[ -f "$fresh" ] || { echo "error: smoke run produced no BENCH_engines.json" >&2; exit 1; }
+
+# Extract "scheduler vm_ns" pairs from the one-entry-per-line JSON the
+# bench emits (no jq dependency).
+extract() {
+  sed -n 's/.*"scheduler": "\([^"]*\)", "vm_ns_per_decision": \([0-9.]*\).*/\1 \2/p' "$1"
+}
+
+extract "$baseline" > "$tmp/base.txt"
+extract "$fresh" > "$tmp/fresh.txt"
+[ -s "$tmp/base.txt" ] || { echo "error: no vm entries in $baseline" >&2; exit 1; }
+
+status=0
+# Every baseline scheduler must still be measured.
+while read -r sched _; do
+  if ! awk -v s="$sched" '$1 == s { found = 1 } END { exit !found }' "$tmp/fresh.txt"; then
+    echo "error: scheduler $sched present in baseline but missing from fresh bench run" >&2
+    status=1
+  fi
+done < "$tmp/base.txt"
+
+awk -v tol="$TOLERANCE" -v cap="$HARD_CAP" '
+  NR == FNR { base[$1] = $2; next }
+  ($1 in base) && base[$1] > 0 && $2 > 0 {
+    ratio = $2 / base[$1]
+    log_sum += log(ratio)
+    n++
+    if (ratio > cap) {
+      printf "error: %s vm decision time fell off a cliff: %.0f ns vs baseline %.0f ns (> %.1fx)\n", $1, $2, base[$1], cap > "/dev/stderr"
+      bad = 1
+    }
+  }
+  END {
+    if (n == 0) { print "error: no comparable vm entries" > "/dev/stderr"; exit 1 }
+    mean = exp(log_sum / n)
+    if (mean > tol) {
+      printf "error: vm decision times regressed: geometric mean %.2fx of baseline (> %.1fx over %d schedulers)\n", mean, tol, n > "/dev/stderr"
+      bad = 1
+    }
+    exit bad
+  }' "$tmp/base.txt" "$tmp/fresh.txt" || status=1
+
+if [ "$status" -ne 0 ]; then
+  echo "hint: if the slowdown is expected, refresh the baseline with:" >&2
+  echo "  dune exec bench/main.exe -- engines   # then commit BENCH_engines.json" >&2
+fi
+exit "$status"
