@@ -366,40 +366,73 @@ let engines_bench () =
         (Engine.names ()))
     Schedulers.Specs.all;
   (* The optimization margin the bytecode middle-end + flat encoding buys
-     over the same bytecode pipeline without them, per scheduler. *)
+     over the same bytecode pipeline without them, per scheduler, plus
+     the threaded-code tier's speedup over the same unoptimized
+     baseline. *)
   let results = !results in
   let ns_of name engine = List.assoc_opt (name, engine) results in
   let margins =
     List.filter_map
       (fun (name, _) ->
-        match (ns_of name "vm", ns_of name "vm-noopt") with
-        | Some opt, Some noopt when noopt > 0.0 ->
-            Some (name, opt, noopt, 100.0 *. (noopt -. opt) /. noopt)
+        match
+          (ns_of name "vm", ns_of name "vm-noopt", ns_of name "threaded")
+        with
+        | Some opt, Some noopt, Some threaded when noopt > 0.0 ->
+            Some
+              ( name, opt, noopt, threaded,
+                100.0 *. (noopt -. opt) /. noopt )
         | _ -> None)
       Schedulers.Specs.all
   in
-  Fmt.pr "@.bytecode middle-end + flat encoding (vm vs vm-noopt):@.";
-  Fmt.pr "%-28s %14s %16s %12s@." "scheduler" "vm ns" "vm-noopt ns"
-    "improvement";
+  Fmt.pr "@.bytecode middle-end + flat encoding (vm vs vm-noopt), and the@.";
+  Fmt.pr "threaded-code tier against the same unoptimized baseline:@.";
+  Fmt.pr "%-28s %14s %16s %12s %14s %10s@." "scheduler" "vm ns" "vm-noopt ns"
+    "improvement" "threaded ns" "speedup";
   List.iter
-    (fun (name, opt, noopt, pct) ->
-      Fmt.pr "%-28s %14.0f %16.0f %11.1f%%@." name opt noopt pct)
+    (fun (name, opt, noopt, threaded, pct) ->
+      Fmt.pr "%-28s %14.0f %16.0f %11.1f%% %14.0f %9.1fx@." name opt noopt
+        pct threaded
+        (if threaded > 0.0 then noopt /. threaded else 0.0))
     margins;
+  (match
+     List.filter_map
+       (fun (_, _, noopt, threaded, _) ->
+         if threaded > 0.0 && noopt > 0.0 then Some (noopt /. threaded)
+         else None)
+       margins
+   with
+  | [] -> ()
+  | speedups ->
+      let geomean =
+        exp
+          (List.fold_left (fun acc s -> acc +. log s) 0.0 speedups
+          /. float_of_int (List.length speedups))
+      in
+      Fmt.pr "threaded vs vm-noopt geomean speedup: %.2fx@." geomean);
   let oc = open_out "BENCH_engines.json" in
+  (* The "engines" list names every backend this run measured; the
+     regression gate diffs it against the committed baseline so a
+     backend silently dropping out of the registry fails the build
+     instead of vanishing from the comparison. *)
   Printf.fprintf oc
     "{\n\
     \  \"experiment\": \"engines\",\n\
     \  \"iterations\": %d,\n\
     \  \"smoke\": %b,\n\
+    \  \"engines\": [%s],\n\
     \  \"schedulers\": [\n"
-    iters !smoke;
+    iters !smoke
+    (String.concat ", "
+       (List.map (Printf.sprintf "%S") (Engine.names ())));
   let last = List.length margins - 1 in
   List.iteri
-    (fun i (name, opt, noopt, pct) ->
+    (fun i (name, opt, noopt, threaded, pct) ->
       Printf.fprintf oc
         "    {\"scheduler\": %S, \"vm_ns_per_decision\": %.1f, \
-         \"vm_noopt_ns_per_decision\": %.1f, \"improvement_pct\": %.1f}%s\n"
-        name opt noopt pct
+         \"vm_noopt_ns_per_decision\": %.1f, \"improvement_pct\": %.1f, \
+         \"threaded_ns_per_decision\": %.1f, \"threaded_speedup_x\": %.2f}%s\n"
+        name opt noopt pct threaded
+        (if threaded > 0.0 then noopt /. threaded else 0.0)
         (if i = last then "" else ","))
     margins;
   Printf.fprintf oc "  ]\n}\n";

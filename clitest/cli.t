@@ -71,7 +71,7 @@ not a crash:
 Compilation reports code size and passes the verifier:
 
   $ ../bin/progmp_cli.exe compile minrtt_minimal
-  compiled: 77 virtual instrs -> 115 emitted -> 82 optimized, 7 stack slots, 7 spilled vregs
+  compiled: 77 virtual instrs -> 115 emitted -> 79 optimized, 7 stack slots, 7 spilled vregs
 
 The disassembly is stable, verified eBPF-style code:
 
@@ -90,11 +90,30 @@ superinstructions — compare-and-branch on a helper result (call.cc)
 or on a spilled operand (ldx.cc):
 
   $ ../bin/progmp_cli.exe compile minrtt_minimal --disasm | grep -E 'call\.|ldx\.'
-     6: call.jeq q_nth, #0, 11
-    41: ldx.jge r0, (r2=[fp-3]), 65
-    55: ldx.jeq r0, [fp-4], #0, 57
-    56: ldx.jge r8, (r2=[fp-5]), 61
+     4: call.jeq q_nth, #0, 9
+    39: ldx.jge r0, (r2=[fp-3]), 62
+    52: ldx.jeq r0, [fp-4], #0, 54
+    53: ldx.jge r8, (r2=[fp-5]), 58
+    66: call.jeq q_nth, #0, 74
+
+Selection is profile-guided: --fuse-top K keeps only the K hottest
+fusable pairs of the profile and reports the selected set. With K=1
+only the hottest class (the helper-result null check) survives, and
+the fused pairs show up in the disassembly:
+
+  $ ../bin/progmp_cli.exe compile minrtt_minimal --fuse-top 1 --disasm | head -n 3
+  compiled: 77 virtual instrs -> 115 emitted -> 82 optimized, 7 stack slots, 7 spilled vregs
+  fused: call+jeqi x2
+     0: mov   r7, #1
+
+  $ ../bin/progmp_cli.exe compile minrtt_minimal --fuse-top 1 --disasm | grep -E 'call\.|ldx\.'
+     4: call.jeq q_nth, #0, 9
     69: call.jeq q_nth, #0, 77
+
+A width of zero disables fusion entirely:
+
+  $ ../bin/progmp_cli.exe compile minrtt_minimal --fuse-top 0 | tail -n 1
+  fused: none
 
 Dry runs show scheduling decisions against a synthetic 2-subflow
 environment (40 ms and 10 ms RTT):
@@ -111,6 +130,7 @@ The engine registry lists every execution backend:
   $ ../bin/progmp_cli.exe engines
   aot          ahead-of-time closure compiler (the paper's AOT backend)
   interpreter  reference tree-walking interpreter over the typed IR
+  threaded     threaded-code engine: verified bytecode compiled to chained closures, no dispatch loop (profile-guided superinstructions) [verified]
   vm           eBPF-style bytecode VM (codegen -> regalloc -> emit -> bytecode opt -> verifier -> flat encoding) [verified]
   vm-noopt     bytecode VM without the middle-end optimizer or flat encoding (escape hatch / optimization baseline) [verified]
 
@@ -133,7 +153,7 @@ All engines agree (selected by name; --backend stays as an alias):
 An unknown engine fails with the available names:
 
   $ ../bin/progmp_cli.exe run minrtt_minimal --engine jit
-  error: unknown engine jit (available: aot, interpreter, vm, vm-noopt)
+  error: unknown engine jit (available: aot, interpreter, threaded, vm, vm-noopt)
   [2]
 
 Registers can be preset; round robin's cursor lives in R3:

@@ -40,7 +40,7 @@ Unknown schedulers and engines are rejected:
   [2]
 
   $ ../bin/simulate.exe bulk --engine jit
-  simulate: unknown engine jit (available: aot, interpreter, vm, vm-noopt)
+  simulate: unknown engine jit (available: aot, interpreter, threaded, vm, vm-noopt)
   [2]
 
 Fault injection: subflow 1 loses its link mid-transfer and the traffic

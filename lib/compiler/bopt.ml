@@ -23,6 +23,15 @@
       register directly when the scratch is dead afterwards;
     - {!eliminate_dead_stores}: global liveness analysis deletes pure
       instructions whose destination is never read;
+    - {!eliminate_dead_slot_stores}: stores to stack slots the program
+      never loads go (the frame is private scratch, so they are
+      unobservable) — this clears the frontend's zero-initialization
+      chatter for VARs that live entirely in registers;
+    - {!fold_compare_chains}: the frontend's materialize-then-branch
+      diamond ([movi r,1; jcc ..,+3; movi r,0; jeq r,0,L]) collapses
+      into one direct branch when the boolean is dead afterwards —
+      which also lands producers (helper calls, reloads) directly in
+      front of the consuming branch, feeding the fuser below;
     - {!fuse}: peephole formation of [CallJcci] (load-field-then-
       compare) and [LdxJcci]/[LdxJcc] (fused compare-and-branch on
       spilled operands).
@@ -402,6 +411,136 @@ let eliminate_dead_stores_once (code : Isa.instr array) =
 let eliminate_dead_stores code = fix eliminate_dead_stores_once code
 
 (* ------------------------------------------------------------------ *)
+(* dead stack-slot stores                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A store to a slot the program never loads (no [Ldx]/[LdxJcci]/
+   [LdxJcc] of that slot anywhere) is unobservable: the stack frame is
+   private per-program scratch, so nothing outside the program can read
+   it either. The frontend zero-initializes every spilled VAR, so
+   programs whose VARs are only ever kept in registers leave a trail of
+   such stores behind. *)
+let eliminate_dead_slot_stores_once (code : Isa.instr array) =
+  let loaded = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      match i with
+      | Isa.Ldx (_, s) | Isa.LdxJcci (_, _, s, _, _)
+      | Isa.LdxJcc (_, _, _, s, _) ->
+          Hashtbl.replace loaded s ()
+      | _ -> ())
+    code;
+  let keep = Array.make (Array.length code) true in
+  Array.iteri
+    (fun pc i ->
+      match i with
+      | Isa.Stx (s, _) when not (Hashtbl.mem loaded s) -> keep.(pc) <- false
+      | _ -> ())
+    code;
+  compact code keep
+
+let eliminate_dead_slot_stores code = fix eliminate_dead_slot_stores_once code
+
+(* ------------------------------------------------------------------ *)
+(* compare-materialization folding                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The frontend materializes every comparison as a 0/1 value and then
+   branches on it:
+
+      movi  r, m1
+      jcc   c, ..., +3     (skip the else-arm)
+      movi  r, m0
+      jcci  eq/ne, r, 0, L
+
+    When [r] is dead after the final branch, nothing lands inside the
+    chain and the comparison does not read [r] itself, the whole
+    diamond is a single direct branch: [c] picks [m1] or [m0], and the
+    trailing test of that constant decides whether control reaches [L].
+    Besides deleting three instructions from every comparison, this
+    puts the comparison's producer (often a helper call) directly in
+    front of a [Jcci] — exactly the shape the superinstruction fuser
+    recognizes. *)
+let fold_compare_chains_once (code : Isa.instr array) =
+  let len = Array.length code in
+  if len < 4 then code
+  else begin
+    (* How many branches land on each pc: the skip branch at [p+1]
+       targets [p+3], so the chain is isolated when nothing else lands
+       on [p+1]..[p+3] — i.e. [p+3] has exactly that one incoming edge
+       and [p+1]/[p+2] have none. *)
+    let target_count = Array.make len 0 in
+    Array.iter
+      (fun i ->
+        List.iter (fun t -> target_count.(t) <- target_count.(t) + 1)
+          (targets_of i))
+      code;
+    let live_in = liveness code in
+    let live_out pc =
+      List.fold_left
+        (fun m s -> m lor live_in.(s))
+        0
+        (successors len pc code.(pc))
+    in
+    let reads_reg r = function
+      | Isa.Jcc (_, a, b, _) -> a = r || b = r
+      | Isa.Jcci (_, a, _, _) -> a = r
+      | _ -> false
+    in
+    let keep = Array.make len true in
+    let out = Array.copy code in
+    let pc = ref 0 in
+    while !pc < len - 3 do
+      let p = !pc in
+      let folded =
+        if
+          target_count.(p + 1) > 0
+          || target_count.(p + 2) > 0
+          || target_count.(p + 3) > 1
+        then false
+        else
+          match (code.(p), code.(p + 1), code.(p + 2), code.(p + 3)) with
+          | ( Isa.Movi (r, m1),
+              (Isa.Jcc (_, _, _, t) | Isa.Jcci (_, _, _, t)),
+              Isa.Movi (r', m0),
+              Isa.Jcci (tc, r'', 0, l) )
+            when r = r' && r = r''
+                 && t = p + 3
+                 && (tc = Isa.Jeq || tc = Isa.Jne)
+                 && (not (reads_reg r code.(p + 1)))
+                 && live_out (p + 3) land reg_bit r = 0 ->
+              let test v = match tc with
+                | Isa.Jeq -> v = 0
+                | _ -> v <> 0
+              in
+              let taken_jumps = test m1 and fall_jumps = test m0 in
+              let with_target_and_sense neg =
+                match code.(p + 1) with
+                | Isa.Jcc (c, a, b, _) ->
+                    Isa.Jcc ((if neg then Isa.cond_neg c else c), a, b, l)
+                | Isa.Jcci (c, a, n, _) ->
+                    Isa.Jcci ((if neg then Isa.cond_neg c else c), a, n, l)
+                | _ -> assert false
+              in
+              (match (taken_jumps, fall_jumps) with
+              | true, false -> out.(p) <- with_target_and_sense false
+              | false, true -> out.(p) <- with_target_and_sense true
+              | true, true -> out.(p) <- Isa.Jmp l
+              | false, false -> keep.(p) <- false);
+              keep.(p + 1) <- false;
+              keep.(p + 2) <- false;
+              keep.(p + 3) <- false;
+              true
+          | _ -> false
+      in
+      pc := if folded then p + 4 else p + 1
+    done;
+    compact out keep
+  end
+
+let fold_compare_chains code = fix fold_compare_chains_once code
+
+(* ------------------------------------------------------------------ *)
 (* ALU result sinking                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -471,10 +610,11 @@ let sink_alu_results code = fix sink_alu_results_once code
 (* ------------------------------------------------------------------ *)
 
 (* Fuse an instruction with the branch that follows it when no jump
-   lands between the two. The fused forms keep every architectural
-   effect of the pair (the loaded/returned value stays in its register),
-   so fusion needs no liveness information at all. *)
-let fuse_once (code : Isa.instr array) =
+   lands between the two and [select] approves the pair's mnemonic
+   class. The fused forms keep every architectural effect of the pair
+   (the loaded/returned value stays in its register), so fusion needs
+   no liveness information at all. *)
+let fuse_once ~select (code : Isa.instr array) =
   let len = Array.length code in
   let is_target = jump_targets code in
   let keep = Array.make len true in
@@ -482,7 +622,12 @@ let fuse_once (code : Isa.instr array) =
   let pc = ref 0 in
   while !pc < len - 1 do
     let fused =
-      if is_target.(!pc + 1) then None
+      if
+        is_target.(!pc + 1)
+        || not
+             (select
+                (Profile.classify code.(!pc), Profile.classify code.(!pc + 1)))
+      then None
       else
         match (code.(!pc), code.(!pc + 1)) with
         | Isa.Call h, Isa.Jcci (c, 0, n, t) ->
@@ -504,7 +649,36 @@ let fuse_once (code : Isa.instr array) =
   done;
   compact out keep
 
-let fuse code = fix fuse_once code
+let fuse code = fix (fuse_once ~select:(fun _ -> true)) code
+
+(* The pair classes the peephole above can actually fuse: a helper call
+   or a spill reload followed by a conditional branch on its result. *)
+let fusable_pair ((a, b) : Profile.key) =
+  let cond = [ "jeq"; "jne"; "jlt"; "jle"; "jgt"; "jge" ] in
+  let is_cond = List.mem b cond in
+  let is_condi = List.exists (fun c -> String.equal b (c ^ "i")) cond in
+  match a with
+  | "call" -> is_condi
+  | "ldx" -> is_cond || is_condi
+  | _ -> false
+
+(* Generous enough that no scheduler in the zoo truncates (each uses a
+   handful of distinct fusable classes); small enough that a measured
+   profile still prunes cold one-off pairs in larger programs. *)
+let default_fuse_k = 8
+
+(* Profile-guided fusion: only pairs among the [k] hottest fusable
+   classes of [profile] are formed. Selection depends on nothing but
+   the profile (ties in {!Profile.top_pairs} break on the class name),
+   so equal profiles fuse identically, and re-running with the same
+   profile is a no-op: every selected site is already fused, every
+   unselected site stays a plain pair. *)
+let fuse_profiled ?(k = default_fuse_k) ~profile code =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (key, _) -> Hashtbl.replace tbl key ())
+    (Profile.top_pairs ~k ~keep:fusable_pair profile);
+  fix (fuse_once ~select:(Hashtbl.mem tbl)) code
 
 (* ------------------------------------------------------------------ *)
 (* the pipeline                                                        *)
@@ -518,6 +692,8 @@ let passes =
     ("propagate_copies", propagate_copies);
     ("sink_alu_results", sink_alu_results);
     ("eliminate_dead_stores", eliminate_dead_stores);
+    ("eliminate_dead_slot_stores", eliminate_dead_slot_stores);
+    ("fold_compare_chains", fold_compare_chains);
     ("fuse", fuse);
   ]
 
@@ -525,9 +701,19 @@ let passes =
    store; a sunk ALU result leaves a no-op move for the next
    propagation; a deleted store shortens a block), so they run as a
    joint fixpoint; fusion runs last so peepholes see the final
-   instruction sequence. *)
-let optimize code =
+   instruction sequence. Fusion is profile-guided: a measured [profile]
+   (flight-recorder or {!Vm.run_traced} harvest) selects the hot pairs;
+   without one, {!Profile.static_estimate} of the cleaned code stands
+   in. *)
+let optimize ?profile ?(fuse_k = default_fuse_k) code =
   let cleanup code =
-    eliminate_dead_stores (sink_alu_results (propagate_copies (thread_jumps code)))
+    fold_compare_chains
+      (eliminate_dead_slot_stores
+         (eliminate_dead_stores
+            (sink_alu_results (propagate_copies (thread_jumps code)))))
   in
-  fuse (fix cleanup code)
+  let code = fix cleanup code in
+  let profile =
+    match profile with Some p -> p | None -> Profile.static_estimate code
+  in
+  fuse_profiled ~k:fuse_k ~profile code

@@ -24,14 +24,43 @@ val eliminate_dead_stores : Isa.instr array -> Isa.instr array
 (** Global liveness analysis; pure definitions whose destination is
     never read are deleted. *)
 
+val eliminate_dead_slot_stores : Isa.instr array -> Isa.instr array
+(** Stores to stack slots the program never loads are deleted: the
+    frame is private per-program scratch, so such stores are
+    unobservable. Clears the frontend's zero-initialization chatter for
+    VARs that end up living entirely in registers. *)
+
+val fold_compare_chains : Isa.instr array -> Isa.instr array
+(** Collapse the frontend's materialize-then-branch diamond
+    ([movi r,1; jcc ..,+3; movi r,0; jeq r,0,L]) into a single direct
+    branch when the boolean register is dead afterwards and nothing
+    else lands inside the chain. *)
+
 val fuse : Isa.instr array -> Isa.instr array
 (** Peephole formation of the {!Isa} superinstructions: [CallJcci]
     (load-field-then-compare) and [LdxJcci]/[LdxJcc] (fused
-    compare-and-branch on spilled operands). *)
+    compare-and-branch on spilled operands). Unconditional — every
+    fusable pair is formed (the profile-agnostic pass of the
+    {!passes} pipeline). *)
+
+val fusable_pair : Profile.key -> bool
+(** Whether a pair class is one {!fuse} can form. *)
+
+val default_fuse_k : int
+(** Default selection width of {!fuse_profiled} and {!optimize}. *)
+
+val fuse_profiled :
+  ?k:int -> profile:Profile.t -> Isa.instr array -> Isa.instr array
+(** Profile-guided fusion: form only the pairs among the [k] hottest
+    fusable classes of [profile]. Deterministic in the profile (equal
+    profiles select identically) and idempotent for a fixed profile. *)
 
 val passes : (string * (Isa.instr array -> Isa.instr array)) list
 (** The named passes above, in pipeline order (for property tests). *)
 
-val optimize : Isa.instr array -> Isa.instr array
+val optimize :
+  ?profile:Profile.t -> ?fuse_k:int -> Isa.instr array -> Isa.instr array
 (** The full middle-end: cleanup passes to a joint fixpoint, then
-    fusion. *)
+    profile-guided fusion — driven by [profile] when supplied (e.g. a
+    {!Vm.run_traced} harvest weighted by flight-recorder invocation
+    counts), by {!Profile.static_estimate} otherwise. *)

@@ -35,12 +35,12 @@ let verify_or_reject what code =
               Fmt.(list ~sep:(any "@\n") Verifier.pp_error)
               errors))
 
-let compile_with_stats ?(optimize = true) ?subflow_count
+let compile_with_stats ?(optimize = true) ?profile ?fuse_k ?subflow_count
     (p : Progmp_lang.Tast.program) : Vm.prog * stats =
   let vcode = Codegen.generate ?subflow_count p in
   let alloc = Regalloc.allocate vcode in
   let raw = Emit.emit vcode alloc in
-  let code = if optimize then Bopt.optimize raw else raw in
+  let code = if optimize then Bopt.optimize ?profile ?fuse_k raw else raw in
   verify_or_reject "compiled" code;
   let flat =
     if optimize then begin
@@ -63,8 +63,8 @@ let compile_with_stats ?(optimize = true) ?subflow_count
       spilled_vregs = alloc.Regalloc.spilled;
     } )
 
-let compile ?optimize ?subflow_count p =
-  fst (compile_with_stats ?optimize ?subflow_count p)
+let compile ?optimize ?profile ?fuse_k ?subflow_count p =
+  fst (compile_with_stats ?optimize ?profile ?fuse_k ?subflow_count p)
 
 (** Build an execution engine from a compiled program. When the program
     was specialized for a constant subflow count (§4.1, "constant subflow
@@ -112,7 +112,19 @@ let register_engines =
               "bytecode VM without the middle-end optimizer or flat \
                encoding (escape hatch / optimization baseline)";
           }
-        (fun program -> engine (compile ~optimize:false program))
+        (fun program -> engine (compile ~optimize:false program));
+      Progmp_runtime.Engine.register "threaded"
+        ~caps:
+          {
+            Progmp_runtime.Engine.compiled = true;
+            verified = true;
+            description =
+              "threaded-code engine: verified bytecode compiled to chained \
+               closures, no dispatch loop (profile-guided superinstructions)";
+          }
+        (fun program ->
+          let prog = compile program in
+          Threaded.compile prog.Vm.flat)
     end
 
 let () = register_engines ()

@@ -22,16 +22,25 @@ type stats = {
 
 val compile_with_stats :
   ?optimize:bool ->
+  ?profile:Profile.t ->
+  ?fuse_k:int ->
   ?subflow_count:int ->
   Progmp_lang.Tast.program ->
   Vm.prog * stats
 (** Compile and verify; [subflow_count] specializes for a constant
     number of subflows (§4.1). [optimize] (default [true]) runs the
     bytecode middle-end and produces the flat encoding; [false] is the
-    "vm-noopt" escape hatch. @raise Rejected on verifier failure. *)
+    "vm-noopt" escape hatch. [profile]/[fuse_k] steer profile-guided
+    superinstruction selection (see {!Bopt.optimize}).
+    @raise Rejected on verifier failure. *)
 
 val compile :
-  ?optimize:bool -> ?subflow_count:int -> Progmp_lang.Tast.program -> Vm.prog
+  ?optimize:bool ->
+  ?profile:Profile.t ->
+  ?fuse_k:int ->
+  ?subflow_count:int ->
+  Progmp_lang.Tast.program ->
+  Vm.prog
 
 val engine :
   ?fallback:(Progmp_runtime.Env.t -> unit) ->
@@ -42,8 +51,9 @@ val engine :
     [fallback] when the live subflow count differs. *)
 
 val register_engines : unit -> unit
-(** Register the "vm" (optimized + flat-encoded) and "vm-noopt"
-    (escape-hatch baseline) engines with {!Progmp_runtime.Engine}.
+(** Register the "vm" (optimized + flat-encoded), "vm-noopt"
+    (escape-hatch baseline) and "threaded" (closure-chain, no dispatch
+    loop) engines with {!Progmp_runtime.Engine}.
     Idempotent; also runs automatically when this module is linked.
     Call it from binaries that select engines only by name, so the
     linker keeps this module. *)

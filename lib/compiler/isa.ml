@@ -171,6 +171,16 @@ let cond_swap = function
   | Jgt -> Jlt
   | Jge -> Jle
 
+(* [a (cond_neg c) b] iff not [a c b] — used when a branch's sense is
+   inverted (folding a materialized boolean into a direct branch). *)
+let cond_neg = function
+  | Jeq -> Jne
+  | Jne -> Jeq
+  | Jlt -> Jge
+  | Jle -> Jgt
+  | Jgt -> Jle
+  | Jge -> Jlt
+
 let cond_name = function
   | Jeq -> "jeq"
   | Jne -> "jne"

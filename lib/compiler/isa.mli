@@ -81,4 +81,7 @@ val aluop_name : aluop -> string
 val cond_swap : cond -> cond
 (** [a c b] iff [b (cond_swap c) a]. *)
 
+val cond_neg : cond -> cond
+(** [a (cond_neg c) b] iff not [a c b]. *)
+
 val cond_name : cond -> string

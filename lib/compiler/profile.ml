@@ -1,0 +1,171 @@
+(** Opcode-pair execution profiles — the input to profile-guided
+    superinstruction selection ({!Bopt.fuse_profiled}).
+
+    A profile maps ordered pairs of instruction classes (mnemonic
+    strings, e.g. [("call", "jeqi")] for a helper call followed by a
+    compare-immediate branch) to execution or occurrence counts. Two
+    sources exist:
+
+    - {!static_estimate}: no measurements needed — every fall-through
+      pair in the program is counted once, weighted by the loop-nesting
+      depth of its site (derived from back-edges), so pairs inside a
+      queue-scan loop outrank straight-line prologue pairs;
+    - {!tracer}: a per-pc callback for {!Vm.run_traced} that counts the
+      pairs a real execution actually falls through, the dynamic
+      analogue of the flight recorder's per-invocation accounting
+      (weight whole-program profiles by {!Mptcp_obs}'s [Sched_invoke]
+      counts via {!scale} and {!merge}).
+
+    Pair classes deliberately ignore operands: fusion decides per
+    {e shape} ("a load followed by a compare against the loaded
+    register"), and profiles harvested from one optimization level stay
+    meaningful for another. *)
+
+type key = string * string
+
+type t = { counts : (key, int) Hashtbl.t }
+
+let create () = { counts = Hashtbl.create 32 }
+
+(** Mnemonic class of an instruction (immediate forms get an [i]
+    suffix, matching the disassembly; superinstructions keep their
+    fused [a.b] spelling and never pair further). *)
+let classify (i : Isa.instr) =
+  match i with
+  | Isa.Mov _ -> "mov"
+  | Isa.Movi _ -> "movi"
+  | Isa.Alu (op, _, _) -> Isa.aluop_name op
+  | Isa.Alui (op, _, _) -> Isa.aluop_name op ^ "i"
+  | Isa.Jmp _ -> "ja"
+  | Isa.Jcc (c, _, _, _) -> Isa.cond_name c
+  | Isa.Jcci (c, _, _, _) -> Isa.cond_name c ^ "i"
+  | Isa.Call _ -> "call"
+  | Isa.Ldx _ -> "ldx"
+  | Isa.Stx _ -> "stx"
+  | Isa.Exit -> "exit"
+  | Isa.CallJcci (_, c, _, _) -> "call." ^ Isa.cond_name c ^ "i"
+  | Isa.LdxJcci (c, _, _, _, _) -> "ldx." ^ Isa.cond_name c ^ "i"
+  | Isa.LdxJcc (c, _, _, _, _) -> "ldx." ^ Isa.cond_name c
+
+(** The constituent pair a superinstruction was fused from, or [None]
+    for primitive instructions. [LdxJcc] reports the cond of the fused
+    form (operand order may have been swapped during fusion). *)
+let pair_of_fused (i : Isa.instr) =
+  match i with
+  | Isa.CallJcci (_, c, _, _) -> Some ("call", Isa.cond_name c ^ "i")
+  | Isa.LdxJcci (c, _, _, _, _) -> Some ("ldx", Isa.cond_name c ^ "i")
+  | Isa.LdxJcc (c, _, _, _, _) -> Some ("ldx", Isa.cond_name c)
+  | _ -> None
+
+let add ?(weight = 1) t key =
+  if weight <> 0 then
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t.counts key) in
+    Hashtbl.replace t.counts key (cur + weight)
+
+let count t key = Option.value ~default:0 (Hashtbl.find_opt t.counts key)
+
+let is_empty t = Hashtbl.length t.counts = 0
+
+(** All pairs, hottest first; ties break on the key so equal profiles
+    order identically regardless of insertion history. *)
+let to_list t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+  |> List.filter (fun (_, v) -> v > 0)
+  |> List.sort (fun (ka, va) (kb, vb) ->
+         if va <> vb then compare vb va else compare ka kb)
+
+let top_pairs ?k ?(keep = fun _ -> true) t =
+  let l = List.filter (fun (key, _) -> keep key) (to_list t) in
+  match k with
+  | None -> l
+  | Some k -> List.filteri (fun i _ -> i < k) l
+
+(** Profiles are equal when they induce the same counts — the property
+    that makes selection deterministic. *)
+let equal a b = to_list a = to_list b
+
+let merge a b =
+  let t = create () in
+  Hashtbl.iter (fun k v -> add ~weight:v t k) a.counts;
+  Hashtbl.iter (fun k v -> add ~weight:v t k) b.counts;
+  t
+
+(** Multiply every count (e.g. by a scheduler's invocation count from
+    the flight recorder, so profiles from differently-hot schedulers
+    merge with the right relative weight). *)
+let scale t f =
+  let s = create () in
+  Hashtbl.iter (fun k v -> add ~weight:(v * f) s k) t.counts;
+  s
+
+let of_pairs l =
+  let t = create () in
+  List.iter (fun (k, w) -> add ~weight:w t k) l;
+  t
+
+let pp ppf t =
+  Fmt.pf ppf "%a"
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf ((a, b), n) -> pf ppf "%s+%s:%d" a b n))
+    (to_list t)
+
+(* ------------------------------------------------------------------ *)
+(* static estimation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let targets_of (i : Isa.instr) =
+  match i with
+  | Isa.Jmp t -> [ t ]
+  | Isa.Jcc (_, _, _, t)
+  | Isa.Jcci (_, _, _, t)
+  | Isa.CallJcci (_, _, _, t)
+  | Isa.LdxJcci (_, _, _, _, t)
+  | Isa.LdxJcc (_, _, _, _, t) ->
+      [ t ]
+  | _ -> []
+
+(** Static pair-frequency estimate: each fall-through pair counts once,
+    weighted [8^depth] where [depth] is how many back-edge ranges
+    [t..pc] (a jump at [pc] targeting [t <= pc]) cover the site — the
+    usual "a loop body runs ~8x per entry" heuristic, capped so deeply
+    nested scans cannot overflow. No profile data needed: this is what
+    {!Bopt.optimize} uses when no measured profile is supplied. *)
+let static_estimate (code : Isa.instr array) =
+  let len = Array.length code in
+  let depth = Array.make (max len 1) 0 in
+  Array.iteri
+    (fun pc i ->
+      List.iter
+        (fun t ->
+          if t <= pc then
+            for j = t to pc do
+              depth.(j) <- depth.(j) + 1
+            done)
+        (targets_of i))
+    code;
+  let weight pc = 1 lsl (3 * min depth.(pc) 5) in
+  let t = create () in
+  for pc = 0 to len - 2 do
+    match code.(pc) with
+    | Isa.Jmp _ | Isa.Exit -> () (* no fall-through edge *)
+    | i ->
+        add t
+          ~weight:(min (weight pc) (weight (pc + 1)))
+          (classify i, classify code.(pc + 1))
+  done;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* dynamic collection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-pc callback for {!Vm.run_traced}: counts every dynamically
+    executed fall-through pair (a step from [pc] to [pc + 1]); taken
+    branches reset the chain. One tracer instance accumulates across
+    any number of runs. *)
+let tracer t (code : Isa.instr array) =
+  let prev = ref (-1) in
+  fun pc ->
+    let p = !prev in
+    if p >= 0 && pc = p + 1 then add t (classify code.(p), classify code.(pc));
+    prev := pc

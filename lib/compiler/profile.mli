@@ -1,0 +1,53 @@
+(** Opcode-pair execution profiles — the input to profile-guided
+    superinstruction selection ({!Bopt.fuse_profiled}). Pairs are keyed
+    by mnemonic classes ([("call", "jeqi")], [("ldx", "jge")], ...), so
+    profiles abstract over operands and survive re-optimization. *)
+
+type key = string * string
+(** Ordered pair of instruction classes, per {!classify}. *)
+
+type t
+
+val create : unit -> t
+
+val classify : Isa.instr -> string
+(** Mnemonic class ([mov], [addi], [jeq], [call], ...; immediate forms
+    carry an [i] suffix, superinstructions their fused [a.b] name). *)
+
+val pair_of_fused : Isa.instr -> key option
+(** The constituent pair a superinstruction was fused from; [None] for
+    primitive instructions. *)
+
+val add : ?weight:int -> t -> key -> unit
+
+val count : t -> key -> int
+
+val is_empty : t -> bool
+
+val to_list : t -> (key * int) list
+(** All pairs with positive counts, hottest first; ties break on the
+    key, so equal profiles list identically. *)
+
+val top_pairs : ?k:int -> ?keep:(key -> bool) -> t -> (key * int) list
+(** The [k] hottest pairs satisfying [keep] (defaults: all of them). *)
+
+val equal : t -> t -> bool
+(** Count-for-count equality (insertion order is irrelevant). *)
+
+val merge : t -> t -> t
+
+val scale : t -> int -> t
+(** Multiply every count — weight a per-scheduler profile by its
+    invocation count from the flight recorder before merging. *)
+
+val of_pairs : (key * int) list -> t
+
+val pp : t Fmt.t
+
+val static_estimate : Isa.instr array -> t
+(** Profile-free estimate: every fall-through pair once, weighted
+    [8^loop_depth] (depth from back-edges, capped). *)
+
+val tracer : t -> Isa.instr array -> int -> unit
+(** Per-pc callback for {!Vm.run_traced}: accumulates the dynamically
+    executed fall-through pairs of [code] into [t]. *)

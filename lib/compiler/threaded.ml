@@ -1,0 +1,772 @@
+(** The threaded-code engine — the repo's stand-in for the paper's
+    AOT/JIT tier above the bytecode VM (execution alternative 2/3 of
+    §4.1, taken one step further than {!Vm}'s flat dispatch loop).
+
+    A verified {!Flat} program is compiled once into an array of
+    chained OCaml closures: every instruction becomes a direct call
+    with its operands partially applied, and its continuation — the
+    closure of the fall-through or jump target — captured in its
+    environment, so at run time there is {e no dispatch at all}: no
+    opcode match, no pc, just closure calls (classic threaded code,
+    Ertl & Gregg — the same lineage as {!Bopt}'s superinstructions).
+
+    Soundness of the unchecked accesses mirrors [Vm.run_flat]: programs
+    are only compiled from verifier-accepted code, so every register
+    index is < [Isa.num_regs], every stack slot < [Isa.stack_words],
+    every jump target is a valid instruction, and the program cannot
+    fall off the end. Closures are built back-to-front, so fall-through
+    and forward-jump continuations bind directly; back-edges go through
+    one extra indirection (the target closure does not exist yet when
+    the jump is compiled) and are the only place the step budget is
+    charged — straight-line progress between back-edges is bounded by
+    the program length, so budget-per-back-edge bounds total work just
+    like the VM's budget-per-instruction.
+
+    Two further liberties over the boxed VM, both invisible to the
+    program (the type system never lets a packet handle convert to an
+    observable integer, and handle identity is preserved):
+
+    - packet handles are indices into a per-execution registration
+      array, found through a generation stamp cached on the packet
+      itself instead of {!Vm}'s [Hashtbl] — registration and
+      dereference allocate nothing and never hash;
+    - helper call sites are specialized at compile time: arguments
+      whose source is discoverable by a backward scan within the basic
+      block (constants — queue codes, property codes, register
+      indices —, stable register copies, stable stack slots) are baked
+      into the closure, and feeding instructions nothing else reads
+      are skipped entirely (an absorption-aware liveness pass). *)
+
+open Progmp_runtime
+
+let default_max_steps = Vm.default_max_steps
+
+(* Process-global generation sequence for the packet-handle stamp cache
+   ([Packet.reg_stamp]): every execution of every compiled program draws
+   a fresh stamp, so stamps can never collide across program instances
+   or domains (packets themselves are domain-local). *)
+let run_gen = Atomic.make 1
+
+(* Where a helper argument's value comes from at the call site: a
+   compile-time constant, another register whose value is untouched
+   since the copy, a stack slot unmodified since the reload, or the
+   argument register itself (no specialization). *)
+type arg_src = Const of int | From_reg of int | From_slot of int | Dyn
+
+let invalid_handle h = raise (Vm.Fault (Fmt.str "invalid packet handle %d" h))
+
+let bad_queue c = raise (Vm.Fault (Fmt.str "bad queue code %d" c))
+
+let jump_targets (code : Isa.instr array) =
+  let t = Array.make (Array.length code + 1) false in
+  Array.iter
+    (fun (i : Isa.instr) ->
+      match i with
+      | Isa.Jmp x
+      | Isa.Jcc (_, _, _, x)
+      | Isa.Jcci (_, _, _, x)
+      | Isa.CallJcci (_, _, _, x)
+      | Isa.LdxJcci (_, _, _, _, x)
+      | Isa.LdxJcc (_, _, _, _, x) ->
+          t.(x) <- true
+      | _ -> ())
+    code;
+  t
+
+let compile_code ?(max_steps = default_max_steps) (code : Isa.instr array) :
+    Env.t -> unit =
+  let n = Array.length code in
+  if n = 0 then fun (_ : Env.t) -> ()
+  else begin
+    let is_target = jump_targets code in
+    (* Scratch state, captured by the instruction closures: like
+       [Vm.prog]'s scratch arrays, one execution at a time. *)
+    let regs = Array.make Isa.num_regs 0 in
+    let stack = Array.make Isa.stack_words 0 in
+    let env_ref = ref (Env.create ()) in
+    let fuel = ref 0 in
+
+    (* -------------------- packet handle table -------------------- *)
+    (* handle h (1-based) -> pkts.(h - 1); packet -> handle through a
+       generation stamp cached on the packet itself ([Packet.reg_stamp]
+       / [reg_handle]): registration is two loads and a compare, reset
+       is one counter bump. Stamps come from a process-global atomic
+       sequence ({!run_gen} below), so an execution of one compiled
+       program can never mistake another execution's stamp — or a
+       stale one — for its own. The same packet always maps to the same
+       handle within an execution (packet equality in the DSL compares
+       handles), and handles never outlive the execution that minted
+       them (the type system cannot store a packet in a register). *)
+    let dummy_pkt = Packet.create ~seq:0 ~size:0 ~now:0.0 () in
+    let pkts = ref (Array.make 64 dummy_pkt) in
+    let count = ref 0 in
+    let gen = ref 0 in
+    let register_packet (p : Packet.t) =
+      if p.Packet.reg_stamp = !gen then p.Packet.reg_handle
+      else begin
+        let c = !count in
+        if c = Array.length !pkts then begin
+          let np = Array.make (2 * c) dummy_pkt in
+          Array.blit !pkts 0 np 0 c;
+          pkts := np
+        end;
+        Array.unsafe_set !pkts c p;
+        count := c + 1;
+        p.Packet.reg_stamp <- !gen;
+        p.Packet.reg_handle <- c + 1;
+        c + 1
+      end
+    in
+
+    (* ----------------------- helper bodies ----------------------- *)
+    (* Same graceful-failure semantics as [Vm.exec_helper]: a NULL
+       handle (0) reads as 0 / makes the call a no-op, a nonzero handle
+       this execution did not mint faults, subflow handles out of range
+       read as NULL. *)
+    let queue_sel c : Env.t -> Pqueue.t =
+      match c with
+      | 0 -> fun e -> e.Env.q
+      | 1 -> fun e -> e.Env.qu
+      | 2 -> fun e -> e.Env.rq
+      | c -> fun _ -> bad_queue c
+    in
+    let queue_rt (e : Env.t) c =
+      match c with 0 -> e.Env.q | 1 -> e.Env.qu | 2 -> e.Env.rq | c -> bad_queue c
+    in
+    let q_nth q i =
+      if i >= 0 && i < Pqueue.length q then
+        register_packet (Pqueue.unsafe_get q i)
+      else 0
+    in
+    let q_remove q i =
+      match Pqueue.remove_at q i with
+      | Some p ->
+          Env.record_pop !env_ref q p;
+          register_packet p
+      | None -> 0
+    in
+    let pkt_reader (p : Progmp_lang.Props.packet_prop) : Packet.t -> int =
+      match p with
+      | Progmp_lang.Props.Size -> fun p -> p.Packet.size
+      | Progmp_lang.Props.Seq -> fun p -> p.Packet.seq
+      | Progmp_lang.Props.Sent_count -> fun p -> p.Packet.sent_count
+      | Progmp_lang.Props.User_prop i -> fun p -> Packet.user_prop p i
+    in
+    (* [Some p] without the option: 0 -> [dummy_pkt] is never reached
+       because callers branch on the handle first. *)
+    let deref h =
+      if h > 0 && h <= !count then Array.unsafe_get !pkts (h - 1)
+      else invalid_handle h
+    in
+
+    (* Argument-source discovery for call-site specialization: where
+       does the value of [r] at [pc] come from? A straight backward scan
+       in the same basic block finds the defining instruction before any
+       redefinition of [r], any control transfer that does not fall
+       through, or any instruction another edge can land behind
+       (conservatively, any jump target invalidates the scan — a side
+       entry need not have executed the def). Helper calls write r0 only
+       at run time, so they kill just r0 here.
+
+       - [Movi r, c]: the argument is the constant [c] (queue codes,
+         property codes and register indices specialize the helper);
+       - [Mov r, s] with [s] unchanged up to the call: the closure reads
+         [s] directly;
+       - [Ldx r, slot] with no store to [slot] up to the call (helpers
+         never touch the VM stack): the closure reads the slot directly.
+
+       In the last two cases (and for constants) the feeding instruction
+       no longer needs to execute for the call's sake; if nothing else
+       reads its destination it is skipped entirely (the liveness pass
+       below, which counts only the unabsorbed runtime reads of each
+       call). *)
+    let defines r (i : Isa.instr) =
+      match i with
+      | Isa.Mov (d, _) | Isa.Movi (d, _) | Isa.Alu (_, d, _)
+      | Isa.Alui (_, d, _) | Isa.Ldx (d, _)
+      | Isa.LdxJcci (_, d, _, _, _) | Isa.LdxJcc (_, _, d, _, _) ->
+          d = r
+      | Isa.Call _ | Isa.CallJcci _ -> r = 0
+      | Isa.Jmp _ | Isa.Jcc _ | Isa.Jcci _ | Isa.Stx _ | Isa.Exit -> false
+    in
+    let arg_source pc r : arg_src =
+      let reg_stable s j =
+        let ok = ref true in
+        for k = j + 1 to pc - 1 do
+          if defines s code.(k) then ok := false
+        done;
+        !ok
+      in
+      let slot_stable sl j =
+        let ok = ref true in
+        for k = j + 1 to pc - 1 do
+          match code.(k) with
+          | Isa.Stx (s, _) when s = sl -> ok := false
+          | _ -> ()
+        done;
+        !ok
+      in
+      let rec scan j =
+        if j < 0 || is_target.(j + 1) then Dyn
+        else
+          match code.(j) with
+          | Isa.Movi (d, c) when d = r -> Const c
+          | Isa.Mov (d, s) when d = r ->
+              if reg_stable s j then From_reg s else Dyn
+          | Isa.Ldx (d, sl) when d = r ->
+              if slot_stable sl j then From_slot sl else Dyn
+          | Isa.Jmp _ | Isa.Exit -> Dyn
+          | i -> if defines r i then Dyn else scan (j - 1)
+      in
+      scan (pc - 1)
+    in
+    let arg_getter r (s : arg_src) : unit -> int =
+      match s with
+      | Const c -> fun () -> c
+      | From_reg s -> fun () -> Array.unsafe_get regs s
+      | From_slot sl -> fun () -> Array.unsafe_get stack sl
+      | Dyn -> fun () -> Array.unsafe_get regs r
+    in
+    (* Registers the specialized closure still reads at run time. *)
+    let arg_use r (s : arg_src) =
+      match s with
+      | Const _ | From_slot _ -> 0
+      | From_reg s -> 1 lsl s
+      | Dyn -> 1 lsl r
+    in
+
+    (* The executable body of a helper call at [pc], specialized on the
+       discovered argument sources, paired with the mask of registers it
+       actually reads at run time. *)
+    let helper_exec pc (h : Isa.helper) : (unit -> int) * int =
+      let s1 = arg_source pc 1 and s2 = arg_source pc 2 in
+      let g1 = arg_getter 1 s1 and g2 = arg_getter 2 s2 in
+      let u1 = arg_use 1 s1 and u2 = arg_use 2 s2 in
+      match h with
+      | Isa.H_q_nth -> (
+          match s1 with
+          | Const c ->
+              (* flatten the index getter too: this is the inner loop of
+                 every queue FILTER/MIN scan *)
+              let sel = queue_sel c in
+              let exec =
+                match s2 with
+                | Const i -> fun () -> q_nth (sel !env_ref) i
+                | From_reg s ->
+                    fun () -> q_nth (sel !env_ref) (Array.unsafe_get regs s)
+                | From_slot sl ->
+                    fun () -> q_nth (sel !env_ref) (Array.unsafe_get stack sl)
+                | Dyn -> fun () -> q_nth (sel !env_ref) (Array.unsafe_get regs 2)
+              in
+              (exec, u2)
+          | _ -> ((fun () -> q_nth (queue_rt !env_ref (g1 ())) (g2 ())), u1 lor u2))
+      | Isa.H_q_remove -> (
+          match s1 with
+          | Const c ->
+              let sel = queue_sel c in
+              ((fun () -> q_remove (sel !env_ref) (g2 ())), u2)
+          | _ ->
+              ((fun () -> q_remove (queue_rt !env_ref (g1 ())) (g2 ())), u1 lor u2))
+      | Isa.H_sbf_count ->
+          ((fun () -> Array.length (!env_ref).Env.subflows), 0)
+      | Isa.H_sbf_prop -> (
+          match s2 with
+          | Const c ->
+              let prop = Isa.sbf_prop_of_code c in
+              let body h =
+                let sbfs = (!env_ref).Env.subflows in
+                if h > 0 && h <= Array.length sbfs then
+                  Subflow_view.prop_int (Array.unsafe_get sbfs (h - 1)) prop
+                else 0
+              in
+              let exec =
+                match s1 with
+                | Const h -> fun () -> body h
+                | From_reg s -> fun () -> body (Array.unsafe_get regs s)
+                | From_slot sl -> fun () -> body (Array.unsafe_get stack sl)
+                | Dyn -> fun () -> body (Array.unsafe_get regs 1)
+              in
+              (exec, u1)
+          | _ ->
+              ( (fun () ->
+                  let h = g1 () in
+                  let sbfs = (!env_ref).Env.subflows in
+                  if h > 0 && h <= Array.length sbfs then
+                    Subflow_view.prop_int sbfs.(h - 1)
+                      (Isa.sbf_prop_of_code (g2 ()))
+                  else 0),
+                u1 lor u2 ))
+      | Isa.H_pkt_prop -> (
+          match s2 with
+          | Const c ->
+              let read = pkt_reader (Isa.pkt_prop_of_code c) in
+              let exec =
+                match s1 with
+                | Const h -> if h = 0 then fun () -> 0 else fun () -> read (deref h)
+                | From_reg s ->
+                    fun () ->
+                      let h = Array.unsafe_get regs s in
+                      if h = 0 then 0 else read (deref h)
+                | From_slot sl ->
+                    fun () ->
+                      let h = Array.unsafe_get stack sl in
+                      if h = 0 then 0 else read (deref h)
+                | Dyn ->
+                    fun () ->
+                      let h = Array.unsafe_get regs 1 in
+                      if h = 0 then 0 else read (deref h)
+              in
+              (exec, u1)
+          | _ ->
+              ( (fun () ->
+                  let h = g1 () in
+                  if h = 0 then 0
+                  else
+                    let p = deref h in
+                    pkt_reader (Isa.pkt_prop_of_code (g2 ())) p),
+                u1 lor u2 ))
+      | Isa.H_sent_on ->
+          ( (fun () ->
+              let hp = g1 () and hs = g2 () in
+              if hp = 0 then 0
+              else
+                let p = deref hp in
+                let sbfs = (!env_ref).Env.subflows in
+                if
+                  hs > 0
+                  && hs <= Array.length sbfs
+                  && Packet.sent_on p
+                       ~sbf_id:(Array.unsafe_get sbfs (hs - 1)).Subflow_view.id
+                then 1
+                else 0),
+            u1 lor u2 )
+      | Isa.H_has_window ->
+          ( (fun () ->
+              let hs = g1 () and hp = g2 () in
+              if hp = 0 then 0
+              else
+                let p = deref hp in
+                let sbfs = (!env_ref).Env.subflows in
+                if
+                  hs > 0
+                  && hs <= Array.length sbfs
+                  && Subflow_view.has_window_for
+                       (Array.unsafe_get sbfs (hs - 1))
+                       p
+                then 1
+                else 0),
+            u1 lor u2 )
+      | Isa.H_push ->
+          ( (fun () ->
+              let hs = g1 () and hp = g2 () in
+              if hp <> 0 then begin
+                let p = deref hp in
+                let sbfs = (!env_ref).Env.subflows in
+                if hs > 0 && hs <= Array.length sbfs then
+                  Env.emit_push !env_ref
+                    ~sbf_id:(Array.unsafe_get sbfs (hs - 1)).Subflow_view.id
+                    p
+              end;
+              0),
+            u1 lor u2 )
+      | Isa.H_drop ->
+          ( (fun () ->
+              let hp = g1 () in
+              if hp <> 0 then Env.emit_drop !env_ref (deref hp);
+              0),
+            u1 )
+      | Isa.H_get_reg -> (
+          match s1 with
+          | Const c -> ((fun () -> Env.get_register !env_ref c), 0)
+          | _ -> ((fun () -> Env.get_register !env_ref (g1 ())), u1))
+      | Isa.H_set_reg ->
+          ( (fun () ->
+              Env.set_register !env_ref (g1 ()) (g2 ());
+              0),
+            u1 lor u2 )
+    in
+
+    (* ------------------- specialization analysis ------------------ *)
+    (* Specialize every call site up front, remembering which registers
+       each specialized closure still reads at run time. *)
+    let execs = Array.make n (fun () -> 0) in
+    let call_uses = Array.make n 0 in
+    Array.iteri
+      (fun pc (i : Isa.instr) ->
+        match i with
+        | Isa.Call h | Isa.CallJcci (h, _, _, _) ->
+            let exec, uses = helper_exec pc h in
+            execs.(pc) <- exec;
+            call_uses.(pc) <- uses
+        | _ -> ())
+      code;
+
+    (* Backward register-liveness dataflow, with call sites using only
+       their unabsorbed runtime reads. Calls define the caller-saved
+       registers: the verifier marks r1-r5 (and r0) uninitialized after
+       every call, so accepted programs never read them across one.
+       Feeding instructions whose destination is dead once its consumer
+       absorbed the value are pure (register moves, constant loads,
+       bounds-verified slot reloads) and compile to nothing: their
+       continuation slot aliases the next instruction's, so jumps onto
+       them still work. *)
+    let bit r = 1 lsl r in
+    let caller_saved = bit 0 lor bit 1 lor bit 2 lor bit 3 lor bit 4 lor bit 5 in
+    let uses_defs_at pc =
+      match code.(pc) with
+      | Isa.Mov (d, s) -> (bit s, bit d)
+      | Isa.Movi (d, _) -> (0, bit d)
+      | Isa.Alu (_, d, s) -> (bit d lor bit s, bit d)
+      | Isa.Alui (_, d, _) -> (bit d, bit d)
+      | Isa.Jmp _ -> (0, 0)
+      | Isa.Jcc (_, a, b, _) -> (bit a lor bit b, 0)
+      | Isa.Jcci (_, a, _, _) -> (bit a, 0)
+      | Isa.Call _ | Isa.CallJcci _ -> (call_uses.(pc), caller_saved)
+      | Isa.Ldx (d, _) -> (0, bit d)
+      | Isa.LdxJcci (_, d, _, _, _) -> (0, bit d)
+      | Isa.LdxJcc (_, a, d, _, _) -> (bit a, bit d)
+      | Isa.Stx (_, r) -> (bit r, 0)
+      | Isa.Exit -> (0, 0)
+    in
+    let successors pc =
+      match code.(pc) with
+      | Isa.Jmp t -> [ t ]
+      | Isa.Exit -> []
+      | Isa.Jcc (_, _, _, t)
+      | Isa.Jcci (_, _, _, t)
+      | Isa.CallJcci (_, _, _, t)
+      | Isa.LdxJcci (_, _, _, _, t)
+      | Isa.LdxJcc (_, _, _, _, t) ->
+          if pc + 1 < n then [ t; pc + 1 ] else [ t ]
+      | _ -> if pc + 1 < n then [ pc + 1 ] else []
+    in
+    let live_in = Array.make n 0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for pc = n - 1 downto 0 do
+        let uses, defs = uses_defs_at pc in
+        let out =
+          List.fold_left (fun m s -> m lor live_in.(s)) 0 (successors pc)
+        in
+        let inn = uses lor (out land lnot defs) in
+        if inn <> live_in.(pc) then begin
+          live_in.(pc) <- inn;
+          changed := true
+        end
+      done
+    done;
+    let live_out pc =
+      List.fold_left (fun m s -> m lor live_in.(s)) 0 (successors pc)
+    in
+    let dead = Array.make n false in
+    Array.iteri
+      (fun pc (i : Isa.instr) ->
+        match i with
+        | Isa.Mov (d, _) | Isa.Movi (d, _) | Isa.Ldx (d, _) ->
+            if live_out pc land bit d = 0 then dead.(pc) <- true
+        | _ -> ())
+      code;
+
+    (* Slot-increment fusion: [ldx r, s; alui op r, i; stx s, r] with
+       nothing landing inside the triple and [r] dead afterwards is one
+       in-place update of the slot. *)
+    let alui_fn (op : Isa.aluop) i : int -> int =
+      match op with
+      | Isa.Add -> fun v -> v + i
+      | Isa.Sub -> fun v -> v - i
+      | Isa.Mul -> fun v -> v * i
+      | Isa.Div -> if i = 0 then fun _ -> 0 else fun v -> v / i
+      | Isa.Mod -> if i = 0 then fun _ -> 0 else fun v -> v mod i
+      | Isa.And -> fun v -> v land i
+      | Isa.Or -> fun v -> v lor i
+      | Isa.Xor -> fun v -> v lxor i
+      | Isa.Lsh -> if i < 0 || i >= 63 then fun _ -> 0 else fun v -> v lsl i
+      | Isa.Rsh -> if i < 0 || i >= 63 then fun _ -> 0 else fun v -> v asr i
+    in
+    let slot_update = Array.make n None in
+    for pc = 0 to n - 3 do
+      match (code.(pc), code.(pc + 1), code.(pc + 2)) with
+      | Isa.Ldx (r, s), Isa.Alui (op, r', i), Isa.Stx (s', r'')
+        when r = r' && r = r'' && s = s'
+             && (not is_target.(pc + 1))
+             && (not is_target.(pc + 2))
+             && live_out (pc + 2) land bit r = 0 ->
+          slot_update.(pc) <- Some (s, alui_fn op i)
+      | _ -> ()
+    done;
+
+    (* ---------------------- closure emission --------------------- *)
+    let conts = Array.make (n + 1) (fun () -> ()) in
+    (* Continuation of a transfer from [pc] to [t]: forward targets are
+       already compiled (we build back-to-front) and bind directly;
+       back-edges indirect through the array and pay the step budget. *)
+    let goto pc t =
+      if t > pc then Array.unsafe_get conts t
+      else fun () ->
+        let f = !fuel - 1 in
+        if f < 0 then raise (Vm.Fault "step budget exhausted");
+        fuel := f;
+        (Array.unsafe_get conts t) ()
+    in
+    let alu op d s next =
+      match (op : Isa.aluop) with
+      | Isa.Add ->
+          fun () ->
+            Array.unsafe_set regs d
+              (Array.unsafe_get regs d + Array.unsafe_get regs s);
+            next ()
+      | Isa.Sub ->
+          fun () ->
+            Array.unsafe_set regs d
+              (Array.unsafe_get regs d - Array.unsafe_get regs s);
+            next ()
+      | Isa.Mul ->
+          fun () ->
+            Array.unsafe_set regs d
+              (Array.unsafe_get regs d * Array.unsafe_get regs s);
+            next ()
+      | Isa.Div ->
+          fun () ->
+            let b = Array.unsafe_get regs s in
+            Array.unsafe_set regs d
+              (if b = 0 then 0 else Array.unsafe_get regs d / b);
+            next ()
+      | Isa.Mod ->
+          fun () ->
+            let b = Array.unsafe_get regs s in
+            Array.unsafe_set regs d
+              (if b = 0 then 0 else Array.unsafe_get regs d mod b);
+            next ()
+      | Isa.And ->
+          fun () ->
+            Array.unsafe_set regs d
+              (Array.unsafe_get regs d land Array.unsafe_get regs s);
+            next ()
+      | Isa.Or ->
+          fun () ->
+            Array.unsafe_set regs d
+              (Array.unsafe_get regs d lor Array.unsafe_get regs s);
+            next ()
+      | Isa.Xor ->
+          fun () ->
+            Array.unsafe_set regs d
+              (Array.unsafe_get regs d lxor Array.unsafe_get regs s);
+            next ()
+      | Isa.Lsh ->
+          fun () ->
+            let b = Array.unsafe_get regs s in
+            Array.unsafe_set regs d
+              (if b < 0 || b >= 63 then 0 else Array.unsafe_get regs d lsl b);
+            next ()
+      | Isa.Rsh ->
+          fun () ->
+            let b = Array.unsafe_get regs s in
+            Array.unsafe_set regs d
+              (if b < 0 || b >= 63 then 0 else Array.unsafe_get regs d asr b);
+            next ()
+    in
+    let alui op d i next =
+      match (op : Isa.aluop) with
+      | Isa.Add -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs d + i); next ()
+      | Isa.Sub -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs d - i); next ()
+      | Isa.Mul -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs d * i); next ()
+      | Isa.Div ->
+          if i = 0 then (fun () -> Array.unsafe_set regs d 0; next ())
+          else fun () -> Array.unsafe_set regs d (Array.unsafe_get regs d / i); next ()
+      | Isa.Mod ->
+          if i = 0 then (fun () -> Array.unsafe_set regs d 0; next ())
+          else fun () -> Array.unsafe_set regs d (Array.unsafe_get regs d mod i); next ()
+      | Isa.And -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs d land i); next ()
+      | Isa.Or -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs d lor i); next ()
+      | Isa.Xor -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs d lxor i); next ()
+      | Isa.Lsh ->
+          if i < 0 || i >= 63 then (fun () -> Array.unsafe_set regs d 0; next ())
+          else fun () -> Array.unsafe_set regs d (Array.unsafe_get regs d lsl i); next ()
+      | Isa.Rsh ->
+          if i < 0 || i >= 63 then (fun () -> Array.unsafe_set regs d 0; next ())
+          else fun () -> Array.unsafe_set regs d (Array.unsafe_get regs d asr i); next ()
+    in
+    let jcc_rr c a b taken fall =
+      match (c : Isa.cond) with
+      | Isa.Jeq -> fun () -> if Array.unsafe_get regs a = Array.unsafe_get regs b then taken () else fall ()
+      | Isa.Jne -> fun () -> if Array.unsafe_get regs a <> Array.unsafe_get regs b then taken () else fall ()
+      | Isa.Jlt -> fun () -> if Array.unsafe_get regs a < Array.unsafe_get regs b then taken () else fall ()
+      | Isa.Jle -> fun () -> if Array.unsafe_get regs a <= Array.unsafe_get regs b then taken () else fall ()
+      | Isa.Jgt -> fun () -> if Array.unsafe_get regs a > Array.unsafe_get regs b then taken () else fall ()
+      | Isa.Jge -> fun () -> if Array.unsafe_get regs a >= Array.unsafe_get regs b then taken () else fall ()
+    in
+    (* A register move immediately followed by a compare-and-branch runs
+       as one closure (the branch's own closure still exists, so jumps
+       landing on it are unaffected). *)
+    let mov_jcci d s c a i taken fall =
+      match (c : Isa.cond) with
+      | Isa.Jeq -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs s); if Array.unsafe_get regs a = i then taken () else fall ()
+      | Isa.Jne -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs s); if Array.unsafe_get regs a <> i then taken () else fall ()
+      | Isa.Jlt -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs s); if Array.unsafe_get regs a < i then taken () else fall ()
+      | Isa.Jle -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs s); if Array.unsafe_get regs a <= i then taken () else fall ()
+      | Isa.Jgt -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs s); if Array.unsafe_get regs a > i then taken () else fall ()
+      | Isa.Jge -> fun () -> Array.unsafe_set regs d (Array.unsafe_get regs s); if Array.unsafe_get regs a >= i then taken () else fall ()
+    in
+    let jcc_ri c a i taken fall =
+      match (c : Isa.cond) with
+      | Isa.Jeq -> fun () -> if Array.unsafe_get regs a = i then taken () else fall ()
+      | Isa.Jne -> fun () -> if Array.unsafe_get regs a <> i then taken () else fall ()
+      | Isa.Jlt -> fun () -> if Array.unsafe_get regs a < i then taken () else fall ()
+      | Isa.Jle -> fun () -> if Array.unsafe_get regs a <= i then taken () else fall ()
+      | Isa.Jgt -> fun () -> if Array.unsafe_get regs a > i then taken () else fall ()
+      | Isa.Jge -> fun () -> if Array.unsafe_get regs a >= i then taken () else fall ()
+    in
+    let call_jcci exec c i taken fall =
+      match (c : Isa.cond) with
+      | Isa.Jeq -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; if r = i then taken () else fall ()
+      | Isa.Jne -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; if r <> i then taken () else fall ()
+      | Isa.Jlt -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; if r < i then taken () else fall ()
+      | Isa.Jle -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; if r <= i then taken () else fall ()
+      | Isa.Jgt -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; if r > i then taken () else fall ()
+      | Isa.Jge -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; if r >= i then taken () else fall ()
+    in
+    (* [call h; mov d, r0; jcci c, a, i, t] with [a] one of the two
+       registers holding the call result runs as one closure — the shape
+       the frontend emits when a helper result is both kept and
+       immediately tested (the FILTER scan's null check). The mov's and
+       branch's own closures still exist for incoming jumps. *)
+    let call_mov_jcci exec d c i taken fall =
+      match (c : Isa.cond) with
+      | Isa.Jeq -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; Array.unsafe_set regs d r; if r = i then taken () else fall ()
+      | Isa.Jne -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; Array.unsafe_set regs d r; if r <> i then taken () else fall ()
+      | Isa.Jlt -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; Array.unsafe_set regs d r; if r < i then taken () else fall ()
+      | Isa.Jle -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; Array.unsafe_set regs d r; if r <= i then taken () else fall ()
+      | Isa.Jgt -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; Array.unsafe_set regs d r; if r > i then taken () else fall ()
+      | Isa.Jge -> fun () -> let r = exec () in Array.unsafe_set regs 0 r; Array.unsafe_set regs d r; if r >= i then taken () else fall ()
+    in
+    let ldx_jcci c d slot i taken fall =
+      match (c : Isa.cond) with
+      | Isa.Jeq -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if v = i then taken () else fall ()
+      | Isa.Jne -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if v <> i then taken () else fall ()
+      | Isa.Jlt -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if v < i then taken () else fall ()
+      | Isa.Jle -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if v <= i then taken () else fall ()
+      | Isa.Jgt -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if v > i then taken () else fall ()
+      | Isa.Jge -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if v >= i then taken () else fall ()
+    in
+    let ldx_jcc c a d slot taken fall =
+      match (c : Isa.cond) with
+      | Isa.Jeq -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if Array.unsafe_get regs a = v then taken () else fall ()
+      | Isa.Jne -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if Array.unsafe_get regs a <> v then taken () else fall ()
+      | Isa.Jlt -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if Array.unsafe_get regs a < v then taken () else fall ()
+      | Isa.Jle -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if Array.unsafe_get regs a <= v then taken () else fall ()
+      | Isa.Jgt -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if Array.unsafe_get regs a > v then taken () else fall ()
+      | Isa.Jge -> fun () -> let v = Array.unsafe_get stack slot in Array.unsafe_set regs d v; if Array.unsafe_get regs a >= v then taken () else fall ()
+    in
+    for pc = n - 1 downto 0 do
+      let fall () = Array.unsafe_get conts (pc + 1) in
+      conts.(pc) <-
+        (match slot_update.(pc) with
+        | Some (s, f) -> (
+            (* The triple is usually a loop counter bump whose next
+               instruction is the back-edge: fold the jump in so one
+               closure updates the slot, pays the step budget, and lands
+               back at the loop head. *)
+            match if pc + 3 < n then Some code.(pc + 3) else None with
+            | Some (Isa.Jmp t) when t <= pc + 3 ->
+                fun () ->
+                  Array.unsafe_set stack s (f (Array.unsafe_get stack s));
+                  let fl = !fuel - 1 in
+                  if fl < 0 then raise (Vm.Fault "step budget exhausted");
+                  fuel := fl;
+                  (Array.unsafe_get conts t) ()
+            | Some (Isa.Jmp t) ->
+                let next = Array.unsafe_get conts t in
+                fun () ->
+                  Array.unsafe_set stack s (f (Array.unsafe_get stack s));
+                  next ()
+            | _ ->
+                let next = Array.unsafe_get conts (pc + 3) in
+                fun () ->
+                  Array.unsafe_set stack s (f (Array.unsafe_get stack s));
+                  next ())
+        | None ->
+            if dead.(pc) then
+              (* value absorbed by its consumer (or plain unread):
+                 nothing to execute, so this slot aliases the next
+                 instruction's closure *)
+              fall ()
+            else
+              (match code.(pc) with
+              | Isa.Mov (d, s)
+                when pc + 1 < n
+                     && (match code.(pc + 1) with
+                        | Isa.Jcci _ -> true
+                        | _ -> false) ->
+                  (match code.(pc + 1) with
+                  | Isa.Jcci (c, a, i, t) ->
+                      mov_jcci d s c a i
+                        (goto (pc + 1) t)
+                        (Array.unsafe_get conts (pc + 2))
+                  | _ -> assert false)
+              | Isa.Mov (d, s) ->
+                  let next = fall () in
+                  fun () ->
+                    Array.unsafe_set regs d (Array.unsafe_get regs s);
+                    next ()
+              | Isa.Movi (d, i) ->
+                  let next = fall () in
+                  fun () ->
+                    Array.unsafe_set regs d i;
+                    next ()
+              | Isa.Alu (op, d, s) -> alu op d s (fall ())
+              | Isa.Alui (op, d, i) -> alui op d i (fall ())
+              | Isa.Jmp t -> goto pc t
+              | Isa.Jcc (c, a, b, t) -> jcc_rr c a b (goto pc t) (fall ())
+              | Isa.Jcci (c, a, i, t) -> jcc_ri c a i (goto pc t) (fall ())
+              | Isa.Call _
+                when pc + 2 < n
+                     && (match (code.(pc + 1), code.(pc + 2)) with
+                        | Isa.Mov (d, 0), Isa.Jcci (_, a, _, _) ->
+                            a = 0 || a = d
+                        | _ -> false) -> (
+                  match (code.(pc + 1), code.(pc + 2)) with
+                  | Isa.Mov (d, _), Isa.Jcci (c, _, i, t) ->
+                      call_mov_jcci
+                        (Array.unsafe_get execs pc)
+                        d c i
+                        (goto (pc + 2) t)
+                        (Array.unsafe_get conts (pc + 3))
+                  | _ -> assert false)
+              | Isa.Call _ ->
+                  let exec = Array.unsafe_get execs pc in
+                  let next = fall () in
+                  fun () ->
+                    Array.unsafe_set regs 0 (exec ());
+                    next ()
+              | Isa.Ldx (d, slot) ->
+                  let next = fall () in
+                  fun () ->
+                    Array.unsafe_set regs d (Array.unsafe_get stack slot);
+                    next ()
+              | Isa.Stx (slot, s) ->
+                  let next = fall () in
+                  fun () ->
+                    Array.unsafe_set stack slot (Array.unsafe_get regs s);
+                    next ()
+              | Isa.Exit -> fun () -> ()
+              | Isa.CallJcci (_, c, i, t) ->
+                  call_jcci (Array.unsafe_get execs pc) c i (goto pc t)
+                    (fall ())
+              | Isa.LdxJcci (c, d, slot, i, t) ->
+                  ldx_jcci c d slot i (goto pc t) (fall ())
+              | Isa.LdxJcc (c, a, d, slot, t) ->
+                  ldx_jcc c a d slot (goto pc t) (fall ())))
+    done;
+    let entry = conts.(0) in
+    fun (env : Env.t) ->
+      env_ref := env;
+      Array.fill regs 0 Isa.num_regs 0;
+      gen := Atomic.fetch_and_add run_gen 1;
+      count := 0;
+      fuel := max_steps;
+      entry ()
+  end
+
+let compile ?max_steps (flat : int array) : Env.t -> unit =
+  compile_code ?max_steps (Flat.decode flat)

@@ -1,0 +1,27 @@
+(** The threaded-code engine: verified {!Flat} programs compiled to
+    chained OCaml closures — each instruction a direct call with its
+    operands partially applied and its continuation captured, so
+    execution has no dispatch loop at all (Ertl & Gregg threaded code;
+    the repo's stand-in for the paper's AOT/JIT tier). Unsafe
+    register/stack accesses are justified by the verifier's bounds
+    proofs, exactly like [Vm.run_flat]. *)
+
+val default_max_steps : int
+(** Back-edge budget per execution (= {!Vm.default_max_steps};
+    straight-line progress between back-edges is bounded by program
+    length, so this bounds total work like the VM's per-instruction
+    budget). *)
+
+val compile :
+  ?max_steps:int -> int array -> Progmp_runtime.Env.t -> unit
+(** [compile flat] builds the closure chain for a {!Flat}-encoded,
+    verifier-accepted program. The result is not reentrant (scratch
+    registers, stack and packet table are compiled in, like
+    [Vm.prog]); run it once per prepared environment.
+    @raise Vm.Fault at run time on invalid handles, bad queue codes or
+    an exhausted budget — same failure surface as {!Vm.run}. *)
+
+val compile_code :
+  ?max_steps:int -> Isa.instr array -> Progmp_runtime.Env.t -> unit
+(** As {!compile}, from decoded instructions (tests; callers must only
+    pass verifier-accepted code). *)

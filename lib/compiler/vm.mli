@@ -39,5 +39,15 @@ val run : ?max_steps:int -> prog -> Progmp_runtime.Env.t -> unit
 (** Execute one scheduler run against an environment prepared with
     [Env.begin_execution]. @raise Fault as above. *)
 
+val run_traced :
+  ?max_steps:int ->
+  trace:(int -> unit) ->
+  prog ->
+  Progmp_runtime.Env.t ->
+  unit
+(** Like {!run}, but always on the boxed instructions and reporting
+    every executed pc to [trace] — opcode-pair profile harvesting for
+    {!Bopt.fuse_profiled} (pair it with {!Profile.tracer}). *)
+
 val size : prog -> int
 (** Instruction count (the paper's per-scheduler memory analogue). *)

@@ -1,0 +1,66 @@
+(** Scheduler-invocation profile export: folds the flight recorder's
+    [Sched_invoke] stream into per-(scheduler, engine) invocation and
+    action counts — the execution-frequency half of profile-guided
+    superinstruction selection. The compiler side
+    ([Progmp_compiler.Profile]) counts which opcode pairs a program
+    executes; this module says how hot each scheduler actually ran, so
+    per-scheduler pair profiles can be weighted (scaled by
+    {!invocations}) before merging into one fusion profile. *)
+
+type row = { mutable invocations : int; mutable actions : int }
+
+type t = { rows : (string * string, row) Hashtbl.t }
+
+let create () = { rows = Hashtbl.create 8 }
+
+let observe t = function
+  | Trace.Sched_invoke { scheduler; engine; actions; _ } ->
+      let r =
+        match Hashtbl.find_opt t.rows (scheduler, engine) with
+        | Some r -> r
+        | None ->
+            let r = { invocations = 0; actions = 0 } in
+            Hashtbl.add t.rows (scheduler, engine) r;
+            r
+      in
+      r.invocations <- r.invocations + 1;
+      r.actions <- r.actions + actions
+  | _ -> ()
+
+(** A {!Trace} sink counting into [t]; attach it (alone or via
+    [Trace.tee] next to a JSONL recorder) with [Recorder.attach]. *)
+let sink t = Trace.callback (fun ~time:_ ev -> observe t ev)
+
+(** Sorted [(scheduler, engine), invocations, actions] rows. *)
+let rows t =
+  Hashtbl.fold (fun k r acc -> (k, r.invocations, r.actions) :: acc) t.rows []
+  |> List.sort compare
+
+(** Total invocations of [scheduler], summed over engines — the weight
+    to {!Progmp_compiler.Profile.scale} its pair profile by. *)
+let invocations t ~scheduler =
+  Hashtbl.fold
+    (fun (s, _) r acc ->
+      if String.equal s scheduler then acc + r.invocations else acc)
+    t.rows 0
+
+let total t = Hashtbl.fold (fun _ r acc -> acc + r.invocations) t.rows 0
+
+(** One-line-per-row JSON export (same no-dependency style as the bench
+    artifacts). *)
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n  \"sched_profile\": [\n";
+  let l = rows t in
+  let last = List.length l - 1 in
+  List.iteri
+    (fun i ((scheduler, engine), invocations, actions) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"scheduler\": %S, \"engine\": %S, \"invocations\": %d, \
+            \"actions\": %d}%s\n"
+           scheduler engine invocations actions
+           (if i = last then "" else ",")))
+    l;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b

@@ -1,0 +1,28 @@
+(** Scheduler-invocation profile export: per-(scheduler, engine)
+    invocation/action counts folded from the flight recorder's
+    [Sched_invoke] events — the weights for profile-guided
+    superinstruction selection (scale a scheduler's opcode-pair profile
+    by its {!invocations} before merging). *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> Trace.event -> unit
+(** Count one event ([Sched_invoke] counts; everything else is
+    ignored). *)
+
+val sink : t -> Trace.t
+(** A {!Trace} sink counting into [t]; attach with [Recorder.attach]
+    (alone, or next to other sinks via [Trace.tee]). *)
+
+val rows : t -> ((string * string) * int * int) list
+(** Sorted [((scheduler, engine), invocations, actions)]. *)
+
+val invocations : t -> scheduler:string -> int
+(** Invocations of [scheduler] summed over engines. *)
+
+val total : t -> int
+
+val to_json : t -> string
+(** One-row-per-line JSON export of {!rows}. *)

@@ -204,6 +204,11 @@ let memory () =
     },
     fun () -> List.rev !acc )
 
+(** Callback sink: hand every event to [f] — in-process aggregation
+    (e.g. {!Profile}'s invocation counting) without serializing. *)
+let callback f =
+  { write = (fun time ev -> f ~time ev); flush = (fun () -> ()); events = 0 }
+
 (** Fan a single emission out to several sinks. *)
 let tee sinks =
   {

@@ -70,5 +70,10 @@ val memory : unit -> t * (unit -> (float * event) list)
 (** In-memory sink (tests); the getter returns events in emission
     order. *)
 
+val callback : (time:float -> event -> unit) -> t
+(** Callback sink: hand every event to the function — in-process
+    aggregation (e.g. {!Profile}'s invocation counting) without
+    serializing. *)
+
 val tee : t list -> t
 (** Fan each emission out to several sinks. *)

@@ -16,6 +16,13 @@ type t = {
   mutable sent_count : int;  (** number of pushes (redundant copies) *)
   mutable enqueue_time : float;  (** when the application queued the data *)
   mutable acked : bool;  (** meta-level (data) acknowledgement received *)
+  mutable reg_stamp : int;
+      (** engine scratch: generation of the execution that last
+          registered this packet (see {!Progmp_compiler.Threaded});
+          valid only together with [reg_handle] *)
+  mutable reg_handle : int;
+      (** engine scratch: the handle minted for [reg_stamp]'s
+          execution *)
 }
 
 (* Atomic so concurrent simulations (one per domain in a parallel
@@ -38,6 +45,8 @@ let create ?(props = [||]) ~seq ~size ~now () =
     sent_count = 0;
     enqueue_time = now;
     acked = false;
+    reg_stamp = 0;
+    reg_handle = 0;
   }
 
 let sent_on t ~sbf_id = t.sent_on_mask land (1 lsl sbf_id) <> 0

@@ -12,6 +12,12 @@ type t = {
   mutable sent_count : int;  (** number of pushes (redundant copies) *)
   mutable enqueue_time : float;  (** when the application queued the data *)
   mutable acked : bool;  (** meta-level (data) acknowledgement received *)
+  mutable reg_stamp : int;
+      (** engine scratch: generation stamp of the last execution that
+          registered this packet (threaded engine handle cache; stamps
+          are process-unique, so stale stamps never alias) *)
+  mutable reg_handle : int;
+      (** engine scratch: handle minted for [reg_stamp]'s execution *)
 }
 
 val create : ?props:int array -> seq:int -> size:int -> now:float -> unit -> t

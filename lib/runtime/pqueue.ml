@@ -25,7 +25,10 @@ let length t = t.len
 
 let is_empty t = t.len = 0
 
-let phys_index t i = (t.head + i) mod Array.length t.buf
+(* Capacity is always a power of two (16 at creation, doubled by
+   [grow]), so the wrap-around is a mask, not a division — [phys_index]
+   sits under every per-decision queue access. *)
+let phys_index t i = (t.head + i) land (Array.length t.buf - 1)
 
 let unsafe_get t i =
   match t.buf.(phys_index t i) with
@@ -37,6 +40,13 @@ let unsafe_get t i =
     not a list walk — [H_q_nth] sits on the VM's per-decision hot
     path. *)
 let nth t i = if i < 0 || i >= t.len then None else Some (unsafe_get t i)
+
+(** [get t i] is the i-th packet without the option wrapper — the
+    allocation-free variant for callers that have already checked
+    [0 <= i < length t] (the threaded engine's [H_q_nth]). *)
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Pqueue.get: index out of range"
+  else unsafe_get t i
 
 let grow t =
   let cap = Array.length t.buf in

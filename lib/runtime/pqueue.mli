@@ -29,6 +29,16 @@ val nth : t -> int -> Packet.t option
 (** [nth t i] is the i-th packet from the front, or [None] out of
     range. *)
 
+val unsafe_get : t -> int -> Packet.t
+(** [get] without the bounds check: the caller must have established
+    [0 <= i < length t] itself (the threaded engine's [H_q_nth] does
+    exactly that test to decide between packet and NULL). *)
+
+val get : t -> int -> Packet.t
+(** [nth] without the option allocation, for callers that checked the
+    range against {!length} themselves (the decision hot path).
+    @raise Invalid_argument when [i] is out of range. *)
+
 val push_back : t -> Packet.t -> unit
 
 val push_front : t -> Packet.t -> unit

@@ -80,6 +80,42 @@ let suite =
                   (r.Apps.Http2.wifi_bytes + r.Apps.Http2.lte_bytes
                  >= Apps.Http2.total_bytes Apps.Http2.optimized_page)
             | None -> Alcotest.fail "page load incomplete");
+        tc "http2 page load completes through loss bursts and outages"
+          (fun () ->
+            (* The page-load's dependency-aware scheduling must survive
+               hostile network dynamics: the LTE path degrades to
+               Gilbert–Elliott burst loss while WiFi flaps twice, with a
+               mid-load outage on LTE for good measure. The invariant
+               checker rides along: no packet loss at the meta level, no
+               reordering escapes, every stream completes. *)
+            let c = conn ~scheduler:"http2_aware" () in
+            Faults.apply c
+              (Faults.flap ~start:0.4 ~period:1.5 ~down_for:0.4 ~until:3.5
+                 "wifi"
+              @ [
+                  Faults.step ~at:0.2 "lte"
+                    (Faults.Loss_burst
+                       { p_enter = 0.15; p_exit = 0.3; loss_bad = 0.5 });
+                  Faults.step ~at:1.0 "lte" Faults.Link_down;
+                  Faults.step ~at:1.6 "lte" Faults.Link_up;
+                  Faults.step ~at:2.8 "lte" Faults.Loss_model_reset;
+                ]);
+            let checker = Invariants.attach c in
+            (match Apps.Http2.load_page c Apps.Http2.optimized_page with
+            | Some r ->
+                Alcotest.(check bool) "all bytes arrived" true
+                  (r.Apps.Http2.wifi_bytes + r.Apps.Http2.lte_bytes
+                  >= Apps.Http2.total_bytes Apps.Http2.optimized_page);
+                Alcotest.(check bool) "milestones ordered" true
+                  (r.Apps.Http2.dependency_time
+                   <= r.Apps.Http2.initial_view_time
+                  && r.Apps.Http2.initial_view_time
+                     <= r.Apps.Http2.full_load_time +. 1e-9)
+            | None -> Alcotest.fail "page load incomplete under faults");
+            Alcotest.(check int)
+              (Fmt.str "invariants clean: %s"
+                 (Option.value ~default:"" (Invariants.report checker)))
+              0 (Invariants.total checker));
         tc "webserver serve uses the http2_aware scheduler" (fun () ->
             let c = conn () in
             (match Apps.Webserver.serve c Apps.Http2.optimized_page with

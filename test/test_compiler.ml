@@ -257,6 +257,165 @@ let suite =
       ] );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Profile-guided superinstruction selection and the threaded tier.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Observable outcome of running [code] on a fresh default environment
+   through the boxed VM: action tape, queue contents and register
+   file — the yardstick for "fusion preserved the semantics". *)
+let run_code code =
+  let prog = Vm.make_prog ~spill_slots:Isa.stack_words code in
+  let env, views = build default_env_spec in
+  Progmp_runtime.Env.begin_execution env ~subflows:views;
+  Vm.run prog env;
+  ( List.map norm_action (Progmp_runtime.Env.finish_execution env),
+    ( seqs_of env.Progmp_runtime.Env.q,
+      seqs_of env.Progmp_runtime.Env.qu,
+      seqs_of env.Progmp_runtime.Env.rq ),
+    Array.to_list env.Progmp_runtime.Env.registers )
+
+let over_zoo f =
+  List.iter (fun (name, src) -> f name (raw_code src)) Schedulers.Specs.all
+
+let fusion_random =
+  QCheck2.Test.make
+    ~name:"profiled fusion: accepted, idempotent, behaviour-preserving"
+    ~count:100 Gen.gen_program (fun ast ->
+      let p = Progmp_lang.Typecheck.check ast in
+      let vcode = Codegen.generate p in
+      let raw = Emit.emit vcode (Regalloc.allocate vcode) in
+      let profile = Profile.static_estimate raw in
+      let fused = Bopt.fuse_profiled ~profile raw in
+      verifier_accepts fused
+      && Bopt.fuse_profiled ~profile fused = fused
+      && run_code raw = run_code fused)
+
+let fusion_suite =
+  [
+    ( "profile-fusion",
+      [
+        tc "equal profiles select identically, whatever the insertion order"
+          (fun () ->
+            over_zoo (fun name raw ->
+                let p = Profile.static_estimate raw in
+                let q = Profile.of_pairs (List.rev (Profile.to_list p)) in
+                if not (Profile.equal p q) then
+                  Alcotest.failf "%s: reordered profile not equal" name;
+                if
+                  Bopt.fuse_profiled ~profile:p raw
+                  <> Bopt.fuse_profiled ~profile:q raw
+                then Alcotest.failf "%s: selection depends on insertion order" name));
+        tc "fuse_profiled is idempotent for a fixed profile" (fun () ->
+            over_zoo (fun name raw ->
+                let profile = Profile.static_estimate raw in
+                let once = Bopt.fuse_profiled ~profile raw in
+                if Bopt.fuse_profiled ~profile once <> once then
+                  Alcotest.failf "%s: second application changed the code" name));
+        tc "fused zoo: accepted and behaviour-preserving at every k"
+          (fun () ->
+            over_zoo (fun name raw ->
+                let reference = run_code raw in
+                List.iter
+                  (fun k ->
+                    let fused =
+                      Bopt.fuse_profiled ~k
+                        ~profile:(Profile.static_estimate raw) raw
+                    in
+                    if not (verifier_accepts fused) then
+                      Alcotest.failf "%s: k=%d output rejected" name k;
+                    if run_code fused <> reference then
+                      Alcotest.failf "%s: k=%d changed behaviour" name k)
+                  [ 0; 1; 2; 3; Bopt.default_fuse_k; 16 ]));
+        tc "k=0 forms no superinstructions" (fun () ->
+            over_zoo (fun name raw ->
+                let fused =
+                  Bopt.fuse_profiled ~k:0
+                    ~profile:(Profile.static_estimate raw) raw
+                in
+                match Disasm.fused_pairs fused with
+                | [] -> ()
+                | _ :: _ -> Alcotest.failf "%s: k=0 still fused" name));
+        tc "run_traced matches run on the zoo" (fun () ->
+            List.iter
+              (fun (name, src) ->
+                let observe run =
+                  let prog = compile_src src in
+                  let env, views = build default_env_spec in
+                  Progmp_runtime.Env.begin_execution env ~subflows:views;
+                  run prog env;
+                  ( List.map norm_action
+                      (Progmp_runtime.Env.finish_execution env),
+                    Array.to_list env.Progmp_runtime.Env.registers )
+                in
+                let plain = observe (fun p e -> Vm.run p e) in
+                let traced =
+                  observe (fun p e -> Vm.run_traced ~trace:ignore p e)
+                in
+                if plain <> traced then
+                  Alcotest.failf "%s: run_traced diverged from run" name)
+              Schedulers.Specs.all);
+        tc "tracer harvest drives accepted, behaviour-preserving fusion"
+          (fun () ->
+            let raw = raw_code Schedulers.Specs.round_robin in
+            let prog = Vm.make_prog ~spill_slots:Isa.stack_words raw in
+            let harvest = Profile.create () in
+            let env, views = build default_env_spec in
+            Progmp_runtime.Env.begin_execution env ~subflows:views;
+            Vm.run_traced ~trace:(Profile.tracer harvest raw) prog env;
+            ignore (Progmp_runtime.Env.finish_execution env);
+            Alcotest.(check bool)
+              "harvest non-empty" false
+              (Profile.is_empty harvest);
+            List.iter
+              (fun ((a, b), c) ->
+                if c <= 0 then
+                  Alcotest.failf "non-positive count for (%s,%s)" a b)
+              (Profile.to_list harvest);
+            let fused = Bopt.fuse_profiled ~profile:harvest raw in
+            Alcotest.(check bool)
+              "fused output accepted" true (verifier_accepts fused);
+            Alcotest.(check bool)
+              "behaviour preserved" true
+              (run_code fused = run_code raw);
+            (* the dynamic profile of a loopy scheduler must surface at
+               least one fusable hot pair, and selection must act on it *)
+            let fusable =
+              List.exists
+                (fun (key, _) -> Bopt.fusable_pair key)
+                (Profile.to_list harvest)
+            in
+            Alcotest.(check bool) "harvest has a fusable pair" true fusable;
+            Alcotest.(check bool)
+              "selection formed a superinstruction" true
+              (Disasm.fused_pairs fused <> []));
+        tc "static_estimate weights loop bodies heavier" (fun () ->
+            let code =
+              [|
+                Isa.Movi (6, 0);
+                Isa.Alui (Isa.Add, 6, 1);
+                Isa.Jcci (Isa.Jlt, 6, 10, 1);
+                Isa.Exit;
+              |]
+            in
+            let t = Profile.static_estimate code in
+            let pair i j =
+              (Profile.classify code.(i), Profile.classify code.(j))
+            in
+            Alcotest.(check bool)
+              "loop pair hotter than straight-line pair" true
+              (Profile.count t (pair 1 2) > Profile.count t (pair 0 1)));
+        tc "threaded engine charges the step budget" (fun () ->
+            let run = Threaded.compile_code ~max_steps:100 [| Isa.Jmp 0 |] in
+            let env, views = build default_env_spec in
+            Progmp_runtime.Env.begin_execution env ~subflows:views;
+            match run env with
+            | () -> Alcotest.fail "expected a step-budget fault"
+            | exception Vm.Fault _ -> ());
+        QCheck_alcotest.to_alcotest fusion_random;
+      ] );
+  ]
+
 (* Targeted register-allocator tests on synthetic virtual code. *)
 let regalloc_suite =
   [

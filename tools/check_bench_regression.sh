@@ -45,17 +45,35 @@ trap 'rm -rf "$tmp"' EXIT
 fresh="$tmp/BENCH_engines.json"
 [ -f "$fresh" ] || { echo "error: smoke run produced no BENCH_engines.json" >&2; exit 1; }
 
-# Extract "scheduler vm_ns" pairs from the one-entry-per-line JSON the
-# bench emits (no jq dependency).
-extract() {
-  sed -n 's/.*"scheduler": "\([^"]*\)", "vm_ns_per_decision": \([0-9.]*\).*/\1 \2/p' "$1"
+# Extract "scheduler ns" pairs for one engine column from the
+# one-entry-per-line JSON the bench emits (no jq dependency).
+extract() { # $1 = file, $2 = json field name
+  sed -n 's/.*"scheduler": "\([^"]*\)".* "'"$2"'": \([0-9.]*\).*/\1 \2/p' "$1"
 }
 
-extract "$baseline" > "$tmp/base.txt"
-extract "$fresh" > "$tmp/fresh.txt"
+# Extract the top-level "engines" list as one name per line.
+engines_of() {
+  sed -n 's/.*"engines": \[\(.*\)\].*/\1/p' "$1" | tr ',' '\n' \
+    | sed 's/[[:space:]"]//g' | grep -v '^$'
+}
+
+extract "$baseline" vm_ns_per_decision > "$tmp/base.txt"
+extract "$fresh" vm_ns_per_decision > "$tmp/fresh.txt"
 [ -s "$tmp/base.txt" ] || { echo "error: no vm entries in $baseline" >&2; exit 1; }
 
 status=0
+# Every engine the baseline measured must still be registered: a backend
+# dropping out of Engine.names() would otherwise silently vanish from
+# the comparison instead of failing the gate.
+engines_of "$baseline" > "$tmp/base_engines.txt"
+engines_of "$fresh" > "$tmp/fresh_engines.txt"
+while read -r engine; do
+  if ! grep -qx "$engine" "$tmp/fresh_engines.txt"; then
+    echo "error: engine $engine present in baseline but missing from fresh bench run" >&2
+    status=1
+  fi
+done < "$tmp/base_engines.txt"
+
 # Every baseline scheduler must still be measured.
 while read -r sched _; do
   if ! awk -v s="$sched" '$1 == s { found = 1 } END { exit !found }' "$tmp/fresh.txt"; then
@@ -64,26 +82,39 @@ while read -r sched _; do
   fi
 done < "$tmp/base.txt"
 
-awk -v tol="$TOLERANCE" -v cap="$HARD_CAP" '
-  NR == FNR { base[$1] = $2; next }
-  ($1 in base) && base[$1] > 0 && $2 > 0 {
-    ratio = $2 / base[$1]
-    log_sum += log(ratio)
-    n++
-    if (ratio > cap) {
-      printf "error: %s vm decision time fell off a cliff: %.0f ns vs baseline %.0f ns (> %.1fx)\n", $1, $2, base[$1], cap > "/dev/stderr"
-      bad = 1
+compare() { # $1 = base pairs, $2 = fresh pairs, $3 = engine label
+  awk -v tol="$TOLERANCE" -v cap="$HARD_CAP" -v eng="$3" '
+    NR == FNR { base[$1] = $2; next }
+    ($1 in base) && base[$1] > 0 && $2 > 0 {
+      ratio = $2 / base[$1]
+      log_sum += log(ratio)
+      n++
+      if (ratio > cap) {
+        printf "error: %s %s decision time fell off a cliff: %.0f ns vs baseline %.0f ns (> %.1fx)\n", $1, eng, $2, base[$1], cap > "/dev/stderr"
+        bad = 1
+      }
     }
-  }
-  END {
-    if (n == 0) { print "error: no comparable vm entries" > "/dev/stderr"; exit 1 }
-    mean = exp(log_sum / n)
-    if (mean > tol) {
-      printf "error: vm decision times regressed: geometric mean %.2fx of baseline (> %.1fx over %d schedulers)\n", mean, tol, n > "/dev/stderr"
-      bad = 1
-    }
-    exit bad
-  }' "$tmp/base.txt" "$tmp/fresh.txt" || status=1
+    END {
+      if (n == 0) { printf "error: no comparable %s entries\n", eng > "/dev/stderr"; exit 1 }
+      mean = exp(log_sum / n)
+      if (mean > tol) {
+        printf "error: %s decision times regressed: geometric mean %.2fx of baseline (> %.1fx over %d schedulers)\n", eng, mean, tol, n > "/dev/stderr"
+        bad = 1
+      }
+      exit bad
+    }' "$1" "$2"
+}
+
+compare "$tmp/base.txt" "$tmp/fresh.txt" vm || status=1
+
+# The threaded-code tier gets the same per-column guard; older
+# baselines without the column skip it (the engines diff above already
+# caught a disappearing backend).
+extract "$baseline" threaded_ns_per_decision > "$tmp/base_threaded.txt"
+extract "$fresh" threaded_ns_per_decision > "$tmp/fresh_threaded.txt"
+if [ -s "$tmp/base_threaded.txt" ]; then
+  compare "$tmp/base_threaded.txt" "$tmp/fresh_threaded.txt" threaded || status=1
+fi
 
 if [ "$status" -ne 0 ]; then
   echo "hint: if the slowdown is expected, refresh the baseline with:" >&2
