@@ -417,10 +417,12 @@ let engines_bench () =
   Printf.fprintf oc
     "{\n\
     \  \"experiment\": \"engines\",\n\
+    \  \"cores\": %d,\n\
     \  \"iterations\": %d,\n\
     \  \"smoke\": %b,\n\
     \  \"engines\": [%s],\n\
     \  \"schedulers\": [\n"
+    (Domain.recommended_domain_count ())
     iters !smoke
     (String.concat ", "
        (List.map (Printf.sprintf "%S") (Engine.names ())));
@@ -498,6 +500,7 @@ let obs_bench () =
   Printf.fprintf oc
     "{\n\
     \  \"experiment\": \"obs\",\n\
+    \  \"cores\": %d,\n\
     \  \"scheduler\": \"default\",\n\
     \  \"iterations\": %d,\n\
     \  \"ns_per_decision\": {\n\
@@ -510,6 +513,7 @@ let obs_bench () =
     \    \"jsonl_to_devnull\": %.1f\n\
     \  }\n\
      }\n"
+    (Domain.recommended_domain_count ())
     iters (snd baseline) (snd null) (snd jsonl)
     (pct null -. 100.0) (pct jsonl -. 100.0);
   close_out oc;
@@ -606,6 +610,143 @@ let sweep_bench () =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Fmt.pr "  machine-readable results written to BENCH_sweep.json@."
+
+(* ------------------------------------------------------------------ *)
+(* fleet — hosting capacity of the single-process fleet simulator      *)
+(* ------------------------------------------------------------------ *)
+
+(* A scale ladder of open-loop overload runs: each rung offers Poisson
+   arrivals above the fleet's aggregate service capacity, so the live
+   connection count climbs past the rung's target while completed flows
+   keep recycling slots. Recorded per rung: arrivals, completions, peak
+   concurrency, scheduler decisions per wall second, and resident heap
+   bytes per live connection (the marginal hosting cost). The full
+   ladder must demonstrate >= 100k concurrent connections and >= 1M
+   total arrivals in one process; results land in BENCH_fleet.json for
+   the regression gate. *)
+let fleet_bench () =
+  section "fleet"
+    "single-process hosting capacity: open-loop arrivals over shared links"
+    "live connections climb linearly under overload while slots recycle; \
+     decisions/sec stays flat across rungs (per-connection cost does not \
+     grow with fleet size) and heap bytes per live connection stay \
+     bounded";
+  let open Mptcp_exp in
+  load_zoo ();
+  let sched =
+    match Scheduler.find "default" with Some s -> s | None -> assert false
+  in
+  (* per-group service capacity is ~236 flows/s (2 x 1.25 MB/s links,
+     ~10.6 kB mean bounded-Pareto flow), so [rate] > 236 * [groups]
+     makes the rung an overload run whose live gauge climbs at about
+     (rate - capacity) connections per simulated second *)
+  let rungs =
+    if !smoke then [ (100, 2, 200.0, 3.0) ]
+    else
+      [
+        (1_000, 2, 600.0, 10.0);
+        (10_000, 16, 4_500.0, 15.0);
+        (100_000, 128, 35_000.0, 30.0);
+      ]
+  in
+  Fmt.pr "%9s %7s %9s %6s %9s %9s %9s %8s %12s %10s@." "target" "groups"
+    "rate/s" "dur" "arrivals" "completed" "peak" "slots" "decis/wall-s"
+    "B/conn";
+  let results =
+    List.map
+      (fun (target, groups, rate, duration) ->
+        Gc.compact ();
+        let fleet =
+          Fleet.create ~seed:42
+            ~scheduler:(sched, "interpreter")
+            ~groups
+            ~paths:(Sweep.fleet_group_paths ~loss:0.0)
+            ()
+        in
+        let dist = Traffic.default_pareto in
+        let size_rng = Rng.stream ~seed:42 (-1_000_001) in
+        let arrival_rng = Rng.stream ~seed:42 (-1_000_002) in
+        let t0 = Unix.gettimeofday () in
+        Traffic.drive ~clock:(Fleet.clock fleet) ~rng:arrival_rng
+          ~rate:(fun _ -> rate)
+          ~until:duration
+          (fun () ->
+            Fleet.arrive fleet ~size:(Traffic.draw_size dist size_rng));
+        ignore (Fleet.run ~until:duration fleet);
+        let wall = Unix.gettimeofday () -. t0 in
+        let tot = Fleet.totals fleet in
+        let heap_words = (Gc.quick_stat ()).Gc.top_heap_words in
+        let decisions_per_sec =
+          float_of_int tot.Fleet.t_executions /. wall
+        in
+        let bytes_per_conn =
+          float_of_int (heap_words * (Sys.word_size / 8))
+          /. float_of_int (max 1 tot.Fleet.t_peak_live)
+        in
+        Fmt.pr "%9d %7d %9.0f %6.0f %9d %9d %9d %8d %12.0f %10.0f@." target
+          groups rate duration tot.Fleet.t_arrivals tot.Fleet.t_completed
+          tot.Fleet.t_peak_live (Fleet.slot_count fleet) decisions_per_sec
+          bytes_per_conn;
+        csv ~experiment:"fleet"
+          ~header:
+            [ "target"; "groups"; "rate"; "duration_s"; "arrivals";
+              "completed"; "peak_live"; "slots"; "decisions_per_sec";
+              "bytes_per_conn"; "wall_s" ]
+          [ string_of_int target; string_of_int groups; Fmt.str "%.0f" rate;
+            Fmt.str "%.0f" duration; string_of_int tot.Fleet.t_arrivals;
+            string_of_int tot.Fleet.t_completed;
+            string_of_int tot.Fleet.t_peak_live;
+            string_of_int (Fleet.slot_count fleet);
+            Fmt.str "%.0f" decisions_per_sec; Fmt.str "%.0f" bytes_per_conn;
+            Fmt.str "%.2f" wall ];
+        ( target, groups, rate, duration, tot, Fleet.slot_count fleet,
+          decisions_per_sec, bytes_per_conn, wall, heap_words ))
+      rungs
+  in
+  (* the ladder's headline claims, asserted so a capacity regression
+     fails the bench loudly instead of shipping a smaller number *)
+  (if not !smoke then
+     let _, _, _, _, top_tot, _, _, _, _, _ =
+       List.nth results (List.length results - 1)
+     in
+     if top_tot.Fleet.t_peak_live < 100_000 then begin
+       Fmt.epr "fleet bench: peak concurrency %d < 100000@."
+         top_tot.Fleet.t_peak_live;
+       exit 2
+     end
+     else if top_tot.Fleet.t_arrivals < 1_000_000 then begin
+       Fmt.epr "fleet bench: total arrivals %d < 1000000@."
+         top_tot.Fleet.t_arrivals;
+       exit 2
+     end);
+  let oc = open_out "BENCH_fleet.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"fleet\",\n\
+    \  \"cores\": %d,\n\
+    \  \"smoke\": %b,\n\
+    \  \"rungs\": [\n"
+    (Domain.recommended_domain_count ())
+    !smoke;
+  let last = List.length results - 1 in
+  List.iteri
+    (fun i
+         ( target, groups, rate, duration, tot, slots, dps, bpc, wall,
+           heap_words ) ->
+      Printf.fprintf oc
+        "    { \"target\": %d, \"groups\": %d, \"rate\": %.0f, \
+         \"duration_s\": %.0f, \"arrivals\": %d, \"completed\": %d, \
+         \"peak_live\": %d, \"slots\": %d, \"decisions\": %d, \
+         \"decisions_per_sec\": %.0f, \"bytes_per_conn\": %.0f, \
+         \"wall_s\": %.2f, \"top_heap_words\": %d }%s\n"
+        target groups rate duration tot.Fleet.t_arrivals
+        tot.Fleet.t_completed tot.Fleet.t_peak_live slots
+        tot.Fleet.t_executions dps bpc wall heap_words
+        (if i = last then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Fmt.pr "  machine-readable results written to BENCH_fleet.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 10b — FCT vs flow size for the redundancy family               *)
@@ -1296,6 +1437,7 @@ let experiments =
     ("engines", engines_bench);
     ("obs", obs_bench);
     ("sweep", sweep_bench);
+    ("fleet", fleet_bench);
     ("fig10b", fig10b);
     ("fig10c", fig10c);
     ("fig12", fig12);

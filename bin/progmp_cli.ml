@@ -349,6 +349,7 @@ let main =
     [
       check_cmd; compile_cmd; run_cmd; gen_ocaml_cmd; list_cmd; show_cmd;
       engines_cmd; Mptcp_exp.Sweep_cli.cmd ~prog:"progmp sweep";
+      Mptcp_exp.Fleet_cli.cmd;
     ]
 
 let () =

@@ -312,6 +312,7 @@ let group =
         (Cmd.info "run" ~doc:"Run a single scenario (the default command)")
         scenario_term;
       Mptcp_exp.Sweep_cli.cmd ~prog:"simulate sweep";
+      Mptcp_exp.Fleet_cli.cmd;
     ]
 
 let () =
@@ -324,6 +325,7 @@ let () =
      named, and keep the positional-scenario interface the default *)
   let subcommand =
     Array.length Sys.argv > 1
-    && (Sys.argv.(1) = "run" || Sys.argv.(1) = "sweep")
+    && (Sys.argv.(1) = "run" || Sys.argv.(1) = "sweep"
+       || Sys.argv.(1) = "fleet")
   in
   exit (Cmd.eval (if subcommand then group else scenario_cmd))

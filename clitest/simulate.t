@@ -1,7 +1,7 @@
 A bulk transfer over two Mininet-style subflows (deterministic seed):
 
   $ ../bin/simulate.exe bulk --duration 40
-  simulated time     : 2.121 s
+  simulated time     : 1.922 s
   delivered          : 4000000 bytes (2763 segments, complete: true)
   subflow sbf1       : sent  2013344 B (1391 segs, 0 retx), srtt 21.6 ms, cwnd 20.0
   subflow sbf2       : sent  1986656 B (1372 segs, 0 retx), srtt 42.2 ms, cwnd 36.0
@@ -26,11 +26,11 @@ engine makes identical decisions, so the summaries match the interpreter
 run above:
 
   $ ../bin/simulate.exe bulk --duration 40 --engine vm | head -2
-  simulated time     : 2.121 s
+  simulated time     : 1.922 s
   delivered          : 4000000 bytes (2763 segments, complete: true)
 
   $ ../bin/simulate.exe bulk --duration 40 --engine aot | head -2
-  simulated time     : 2.121 s
+  simulated time     : 1.922 s
   delivered          : 4000000 bytes (2763 segments, complete: true)
 
 Unknown schedulers and engines are rejected:
@@ -52,7 +52,7 @@ shifts to subflow 2, with the invariant checker attached:
   > 1.5 sbf1 up
   > EOF
   $ ../bin/simulate.exe bulk --duration 40 --faults outage.fs --check-invariants
-  simulated time     : 3.785 s
+  simulated time     : 2.874 s
   delivered          : 4000000 bytes (2763 segments, complete: true)
   subflow sbf1       : sent   909344 B (628 segs, 15 retx), srtt 21.2 ms, cwnd 14.6
   subflow sbf2       : sent  3129752 B (2162 segs, 0 retx), srtt 42.1 ms, cwnd 37.0

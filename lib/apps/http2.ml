@@ -79,13 +79,21 @@ type load_result = {
   wifi_bytes : int;  (** wire bytes on preferred subflows *)
 }
 
-(** Serve [page] over [conn] starting at [at] and measure the load
-    milestones. The server writes resources in class order (critical,
-    initial view, deferred) as an HTTP/2 prioritized stream, stamping
-    PROP1 per packet via the extended API. *)
-let load_page ?(at = 0.2) ?(timeout = 120.0) (conn : Mptcp_sim.Connection.t)
-    (page : page) : load_result option =
-  let meta = conn.Mptcp_sim.Connection.meta in
+(** A page load in progress: writes scheduled, milestones not yet
+    evaluated — what lets a fleet serve many pages concurrently on one
+    shared clock (start each, run the clock once, finish each). *)
+type inflight = {
+  if_conn : Mptcp_sim.Connection.t;
+  if_page : page;
+  if_at : float;
+  if_ranges : (resource * int list) list ref;
+}
+
+(** Start serving [page] over [conn] at [at]: resources are written in
+    class order (critical, initial view, deferred) as an HTTP/2
+    prioritized stream, stamping PROP1 per packet via the extended API.
+    Does not run the event loop. *)
+let start ?(at = 0.2) (conn : Mptcp_sim.Connection.t) (page : page) : inflight =
   let order = function
     | Dependency_critical -> 0
     | Initial_view -> 1
@@ -103,8 +111,13 @@ let load_page ?(at = 0.2) ?(timeout = 120.0) (conn : Mptcp_sim.Connection.t)
           let seqs = Mptcp_sim.Connection.write ~props conn r.res_size in
           seq_ranges := (r, seqs) :: !seq_ranges)
         resources);
-  Mptcp_sim.Connection.run ~until:(at +. timeout) conn;
-  let ranges = List.rev !seq_ranges in
+  { if_conn = conn; if_page = page; if_at = at; if_ranges = seq_ranges }
+
+(** Measure the load milestones after the event loop has run. *)
+let finish (h : inflight) : load_result option =
+  let conn = h.if_conn and page = h.if_page and at = h.if_at in
+  let meta = conn.Mptcp_sim.Connection.meta in
+  let ranges = List.rev !(h.if_ranges) in
   let class_fct cls =
     List.fold_left
       (fun acc (r, seqs) ->
@@ -150,3 +163,11 @@ let load_page ?(at = 0.2) ?(timeout = 120.0) (conn : Mptcp_sim.Connection.t)
           wifi_bytes = wifi;
         }
   | _, _, _ -> None
+
+(** Serve [page] over [conn] starting at [at], run to completion and
+    measure ({!start} + {!finish} over the connection's own clock). *)
+let load_page ?(at = 0.2) ?(timeout = 120.0) (conn : Mptcp_sim.Connection.t)
+    (page : page) : load_result option =
+  let h = start ~at conn page in
+  Mptcp_sim.Connection.run ~until:(at +. timeout) conn;
+  finish h

@@ -45,3 +45,15 @@ val load_page :
   ?at:float -> ?timeout:float -> Mptcp_sim.Connection.t -> page -> load_result option
 (** Serve the page (resources written in class order, packets annotated
     with PROP1) and measure; [None] when the load did not complete. *)
+
+type inflight
+(** A page load whose writes are scheduled but not yet measured. *)
+
+val start : ?at:float -> Mptcp_sim.Connection.t -> page -> inflight
+(** Schedule the page's writes without running the event loop — several
+    connections on one shared clock can each {!start} a page, share one
+    run, then {!finish}. *)
+
+val finish : inflight -> load_result option
+(** Measure the milestones after the shared event loop has run; [None]
+    when the load did not complete in time. *)

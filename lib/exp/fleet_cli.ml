@@ -1,0 +1,153 @@
+(** The [fleet] subcommand shared by the [simulate] and [progmp]
+    binaries: host an open-loop fleet — Poisson arrivals, heavy-tailed
+    flow sizes, recycled connection slots over shared link groups — in
+    one process and print the aggregate summary ({!Mptcp_obs.Fleet_metrics}).
+    The single-command face of the [fleet] sweep scenario: same
+    topology, same RNG streams, so a CLI run reproduces a sweep run
+    bit for bit. *)
+
+open Cmdliner
+open Mptcp_sim
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt string "default"
+    & info [ "scheduler"; "s" ] ~doc:"Scheduler name (see $(b,progmp list)).")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt string "interpreter"
+    & info [ "engine"; "backend" ] ~docv:"ENGINE"
+        ~doc:"Scheduler execution engine: interpreter, aot or vm.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.")
+
+let loss_arg =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"Packet loss probability.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 60.0 & info [ "duration" ] ~doc:"Simulated seconds.")
+
+let groups_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "groups" ] ~docv:"N"
+        ~doc:
+          "Independent shared-link groups; arriving connections are \
+           assigned round-robin.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "rate" ] ~docv:"FLOWS/S"
+        ~doc:"Open-loop Poisson arrival rate across the whole fleet.")
+
+let size_arg =
+  Arg.(
+    value
+    & opt string "default"
+    & info [ "flow-size" ] ~docv:"DIST"
+        ~doc:
+          "Flow-size distribution: $(b,default), $(b,fixed:BYTES) or \
+           $(b,pareto:XM:ALPHA:CAP).")
+
+let ramp_arg =
+  Arg.(
+    value
+    & opt (list ~sep:',' string) []
+    & info [ "ramp" ] ~docv:"T:MULT,..."
+        ~doc:
+          "Diurnal rate ramp: comma-separated TIME:MULT breakpoints, \
+           piecewise-linearly interpolated multipliers on $(b,--rate).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the aggregate gauge time series (live, arrivals, \
+           decisions/s, heap size) as CSV to $(docv) ('-' for stdout).")
+
+let interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "metrics-interval" ] ~docv:"SECONDS"
+        ~doc:"Sampling interval for the aggregate gauges.")
+
+let fail fmt = Fmt.kstr (fun msg -> Fmt.epr "fleet: %s@." msg; exit 2) fmt
+
+let run scheduler engine seed loss duration groups rate size ramp metrics
+    interval =
+  if groups < 1 then fail "--groups must be >= 1";
+  if rate <= 0.0 then fail "--rate must be > 0";
+  Progmp_compiler.Compile.register_engines ();
+  ignore (Schedulers.Specs.load_all ());
+  let sched =
+    match Progmp_runtime.Scheduler.find scheduler with
+    | Some s -> s
+    | None -> fail "unknown scheduler %s" scheduler
+  in
+  let dist =
+    match Traffic.parse_size size with Ok d -> d | Error m -> fail "%s" m
+  in
+  let ramp =
+    match
+      Result.bind
+        (let rec map_m = function
+           | [] -> Ok []
+           | s :: rest ->
+               Result.bind (Traffic.parse_ramp_point s) (fun p ->
+                   Result.map (List.cons p) (map_m rest))
+         in
+         map_m ramp)
+        Traffic.check_ramp
+    with
+    | Ok r -> r
+    | Error m -> fail "%s" m
+  in
+  let fleet =
+    Fleet.create ~seed
+      ~scheduler:(sched, engine)
+      ~groups
+      ~paths:(Sweep.fleet_group_paths ~loss)
+      ()
+  in
+  let fm = Mptcp_obs.Fleet_metrics.attach ~interval ~until:duration fleet in
+  let size_rng = Rng.stream ~seed (-1_000_001) in
+  let arrival_rng = Rng.stream ~seed (-1_000_002) in
+  Traffic.drive ~clock:(Fleet.clock fleet) ~rng:arrival_rng
+    ~rate:(fun t -> Traffic.rate_at ~ramp ~base:rate t)
+    ~until:duration
+    (fun () -> Fleet.arrive fleet ~size:(Traffic.draw_size dist size_rng));
+  ignore (Fleet.run ~until:duration fleet);
+  let tot = Fleet.totals fleet in
+  let sim = Eventq.now (Fleet.clock fleet) in
+  Fmt.pr "simulated time     : %.3f s@." sim;
+  Fmt.pr "%a" Mptcp_obs.Fleet_metrics.pp_summary fm;
+  Fmt.pr "offered load       : %g flows/s, mean size %.0f B@." rate
+    (Traffic.mean_size dist);
+  Fmt.pr "delivered          : %d bytes (%d wire bytes)@."
+    tot.Fleet.t_delivered_bytes tot.Fleet.t_wire_bytes;
+  Fmt.pr "scheduler          : %d executions, %d pushes@."
+    tot.Fleet.t_executions tot.Fleet.t_pushes;
+  match metrics with
+  | None -> ()
+  | Some file ->
+      let oc = if file = "-" then stdout else open_out file in
+      Mptcp_obs.Fleet_metrics.to_csv oc fm;
+      if file = "-" then flush oc else close_out oc
+
+let cmd =
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Host an open-loop fleet of concurrent MPTCP connections (Poisson \
+          arrivals, heavy-tailed flow sizes, recycled slots) in one process")
+    Term.(
+      const run $ scheduler_arg $ engine_arg $ seed_arg $ loss_arg
+      $ duration_arg $ groups_arg $ rate_arg $ size_arg $ ramp_arg
+      $ metrics_arg $ interval_arg)

@@ -32,8 +32,13 @@ type t = {
   schedulers : string list;
   engines : string list;
   losses : float list;
+  fleets : int list;  (** fleet scale: connections (static scenarios) or
+                          link groups (the open-loop [fleet] scenario) *)
+  rates : float list;  (** open-loop arrival rate, flows/second *)
+  sizes : string list;  (** flow-size distribution, {!Traffic.parse_size} *)
   faults : fault_axis list;
   seeds : int list;
+  ramp : (float * float) list;  (** scalar: diurnal rate ramp breakpoints *)
   duration : float;
   invariants : bool;
 }
@@ -44,13 +49,18 @@ let default =
     schedulers = [ "default" ];
     engines = [ "interpreter" ];
     losses = [ 0.0 ];
+    fleets = [ 1 ];
+    rates = [ 0.0 ];
+    sizes = [ "default" ];
     faults = [ { fault_label = "none"; fault_file = None } ];
     seeds = [ 42 ];
+    ramp = [];
     duration = 10.0;
     invariants = false;
   }
 
-let known_scenarios = [ "bulk"; "stream"; "short-flows"; "http2"; "dash" ]
+let known_scenarios =
+  [ "bulk"; "stream"; "short-flows"; "http2"; "dash"; "fleet" ]
 
 (* ---------- parsing ---------- *)
 
@@ -146,6 +156,40 @@ let parse text =
                   axis (fun _ s -> Ok s) (fun engines -> { spec with engines })
               | "loss" ->
                   axis parse_float (fun losses -> { spec with losses })
+              | "fleet" ->
+                  axis
+                    (fun n s ->
+                      Result.bind (parse_int n s) (fun i ->
+                          if i >= 1 then Ok i
+                          else err n (Fmt.str "fleet must be >= 1: %d" i)))
+                    (fun fleets -> { spec with fleets })
+              | "arrival-rate" ->
+                  axis
+                    (fun n s ->
+                      Result.bind (parse_float n s) (fun r ->
+                          if r >= 0.0 then Ok r
+                          else err n (Fmt.str "arrival-rate must be >= 0: %g" r)))
+                    (fun rates -> { spec with rates })
+              | "flow-size" ->
+                  axis
+                    (fun n s ->
+                      match Traffic.parse_size s with
+                      | Ok _ -> Ok s
+                      | Error msg -> err n msg)
+                    (fun sizes -> { spec with sizes })
+              | "ramp" ->
+                  if args = [] then err n "ramp: no values"
+                  else
+                    Result.bind
+                      (map_m
+                         (fun s ->
+                           Result.map_error (Fmt.str "spec:%d: %s" n)
+                             (Traffic.parse_ramp_point s))
+                         args)
+                      (fun points ->
+                        match Traffic.check_ramp points with
+                        | Ok ramp -> continue { spec with ramp }
+                        | Error msg -> err n msg)
               | "fault" ->
                   axis parse_fault (fun faults -> { spec with faults })
               | "seed" ->
@@ -183,14 +227,20 @@ type run_params = {
   scheduler : string;
   engine : string;
   loss : float;
+  fleet : int;
+  rate : float;
+  size : string;
   fault : fault_axis;
   seed : int;
 }
 
 (** The campaign's run list: the cartesian product in the fixed
-    expansion order (scenario, scheduler, engine, loss, fault, seed —
-    seeds innermost), [run_id] consecutive from 0. A pure function of
-    the spec: serial and parallel executions enumerate identical runs. *)
+    expansion order (scenario, scheduler, engine, loss, fleet, rate,
+    size, fault, seed — seeds innermost), [run_id] consecutive from 0.
+    A pure function of the spec: serial and parallel executions
+    enumerate identical runs. The fleet axes sit between loss and
+    fault, so specs that leave them at their singleton defaults keep
+    the run ids they had before the axes existed. *)
 let runs spec =
   let acc = ref [] and id = ref 0 in
   List.iter
@@ -202,23 +252,35 @@ let runs spec =
               List.iter
                 (fun loss ->
                   List.iter
-                    (fun fault ->
+                    (fun fleet ->
                       List.iter
-                        (fun seed ->
-                          acc :=
-                            {
-                              run_id = !id;
-                              scenario;
-                              scheduler;
-                              engine;
-                              loss;
-                              fault;
-                              seed;
-                            }
-                            :: !acc;
-                          incr id)
-                        spec.seeds)
-                    spec.faults)
+                        (fun rate ->
+                          List.iter
+                            (fun size ->
+                              List.iter
+                                (fun fault ->
+                                  List.iter
+                                    (fun seed ->
+                                      acc :=
+                                        {
+                                          run_id = !id;
+                                          scenario;
+                                          scheduler;
+                                          engine;
+                                          loss;
+                                          fleet;
+                                          rate;
+                                          size;
+                                          fault;
+                                          seed;
+                                        }
+                                        :: !acc;
+                                      incr id)
+                                    spec.seeds)
+                                spec.faults)
+                            spec.sizes)
+                        spec.rates)
+                    spec.fleets)
                 spec.losses)
             spec.engines)
         spec.schedulers)
@@ -228,7 +290,9 @@ let runs spec =
 let run_count spec =
   List.length spec.scenarios * List.length spec.schedulers
   * List.length spec.engines * List.length spec.losses
-  * List.length spec.faults * List.length spec.seeds
+  * List.length spec.fleets * List.length spec.rates
+  * List.length spec.sizes * List.length spec.faults
+  * List.length spec.seeds
 
 (* explicit spaces, not break hints: the text format is line-oriented,
    so the printer must never wrap a long axis onto a new line *)
@@ -238,6 +302,11 @@ let pp ppf spec =
   line "scheduler" spec.schedulers;
   line "engine" spec.engines;
   line "loss" (List.map (Fmt.str "%g") spec.losses);
+  line "fleet" (List.map string_of_int spec.fleets);
+  line "arrival-rate" (List.map (Fmt.str "%g") spec.rates);
+  line "flow-size" spec.sizes;
+  if spec.ramp <> [] then
+    line "ramp" (List.map (fun (t, m) -> Fmt.str "%g:%g" t m) spec.ramp);
   line "fault"
     (List.map
        (fun f ->

@@ -11,12 +11,23 @@ type fault_axis = {
 }
 
 type t = {
-  scenarios : string list;  (** bulk | stream | short-flows | http2 | dash *)
+  scenarios : string list;
+      (** bulk | stream | short-flows | http2 | dash | fleet *)
   schedulers : string list;  (** zoo names, cf. [Schedulers.Specs] *)
   engines : string list;  (** engine-registry names *)
   losses : float list;
+  fleets : int list;
+      (** fleet scale: static scenarios host this many connections; the
+          open-loop [fleet] scenario provisions this many shared-link
+          groups (and [short-flows] multiplies its measured flows) *)
+  rates : float list;  (** open-loop arrival rate, flows/second *)
+  sizes : string list;
+      (** flow-size distributions, validated by {!Traffic.parse_size} *)
   faults : fault_axis list;
   seeds : int list;
+  ramp : (float * float) list;
+      (** scalar diurnal rate ramp: [(time, multiplier)] breakpoints
+          applied to every arrival rate ({!Traffic.rate_at}) *)
   duration : float;  (** simulated seconds per run *)
   invariants : bool;  (** attach the cross-layer invariant checker *)
 }
@@ -29,10 +40,11 @@ val known_scenarios : string list
 
 val parse : string -> (t, string) result
 (** Parse the text format ([KEY VALUE...] lines, [#] comments; keys:
-    scenario, scheduler, engine, loss, fault, seed, duration,
-    invariants; seeds accept [A..B] ranges; faults are [none] or
-    [LABEL=FILE]). Unset keys keep their {!default}. Errors are one-line
-    diagnostics naming the offending line. *)
+    scenario, scheduler, engine, loss, fleet, arrival-rate, flow-size,
+    ramp, fault, seed, duration, invariants; seeds accept [A..B]
+    ranges; faults are [none] or [LABEL=FILE]; ramp values are
+    [TIME:MULT] breakpoints). Unset keys keep their {!default}. Errors
+    are one-line diagnostics naming the offending line. *)
 
 val load : string -> (t, string) result
 (** Read and parse a campaign file. *)
@@ -43,14 +55,19 @@ type run_params = {
   scheduler : string;
   engine : string;
   loss : float;
+  fleet : int;
+  rate : float;
+  size : string;
   fault : fault_axis;
   seed : int;
 }
 
 val runs : t -> run_params list
 (** The cartesian product in the fixed expansion order — scenario,
-    scheduler, engine, loss, fault, seed (seeds innermost) — with
-    [run_id] consecutive from 0. *)
+    scheduler, engine, loss, fleet, rate, size, fault, seed (seeds
+    innermost) — with [run_id] consecutive from 0. Specs leaving the
+    fleet axes at their singleton defaults keep their pre-fleet run
+    ids. *)
 
 val run_count : t -> int
 

@@ -40,6 +40,9 @@ type group = {
   g_scheduler : string;
   g_engine : string;
   g_loss : float;
+  g_fleet : int;
+  g_rate : float;
+  g_size : string;
   g_fault : string;
   g_runs : int;  (** seeds aggregated *)
   g_completed : int;  (** runs with a completion time *)
@@ -70,6 +73,7 @@ type ctx = {
   fault_scripts : (string, Faults.script) Hashtbl.t;
   duration : float;
   invariants : bool;
+  ramp : Traffic.ramp;
 }
 
 let rec first_error = function
@@ -134,6 +138,7 @@ let prepare (spec : Spec.t) =
       fault_scripts;
       duration = spec.Spec.duration;
       invariants = spec.Spec.invariants;
+      ramp = spec.Spec.ramp;
     }
 
 (* ---------- one run (worker side, fully run-local) ---------- *)
@@ -143,13 +148,70 @@ let install ctx conn (p : Spec.run_params) =
   (Connection.sock conn).R.Api.scheduler <-
     R.Scheduler.instantiate_private sched ~engine:p.Spec.engine
 
-let conn_result ?(extra = []) checkers conn (p : Spec.run_params) =
-  let meta = conn.Connection.meta in
-  let sim_time = Connection.now conn in
-  let delivered = Connection.delivered_bytes conn in
+(* Host the run's [p.fleet] scenario connections on one shared clock
+   (an adopting fleet). Connection 0 is built exactly as a pre-fleet
+   single-connection run — same seed, same call order — so fleet 1
+   reports are bit-identical to the pre-fleet sweep; the extra members
+   draw independent stream seeds keyed by their member index. *)
+let host (p : Spec.run_params) ~mk =
+  let fleet = Fleet.create ~seed:p.Spec.seed ~paths:[] () in
+  let clock = Fleet.clock fleet in
+  for i = 0 to p.Spec.fleet - 1 do
+    let seed =
+      if i = 0 then p.Spec.seed else Rng.stream_seed ~seed:p.Spec.seed i
+    in
+    Fleet.adopt fleet (mk ~clock ~seed)
+  done;
+  fleet
+
+(* Aggregate result over an adopting fleet's members: byte and counter
+   sums, completion = latest member completion ([None] as soon as one
+   writing member is incomplete), per-path wire bytes merged by path
+   name in first-occurrence order. For a single member every field
+   reduces exactly to the pre-fleet per-connection result. *)
+let fleet_result ?(extra = []) checkers fleet (p : Spec.run_params) =
+  let conns = Fleet.members fleet in
+  let sim_time = Eventq.now (Fleet.clock fleet) in
+  let delivered =
+    List.fold_left (fun n c -> n + Connection.delivered_bytes c) 0 conns
+  in
+  let wrote = ref false and incomplete = ref false and latest = ref 0.0 in
+  List.iter
+    (fun conn ->
+      let meta = conn.Connection.meta in
+      if meta.Meta_socket.next_seq > 0 then begin
+        wrote := true;
+        match
+          Meta_socket.fct meta ~first:0 ~last:(meta.Meta_socket.next_seq - 1)
+        with
+        | Some t -> latest := Float.max !latest t
+        | None -> incomplete := true
+      end)
+    conns;
   let completion =
-    if meta.Meta_socket.next_seq = 0 then None
-    else Meta_socket.fct meta ~first:0 ~last:(meta.Meta_socket.next_seq - 1)
+    if (not !wrote) || !incomplete then None else Some !latest
+  in
+  let executions, pushes =
+    List.fold_left
+      (fun (e, q) c ->
+        let m = c.Connection.meta in
+        (e + m.Meta_socket.sched_executions, q + m.Meta_socket.pushes))
+      (0, 0) conns
+  in
+  let subflow_bytes =
+    let order = ref [] and tbl = Hashtbl.create 8 in
+    List.iter
+      (fun conn ->
+        List.iter
+          (fun (name, bytes) ->
+            match Hashtbl.find_opt tbl name with
+            | Some r -> r := !r + bytes
+            | None ->
+                Hashtbl.replace tbl name (ref bytes);
+                order := name :: !order)
+          (Connection.bytes_sent_per_subflow conn))
+      conns;
+    List.rev_map (fun n -> (n, !(Hashtbl.find tbl n))) !order
   in
   let span =
     match completion with
@@ -163,13 +225,31 @@ let conn_result ?(extra = []) checkers conn (p : Spec.run_params) =
     r_goodput_bps =
       (if span > 0.0 then 8.0 *. float_of_int delivered /. span else 0.0);
     r_completion = completion;
-    r_executions = meta.Meta_socket.sched_executions;
-    r_pushes = meta.Meta_socket.pushes;
-    r_subflow_bytes = Connection.bytes_sent_per_subflow conn;
+    r_executions = executions;
+    r_pushes = pushes;
+    r_subflow_bytes = subflow_bytes;
     r_inv_total = List.fold_left (fun n c -> n + Invariants.total c) 0 checkers;
     r_inv_messages = List.concat_map Invariants.violations checkers;
     r_extra = extra;
   }
+
+(* Per-group topology of the open-loop [fleet] scenario: two shared
+   paths of equal bandwidth and unequal delay (the heterogeneous-path
+   setting of §5), each a data/ack link pair shared by every connection
+   the group hosts. *)
+let fleet_group_paths ~loss =
+  let base =
+    {
+      Link.default_params with
+      Link.bandwidth = 1_250_000.0;
+      loss;
+      buffer_bytes = 128 * 1024;
+    }
+  in
+  [
+    Path_manager.symmetric ~name:"near" { base with Link.delay = 0.01 };
+    Path_manager.symmetric ~name:"far" { base with Link.delay = 0.03 };
+  ]
 
 let run_one ctx (p : Spec.run_params) =
   let duration = ctx.duration in
@@ -181,31 +261,47 @@ let run_one ctx (p : Spec.run_params) =
   in
   match p.Spec.scenario with
   | "bulk" ->
-      let paths =
-        Apps.Scenario.mininet_two_subflows ~rtt_ratio:2.0 ~loss:p.Spec.loss ()
+      let fleet =
+        host p ~mk:(fun ~clock ~seed ->
+            let paths =
+              Apps.Scenario.mininet_two_subflows ~rtt_ratio:2.0
+                ~loss:p.Spec.loss ()
+            in
+            let conn = Connection.create ~clock ~seed ~paths () in
+            install ctx conn p;
+            instrument conn;
+            Apps.Workload.bulk conn ~at:0.1 ~bytes:4_000_000;
+            conn)
       in
-      let conn = Connection.create ~seed:p.Spec.seed ~paths () in
-      install ctx conn p;
-      instrument conn;
-      Apps.Workload.bulk conn ~at:0.1 ~bytes:4_000_000;
-      Connection.run ~until:duration conn;
-      conn_result !checkers conn p
+      ignore (Fleet.run ~until:duration fleet);
+      fleet_result !checkers fleet p
   | "stream" ->
-      let paths =
-        Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss ~lte_loss:p.Spec.loss ()
+      let fleet =
+        host p ~mk:(fun ~clock ~seed ->
+            let paths =
+              Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss
+                ~lte_loss:p.Spec.loss ()
+            in
+            let conn = Connection.create ~clock ~seed ~paths () in
+            install ctx conn p;
+            instrument conn;
+            let rate t =
+              if t < duration /. 3.0 then 1_000_000.0 else 4_000_000.0
+            in
+            Apps.Workload.cbr ~signal_register:0 conn ~start:0.2
+              ~stop:(duration -. 2.0) ~interval:0.1 ~rate;
+            Apps.Scenario.fluctuate_wifi conn
+              ~rng:(Rng.create (seed + 1))
+              ~until:duration ~low:3_000_000.0 ~high:5_500_000.0 ();
+            conn)
       in
-      let conn = Connection.create ~seed:p.Spec.seed ~paths () in
-      install ctx conn p;
-      instrument conn;
-      let rate t = if t < duration /. 3.0 then 1_000_000.0 else 4_000_000.0 in
-      Apps.Workload.cbr ~signal_register:0 conn ~start:0.2
-        ~stop:(duration -. 2.0) ~interval:0.1 ~rate;
-      Apps.Scenario.fluctuate_wifi conn
-        ~rng:(Rng.create (p.Spec.seed + 1))
-        ~until:duration ~low:3_000_000.0 ~high:5_500_000.0 ();
-      Connection.run ~until:duration conn;
-      conn_result !checkers conn p
+      ignore (Fleet.run ~until:duration fleet);
+      fleet_result !checkers fleet p
   | "short-flows" ->
+      (* closed-loop FCT microbench: flows run to completion one at a
+         time on private clocks; the fleet axis multiplies how many are
+         measured, and the fleet only keeps the books *)
+      let fleet = Fleet.create ~seed:p.Spec.seed ~paths:[] () in
       let mk_conn ~seed =
         let paths =
           Apps.Scenario.mininet_two_subflows ~rtt_ratio:4.0 ~loss:p.Spec.loss ()
@@ -213,13 +309,14 @@ let run_one ctx (p : Spec.run_params) =
         let conn = Connection.create ~seed:(p.Spec.seed + seed) ~paths () in
         install ctx conn p;
         instrument conn;
+        Fleet.adopt fleet conn;
         conn
       in
       let before_write conn =
         R.Api.set_register (Connection.sock conn) 0 1_000_000
       in
       let after_write conn = R.Api.set_register (Connection.sock conn) 1 1 in
-      let size = 50_000 and reps = 10 in
+      let size = 50_000 and reps = 10 * p.Spec.fleet in
       let fct, wire, completed =
         Apps.Workload.measure_flows ~before_write ~after_write ~mk_conn ~size
           ~reps ()
@@ -245,48 +342,131 @@ let run_one ctx (p : Spec.run_params) =
           ];
       }
   | "http2" ->
-      let paths =
-        Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss ~lte_loss:p.Spec.loss ()
+      let handles = ref [] in
+      let fleet =
+        host p ~mk:(fun ~clock ~seed ->
+            let paths =
+              Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss
+                ~lte_loss:p.Spec.loss ()
+            in
+            let conn = Connection.create ~clock ~seed ~paths () in
+            instrument conn;
+            install ctx conn p;
+            handles :=
+              Apps.Http2.start conn Apps.Http2.optimized_page :: !handles;
+            conn)
       in
-      let conn = Connection.create ~seed:p.Spec.seed ~paths () in
-      instrument conn;
-      install ctx conn p;
+      (* load_page's historical horizon: at 0.2 + timeout 120 *)
+      ignore (Fleet.run ~until:120.2 fleet);
+      let results = List.rev_map Apps.Http2.finish !handles in
+      let oks = List.filter_map Fun.id results in
       let extra =
-        match Apps.Http2.load_page conn Apps.Http2.optimized_page with
-        | Some r ->
-            [
-              ("dependency_ms", r.Apps.Http2.dependency_time *. 1e3);
-              ("initial_view_ms", r.Apps.Http2.initial_view_time *. 1e3);
-              ("full_load_ms", r.Apps.Http2.full_load_time *. 1e3);
-              ("wifi_bytes", float_of_int r.Apps.Http2.wifi_bytes);
-              ("lte_bytes", float_of_int r.Apps.Http2.lte_bytes);
-            ]
-        | None -> [ ("incomplete", 1.0) ]
+        if List.length oks <> List.length results then
+          [
+            ( "incomplete",
+              float_of_int (List.length results - List.length oks) );
+          ]
+        else
+          let n = float_of_int (List.length oks) in
+          let mean f = List.fold_left (fun a r -> a +. f r) 0.0 oks /. n in
+          let sum f = List.fold_left (fun a r -> a + f r) 0 oks in
+          [
+            ("dependency_ms", mean (fun r -> r.Apps.Http2.dependency_time) *. 1e3);
+            ( "initial_view_ms",
+              mean (fun r -> r.Apps.Http2.initial_view_time) *. 1e3 );
+            ("full_load_ms", mean (fun r -> r.Apps.Http2.full_load_time) *. 1e3);
+            ("wifi_bytes", float_of_int (sum (fun r -> r.Apps.Http2.wifi_bytes)));
+            ("lte_bytes", float_of_int (sum (fun r -> r.Apps.Http2.lte_bytes)));
+          ]
       in
-      conn_result ~extra !checkers conn p
+      fleet_result ~extra !checkers fleet p
   | "dash" ->
-      let paths =
-        Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss ~lte_loss:p.Spec.loss ()
+      let sessions = ref [] in
+      let fleet =
+        host p ~mk:(fun ~clock ~seed ->
+            let paths =
+              Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss
+                ~lte_loss:p.Spec.loss ()
+            in
+            let conn = Connection.create ~clock ~seed ~paths () in
+            install ctx conn p;
+            instrument conn;
+            sessions :=
+              Apps.Dash.start ~period:0.5
+                ~count:(int_of_float (duration /. 0.75))
+                ~chunk_bytes:(fun _ -> 400_000)
+                conn
+              :: !sessions;
+            conn)
       in
-      let conn = Connection.create ~seed:p.Spec.seed ~paths () in
-      install ctx conn p;
-      instrument conn;
-      let session =
-        Apps.Dash.start ~period:0.5
-          ~count:(int_of_float (duration /. 0.75))
-          ~chunk_bytes:(fun _ -> 400_000)
-          conn
-      in
-      Connection.run ~until:duration conn;
-      let o = Apps.Dash.evaluate session in
-      conn_result
+      ignore (Fleet.run ~until:duration fleet);
+      let outcomes = List.rev_map Apps.Dash.evaluate !sessions in
+      let sum f = List.fold_left (fun a o -> a + f o) 0 outcomes in
+      fleet_result
         ~extra:
           [
-            ("deadline_misses", float_of_int o.Apps.Dash.deadline_misses);
-            ("worst_lateness_ms", o.Apps.Dash.worst_lateness *. 1e3);
-            ("backup_bytes", float_of_int o.Apps.Dash.backup_bytes);
+            ( "deadline_misses",
+              float_of_int (sum (fun o -> o.Apps.Dash.deadline_misses)) );
+            ( "worst_lateness_ms",
+              List.fold_left
+                (fun a o -> Float.max a o.Apps.Dash.worst_lateness)
+                0.0 outcomes
+              *. 1e3 );
+            ("backup_bytes", float_of_int (sum (fun o -> o.Apps.Dash.backup_bytes)));
           ]
-        !checkers conn p
+        !checkers fleet p
+  | "fleet" ->
+      (* open-loop hosting: [p.fleet] shared-link groups, Poisson
+         arrivals at [p.rate] flows/s (ramped by the spec's diurnal
+         script), heavy-tailed sizes, slots recycled on completion.
+         Transient connections make per-connection fault/invariant
+         instrumentation inapplicable here. *)
+      let sched = Hashtbl.find ctx.schedulers p.Spec.scheduler in
+      let dist =
+        match Traffic.parse_size p.Spec.size with
+        | Ok d -> d
+        | Error msg -> invalid_arg msg
+      in
+      let fleet =
+        Fleet.create ~seed:p.Spec.seed
+          ~scheduler:(sched, p.Spec.engine)
+          ~groups:p.Spec.fleet
+          ~paths:(fleet_group_paths ~loss:p.Spec.loss)
+          ()
+      in
+      let size_rng = Rng.stream ~seed:p.Spec.seed (-1_000_001) in
+      let arrival_rng = Rng.stream ~seed:p.Spec.seed (-1_000_002) in
+      Traffic.drive ~clock:(Fleet.clock fleet) ~rng:arrival_rng
+        ~rate:(fun t -> Traffic.rate_at ~ramp:ctx.ramp ~base:p.Spec.rate t)
+        ~until:duration
+        (fun () -> Fleet.arrive fleet ~size:(Traffic.draw_size dist size_rng));
+      ignore (Fleet.run ~until:duration fleet);
+      let tot = Fleet.totals fleet in
+      let sim_time = Eventq.now (Fleet.clock fleet) in
+      {
+        r_params = p;
+        r_sim_time = sim_time;
+        r_delivered = tot.Fleet.t_delivered_bytes;
+        r_goodput_bps =
+          (if sim_time > 0.0 then
+             8.0 *. float_of_int tot.Fleet.t_delivered_bytes /. sim_time
+           else 0.0);
+        r_completion = None;
+        r_executions = tot.Fleet.t_executions;
+        r_pushes = tot.Fleet.t_pushes;
+        r_subflow_bytes = [];
+        r_inv_total = 0;
+        r_inv_messages = [];
+        r_extra =
+          [
+            ("arrivals", float_of_int tot.Fleet.t_arrivals);
+            ("completed", float_of_int tot.Fleet.t_completed);
+            ("peak_live", float_of_int tot.Fleet.t_peak_live);
+            ("live_end", float_of_int tot.Fleet.t_live);
+            ("mean_fct_ms", Fleet.mean_fct fleet *. 1e3);
+            ("wire_bytes", float_of_int tot.Fleet.t_wire_bytes);
+          ];
+      }
   | other -> Fmt.invalid_arg "Sweep.run_one: unknown scenario %s" other
 
 (* ---------- aggregation ---------- *)
@@ -298,6 +478,7 @@ let aggregate runs =
       p.Spec.scheduler,
       p.Spec.engine,
       p.Spec.loss,
+      (p.Spec.fleet, p.Spec.rate, p.Spec.size),
       p.Spec.fault.Spec.fault_label )
   in
   let order = ref [] and tbl = Hashtbl.create 16 in
@@ -311,7 +492,8 @@ let aggregate runs =
           order := k :: !order)
     runs;
   List.rev_map
-    (fun ((scenario, scheduler, engine, loss, fault) as k) ->
+    (fun ((scenario, scheduler, engine, loss, (fleet, rate, size), fault) as k)
+       ->
       let rs = List.rev !(Hashtbl.find tbl k) in
       let n = List.length rs in
       let goodputs = List.map (fun r -> r.r_goodput_bps) rs in
@@ -322,6 +504,9 @@ let aggregate runs =
         g_scheduler = scheduler;
         g_engine = engine;
         g_loss = loss;
+        g_fleet = fleet;
+        g_rate = rate;
+        g_size = size;
         g_fault = fault;
         g_runs = n;
         g_completed = List.length completions;
@@ -421,17 +606,19 @@ let assoc_cell fmt l =
 let to_csv report =
   let b = Buffer.create 4096 in
   Buffer.add_string b
-    "run_id,scenario,scheduler,engine,loss,fault,seed,sim_time_s,\
-     delivered_bytes,goodput_bps,completion_s,executions,pushes,\
-     invariant_violations,subflow_bytes,extra\n";
+    "run_id,scenario,scheduler,engine,loss,fault,seed,fleet,arrival_rate,\
+     flow_size,sim_time_s,delivered_bytes,goodput_bps,completion_s,\
+     executions,pushes,invariant_violations,subflow_bytes,extra\n";
   List.iter
     (fun r ->
       let p = r.r_params in
       Buffer.add_string b
-        (Fmt.str "%d,%s,%s,%s,%g,%s,%d,%.6f,%d,%.1f,%s,%d,%d,%d,%s,%s\n"
+        (Fmt.str "%d,%s,%s,%s,%g,%s,%d,%d,%g,%s,%.6f,%d,%.1f,%s,%d,%d,%d,%s,%s\n"
            p.Spec.run_id p.Spec.scenario p.Spec.scheduler p.Spec.engine
-           p.Spec.loss p.Spec.fault.Spec.fault_label p.Spec.seed r.r_sim_time
-           r.r_delivered r.r_goodput_bps
+           p.Spec.loss p.Spec.fault.Spec.fault_label p.Spec.seed p.Spec.fleet
+           p.Spec.rate
+           (csv_escape p.Spec.size)
+           r.r_sim_time r.r_delivered r.r_goodput_bps
            (match r.r_completion with
            | Some t -> Fmt.str "%.6f" t
            | None -> "")
@@ -474,7 +661,8 @@ let to_json report =
       Buffer.add_string b
         (Fmt.str
            "{\"run_id\":%d,\"scenario\":%s,\"scheduler\":%s,\"engine\":%s,\
-            \"loss\":%g,\"fault\":%s,\"seed\":%d,\"sim_time_s\":%.6f,\
+            \"loss\":%g,\"fault\":%s,\"seed\":%d,\"fleet\":%d,\
+            \"arrival_rate\":%g,\"flow_size\":%s,\"sim_time_s\":%.6f,\
             \"delivered_bytes\":%d,\"goodput_bps\":%.1f,\"completion_s\":%s,\
             \"executions\":%d,\"pushes\":%d,\"invariant_violations\":%d,\
             \"subflow_bytes\":%s,\"extra\":%s}"
@@ -482,7 +670,9 @@ let to_json report =
            (json_string p.Spec.scheduler) (json_string p.Spec.engine)
            p.Spec.loss
            (json_string p.Spec.fault.Spec.fault_label)
-           p.Spec.seed r.r_sim_time r.r_delivered r.r_goodput_bps
+           p.Spec.seed p.Spec.fleet p.Spec.rate
+           (json_string p.Spec.size)
+           r.r_sim_time r.r_delivered r.r_goodput_bps
            (match r.r_completion with
            | Some t -> Fmt.str "%.6f" t
            | None -> "null")
@@ -497,12 +687,15 @@ let to_json report =
       Buffer.add_string b
         (Fmt.str
            "{\"scenario\":%s,\"scheduler\":%s,\"engine\":%s,\"loss\":%g,\
+            \"fleet\":%d,\"arrival_rate\":%g,\"flow_size\":%s,\
             \"fault\":%s,\"runs\":%d,\"completed\":%d,\
             \"goodput_mean_bps\":%.1f,\"goodput_min_bps\":%.1f,\
             \"goodput_max_bps\":%.1f,\"completion_mean_s\":%.6f,\
             \"invariant_violations\":%d}"
            (json_string g.g_scenario) (json_string g.g_scheduler)
-           (json_string g.g_engine) g.g_loss (json_string g.g_fault) g.g_runs
+           (json_string g.g_engine) g.g_loss g.g_fleet g.g_rate
+           (json_string g.g_size)
+           (json_string g.g_fault) g.g_runs
            g.g_completed g.g_goodput_mean g.g_goodput_min g.g_goodput_max
            g.g_completion_mean g.g_inv_total))
     report.groups;
@@ -515,12 +708,23 @@ let pp_report ppf report =
   Fmt.pf ppf "%d runs (%d groups x %d seeds)@." (List.length report.runs)
     (List.length report.groups)
     (List.length report.spec.Spec.seeds);
+  (* only widen the group lines when a fleet axis was actually swept, so
+     pre-fleet campaign transcripts stay byte-identical *)
+  let fleet_axes =
+    report.spec.Spec.fleets <> [ 1 ]
+    || report.spec.Spec.rates <> [ 0.0 ]
+    || report.spec.Spec.sizes <> [ "default" ]
+  in
   List.iter
     (fun g ->
       Fmt.pf ppf
-        "%-12s %-22s %-11s loss %-5g fault %-10s : goodput %8.0f bps mean \
+        "%-12s %-22s %-11s loss %-5g fault %-10s%s : goodput %8.0f bps mean \
          (%d/%d complete%s)@."
         g.g_scenario g.g_scheduler g.g_engine g.g_loss g.g_fault
+        (if fleet_axes then
+           Fmt.str " fleet %-4d rate %-6g size %-14s" g.g_fleet g.g_rate
+             g.g_size
+         else "")
         g.g_goodput_mean g.g_completed g.g_runs
         (if g.g_inv_total > 0 then
            Fmt.str ", %d INVARIANT VIOLATIONS" g.g_inv_total

@@ -28,6 +28,9 @@ type group = {
   g_scheduler : string;
   g_engine : string;
   g_loss : float;
+  g_fleet : int;
+  g_rate : float;
+  g_size : string;
   g_fault : string;
   g_runs : int;  (** seeds aggregated *)
   g_completed : int;  (** runs with a completion time *)
@@ -44,6 +47,13 @@ type report = {
   runs : run_result list;  (** ordered by [run_id] *)
   groups : group list;  (** aggregated over seeds, expansion order *)
 }
+
+val fleet_group_paths :
+  loss:float -> Mptcp_sim.Path_manager.path_spec list
+(** Per-group topology of the open-loop [fleet] scenario: two shared
+    paths of equal bandwidth and unequal delay — shared with the [fleet]
+    CLI subcommand so both faces of the scenario simulate the same
+    world. *)
 
 val equal_report : report -> report -> bool
 (** Structural equality modulo the job count — the determinism contract

@@ -1,0 +1,50 @@
+(** Open-loop traffic generation for fleet experiments: Poisson
+    arrivals, heavy-tailed (bounded-Pareto) flow sizes, scripted
+    diurnal rate ramps. All randomness comes from explicitly passed
+    {!Mptcp_sim.Rng} streams, preserving the sweep's serial≡parallel
+    determinism contract. *)
+
+open Mptcp_sim
+
+type size_dist =
+  | Fixed of int
+  | Bounded_pareto of { xm : float; alpha : float; cap : float }
+
+val default_pareto : size_dist
+(** Bounded Pareto, 4 KB scale / shape 1.5 / 256 KB cap (mean
+    ~10.6 KB): mostly mice, bytes dominated by elephants. *)
+
+val parse_size : string -> (size_dist, string) result
+(** ["default"], ["fixed:BYTES"] or ["pareto:XM:ALPHA:CAP"]. *)
+
+val mean_size : size_dist -> float
+(** For capacity planning (arrival rate x mean size = offered load). *)
+
+val draw_size : size_dist -> Rng.t -> int
+(** One flow size (>= 1 byte), by inversion for the Pareto case. *)
+
+type ramp = (float * float) list
+(** [(time, multiplier)] breakpoints, times strictly increasing;
+    interpolated piecewise-linearly, clamped outside the scripted span.
+    Empty = constant multiplier 1. *)
+
+val parse_ramp_point : string -> (float * float, string) result
+(** One ["TIME:MULT"] breakpoint. *)
+
+val check_ramp : ramp -> (ramp, string) result
+(** Validate that breakpoint times strictly increase. *)
+
+val rate_at : ramp:ramp -> base:float -> float -> float
+(** Instantaneous arrival rate at a time: base times ramp multiplier. *)
+
+val drive :
+  clock:Eventq.t ->
+  rng:Rng.t ->
+  rate:(float -> float) ->
+  until:float ->
+  (unit -> unit) ->
+  unit
+(** Schedule an open-loop Poisson arrival process on [clock]: calls the
+    arrival callback once per arrival until [until]; exponential gaps
+    re-drawn from [rate now] at each arrival. A zero rate re-probes
+    every 100 ms (ramps can pause the process). *)

@@ -3,23 +3,40 @@
     in scheduling order (a monotone sequence number breaks ties), which
     keeps runs deterministic. *)
 
-type event = { time : float; seq : int; mutable cancelled : bool; action : unit -> unit }
+type event = {
+  time : float;
+  seq : int;
+  mutable cancelled : bool;
+  action : unit -> unit;
+  dead : int ref;
+      (** the owning queue's count of cancelled events still in its heap;
+          shared by every event of one queue so {!cancel} — which has no
+          queue handle — can keep it current *)
+}
 
 type t = {
   mutable now : float;
   mutable heap : event array;
   mutable size : int;
   mutable next_seq : int;
+  mutable dead : int ref;  (** cancelled events still occupying heap nodes *)
   mutable observers : (unit -> unit) list;
       (** run after every executed event, in registration order *)
 }
 
+(* Padding for unused heap slots: never popped, never cancelled. Freed
+   slots are reset to this so compaction actually releases the cancelled
+   actions' closures to the GC. *)
+let dummy_event =
+  { time = 0.; seq = 0; cancelled = true; action = ignore; dead = ref 0 }
+
 let create () =
   {
     now = 0.0;
-    heap = Array.make 256 { time = 0.; seq = 0; cancelled = true; action = ignore };
+    heap = Array.make 256 dummy_event;
     size = 0;
     next_seq = 0;
+    dead = ref 0;
     observers = [];
   }
 
@@ -57,11 +74,48 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
+(* ---------- lazy compaction ---------- *)
+
+(* A cancelled event stays in the heap until it surfaces at the root, so
+   a long-lived workload that arms and re-arms timers (one RTO arm per
+   ack across a 100k-connection fleet) strands dead nodes deep in the
+   array. When more than half the heap is dead, rebuild it: keep the
+   live events, reset freed slots to [dummy_event] (releasing the
+   cancelled closures), and restore the heap property bottom-up
+   (Floyd heapify, O(n)). The (time, seq) order is untouched, so event
+   traces — and therefore runs — are bit-identical with or without
+   compaction ever firing. *)
+let compact_threshold = 64
+
+let compact t =
+  let live = ref 0 in
+  for i = 0 to t.size - 1 do
+    let ev = t.heap.(i) in
+    if not ev.cancelled then begin
+      t.heap.(!live) <- ev;
+      incr live
+    end
+  done;
+  for i = !live to t.size - 1 do
+    t.heap.(i) <- dummy_event
+  done;
+  t.size <- !live;
+  t.dead := 0;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let maybe_compact t =
+  if t.size >= compact_threshold && 2 * !(t.dead) > t.size then compact t
+
 (** Schedule [action] at absolute time [at] (>= now). Returns a handle
     that {!cancel} accepts. *)
 let schedule t ~at action =
+  maybe_compact t;
   let at = if at < t.now then t.now else at in
-  let ev = { time = at; seq = t.next_seq; cancelled = false; action } in
+  let ev =
+    { time = at; seq = t.next_seq; cancelled = false; action; dead = t.dead }
+  in
   t.next_seq <- t.next_seq + 1;
   if t.size = Array.length t.heap then begin
     let heap' = Array.make (2 * t.size) ev in
@@ -76,7 +130,11 @@ let schedule t ~at action =
 (** Schedule relative to the current time. *)
 let schedule_in t ~delay action = schedule t ~at:(t.now +. delay) action
 
-let cancel (ev : event) = ev.cancelled <- true
+let cancel (ev : event) =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    incr ev.dead
+  end
 
 (* ---------- re-armable timers ---------- *)
 
@@ -120,9 +178,18 @@ let pop t =
     let ev = t.heap.(0) in
     t.size <- t.size - 1;
     t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy_event;
     sift_down t 0;
+    if ev.cancelled then decr t.dead;
     Some ev
   end
+
+(** Physical heap nodes, including not-yet-compacted cancelled ones —
+    exposed so tests can observe compaction. *)
+let heap_nodes t = t.size
+
+(** Heap nodes holding live (not cancelled) events. *)
+let live_nodes t = t.size - !(t.dead)
 
 (** Run events until the queue drains or the clock passes [until]
     (default: drain). Returns the number of events executed. *)
@@ -138,10 +205,15 @@ let run ?until t =
         if t.size > Array.length t.heap then assert false;
         t.heap.(t.size - 1) <- ev;
         sift_up t (t.size - 1);
+        if ev.cancelled then incr t.dead;
         t.now <- limit
     | Some ev ->
-        t.now <- ev.time;
+        (* only executed events advance the clock: a cancelled node may
+           or may not still be in the heap depending on whether
+           compaction fired, so letting it move [now] would make the
+           final clock depend on an internal heuristic *)
         if not ev.cancelled then begin
+          t.now <- ev.time;
           ev.action ();
           incr executed;
           match t.observers with

@@ -46,4 +46,17 @@ val add_observer : t -> (unit -> unit) -> unit
 val run : ?until:float -> t -> int
 (** Run events until the queue drains or the clock passes [until]
     (later events are kept for future runs). Returns the number of
-    events executed. *)
+    events executed. Only executed events advance {!now}: a cancelled
+    event surfacing at the root is dropped without moving the clock, so
+    the final simulated time never depends on whether compaction
+    happened to remove it first. *)
+
+val heap_nodes : t -> int
+(** Physical heap nodes, including cancelled events not yet removed.
+    Cancelled events are normally dropped lazily when they surface at
+    the root; when they outnumber live events (and the heap is
+    non-trivially sized) the queue compacts itself, so this stays
+    within a small factor of {!live_nodes}. Exposed for tests. *)
+
+val live_nodes : t -> int
+(** Heap nodes holding live (not cancelled) events. *)

@@ -1,0 +1,290 @@
+(** Fleet hosting: many concurrent MPTCP connections in one simulated
+    process (one shared {!Eventq}), the simulator-side analogue of a
+    kernel serving heavy multi-user traffic. Connections arrive, run
+    one bounded transfer over their group's shared links, complete and
+    are retired into a free slot pool, so long open-loop campaigns reuse
+    slot state (notably the per-slot private scheduler instance) instead
+    of growing without bound.
+
+    Determinism: a fleet is single-domain; every stochastic input is
+    derived from the fleet seed via {!Rng.stream}/{!Rng.stream_seed}
+    keyed by arrival index (connections) or a reserved negative index
+    range (links), so a fleet run is a pure function of its
+    configuration and the arrival sequence. *)
+
+module R = Progmp_runtime
+
+(* ---------- link groups ---------- *)
+
+(* One shared-bottleneck environment: a data/ack link pair per declared
+   path, shared by every connection the group hosts. Link RNG streams
+   use negative stream indices so they can never collide with the
+   arrival-indexed connection streams. *)
+type group = {
+  group_id : int;
+  links : (Path_manager.path_spec * Link.t * Link.t) list;
+}
+
+let make_group ~clock ~seed ~paths group_id =
+  let links =
+    List.mapi
+      (fun pi spec ->
+        let base = 2 * ((group_id * List.length paths) + pi) in
+        let data_link =
+          Link.create ~params:spec.Path_manager.up ~clock
+            ~rng:(Rng.stream ~seed (-1 - base))
+            ()
+        in
+        let ack_link =
+          Link.create ~params:spec.Path_manager.down ~clock
+            ~rng:(Rng.stream ~seed (-2 - base))
+            ()
+        in
+        (spec, data_link, ack_link))
+      paths
+  in
+  { group_id; links }
+
+(* ---------- slots ---------- *)
+
+(* A slot hosts at most one live connection at a time and survives
+   retirement: its private scheduler instance (engine scratch included)
+   is reused by every connection recycled through it, bounding
+   instantiation work by peak concurrency rather than total arrivals. *)
+type slot = {
+  slot_id : int;
+  group : group;
+  sched : R.Scheduler.t option;
+  mutable conn : Connection.t option;
+  mutable flow_size : int;
+  mutable arrived_at : float;
+  mutable retiring : bool;
+}
+
+type totals = {
+  t_arrivals : int;
+  t_completed : int;
+  t_live : int;
+  t_peak_live : int;
+  t_delivered_bytes : int;
+  t_wire_bytes : int;
+  t_executions : int;
+  t_pushes : int;
+  t_fct_sum : float;  (** over completed flows *)
+}
+
+type t = {
+  clock : Eventq.t;
+  seed : int;
+  mss : int;
+  rcv_buffer : int;
+  cc : Connection.cc_policy;
+  scheduler : (R.Scheduler.t * string) option;
+  groups : group array;
+  mutable free : slot list;
+  mutable slot_count : int;
+  mutable next_arrival : int;
+  mutable members : Connection.t list;  (** adopted, newest first *)
+  (* harvested counters: retired flows only; live state is summed on
+     demand by {!totals} *)
+  mutable arrivals : int;
+  mutable completed : int;
+  mutable live : int;
+  mutable peak_live : int;
+  mutable delivered_bytes : int;
+  mutable wire_bytes : int;
+  mutable executions : int;
+  mutable pushes : int;
+  mutable fct_sum : float;
+  mutable live_slots : slot list;  (** slots currently holding a conn *)
+  mutable on_retire : fct:float -> size:int -> delivered:int -> unit;
+}
+
+let create ?clock ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
+    ?(cc = Connection.Coupled_lia) ?scheduler ?(groups = 1) ~paths () =
+  if groups < 1 then Fmt.invalid_arg "Fleet.create: groups %d < 1" groups;
+  let clock = match clock with Some c -> c | None -> Eventq.create () in
+  {
+    clock;
+    seed;
+    mss;
+    rcv_buffer;
+    cc;
+    scheduler;
+    groups = Array.init groups (make_group ~clock ~seed ~paths);
+    free = [];
+    slot_count = 0;
+    next_arrival = 0;
+    members = [];
+    arrivals = 0;
+    completed = 0;
+    live = 0;
+    peak_live = 0;
+    delivered_bytes = 0;
+    wire_bytes = 0;
+    executions = 0;
+    pushes = 0;
+    fct_sum = 0.0;
+    live_slots = [];
+    on_retire = (fun ~fct:_ ~size:_ ~delivered:_ -> ());
+  }
+
+let clock t = t.clock
+
+let set_on_retire t f = t.on_retire <- f
+
+let new_slot t =
+  let slot_id = t.slot_count in
+  t.slot_count <- slot_id + 1;
+  {
+    slot_id;
+    group = t.groups.(slot_id mod Array.length t.groups);
+    sched =
+      (match t.scheduler with
+      | None -> None
+      | Some (s, engine) -> Some (R.Scheduler.instantiate_private s ~engine));
+    conn = None;
+    flow_size = 0;
+    arrived_at = 0.0;
+    retiring = false;
+  }
+
+let harvest_conn t conn =
+  t.delivered_bytes <- t.delivered_bytes + Connection.delivered_bytes conn;
+  let meta = conn.Connection.meta in
+  t.executions <- t.executions + meta.Meta_socket.sched_executions;
+  t.pushes <- t.pushes + meta.Meta_socket.pushes;
+  List.iter
+    (fun m ->
+      t.wire_bytes <-
+        t.wire_bytes + m.Path_manager.subflow.Tcp_subflow.bytes_sent)
+    conn.Connection.paths
+
+let retire t slot =
+  match slot.conn with
+  | None -> ()
+  | Some conn ->
+      let fct = Eventq.now t.clock -. slot.arrived_at in
+      let delivered = Connection.delivered_bytes conn in
+      harvest_conn t conn;
+      t.fct_sum <- t.fct_sum +. fct;
+      t.completed <- t.completed + 1;
+      t.live <- t.live - 1;
+      (* Disarm the RTO timers so the retired connection holds no
+         pending heap nodes of its own; stray in-flight ack events on
+         the shared links fire harmlessly on the orphan and drain. *)
+      List.iter
+        (fun m ->
+          Eventq.timer_cancel m.Path_manager.subflow.Tcp_subflow.rto_timer)
+        conn.Connection.paths;
+      slot.conn <- None;
+      t.live_slots <- List.filter (fun s -> s != slot) t.live_slots;
+      t.free <- slot :: t.free;
+      t.on_retire ~fct ~size:slot.flow_size ~delivered
+
+(** One open-loop arrival: take a slot from the free pool (or grow the
+    fleet), build a fresh connection over the slot's shared group links
+    with an arrival-indexed independent seed, install the slot's private
+    scheduler instance, and write [size] bytes. The connection retires
+    itself — back into the free pool — once the receiver has delivered
+    the whole flow. *)
+let arrive t ~size =
+  if size <= 0 then Fmt.invalid_arg "Fleet.arrive: size %d <= 0" size;
+  if t.groups.(0).links = [] then
+    invalid_arg "Fleet.arrive: fleet created without paths (adopt-only)";
+  let slot =
+    match t.free with
+    | s :: rest ->
+        t.free <- rest;
+        s
+    | [] -> new_slot t
+  in
+  let aid = t.next_arrival in
+  t.next_arrival <- aid + 1;
+  let conn =
+    Connection.create_on_links
+      ~seed:(Rng.stream_seed ~seed:t.seed aid)
+      ~mss:t.mss ~rcv_buffer:t.rcv_buffer ~cc:t.cc ~clock:t.clock
+      ~links:slot.group.links ()
+  in
+  (match slot.sched with
+  | Some sched -> (Connection.sock conn).R.Api.scheduler <- sched
+  | None -> ());
+  slot.conn <- Some conn;
+  slot.flow_size <- size;
+  slot.arrived_at <- Eventq.now t.clock;
+  slot.retiring <- false;
+  t.arrivals <- t.arrivals + 1;
+  t.live <- t.live + 1;
+  if t.live > t.peak_live then t.peak_live <- t.live;
+  t.live_slots <- slot :: t.live_slots;
+  let meta = conn.Connection.meta in
+  meta.Meta_socket.on_deliver <-
+    (fun ~seq:_ ~size:_ ~time:_ ->
+      if
+        (not slot.retiring)
+        && meta.Meta_socket.delivered_bytes >= slot.flow_size
+      then begin
+        slot.retiring <- true;
+        (* retire from a fresh event, not from inside ack processing *)
+        ignore
+          (Eventq.schedule t.clock ~at:(Eventq.now t.clock) (fun () ->
+               retire t slot))
+      end);
+  ignore (Meta_socket.write meta size)
+
+(** Adopt an externally built connection (it must share the fleet's
+    clock) as a permanent member: it is counted in the live gauge and
+    in {!totals} but never retired or recycled — the hosting mode the
+    sweep scenarios use for their fixed-duration workloads. *)
+let adopt t conn =
+  t.members <- conn :: t.members;
+  t.arrivals <- t.arrivals + 1;
+  t.live <- t.live + 1;
+  if t.live > t.peak_live then t.peak_live <- t.live
+
+let members t = List.rev t.members
+
+let run ?until t = Eventq.run ?until t.clock
+
+let live t = t.live
+let peak_live t = t.peak_live
+let arrivals t = t.arrivals
+let completed t = t.completed
+let slot_count t = t.slot_count
+
+let mean_fct t =
+  if t.completed = 0 then 0.0 else t.fct_sum /. float_of_int t.completed
+
+(** Aggregate counters: harvested (retired) flows plus the current state
+    of live connections and adopted members. *)
+let totals t =
+  let acc = ref (t.delivered_bytes, t.wire_bytes, t.executions, t.pushes) in
+  let add conn =
+    let d, w, e, p = !acc in
+    let meta = conn.Connection.meta in
+    let wire =
+      List.fold_left
+        (fun n m -> n + m.Path_manager.subflow.Tcp_subflow.bytes_sent)
+        0 conn.Connection.paths
+    in
+    acc :=
+      ( d + Connection.delivered_bytes conn,
+        w + wire,
+        e + meta.Meta_socket.sched_executions,
+        p + meta.Meta_socket.pushes )
+  in
+  List.iter (fun s -> Option.iter add s.conn) t.live_slots;
+  List.iter add t.members;
+  let d, w, e, p = !acc in
+  {
+    t_arrivals = t.arrivals;
+    t_completed = t.completed;
+    t_live = t.live;
+    t_peak_live = t.peak_live;
+    t_delivered_bytes = d;
+    t_wire_bytes = w;
+    t_executions = e;
+    t_pushes = p;
+    t_fct_sum = t.fct_sum;
+  }

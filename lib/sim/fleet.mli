@@ -1,0 +1,83 @@
+(** Fleet hosting: many concurrent MPTCP connections on one shared
+    {!Eventq} — the simulator-side analogue of a kernel serving heavy
+    multi-user traffic. Connections arrive, transfer a bounded flow over
+    their group's shared links, complete and are recycled into a free
+    slot pool; per-slot private scheduler instances
+    ({!Progmp_runtime.Scheduler.instantiate_private}) are reused across
+    recycles so instantiation work is bounded by peak concurrency, not
+    total arrivals. Single-domain and fully deterministic: all
+    randomness derives from the fleet seed via {!Rng.stream} /
+    {!Rng.stream_seed}. *)
+
+type t
+
+type totals = {
+  t_arrivals : int;
+  t_completed : int;
+  t_live : int;
+  t_peak_live : int;
+  t_delivered_bytes : int;
+  t_wire_bytes : int;  (** per-subflow wire bytes, retransmissions included *)
+  t_executions : int;  (** scheduler executions (decisions) *)
+  t_pushes : int;
+  t_fct_sum : float;  (** sum of flow completion times over completed flows *)
+}
+
+val create :
+  ?clock:Eventq.t ->
+  ?seed:int ->
+  ?mss:int ->
+  ?rcv_buffer:int ->
+  ?cc:Connection.cc_policy ->
+  ?scheduler:Progmp_runtime.Scheduler.t * string ->
+  ?groups:int ->
+  paths:Path_manager.path_spec list ->
+  unit ->
+  t
+(** A fleet over [groups] independent link groups (default 1), each a
+    shared data/ack link pair per element of [paths]; slots are assigned
+    to groups round-robin. [scheduler] is [(template, engine)]: each
+    slot gets its own private instance; omitted, connections keep the
+    registry default. An empty [paths] makes an adopt-only fleet:
+    {!adopt} works, {!arrive} raises. *)
+
+val arrive : t -> size:int -> unit
+(** One open-loop arrival now: recycle (or create) a slot, build a
+    connection over the slot's group links with an arrival-indexed
+    independent seed, and write [size] bytes. The connection retires
+    itself into the free pool once the flow is fully delivered. *)
+
+val adopt : t -> Connection.t -> unit
+(** Host an externally built connection (sharing the fleet's clock) as a
+    permanent member: counted in the live gauge and {!totals}, never
+    retired — the mode sweep scenarios use for fixed-duration
+    workloads. *)
+
+val members : t -> Connection.t list
+(** Adopted members, in adoption order. *)
+
+val run : ?until:float -> t -> int
+(** Run the shared event loop; returns executed events. *)
+
+val clock : t -> Eventq.t
+
+val set_on_retire : t -> (fct:float -> size:int -> delivered:int -> unit) -> unit
+(** Completion hook, fired once per retired flow — what the fleet
+    metrics layer attaches its FCT histogram to. *)
+
+val live : t -> int
+(** Live connections now (open-loop plus adopted members). *)
+
+val peak_live : t -> int
+val arrivals : t -> int
+val completed : t -> int
+
+val slot_count : t -> int
+(** Slots ever created = peak open-loop concurrency. *)
+
+val mean_fct : t -> float
+(** Mean flow completion time over completed flows (0 when none). *)
+
+val totals : t -> totals
+(** Aggregate counters: harvested retired flows plus the current state
+    of live connections and adopted members. *)

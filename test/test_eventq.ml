@@ -89,6 +89,64 @@ let qprop =
   QCheck2.Test.make ~name:"eventq pops in (time, scheduling order)"
     ~count:1000 gen_ops model_matches
 
+(* ---------- lazy compaction ---------- *)
+
+(* Long-lived fleets cancel heavily (one RTO re-arm per ack), so the
+   heap must never hold more than a bounded multiple of its live
+   events. The bound below is exactly the compaction contract: a
+   schedule compacts whenever cancelled entries exceed half of a
+   non-trivially-sized heap. *)
+let compaction_bound q =
+  Eventq.heap_nodes q <= max 64 (2 * Eventq.live_nodes q)
+
+let gen_cancel_ops =
+  QCheck2.Gen.(list_size (int_range 100 400) (pair small_int bool))
+
+(* Each op schedules one event (time bucket 0..9) and optionally
+   cancels the middle of the handles list (sometimes re-cancelling an
+   already-cancelled one — the dead counter must not double-count).
+   The bound must hold after every schedule, and the final firing order
+   must match the live model sorted by (time, scheduling order) — i.e.
+   compaction is observationally transparent. *)
+let compaction_model ops =
+  let q = Eventq.create () in
+  let fired = ref [] in
+  let model = ref [] in
+  let handles = ref [] and n_handles = ref 0 in
+  let n = ref 0 in
+  let bound_ok = ref true in
+  List.iter
+    (fun (b, cancel_mid) ->
+      let id = !n in
+      incr n;
+      let t = float_of_int (abs b mod 10) /. 10.0 in
+      let h = Eventq.schedule q ~at:t (fun () -> fired := id :: !fired) in
+      handles := (h, id) :: !handles;
+      incr n_handles;
+      model := (id, t) :: !model;
+      if not (compaction_bound q) then bound_ok := false;
+      if cancel_mid then
+        match List.nth_opt !handles (!n_handles / 2) with
+        | Some (h, cid) ->
+            Eventq.cancel h;
+            model := List.filter (fun (i, _) -> i <> cid) !model
+        | None -> ())
+    ops;
+  ignore (Eventq.run q);
+  let expected =
+    List.sort
+      (fun (i1, t1) (i2, t2) ->
+        match compare (t1 : float) t2 with 0 -> compare i1 i2 | c -> c)
+      !model
+    |> List.map fst
+  in
+  !bound_ok && List.rev !fired = expected
+
+let qprop_compaction =
+  QCheck2.Test.make
+    ~name:"compaction keeps the heap bounded and is order-transparent"
+    ~count:200 gen_cancel_ops compaction_model
+
 let suite =
   [
     ( "eventq",
@@ -142,5 +200,44 @@ let suite =
             Alcotest.(check (list (float 1e-9)))
               "fires once, at the later arm's time" [ 1.0 ] (List.rev !times));
         QCheck_alcotest.to_alcotest qprop;
+        tc "re-arming a timer many times leaves a compact heap" (fun () ->
+            let q = Eventq.create () in
+            let timer = Eventq.timer ignore in
+            for i = 1 to 10_000 do
+              Eventq.timer_arm q timer ~at:(float_of_int i)
+            done;
+            Alcotest.(check bool)
+              (Fmt.str "heap_nodes %d <= 64" (Eventq.heap_nodes q))
+              true
+              (Eventq.heap_nodes q <= 64);
+            Alcotest.(check int) "one live event" 1 (Eventq.live_nodes q));
+        tc "mass cancellation compacts on the next schedule" (fun () ->
+            let q = Eventq.create () in
+            let handles =
+              List.init 1000 (fun i ->
+                  Eventq.schedule q ~at:(float_of_int i) ignore)
+            in
+            List.iter Eventq.cancel handles;
+            Alcotest.(check int) "all dead" 0 (Eventq.live_nodes q);
+            let fired = ref 0 in
+            ignore (Eventq.schedule q ~at:0.5 (fun () -> incr fired));
+            Alcotest.(check int) "compacted to the new event" 1
+              (Eventq.heap_nodes q);
+            ignore (Eventq.run q);
+            Alcotest.(check int) "only the live event fires" 1 !fired;
+            Alcotest.(check int) "empty heap" 0 (Eventq.heap_nodes q));
+        tc "run ~until keeps the dead count consistent across put-back"
+          (fun () ->
+            let q = Eventq.create () in
+            let a = Eventq.schedule q ~at:2.0 ignore in
+            ignore (Eventq.schedule q ~at:2.0 ignore);
+            Eventq.cancel a;
+            ignore (Eventq.run ~until:1.0 q);
+            Alcotest.(check int) "both kept" 2 (Eventq.heap_nodes q);
+            Alcotest.(check int) "one live" 1 (Eventq.live_nodes q);
+            ignore (Eventq.run q);
+            Alcotest.(check int) "drained" 0 (Eventq.heap_nodes q);
+            Alcotest.(check int) "no dead left" 0 (Eventq.live_nodes q));
+        QCheck_alcotest.to_alcotest qprop_compaction;
       ] );
   ]

@@ -85,6 +85,83 @@ let spec_suite =
             in
             let s' = spec_ok (Fmt.str "%a" Spec.pp s) in
             Alcotest.(check bool) "equal" true (s = s'));
+        tc "fleet axes parse" (fun () ->
+            let s =
+              spec_ok
+                "scenario fleet\n\
+                 fleet 2 8\n\
+                 arrival-rate 50 200\n\
+                 flow-size default fixed:65536 pareto:4096:1.5:262144\n\
+                 ramp 0:1 30:2 60:0.5\n"
+            in
+            Alcotest.(check (list int)) "fleets" [ 2; 8 ] s.Spec.fleets;
+            Alcotest.(check (list (float 1e-9)))
+              "rates" [ 50.0; 200.0 ] s.Spec.rates;
+            Alcotest.(check (list string))
+              "sizes"
+              [ "default"; "fixed:65536"; "pareto:4096:1.5:262144" ]
+              s.Spec.sizes;
+            Alcotest.(check int) "ramp points" 3 (List.length s.Spec.ramp);
+            Alcotest.(check (float 1e-9))
+              "ramp mult" 2.0
+              (snd (List.nth s.Spec.ramp 1)));
+        tc "fleet axes are validated at parse time" (fun () ->
+            Alcotest.(check bool)
+              "fleet 0" true
+              (contains ~sub:"fleet must be >= 1" (spec_err "fleet 0"));
+            Alcotest.(check bool)
+              "negative rate" true
+              (contains ~sub:"arrival-rate must be >= 0"
+                 (spec_err "arrival-rate -5"));
+            Alcotest.(check bool)
+              "bogus distribution" true
+              (contains ~sub:"flow-size" (spec_err "flow-size zipf:2"));
+            Alcotest.(check bool)
+              "pareto cap below xm" true
+              (contains ~sub:"cap" (spec_err "flow-size pareto:4096:1.5:100"));
+            Alcotest.(check bool)
+              "ramp point shape" true
+              (contains ~sub:"TIME:MULT" (spec_err "ramp 5"));
+            Alcotest.(check bool)
+              "ramp times must increase" true
+              (contains ~sub:"times must increase" (spec_err "ramp 0:1 0:2")));
+        tc "pp round-trips the fleet axes" (fun () ->
+            let s =
+              spec_ok
+                "scenario fleet\nscheduler default\nfleet 4\n\
+                 arrival-rate 100 400\nflow-size fixed:4096\n\
+                 ramp 0:1 10:3\nseed 1..2\nduration 5\n"
+            in
+            let s' = spec_ok (Fmt.str "%a" Spec.pp s) in
+            Alcotest.(check bool) "equal" true (s = s'));
+        tc "singleton fleet axes preserve pre-fleet run ids" (fun () ->
+            (* the axes sit between loss and fault in the expansion
+               order; left at their defaults they must not perturb the
+               run_id assignment of older campaigns *)
+            let s = spec_ok "scheduler a b\nloss 0.0 0.1\nseed 1..3\n" in
+            let runs = Spec.runs s in
+            Alcotest.(check int) "count" 12 (List.length runs);
+            List.iteri
+              (fun i r ->
+                Alcotest.(check int) "run_id" i r.Spec.run_id;
+                Alcotest.(check int) "fleet default" 1 r.Spec.fleet;
+                Alcotest.(check (float 1e-9)) "rate default" 0.0 r.Spec.rate;
+                Alcotest.(check string) "size default" "default" r.Spec.size)
+              runs;
+            (* with explicit axes: size innermost of the three, then
+               rate, then fleet — between loss and fault *)
+            let s =
+              spec_ok
+                "fleet 1 2\narrival-rate 10 20\nflow-size default \
+                 fixed:1000\nseed 1\n"
+            in
+            let runs = Spec.runs s in
+            Alcotest.(check int) "count" 8 (List.length runs);
+            let r1 = List.nth runs 1 and r2 = List.nth runs 2 in
+            Alcotest.(check string) "size varies first" "fixed:1000"
+              r1.Spec.size;
+            Alcotest.(check (float 1e-9)) "then rate" 20.0 r2.Spec.rate;
+            Alcotest.(check int) "fleet last" 2 (List.nth runs 4).Spec.fleet);
         tc "grid expansion: seeds innermost, run_id consecutive" (fun () ->
             let s =
               spec_ok "scheduler a b\nloss 0.0 0.1\nseed 1..3\n"
@@ -184,6 +261,45 @@ let sweep_suite =
                   Alcotest.(check bool)
                     "completed" true
                     (r.Sweep.r_completion <> None))
+              serial.Sweep.runs);
+        tc "fleet scenario: serial and 4-domain runs produce equal reports"
+          (fun () ->
+            let spec =
+              {
+                Spec.default with
+                Spec.scenarios = [ "fleet" ];
+                fleets = [ 2 ];
+                rates = [ 60.0 ];
+                sizes = [ "pareto:4096:1.5:65536" ];
+                ramp = [ (0.0, 1.0); (4.0, 2.0) ];
+                seeds = [ 1; 2 ];
+                duration = 5.0;
+              }
+            in
+            let serial = execute_ok ~jobs:1 spec in
+            let parallel = execute_ok ~jobs:4 spec in
+            Alcotest.(check bool)
+              "equal_report" true
+              (Sweep.equal_report serial parallel);
+            List.iter
+              (fun r ->
+                let extra k =
+                  match List.assoc_opt k r.Sweep.r_extra with
+                  | Some v -> v
+                  | None -> Alcotest.failf "missing extra %s" k
+                in
+                Alcotest.(check bool)
+                  "open loop drove arrivals" true
+                  (extra "arrivals" > 50.0);
+                Alcotest.(check bool)
+                  "flows completed" true
+                  (extra "completed" > 0.0);
+                Alcotest.(check bool)
+                  "fct measured" true
+                  (extra "mean_fct_ms" > 0.0);
+                Alcotest.(check bool)
+                  "peak concurrency seen" true
+                  (extra "peak_live" >= 1.0))
               serial.Sweep.runs);
         tc "unknown scheduler and engine are rejected up front" (fun () ->
             (match

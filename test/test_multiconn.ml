@@ -130,6 +130,104 @@ let suite =
       ] );
   ]
 
+(* ---------- fleet hosting ---------- *)
+
+let jain rates =
+  let n = float_of_int (List.length rates) in
+  let s = List.fold_left ( +. ) 0.0 rates in
+  let s2 = List.fold_left (fun a x -> a +. (x *. x)) 0.0 rates in
+  if s2 = 0.0 then 1.0 else s *. s /. (n *. s2)
+
+let fleet_suite =
+  [
+    ( "fleet",
+      [
+        tc "open-loop flows complete, recycle slots and respect capacity"
+          (fun () ->
+            let fleet =
+              Fleet.create ~seed:11
+                ~paths:[ Path_manager.symmetric ~name:"bn" bottleneck_params ]
+                ()
+            in
+            let rates = ref [] in
+            Fleet.set_on_retire fleet (fun ~fct ~size ~delivered ->
+                Alcotest.(check int) "whole flow delivered" size delivered;
+                if fct > 0.0 then
+                  rates := (float_of_int size /. fct) :: !rates);
+            let wave = 8 and size = 100_000 in
+            for _ = 1 to wave do
+              Fleet.arrive fleet ~size
+            done;
+            ignore (Fleet.run ~until:150.0 fleet);
+            Alcotest.(check int) "first wave complete" wave
+              (Fleet.completed fleet);
+            let first_wave_rates = !rates in
+            (* second wave reuses the retired slots *)
+            for _ = 1 to wave do
+              Fleet.arrive fleet ~size
+            done;
+            ignore (Fleet.run ~until:300.0 fleet);
+            Alcotest.(check int) "all complete" (2 * wave)
+              (Fleet.completed fleet);
+            Alcotest.(check int) "none live" 0 (Fleet.live fleet);
+            Alcotest.(check int) "slots recycled, not grown" wave
+              (Fleet.slot_count fleet);
+            let tot = Fleet.totals fleet in
+            Alcotest.(check int) "delivered everything"
+              (2 * wave * size) tot.Fleet.t_delivered_bytes;
+            (* aggregate goodput over the busy period can't exceed the
+               shared bottleneck's capacity *)
+            let makespan =
+              List.fold_left
+                (fun acc r -> Float.max acc (float_of_int size /. r))
+                0.0 first_wave_rates
+            in
+            let goodput = float_of_int (wave * size) /. makespan in
+            Alcotest.(check bool)
+              (Fmt.str "aggregate goodput %.0f B/s <= capacity" goodput)
+              true
+              (goodput <= 1.05 *. bottleneck_params.Link.bandwidth);
+            (* simultaneous equal flows should share the bottleneck
+               roughly fairly *)
+            let j = jain first_wave_rates in
+            Alcotest.(check bool)
+              (Fmt.str "jain index %.2f > 0.5" j)
+              true (j > 0.5));
+        tc "1k stream seeds are distinct and streams look independent"
+          (fun () ->
+            let n = 1000 in
+            let seeds = List.init n (fun i -> Rng.stream_seed ~seed:7 i) in
+            Alcotest.(check int) "distinct" n
+              (List.length (List.sort_uniq compare seeds));
+            List.iter
+              (fun s ->
+                if s < 0 then Alcotest.failf "negative stream seed %d" s)
+              seeds;
+            (* first draws of 1k derived streams: mean near 1/2 and no
+               serial correlation between adjacent streams *)
+            let draws =
+              Array.init n (fun i -> Rng.float (Rng.stream ~seed:7 i))
+            in
+            let mean = Array.fold_left ( +. ) 0.0 draws /. float_of_int n in
+            Alcotest.(check bool)
+              (Fmt.str "mean %.3f near 0.5" mean)
+              true
+              (mean > 0.45 && mean < 0.55);
+            let num = ref 0.0 and den = ref 0.0 in
+            for i = 0 to n - 1 do
+              let x = draws.(i) -. mean in
+              den := !den +. (x *. x);
+              if i < n - 1 then
+                num := !num +. (x *. (draws.(i + 1) -. mean))
+            done;
+            let corr = !num /. !den in
+            Alcotest.(check bool)
+              (Fmt.str "serial correlation %.3f small" corr)
+              true
+              (Float.abs corr < 0.1));
+      ] );
+  ]
+
 (* "Beyond MPTCP" (§6): the unordered delivery discipline. *)
 let unordered_suite =
   [

@@ -8,20 +8,25 @@
 # noise of a single ~µs-scale smoke measurement on a contended test
 # machine, while the cap still catches one fast path falling off a
 # cliff (e.g. the flat encoding silently degrading to the boxed
-# interpreter). Skips silently when the baseline or the bench binary is
-# unavailable (release tarballs, partial checkouts).
+# interpreter). Also checks the committed BENCH_fleet.json hosting
+# ladder: it must be a full (non-smoke) run whose top rung reaches the
+# 100k-concurrent / 1M-arrival headline, and a fresh smoke rung must
+# stay within FLEET_CAP x of its decision throughput. Any baseline
+# recorded on a machine with a different core count is refused (skipped
+# with a note) rather than compared. Skips silently when the baseline
+# or the bench binary is unavailable (release tarballs, partial
+# checkouts).
 set -u
 
 TOLERANCE=2.0
 HARD_CAP=4.0
+FLEET_CAP=10.0
 
 # The script runs from inside _build; walk up to the checkout root.
 dir=$PWD
 while [ "$dir" != "/" ] && [ ! -e "$dir/.git" ]; do
   dir=$(dirname "$dir")
 done
-baseline="$dir/BENCH_engines.json"
-[ -f "$baseline" ] || exit 0
 
 bench=""
 for candidate in \
@@ -34,53 +39,76 @@ for candidate in \
 done
 [ -n "$bench" ] || exit 0
 
-# Run the smoke bench in a scratch dir: it writes its own
-# BENCH_engines.json into the cwd and must not clobber the baseline.
+# Machine guard: wall-clock benchmark numbers only compare on a machine
+# of the same shape. A baseline whose recorded "cores" field differs
+# from this machine's core count is refused (skipped with a note) —
+# comparing it would turn every cross-machine checkout into a spurious
+# pass or fail.
+current_cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
+cores_of() { sed -n 's/.*"cores": \([0-9][0-9]*\).*/\1/p' "$1" | head -n 1; }
+comparable() { # $1 = baseline file; returns 1 (and explains) on mismatch
+  c=$(cores_of "$1")
+  if [ -n "$c" ] && [ "$c" != "$current_cores" ]; then
+    echo "note: $(basename "$1") was recorded on a ${c}-core machine but this one has ${current_cores} cores; refusing to compare — re-record the baseline here" >&2
+    return 1
+  fi
+  return 0
+}
+
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
-(cd "$tmp" && "$bench" engines --smoke >/dev/null 2>&1) || {
-  echo "error: bench engines --smoke failed" >&2
-  exit 1
-}
-fresh="$tmp/BENCH_engines.json"
-[ -f "$fresh" ] || { echo "error: smoke run produced no BENCH_engines.json" >&2; exit 1; }
-
-# Extract "scheduler ns" pairs for one engine column from the
-# one-entry-per-line JSON the bench emits (no jq dependency).
-extract() { # $1 = file, $2 = json field name
-  sed -n 's/.*"scheduler": "\([^"]*\)".* "'"$2"'": \([0-9.]*\).*/\1 \2/p' "$1"
-}
-
-# Extract the top-level "engines" list as one name per line.
-engines_of() {
-  sed -n 's/.*"engines": \[\(.*\)\].*/\1/p' "$1" | tr ',' '\n' \
-    | sed 's/[[:space:]"]//g' | grep -v '^$'
-}
-
-extract "$baseline" vm_ns_per_decision > "$tmp/base.txt"
-extract "$fresh" vm_ns_per_decision > "$tmp/fresh.txt"
-[ -s "$tmp/base.txt" ] || { echo "error: no vm entries in $baseline" >&2; exit 1; }
-
 status=0
-# Every engine the baseline measured must still be registered: a backend
-# dropping out of Engine.names() would otherwise silently vanish from
-# the comparison instead of failing the gate.
-engines_of "$baseline" > "$tmp/base_engines.txt"
-engines_of "$fresh" > "$tmp/fresh_engines.txt"
-while read -r engine; do
-  if ! grep -qx "$engine" "$tmp/fresh_engines.txt"; then
-    echo "error: engine $engine present in baseline but missing from fresh bench run" >&2
-    status=1
-  fi
-done < "$tmp/base_engines.txt"
 
-# Every baseline scheduler must still be measured.
-while read -r sched _; do
-  if ! awk -v s="$sched" '$1 == s { found = 1 } END { exit !found }' "$tmp/fresh.txt"; then
-    echo "error: scheduler $sched present in baseline but missing from fresh bench run" >&2
-    status=1
-  fi
-done < "$tmp/base.txt"
+check_engines() {
+  baseline="$dir/BENCH_engines.json"
+  [ -f "$baseline" ] || return 0
+  comparable "$baseline" || return 0
+
+  # Run the smoke bench in a scratch dir: it writes its own
+  # BENCH_engines.json into the cwd and must not clobber the baseline.
+  (cd "$tmp" && "$bench" engines --smoke >/dev/null 2>&1) || {
+    echo "error: bench engines --smoke failed" >&2
+    return 1
+  }
+  fresh="$tmp/BENCH_engines.json"
+  [ -f "$fresh" ] || { echo "error: smoke run produced no BENCH_engines.json" >&2; return 1; }
+
+  # Extract "scheduler ns" pairs for one engine column from the
+  # one-entry-per-line JSON the bench emits (no jq dependency).
+  extract() { # $1 = file, $2 = json field name
+    sed -n 's/.*"scheduler": "\([^"]*\)".* "'"$2"'": \([0-9.]*\).*/\1 \2/p' "$1"
+  }
+
+  # Extract the top-level "engines" list as one name per line.
+  engines_of() {
+    sed -n 's/.*"engines": \[\(.*\)\].*/\1/p' "$1" | tr ',' '\n' \
+      | sed 's/[[:space:]"]//g' | grep -v '^$'
+  }
+
+  extract "$baseline" vm_ns_per_decision > "$tmp/base.txt"
+  extract "$fresh" vm_ns_per_decision > "$tmp/fresh.txt"
+  [ -s "$tmp/base.txt" ] || { echo "error: no vm entries in $baseline" >&2; return 1; }
+
+  est=0
+  # Every engine the baseline measured must still be registered: a backend
+  # dropping out of Engine.names() would otherwise silently vanish from
+  # the comparison instead of failing the gate.
+  engines_of "$baseline" > "$tmp/base_engines.txt"
+  engines_of "$fresh" > "$tmp/fresh_engines.txt"
+  while read -r engine; do
+    if ! grep -qx "$engine" "$tmp/fresh_engines.txt"; then
+      echo "error: engine $engine present in baseline but missing from fresh bench run" >&2
+      est=1
+    fi
+  done < "$tmp/base_engines.txt"
+
+  # Every baseline scheduler must still be measured.
+  while read -r sched _; do
+    if ! awk -v s="$sched" '$1 == s { found = 1 } END { exit !found }' "$tmp/fresh.txt"; then
+      echo "error: scheduler $sched present in baseline but missing from fresh bench run" >&2
+      est=1
+    fi
+  done < "$tmp/base.txt"
 
 compare() { # $1 = base pairs, $2 = fresh pairs, $3 = engine label
   awk -v tol="$TOLERANCE" -v cap="$HARD_CAP" -v eng="$3" '
@@ -105,19 +133,79 @@ compare() { # $1 = base pairs, $2 = fresh pairs, $3 = engine label
     }' "$1" "$2"
 }
 
-compare "$tmp/base.txt" "$tmp/fresh.txt" vm || status=1
+  compare "$tmp/base.txt" "$tmp/fresh.txt" vm || est=1
 
-# The threaded-code tier gets the same per-column guard; older
-# baselines without the column skip it (the engines diff above already
-# caught a disappearing backend).
-extract "$baseline" threaded_ns_per_decision > "$tmp/base_threaded.txt"
-extract "$fresh" threaded_ns_per_decision > "$tmp/fresh_threaded.txt"
-if [ -s "$tmp/base_threaded.txt" ]; then
-  compare "$tmp/base_threaded.txt" "$tmp/fresh_threaded.txt" threaded || status=1
-fi
+  # The threaded-code tier gets the same per-column guard; older
+  # baselines without the column skip it (the engines diff above already
+  # caught a disappearing backend).
+  extract "$baseline" threaded_ns_per_decision > "$tmp/base_threaded.txt"
+  extract "$fresh" threaded_ns_per_decision > "$tmp/fresh_threaded.txt"
+  if [ -s "$tmp/base_threaded.txt" ]; then
+    compare "$tmp/base_threaded.txt" "$tmp/fresh_threaded.txt" threaded || est=1
+  fi
 
-if [ "$status" -ne 0 ]; then
-  echo "hint: if the slowdown is expected, refresh the baseline with:" >&2
-  echo "  dune exec bench/main.exe -- engines   # then commit BENCH_engines.json" >&2
-fi
+  if [ "$est" -ne 0 ]; then
+    echo "hint: if the slowdown is expected, refresh the baseline with:" >&2
+    echo "  dune exec bench/main.exe -- engines   # then commit BENCH_engines.json" >&2
+  fi
+  return "$est"
+}
+
+# --- fleet hosting ladder --------------------------------------------------
+# The committed BENCH_fleet.json is the record backing the 100k-connection
+# hosting claim; the gate keeps that record honest (a full ladder, on this
+# machine, actually reaching the headline numbers) and smoke-runs one small
+# rung against the baseline's to catch order-of-magnitude throughput cliffs.
+check_fleet() {
+  fbase="$dir/BENCH_fleet.json"
+  if [ ! -f "$fbase" ]; then
+    echo "note: no BENCH_fleet.json baseline; skipping fleet throughput check" >&2
+    return 0
+  fi
+  comparable "$fbase" || return 0
+
+  if grep -q '"smoke": *true' "$fbase"; then
+    echo "error: committed BENCH_fleet.json was recorded with --smoke; re-record with: dune exec bench/main.exe -- fleet" >&2
+    return 1
+  fi
+
+  peak=$(sed -n 's/.*"peak_live": \([0-9][0-9]*\).*/\1/p' "$fbase" | sort -n | tail -n 1)
+  arrivals=$(sed -n 's/.*"arrivals": \([0-9][0-9]*\).*/\1/p' "$fbase" | sort -n | tail -n 1)
+  fst=0
+  if [ -z "$peak" ] || [ "$peak" -lt 100000 ]; then
+    echo "error: BENCH_fleet.json top rung hosts ${peak:-0} concurrent connections (< 100000)" >&2
+    fst=1
+  fi
+  if [ -z "$arrivals" ] || [ "$arrivals" -lt 1000000 ]; then
+    echo "error: BENCH_fleet.json top rung drove ${arrivals:-0} arrivals (< 1000000)" >&2
+    fst=1
+  fi
+
+  if ! (cd "$tmp" && "$bench" fleet --smoke > /dev/null 2> "$tmp/fleet-smoke.log"); then
+    echo "error: fleet --smoke bench failed:" >&2
+    cat "$tmp/fleet-smoke.log" >&2
+    return 1
+  fi
+  ffresh="$tmp/BENCH_fleet.json"
+  [ -f "$ffresh" ] || { echo "error: fleet smoke run produced no BENCH_fleet.json" >&2; return 1; }
+
+  base_dps=$(sed -n 's/.*"decisions_per_sec": \([0-9.][0-9.]*\).*/\1/p' "$fbase" | head -n 1)
+  fresh_dps=$(sed -n 's/.*"decisions_per_sec": \([0-9.][0-9.]*\).*/\1/p' "$ffresh" | head -n 1)
+  if [ -n "$base_dps" ] && [ -n "$fresh_dps" ]; then
+    awk -v b="$base_dps" -v f="$fresh_dps" -v cap="$FLEET_CAP" 'BEGIN {
+      if (b > 0 && f > 0 && b / f > cap) {
+        printf "error: fleet decision throughput fell off a cliff: %.0f/s vs baseline %.0f/s (> %.1fx)\n", f, b, cap > "/dev/stderr"
+        exit 1
+      }
+    }' || fst=1
+  fi
+
+  if [ "$fst" -ne 0 ]; then
+    echo "hint: re-record the fleet ladder with: dune exec bench/main.exe -- fleet   # then commit BENCH_fleet.json" >&2
+  fi
+  return "$fst"
+}
+
+check_engines || status=1
+check_fleet || status=1
 exit "$status"

@@ -27,4 +27,36 @@ if ! grep -qs '^_build/$' "$dir/.gitignore"; then
   exit 1
 fi
 
-exit 0
+# Every committed benchmark baseline must look like one the bench
+# binary wrote: a JSON object that names its experiment and records the
+# machine's core count (the regression gate refuses cross-machine
+# comparisons based on that field, so a baseline without it dodges the
+# guard). Catches truncated files from interrupted bench runs and
+# hand-edited baselines.
+status=0
+for f in $(git -C "$dir" ls-files -- 'BENCH_*.json'); do
+  path="$dir/$f"
+  if [ ! -s "$path" ]; then
+    echo "error: $f is empty; re-record it with the bench binary" >&2
+    status=1
+    continue
+  fi
+  case "$(head -c 1 "$path")" in
+    "{") ;;
+    *)
+      echo "error: $f does not start with '{' (not a JSON object)" >&2
+      status=1
+      continue
+      ;;
+  esac
+  if ! grep -q '"experiment"' "$path"; then
+    echo "error: $f has no \"experiment\" field; re-record it with the bench binary" >&2
+    status=1
+  fi
+  if ! grep -q '"cores"' "$path"; then
+    echo "error: $f has no \"cores\" field; re-record it with the bench binary" >&2
+    status=1
+  fi
+done
+
+exit "$status"
