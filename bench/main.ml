@@ -1405,7 +1405,7 @@ let friendliness () =
         ()
     in
     let single =
-      Connection.create_on_links ~seed:2 ~cc:Connection.Uncoupled_reno ~clock
+      Connection.create_on_links ~seed:2 ~cc:Congestion.Reno ~clock
         ~links:[ (spec "tcp", bottleneck, ack ()) ]
         ()
     in
@@ -1425,8 +1425,8 @@ let friendliness () =
         share
         (float_of_int m /. 1e6)
         (float_of_int s /. 1e6))
-    [ ("uncoupled (Reno)", Connection.Uncoupled_reno);
-      ("coupled (LIA)", Connection.Coupled_lia) ]
+    [ ("uncoupled (Reno)", Congestion.Reno);
+      ("coupled (LIA)", Congestion.Lia) ]
 
 (* ------------------------------------------------------------------ *)
 

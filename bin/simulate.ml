@@ -41,6 +41,25 @@ let engine_arg =
           "Scheduler execution engine (from the engine registry): \
            interpreter, aot or vm.")
 
+let cc_arg =
+  Arg.(
+    value
+    & opt string "lia"
+    & info [ "cc" ] ~docv:"CC"
+        ~doc:
+          "Congestion-control coupling across subflows: \
+           reno|lia|olia|coupled|ecoupled[:EPS].")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt string "dumbbell"
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:
+          "Shared-link topology for the $(b,fairness) scenario: a builtin \
+           name (dumbbell, dumbbell-red, two-bottlenecks) or a topology \
+           file.")
+
 let faults_arg =
   Arg.(
     value
@@ -132,10 +151,17 @@ let summary conn =
   | None -> Fmt.pr "flow completion    : (incomplete)@."
 
 let run_scenario scenario scheduler seed loss duration engine faults_file
-    check_inv trace_file metrics_file metrics_interval verbose =
+    check_inv trace_file metrics_file metrics_interval verbose cc topology =
   setup_logging verbose;
   let sched_name = scheduler in
   ignore (setup_scheduler sched_name engine);
+  let cc =
+    match Congestion.of_string cc with
+    | Ok c -> c
+    | Error msg ->
+        Fmt.epr "simulate: --cc: %s@." msg;
+        exit 2
+  in
   let faults = load_faults faults_file in
   let checkers = ref [] in
   let trace =
@@ -191,7 +217,7 @@ let run_scenario scenario scheduler seed loss duration engine faults_file
   (match scenario with
   | `Bulk ->
       let paths = Apps.Scenario.mininet_two_subflows ~rtt_ratio:2.0 ~loss () in
-      let conn = Connection.create ~seed ~paths () in
+      let conn = Connection.create ~seed ~cc ~paths () in
       Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
       instrument conn;
       Apps.Workload.bulk conn ~at:0.1 ~bytes:4_000_000;
@@ -199,7 +225,7 @@ let run_scenario scenario scheduler seed loss duration engine faults_file
       summary conn
   | `Stream ->
       let paths = Apps.Scenario.wifi_lte ~wifi_loss:loss ~lte_loss:loss () in
-      let conn = Connection.create ~seed ~paths () in
+      let conn = Connection.create ~seed ~cc ~paths () in
       Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
       instrument conn;
       let rate t = if t < duration /. 3.0 then 1_000_000.0 else 4_000_000.0 in
@@ -214,7 +240,7 @@ let run_scenario scenario scheduler seed loss duration engine faults_file
         let paths =
           Apps.Scenario.mininet_two_subflows ~rtt_ratio:4.0 ~loss ()
         in
-        let conn = Connection.create ~seed ~paths () in
+        let conn = Connection.create ~seed ~cc ~paths () in
         Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
         instrument conn;
         conn
@@ -234,7 +260,7 @@ let run_scenario scenario scheduler seed loss duration engine faults_file
         completed (fct *. 1e3) wire
   | `Http2 ->
       let paths = Apps.Scenario.wifi_lte ~wifi_loss:loss ~lte_loss:loss () in
-      let conn = Connection.create ~seed ~paths () in
+      let conn = Connection.create ~seed ~cc ~paths () in
       instrument conn;
       (match
          Apps.Webserver.serve_with ~scheduler_name:sched_name conn
@@ -249,7 +275,7 @@ let run_scenario scenario scheduler seed loss duration engine faults_file
       | None -> Fmt.pr "page load incomplete@.")
   | `Dash ->
       let paths = Apps.Scenario.wifi_lte ~wifi_loss:loss ~lte_loss:loss () in
-      let conn = Connection.create ~seed ~paths () in
+      let conn = Connection.create ~seed ~cc ~paths () in
       Progmp_runtime.Api.set_scheduler (Connection.sock conn) sched_name;
       instrument conn;
       let session =
@@ -263,7 +289,48 @@ let run_scenario scenario scheduler seed loss duration engine faults_file
       Fmt.pr "deadline misses    : %d (worst lateness %.1f ms)@."
         o.Apps.Dash.deadline_misses
         (o.Apps.Dash.worst_lateness *. 1e3);
-      Fmt.pr "backup bytes       : %d@." o.Apps.Dash.backup_bytes);
+      Fmt.pr "backup bytes       : %d@." o.Apps.Dash.backup_bytes
+  | `Fairness ->
+      (* one MPTCP connection over the topology's routes vs. a
+         single-path Reno cross-flow on the first named link, both
+         saturating; prints per-flow goodput, the friendliness ratio
+         and per-link queue statistics *)
+      let topo =
+        match Topology.resolve topology with
+        | Ok t -> t
+        | Error msg ->
+            Fmt.epr "simulate: --topology: %s@." msg;
+            exit 2
+      in
+      let clock = Eventq.create () in
+      let built = Topology.build ~seed ~clock topo in
+      let mptcp = Topology.connect ~seed ~cc built in
+      Progmp_runtime.Api.set_scheduler (Connection.sock mptcp) sched_name;
+      instrument mptcp;
+      let via = (List.hd (Topology.spec built).Topology.t_links).Topology.l_name in
+      let bg =
+        Topology.single built ~seed:(Rng.stream_seed ~seed 1) ~via ()
+      in
+      let saturate conn =
+        Apps.Workload.cbr conn ~start:0.1 ~stop:duration ~interval:0.05
+          ~rate:(fun _ -> 2_000_000.0)
+      in
+      saturate mptcp;
+      saturate bg;
+      ignore (Eventq.run ~until:duration clock);
+      let span = Float.max 1e-9 (duration -. 0.1) in
+      let goodput conn =
+        8.0 *. float_of_int (Connection.delivered_bytes conn) /. span
+      in
+      let g_mptcp = goodput mptcp and g_single = goodput bg in
+      Fmt.pr "topology           : %s, cc %s@." (Topology.name topo)
+        (Congestion.to_string cc);
+      Fmt.pr "mptcp goodput      : %.0f bps@." g_mptcp;
+      Fmt.pr "single-path goodput: %.0f bps@." g_single;
+      Fmt.pr "mptcp/single ratio : %.2f@."
+        (if g_single > 0.0 then g_mptcp /. g_single else 0.0);
+      Fmt.pr "jain index         : %.3f@." (Stats.jain [ g_mptcp; g_single ]);
+      Fmt.pr "%a" Topology.pp_stats built);
   finish_observability ();
   if check_inv then
     match List.find_opt (fun c -> not (Invariants.ok c)) !checkers with
@@ -283,17 +350,18 @@ let scenario_arg =
               [
                 ("bulk", `Bulk); ("stream", `Stream);
                 ("short-flows", `Short_flows); ("http2", `Http2);
-                ("dash", `Dash);
+                ("dash", `Dash); ("fairness", `Fairness);
               ]))
         None
     & info [] ~docv:"SCENARIO"
-        ~doc:"One of: bulk, stream, short-flows, http2, dash.")
+        ~doc:"One of: bulk, stream, short-flows, http2, dash, fairness.")
 
 let scenario_term =
   Term.(
     const run_scenario $ scenario_arg $ scheduler_arg $ seed_arg $ loss_arg
     $ duration_arg $ engine_arg $ faults_arg $ invariants_arg $ trace_arg
-    $ metrics_arg $ metrics_interval_arg $ verbose_arg)
+    $ metrics_arg $ metrics_interval_arg $ verbose_arg $ cc_arg
+    $ topology_arg)
 
 let scenario_cmd =
   Cmd.v

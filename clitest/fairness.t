@@ -1,0 +1,13 @@
+The self-checking fairness experiment: coupled LIA stays within 1.25x
+of a competing single-path Reno flow at a shared bottleneck while
+uncoupled Reno exceeds 1.5x, under both drop-tail and RED. The example
+exits non-zero when any bound fails, so this cram run is the
+regression gate for the coupled-CC implementation:
+
+  $ ../examples/fairness.exe
+  mptcp-aggregate / single-path goodput at a shared bottleneck
+  lia   dumbbell      ratio 1.04 jain 1.000 red_drops 0  ok (friendly)
+  lia   dumbbell-red  ratio 1.05 jain 0.999 red_drops 0  ok (friendly)
+  reno  dumbbell      ratio 1.85 jain 0.918 red_drops 0  ok (greedy)
+  reno  dumbbell-red  ratio 1.72 jain 0.934 red_drops 2  ok (greedy)
+  all fairness bounds hold

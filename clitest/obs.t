@@ -25,9 +25,9 @@ The metrics CSV starts with the stable header and every row is
 full-width:
 
   $ head -1 m.csv
-  time,sbf,path,cwnd,ssthresh,srtt_ms,rto_ms,in_flight,queued,q,qu,rq,bytes_acked,goodput_bps,delivered_bytes
+  time,sbf,path,cwnd,ssthresh,srtt_ms,rto_ms,in_flight,queued,q,qu,rq,bytes_acked,goodput_bps,delivered_bytes,link_backlog,link_drops
 
-  $ awk -F, 'NR > 1 && NF != 15 { bad++ } END { printf "malformed rows: %d of %d\n", bad+0, NR-1 }' m.csv
+  $ awk -F, 'NR > 1 && NF != 17 { bad++ } END { printf "malformed rows: %d of %d\n", bad+0, NR-1 }' m.csv
   malformed rows: 0 of 78
 
 Fault-injection transitions and the retransmission timeouts they cause
@@ -54,7 +54,7 @@ time column is the execution index:
   {"t":1.000000,"ev":"sched_invoke","scheduler":"cli","engine":"interpreter","actions":1,"regs_read":0,"regs_written":0,"q":2,"qu":0,"rq":0}
   {"t":1.000000,"ev":"sched_action","scheduler":"cli","action":"PUSH(sbf#1, pkt#1(seq=0,size=1448,sent=0))"}
   $ head -1 dm.csv
-  time,sbf,path,cwnd,ssthresh,srtt_ms,rto_ms,in_flight,queued,q,qu,rq,bytes_acked,goodput_bps,delivered_bytes
+  time,sbf,path,cwnd,ssthresh,srtt_ms,rto_ms,in_flight,queued,q,qu,rq,bytes_acked,goodput_bps,delivered_bytes,link_backlog,link_drops
 
 A .csv suffix on --trace selects the wide-row CSV encoding under a
 stable header:

@@ -1,0 +1,94 @@
+The fairness scenario competes an MPTCP connection against a
+single-path Reno flow on a shared-bottleneck topology (short run —
+the full self-check lives in fairness.t):
+
+  $ ../bin/simulate.exe fairness --duration 5 | head -3
+  topology           : dumbbell, cc lia
+  mptcp goodput      : 2699716 bps
+  single-path goodput: 2564820 bps
+
+Topologies are selected by builtin name or loaded from a file; unknown
+names list the builtins:
+
+  $ ../bin/simulate.exe fairness --topology nonsense
+  simulate: --topology: unknown topology "nonsense" (builtins: dumbbell|dumbbell-red|two-bottlenecks, or a topology file)
+  [2]
+
+A topology file uses the link/path grammar; errors are located:
+
+  $ cat > shared.topo << EOF
+  > # one bottleneck, two routes
+  > link core bw 1250000 delay 0.02 buffer 65536 red 4096 32768 0.2
+  > path wifi via core
+  > path lte via core ack_delay 0.04
+  > EOF
+  $ ../bin/simulate.exe fairness --topology shared.topo --duration 5 | head -2
+  topology           : shared.topo, cc lia
+  mptcp goodput      : 5870315 bps
+
+  $ cat > broken.topo << EOF
+  > link core bw 1250000 delay 0.02
+  > path wifi via missing
+  > EOF
+  $ ../bin/simulate.exe fairness --topology broken.topo
+  simulate: --topology: broken.topo: path "wifi" routes via unknown link "missing"
+  [2]
+
+  $ cat > zero.topo << EOF
+  > link core bw 0 delay 0.02
+  > EOF
+  $ ../bin/simulate.exe fairness --topology zero.topo
+  simulate: --topology: zero.topo:1: bw must be positive
+  [2]
+
+The congestion-control menu is validated up front:
+
+  $ ../bin/simulate.exe fairness --cc bogus
+  simulate: --cc: unknown congestion control "bogus" (expected reno|lia|olia|coupled|ecoupled)
+  [2]
+
+  $ ../bin/simulate.exe bulk --duration 40 --cc olia | head -2
+  simulated time     : 1.922 s
+  delivered          : 4000000 bytes (2763 segments, complete: true)
+
+Fault scripts reject bandwidths that would wedge the link (zero,
+negative, or nan all make busy_until unbounded):
+
+  $ cat > badbw.fs << EOF
+  > 1.0 sbf1 bw 0
+  > EOF
+  $ ../bin/simulate.exe bulk --faults badbw.fs
+  simulate: fault script line 1: bandwidth must be positive and finite
+  [2]
+
+  $ cat > nanbw.fs << EOF
+  > 1.0 sbf1 bw nan
+  > EOF
+  $ ../bin/simulate.exe bulk --faults nanbw.fs
+  simulate: fault script line 1: bandwidth must be positive and finite
+  [2]
+
+Campaign specs gain cc and topology axes; non-default values expand
+the grid (the summary widens to show them):
+
+  $ cat > fair.spec << EOF
+  > scenario fairness
+  > cc lia reno
+  > topology dumbbell
+  > duration 5
+  > seed 1
+  > EOF
+  $ ../bin/simulate.exe sweep fair.spec --jobs 1 2>/dev/null
+  2 runs (2 groups x 1 seeds)
+  fairness     default                interpreter loss 0     fault none       cc lia        topo dumbbell     : goodput  2489169 bps mean (0/1 complete)
+  fairness     default                interpreter loss 0     fault none       cc reno       topo dumbbell     : goodput  3691128 bps mean (0/1 complete)
+
+The fairness scenario requires a shared topology, and vice versa:
+
+  $ cat > incompat.spec << EOF
+  > scenario fairness
+  > duration 5
+  > EOF
+  $ ../bin/simulate.exe sweep incompat.spec
+  simulate sweep: scenario fairness needs a shared-link topology axis (e.g. 'topology dumbbell'); 'private' has no shared bottleneck
+  [2]

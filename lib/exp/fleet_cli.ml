@@ -78,12 +78,24 @@ let interval_arg =
     & info [ "metrics-interval" ] ~docv:"SECONDS"
         ~doc:"Sampling interval for the aggregate gauges.")
 
+let cc_arg =
+  Arg.(
+    value
+    & opt string "lia"
+    & info [ "cc" ] ~docv:"CC"
+        ~doc:
+          "Congestion control for hosted connections: \
+           reno|lia|olia|coupled|ecoupled[:EPS].")
+
 let fail fmt = Fmt.kstr (fun msg -> Fmt.epr "fleet: %s@." msg; exit 2) fmt
 
 let run scheduler engine seed loss duration groups rate size ramp metrics
-    interval =
+    interval cc =
   if groups < 1 then fail "--groups must be >= 1";
   if rate <= 0.0 then fail "--rate must be > 0";
+  let cc =
+    match Congestion.of_string cc with Ok c -> c | Error m -> fail "%s" m
+  in
   Progmp_compiler.Compile.register_engines ();
   ignore (Schedulers.Specs.load_all ());
   let sched =
@@ -110,7 +122,7 @@ let run scheduler engine seed loss duration groups rate size ramp metrics
     | Error m -> fail "%s" m
   in
   let fleet =
-    Fleet.create ~seed
+    Fleet.create ~seed ~cc
       ~scheduler:(sched, engine)
       ~groups
       ~paths:(Sweep.fleet_group_paths ~loss)
@@ -150,4 +162,4 @@ let cmd =
     Term.(
       const run $ scheduler_arg $ engine_arg $ seed_arg $ loss_arg
       $ duration_arg $ groups_arg $ rate_arg $ size_arg $ ramp_arg
-      $ metrics_arg $ interval_arg)
+      $ metrics_arg $ interval_arg $ cc_arg)

@@ -17,10 +17,13 @@
     invariants on
     v}
 
-    Expansion order is fixed — scenario, then scheduler, engine, loss,
-    fault, seed (seeds innermost) — and [run_id] is the index in that
-    order, so a campaign's run list is a pure function of its spec and
-    reports are comparable across serial and parallel executions. *)
+    Expansion order is fixed — scenario, then scheduler, engine, cc,
+    topology, loss, fault, seed (seeds innermost) — and [run_id] is the
+    index in that order, so a campaign's run list is a pure function of
+    its spec and reports are comparable across serial and parallel
+    executions. Axes added later (fleet, cc, topology) sit at fixed
+    positions with singleton defaults, so specs that do not mention
+    them keep the run ids they had before the axes existed. *)
 
 type fault_axis = {
   fault_label : string;  (** "none", or the label before [=] *)
@@ -31,6 +34,10 @@ type t = {
   scenarios : string list;
   schedulers : string list;
   engines : string list;
+  ccs : string list;  (** congestion-control policy names ({!Mptcp_sim.Congestion.of_string}) *)
+  topologies : string list;
+      (** "private" (per-connection point-to-point links), or a
+          {!Mptcp_sim.Topology} builtin name / file *)
   losses : float list;
   fleets : int list;  (** fleet scale: connections (static scenarios) or
                           link groups (the open-loop [fleet] scenario) *)
@@ -48,6 +55,8 @@ let default =
     scenarios = [ "bulk" ];
     schedulers = [ "default" ];
     engines = [ "interpreter" ];
+    ccs = [ "lia" ];
+    topologies = [ "private" ];
     losses = [ 0.0 ];
     fleets = [ 1 ];
     rates = [ 0.0 ];
@@ -60,7 +69,7 @@ let default =
   }
 
 let known_scenarios =
-  [ "bulk"; "stream"; "short-flows"; "http2"; "dash"; "fleet" ]
+  [ "bulk"; "stream"; "short-flows"; "http2"; "dash"; "fleet"; "fairness" ]
 
 (* ---------- parsing ---------- *)
 
@@ -154,6 +163,20 @@ let parse text =
                   axis (fun _ s -> Ok s) (fun schedulers -> { spec with schedulers })
               | "engine" ->
                   axis (fun _ s -> Ok s) (fun engines -> { spec with engines })
+              | "cc" ->
+                  axis
+                    (fun n s ->
+                      match Mptcp_sim.Congestion.of_string s with
+                      | Ok _ -> Ok s
+                      | Error msg -> err n msg)
+                    (fun ccs -> { spec with ccs })
+              | "topology" ->
+                  (* resolved (builtins and files alike) in
+                     [Sweep.prepare]; here only the shape is checked *)
+                  axis
+                    (fun n s ->
+                      if s <> "" then Ok s else err n "empty topology name")
+                    (fun topologies -> { spec with topologies })
               | "loss" ->
                   axis parse_float (fun losses -> { spec with losses })
               | "fleet" ->
@@ -226,6 +249,8 @@ type run_params = {
   scenario : string;
   scheduler : string;
   engine : string;
+  cc : string;
+  topology : string;
   loss : float;
   fleet : int;
   rate : float;
@@ -235,12 +260,13 @@ type run_params = {
 }
 
 (** The campaign's run list: the cartesian product in the fixed
-    expansion order (scenario, scheduler, engine, loss, fleet, rate,
-    size, fault, seed — seeds innermost), [run_id] consecutive from 0.
-    A pure function of the spec: serial and parallel executions
-    enumerate identical runs. The fleet axes sit between loss and
-    fault, so specs that leave them at their singleton defaults keep
-    the run ids they had before the axes existed. *)
+    expansion order (scenario, scheduler, engine, cc, topology, loss,
+    fleet, rate, size, fault, seed — seeds innermost), [run_id]
+    consecutive from 0. A pure function of the spec: serial and
+    parallel executions enumerate identical runs. The fleet axes sit
+    between loss and fault, and cc/topology between engine and loss, so
+    specs that leave them at their singleton defaults keep the run ids
+    they had before the axes existed. *)
 let runs spec =
   let acc = ref [] and id = ref 0 in
   List.iter
@@ -250,38 +276,46 @@ let runs spec =
           List.iter
             (fun engine ->
               List.iter
-                (fun loss ->
+                (fun cc ->
                   List.iter
-                    (fun fleet ->
+                    (fun topology ->
                       List.iter
-                        (fun rate ->
+                        (fun loss ->
                           List.iter
-                            (fun size ->
+                            (fun fleet ->
                               List.iter
-                                (fun fault ->
+                                (fun rate ->
                                   List.iter
-                                    (fun seed ->
-                                      acc :=
-                                        {
-                                          run_id = !id;
-                                          scenario;
-                                          scheduler;
-                                          engine;
-                                          loss;
-                                          fleet;
-                                          rate;
-                                          size;
-                                          fault;
-                                          seed;
-                                        }
-                                        :: !acc;
-                                      incr id)
-                                    spec.seeds)
-                                spec.faults)
-                            spec.sizes)
-                        spec.rates)
-                    spec.fleets)
-                spec.losses)
+                                    (fun size ->
+                                      List.iter
+                                        (fun fault ->
+                                          List.iter
+                                            (fun seed ->
+                                              acc :=
+                                                {
+                                                  run_id = !id;
+                                                  scenario;
+                                                  scheduler;
+                                                  engine;
+                                                  cc;
+                                                  topology;
+                                                  loss;
+                                                  fleet;
+                                                  rate;
+                                                  size;
+                                                  fault;
+                                                  seed;
+                                                }
+                                                :: !acc;
+                                              incr id)
+                                            spec.seeds)
+                                        spec.faults)
+                                    spec.sizes)
+                                spec.rates)
+                            spec.fleets)
+                        spec.losses)
+                    spec.topologies)
+                spec.ccs)
             spec.engines)
         spec.schedulers)
     spec.scenarios;
@@ -289,7 +323,8 @@ let runs spec =
 
 let run_count spec =
   List.length spec.scenarios * List.length spec.schedulers
-  * List.length spec.engines * List.length spec.losses
+  * List.length spec.engines * List.length spec.ccs
+  * List.length spec.topologies * List.length spec.losses
   * List.length spec.fleets * List.length spec.rates
   * List.length spec.sizes * List.length spec.faults
   * List.length spec.seeds
@@ -301,6 +336,8 @@ let pp ppf spec =
   line "scenario" spec.scenarios;
   line "scheduler" spec.schedulers;
   line "engine" spec.engines;
+  line "cc" spec.ccs;
+  line "topology" spec.topologies;
   line "loss" (List.map (Fmt.str "%g") spec.losses);
   line "fleet" (List.map string_of_int spec.fleets);
   line "arrival-rate" (List.map (Fmt.str "%g") spec.rates);

@@ -12,9 +12,16 @@ type fault_axis = {
 
 type t = {
   scenarios : string list;
-      (** bulk | stream | short-flows | http2 | dash | fleet *)
+      (** bulk | stream | short-flows | http2 | dash | fleet | fairness *)
   schedulers : string list;  (** zoo names, cf. [Schedulers.Specs] *)
   engines : string list;  (** engine-registry names *)
+  ccs : string list;
+      (** congestion-control policies,
+          validated by {!Mptcp_sim.Congestion.of_string} *)
+  topologies : string list;
+      (** "private" (per-connection point-to-point links), or a
+          {!Mptcp_sim.Topology} builtin name / file — resolved by
+          [Sweep.prepare] *)
   losses : float list;
   fleets : int list;
       (** fleet scale: static scenarios host this many connections; the
@@ -40,7 +47,8 @@ val known_scenarios : string list
 
 val parse : string -> (t, string) result
 (** Parse the text format ([KEY VALUE...] lines, [#] comments; keys:
-    scenario, scheduler, engine, loss, fleet, arrival-rate, flow-size,
+    scenario, scheduler, engine, cc, topology, loss, fleet,
+    arrival-rate, flow-size,
     ramp, fault, seed, duration, invariants; seeds accept [A..B]
     ranges; faults are [none] or [LABEL=FILE]; ramp values are
     [TIME:MULT] breakpoints). Unset keys keep their {!default}. Errors
@@ -54,6 +62,8 @@ type run_params = {
   scenario : string;
   scheduler : string;
   engine : string;
+  cc : string;
+  topology : string;
   loss : float;
   fleet : int;
   rate : float;
@@ -64,10 +74,10 @@ type run_params = {
 
 val runs : t -> run_params list
 (** The cartesian product in the fixed expansion order — scenario,
-    scheduler, engine, loss, fleet, rate, size, fault, seed (seeds
-    innermost) — with [run_id] consecutive from 0. Specs leaving the
-    fleet axes at their singleton defaults keep their pre-fleet run
-    ids. *)
+    scheduler, engine, cc, topology, loss, fleet, rate, size, fault,
+    seed (seeds innermost) — with [run_id] consecutive from 0. Specs
+    leaving the fleet/cc/topology axes at their singleton defaults keep
+    the run ids they had before those axes existed. *)
 
 val run_count : t -> int
 

@@ -39,6 +39,8 @@ type group = {
   g_scenario : string;
   g_scheduler : string;
   g_engine : string;
+  g_cc : string;
+  g_topology : string;
   g_loss : float;
   g_fleet : int;
   g_rate : float;
@@ -71,6 +73,8 @@ let equal_report a b =
 type ctx = {
   schedulers : (string, R.Scheduler.t) Hashtbl.t;
   fault_scripts : (string, Faults.script) Hashtbl.t;
+  topologies : (string, Topology.t) Hashtbl.t;
+      (** resolved topology axis values; "private" has no entry *)
   duration : float;
   invariants : bool;
   ramp : Traffic.ramp;
@@ -107,6 +111,41 @@ let prepare (spec : Spec.t) =
         (Fmt.str "unknown engine %s (available: %s)" name
            (String.concat ", " known_engines))
   in
+  let topologies = Hashtbl.create 4 in
+  let resolve_cc name =
+    Result.map (fun _ -> ()) (Congestion.of_string name)
+  in
+  let resolve_topology name =
+    if name = "private" then Ok ()
+    else
+      match Topology.resolve name with
+      | Ok t ->
+          Hashtbl.replace topologies name t;
+          Ok ()
+      | Error msg -> Error msg
+  in
+  (* the topology axis only has meaning for the fairness scenario:
+     every other scenario builds its own private point-to-point links,
+     so a non-default topology there would be silently ignored *)
+  let scenario_topologies () =
+    let fairness = List.mem "fairness" spec.Spec.scenarios in
+    let others =
+      List.exists (fun s -> s <> "fairness") spec.Spec.scenarios
+    in
+    let private_ = List.mem "private" spec.Spec.topologies in
+    let shared = List.exists (fun t -> t <> "private") spec.Spec.topologies in
+    if fairness && private_ then
+      Error
+        "scenario fairness needs a shared-link topology axis (e.g. \
+         'topology dumbbell'); 'private' has no shared bottleneck"
+    else if others && shared then
+      Error
+        (Fmt.str
+           "scenario %s runs on private per-connection links; the topology \
+            axis applies to the fairness scenario only"
+           (List.find (fun s -> s <> "fairness") spec.Spec.scenarios))
+    else Ok ()
+  in
   let resolve_fault (f : Spec.fault_axis) =
     match f.Spec.fault_file with
     | None ->
@@ -123,6 +162,12 @@ let prepare (spec : Spec.t) =
   @@ fun () ->
   Result.bind (first_error (List.map resolve_engine spec.Spec.engines))
   @@ fun () ->
+  Result.bind (first_error (List.map resolve_cc spec.Spec.ccs))
+  @@ fun () ->
+  Result.bind (first_error (List.map resolve_topology spec.Spec.topologies))
+  @@ fun () ->
+  Result.bind (scenario_topologies ())
+  @@ fun () ->
   Result.bind (first_error (List.map resolve_fault spec.Spec.faults))
   @@ fun () ->
   Hashtbl.iter
@@ -136,6 +181,7 @@ let prepare (spec : Spec.t) =
     {
       schedulers;
       fault_scripts;
+      topologies;
       duration = spec.Spec.duration;
       invariants = spec.Spec.invariants;
       ramp = spec.Spec.ramp;
@@ -147,6 +193,12 @@ let install ctx conn (p : Spec.run_params) =
   let sched = Hashtbl.find ctx.schedulers p.Spec.scheduler in
   (Connection.sock conn).R.Api.scheduler <-
     R.Scheduler.instantiate_private sched ~engine:p.Spec.engine
+
+(* validated in [prepare]; the exception is unreachable from [execute] *)
+let cc_of (p : Spec.run_params) =
+  match Congestion.of_string p.Spec.cc with
+  | Ok c -> c
+  | Error msg -> invalid_arg msg
 
 (* Host the run's [p.fleet] scenario connections on one shared clock
    (an adopting fleet). Connection 0 is built exactly as a pre-fleet
@@ -267,7 +319,7 @@ let run_one ctx (p : Spec.run_params) =
               Apps.Scenario.mininet_two_subflows ~rtt_ratio:2.0
                 ~loss:p.Spec.loss ()
             in
-            let conn = Connection.create ~clock ~seed ~paths () in
+            let conn = Connection.create ~clock ~seed ~cc:(cc_of p) ~paths () in
             install ctx conn p;
             instrument conn;
             Apps.Workload.bulk conn ~at:0.1 ~bytes:4_000_000;
@@ -282,7 +334,7 @@ let run_one ctx (p : Spec.run_params) =
               Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss
                 ~lte_loss:p.Spec.loss ()
             in
-            let conn = Connection.create ~clock ~seed ~paths () in
+            let conn = Connection.create ~clock ~seed ~cc:(cc_of p) ~paths () in
             install ctx conn p;
             instrument conn;
             let rate t =
@@ -306,7 +358,9 @@ let run_one ctx (p : Spec.run_params) =
         let paths =
           Apps.Scenario.mininet_two_subflows ~rtt_ratio:4.0 ~loss:p.Spec.loss ()
         in
-        let conn = Connection.create ~seed:(p.Spec.seed + seed) ~paths () in
+        let conn =
+          Connection.create ~seed:(p.Spec.seed + seed) ~cc:(cc_of p) ~paths ()
+        in
         install ctx conn p;
         instrument conn;
         Fleet.adopt fleet conn;
@@ -349,7 +403,7 @@ let run_one ctx (p : Spec.run_params) =
               Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss
                 ~lte_loss:p.Spec.loss ()
             in
-            let conn = Connection.create ~clock ~seed ~paths () in
+            let conn = Connection.create ~clock ~seed ~cc:(cc_of p) ~paths () in
             instrument conn;
             install ctx conn p;
             handles :=
@@ -388,7 +442,7 @@ let run_one ctx (p : Spec.run_params) =
               Apps.Scenario.wifi_lte ~wifi_loss:p.Spec.loss
                 ~lte_loss:p.Spec.loss ()
             in
-            let conn = Connection.create ~clock ~seed ~paths () in
+            let conn = Connection.create ~clock ~seed ~cc:(cc_of p) ~paths () in
             install ctx conn p;
             instrument conn;
             sessions :=
@@ -428,7 +482,7 @@ let run_one ctx (p : Spec.run_params) =
         | Error msg -> invalid_arg msg
       in
       let fleet =
-        Fleet.create ~seed:p.Spec.seed
+        Fleet.create ~seed:p.Spec.seed ~cc:(cc_of p)
           ~scheduler:(sched, p.Spec.engine)
           ~groups:p.Spec.fleet
           ~paths:(fleet_group_paths ~loss:p.Spec.loss)
@@ -467,6 +521,77 @@ let run_one ctx (p : Spec.run_params) =
             ("wire_bytes", float_of_int tot.Fleet.t_wire_bytes);
           ];
       }
+  | "fairness" ->
+      (* shared-bottleneck fairness probe: one MPTCP connection over
+         every route of the topology competes with a single-path Reno
+         cross-flow on the first named link, both driven by saturating
+         CBR sources. Reported: per-flow goodputs, their Jain index,
+         the MPTCP/single throughput ratio (the RFC 6356 friendliness
+         number), and per-link drop/occupancy counters. *)
+      let topo = Hashtbl.find ctx.topologies p.Spec.topology in
+      let clock = Eventq.create () in
+      let built = Topology.build ~seed:p.Spec.seed ~clock topo in
+      let mptcp = Topology.connect ~seed:p.Spec.seed ~cc:(cc_of p) built in
+      install ctx mptcp p;
+      instrument mptcp;
+      let via = (List.hd (Topology.spec built).Topology.t_links).Topology.l_name in
+      let bg =
+        Topology.single built
+          ~seed:(Rng.stream_seed ~seed:p.Spec.seed 1)
+          ~via ()
+      in
+      let saturate conn =
+        Apps.Workload.cbr conn ~start:0.1 ~stop:duration ~interval:0.05
+          ~rate:(fun _ -> 2_000_000.0)
+      in
+      saturate mptcp;
+      saturate bg;
+      ignore (Eventq.run ~until:duration clock);
+      let span = Float.max 1e-9 (duration -. 0.1) in
+      let goodput conn =
+        8.0 *. float_of_int (Connection.delivered_bytes conn) /. span
+      in
+      let g_mptcp = goodput mptcp and g_single = goodput bg in
+      let link_extras =
+        List.concat_map
+          (fun (st : Topology.link_stats) ->
+            [
+              ( Fmt.str "link_%s_drops" st.Topology.ls_name,
+                float_of_int
+                  (st.Topology.ls_tail_dropped + st.Topology.ls_red_dropped) );
+              ( Fmt.str "link_%s_occ_mean" st.Topology.ls_name,
+                st.Topology.ls_mean_backlog );
+              ( Fmt.str "link_%s_occ_peak" st.Topology.ls_name,
+                float_of_int st.Topology.ls_peak_backlog );
+            ])
+          (Topology.stats built)
+      in
+      let delivered =
+        Connection.delivered_bytes mptcp + Connection.delivered_bytes bg
+      in
+      let meta = mptcp.Connection.meta in
+      {
+        r_params = p;
+        r_sim_time = Eventq.now clock;
+        r_delivered = delivered;
+        r_goodput_bps = g_mptcp;
+        r_completion = None;
+        r_executions = meta.Meta_socket.sched_executions;
+        r_pushes = meta.Meta_socket.pushes;
+        r_subflow_bytes = Connection.bytes_sent_per_subflow mptcp;
+        r_inv_total =
+          List.fold_left (fun n c -> n + Invariants.total c) 0 !checkers;
+        r_inv_messages = List.concat_map Invariants.violations !checkers;
+        r_extra =
+          [
+            ("mptcp_goodput_bps", g_mptcp);
+            ("single_goodput_bps", g_single);
+            ( "mptcp_share",
+              if g_single > 0.0 then g_mptcp /. g_single else 0.0 );
+            ("jain", Stats.jain [ g_mptcp; g_single ]);
+          ]
+          @ link_extras;
+      }
   | other -> Fmt.invalid_arg "Sweep.run_one: unknown scenario %s" other
 
 (* ---------- aggregation ---------- *)
@@ -476,7 +601,7 @@ let aggregate runs =
     let p = r.r_params in
     ( p.Spec.scenario,
       p.Spec.scheduler,
-      p.Spec.engine,
+      (p.Spec.engine, p.Spec.cc, p.Spec.topology),
       p.Spec.loss,
       (p.Spec.fleet, p.Spec.rate, p.Spec.size),
       p.Spec.fault.Spec.fault_label )
@@ -492,8 +617,8 @@ let aggregate runs =
           order := k :: !order)
     runs;
   List.rev_map
-    (fun ((scenario, scheduler, engine, loss, (fleet, rate, size), fault) as k)
-       ->
+    (fun ((scenario, scheduler, (engine, cc, topology), loss,
+           (fleet, rate, size), fault) as k) ->
       let rs = List.rev !(Hashtbl.find tbl k) in
       let n = List.length rs in
       let goodputs = List.map (fun r -> r.r_goodput_bps) rs in
@@ -503,6 +628,8 @@ let aggregate runs =
         g_scenario = scenario;
         g_scheduler = scheduler;
         g_engine = engine;
+        g_cc = cc;
+        g_topology = topology;
         g_loss = loss;
         g_fleet = fleet;
         g_rate = rate;
@@ -607,17 +734,21 @@ let to_csv report =
   let b = Buffer.create 4096 in
   Buffer.add_string b
     "run_id,scenario,scheduler,engine,loss,fault,seed,fleet,arrival_rate,\
-     flow_size,sim_time_s,delivered_bytes,goodput_bps,completion_s,\
-     executions,pushes,invariant_violations,subflow_bytes,extra\n";
+     flow_size,cc,topology,sim_time_s,delivered_bytes,goodput_bps,\
+     completion_s,executions,pushes,invariant_violations,subflow_bytes,\
+     extra\n";
   List.iter
     (fun r ->
       let p = r.r_params in
       Buffer.add_string b
-        (Fmt.str "%d,%s,%s,%s,%g,%s,%d,%d,%g,%s,%.6f,%d,%.1f,%s,%d,%d,%d,%s,%s\n"
+        (Fmt.str
+           "%d,%s,%s,%s,%g,%s,%d,%d,%g,%s,%s,%s,%.6f,%d,%.1f,%s,%d,%d,%d,%s,%s\n"
            p.Spec.run_id p.Spec.scenario p.Spec.scheduler p.Spec.engine
            p.Spec.loss p.Spec.fault.Spec.fault_label p.Spec.seed p.Spec.fleet
            p.Spec.rate
            (csv_escape p.Spec.size)
+           (csv_escape p.Spec.cc)
+           (csv_escape p.Spec.topology)
            r.r_sim_time r.r_delivered r.r_goodput_bps
            (match r.r_completion with
            | Some t -> Fmt.str "%.6f" t
@@ -662,7 +793,8 @@ let to_json report =
         (Fmt.str
            "{\"run_id\":%d,\"scenario\":%s,\"scheduler\":%s,\"engine\":%s,\
             \"loss\":%g,\"fault\":%s,\"seed\":%d,\"fleet\":%d,\
-            \"arrival_rate\":%g,\"flow_size\":%s,\"sim_time_s\":%.6f,\
+            \"arrival_rate\":%g,\"flow_size\":%s,\"cc\":%s,\
+            \"topology\":%s,\"sim_time_s\":%.6f,\
             \"delivered_bytes\":%d,\"goodput_bps\":%.1f,\"completion_s\":%s,\
             \"executions\":%d,\"pushes\":%d,\"invariant_violations\":%d,\
             \"subflow_bytes\":%s,\"extra\":%s}"
@@ -672,6 +804,8 @@ let to_json report =
            (json_string p.Spec.fault.Spec.fault_label)
            p.Spec.seed p.Spec.fleet p.Spec.rate
            (json_string p.Spec.size)
+           (json_string p.Spec.cc)
+           (json_string p.Spec.topology)
            r.r_sim_time r.r_delivered r.r_goodput_bps
            (match r.r_completion with
            | Some t -> Fmt.str "%.6f" t
@@ -686,14 +820,16 @@ let to_json report =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
         (Fmt.str
-           "{\"scenario\":%s,\"scheduler\":%s,\"engine\":%s,\"loss\":%g,\
+           "{\"scenario\":%s,\"scheduler\":%s,\"engine\":%s,\"cc\":%s,\
+            \"topology\":%s,\"loss\":%g,\
             \"fleet\":%d,\"arrival_rate\":%g,\"flow_size\":%s,\
             \"fault\":%s,\"runs\":%d,\"completed\":%d,\
             \"goodput_mean_bps\":%.1f,\"goodput_min_bps\":%.1f,\
             \"goodput_max_bps\":%.1f,\"completion_mean_s\":%.6f,\
             \"invariant_violations\":%d}"
            (json_string g.g_scenario) (json_string g.g_scheduler)
-           (json_string g.g_engine) g.g_loss g.g_fleet g.g_rate
+           (json_string g.g_engine) (json_string g.g_cc)
+           (json_string g.g_topology) g.g_loss g.g_fleet g.g_rate
            (json_string g.g_size)
            (json_string g.g_fault) g.g_runs
            g.g_completed g.g_goodput_mean g.g_goodput_min g.g_goodput_max
@@ -715,15 +851,24 @@ let pp_report ppf report =
     || report.spec.Spec.rates <> [ 0.0 ]
     || report.spec.Spec.sizes <> [ "default" ]
   in
+  (* same rule for the cc/topology axes (added later): default-only
+     campaigns keep their historical transcript byte for byte *)
+  let cc_axes =
+    report.spec.Spec.ccs <> [ "lia" ]
+    || report.spec.Spec.topologies <> [ "private" ]
+  in
   List.iter
     (fun g ->
       Fmt.pf ppf
-        "%-12s %-22s %-11s loss %-5g fault %-10s%s : goodput %8.0f bps mean \
-         (%d/%d complete%s)@."
+        "%-12s %-22s %-11s loss %-5g fault %-10s%s%s : goodput %8.0f bps \
+         mean (%d/%d complete%s)@."
         g.g_scenario g.g_scheduler g.g_engine g.g_loss g.g_fault
         (if fleet_axes then
            Fmt.str " fleet %-4d rate %-6g size %-14s" g.g_fleet g.g_rate
              g.g_size
+         else "")
+        (if cc_axes then
+           Fmt.str " cc %-10s topo %-12s" g.g_cc g.g_topology
          else "")
         g.g_goodput_mean g.g_completed g.g_runs
         (if g.g_inv_total > 0 then

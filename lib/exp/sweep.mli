@@ -27,6 +27,8 @@ type group = {
   g_scenario : string;
   g_scheduler : string;
   g_engine : string;
+  g_cc : string;
+  g_topology : string;
   g_loss : float;
   g_fleet : int;
   g_rate : float;

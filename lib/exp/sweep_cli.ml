@@ -49,16 +49,70 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Write the full report as JSON to $(docv).")
 
+let cc_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cc" ] ~docv:"CC[,CC...]"
+        ~doc:
+          "Override the spec's congestion-control axis (comma-separated: \
+           reno|lia|olia|coupled|ecoupled[:EPS]).")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "topology" ] ~docv:"TOPO[,TOPO...]"
+        ~doc:
+          "Override the spec's topology axis (comma-separated: private, a \
+           builtin topology name, or a topology file; fairness scenario \
+           only).")
+
+let split_axis s = String.split_on_char ',' s |> List.filter (( <> ) "")
+
 let write_file file contents =
   Out_channel.with_open_text file (fun oc ->
       Out_channel.output_string oc contents)
 
-let run prog spec_file jobs force_jobs csv json =
+let run prog spec_file jobs force_jobs csv json cc topology =
   match Spec.load spec_file with
   | Error msg ->
       Fmt.epr "%s: %s@." prog msg;
       exit 2
   | Ok spec -> (
+      (* axis overrides; values are validated like spec lines (located
+         errors come from Sweep.prepare for topology files) *)
+      let spec =
+        match cc with
+        | None -> spec
+        | Some s -> (
+            let ccs = split_axis s in
+            match
+              List.find_map
+                (fun c ->
+                  match Mptcp_sim.Congestion.of_string c with
+                  | Ok _ -> None
+                  | Error msg -> Some msg)
+                ccs
+            with
+            | Some msg ->
+                Fmt.epr "%s: --cc: %s@." prog msg;
+                exit 2
+            | None when ccs = [] ->
+                Fmt.epr "%s: --cc: empty axis@." prog;
+                exit 2
+            | None -> { spec with Spec.ccs })
+      in
+      let spec =
+        match topology with
+        | None -> spec
+        | Some s -> (
+            match split_axis s with
+            | [] ->
+                Fmt.epr "%s: --topology: empty axis@." prog;
+                exit 2
+            | topologies -> { spec with Spec.topologies })
+      in
       let t0 = Unix.gettimeofday () in
       match Sweep.execute ~force_jobs ?jobs spec with
       | Error msg ->
@@ -90,4 +144,4 @@ let cmd ~prog =
           parallel on OCaml domains")
     Term.(
       const (run prog) $ spec_arg $ jobs_arg $ jobs_force_arg $ csv_arg
-      $ json_arg)
+      $ json_arg $ cc_arg $ topology_arg)

@@ -28,6 +28,10 @@ type sample = {
   goodput_bps : float;
       (** subflow-level acked bytes over the last interval, per second *)
   delivered_bytes : int;  (** cumulative in-order data-level delivery *)
+  link_backlog : int;  (** bytes queued at the path's bottleneck buffer *)
+  link_drops : int;
+      (** cumulative packets rejected at that buffer (tail + AQM),
+          across all users of the link *)
 }
 
 (* Fixed-capacity ring: [write] is the total number of samples ever
@@ -56,6 +60,8 @@ let none =
     bytes_acked = 0;
     goodput_bps = 0.0;
     delivered_bytes = 0;
+    link_backlog = 0;
+    link_drops = 0;
   }
 
 let create ?(capacity = 65536) () =
@@ -88,12 +94,14 @@ let to_list t = List.rev (fold t (fun acc s -> s :: acc) [])
 
 let csv_header =
   "time,sbf,path,cwnd,ssthresh,srtt_ms,rto_ms,in_flight,queued,q,qu,rq,\
-   bytes_acked,goodput_bps,delivered_bytes"
+   bytes_acked,goodput_bps,delivered_bytes,link_backlog,link_drops"
 
 let write_row oc s =
-  Printf.fprintf oc "%.6f,%d,%s,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%.1f,%d\n"
-    s.time s.sbf s.path s.cwnd s.ssthresh s.srtt_ms s.rto_ms s.in_flight
-    s.queued s.q s.qu s.rq s.bytes_acked s.goodput_bps s.delivered_bytes
+  Printf.fprintf oc
+    "%.6f,%d,%s,%.3f,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%.1f,%d,%d,%d\n" s.time
+    s.sbf s.path s.cwnd s.ssthresh s.srtt_ms s.rto_ms s.in_flight s.queued s.q
+    s.qu s.rq s.bytes_acked s.goodput_bps s.delivered_bytes s.link_backlog
+    s.link_drops
 
 (** Write header plus every retained sample, oldest first. *)
 let to_csv oc t =
@@ -126,6 +134,8 @@ let sample_subflow ~time ~interval ~prev_acked ~delivered (m : Path_manager.mana
     bytes_acked = s.Tcp_subflow.bytes_acked;
     goodput_bps;
     delivered_bytes = delivered;
+    link_backlog = Link.backlog_bytes m.Path_manager.data_link;
+    link_drops = Link.dropped m.Path_manager.data_link;
   }
 
 (** Attach a collector to [conn]: one tick every [interval] seconds from

@@ -21,6 +21,10 @@ type sample = {
   goodput_bps : float;
       (** subflow-level acked bytes over the last interval, per second *)
   delivered_bytes : int;  (** cumulative in-order data-level delivery *)
+  link_backlog : int;  (** bytes queued at the path's bottleneck buffer *)
+  link_drops : int;
+      (** cumulative packets rejected at that buffer (tail + AQM),
+          across all users of the link *)
 }
 
 type t

@@ -29,6 +29,10 @@ type t = {
   mutable throughput_bps : int;  (** cwnd-based estimate, bytes per second *)
   mutable mss : int;
   mutable receive_window_bytes : int;  (** free receive-window space *)
+  mutable link_backlog_bytes : int;
+      (** bytes queued at the path's bottleneck buffer, across all its
+          users — the shared-link occupancy QAware-style schedulers key
+          on (0 when the host has no link model) *)
 }
 
 let default =
@@ -49,6 +53,7 @@ let default =
     throughput_bps = 1_000_000;
     mss = 1448;
     receive_window_bytes = 1 lsl 20;
+    link_backlog_bytes = 0;
   }
 
 (** A fresh, unshared copy (of [v], or of {!default}) — what arenas of

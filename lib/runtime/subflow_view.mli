@@ -20,6 +20,10 @@ type t = {
   mutable throughput_bps : int;  (** achievable-rate estimate, bytes/second *)
   mutable mss : int;
   mutable receive_window_bytes : int;  (** free receive-window space *)
+  mutable link_backlog_bytes : int;
+      (** bytes queued at the path's bottleneck buffer, across all its
+          users — shared-link occupancy (0 when the host has no link
+          model) *)
 }
 (** Fields are mutable only so hosts can refill one record per subflow
     across executions (arena reuse); consumers must treat views as

@@ -1,13 +1,46 @@
-(** Pluggable congestion-control window increase for subflows: standard
-    uncoupled NewReno, and the coupled increase of RFC 6356 (LIA), which
-    caps the aggregate aggressiveness of all subflows so MPTCP stays
-    friendly to single-path TCP on shared bottlenecks (paper §2.1). *)
+(** Pluggable congestion-control window increase for subflows: uncoupled
+    NewReno, the coupled increase of RFC 6356 (LIA), an OLIA-style
+    opportunistic variant, the fully-coupled single-virtual-window
+    policy, and an epsilon-parameterized blend. The coupled policies cap
+    the aggregate aggressiveness of all subflows so MPTCP stays friendly
+    to single-path TCP on shared bottlenecks (paper §2.1). Slow start is
+    uncoupled throughout, and subflows that are not [established] are
+    excluded from every aggregate. *)
+
+type policy =
+  | Reno  (** uncoupled NewReno per subflow *)
+  | Lia  (** RFC 6356 linked increases *)
+  | Olia  (** opportunistic linked increases (Khalili et al.) *)
+  | Coupled  (** fully coupled: one virtual window across subflows *)
+  | Ecoupled of float
+      (** convex blend, epsilon in [0, 1]: 0 = fully coupled, 1 = Reno *)
+
+val default_epsilon : float
+(** Epsilon used by ["ecoupled"] without an argument (0.5). *)
+
+val names : string list
+(** The parseable policy names, for CLI/axis validation messages. *)
+
+val of_string : string -> (policy, string) result
+(** Parse ["reno" | "lia" | "olia" | "coupled" | "ecoupled" |
+    "ecoupled:EPS"] (case-insensitive); [Error] carries a message naming
+    the offending input. *)
+
+val to_string : policy -> string
+(** Inverse of {!of_string} (canonical lowercase spelling). *)
 
 val reno : Tcp_subflow.t -> int -> unit
 (** The default per-subflow increase (re-exported from
     {!Tcp_subflow.reno_on_ack}). *)
 
+val install : policy -> Tcp_subflow.t list -> unit
+(** Install the policy across the given subflows, replacing each one's
+    [cc_on_ack]. Coupled policies capture the list: call again with the
+    full list whenever a subflow is {e added} to the connection.
+    Reestablishing an existing subflow needs nothing — [cc_on_ack]
+    survives {!Tcp_subflow.reestablish}, and the [established] filter
+    keeps a down subflow out of the aggregates. *)
+
 val install_lia : Tcp_subflow.t list -> unit
-(** Install the LIA coupled increase across the given subflows: per
-    ack, cwnd_i += min(alpha / cwnd_total, 1 / cwnd_i). Slow start
-    remains uncoupled, as in the Linux implementation. *)
+(** [install Lia]: per ack,
+    cwnd_i += min(alpha / cwnd_total, 1 / cwnd_i). *)

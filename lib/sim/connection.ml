@@ -2,14 +2,16 @@
     managed paths, and convenience accessors for experiments. This is the
     top-level object benchmark scenarios construct. *)
 
-type cc_policy = Uncoupled_reno | Coupled_lia
-
 type t = {
   clock : Eventq.t;
   rng : Rng.t;
   meta : Meta_socket.t;
+  cc : Congestion.policy;
   mutable paths : Path_manager.managed list;
 }
+
+let install_cc cc managed =
+  Congestion.install cc (List.map (fun m -> m.Path_manager.subflow) managed)
 
 (** Build a connection over [paths]. [delivery_mode] selects the
     receiver behaviour of §4.2 (defaults to the paper's
@@ -20,18 +22,15 @@ type t = {
 let create ?clock ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
     ?(compressed = true) ?(min_rto = 0.2)
     ?(delivery_mode = Tcp_subflow.Immediate)
-    ?(ordering = Meta_socket.Ordered) ?(cc = Coupled_lia) ~paths () =
+    ?(ordering = Meta_socket.Ordered) ?(cc = Congestion.Lia) ~paths () =
   let clock = match clock with Some c -> c | None -> Eventq.create () in
   let rng = Rng.create seed in
   let meta = Meta_socket.create ~mss ~rcv_buffer ~compressed ~ordering ~clock () in
   let managed =
     Path_manager.establish_all ~clock ~rng ~meta ~min_rto ~delivery_mode paths
   in
-  (match cc with
-  | Uncoupled_reno -> ()
-  | Coupled_lia ->
-      Congestion.install_lia (List.map (fun m -> m.Path_manager.subflow) managed));
-  { clock; rng; meta; paths = managed }
+  install_cc cc managed;
+  { clock; rng; meta; cc; paths = managed }
 
 (** Build a connection whose subflows run over caller-provided links —
     several connections handed the same {!Link.t} then compete for its
@@ -39,7 +38,7 @@ let create ?clock ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
     is [(spec, data_link, ack_link)]. *)
 let create_on_links ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
     ?(compressed = true) ?(min_rto = 0.2)
-    ?(delivery_mode = Tcp_subflow.Immediate) ?(cc = Coupled_lia) ~clock ~links
+    ?(delivery_mode = Tcp_subflow.Immediate) ?(cc = Congestion.Lia) ~clock ~links
     () =
   let rng = Rng.create seed in
   let meta = Meta_socket.create ~mss ~rcv_buffer ~compressed ~clock () in
@@ -50,11 +49,8 @@ let create_on_links ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
           ~id:i ~data_link ~ack_link spec)
       links
   in
-  (match cc with
-  | Uncoupled_reno -> ()
-  | Coupled_lia ->
-      Congestion.install_lia (List.map (fun m -> m.Path_manager.subflow) managed));
-  { clock; rng; meta; paths = managed }
+  install_cc cc managed;
+  { clock; rng; meta; cc; paths = managed }
 
 let now t = Eventq.now t.clock
 
@@ -84,13 +80,17 @@ let data_link t i = (List.nth t.paths i).Path_manager.data_link
 let find_path t name =
   List.find_opt (fun m -> m.Path_manager.spec.Path_manager.path_name = name) t.paths
 
-(** Dynamically add a path (handover scenarios). *)
+(** Dynamically add a path (handover scenarios). The connection's
+    congestion policy is reinstalled across {e all} subflows so a
+    coupled increase sees the newcomer — without this the added
+    subflow ran uncoupled Reno and was invisible to the aggregate. *)
 let add_path t ~at spec =
   let id = List.length t.paths in
   let m =
     Path_manager.add_path ~clock:t.clock ~rng:t.rng ~meta:t.meta ~id ~at spec
   in
   t.paths <- t.paths @ [ m ];
+  install_cc t.cc t.paths;
   m
 
 (** Fail a path at a given time. *)

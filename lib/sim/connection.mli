@@ -3,12 +3,11 @@
     connections may share one clock (and even links) to model competing
     traffic. *)
 
-type cc_policy = Uncoupled_reno | Coupled_lia
-
 type t = {
   clock : Eventq.t;
   rng : Rng.t;
   meta : Meta_socket.t;
+  cc : Congestion.policy;
   mutable paths : Path_manager.managed list;
 }
 
@@ -21,7 +20,7 @@ val create :
   ?min_rto:float ->
   ?delivery_mode:Tcp_subflow.delivery_mode ->
   ?ordering:Meta_socket.ordering ->
-  ?cc:cc_policy ->
+  ?cc:Congestion.policy ->
   paths:Path_manager.path_spec list ->
   unit ->
   t
@@ -38,7 +37,7 @@ val create_on_links :
   ?compressed:bool ->
   ?min_rto:float ->
   ?delivery_mode:Tcp_subflow.delivery_mode ->
-  ?cc:cc_policy ->
+  ?cc:Congestion.policy ->
   clock:Eventq.t ->
   links:(Path_manager.path_spec * Link.t * Link.t) list ->
   unit ->
@@ -71,6 +70,9 @@ val data_link : t -> int -> Link.t
 val find_path : t -> string -> Path_manager.managed option
 
 val add_path : t -> at:float -> Path_manager.path_spec -> Path_manager.managed
+(** Dynamically add a path (handover scenarios); reinstalls the
+    connection's congestion policy across all subflows so a coupled
+    increase sees the newcomer. *)
 
 val fail_path : t -> Path_manager.managed -> at:float -> unit
 

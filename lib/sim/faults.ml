@@ -186,7 +186,10 @@ let parse_line n line =
         match (action, args) with
         | "bw", [ b ] ->
             let* bw = float_arg n "bandwidth" b in
-            if bw <= 0.0 then parse_error n "bandwidth must be positive"
+            if not (Float.is_finite bw) || bw <= 0.0 then
+              (* nan fails every comparison, so [bw <= 0.0] alone let
+                 "bw nan" through to an infinite busy_until *)
+              parse_error n "bandwidth must be positive and finite"
             else mk (Set_bandwidth bw)
         | "bw", _ -> arity 1
         | "delay", [ d ] ->

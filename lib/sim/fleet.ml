@@ -78,7 +78,7 @@ type t = {
   seed : int;
   mss : int;
   rcv_buffer : int;
-  cc : Connection.cc_policy;
+  cc : Congestion.policy;
   scheduler : (R.Scheduler.t * string) option;
   groups : group array;
   mutable free : slot list;
@@ -101,7 +101,7 @@ type t = {
 }
 
 let create ?clock ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
-    ?(cc = Connection.Coupled_lia) ?scheduler ?(groups = 1) ~paths () =
+    ?(cc = Congestion.Lia) ?scheduler ?(groups = 1) ~paths () =
   if groups < 1 then Fmt.invalid_arg "Fleet.create: groups %d < 1" groups;
   let clock = match clock with Some c -> c | None -> Eventq.create () in
   {

@@ -28,7 +28,7 @@ val create :
   ?seed:int ->
   ?mss:int ->
   ?rcv_buffer:int ->
-  ?cc:Connection.cc_policy ->
+  ?cc:Congestion.policy ->
   ?scheduler:Progmp_runtime.Scheduler.t * string ->
   ?groups:int ->
   paths:Path_manager.path_spec list ->

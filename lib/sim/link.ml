@@ -1,19 +1,43 @@
 (** Unidirectional path model: serialization at a (possibly fluctuating)
     bottleneck rate, propagation delay, optional jitter, random loss
-    (Bernoulli or bursty Gilbert–Elliott) and a drop-tail buffer, plus an
-    up/down state for scripted outages (handover, WiFi flaps).
+    (Bernoulli or bursty Gilbert–Elliott), a bottleneck buffer governed
+    by a queue discipline (drop-tail, or RED-style AQM) and an up/down
+    state for scripted outages (handover, WiFi flaps).
 
     This is the stand-in for the paper's Mininet links (Figs. 10, 12) and
     for the in-the-wild WiFi/LTE paths (Figs. 1, 13, 14): the schedulers
     under study only observe path {e behaviour} (RTT, loss, rate), which
-    these parameters produce. *)
+    these parameters produce. A link may be shared by several subflows,
+    connections and background flows ({!Topology}): competition is
+    serialized honestly on the one [busy_until] horizon and backlog
+    ring. *)
+
+(** RED (random early detection) AQM configuration: arrivals are dropped
+    probabilistically once the EWMA of the queue occupancy exceeds
+    [red_min] bytes, with the drop probability ramping linearly to
+    [red_pmax] at [red_max] and a forced drop above it — the classic
+    Floyd/Jacobson gentle-mode mechanics, including the uniformization
+    count that spaces early drops out. *)
+type red = {
+  red_min : int;  (** min threshold on the averaged backlog, bytes *)
+  red_max : int;  (** max threshold, bytes *)
+  red_pmax : float;  (** drop probability at [red_max] *)
+  red_weight : float;  (** EWMA weight of the instantaneous backlog *)
+}
+
+type qdisc = Drop_tail | Red of red
+
+let default_red =
+  { red_min = 32 * 1024; red_max = 128 * 1024; red_pmax = 0.1;
+    red_weight = 0.05 }
 
 type params = {
   bandwidth : float;  (** bytes per second at the bottleneck *)
   delay : float;  (** one-way propagation delay, seconds *)
   loss : float;  (** packet loss probability in [0, 1] *)
   jitter : float;  (** std-dev of gaussian delay noise, seconds *)
-  buffer_bytes : int;  (** drop-tail bottleneck buffer size *)
+  buffer_bytes : int;  (** bottleneck buffer size (hard drop-tail cap) *)
+  qdisc : qdisc;  (** queueing discipline at the bottleneck buffer *)
 }
 
 let default_params =
@@ -23,6 +47,7 @@ let default_params =
     loss = 0.0;
     jitter = 0.0;
     buffer_bytes = 256 * 1024;
+    qdisc = Drop_tail;
   }
 
 (** Gilbert–Elliott two-state loss process: per packet the chain first
@@ -59,13 +84,44 @@ type t = {
   mutable q_head : int;
   mutable q_len : int;
   mutable q_bytes : int;  (** sum of live [q_size] entries *)
+  (* RED state (meaningful only under [Red _]): EWMA of the backlog at
+     arrival instants, and the packets-since-last-drop uniformization
+     count (-1 while the average sits below the min threshold). *)
+  mutable red_avg : float;
+  mutable red_count : int;
+  (* Occupancy bookkeeping for per-link reports: exact time integral of
+     the piecewise-constant backlog (entries leave at their recorded
+     serialization-completion instants) and the peak. *)
+  mutable occ_integral : float;
+  mutable occ_last : float;
+  mutable peak_backlog : int;
   mutable delivered : int;  (** packets that made it across *)
   mutable lost : int;  (** random losses *)
   mutable tail_dropped : int;  (** buffer overflows *)
+  mutable red_dropped : int;  (** AQM early drops *)
   mutable lost_down : int;  (** packets destroyed by a down link *)
 }
 
+let validate_bandwidth ctx bw =
+  if not (Float.is_finite bw && bw > 0.0) then
+    Fmt.invalid_arg "%s: bandwidth must be positive and finite, got %g" ctx bw
+
+let validate_qdisc ctx = function
+  | Drop_tail -> ()
+  | Red r ->
+      if r.red_min < 0 || r.red_max <= r.red_min then
+        Fmt.invalid_arg "%s: RED thresholds must satisfy 0 <= min < max, got %d/%d"
+          ctx r.red_min r.red_max;
+      if not (r.red_pmax > 0.0 && r.red_pmax <= 1.0) then
+        Fmt.invalid_arg "%s: RED max drop probability %g out of (0, 1]" ctx
+          r.red_pmax;
+      if not (r.red_weight > 0.0 && r.red_weight <= 1.0) then
+        Fmt.invalid_arg "%s: RED averaging weight %g out of (0, 1]" ctx
+          r.red_weight
+
 let create ?(params = default_params) ~clock ~rng () =
+  validate_bandwidth "Link.create" params.bandwidth;
+  validate_qdisc "Link.create" params.qdisc;
   {
     params;
     rng;
@@ -78,17 +134,28 @@ let create ?(params = default_params) ~clock ~rng () =
     q_head = 0;
     q_len = 0;
     q_bytes = 0;
+    red_avg = 0.0;
+    red_count = -1;
+    occ_integral = 0.0;
+    occ_last = 0.0;
+    peak_backlog = 0;
     delivered = 0;
     lost = 0;
     tail_dropped = 0;
+    red_dropped = 0;
     lost_down = 0;
   }
 
 (** Change the bottleneck rate at runtime (bandwidth fluctuation, e.g.
     the WiFi throughput dips of Fig. 13). Packets already serialized or
     queued keep the arrival times and byte accounting they were admitted
-    with; only subsequent transmissions see the new rate. *)
-let set_bandwidth t bw = t.params <- { t.params with bandwidth = bw }
+    with; only subsequent transmissions see the new rate.
+    @raise Invalid_argument when [bw] is zero, negative or not finite —
+    a non-positive rate would push [busy_until] to infinity and wedge
+    the simulation. *)
+let set_bandwidth t bw =
+  validate_bandwidth "Link.set_bandwidth" bw;
+  t.params <- { t.params with bandwidth = bw }
 
 let set_delay t d = t.params <- { t.params with delay = d }
 
@@ -96,6 +163,14 @@ let set_delay t d = t.params <- { t.params with delay = d }
     packet enters the bottleneck, so packets already in flight are
     unaffected. *)
 let set_loss t l = t.params <- { t.params with loss = l }
+
+(** Switch the bottleneck queue discipline at runtime. RED averaging
+    state restarts from the current instantaneous backlog. *)
+let set_qdisc t q =
+  validate_qdisc "Link.set_qdisc" q;
+  t.red_avg <- float_of_int t.q_bytes;
+  t.red_count <- -1;
+  t.params <- { t.params with qdisc = q }
 
 (** Switch to a Gilbert–Elliott burst-loss process (chain starts in the
     good state). [params.loss] remains the good-state loss. *)
@@ -140,20 +215,42 @@ let queue_push t ~until ~size =
   t.q_time.(tail) <- until;
   t.q_size.(tail) <- size;
   t.q_len <- t.q_len + 1;
-  t.q_bytes <- t.q_bytes + size
+  t.q_bytes <- t.q_bytes + size;
+  if t.q_bytes > t.peak_backlog then t.peak_backlog <- t.q_bytes
 
 (** Bytes currently sitting in the bottleneck buffer (waiting for
     serialization), across all users of the link. Tracked per packet at
     admission time, so a later {!set_bandwidth} cannot retroactively
-    change what the buffer holds. *)
+    change what the buffer holds. Pruning also advances the exact
+    occupancy time integral behind {!mean_backlog}: each expired entry
+    leaves at its recorded completion instant, so the integral of the
+    piecewise-constant backlog needs no extra events. *)
 let backlog_bytes t =
   let now = Eventq.now t.clock in
   while t.q_len > 0 && t.q_time.(t.q_head) <= now do
+    let leave = t.q_time.(t.q_head) in
+    t.occ_integral <-
+      t.occ_integral +. (float_of_int t.q_bytes *. (leave -. t.occ_last));
+    t.occ_last <- leave;
     t.q_bytes <- t.q_bytes - t.q_size.(t.q_head);
     t.q_head <- (t.q_head + 1) mod Array.length t.q_time;
     t.q_len <- t.q_len - 1
   done;
+  if now > t.occ_last then begin
+    t.occ_integral <-
+      t.occ_integral +. (float_of_int t.q_bytes *. (now -. t.occ_last));
+    t.occ_last <- now
+  end;
   t.q_bytes
+
+(** Time-averaged bottleneck occupancy in bytes, from the link's
+    creation to now (exact integral of the backlog). *)
+let mean_backlog t =
+  let now = Eventq.now t.clock in
+  ignore (backlog_bytes t);
+  if now <= 0.0 then 0.0 else t.occ_integral /. now
+
+let peak_backlog t = t.peak_backlog
 
 (* Per-packet loss decision; advances the Gilbert–Elliott chain. *)
 let draw_loss t =
@@ -166,7 +263,45 @@ let draw_loss t =
        else if Rng.coin t.rng ~p:g.p_enter then g.bad <- true);
       Rng.coin t.rng ~p:(if g.bad then g.loss_bad else t.params.loss)
 
-type outcome = Delivered of float | Lost_random | Dropped_tail | Lost_down
+(* RED early-drop decision at admission: EWMA the instantaneous backlog,
+   force-drop above max_th, ramp the probability linearly between the
+   thresholds, and uniformize with the count-since-last-drop so early
+   drops are spaced out rather than clustered (Floyd & Jacobson 1993). *)
+let red_drop t (r : red) ~backlog =
+  t.red_avg <- t.red_avg +. (r.red_weight *. (float_of_int backlog -. t.red_avg));
+  if t.red_avg < float_of_int r.red_min then begin
+    t.red_count <- -1;
+    false
+  end
+  else if t.red_avg >= float_of_int r.red_max then begin
+    t.red_count <- 0;
+    true
+  end
+  else begin
+    t.red_count <- t.red_count + 1;
+    let pb =
+      r.red_pmax
+      *. (t.red_avg -. float_of_int r.red_min)
+      /. float_of_int (r.red_max - r.red_min)
+    in
+    let pa = pb /. Float.max 1e-9 (1.0 -. (float_of_int t.red_count *. pb)) in
+    if Rng.coin t.rng ~p:(Float.min 1.0 pa) then begin
+      t.red_count <- 0;
+      true
+    end
+    else false
+  end
+
+type outcome =
+  | Delivered of float
+  | Lost_random
+  | Dropped_tail
+  | Dropped_red  (** AQM early drop: rejected before occupying the buffer *)
+  | Lost_down
+
+(** Total packets rejected at the bottleneck buffer, whatever the
+    discipline (drop-tail overflow + AQM early drops). *)
+let dropped t = t.tail_dropped + t.red_dropped
 
 (** Record a data packet reaching the far end of the link {e now}:
     counts it delivered and returns [true] when the link is up, counts
@@ -195,28 +330,50 @@ let transmit_direct t ~size arrive : outcome =
     t.lost_down <- t.lost_down + 1;
     Lost_down
   end
-  else if backlog_bytes t + size > t.params.buffer_bytes then begin
-    t.tail_dropped <- t.tail_dropped + 1;
-    Dropped_tail
-  end
   else begin
-    let start = if t.busy_until > now then t.busy_until else now in
-    let tx_time = float_of_int size /. t.params.bandwidth in
-    t.busy_until <- start +. tx_time;
-    queue_push t ~until:t.busy_until ~size;
-    if draw_loss t then begin
-      t.lost <- t.lost + 1;
-      Lost_random
+    let backlog = backlog_bytes t in
+    let red_rejects =
+      match t.params.qdisc with
+      | Drop_tail -> false
+      | Red r -> red_drop t r ~backlog
+    in
+    if red_rejects then begin
+      t.red_dropped <- t.red_dropped + 1;
+      Dropped_red
+    end
+    else if backlog + size > t.params.buffer_bytes then begin
+      t.tail_dropped <- t.tail_dropped + 1;
+      Dropped_tail
     end
     else begin
-      let noise =
-        if t.params.jitter > 0.0 then
-          Float.max 0.0 (Rng.gaussian t.rng *. t.params.jitter)
-        else 0.0
-      in
-      let arrival = t.busy_until +. t.params.delay +. noise in
-      ignore (Eventq.schedule t.clock ~at:arrival arrive);
-      Delivered arrival
+      let start = if t.busy_until > now then t.busy_until else now in
+      let tx_time = float_of_int size /. t.params.bandwidth in
+      t.busy_until <- start +. tx_time;
+      queue_push t ~until:t.busy_until ~size;
+      if draw_loss t then begin
+        t.lost <- t.lost + 1;
+        Lost_random
+      end
+      else begin
+        (* Zero-mean gaussian jitter on the propagation delay. The
+           clamp applies to the {e total} propagation offset, never the
+           noise alone: a draw deep in the negative tail cannot deliver
+           before serialization completes ([busy_until] is the floor),
+           and as long as [jitter] is small against [delay] the clamp
+           almost never fires, so the documented zero mean is
+           preserved (clipping the noise at zero instead turned the
+           distribution into a half-gaussian and silently inflated the
+           mean one-way delay by jitter/sqrt(2*pi)). *)
+        let prop =
+          if t.params.jitter > 0.0 then
+            Float.max 0.0
+              (t.params.delay +. (Rng.gaussian t.rng *. t.params.jitter))
+          else t.params.delay
+        in
+        let arrival = t.busy_until +. prop in
+        ignore (Eventq.schedule t.clock ~at:arrival arrive);
+        Delivered arrival
+      end
     end
   end
 

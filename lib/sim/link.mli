@@ -1,20 +1,41 @@
 (** Unidirectional path model: serialization at a (possibly changing)
     bottleneck rate, propagation delay, optional jitter, random loss
-    (Bernoulli or bursty Gilbert–Elliott), a drop-tail buffer and an
-    up/down state for scripted outages — the stand-in for the paper's
-    Mininet links and in-the-wild WiFi/LTE paths. A link may be shared by
-    several subflows (shared-bottleneck experiments). *)
+    (Bernoulli or bursty Gilbert–Elliott), a bottleneck buffer governed
+    by a queue discipline (drop-tail, or RED-style AQM) and an up/down
+    state for scripted outages — the stand-in for the paper's Mininet
+    links and in-the-wild WiFi/LTE paths. A link may be shared by
+    several subflows, connections and background flows ({!Topology});
+    competition is serialized on the one [busy_until]/backlog ring. *)
+
+type red = {
+  red_min : int;  (** min threshold on the averaged backlog, bytes *)
+  red_max : int;  (** max threshold, bytes *)
+  red_pmax : float;  (** drop probability at [red_max] *)
+  red_weight : float;  (** EWMA weight of the instantaneous backlog *)
+}
+(** RED (random early detection) AQM configuration: arrivals are dropped
+    probabilistically once the EWMA of the backlog exceeds [red_min],
+    ramping linearly to [red_pmax] at [red_max] with a forced drop
+    above — classic Floyd/Jacobson mechanics including the
+    count-since-last-drop uniformization. *)
+
+type qdisc = Drop_tail | Red of red
+
+val default_red : red
+(** 32 kB / 128 kB thresholds, 10% max drop probability, 0.05 EWMA
+    weight. *)
 
 type params = {
   bandwidth : float;  (** bytes per second at the bottleneck *)
   delay : float;  (** one-way propagation delay, seconds *)
   loss : float;  (** packet loss probability in [0, 1] *)
   jitter : float;  (** std-dev of gaussian delay noise, seconds *)
-  buffer_bytes : int;  (** drop-tail bottleneck buffer size *)
+  buffer_bytes : int;  (** bottleneck buffer size (hard drop-tail cap) *)
+  qdisc : qdisc;  (** queueing discipline at the bottleneck buffer *)
 }
 
 val default_params : params
-(** 10 Mbit/s, 10 ms, lossless, 256 kB buffer. *)
+(** 10 Mbit/s, 10 ms, lossless, 256 kB buffer, drop-tail. *)
 
 type gilbert = {
   p_enter : float;  (** good -> bad transition probability per packet *)
@@ -38,24 +59,42 @@ type t = {
   mutable q_head : int;
   mutable q_len : int;
   mutable q_bytes : int;
+  (* RED EWMA state *)
+  mutable red_avg : float;
+  mutable red_count : int;
+  (* occupancy time integral (exact) and peak, for per-link reports *)
+  mutable occ_integral : float;
+  mutable occ_last : float;
+  mutable peak_backlog : int;
   mutable delivered : int;
   mutable lost : int;
   mutable tail_dropped : int;
+  mutable red_dropped : int;
   mutable lost_down : int;
 }
 
 val create : ?params:params -> clock:Eventq.t -> rng:Rng.t -> unit -> t
+(** @raise Invalid_argument on a non-positive or non-finite bandwidth,
+    or inconsistent RED thresholds/probabilities. *)
 
 val set_bandwidth : t -> float -> unit
 (** Change the bottleneck rate at runtime (bandwidth fluctuation).
     Packets already accepted keep the arrival times and byte accounting
-    they were admitted with; only later transmissions see the new rate. *)
+    they were admitted with; only later transmissions see the new rate.
+    @raise Invalid_argument when the rate is zero, negative or not
+    finite — a non-positive rate would push [busy_until] to infinity
+    and wedge the simulation. *)
 
 val set_delay : t -> float -> unit
 
 val set_loss : t -> float -> unit
 (** Change the (good-state) loss probability; packets already in flight
     keep the loss decision made when they entered the bottleneck. *)
+
+val set_qdisc : t -> qdisc -> unit
+(** Switch the bottleneck queue discipline at runtime; RED averaging
+    restarts from the current instantaneous backlog.
+    @raise Invalid_argument on inconsistent RED parameters. *)
 
 val set_gilbert : t -> p_enter:float -> p_exit:float -> loss_bad:float -> unit
 (** Switch to a Gilbert–Elliott burst-loss process (starting in the good
@@ -90,14 +129,30 @@ val backlog_bytes : t -> int
     tracked per packet at admission time, immune to later
     {!set_bandwidth} calls. *)
 
-type outcome = Delivered of float | Lost_random | Dropped_tail | Lost_down
+val mean_backlog : t -> float
+(** Time-averaged bottleneck occupancy in bytes since the link was
+    created (exact integral of the piecewise-constant backlog). *)
+
+val peak_backlog : t -> int
+(** Highest instantaneous backlog seen so far, bytes. *)
+
+type outcome =
+  | Delivered of float
+  | Lost_random
+  | Dropped_tail
+  | Dropped_red  (** AQM early drop: rejected before occupying the buffer *)
+  | Lost_down
+
+val dropped : t -> int
+(** Total packets rejected at the bottleneck buffer (drop-tail overflow
+    + AQM early drops). *)
 
 val transmit : t -> size:int -> (unit -> unit) -> outcome
 (** Send [size] bytes; on success the callback fires at the arrival
     time. A randomly lost packet still consumes serialization time; a
-    tail-dropped one does not. On a down link the packet is destroyed
-    immediately ([Lost_down]); one still in the air when the link goes
-    down is destroyed at arrival. *)
+    dropped one (tail or RED) does not. On a down link the packet is
+    destroyed immediately ([Lost_down]); one still in the air when the
+    link goes down is destroyed at arrival. *)
 
 val arrival : t -> bool
 (** Record a data-packet arrival now: [true] (and counted delivered)

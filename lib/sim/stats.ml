@@ -83,6 +83,17 @@ let percentile p l =
 
 let median l = percentile 0.5 l
 
+(** Jain fairness index of a set of allocations:
+    (sum x)^2 / (n * sum x^2), in (0, 1] with 1 = perfectly fair.
+    0 for an empty or all-zero list. *)
+let jain = function
+  | [] -> 0.0
+  | l ->
+      let s = List.fold_left ( +. ) 0.0 l in
+      let sq = List.fold_left (fun a x -> a +. (x *. x)) 0.0 l in
+      if sq <= 0.0 then 0.0
+      else s *. s /. (float_of_int (List.length l) *. sq)
+
 let stddev l =
   let m = mean l in
   match l with

@@ -30,4 +30,8 @@ val percentile : float -> float list -> float
 
 val median : float list -> float
 
+val jain : float list -> float
+(** Jain fairness index, (sum x)^2 / (n * sum x^2): 1 = perfectly fair,
+    1/n = maximally unfair; 0 on an empty or all-zero list. *)
+
 val stddev : float list -> float

@@ -257,7 +257,8 @@ let view_into t (v : Subflow_view.t) =
   v.mss <- t.mss;
   v.receive_window_bytes <-
     (let w = t.rwnd_bytes () in
-     if w > 1 lsl 30 then 1 lsl 30 else w)
+     if w > 1 lsl 30 then 1 lsl 30 else w);
+  v.link_backlog_bytes <- Link.backlog_bytes t.data_link
 
 (** Build a fresh snapshot (cold paths: invariant checkers, tests). *)
 let view t : Subflow_view.t =
@@ -308,7 +309,7 @@ let rec transmit_entry t (entry : entry) =
       (* the segment occupies the bottleneck until serialized, even when
          it will be lost on the wire *)
       tsq_push t ~until:(Link.busy_until t.data_link) ~size:(entry.e_size + 60)
-  | Link.Dropped_tail | Link.Lost_down -> ());
+  | Link.Dropped_tail | Link.Dropped_red | Link.Lost_down -> ());
   if not (Eventq.timer_armed t.rto_timer) then arm_rto t
 
 (** Move packets from the send buffer onto the wire while the congestion

@@ -393,4 +393,92 @@ let sweep_suite =
       ] );
   ]
 
-let suite = spec_suite @ rng_suite @ sweep_suite
+let cc_topology_suite =
+  [
+    ( "exp cc/topology axes",
+      [
+        tc "cc and topology axes parse" (fun () ->
+            let s = spec_ok "cc lia olia ecoupled:0.25\ntopology dumbbell dumbbell-red\n" in
+            Alcotest.(check (list string))
+              "ccs" [ "lia"; "olia"; "ecoupled:0.25" ] s.Spec.ccs;
+            Alcotest.(check (list string))
+              "topologies" [ "dumbbell"; "dumbbell-red" ] s.Spec.topologies);
+        tc "invalid cc values are rejected at parse time" (fun () ->
+            Alcotest.(check bool) "unknown name" true
+              (contains ~sub:"congestion" (spec_err "cc bogus\n"));
+            Alcotest.(check bool) "epsilon range" true
+              (contains ~sub:"epsilon" (spec_err "cc ecoupled:2.0\n")));
+        tc "singleton cc/topology defaults preserve run ids" (fun () ->
+            let s = spec_ok "scheduler a b\nloss 0.0 0.1\nseed 1..3\n" in
+            let runs = Spec.runs s in
+            Alcotest.(check int) "count unchanged" 12 (List.length runs);
+            List.iteri
+              (fun i r ->
+                Alcotest.(check int) "run_id" i r.Spec.run_id;
+                Alcotest.(check string) "cc default" "lia" r.Spec.cc;
+                Alcotest.(check string) "topology default" "private"
+                  r.Spec.topology)
+              runs);
+        tc "expansion order: cc outside topology outside loss" (fun () ->
+            let s =
+              spec_ok
+                "cc lia reno\ntopology dumbbell dumbbell-red\nloss 0.0 \
+                 0.1\nseed 1..2\n"
+            in
+            let runs = Spec.runs s in
+            Alcotest.(check int) "count" 16 (List.length runs);
+            Alcotest.(check int) "run_count" 16 (Spec.run_count s);
+            let r = List.nth runs in
+            Alcotest.(check int) "seed innermost" 2 (r 1).Spec.seed;
+            Alcotest.(check (float 1e-9)) "then loss" 0.1 (r 2).Spec.loss;
+            Alcotest.(check string) "then topology" "dumbbell-red"
+              (r 4).Spec.topology;
+            Alcotest.(check string) "cc outermost" "reno" (r 8).Spec.cc);
+        tc "fairness scenario: serial and 4-domain runs produce equal reports"
+          (fun () ->
+            let spec =
+              {
+                Spec.default with
+                Spec.scenarios = [ "fairness" ];
+                ccs = [ "lia"; "reno" ];
+                topologies = [ "dumbbell" ];
+                seeds = [ 1; 2 ];
+                duration = 3.0;
+              }
+            in
+            let serial = execute_ok ~jobs:1 spec in
+            let parallel = execute_ok ~jobs:4 spec in
+            Alcotest.(check int) "4 runs" 4 (List.length serial.Sweep.runs);
+            Alcotest.(check bool)
+              "equal_report" true
+              (Sweep.equal_report serial parallel);
+            List.iter
+              (fun run ->
+                Alcotest.(check bool) "jain reported" true
+                  (List.mem_assoc "jain" run.Sweep.r_extra);
+                Alcotest.(check bool) "per-link drops reported" true
+                  (List.mem_assoc "link_bottleneck_drops" run.Sweep.r_extra))
+              serial.Sweep.runs;
+            (* the cc axis must actually change the outcome *)
+            let goodput cc =
+              List.filter
+                (fun run -> run.Sweep.r_params.Spec.cc = cc)
+                serial.Sweep.runs
+              |> List.fold_left (fun a run -> a +. run.Sweep.r_goodput_bps) 0.0
+            in
+            Alcotest.(check bool) "reno grabs more than lia" true
+              (goodput "reno" > goodput "lia"));
+        tc "fairness without a shared topology is rejected up front" (fun () ->
+            match
+              Sweep.execute ~jobs:1
+                { Spec.default with Spec.scenarios = [ "fairness" ] }
+            with
+            | Ok _ -> Alcotest.fail "expected an error"
+            | Error msg ->
+                Alcotest.(check bool)
+                  "names the topology axis" true
+                  (contains ~sub:"topology" msg));
+      ] );
+  ]
+
+let suite = spec_suite @ rng_suite @ sweep_suite @ cc_topology_suite

@@ -106,7 +106,8 @@ let test_gilbert_stationary_rate () =
     match Link.transmit link ~size:100 (fun () -> ()) with
     | Link.Lost_random -> incr lost
     | Link.Delivered _ -> ()
-    | Link.Dropped_tail | Link.Lost_down -> Alcotest.fail "unexpected outcome"
+    | Link.Dropped_tail | Link.Dropped_red | Link.Lost_down ->
+        Alcotest.fail "unexpected outcome"
   done;
   let pi_bad = p_enter /. (p_enter +. p_exit) in
   let expected = pi_bad *. loss_bad in
@@ -340,7 +341,13 @@ let test_parse_errors () =
   check_error "bool arg" "1.0 wifi backup maybe"
     "fault script line 1: backup: expected on|off, got \"maybe\"";
   check_error "bandwidth sign" "1.0 wifi bw -5"
-    "fault script line 1: bandwidth must be positive"
+    "fault script line 1: bandwidth must be positive and finite";
+  check_error "bandwidth zero" "1.0 wifi bw 0"
+    "fault script line 1: bandwidth must be positive and finite";
+  check_error "bandwidth nan" "1.0 wifi bw nan"
+    "fault script line 1: bandwidth must be positive and finite";
+  check_error "bandwidth inf" "1.0 wifi bw inf"
+    "fault script line 1: bandwidth must be positive and finite"
 
 let test_load_missing_file () =
   match Faults.load "/nonexistent/faults.script" with

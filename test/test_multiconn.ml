@@ -41,7 +41,7 @@ let compete ~cc ~n ~seconds =
       ()
   in
   let single =
-    Connection.create_on_links ~seed:2 ~cc:Connection.Uncoupled_reno ~clock
+    Connection.create_on_links ~seed:2 ~cc:Congestion.Reno ~clock
       ~links:[ (spec "tcp", bottleneck, ack ()) ]
       ()
   in
@@ -73,7 +73,7 @@ let suite =
             Alcotest.(check bool) "b complete" true
               (Meta_socket.all_delivered b.Connection.meta));
         tc "shared bottleneck splits capacity" (fun () ->
-            let m, s = compete ~cc:Connection.Uncoupled_reno ~n:1 ~seconds:20.0 in
+            let m, s = compete ~cc:Congestion.Reno ~n:1 ~seconds:20.0 in
             let total = float_of_int (m + s) in
             (* two Reno flows over a lossy 1.25 MB/s bottleneck: most of
                the capacity is used and neither flow starves *)
@@ -88,9 +88,9 @@ let suite =
               (share > 0.3 && share < 0.7));
         tc "lia is friendlier than uncoupled reno on a shared bottleneck"
           (fun () ->
-            let m_lia, s_lia = compete ~cc:Connection.Coupled_lia ~n:2 ~seconds:30.0 in
+            let m_lia, s_lia = compete ~cc:Congestion.Lia ~n:2 ~seconds:30.0 in
             let m_reno, s_reno =
-              compete ~cc:Connection.Uncoupled_reno ~n:2 ~seconds:30.0
+              compete ~cc:Congestion.Reno ~n:2 ~seconds:30.0
             in
             let share m s = float_of_int m /. float_of_int (m + s) in
             let lia = share m_lia s_lia and reno = share m_reno s_reno in
@@ -298,5 +298,104 @@ let unordered_suite =
             Connection.run ~until:120.0 conn;
             Alcotest.(check int) "no ooo bytes buffered" 0
               conn.Connection.meta.Meta_socket.rcv_ooo_bytes);
+      ] );
+  ]
+
+(* ---------- coupled-CC lifecycle regressions ---------- *)
+
+(* A two-subflow LIA connection for closure-capture audits: both
+   subflows share one bottleneck so the coupled aggregate is
+   observable through the increase the closure grants. *)
+let lia_pair () =
+  let clock = Eventq.create () in
+  let rng = Rng.create 9 in
+  let bottleneck = Link.create ~params:bottleneck_params ~clock ~rng () in
+  let ack () =
+    Link.create
+      ~params:{ bottleneck_params with Link.bandwidth = 1e9 }
+      ~clock ~rng:(Rng.split rng) ()
+  in
+  let conn =
+    Connection.create_on_links ~seed:4 ~cc:Congestion.Lia ~clock
+      ~links:[ (spec "a", bottleneck, ack ()); (spec "b", bottleneck, ack ()) ]
+      ()
+  in
+  ignore (Eventq.run ~until:1.0 clock);
+  (clock, conn)
+
+(* Force congestion avoidance and measure what one ack's worth of
+   increase does to [s]'s window under the installed policy. *)
+let increase_under sbf =
+  sbf.Tcp_subflow.ssthresh <- 1.0;
+  let before = sbf.Tcp_subflow.cwnd in
+  sbf.Tcp_subflow.cc_on_ack sbf 1;
+  let inc = sbf.Tcp_subflow.cwnd -. before in
+  sbf.Tcp_subflow.cwnd <- before;
+  inc
+
+let cc_suite =
+  [
+    ( "coupled-cc lifecycle",
+      [
+        tc "reestablish keeps the coupled cc_on_ack" (fun () ->
+            let clock, conn = lia_pair () in
+            let a = Connection.subflow conn 0 in
+            Alcotest.(check bool) "established" true a.Tcp_subflow.established;
+            let coupled = a.Tcp_subflow.cc_on_ack in
+            Alcotest.(check bool) "lia closure installed" true
+              (coupled != Tcp_subflow.reno_on_ack);
+            Tcp_subflow.fail a;
+            Tcp_subflow.reestablish ~at:(Eventq.now clock) a;
+            ignore (Eventq.run ~until:(Eventq.now clock +. 2.0) clock);
+            Alcotest.(check bool) "re-established" true
+              a.Tcp_subflow.established;
+            Alcotest.(check bool) "same closure survives" true
+              (a.Tcp_subflow.cc_on_ack == coupled));
+        tc "a failed subflow leaves the LIA aggregate" (fun () ->
+            let _clock, conn = lia_pair () in
+            let a = Connection.subflow conn 0
+            and b = Connection.subflow conn 1 in
+            a.Tcp_subflow.cwnd <- 10.0;
+            b.Tcp_subflow.cwnd <- 1000.0;
+            b.Tcp_subflow.ssthresh <- 1.0;
+            let with_b = increase_under a in
+            Tcp_subflow.fail b;
+            let without_b = increase_under a in
+            (* a 1000-segment sibling drags alpha/total down; once the
+               sibling is down it must stop suppressing a's growth *)
+            Alcotest.(check bool)
+              (Fmt.str "increase %.5f (down sibling) > %.5f (up sibling)"
+                 without_b with_b)
+              true
+              (without_b > with_b *. 2.0));
+        tc "add_path pulls the newcomer into the coupled aggregate"
+          (fun () ->
+            let clock, conn = lia_pair () in
+            let a = Connection.subflow conn 0 in
+            let before_add = a.Tcp_subflow.cc_on_ack in
+            let managed =
+              Connection.add_path conn ~at:(Eventq.now clock) (spec "late")
+            in
+            ignore (Eventq.run ~until:(Eventq.now clock +. 2.0) clock);
+            let c = managed.Path_manager.subflow in
+            Alcotest.(check bool) "late subflow established" true
+              c.Tcp_subflow.established;
+            (* install runs again over the grown list: every member gets
+               a closure over all three subflows *)
+            Alcotest.(check bool) "existing subflow reinstalled" true
+              (a.Tcp_subflow.cc_on_ack != before_add);
+            Alcotest.(check bool) "newcomer coupled, not reno" true
+              (c.Tcp_subflow.cc_on_ack != Tcp_subflow.reno_on_ack);
+            a.Tcp_subflow.cwnd <- 10.0;
+            c.Tcp_subflow.cwnd <- 1000.0;
+            c.Tcp_subflow.ssthresh <- 1.0;
+            let with_c = increase_under a in
+            Tcp_subflow.fail c;
+            let without_c = increase_under a in
+            Alcotest.(check bool)
+              (Fmt.str "newcomer weighs on the aggregate (%.5f < %.5f)"
+                 with_c without_c)
+              true
+              (with_c < without_c));
       ] );
   ]

@@ -144,6 +144,8 @@ let sample_at time =
     bytes_acked = 1000;
     goodput_bps = 8e5;
     delivered_bytes = 1000;
+    link_backlog = 0;
+    link_drops = 0;
   }
 
 let test_ring_overwrite () =

@@ -136,7 +136,9 @@ let suite =
             for _ = 1 to 2000 do
               match Link.transmit link ~size:100 (fun () -> ()) with
               | Link.Delivered _ -> incr delivered
-              | Link.Lost_random | Link.Dropped_tail | Link.Lost_down -> ()
+              | Link.Lost_random | Link.Dropped_tail | Link.Dropped_red
+              | Link.Lost_down ->
+                  ()
             done;
             let rate = float_of_int !delivered /. 2000.0 in
             Alcotest.(check bool) "~70% delivered" true

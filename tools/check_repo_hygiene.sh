@@ -59,4 +59,16 @@ for f in $(git -C "$dir" ls-files -- 'BENCH_*.json'); do
   fi
 done
 
+# Every library module must publish an interface: a tracked lib/**/*.ml
+# without its .mli leaks implementation details into dependents and
+# breaks the documentation convention the rest of the tree follows.
+# (Executables, tests, examples and benchmarks are exempt.)
+for f in $(git -C "$dir" ls-files -- 'lib/*.ml' 'lib/**/*.ml'); do
+  mli="${f%.ml}.mli"
+  if ! git -C "$dir" ls-files --error-unmatch "$mli" >/dev/null 2>&1; then
+    echo "error: $f is tracked without $mli; library modules need interfaces" >&2
+    status=1
+  fi
+done
+
 exit "$status"
