@@ -78,6 +78,15 @@ let interval_arg =
     & info [ "metrics-interval" ] ~docv:"SECONDS"
         ~doc:"Sampling interval for the aggregate gauges.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Shard the fleet across $(docv) OCaml domains (share-nothing: one \
+           event loop per shard, groups split round-robin, merged totals). \
+           Requires $(b,--groups) >= $(docv).")
+
 let cc_arg =
   Arg.(
     value
@@ -90,9 +99,12 @@ let cc_arg =
 let fail fmt = Fmt.kstr (fun msg -> Fmt.epr "fleet: %s@." msg; exit 2) fmt
 
 let run scheduler engine seed loss duration groups rate size ramp metrics
-    interval cc =
+    interval shards cc =
   if groups < 1 then fail "--groups must be >= 1";
   if rate <= 0.0 then fail "--rate must be > 0";
+  if shards < 1 then fail "--shards must be >= 1";
+  if shards > groups then
+    fail "--shards %d needs at least that many --groups (%d)" shards groups;
   let cc =
     match Congestion.of_string cc with Ok c -> c | Error m -> fail "%s" m
   in
@@ -121,25 +133,30 @@ let run scheduler engine seed loss duration groups rate size ramp metrics
     | Ok r -> r
     | Error m -> fail "%s" m
   in
-  let fleet =
-    Fleet.create ~seed ~cc
+  let results =
+    Fleet_run.run ~interval
       ~scheduler:(sched, engine)
-      ~groups
-      ~paths:(Sweep.fleet_group_paths ~loss)
-      ()
+      ~cc ~seed ~loss ~duration ~groups ~shards
+      ~rate:(fun t -> Traffic.rate_at ~ramp ~base:rate t)
+      ~dist ()
   in
-  let fm = Mptcp_obs.Fleet_metrics.attach ~interval ~until:duration fleet in
-  let size_rng = Rng.stream ~seed (-1_000_001) in
-  let arrival_rng = Rng.stream ~seed (-1_000_002) in
-  Traffic.drive ~clock:(Fleet.clock fleet) ~rng:arrival_rng
-    ~rate:(fun t -> Traffic.rate_at ~ramp ~base:rate t)
-    ~until:duration
-    (fun () -> Fleet.arrive fleet ~size:(Traffic.draw_size dist size_rng));
-  ignore (Fleet.run ~until:duration fleet);
-  let tot = Fleet.totals fleet in
-  let sim = Eventq.now (Fleet.clock fleet) in
+  let tot = Fleet_run.merged_totals results in
+  let sim = Eventq.now (Fleet.clock results.(0).Fleet_run.sr_fleet) in
   Fmt.pr "simulated time     : %.3f s@." sim;
-  Fmt.pr "%a" Mptcp_obs.Fleet_metrics.pp_summary fm;
+  if shards = 1 then Fmt.pr "%a" Mptcp_obs.Fleet_metrics.pp_summary
+      results.(0).Fleet_run.sr_metrics
+  else begin
+    Fmt.pr "arrivals           : %d (completed %d, live %d, peak <= %d)@."
+      tot.Fleet.t_arrivals tot.Fleet.t_completed tot.Fleet.t_live
+      tot.Fleet.t_peak_live;
+    Fmt.pr "slots              : %d over %d shards (recycled %d arrivals)@."
+      (Fleet_run.slot_count results)
+      shards
+      (tot.Fleet.t_arrivals - Fleet_run.slot_count results);
+    if tot.Fleet.t_completed > 0 then
+      Fmt.pr "fct                : mean %.1f ms@."
+        (tot.Fleet.t_fct_sum /. float_of_int tot.Fleet.t_completed *. 1e3)
+  end;
   Fmt.pr "offered load       : %g flows/s, mean size %.0f B@." rate
     (Traffic.mean_size dist);
   Fmt.pr "delivered          : %d bytes (%d wire bytes)@."
@@ -150,7 +167,14 @@ let run scheduler engine seed loss duration groups rate size ramp metrics
   | None -> ()
   | Some file ->
       let oc = if file = "-" then stdout else open_out file in
-      Mptcp_obs.Fleet_metrics.to_csv oc fm;
+      if shards = 1 then
+        Mptcp_obs.Fleet_metrics.to_csv oc results.(0).Fleet_run.sr_metrics
+      else begin
+        output_string oc (Mptcp_obs.Fleet_metrics.csv_header ^ "\n");
+        List.iter
+          (Mptcp_obs.Fleet_metrics.write_row oc)
+          (Fleet_run.merged_samples results)
+      end;
       if file = "-" then flush oc else close_out oc
 
 let cmd =
@@ -162,4 +186,4 @@ let cmd =
     Term.(
       const run $ scheduler_arg $ engine_arg $ seed_arg $ loss_arg
       $ duration_arg $ groups_arg $ rate_arg $ size_arg $ ramp_arg
-      $ metrics_arg $ interval_arg $ cc_arg)
+      $ metrics_arg $ interval_arg $ shards_arg $ cc_arg)

@@ -303,6 +303,26 @@ let fleet_group_paths ~loss =
     Path_manager.symmetric ~name:"far" { base with Link.delay = 0.03 };
   ]
 
+(* Thin-access variant for the million-connection rung: same two-path
+   shape at 1/100 the bandwidth with shallow buffers (an edge box
+   serving many mostly-idle subscribers). The shallow queue keeps the
+   per-group standing queue — and thus spurious-RTO churn from
+   bufferbloat — bounded, so event cost per connection stays flat as
+   the group count climbs into the thousands. *)
+let fleet_thin_paths ~loss =
+  let base =
+    {
+      Link.default_params with
+      Link.bandwidth = 12_500.0;
+      loss;
+      buffer_bytes = 16 * 1024;
+    }
+  in
+  [
+    Path_manager.symmetric ~name:"near" { base with Link.delay = 0.01 };
+    Path_manager.symmetric ~name:"far" { base with Link.delay = 0.03 };
+  ]
+
 let run_one ctx (p : Spec.run_params) =
   let duration = ctx.duration in
   let script = Hashtbl.find ctx.fault_scripts p.Spec.fault.Spec.fault_label in

@@ -57,6 +57,14 @@ val fleet_group_paths :
     CLI subcommand so both faces of the scenario simulate the same
     world. *)
 
+val fleet_thin_paths :
+  loss:float -> Mptcp_sim.Path_manager.path_spec list
+(** Thin-access variant for the million-connection hosting rung: the
+    same two-path shape at 1/100 the bandwidth with shallow buffers, so
+    a group models an edge box serving many mostly-idle subscribers —
+    per-connection event and memory cost stay representative while one
+    process can carry ~1M concurrent flows. *)
+
 val equal_report : report -> report -> bool
 (** Structural equality modulo the job count — the determinism contract
     between serial and parallel executions of one campaign. *)

@@ -18,6 +18,12 @@ type sample = {
   s_decisions_per_sec : float;
       (** decisions over the last interval, per simulated second *)
   s_delivered_bytes : int;  (** cumulative *)
+  (* GC gauges ({!Gc.quick_stat}): allocation drift is visible in the
+     time series, not just the bench summary *)
+  s_minor_words : float;  (** cumulative minor allocations, words *)
+  s_major_words : float;  (** cumulative major allocations, words *)
+  s_compactions : int;
+  s_heap_words : int;  (** major heap size now *)
 }
 
 (* Quarter-octave log buckets: bucket [i] covers FCTs around
@@ -79,6 +85,7 @@ let sample_now t =
   let tot = Mptcp_sim.Fleet.totals f in
   let dt = now -. t.last_time in
   let d_exec = tot.Mptcp_sim.Fleet.t_executions - t.last_executions in
+  let gc = Gc.quick_stat () in
   let s =
     {
       s_time = now;
@@ -91,6 +98,10 @@ let sample_now t =
       s_decisions_per_sec =
         (if dt > 0.0 then float_of_int d_exec /. dt else 0.0);
       s_delivered_bytes = tot.Mptcp_sim.Fleet.t_delivered_bytes;
+      s_minor_words = gc.Gc.minor_words;
+      s_major_words = gc.Gc.major_words;
+      s_compactions = gc.Gc.compactions;
+      s_heap_words = gc.Gc.heap_words;
     }
   in
   t.last_time <- now;
@@ -137,12 +148,14 @@ let attach ?(interval = 1.0) ?(on_retire = fun ~fct:_ ~size:_ ~delivered:_ -> ()
 
 let csv_header =
   "time_s,live,peak_live,arrivals,completed,heap_nodes,executions,\
-   decisions_per_sec,delivered_bytes"
+   decisions_per_sec,delivered_bytes,minor_words,major_words,compactions,\
+   heap_words"
 
 let write_row oc s =
-  Printf.fprintf oc "%.3f,%d,%d,%d,%d,%d,%d,%.1f,%d\n" s.s_time s.s_live
-    s.s_peak_live s.s_arrivals s.s_completed s.s_heap_nodes s.s_executions
-    s.s_decisions_per_sec s.s_delivered_bytes
+  Printf.fprintf oc "%.3f,%d,%d,%d,%d,%d,%d,%.1f,%d,%.0f,%.0f,%d,%d\n" s.s_time
+    s.s_live s.s_peak_live s.s_arrivals s.s_completed s.s_heap_nodes
+    s.s_executions s.s_decisions_per_sec s.s_delivered_bytes s.s_minor_words
+    s.s_major_words s.s_compactions s.s_heap_words
 
 let to_csv oc t =
   output_string oc (csv_header ^ "\n");

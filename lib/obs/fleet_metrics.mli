@@ -16,6 +16,12 @@ type sample = {
   s_decisions_per_sec : float;
       (** decisions over the last interval, per simulated second *)
   s_delivered_bytes : int;  (** cumulative *)
+  (* GC gauges ({!Gc.quick_stat}): allocation drift is visible in the
+     time series, not just the bench summary *)
+  s_minor_words : float;  (** cumulative minor allocations, words *)
+  s_major_words : float;  (** cumulative major allocations, words *)
+  s_compactions : int;
+  s_heap_words : int;  (** major heap size now *)
 }
 
 type t

@@ -127,7 +127,7 @@ let sample_subflow ~time ~interval ~prev_acked ~delivered (m : Path_manager.mana
     srtt_ms = s.Tcp_subflow.srtt *. 1e3;
     rto_ms = s.Tcp_subflow.rto *. 1e3;
     in_flight = Tcp_subflow.in_flight_count s;
-    queued = Queue.length s.Tcp_subflow.send_buffer;
+    queued = Tcp_subflow.queued_count s;
     q = Progmp_runtime.Pqueue.length env.Progmp_runtime.Env.q;
     qu = Progmp_runtime.Pqueue.length env.Progmp_runtime.Env.qu;
     rq = Progmp_runtime.Pqueue.length env.Progmp_runtime.Env.rq;

@@ -37,8 +37,8 @@ type t = {
      subflow with that id when [sbf_gen.(id)] matches [generation];
      stale entries are invalidated by bumping [generation] instead of
      clearing the arrays. *)
-  sbf_slot : int array;
-  sbf_gen : int array;
+  mutable sbf_slot : int array;
+  mutable sbf_gen : int array;
   mutable generation : int;
   (* register-access masks for the current execution, maintained
      unconditionally (two [lor]s per access, no allocation): bit [i] set
@@ -60,9 +60,11 @@ let create () =
     popped_src = [||];
     popped_pkt = [||];
     num_popped = 0;
-    handled = Hashtbl.create 64;
-    sbf_slot = Array.make max_indexed_sbf 0;
-    sbf_gen = Array.make max_indexed_sbf (-1);
+    handled = Hashtbl.create 4;
+    (* start tiny and grow on demand: a fleet of a million two-subflow
+       connections should not pay 64-entry index arrays each *)
+    sbf_slot = Array.make 4 0;
+    sbf_gen = Array.make 4 (-1);
     generation = 0;
     reg_reads = 0;
     reg_writes = 0;
@@ -75,7 +77,9 @@ let queue t : Progmp_lang.Ast.queue_id -> Pqueue.t = function
 
 let subflow_by_id t id =
   if id >= 0 && id < max_indexed_sbf then
-    if t.sbf_gen.(id) = t.generation then Some t.subflows.(t.sbf_slot.(id))
+    (* an id beyond the index arrays was never indexed, hence absent *)
+    if id < Array.length t.sbf_gen && t.sbf_gen.(id) = t.generation then
+      Some t.subflows.(t.sbf_slot.(id))
     else None
   else begin
     (* out-of-range ids: linear fallback *)
@@ -147,6 +151,17 @@ let begin_execution t ~subflows =
   for i = Array.length subflows - 1 downto 0 do
     let id = subflows.(i).Subflow_view.id in
     if id >= 0 && id < max_indexed_sbf then begin
+      if id >= Array.length t.sbf_gen then begin
+        let cap = ref (Array.length t.sbf_gen) in
+        while id >= !cap do
+          cap := 2 * !cap
+        done;
+        let slot' = Array.make !cap 0 and gen' = Array.make !cap (-1) in
+        Array.blit t.sbf_slot 0 slot' 0 (Array.length t.sbf_slot);
+        Array.blit t.sbf_gen 0 gen' 0 (Array.length t.sbf_gen);
+        t.sbf_slot <- slot';
+        t.sbf_gen <- gen'
+      end;
       t.sbf_slot.(id) <- i;
       t.sbf_gen.(id) <- t.generation
     end

@@ -25,8 +25,8 @@ type t = {
   mutable num_popped : int;
   handled : (int, unit) Hashtbl.t;
       (** scratch set of handled packet ids, reused per execution *)
-  sbf_slot : int array;  (** subflow id -> snapshot position *)
-  sbf_gen : int array;  (** generation stamp validating [sbf_slot] *)
+  mutable sbf_slot : int array;  (** subflow id -> snapshot position *)
+  mutable sbf_gen : int array;  (** generation stamp validating [sbf_slot] *)
   mutable generation : int;
   mutable reg_reads : int;
       (** bitmask of registers read during the current execution (bit

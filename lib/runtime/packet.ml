@@ -8,9 +8,12 @@
     guarantee during a single execution. *)
 
 type t = {
-  id : int;  (** stable handle, > 0 (0 is the NULL handle in compiled code) *)
-  seq : int;  (** data sequence number (segment index within the stream) *)
-  size : int;  (** payload bytes *)
+  mutable id : int;
+      (** stable handle, > 0 (0 is the NULL handle in compiled code);
+          mutable only so {!Pool.alloc} can re-mint it on recycling —
+          between allocation and release it never changes *)
+  mutable seq : int;  (** data sequence number (segment index within the stream) *)
+  mutable size : int;  (** payload bytes *)
   user_props : int array;  (** PROP1..PROP4, set via the extended API *)
   mutable sent_on_mask : int;  (** bit [i] set: pushed on subflow id [i] *)
   mutable sent_count : int;  (** number of pushes (redundant copies) *)
@@ -23,6 +26,11 @@ type t = {
   mutable reg_handle : int;
       (** engine scratch: the handle minted for [reg_stamp]'s
           execution *)
+  mutable pooled : bool;  (** sitting in a {!Pool} freelist right now *)
+  mutable pool_gen : int;
+      (** how many times this packet went through a pool: bumped at
+          {!Pool.release}, the generation stamp the arena-recycling
+          property tests check *)
 }
 
 (* Atomic so concurrent simulations (one per domain in a parallel
@@ -47,7 +55,98 @@ let create ?(props = [||]) ~seq ~size ~now () =
     acked = false;
     reg_stamp = 0;
     reg_handle = 0;
+    pooled = false;
+    pool_gen = 0;
   }
+
+(** The NULL packet (id 0): padding for packet-typed arena slots. Never
+    enqueued, never scheduled, never mutated. *)
+let dummy =
+  {
+    id = 0;
+    seq = -1;
+    size = 0;
+    user_props = [||];
+    sent_on_mask = 0;
+    sent_count = 0;
+    enqueue_time = 0.0;
+    acked = false;
+    reg_stamp = 0;
+    reg_handle = 0;
+    pooled = false;
+    pool_gen = 0;
+  }
+
+(** A packet arena: recycles packet records through an explicit
+    freelist so a fleet hosting millions of transient connections
+    allocates packet structures in proportion to peak in-flight data,
+    not total arrivals. Ownership discipline (see ARCHITECTURE.md,
+    "memory discipline at fleet scale"): a packet is released exactly
+    when its owning connection retires and every release is
+    flag-deduplicated ([pooled]), because one packet may sit in several
+    queues at once. [pool_gen] counts recyclings; the fleet property
+    tests use it to prove a recycled slot holds no reference to a
+    prior-generation packet. *)
+module Pool = struct
+  type packet = t
+
+  let fresh = create
+
+  type t = {
+    mutable free : packet list;
+    mutable created : int;  (** records ever allocated by this pool *)
+    mutable outstanding : int;  (** live (allocated, not yet released) *)
+    mutable releases : int;  (** total releases = total recyclings *)
+  }
+
+  let create () = { free = []; created = 0; outstanding = 0; releases = 0 }
+
+  let created t = t.created
+  let outstanding t = t.outstanding
+  let releases t = t.releases
+  let free_count t = List.length t.free
+
+  (** Like {!val-create} but drawing from the freelist when possible.
+      Recycled packets are re-minted with a fresh process-unique id, so
+      a stale holder from a prior generation can never alias the new
+      incarnation by id. *)
+  let alloc t ?(props = [||]) ~seq ~size ~now () =
+    match t.free with
+    | [] ->
+        t.created <- t.created + 1;
+        t.outstanding <- t.outstanding + 1;
+        fresh ~props ~seq ~size ~now ()
+    | p :: rest ->
+        t.free <- rest;
+        t.outstanding <- t.outstanding + 1;
+        p.pooled <- false;
+        p.id <- Atomic.fetch_and_add next_id 1 + 1;
+        p.seq <- seq;
+        p.size <- size;
+        Array.fill p.user_props 0 (Array.length p.user_props) 0;
+        Array.iteri
+          (fun i v -> if i < Array.length p.user_props then p.user_props.(i) <- v)
+          props;
+        p.sent_on_mask <- 0;
+        p.sent_count <- 0;
+        p.enqueue_time <- now;
+        p.acked <- false;
+        p.reg_stamp <- 0;
+        p.reg_handle <- 0;
+        p
+
+  (** Return [p] to the freelist. Idempotent per incarnation: a packet
+      referenced from several queues is released once ([pooled] flag);
+      the NULL packet is ignored. *)
+  let release t p =
+    if (not p.pooled) && p != dummy then begin
+      p.pooled <- true;
+      p.pool_gen <- p.pool_gen + 1;
+      t.outstanding <- t.outstanding - 1;
+      t.releases <- t.releases + 1;
+      t.free <- p :: t.free
+    end
+end
 
 let sent_on t ~sbf_id = t.sent_on_mask land (1 lsl sbf_id) <> 0
 

@@ -4,9 +4,11 @@
     executions, preserving the model's immutability guarantee. *)
 
 type t = {
-  id : int;  (** stable handle, > 0 (0 is the NULL handle) *)
-  seq : int;  (** data sequence number *)
-  size : int;  (** payload bytes *)
+  mutable id : int;
+      (** stable handle, > 0 (0 is the NULL handle); mutable only for
+          {!Pool.alloc}'s re-minting — constant while allocated *)
+  mutable seq : int;  (** data sequence number *)
+  mutable size : int;  (** payload bytes *)
   user_props : int array;  (** PROP1..PROP4, set via the extended API *)
   mutable sent_on_mask : int;  (** bit [i] set: pushed on subflow id [i] *)
   mutable sent_count : int;  (** number of pushes (redundant copies) *)
@@ -18,10 +20,52 @@ type t = {
           are process-unique, so stale stamps never alias) *)
   mutable reg_handle : int;
       (** engine scratch: handle minted for [reg_stamp]'s execution *)
+  mutable pooled : bool;  (** currently sitting in a {!Pool} freelist *)
+  mutable pool_gen : int;
+      (** recycle count: bumped at {!Pool.release} — the generation
+          stamp the arena property tests check *)
 }
 
 val create : ?props:int array -> seq:int -> size:int -> now:float -> unit -> t
 (** Fresh packet with a process-unique positive id. *)
+
+val dummy : t
+(** The NULL packet (id 0): padding for packet-typed arena slots. Never
+    enqueued, never mutated. *)
+
+(** Packet arena: an explicit freelist recycling packet records through
+    the fleet's slot-recycle lifecycle, bounding packet allocation by
+    peak in-flight data instead of total arrivals. Releases are
+    flag-deduplicated (a packet can sit in Q/QU/RQ, a send ring and an
+    in-flight table at once) and recycled packets are re-minted with a
+    fresh id so stale holders never alias the new incarnation. *)
+module Pool : sig
+  type packet = t
+  type t
+
+  val create : unit -> t
+
+  val alloc :
+    t -> ?props:int array -> seq:int -> size:int -> now:float -> unit -> packet
+  (** Freelist-backed {!val-create}: recycled records get a fresh
+      process-unique id and fully reset fields. *)
+
+  val release : t -> packet -> unit
+  (** Return a packet to the freelist; idempotent per incarnation, and
+      a no-op on {!dummy}. Bumps [pool_gen]. *)
+
+  val created : t -> int
+  (** Records ever allocated through this pool. *)
+
+  val outstanding : t -> int
+  (** Allocated and not yet released. *)
+
+  val releases : t -> int
+  (** Total releases (= recyclings). *)
+
+  val free_count : t -> int
+  (** Records currently in the freelist (O(n)). *)
+end
 
 val sent_on : t -> sbf_id:int -> bool
 

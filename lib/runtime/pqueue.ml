@@ -17,7 +17,7 @@ type t = {
   name : string;
 }
 
-let create ?(name = "queue") () = { buf = Array.make 16 None; head = 0; len = 0; name }
+let create ?(name = "queue") () = { buf = Array.make 4 None; head = 0; len = 0; name }
 
 let name t = t.name
 
@@ -25,7 +25,7 @@ let length t = t.len
 
 let is_empty t = t.len = 0
 
-(* Capacity is always a power of two (16 at creation, doubled by
+(* Capacity is always a power of two (4 at creation, doubled by
    [grow]), so the wrap-around is a mask, not a division — [phys_index]
    sits under every per-decision queue access. *)
 let phys_index t i = (t.head + i) land (Array.length t.buf - 1)

@@ -38,15 +38,16 @@ let create ?clock ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
     is [(spec, data_link, ack_link)]. *)
 let create_on_links ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
     ?(compressed = true) ?(min_rto = 0.2)
-    ?(delivery_mode = Tcp_subflow.Immediate) ?(cc = Congestion.Lia) ~clock ~links
-    () =
+    ?(delivery_mode = Tcp_subflow.Immediate) ?(cc = Congestion.Lia) ?entry_pool
+    ?packet_pool ~clock ~links () =
   let rng = Rng.create seed in
   let meta = Meta_socket.create ~mss ~rcv_buffer ~compressed ~clock () in
+  meta.Meta_socket.packet_pool <- packet_pool;
   let managed =
     List.mapi
       (fun i (spec, data_link, ack_link) ->
         Path_manager.attach_with_links ~clock ~meta ~min_rto ~delivery_mode
-          ~id:i ~data_link ~ack_link spec)
+          ?entry_pool ~id:i ~data_link ~ack_link spec)
       links
   in
   install_cc cc managed;
@@ -95,6 +96,10 @@ let add_path t ~at spec =
 
 (** Fail a path at a given time. *)
 let fail_path t m ~at = Path_manager.fail_subflow ~clock:t.clock m ~at
+
+(** Fleet slot-recycle pass: release every packet the connection still
+    references through [release_pkt] (see {!Meta_socket.scrap}). *)
+let scrap t ~release_pkt = Meta_socket.scrap t.meta ~release_pkt
 
 (** Total application bytes delivered in order at the receiver. *)
 let delivered_bytes t = t.meta.Meta_socket.delivered_bytes

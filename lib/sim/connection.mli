@@ -38,6 +38,8 @@ val create_on_links :
   ?min_rto:float ->
   ?delivery_mode:Tcp_subflow.delivery_mode ->
   ?cc:Congestion.policy ->
+  ?entry_pool:Tcp_subflow.entry_pool ->
+  ?packet_pool:Progmp_runtime.Packet.Pool.t ->
   clock:Eventq.t ->
   links:(Path_manager.path_spec * Link.t * Link.t) list ->
   unit ->
@@ -75,6 +77,10 @@ val add_path : t -> at:float -> Path_manager.path_spec -> Path_manager.managed
     increase sees the newcomer. *)
 
 val fail_path : t -> Path_manager.managed -> at:float -> unit
+
+val scrap : t -> release_pkt:(Progmp_runtime.Packet.t -> unit) -> unit
+(** Fleet slot-recycle pass: release every packet the connection still
+    references through [release_pkt] (see {!Meta_socket.scrap}). *)
 
 val delivered_bytes : t -> int
 

@@ -2,27 +2,63 @@
     process (one shared {!Eventq}), the simulator-side analogue of a
     kernel serving heavy multi-user traffic. Connections arrive, run
     one bounded transfer over their group's shared links, complete and
-    are retired into a free slot pool, so long open-loop campaigns reuse
-    slot state (notably the per-slot private scheduler instance) instead
-    of growing without bound.
+    are retired into a per-group free slot pool, so long open-loop
+    campaigns reuse slot state (notably the per-slot private scheduler
+    instance) instead of growing without bound.
+
+    Memory: every fleet owns a packet arena ({!Progmp_runtime.Packet.Pool})
+    and an in-flight entry pool ({!Tcp_subflow.entry_pool}); a retiring
+    connection's packets and entries are released back through
+    {!Connection.scrap}, bounding per-packet structures by peak
+    in-flight data rather than total arrivals.
 
     Determinism: a fleet is single-domain; every stochastic input is
     derived from the fleet seed via {!Rng.stream}/{!Rng.stream_seed}
     keyed by arrival index (connections) or a reserved negative index
     range (links), so a fleet run is a pure function of its
-    configuration and the arrival sequence. *)
+    configuration and the arrival sequence. Arrivals are placed on
+    groups by arrival index ([aid mod groups]), and each group recycles
+    its own slots, so group-local state (scheduler scratch, slot
+    recycle order) is a pure function of the group's own arrival
+    subsequence — which is what makes domain sharding by group
+    ({!create}'s [shard]) agree with an unsharded run on aggregate
+    totals. *)
 
 module R = Progmp_runtime
 
 (* ---------- link groups ---------- *)
 
 (* One shared-bottleneck environment: a data/ack link pair per declared
-   path, shared by every connection the group hosts. Link RNG streams
-   use negative stream indices so they can never collide with the
-   arrival-indexed connection streams. *)
+   path, shared by every connection the group hosts, plus the group's
+   private slot pool. Link RNG streams use negative stream indices so
+   they can never collide with the arrival-indexed connection streams;
+   they are keyed by the GLOBAL group id, so a shard hosting a subset
+   of the groups drives exactly the link streams the unsharded fleet
+   would. *)
 type group = {
-  group_id : int;
+  group_id : int;  (** global id (shards host a subset) *)
   links : (Path_manager.path_spec * Link.t * Link.t) list;
+  mutable g_free : slot list;
+      (** this group's retired slots; per-group pools keep slot-recycle
+          order (and so private-scheduler scratch reuse) a function of
+          the group's own arrivals, independent of sharding *)
+}
+
+(* ---------- slots ---------- *)
+
+(* A slot hosts at most one live connection at a time and survives
+   retirement: its private scheduler instance (engine scratch included)
+   is reused by every connection recycled through it, bounding
+   instantiation work by peak concurrency rather than total arrivals. *)
+and slot = {
+  slot_id : int;
+  group : group;
+  sched : R.Scheduler.t option;
+  mutable conn : Connection.t option;
+  mutable flow_size : int;
+  mutable arrived_at : float;
+  mutable retiring : bool;
+  mutable live_idx : int;  (** position in the live-slot array; -1 = not live *)
 }
 
 let make_group ~clock ~seed ~paths group_id =
@@ -43,23 +79,7 @@ let make_group ~clock ~seed ~paths group_id =
         (spec, data_link, ack_link))
       paths
   in
-  { group_id; links }
-
-(* ---------- slots ---------- *)
-
-(* A slot hosts at most one live connection at a time and survives
-   retirement: its private scheduler instance (engine scratch included)
-   is reused by every connection recycled through it, bounding
-   instantiation work by peak concurrency rather than total arrivals. *)
-type slot = {
-  slot_id : int;
-  group : group;
-  sched : R.Scheduler.t option;
-  mutable conn : Connection.t option;
-  mutable flow_size : int;
-  mutable arrived_at : float;
-  mutable retiring : bool;
-}
+  { group_id; links; g_free = [] }
 
 type totals = {
   t_arrivals : int;
@@ -80,8 +100,12 @@ type t = {
   rcv_buffer : int;
   cc : Congestion.policy;
   scheduler : (R.Scheduler.t * string) option;
-  groups : group array;
-  mutable free : slot list;
+  total_groups : int;  (** across all shards *)
+  shard_idx : int;
+  shard_count : int;
+  groups : group array;  (** the groups this shard owns, local index *)
+  packet_pool : R.Packet.Pool.t;
+  entry_pool : Tcp_subflow.entry_pool;
   mutable slot_count : int;
   mutable next_arrival : int;
   mutable members : Connection.t list;  (** adopted, newest first *)
@@ -96,14 +120,28 @@ type t = {
   mutable executions : int;
   mutable pushes : int;
   mutable fct_sum : float;
-  mutable live_slots : slot list;  (** slots currently holding a conn *)
+  (* live-slot array with per-slot back index: O(1) insert and remove.
+     (The list version removed by List.filter, an O(live) scan per
+     retire — the quadratic term that dominated the 100k rung.) *)
+  mutable live_arr : slot array;  (** first [live_len] entries are live *)
+  mutable live_len : int;
   mutable on_retire : fct:float -> size:int -> delivered:int -> unit;
 }
 
 let create ?clock ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
-    ?(cc = Congestion.Lia) ?scheduler ?(groups = 1) ~paths () =
+    ?(cc = Congestion.Lia) ?scheduler ?(groups = 1) ?(shard = (0, 1)) ~paths ()
+    =
   if groups < 1 then Fmt.invalid_arg "Fleet.create: groups %d < 1" groups;
+  let shard_idx, shard_count = shard in
+  if shard_count < 1 || shard_idx < 0 || shard_idx >= shard_count then
+    Fmt.invalid_arg "Fleet.create: shard (%d, %d) invalid" shard_idx
+      shard_count;
+  if shard_count > groups then
+    Fmt.invalid_arg "Fleet.create: %d shards need >= that many groups (%d)"
+      shard_count groups;
   let clock = match clock with Some c -> c | None -> Eventq.create () in
+  (* this shard owns the global groups { g | g mod shard_count = shard_idx } *)
+  let owned = (groups - shard_idx + shard_count - 1) / shard_count in
   {
     clock;
     seed;
@@ -111,8 +149,14 @@ let create ?clock ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
     rcv_buffer;
     cc;
     scheduler;
-    groups = Array.init groups (make_group ~clock ~seed ~paths);
-    free = [];
+    total_groups = groups;
+    shard_idx;
+    shard_count;
+    groups =
+      Array.init owned (fun i ->
+          make_group ~clock ~seed ~paths ((i * shard_count) + shard_idx));
+    packet_pool = R.Packet.Pool.create ();
+    entry_pool = Tcp_subflow.entry_pool ();
     slot_count = 0;
     next_arrival = 0;
     members = [];
@@ -125,20 +169,44 @@ let create ?clock ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
     executions = 0;
     pushes = 0;
     fct_sum = 0.0;
-    live_slots = [];
+    live_arr = [||];
+    live_len = 0;
     on_retire = (fun ~fct:_ ~size:_ ~delivered:_ -> ());
   }
 
 let clock t = t.clock
+let packet_pool t = t.packet_pool
+let entry_pool t = t.entry_pool
 
 let set_on_retire t f = t.on_retire <- f
 
-let new_slot t =
+let live_push t slot =
+  if t.live_len = Array.length t.live_arr then begin
+    let bigger = Array.make (max 16 (2 * t.live_len)) slot in
+    Array.blit t.live_arr 0 bigger 0 t.live_len;
+    t.live_arr <- bigger
+  end;
+  t.live_arr.(t.live_len) <- slot;
+  slot.live_idx <- t.live_len;
+  t.live_len <- t.live_len + 1
+
+let live_remove t slot =
+  let i = slot.live_idx in
+  let last = t.live_len - 1 in
+  let moved = t.live_arr.(last) in
+  t.live_arr.(i) <- moved;
+  moved.live_idx <- i;
+  (* the stale tail reference is harmless: the slot is retained by its
+     group's free pool anyway *)
+  t.live_len <- last;
+  slot.live_idx <- -1
+
+let new_slot t group =
   let slot_id = t.slot_count in
   t.slot_count <- slot_id + 1;
   {
     slot_id;
-    group = t.groups.(slot_id mod Array.length t.groups);
+    group;
     sched =
       (match t.scheduler with
       | None -> None
@@ -147,6 +215,7 @@ let new_slot t =
     flow_size = 0;
     arrived_at = 0.0;
     retiring = false;
+    live_idx = -1;
   }
 
 let harvest_conn t conn =
@@ -170,68 +239,77 @@ let retire t slot =
       t.fct_sum <- t.fct_sum +. fct;
       t.completed <- t.completed + 1;
       t.live <- t.live - 1;
-      (* Disarm the RTO timers so the retired connection holds no
-         pending heap nodes of its own; stray in-flight ack events on
-         the shared links fire harmlessly on the orphan and drain. *)
-      List.iter
-        (fun m ->
-          Eventq.timer_cancel m.Path_manager.subflow.Tcp_subflow.rto_timer)
-        conn.Connection.paths;
+      (* Release the connection's packets and in-flight entries back to
+         the fleet arenas; this also disarms the RTO timers, so the
+         retired connection holds no pending heap nodes of its own.
+         Stray in-flight segment/ack events on the shared links fire
+         harmlessly on orphaned entries and drain. *)
+      Connection.scrap conn
+        ~release_pkt:(fun p -> R.Packet.Pool.release t.packet_pool p);
       slot.conn <- None;
-      t.live_slots <- List.filter (fun s -> s != slot) t.live_slots;
-      t.free <- slot :: t.free;
+      live_remove t slot;
+      slot.group.g_free <- slot :: slot.group.g_free;
       t.on_retire ~fct ~size:slot.flow_size ~delivered
 
-(** One open-loop arrival: take a slot from the free pool (or grow the
-    fleet), build a fresh connection over the slot's shared group links
-    with an arrival-indexed independent seed, install the slot's private
-    scheduler instance, and write [size] bytes. The connection retires
-    itself — back into the free pool — once the receiver has delivered
-    the whole flow. *)
+(** One open-loop arrival: every shard of a fleet sees the same global
+    arrival sequence and hosts only the arrivals whose group
+    ([aid mod groups]) it owns — the caller (one traffic generator per
+    shard, identical streams) calls this for {e every} arrival.
+    Hosting an arrival takes a slot from the group's free pool (or
+    grows the fleet), builds a fresh connection over the group's shared
+    links with an arrival-indexed independent seed, installs the slot's
+    private scheduler instance, and writes [size] bytes. The connection
+    retires itself — back into its group's pool — once the receiver has
+    delivered the whole flow. *)
 let arrive t ~size =
   if size <= 0 then Fmt.invalid_arg "Fleet.arrive: size %d <= 0" size;
-  if t.groups.(0).links = [] then
+  if Array.length t.groups = 0 || t.groups.(0).links = [] then
     invalid_arg "Fleet.arrive: fleet created without paths (adopt-only)";
-  let slot =
-    match t.free with
-    | s :: rest ->
-        t.free <- rest;
-        s
-    | [] -> new_slot t
-  in
   let aid = t.next_arrival in
   t.next_arrival <- aid + 1;
-  let conn =
-    Connection.create_on_links
-      ~seed:(Rng.stream_seed ~seed:t.seed aid)
-      ~mss:t.mss ~rcv_buffer:t.rcv_buffer ~cc:t.cc ~clock:t.clock
-      ~links:slot.group.links ()
-  in
-  (match slot.sched with
-  | Some sched -> (Connection.sock conn).R.Api.scheduler <- sched
-  | None -> ());
-  slot.conn <- Some conn;
-  slot.flow_size <- size;
-  slot.arrived_at <- Eventq.now t.clock;
-  slot.retiring <- false;
-  t.arrivals <- t.arrivals + 1;
-  t.live <- t.live + 1;
-  if t.live > t.peak_live then t.peak_live <- t.live;
-  t.live_slots <- slot :: t.live_slots;
-  let meta = conn.Connection.meta in
-  meta.Meta_socket.on_deliver <-
-    (fun ~seq:_ ~size:_ ~time:_ ->
-      if
-        (not slot.retiring)
-        && meta.Meta_socket.delivered_bytes >= slot.flow_size
-      then begin
-        slot.retiring <- true;
-        (* retire from a fresh event, not from inside ack processing *)
-        ignore
-          (Eventq.schedule t.clock ~at:(Eventq.now t.clock) (fun () ->
-               retire t slot))
-      end);
-  ignore (Meta_socket.write meta size)
+  let g = aid mod t.total_groups in
+  if g mod t.shard_count = t.shard_idx then begin
+    let group = t.groups.(g / t.shard_count) in
+    let slot =
+      match group.g_free with
+      | s :: rest ->
+          group.g_free <- rest;
+          s
+      | [] -> new_slot t group
+    in
+    let conn =
+      Connection.create_on_links
+        ~seed:(Rng.stream_seed ~seed:t.seed aid)
+        ~mss:t.mss ~rcv_buffer:t.rcv_buffer ~cc:t.cc
+        ~entry_pool:t.entry_pool ~packet_pool:t.packet_pool ~clock:t.clock
+        ~links:group.links ()
+    in
+    (match slot.sched with
+    | Some sched -> (Connection.sock conn).R.Api.scheduler <- sched
+    | None -> ());
+    slot.conn <- Some conn;
+    slot.flow_size <- size;
+    slot.arrived_at <- Eventq.now t.clock;
+    slot.retiring <- false;
+    t.arrivals <- t.arrivals + 1;
+    t.live <- t.live + 1;
+    if t.live > t.peak_live then t.peak_live <- t.live;
+    live_push t slot;
+    let meta = conn.Connection.meta in
+    meta.Meta_socket.on_deliver <-
+      (fun ~seq:_ ~size:_ ~time:_ ->
+        if
+          (not slot.retiring)
+          && meta.Meta_socket.delivered_bytes >= slot.flow_size
+        then begin
+          slot.retiring <- true;
+          (* retire from a fresh event, not from inside ack processing *)
+          ignore
+            (Eventq.schedule t.clock ~at:(Eventq.now t.clock) (fun () ->
+                 retire t slot))
+        end);
+    ignore (Meta_socket.write meta size)
+  end
 
 (** Adopt an externally built connection (it must share the fleet's
     clock) as a permanent member: it is counted in the live gauge and
@@ -256,6 +334,23 @@ let slot_count t = t.slot_count
 let mean_fct t =
   if t.completed = 0 then 0.0 else t.fct_sum /. float_of_int t.completed
 
+(** Visit every packet currently referenced by a live (non-adopted)
+    connection — queues, subflow rings and receiver buffers; the
+    reachability side of the arena-recycling property tests. *)
+let iter_live_packets t f =
+  for i = 0 to t.live_len - 1 do
+    match t.live_arr.(i).conn with
+    | None -> ()
+    | Some conn ->
+        let e = Meta_socket.env conn.Connection.meta in
+        R.Pqueue.iter e.R.Env.q f;
+        R.Pqueue.iter e.R.Env.qu f;
+        R.Pqueue.iter e.R.Env.rq f;
+        List.iter
+          (fun m -> Tcp_subflow.iter_packets m.Path_manager.subflow f)
+          conn.Connection.paths
+  done
+
 (** Aggregate counters: harvested (retired) flows plus the current state
     of live connections and adopted members. *)
 let totals t =
@@ -274,7 +369,9 @@ let totals t =
         e + meta.Meta_socket.sched_executions,
         p + meta.Meta_socket.pushes )
   in
-  List.iter (fun s -> Option.iter add s.conn) t.live_slots;
+  for i = 0 to t.live_len - 1 do
+    Option.iter add t.live_arr.(i).conn
+  done;
   List.iter add t.members;
   let d, w, e, p = !acc in
   {
@@ -287,4 +384,20 @@ let totals t =
     t_executions = e;
     t_pushes = p;
     t_fct_sum = t.fct_sum;
+  }
+
+(** Sum totals across shards; [t_peak_live] adds per-shard peaks, an
+    upper bound on the true global peak (shards peak at their own
+    times). *)
+let merge_totals (a : totals) (b : totals) =
+  {
+    t_arrivals = a.t_arrivals + b.t_arrivals;
+    t_completed = a.t_completed + b.t_completed;
+    t_live = a.t_live + b.t_live;
+    t_peak_live = a.t_peak_live + b.t_peak_live;
+    t_delivered_bytes = a.t_delivered_bytes + b.t_delivered_bytes;
+    t_wire_bytes = a.t_wire_bytes + b.t_wire_bytes;
+    t_executions = a.t_executions + b.t_executions;
+    t_pushes = a.t_pushes + b.t_pushes;
+    t_fct_sum = a.t_fct_sum +. b.t_fct_sum;
   }

@@ -5,9 +5,13 @@
     slot pool; per-slot private scheduler instances
     ({!Progmp_runtime.Scheduler.instantiate_private}) are reused across
     recycles so instantiation work is bounded by peak concurrency, not
-    total arrivals. Single-domain and fully deterministic: all
-    randomness derives from the fleet seed via {!Rng.stream} /
-    {!Rng.stream_seed}. *)
+    total arrivals, and fleet-owned packet/entry arenas bound per-packet
+    structures by peak in-flight data. Single-domain and fully
+    deterministic: all randomness derives from the fleet seed via
+    {!Rng.stream} / {!Rng.stream_seed}; arrivals are placed on groups by
+    arrival index, so a fleet can be sharded by group across domains
+    (one fleet instance per domain, same arrival sequence) and agree
+    with the unsharded run on aggregate totals. *)
 
 type t
 
@@ -31,21 +35,30 @@ val create :
   ?cc:Congestion.policy ->
   ?scheduler:Progmp_runtime.Scheduler.t * string ->
   ?groups:int ->
+  ?shard:int * int ->
   paths:Path_manager.path_spec list ->
   unit ->
   t
 (** A fleet over [groups] independent link groups (default 1), each a
-    shared data/ack link pair per element of [paths]; slots are assigned
-    to groups round-robin. [scheduler] is [(template, engine)]: each
-    slot gets its own private instance; omitted, connections keep the
-    registry default. An empty [paths] makes an adopt-only fleet:
-    {!adopt} works, {!arrive} raises. *)
+    shared data/ack link pair per element of [paths]; arrivals are
+    assigned to groups round-robin by arrival index. [scheduler] is
+    [(template, engine)]: each slot gets its own private instance;
+    omitted, connections keep the registry default. [shard] is
+    [(index, count)] (default [(0, 1)]): this instance owns the groups
+    [g] with [g mod count = index] and silently skips arrivals it does
+    not own — run [count] instances (one per domain, own clocks,
+    identical traffic streams) and {!merge_totals} their results.
+    [count] must not exceed [groups]. An empty [paths] makes an
+    adopt-only fleet: {!adopt} works, {!arrive} raises. *)
 
 val arrive : t -> size:int -> unit
-(** One open-loop arrival now: recycle (or create) a slot, build a
-    connection over the slot's group links with an arrival-indexed
-    independent seed, and write [size] bytes. The connection retires
-    itself into the free pool once the flow is fully delivered. *)
+(** One open-loop arrival now: recycle (or create) a slot in the
+    arrival's group, build a connection over the group links with an
+    arrival-indexed independent seed, and write [size] bytes. The
+    connection retires itself into the group's free pool — releasing
+    its packets and entries to the fleet arenas — once the flow is
+    fully delivered. On a sharded fleet, arrivals for non-owned groups
+    only advance the arrival index. *)
 
 val adopt : t -> Connection.t -> unit
 (** Host an externally built connection (sharing the fleet's clock) as a
@@ -60,6 +73,16 @@ val run : ?until:float -> t -> int
 (** Run the shared event loop; returns executed events. *)
 
 val clock : t -> Eventq.t
+
+val packet_pool : t -> Progmp_runtime.Packet.Pool.t
+(** The fleet's packet arena (stats: created/outstanding/releases). *)
+
+val entry_pool : t -> Tcp_subflow.entry_pool
+(** The fleet's in-flight entry arena. *)
+
+val iter_live_packets : t -> (Progmp_runtime.Packet.t -> unit) -> unit
+(** Visit every packet referenced by a live open-loop connection —
+    the reachability side of the arena property tests. *)
 
 val set_on_retire : t -> (fct:float -> size:int -> delivered:int -> unit) -> unit
 (** Completion hook, fired once per retired flow — what the fleet
@@ -81,3 +104,8 @@ val mean_fct : t -> float
 val totals : t -> totals
 (** Aggregate counters: harvested retired flows plus the current state
     of live connections and adopted members. *)
+
+val merge_totals : totals -> totals -> totals
+(** Sum two shards' totals; [t_peak_live] adds per-shard peaks — an
+    upper bound on the true global peak (shards peak at their own
+    times). *)

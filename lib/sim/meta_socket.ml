@@ -54,6 +54,14 @@ type t = {
   mutable view_arena : Subflow_view.t array;
       (** reusable snapshot array for {!snapshot}; refilled per trigger,
           reallocated only when the established-subflow count changes *)
+  mutable packet_pool : Packet.Pool.t option;
+      (** when set (fleet-hosted connections), {!write} draws packet
+          records from this arena instead of allocating *)
+  mutable pool_pkts : Packet.t list;
+      (** every packet drawn from [packet_pool], newest first: delivered
+          segments leave the queues and rings long before the flow
+          retires, so {!scrap} releases from this registry (release is
+          deduplicated) to return the whole flow to the arena *)
 }
 
 let env t = t.sock.Api.env
@@ -72,11 +80,11 @@ let create ?(name = "conn") ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
     scheduling = false;
     ordering;
     rcv_expected = 0;
-    rcv_ooo = Hashtbl.create 256;
+    rcv_ooo = Hashtbl.create 4;
     rcv_ooo_bytes = 0;
     rcv_buffer_bytes = rcv_buffer;
     on_deliver = (fun ~seq:_ ~size:_ ~time:_ -> ());
-    delivery_time = Hashtbl.create 1024;
+    delivery_time = Hashtbl.create 4;
     delivered_bytes = 0;
     delivered_segments = 0;
     app_segments = 0;
@@ -85,6 +93,8 @@ let create ?(name = "conn") ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
     data_dropped = 0;
     sched_executions = 0;
     view_arena = [||];
+    packet_pool = None;
+    pool_pkts = [];
   }
 
 (* ---------- receiver ---------- *)
@@ -93,7 +103,13 @@ let rwnd_bytes t = max 0 (t.rcv_buffer_bytes - t.rcv_ooo_bytes)
 
 let deliver_in_order t seq size =
   let now = Eventq.now t.clock in
-  Hashtbl.replace t.delivery_time seq now;
+  (* Fleet-hosted (pooled) ordered connections skip the per-segment
+     delivery log: the fleet derives FCT from arrival/retire times, and
+     a million-connection fleet cannot afford ~7 words of history per
+     delivered segment. Unordered mode always records — the log doubles
+     as its first-copy dedup set. *)
+  if t.packet_pool = None || t.ordering = Unordered then
+    Hashtbl.replace t.delivery_time seq now;
   t.delivered_bytes <- t.delivered_bytes + size;
   t.delivered_segments <- t.delivered_segments + 1;
   t.on_deliver ~seq ~size ~time:now
@@ -295,7 +311,14 @@ let write ?props t bytes =
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
     t.app_segments <- t.app_segments + 1;
-    let pkt = Packet.create ~props ~seq ~size ~now () in
+    let pkt =
+      match t.packet_pool with
+      | Some pool ->
+          let p = Packet.Pool.alloc pool ~props ~seq ~size ~now () in
+          t.pool_pkts <- p :: t.pool_pkts;
+          p
+      | None -> Packet.create ~props ~seq ~size ~now ()
+    in
     Pqueue.push_back (env t).Env.q pkt;
     seqs := seq :: !seqs
   done;
@@ -308,6 +331,26 @@ let all_delivered t = t.rcv_expected >= t.next_seq
 
 (** In-order delivery time of a data segment, if delivered. *)
 let delivery_time_of t seq = Hashtbl.find_opt t.delivery_time seq
+
+(** Release every packet this connection still references back to
+    [release_pkt] and empty the queues — the fleet's slot-recycle pass.
+    The packet pool deduplicates by flag, so a packet reachable from Q,
+    QU, RQ, a subflow ring and the receiver buffer at once is released
+    exactly once. Subflow entries with arrival events still in the air
+    are orphaned and recycle themselves once drained. *)
+let scrap t ~release_pkt =
+  let e = env t in
+  Pqueue.iter e.Env.q release_pkt;
+  Pqueue.iter e.Env.qu release_pkt;
+  Pqueue.iter e.Env.rq release_pkt;
+  Pqueue.clear e.Env.q;
+  Pqueue.clear e.Env.qu;
+  Pqueue.clear e.Env.rq;
+  List.iter (fun s -> Tcp_subflow.scrap s ~release_pkt) t.subflows;
+  (* delivered segments left the queues and rings while the flow ran;
+     the registry returns them (and only-once, by flag) to the arena *)
+  List.iter release_pkt t.pool_pkts;
+  t.pool_pkts <- []
 
 (** Flow completion time of the segment range [first, last]: the latest
     in-order delivery time, or [None] when incomplete. *)

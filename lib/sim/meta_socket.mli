@@ -36,6 +36,12 @@ type t = {
   mutable sched_executions : int;
   mutable view_arena : Subflow_view.t array;
       (** reusable snapshot array for {!snapshot} *)
+  mutable packet_pool : Packet.Pool.t option;
+      (** when set (fleet-hosted connections), {!write} draws packet
+          records from this arena instead of allocating *)
+  mutable pool_pkts : Packet.t list;
+      (** every packet drawn from [packet_pool], newest first — the
+          release registry {!scrap} drains back to the arena *)
 }
 
 
@@ -93,7 +99,15 @@ val all_delivered : t -> bool
 
 val delivery_time_of : t -> int -> float option
 (** Delivery time of a data segment under the active ordering
-    discipline. *)
+    discipline. Always [None] for fleet-hosted (pooled) ordered
+    connections, which do not keep the per-segment log — the fleet
+    computes FCT from arrival/retire times instead. *)
+
+val scrap : t -> release_pkt:(Packet.t -> unit) -> unit
+(** Fleet slot-recycle pass: release every packet the connection still
+    references (queues, subflow rings, receiver buffers) through
+    [release_pkt] — deduplicated by the packet pool's [pooled] flag —
+    and empty the queues. *)
 
 val fct : t -> first:int -> last:int -> float option
 (** Latest delivery time of the segment range, or [None] when

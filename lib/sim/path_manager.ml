@@ -39,12 +39,12 @@ type managed = {
     link between subflows of different connections, e.g. for
     TCP-friendliness experiments). *)
 let attach_with_links ~clock ~(meta : Meta_socket.t) ?(min_rto = 0.2)
-    ?(delivery_mode = Tcp_subflow.Immediate) ~id ~data_link ~ack_link spec :
-    managed =
+    ?(delivery_mode = Tcp_subflow.Immediate) ?entry_pool ~id ~data_link
+    ~ack_link spec : managed =
   let subflow =
     Tcp_subflow.create ~id ~clock ~data_link ~ack_link
       ~mss:meta.Meta_socket.mss ~is_backup:spec.backup ~min_rto ~delivery_mode
-      ()
+      ?entry_pool ()
   in
   Meta_socket.attach meta subflow;
   Tcp_subflow.establish ~at:spec.establish_at subflow;

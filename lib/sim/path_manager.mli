@@ -34,6 +34,7 @@ val attach_with_links :
   meta:Meta_socket.t ->
   ?min_rto:float ->
   ?delivery_mode:Tcp_subflow.delivery_mode ->
+  ?entry_pool:Tcp_subflow.entry_pool ->
   id:int ->
   data_link:Link.t ->
   ack_link:Link.t ->

@@ -14,7 +14,15 @@
     Loss handling mirrors Linux MPTCP: a segment suspected lost is
     retransmitted {e on the same subflow} (TCP reliability per subflow)
     and its packet is reported upward so the meta socket can place it in
-    the reinjection queue RQ for the scheduler. *)
+    the reinjection queue RQ for the scheduler.
+
+    Memory discipline (fleet scale): the in-flight table is an
+    index-addressed ring (subflow sequence numbers are dense in
+    [snd_una, snd_nxt), so [seq land mask] is an exact slot), the send
+    buffer is a packet ring, and in-flight entries are pooled records
+    recycled through an {!entry_pool} — fleet-owned when hosted by
+    {!Fleet}, private otherwise — so steady-state operation allocates
+    no per-segment bookkeeping. *)
 
 open Progmp_runtime
 
@@ -27,17 +35,39 @@ type delivery_mode =
           the meta socket at once; ordering happens only at the data
           level *)
 
+(** A pooled in-flight entry. [e_fire] is the segment's arrival event,
+    allocated once per entry {e lifetime} (not per transmission, not
+    even per use of the entry): it reads the mutable fields at arrival
+    time. [e_pending] counts scheduled arrival events that have not
+    fired yet — an entry can only return to the freelist once it drains,
+    so a stale arrival (duplicate copy in the air when the segment was
+    acked, or the owning connection retired) can never observe a
+    recycled entry. [e_sbf = None] marks an orphan: the owning
+    connection was scrapped, the arrival is swallowed. [e_gen] counts
+    recyclings (the property-test generation stamp). *)
 type entry = {
-  e_pkt : Packet.t;
-  e_size : int;
+  mutable e_sbf : t option;  (** owner; [None] = free or orphaned *)
+  mutable e_seq : int;
+  mutable e_pkt : Packet.t;
+  mutable e_size : int;
   mutable e_sent_at : float;
   mutable e_retx : bool;
   mutable e_lost : bool;  (** marked lost by SACK-style hole detection *)
-  e_deliver : unit -> unit;
-      (** arrival event for this segment, built once at entry creation
-          and reused across retransmissions — the data path schedules it
-          directly ({!Link.transmit_direct}) instead of allocating a
-          wrapper closure per transmission *)
+  mutable e_in_ring : bool;  (** currently in its owner's in-flight ring *)
+  mutable e_pending : int;  (** scheduled arrival events not yet fired *)
+  mutable e_gen : int;  (** recycle count (pool generation stamp) *)
+  e_pool : entry_pool;
+  mutable e_fire : unit -> unit;  (** arrival event, knotted once *)
+}
+
+(** Freelist of in-flight entries; shared across every subflow of a
+    fleet shard so the entry population is bounded by peak in-flight
+    segments, not total arrivals. *)
+and entry_pool = {
+  mutable ep_free : entry list;
+  mutable ep_created : int;
+  mutable ep_outstanding : int;
+  mutable ep_releases : int;
 }
 
 (** Pooled ack: the in-flight representation of one subflow+data ack.
@@ -46,13 +76,13 @@ type entry = {
     time; cells are recycled through the subflow's freelist the moment
     they fire or fail to send, so a steady ack clock reuses one cell
     instead of allocating a closure per ack. *)
-type ack_cell = {
+and ack_cell = {
   mutable a_sbf : int;
   mutable a_data : int;
   mutable a_fire : unit -> unit;
 }
 
-type t = {
+and t = {
   id : int;
   mss : int;
   mutable is_backup : bool;
@@ -63,14 +93,25 @@ type t = {
   data_link : Link.t;
   ack_link : Link.t;
   delivery_mode : delivery_mode;
+  pool : entry_pool;
   (* --- sender state --- *)
   mutable established : bool;
   mutable cwnd : float;  (** segments *)
   mutable ssthresh : float;
   mutable snd_nxt : int;
   mutable snd_una : int;
-  inflight : (int, entry) Hashtbl.t;
-  send_buffer : Packet.t Queue.t;
+  (* In-flight ring: live seqs are dense in [snd_una, snd_nxt), so the
+     slot of [seq] is [seq land (capacity - 1)] exactly (capacity, a
+     power of two, is kept >= the window span); empty slots hold the
+     shared dummy entry. O(1) insert/lookup/remove with zero per-packet
+     allocation, where the hash table paid bucket churn per segment. *)
+  mutable infl : entry array;
+  mutable infl_count : int;
+  (* Send ring: packets assigned by the scheduler, oldest at [sq_head];
+     empty slots hold {!Packet.dummy}. *)
+  mutable sq : Packet.t array;
+  mutable sq_head : int;
+  mutable sq_len : int;
   mutable dupacks : int;
   mutable recover : int;  (** NewReno recovery point; -1 = not in recovery *)
   mutable srtt : float;
@@ -133,13 +174,122 @@ type t = {
 
 let initial_cwnd = 10 (* segments, as in modern Linux *)
 
+(* ---------- entry pool ---------- *)
+
+let entry_pool () =
+  { ep_free = []; ep_created = 0; ep_outstanding = 0; ep_releases = 0 }
+
+let entry_pool_created p = p.ep_created
+let entry_pool_outstanding p = p.ep_outstanding
+let entry_pool_releases p = p.ep_releases
+
+(** Free entries must reference nothing: [true] when every freelist
+    entry holds the dummy packet and no owner (the arena-recycling
+    property the tests assert). *)
+let entry_pool_clean p =
+  List.for_all
+    (fun e -> e.e_sbf = None && e.e_pkt == Packet.dummy && e.e_pending = 0)
+    p.ep_free
+
+(* The shared padding entry for empty ring slots. Its pool is a private
+   sink no live subflow draws from; its fire is never scheduled. *)
+let dummy_entry =
+  {
+    e_sbf = None;
+    e_seq = min_int;
+    e_pkt = Packet.dummy;
+    e_size = 0;
+    e_sent_at = 0.0;
+    e_retx = false;
+    e_lost = false;
+    e_in_ring = false;
+    e_pending = 0;
+    e_gen = 0;
+    e_pool = { ep_free = []; ep_created = 0; ep_outstanding = 0; ep_releases = 0 };
+    e_fire = ignore;
+  }
+
+let entry_release e =
+  let p = e.e_pool in
+  e.e_sbf <- None;
+  e.e_seq <- min_int;
+  e.e_pkt <- Packet.dummy;
+  e.e_in_ring <- false;
+  e.e_gen <- e.e_gen + 1;
+  p.ep_outstanding <- p.ep_outstanding - 1;
+  p.ep_releases <- p.ep_releases + 1;
+  p.ep_free <- e :: p.ep_free
+
+(* ---------- in-flight ring ---------- *)
+
+let infl_find t seq =
+  let e = t.infl.(seq land (Array.length t.infl - 1)) in
+  if e.e_seq = seq then Some e else None
+
+let infl_grow t =
+  let old = t.infl in
+  let cap' = 2 * Array.length old in
+  let bigger = Array.make cap' dummy_entry in
+  Array.iter
+    (fun e -> if e != dummy_entry then bigger.(e.e_seq land (cap' - 1)) <- e)
+    old;
+  t.infl <- bigger
+
+(* Insert the entry for [seq]; the caller guarantees seq is fresh
+   (= the just-advanced snd_nxt - 1). Grows while the window span could
+   make two live seqs collide in one slot. *)
+let infl_add t seq e =
+  while t.snd_nxt - t.snd_una > Array.length t.infl do
+    infl_grow t
+  done;
+  t.infl.(seq land (Array.length t.infl - 1)) <- e;
+  e.e_in_ring <- true;
+  t.infl_count <- t.infl_count + 1
+
+let infl_take t seq =
+  let i = seq land (Array.length t.infl - 1) in
+  let e = t.infl.(i) in
+  if e.e_seq = seq then begin
+    t.infl.(i) <- dummy_entry;
+    e.e_in_ring <- false;
+    t.infl_count <- t.infl_count - 1;
+    Some e
+  end
+  else None
+
+let in_flight_count t = t.infl_count
+
+(* ---------- send ring ---------- *)
+
+let sq_push t pkt =
+  let cap = Array.length t.sq in
+  if t.sq_len = cap then begin
+    let bigger = Array.make (2 * cap) Packet.dummy in
+    for i = 0 to t.sq_len - 1 do
+      bigger.(i) <- t.sq.((t.sq_head + i) land (cap - 1))
+    done;
+    t.sq <- bigger;
+    t.sq_head <- 0
+  end;
+  t.sq.((t.sq_head + t.sq_len) land (Array.length t.sq - 1)) <- pkt;
+  t.sq_len <- t.sq_len + 1
+
+let sq_peek t = t.sq.(t.sq_head) (* caller checks sq_len > 0 *)
+
+let sq_pop t =
+  let p = t.sq.(t.sq_head) in
+  t.sq.(t.sq_head) <- Packet.dummy;
+  t.sq_head <- (t.sq_head + 1) land (Array.length t.sq - 1);
+  t.sq_len <- t.sq_len - 1;
+  p
+
+let queued_count t = t.sq_len
+
 (* Reno/NewReno increase: slow start below ssthresh, then one segment per
    window. *)
 let reno_on_ack t acked =
   if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. float_of_int acked
   else t.cwnd <- t.cwnd +. (float_of_int acked /. Float.max 1.0 t.cwnd)
-
-let in_flight_count t = Hashtbl.length t.inflight
 
 let in_recovery t = t.recover >= 0
 
@@ -247,7 +397,7 @@ let view_into t (v : Subflow_view.t) =
   v.ssthresh <-
     (if t.ssthresh > 1e8 then max_int / 2 else int_of_float t.ssthresh);
   v.skbs_in_flight <- in_flight_count t;
-  v.queued <- Queue.length t.send_buffer;
+  v.queued <- t.sq_len;
   v.lost_skbs <- t.lost_skbs;
   v.is_backup <- t.is_backup;
   v.tsq_throttled <- tsq_throttled t;
@@ -291,8 +441,7 @@ let sample_rtt t r =
 let cancel_rto t = Eventq.timer_cancel t.rto_timer
 
 let arm_rto t =
-  if Hashtbl.length t.inflight > 0 then
-    Eventq.timer_arm_in t.clock t.rto_timer ~delay:t.rto
+  if t.infl_count > 0 then Eventq.timer_arm_in t.clock t.rto_timer ~delay:t.rto
   else Eventq.timer_cancel t.rto_timer
 
 (* ---------- transmission ---------- *)
@@ -303,9 +452,12 @@ let rec transmit_entry t (entry : entry) =
   t.bytes_sent <- t.bytes_sent + entry.e_size;
   if entry.e_retx then t.segs_retx <- t.segs_retx + 1;
   (match
-     Link.transmit_direct t.data_link ~size:(entry.e_size + 60) entry.e_deliver
+     Link.transmit_direct t.data_link ~size:(entry.e_size + 60) entry.e_fire
    with
-  | Link.Delivered _ | Link.Lost_random ->
+  | Link.Delivered _ ->
+      entry.e_pending <- entry.e_pending + 1;
+      tsq_push t ~until:(Link.busy_until t.data_link) ~size:(entry.e_size + 60)
+  | Link.Lost_random ->
       (* the segment occupies the bottleneck until serialized, even when
          it will be lost on the wire *)
       tsq_push t ~until:(Link.busy_until t.data_link) ~size:(entry.e_size + 60)
@@ -317,41 +469,29 @@ let rec transmit_entry t (entry : entry) =
 and try_transmit t =
   if t.established then begin
     let continue = ref true in
-    while
-      !continue
-      && (not (Queue.is_empty t.send_buffer))
-      && in_flight_count t < int_of_float t.cwnd
-    do
-      let pkt = Queue.peek t.send_buffer in
+    while !continue && t.sq_len > 0 && in_flight_count t < int_of_float t.cwnd do
+      let pkt = sq_peek t in
       if t.is_data_acked pkt then
         (* acked at the data level while waiting: never send it
            (paper §5.1: removed from QU before being sent) *)
-        ignore (Queue.pop t.send_buffer)
+        ignore (sq_pop t)
       else if
         (in_flight_count t + 1) * t.mss > t.rwnd_bytes ()
         && not (t.rwnd_exempt pkt)
       then continue := false (* receive-window blocked *)
       else begin
-        ignore (Queue.pop t.send_buffer);
+        ignore (sq_pop t);
         let seq = t.snd_nxt in
         t.snd_nxt <- seq + 1;
-        let entry =
-          {
-            e_pkt = pkt; e_size = pkt.Packet.size; e_sent_at = 0.0;
-            e_retx = false; e_lost = false;
-            e_deliver =
-              (fun () ->
-                if Link.arrival t.data_link then on_segment_arrival t seq pkt);
-          }
-        in
-        Hashtbl.replace t.inflight seq entry;
+        let entry = entry_alloc t ~seq ~pkt in
+        infl_add t seq entry;
         transmit_entry t entry
       end
     done
   end
 
 and retransmit_head t =
-  match Hashtbl.find_opt t.inflight t.snd_una with
+  match infl_find t t.snd_una with
   | Some entry ->
       entry.e_retx <- true;
       transmit_entry t entry
@@ -366,7 +506,7 @@ and retransmit_head t =
 and mark_sack_holes t =
   if t.recover >= 0 then
     for seq = t.snd_una to t.recover do
-      match Hashtbl.find_opt t.inflight seq with
+      match infl_find t seq with
       | Some entry when (not entry.e_lost) && not (Hashtbl.mem t.rcv_ooo seq) ->
           entry.e_lost <- true;
           t.on_suspected_loss entry.e_pkt
@@ -387,7 +527,7 @@ and enter_recovery t ~cause =
       t.rto <- Float.min 60.0 (t.rto *. 2.0));
   t.recover <- t.snd_nxt - 1;
   t.lost_skbs <- t.lost_skbs + 1;
-  (match Hashtbl.find_opt t.inflight t.snd_una with
+  (match infl_find t t.snd_una with
   | Some entry ->
       retransmit_head t;
       t.on_suspected_loss entry.e_pkt
@@ -397,7 +537,7 @@ and enter_recovery t ~cause =
 
 and on_rto t =
   (* the timer machinery has already disarmed itself *)
-  if Hashtbl.length t.inflight > 0 then begin
+  if t.infl_count > 0 then begin
     t.dupacks <- 0;
     enter_recovery t ~cause:`Rto;
     t.on_sender_event ()
@@ -461,7 +601,7 @@ and on_ack t ~sbf_ack ~data_ack =
     let acked = ref 0 in
     let best_sample = ref infinity in
     for seq = t.snd_una to sbf_ack - 1 do
-      match Hashtbl.find_opt t.inflight seq with
+      match infl_take t seq with
       | Some entry ->
           incr acked;
           t.bytes_acked <- t.bytes_acked + entry.e_size;
@@ -469,7 +609,10 @@ and on_ack t ~sbf_ack ~data_ack =
           if not entry.e_retx then
             best_sample :=
               Float.min !best_sample (Eventq.now t.clock -. entry.e_sent_at);
-          Hashtbl.remove t.inflight seq
+          (* a duplicate copy still in the air keeps the entry alive:
+             its arrival fires the normal duplicate path and the entry
+             returns to the pool once drained (see [entry_fire]) *)
+          if entry.e_pending = 0 then entry_release entry
       | None -> ()
     done;
     (* A cumulative ack may cover segments that arrived long ago and were
@@ -498,11 +641,11 @@ and on_ack t ~sbf_ack ~data_ack =
       (* congestion-window validation (RFC 2861): only grow the window
          when the flow was actually using it *)
       t.cc_on_ack t !acked;
-    if Hashtbl.length t.inflight = 0 then cancel_rto t else arm_rto t;
+    if t.infl_count = 0 then cancel_rto t else arm_rto t;
     try_transmit t;
     t.on_sender_event ()
   end
-  else if Hashtbl.length t.inflight > 0 then begin
+  else if t.infl_count > 0 then begin
     t.dupacks <- t.dupacks + 1;
     if t.dupacks = 3 && not (in_recovery t) then begin
       enter_recovery t ~cause:`Dupacks;
@@ -510,12 +653,70 @@ and on_ack t ~sbf_ack ~data_ack =
     end
   end
 
+(* ---------- entry pool (event-facing half) ---------- *)
+
+(* The arrival event of a pooled entry, knotted once per entry lifetime.
+   Owned entries behave exactly as a per-entry closure did — including
+   duplicate arrivals for entries already acked out of the ring. An
+   orphaned entry (owner scrapped by fleet recycling) swallows the
+   arrival; either way the entry returns to the freelist when the last
+   pending event has fired and it is no longer in a ring. *)
+and entry_fire e () =
+  e.e_pending <- e.e_pending - 1;
+  (match e.e_sbf with
+  | Some t -> if Link.arrival t.data_link then on_segment_arrival t e.e_seq e.e_pkt
+  | None -> ());
+  if (not e.e_in_ring) && e.e_pending = 0 && e.e_sbf <> None then
+    entry_release e
+  else if e.e_sbf = None && e.e_pending = 0 && e != dummy_entry then
+    (* orphan fully drained *)
+    entry_release e
+
+and entry_alloc t ~seq ~pkt =
+  let pool = t.pool in
+  let e =
+    match pool.ep_free with
+    | e :: rest ->
+        pool.ep_free <- rest;
+        e
+    | [] ->
+        pool.ep_created <- pool.ep_created + 1;
+        let e =
+          {
+            e_sbf = None;
+            e_seq = 0;
+            e_pkt = Packet.dummy;
+            e_size = 0;
+            e_sent_at = 0.0;
+            e_retx = false;
+            e_lost = false;
+            e_in_ring = false;
+            e_pending = 0;
+            e_gen = 0;
+            e_pool = pool;
+            e_fire = ignore;
+          }
+        in
+        e.e_fire <- entry_fire e;
+        e
+  in
+  pool.ep_outstanding <- pool.ep_outstanding + 1;
+  e.e_sbf <- Some t;
+  e.e_seq <- seq;
+  e.e_pkt <- pkt;
+  e.e_size <- pkt.Packet.size;
+  e.e_sent_at <- 0.0;
+  e.e_retx <- false;
+  e.e_lost <- false;
+  e
+
 (* ---------- construction ---------- *)
 
 (* Defined after the sender/receiver event chain: the RTO timer's single
    action closure captures [t] and calls {!on_rto}. *)
 let create ~id ~clock ~data_link ~ack_link ?(mss = 1448) ?(is_backup = false)
-    ?(min_rto = 0.2) ?(delivery_mode = Immediate) () =
+    ?(min_rto = 0.2) ?(delivery_mode = Immediate) ?entry_pool:pool () =
+  let pool = match pool with Some p -> p | None -> entry_pool () in
   let t =
     {
       id;
@@ -526,13 +727,17 @@ let create ~id ~clock ~data_link ~ack_link ?(mss = 1448) ?(is_backup = false)
       data_link;
       ack_link;
       delivery_mode;
+      pool;
       established = false;
       cwnd = float_of_int initial_cwnd;
       ssthresh = 1e9;
       snd_nxt = 0;
       snd_una = 0;
-      inflight = Hashtbl.create 64;
-      send_buffer = Queue.create ();
+      infl = Array.make 8 dummy_entry;
+      infl_count = 0;
+      sq = Array.make 4 Packet.dummy;
+      sq_head = 0;
+      sq_len = 0;
       dupacks = 0;
       recover = -1;
       srtt = 0.0;
@@ -544,14 +749,14 @@ let create ~id ~clock ~data_link ~ack_link ?(mss = 1448) ?(is_backup = false)
       rto_timer = Eventq.timer ignore (* replaced below *);
       lost_skbs = 0;
       rcv_expected = 0;
-      rcv_ooo = Hashtbl.create 64;
+      rcv_ooo = Hashtbl.create 4;
       ack_free = [];
       segs_sent = 0;
       segs_retx = 0;
       bytes_sent = 0;
       bytes_acked = 0;
-      tsq_time = Array.make 64 0.0;
-      tsq_size = Array.make 64 0;
+      tsq_time = Array.make 4 0.0;
+      tsq_size = Array.make 4 0;
       tsq_head = 0;
       tsq_len = 0;
       tsq_bytes = 0;
@@ -579,7 +784,7 @@ let create ~id ~clock ~data_link ~ack_link ?(mss = 1448) ?(is_backup = false)
 (** Enqueue a packet assigned by the scheduler and try to put it on the
     wire immediately. *)
 let send t pkt =
-  Queue.push pkt t.send_buffer;
+  sq_push t pkt;
   try_transmit t
 
 (** Complete the (abstracted) handshake after one RTT and seed the RTT
@@ -604,21 +809,28 @@ let establish ?(at = 0.0) t =
 let fail t =
   Sim_log.debug (fun m ->
       m "sbf#%d fails: %d in flight and %d buffered re-queued" t.id
-        (in_flight_count t)
-        (Queue.length t.send_buffer));
+        (in_flight_count t) t.sq_len);
   t.established <- false;
   cancel_rto t;
-  let pending = Hashtbl.fold (fun seq e acc -> (seq, e) :: acc) t.inflight [] in
-  let in_flight =
-    List.map
-      (fun (seq, (e : entry)) ->
-        Hashtbl.remove t.inflight seq;
-        e.e_pkt)
-      (List.sort compare pending)
-  in
-  let buffered = List.of_seq (Queue.to_seq t.send_buffer) in
-  Queue.clear t.send_buffer;
-  t.on_failed (in_flight @ buffered)
+  let in_flight = ref [] in
+  for seq = t.snd_nxt - 1 downto t.snd_una do
+    match infl_take t seq with
+    | Some e ->
+        in_flight := e.e_pkt :: !in_flight;
+        (* copies still in the air arrive normally (the receiver side
+           of the old incarnation may ack them); the entry recycles
+           itself once drained *)
+        if e.e_pending = 0 then entry_release e
+    | None -> ()
+  done;
+  let buffered = ref [] in
+  for i = t.sq_len - 1 downto 0 do
+    buffered := t.sq.((t.sq_head + i) land (Array.length t.sq - 1)) :: !buffered;
+    t.sq.((t.sq_head + i) land (Array.length t.sq - 1)) <- Packet.dummy
+  done;
+  t.sq_head <- 0;
+  t.sq_len <- 0;
+  t.on_failed (!in_flight @ !buffered)
 
 (** Re-establish a previously failed subflow at [at] (e.g. WiFi regained
     after a handover): congestion and RTT state restart from scratch, and
@@ -656,6 +868,53 @@ let reestablish ?(at = 0.0) t =
            Sim_log.debug (fun m -> m "sbf#%d re-establishing" t.id);
            establish ~at:(Eventq.now t.clock) t
          end))
+
+(* ---------- fleet recycling ---------- *)
+
+(** Walk every packet this subflow still references (in-flight ring,
+    send ring, receiver out-of-order buffer) — the fleet's release pass
+    and the property tests' reachability check. *)
+let iter_packets t f =
+  for seq = t.snd_una to t.snd_nxt - 1 do
+    match infl_find t seq with Some e -> f e.e_pkt | None -> ()
+  done;
+  for i = 0 to t.sq_len - 1 do
+    f (t.sq.((t.sq_head + i) land (Array.length t.sq - 1)))
+  done;
+  Hashtbl.iter (fun _ p -> f p) t.rcv_ooo
+
+(** Dismantle a retired connection's subflow: release every referenced
+    packet through [release_pkt] (flag-deduplicated by the packet pool)
+    and recycle or orphan the in-flight entries. Entries with arrival
+    events still in the air are orphaned — their fire swallows the
+    arrival and returns them to the pool once drained — so no recycled
+    slot can ever be reached from a stale event. The subflow object
+    itself is garbage once the fleet drops the connection. *)
+let scrap t ~release_pkt =
+  cancel_rto t;
+  t.established <- false;
+  for seq = t.snd_una to t.snd_nxt - 1 do
+    match infl_take t seq with
+    | Some e ->
+        release_pkt e.e_pkt;
+        if e.e_pending = 0 then entry_release e
+        else begin
+          (* orphan: the stale arrival must neither touch the (possibly
+             recycled) packet nor ack on the shared link *)
+          e.e_sbf <- None;
+          e.e_pkt <- Packet.dummy
+        end
+    | None -> ()
+  done;
+  for i = 0 to t.sq_len - 1 do
+    let j = (t.sq_head + i) land (Array.length t.sq - 1) in
+    release_pkt t.sq.(j);
+    t.sq.(j) <- Packet.dummy
+  done;
+  t.sq_head <- 0;
+  t.sq_len <- 0;
+  Hashtbl.iter (fun _ p -> release_pkt p) t.rcv_ooo;
+  Hashtbl.reset t.rcv_ooo
 
 (** Testing hook (packetdrill analogue, §4.2): inject a segment arrival
     at the receiver side of the subflow, bypassing the link — used to

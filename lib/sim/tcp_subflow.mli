@@ -4,7 +4,12 @@
     filter (the [THROUGHPUT] property), per-subflow TSQ accounting, and
     the receiver-side subflow ordering of §4.2. Suspected losses are
     retransmitted on the same subflow (TCP reliability) {e and} reported
-    upward for cross-subflow reinjection, as in Linux MPTCP. *)
+    upward for cross-subflow reinjection, as in Linux MPTCP.
+
+    Per-segment sender bookkeeping lives in pooled {!entry} records in
+    an index-addressed ring (subflow seqs are dense in
+    [snd_una, snd_nxt)), and the send buffer is a packet ring — the
+    steady state allocates no per-segment structures. *)
 
 open Progmp_runtime
 
@@ -17,18 +22,37 @@ type delivery_mode =
           the meta socket at once; ordering happens only at the data
           level *)
 
+(** Pooled in-flight entry. [e_pending] counts scheduled arrival events
+    that have not fired; an entry returns to its pool only once drained,
+    so stale arrivals can never observe a recycled entry. [e_sbf = None]
+    marks a free or orphaned (owner scrapped) entry. [e_gen] counts
+    recyclings — the generation stamp the arena property tests check. *)
 type entry = {
-  e_pkt : Packet.t;
-  e_size : int;
+  mutable e_sbf : t option;  (** owner; [None] = free or orphaned *)
+  mutable e_seq : int;
+  mutable e_pkt : Packet.t;
+  mutable e_size : int;
   mutable e_sent_at : float;
   mutable e_retx : bool;
   mutable e_lost : bool;  (** marked lost by SACK-style hole detection *)
-  e_deliver : unit -> unit;
-      (** the segment's arrival event, built once at entry creation and
-          reused across retransmissions *)
+  mutable e_in_ring : bool;  (** currently in its owner's in-flight ring *)
+  mutable e_pending : int;  (** scheduled arrival events not yet fired *)
+  mutable e_gen : int;  (** recycle count (pool generation stamp) *)
+  e_pool : entry_pool;
+  mutable e_fire : unit -> unit;  (** arrival event, knotted once *)
 }
 
-type ack_cell = {
+and entry_pool = {
+  mutable ep_free : entry list;
+  mutable ep_created : int;
+  mutable ep_outstanding : int;
+  mutable ep_releases : int;
+}
+(** Freelist of in-flight entries; shareable across every subflow of a
+    fleet shard so the entry population is bounded by peak in-flight
+    segments, not total arrivals. *)
+
+and ack_cell = {
   mutable a_sbf : int;
   mutable a_data : int;
   mutable a_fire : unit -> unit;
@@ -36,7 +60,7 @@ type ack_cell = {
 (** Pooled in-flight ack (subflow + data ack values); recycled through
     the subflow's freelist when it fires or fails to send. *)
 
-type t = {
+and t = {
   id : int;
   mss : int;
   mutable is_backup : bool;
@@ -47,14 +71,23 @@ type t = {
   data_link : Link.t;
   ack_link : Link.t;
   delivery_mode : delivery_mode;
+  pool : entry_pool;
   (* --- sender state --- *)
   mutable established : bool;
   mutable cwnd : float;  (** segments *)
   mutable ssthresh : float;
   mutable snd_nxt : int;
   mutable snd_una : int;
-  inflight : (int, entry) Hashtbl.t;
-  send_buffer : Packet.t Queue.t;
+  (* In-flight ring: live seqs are dense in [snd_una, snd_nxt), so the
+     slot of [seq] is [seq land (capacity - 1)] exactly; empty slots
+     hold a shared dummy entry. *)
+  mutable infl : entry array;
+  mutable infl_count : int;
+  (* Send ring: scheduler-assigned packets, oldest at [sq_head]; empty
+     slots hold {!Packet.dummy}. *)
+  mutable sq : Packet.t array;
+  mutable sq_head : int;
+  mutable sq_len : int;
   mutable dupacks : int;
   mutable recover : int;  (** NewReno recovery point; -1 = not in recovery *)
   mutable srtt : float;
@@ -114,8 +147,24 @@ type t = {
   mutable cc_on_ack : t -> int -> unit;  (** pluggable window increase *)
 }
 
-
 val initial_cwnd : int
+
+val entry_pool : unit -> entry_pool
+(** A fresh, empty entry freelist. *)
+
+val entry_pool_created : entry_pool -> int
+(** Entries ever allocated through this pool. *)
+
+val entry_pool_outstanding : entry_pool -> int
+(** Entries allocated and not yet recycled (in rings or orphaned with
+    pending arrival events). *)
+
+val entry_pool_releases : entry_pool -> int
+(** Total recyclings. *)
+
+val entry_pool_clean : entry_pool -> bool
+(** [true] when every freelist entry holds the dummy packet, no owner
+    and no pending events — the arena-recycling property. *)
 
 val reno_on_ack : t -> int -> unit
 (** Default window increase: slow start below ssthresh, then one
@@ -130,10 +179,15 @@ val create :
   ?is_backup:bool ->
   ?min_rto:float ->
   ?delivery_mode:delivery_mode ->
+  ?entry_pool:entry_pool ->
   unit ->
   t
 
 val in_flight_count : t -> int
+
+val queued_count : t -> int
+(** Packets in the send buffer (scheduler-assigned, not yet on the
+    wire). *)
 
 val in_recovery : t -> bool
 
@@ -182,6 +236,16 @@ val reestablish : ?at:float -> t -> unit
     state restart from scratch and the subflow-level sequence spaces are
     resynchronized (the meta level already re-queued what the old
     connection lost). A no-op on an established subflow. *)
+
+val iter_packets : t -> (Packet.t -> unit) -> unit
+(** Visit every packet still referenced by this subflow (in-flight
+    ring, send ring, receiver out-of-order buffer). *)
+
+val scrap : t -> release_pkt:(Packet.t -> unit) -> unit
+(** Dismantle a retired connection's subflow: release every referenced
+    packet through [release_pkt] and recycle the in-flight entries
+    (entries with arrival events still in the air are orphaned and
+    recycle themselves once drained). *)
 
 val inject_arrival : t -> seq:int -> Packet.t -> unit
 (** Testing hook (packetdrill analogue, §4.2): inject a segment arrival

@@ -8,4 +8,5 @@ let () =
    @ Test_meta.suite @ Test_receiver.suite @ Test_schedulers.suite @ Test_schedulers.design_space_suite @ Test_schedulers.probing_suite @ Test_schedulers.edge_suite @ Test_schedulers.priority_suite @ Test_apps.suite @ Test_optimize.suite @ Test_multiconn.suite @ Test_multiconn.fleet_suite @ Test_multiconn.cc_suite @ Test_fuzz.suite @ Test_multiconn.unordered_suite @ Test_topology.suite @ Test_sim_invariants.suite
    @ Test_sim_invariants.failure_suite @ Test_sim_invariants.fault_suite
    @ Test_faults.suite @ Test_integration.suite @ Test_obs.suite
-   @ Test_eventq.suite @ Test_exp.suite)
+   @ Test_eventq.suite @ Test_exp.suite @ Test_arena.arena_suite
+   @ Test_arena.shard_suite)

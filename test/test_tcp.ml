@@ -153,7 +153,7 @@ let suite =
             Tcp_subflow.fail h.sbf;
             Alcotest.(check int) "all 20 reported" 20 (List.length !failed);
             Alcotest.(check int) "send buffer cleared" 0
-              (Queue.length h.sbf.Tcp_subflow.send_buffer));
+              (Tcp_subflow.queued_count h.sbf));
         tc "view reflects subflow state" (fun () ->
             let h = make_harness () in
             send_n h 5;

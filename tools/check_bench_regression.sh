@@ -10,17 +10,23 @@
 # cliff (e.g. the flat encoding silently degrading to the boxed
 # interpreter). Also checks the committed BENCH_fleet.json hosting
 # ladder: it must be a full (non-smoke) run whose top rung reaches the
-# 100k-concurrent / 1M-arrival headline, and a fresh smoke rung must
-# stay within FLEET_CAP x of its decision throughput. Any baseline
-# recorded on a machine with a different core count is refused (skipped
-# with a note) rather than compared. Skips silently when the baseline
-# or the bench binary is unavailable (release tarballs, partial
-# checkouts).
+# 1M-concurrent / 1M-arrival headline with the 100k rung's decision
+# throughput within FLEET_DPS_RATIO x of the 10k rung's (per-connection
+# cost must not grow superlinearly with fleet size); a fresh smoke rung
+# must stay within FLEET_CAP x of the baseline's decision throughput,
+# and a fresh mem-smoke mid rung must keep heap bytes per connection
+# within MEM_CAP x of the baseline's (asserted by the bench itself).
+# Any baseline recorded on a machine with a different core count is
+# refused (skipped with a note) rather than compared. Skips silently
+# when the baseline or the bench binary is unavailable (release
+# tarballs, partial checkouts).
 set -u
 
 TOLERANCE=2.0
 HARD_CAP=4.0
 FLEET_CAP=10.0
+FLEET_DPS_RATIO=4.0
+MEM_CAP=1.25
 
 # The script runs from inside _build; walk up to the checkout root.
 dir=$PWD
@@ -172,8 +178,8 @@ check_fleet() {
   peak=$(sed -n 's/.*"peak_live": \([0-9][0-9]*\).*/\1/p' "$fbase" | sort -n | tail -n 1)
   arrivals=$(sed -n 's/.*"arrivals": \([0-9][0-9]*\).*/\1/p' "$fbase" | sort -n | tail -n 1)
   fst=0
-  if [ -z "$peak" ] || [ "$peak" -lt 100000 ]; then
-    echo "error: BENCH_fleet.json top rung hosts ${peak:-0} concurrent connections (< 100000)" >&2
+  if [ -z "$peak" ] || [ "$peak" -lt 1000000 ]; then
+    echo "error: BENCH_fleet.json top rung hosts ${peak:-0} concurrent connections (< 1000000)" >&2
     fst=1
   fi
   if [ -z "$arrivals" ] || [ "$arrivals" -lt 1000000 ]; then
@@ -181,12 +187,33 @@ check_fleet() {
     fst=1
   fi
 
-  if ! (cd "$tmp" && "$bench" fleet --smoke > /dev/null 2> "$tmp/fleet-smoke.log"); then
+  # Per-connection event cost must not grow superlinearly with fleet
+  # size: the 100k rung's decisions/wall-second may trail the 10k
+  # rung's by at most FLEET_DPS_RATIO x in the committed ladder.
+  rung_field() { # $1 = file, $2 = target, $3 = field
+    sed -n 's/.*"target": '"$2"',.* "'"$3"'": \([0-9.][0-9.]*\).*/\1/p' "$1" | head -n 1
+  }
+  dps10k=$(rung_field "$fbase" 10000 decisions_per_sec)
+  dps100k=$(rung_field "$fbase" 100000 decisions_per_sec)
+  if [ -n "$dps10k" ] && [ -n "$dps100k" ]; then
+    awk -v a="$dps10k" -v b="$dps100k" -v cap="$FLEET_DPS_RATIO" 'BEGIN {
+      if (a > 0 && b > 0 && a / b > cap) {
+        printf "error: fleet decision throughput degrades superlinearly: 100k rung %.0f/s vs 10k rung %.0f/s (> %.1fx apart)\n", b, a, cap > "/dev/stderr"
+        exit 1
+      }
+    }' || fst=1
+  else
+    echo "error: BENCH_fleet.json lacks the 10k/100k rungs needed for the throughput-scaling check" >&2
+    fst=1
+  fi
+
+  mkdir -p "$tmp/fleet_smoke"
+  if ! (cd "$tmp/fleet_smoke" && "$bench" fleet --smoke > /dev/null 2> "$tmp/fleet-smoke.log"); then
     echo "error: fleet --smoke bench failed:" >&2
     cat "$tmp/fleet-smoke.log" >&2
     return 1
   fi
-  ffresh="$tmp/BENCH_fleet.json"
+  ffresh="$tmp/fleet_smoke/BENCH_fleet.json"
   [ -f "$ffresh" ] || { echo "error: fleet smoke run produced no BENCH_fleet.json" >&2; return 1; }
 
   base_dps=$(sed -n 's/.*"decisions_per_sec": \([0-9.][0-9.]*\).*/\1/p' "$fbase" | head -n 1)
@@ -198,6 +225,18 @@ check_fleet() {
         exit 1
       }
     }' || fst=1
+  fi
+
+  # Memory-footprint ceiling: a fresh mem-smoke mid rung, run next to a
+  # copy of the committed baseline, must keep heap bytes per live
+  # connection within MEM_CAP x of the baseline's matching rung. The
+  # bench itself performs the comparison and exits non-zero on breach.
+  mkdir -p "$tmp/fleet_mem"
+  cp "$fbase" "$tmp/fleet_mem/BENCH_fleet.json"
+  if ! (cd "$tmp/fleet_mem" && "$bench" fleet --mem-smoke > /dev/null 2> "$tmp/fleet-mem.log"); then
+    echo "error: fleet --mem-smoke memory gate failed (bytes/conn ceiling ${MEM_CAP}x):" >&2
+    cat "$tmp/fleet-mem.log" >&2
+    fst=1
   fi
 
   if [ "$fst" -ne 0 ]; then
