@@ -151,8 +151,10 @@ let summary conn =
   | None -> Fmt.pr "flow completion    : (incomplete)@."
 
 let run_scenario scenario scheduler seed loss duration engine faults_file
-    check_inv trace_file metrics_file metrics_interval verbose cc topology =
+    check_inv trace_file metrics_file metrics_interval verbose cc topology
+    eventq =
   setup_logging verbose;
+  Mptcp_exp.Fleet_cli.set_eventq ~prog:"simulate" eventq;
   let sched_name = scheduler in
   ignore (setup_scheduler sched_name engine);
   let cc =
@@ -361,7 +363,7 @@ let scenario_term =
     const run_scenario $ scenario_arg $ scheduler_arg $ seed_arg $ loss_arg
     $ duration_arg $ engine_arg $ faults_arg $ invariants_arg $ trace_arg
     $ metrics_arg $ metrics_interval_arg $ verbose_arg $ cc_arg
-    $ topology_arg)
+    $ topology_arg $ Mptcp_exp.Fleet_cli.eventq_arg)
 
 let scenario_cmd =
   Cmd.v

@@ -33,6 +33,17 @@ run above:
   simulated time     : 1.922 s
   delivered          : 4000000 bytes (2763 segments, complete: true)
 
+The event queue is a hierarchical timing wheel by default; the binary
+min-heap escape hatch produces bit-identical results:
+
+  $ ../bin/simulate.exe bulk --duration 40 --eventq heap | head -2
+  simulated time     : 1.922 s
+  delivered          : 4000000 bytes (2763 segments, complete: true)
+
+  $ ../bin/simulate.exe bulk --duration 40 --eventq calendar
+  simulate: --eventq: unknown event core "calendar" (expected one of: wheel, heap)
+  [2]
+
 Unknown schedulers and engines are rejected:
 
   $ ../bin/simulate.exe bulk -s nonsense

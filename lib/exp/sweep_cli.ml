@@ -74,7 +74,10 @@ let write_file file contents =
   Out_channel.with_open_text file (fun oc ->
       Out_channel.output_string oc contents)
 
-let run prog spec_file jobs force_jobs csv json cc topology =
+let run prog spec_file jobs force_jobs csv json cc topology eventq =
+  (* before Sweep.execute spawns worker domains, so every run's clocks
+     are built on the selected core *)
+  Fleet_cli.set_eventq ~prog eventq;
   match Spec.load spec_file with
   | Error msg ->
       Fmt.epr "%s: %s@." prog msg;
@@ -144,4 +147,4 @@ let cmd ~prog =
           parallel on OCaml domains")
     Term.(
       const (run prog) $ spec_arg $ jobs_arg $ jobs_force_arg $ csv_arg
-      $ json_arg $ cc_arg $ topology_arg)
+      $ json_arg $ cc_arg $ topology_arg $ Fleet_cli.eventq_arg)

@@ -1,195 +1,601 @@
 (** Discrete-event simulation core: a clock and a time-ordered event
-    queue (binary min-heap). Events scheduled for the same instant fire
-    in scheduling order (a monotone sequence number breaks ties), which
-    keeps runs deterministic. *)
+    queue. Events scheduled for the same instant fire in scheduling
+    order (a monotone sequence number breaks ties), which keeps runs
+    deterministic.
+
+    Two interchangeable cores implement the queue behind the
+    {!EVENT_CORE} signature, selected at {!create}:
+
+    - [Wheel] (default): a hierarchical timing wheel (Varghese–Lauck).
+      Fire times are quantized to an integer tick ([time / quantum]) and
+      events hang off power-of-two bucket arrays — 13 levels of 32 slots,
+      level [l] spanning [32^l] ticks per slot — so [schedule], [cancel]
+      and [timer_arm] are O(1): no sift, no pointer-chasing across a
+      multi-million-node array. Dispatch is batched: the next due bucket
+      is drained whole into a small "due" heap and executed from there.
+      The quantum only decides which events share a bucket; within a
+      bucket events are ordered by their exact [(time, seq)] key, so the
+      execution order — and therefore the run — is bit-identical to the
+      binary heap for {e any} quantum.
+    - [Heap]: a binary min-heap. O(log n) but proportional to live
+      events only, which can beat the wheel when events are few and
+      spread across wildly different timescales. Kept as the escape
+      hatch ([--eventq heap]) and as the oracle for the differential
+      property suite.
+
+    Cancellation is {e physical} in both cores: every event tracks its
+    slot in whatever structure holds it, so {!cancel} swap-removes it —
+    O(1) from a wheel bucket, O(log n) from a heap — releasing the node
+    and its action closure immediately. No structure ever holds a
+    cancelled event, so there is no lazy dead count, no compaction
+    heuristic, and the final clock of a run can never depend on internal
+    bookkeeping; it also means a {!timer}'s event cell is always free
+    for reuse when re-armed, making the RTO pattern (re-arm on every
+    ack) allocation-free. *)
+
+(* [qshared] is the per-queue state shared with every event of that
+   queue, so {!cancel} — which has no queue handle — can check the
+   observer guard from any entry point. *)
+type qshared = {
+  mutable in_observer : bool;
+      (** set while observers run; schedule/cancel raise when it's on *)
+}
 
 type event = {
-  time : float;
-  seq : int;
+  mutable time : float;
+  mutable seq : int;
   mutable cancelled : bool;
   action : unit -> unit;
-  dead : int ref;
-      (** the owning queue's count of cancelled events still in its heap;
-          shared by every event of one queue so {!cancel} — which has no
-          queue handle — can keep it current *)
+  qs : qshared;
+  mutable home : bucket;
+      (** the wheel bucket physically holding this event, or
+          [dummy_bucket] *)
+  mutable hh : heap;
+      (** the (due or core) heap physically holding this event, or
+          [dummy_heap] *)
+  mutable pos : int;
+      (** index in [home.b_evs] or [hh.h_arr]; -1 when the event is in
+          no structure (not yet inserted, fired, or cancelled) *)
 }
 
-type t = {
-  mutable now : float;
-  mutable heap : event array;
-  mutable size : int;
-  mutable next_seq : int;
-  mutable dead : int ref;  (** cancelled events still occupying heap nodes *)
-  mutable observers : (unit -> unit) list;
-      (** run after every executed event, in registration order *)
+and bucket = {
+  b_owner : wheel option;  (** [None] only for [dummy_bucket] *)
+  mutable b_evs : event array;
+  mutable b_len : int;
 }
 
-(* Padding for unused heap slots: never popped, never cancelled. Freed
-   slots are reset to this so compaction actually releases the cancelled
-   actions' closures to the GC. *)
-let dummy_event =
-  { time = 0.; seq = 0; cancelled = true; action = ignore; dead = ref 0 }
+and wheel = {
+  w_inv_quantum : float;
+  w_levels : bucket array array;  (** 13 levels x 32 slots, lazy buckets *)
+  mutable w_cur : int;
+      (** current tick: every bucket-resident event has tick >= w_cur,
+          everything at tick < w_cur has been pulled into [w_due] *)
+  w_due : heap;  (** drained buckets + schedule-at-now spills, exact order *)
+  mutable w_count : int;  (** events resident in buckets (due excluded) *)
+}
 
-let create () =
+and heap = { mutable h_arr : event array; mutable h_size : int }
+
+(* Padding for unused slots: never popped, never cancelled. Freed slots
+   are reset to this so removal actually releases the event (and its
+   action closure) to the GC. *)
+let dummy_qs = { in_observer = false }
+
+let rec dummy_event =
   {
-    now = 0.0;
-    heap = Array.make 256 dummy_event;
-    size = 0;
-    next_seq = 0;
-    dead = ref 0;
-    observers = [];
+    time = 0.;
+    seq = 0;
+    cancelled = true;
+    action = ignore;
+    qs = dummy_qs;
+    home = dummy_bucket;
+    hh = dummy_heap;
+    pos = -1;
   }
 
-(** Register [f] to run after every executed (non-cancelled) event —
-    the hook invariant checkers attach to. Observers run in registration
-    order and must not schedule events themselves. *)
-let add_observer t f = t.observers <- t.observers @ [ f ]
-
-let now t = t.now
+and dummy_bucket = { b_owner = None; b_evs = [||]; b_len = 0 }
+and dummy_heap = { h_arr = [||]; h_size = 0 }
 
 let before (a : event) (b : event) =
   a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+(* ---------- indexed binary heap primitives ----------
+   Used both as the [Heap] core and as the wheel's due set. Every move
+   maintains the resident events' [pos] so {!cancel} can delete from
+   the middle. *)
 
-let rec sift_up t i =
+let heap_make () = { h_arr = Array.make 256 dummy_event; h_size = 0 }
+
+let hswap h i j =
+  let a = h.h_arr.(i) and b = h.h_arr.(j) in
+  h.h_arr.(i) <- b;
+  b.pos <- i;
+  h.h_arr.(j) <- a;
+  a.pos <- j
+
+let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+    if before h.h_arr.(i) h.h_arr.(parent) then begin
+      hswap h i parent;
+      sift_up h parent
     end
   end
 
-let rec sift_down t i =
+let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < h.h_size && before h.h_arr.(l) h.h_arr.(!smallest) then smallest := l;
+  if r < h.h_size && before h.h_arr.(r) h.h_arr.(!smallest) then smallest := r;
   if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+    hswap h i !smallest;
+    sift_down h !smallest
   end
 
-(* ---------- lazy compaction ---------- *)
+let hpush h ev =
+  if h.h_size = Array.length h.h_arr then begin
+    let arr' = Array.make (2 * h.h_size) dummy_event in
+    Array.blit h.h_arr 0 arr' 0 h.h_size;
+    h.h_arr <- arr'
+  end;
+  h.h_arr.(h.h_size) <- ev;
+  ev.hh <- h;
+  ev.pos <- h.h_size;
+  h.h_size <- h.h_size + 1;
+  sift_up h (h.h_size - 1)
 
-(* A cancelled event stays in the heap until it surfaces at the root, so
-   a long-lived workload that arms and re-arms timers (one RTO arm per
-   ack across a 100k-connection fleet) strands dead nodes deep in the
-   array. When more than half the heap is dead, rebuild it: keep the
-   live events, reset freed slots to [dummy_event] (releasing the
-   cancelled closures), and restore the heap property bottom-up
-   (Floyd heapify, O(n)). The (time, seq) order is untouched, so event
-   traces — and therefore runs — are bit-identical with or without
-   compaction ever firing. *)
-let compact_threshold = 64
+(* Precondition: h_size > 0. *)
+let hpop h =
+  let ev = h.h_arr.(0) in
+  h.h_size <- h.h_size - 1;
+  let last = h.h_arr.(h.h_size) in
+  h.h_arr.(0) <- last;
+  last.pos <- 0;
+  h.h_arr.(h.h_size) <- dummy_event;
+  sift_down h 0;
+  ev.hh <- dummy_heap;
+  ev.pos <- -1;
+  ev
 
-let compact t =
-  let live = ref 0 in
-  for i = 0 to t.size - 1 do
-    let ev = t.heap.(i) in
-    if not ev.cancelled then begin
-      t.heap.(!live) <- ev;
-      incr live
-    end
+(* Physical delete from the middle: move the last element into the hole
+   and restore the heap property in whichever direction it violates it.
+   The pop sequence of the remaining events is their (time, seq)-sorted
+   order either way, so removal never perturbs execution order. *)
+let heap_remove h (ev : event) =
+  let i = ev.pos in
+  h.h_size <- h.h_size - 1;
+  let last = h.h_arr.(h.h_size) in
+  h.h_arr.(h.h_size) <- dummy_event;
+  if i < h.h_size then begin
+    h.h_arr.(i) <- last;
+    last.pos <- i;
+    sift_down h i;
+    sift_up h last.pos
+  end;
+  ev.hh <- dummy_heap;
+  ev.pos <- -1
+
+(* ---------- timing wheel primitives ---------- *)
+
+let wheel_bits = 5
+let wheel_slots = 32 (* 1 lsl wheel_bits *)
+let wheel_mask = wheel_slots - 1
+
+(* 13 levels of 5 bits cover bits 0..64 of the tick, i.e. every
+   non-negative OCaml int: no separate overflow list is needed. Ticks
+   are saturated below 2^61 so tick arithmetic (start-of-bucket, +1 on
+   drain) can never overflow. *)
+let wheel_levels = 13
+let max_tick = 1 lsl 61
+
+let tick_of w time =
+  let x = time *. w.w_inv_quantum in
+  if x >= 2.3e18 (* also catches +inf *) then max_tick
+  else if x > 0.0 then int_of_float x
+  else 0
+
+(* Smallest level whose higher-order tick groups agree with the current
+   position: the event can be reached from [cur] without leaving that
+   level's window. *)
+let level_of cur tick =
+  let rec go l =
+    if l >= wheel_levels - 1 then wheel_levels - 1
+    else if tick lsr (wheel_bits * (l + 1)) = cur lsr (wheel_bits * (l + 1))
+    then l
+    else go (l + 1)
+  in
+  go 0
+
+let bucket_of w tick =
+  let l = level_of w.w_cur tick in
+  let idx = (tick lsr (wheel_bits * l)) land wheel_mask in
+  let row = w.w_levels.(l) in
+  let b = row.(idx) in
+  if b != dummy_bucket then b
+  else begin
+    let b = { b_owner = Some w; b_evs = Array.make 4 dummy_event; b_len = 0 } in
+    row.(idx) <- b;
+    b
+  end
+
+let bucket_push (b : bucket) ev =
+  let n = b.b_len in
+  if n = Array.length b.b_evs then begin
+    let a = Array.make (max 8 (2 * n)) dummy_event in
+    Array.blit b.b_evs 0 a 0 n;
+    b.b_evs <- a
+  end;
+  b.b_evs.(n) <- ev;
+  ev.home <- b;
+  ev.pos <- n;
+  b.b_len <- n + 1
+
+(* Physical O(1) removal of a bucket-resident event (swap with the last
+   slot). This is what makes {!cancel} O(1) on the wheel: no dead node
+   is ever left behind, so mass cancellation releases memory at once. *)
+let bucket_remove (ev : event) =
+  let b = ev.home in
+  let last = b.b_len - 1 in
+  let moved = b.b_evs.(last) in
+  b.b_evs.(ev.pos) <- moved;
+  moved.pos <- ev.pos;
+  b.b_evs.(last) <- dummy_event;
+  b.b_len <- last;
+  ev.home <- dummy_bucket;
+  ev.pos <- -1;
+  match b.b_owner with
+  | Some w -> w.w_count <- w.w_count - 1
+  | None -> assert false
+
+(* Raw placement: due heap when the event's tick has already been
+   reached (schedule-at-now, run-limit put-backs), its bucket
+   otherwise. *)
+let wheel_place w ev =
+  let tick = tick_of w ev.time in
+  if tick < w.w_cur then hpush w.w_due ev
+  else begin
+    bucket_push (bucket_of w tick) ev;
+    w.w_count <- w.w_count + 1
+  end
+
+let wheel_nodes w = w.w_count + w.w_due.h_size
+
+(* Respread a higher-level bucket's events now that the clock has
+   entered its window; each lands at a strictly lower level
+   (redistributed ticks are always >= w_cur, so the due heap is
+   untouched). *)
+let redistribute w b =
+  let n = b.b_len in
+  for i = 0 to n - 1 do
+    let ev = b.b_evs.(i) in
+    b.b_evs.(i) <- dummy_event;
+    w.w_count <- w.w_count - 1;
+    ev.home <- dummy_bucket;
+    ev.pos <- -1;
+    wheel_place w ev
   done;
-  for i = !live to t.size - 1 do
-    t.heap.(i) <- dummy_event
-  done;
-  t.size <- !live;
-  t.dead := 0;
-  for i = (t.size / 2) - 1 downto 0 do
-    sift_down t i
+  b.b_len <- 0
+
+(* Advance the wheel to the next pending tick: find the earliest
+   non-empty bucket (lowest level first, scanning each level from the
+   clock's own slot), cascade higher-level buckets down, and drain the
+   level-0 bucket whole into the due heap — the batched-execution step:
+   one bucket pull feeds many pops. Postcondition: the due heap is
+   non-empty (precondition: w_count > 0). *)
+let advance w =
+  while w.w_due.h_size = 0 && w.w_count > 0 do
+    (* A drain's [w_cur + 1] can carry across a higher-level window
+       boundary without visiting that level, leaving events parked in a
+       bucket at the clock's own slot — ticks interleaved with the new
+       level-0 window. Cascade those first (top-down, so each respread
+       lands below), restoring the invariant that every bucket at
+       level >= 1 is strictly later than the whole window under it;
+       only then is the bottom-up scan's "lowest level first" order
+       correct. *)
+    for l = wheel_levels - 1 downto 1 do
+      let idx = (w.w_cur lsr (wheel_bits * l)) land wheel_mask in
+      let b = w.w_levels.(l).(idx) in
+      if b != dummy_bucket && b.b_len > 0 then redistribute w b
+    done;
+    let found = ref false in
+    let l = ref 0 in
+    while (not !found) && !l < wheel_levels do
+      let row = w.w_levels.(!l) in
+      let from = (w.w_cur lsr (wheel_bits * !l)) land wheel_mask in
+      let j = ref from in
+      while (not !found) && !j < wheel_slots do
+        let b = row.(!j) in
+        if b != dummy_bucket && b.b_len > 0 then begin
+          found := true;
+          if !l = 0 then begin
+            (* level-0 buckets hold exactly one tick: drain it whole *)
+            w.w_cur <- ((w.w_cur lsr wheel_bits) lsl wheel_bits) lor !j;
+            let n = b.b_len in
+            for i = 0 to n - 1 do
+              let ev = b.b_evs.(i) in
+              b.b_evs.(i) <- dummy_event;
+              ev.home <- dummy_bucket;
+              ev.pos <- -1;
+              w.w_count <- w.w_count - 1;
+              hpush w.w_due ev
+            done;
+            b.b_len <- 0;
+            w.w_cur <- w.w_cur + 1
+          end
+          else begin
+            (* cascade: jump to the bucket's window and respread it
+               (never moving the clock backward) *)
+            let s = wheel_bits * !l in
+            let s1 = wheel_bits * (!l + 1) in
+            let start =
+              if s1 > 61 then !j lsl s
+              else ((w.w_cur lsr s1) lsl s1) lor (!j lsl s)
+            in
+            if start > w.w_cur then w.w_cur <- start;
+            redistribute w b
+          end
+        end
+        else incr j
+      done;
+      incr l
+    done;
+    if not !found then
+      (* unreachable by construction: w_count > 0 means some bucket at
+         some level is reachable from w_cur *)
+      invalid_arg "Eventq: timing wheel lost track of pending events"
   done
 
-let maybe_compact t =
-  if t.size >= compact_threshold && 2 * !(t.dead) > t.size then compact t
+let wheel_pop w =
+  if w.w_due.h_size > 0 then Some (hpop w.w_due)
+  else if w.w_count = 0 then None
+  else begin
+    advance w;
+    Some (hpop w.w_due)
+  end
+
+(* ---------- the core seam ---------- *)
+
+(** What a queue core must provide. [insert] takes ownership of an
+    event whose [time]/[seq] fields are already set and records the
+    event's physical location in it; [pop] yields events in exact
+    [(time, seq)] order. Cores never hold cancelled events —
+    {!cancel} removes them physically through the location fields. *)
+module type EVENT_CORE = sig
+  type state
+
+  val name : string
+  val make : quantum:float -> state
+  val insert : state -> event -> unit
+  val pop : state -> event option
+  val nodes : state -> int
+end
+
+module Heap_core : EVENT_CORE with type state = heap = struct
+  type state = heap
+
+  let name = "heap"
+  let make ~quantum:_ = heap_make ()
+  let insert = hpush
+  let pop h = if h.h_size = 0 then None else Some (hpop h)
+  let nodes h = h.h_size
+end
+
+module Wheel_core : EVENT_CORE with type state = wheel = struct
+  type state = wheel
+
+  let name = "wheel"
+
+  let make ~quantum =
+    {
+      w_inv_quantum = 1.0 /. quantum;
+      w_levels =
+        Array.init wheel_levels (fun _ -> Array.make wheel_slots dummy_bucket);
+      w_cur = 0;
+      w_due = heap_make ();
+      w_count = 0;
+    }
+
+  let insert = wheel_place
+  let pop = wheel_pop
+  let nodes = wheel_nodes
+end
+
+type core = Core : (module EVENT_CORE with type state = 's) * 's -> core
+type core_kind = Wheel | Heap
+
+let core_kind_to_string = function Wheel -> "wheel" | Heap -> "heap"
+let core_names = [ "wheel"; "heap" ]
+
+let core_kind_of_string = function
+  | "wheel" -> Ok Wheel
+  | "heap" -> Ok Heap
+  | s ->
+      Error
+        (Printf.sprintf "unknown event core %S (expected one of: %s)" s
+           (String.concat ", " core_names))
+
+(* Process-wide default, so a single [--eventq heap] flag reaches every
+   queue a scenario creates internally (per-connection clocks, sweep
+   scenarios, fleet shards). Set it before spawning shard domains. *)
+let default_core_ref = ref Wheel
+let set_default_core k = default_core_ref := k
+let default_core () = !default_core_ref
+let default_quantum = 1e-4
+
+(* A tick a comfortable factor below the minimum propagation delay keeps
+   same-burst events (serialization, ack clocking) in one bucket while
+   cross-path events still land in distinct buckets; the quantum never
+   affects simulated timestamps, only bucket occupancy. *)
+let derive_quantum ~min_delay =
+  if Float.is_finite min_delay && min_delay > 0.0 then
+    Float.max 1e-7 (Float.min 1e-2 (min_delay /. 64.0))
+  else default_quantum
+
+type t = {
+  mutable now : float;
+  mutable next_seq : int;
+  qs : qshared;
+  mutable observers : (unit -> unit) list;
+      (** run after every executed event, in registration order *)
+  core : core;
+  kind : core_kind;
+  quantum : float;
+}
+
+let create ?core:kind ?(quantum = default_quantum) () =
+  if not (Float.is_finite quantum && quantum > 0.0) then
+    invalid_arg "Eventq.create: quantum must be positive and finite";
+  let kind = match kind with Some k -> k | None -> !default_core_ref in
+  let core =
+    match kind with
+    | Heap -> Core ((module Heap_core), Heap_core.make ~quantum)
+    | Wheel -> Core ((module Wheel_core), Wheel_core.make ~quantum)
+  in
+  {
+    now = 0.0;
+    next_seq = 0;
+    qs = { in_observer = false };
+    observers = [];
+    core;
+    kind;
+    quantum;
+  }
+
+let now t = t.now
+let core t = t.kind
+let core_name t = core_kind_to_string t.kind
+let quantum t = t.quantum
+
+(** Register [f] to run after every executed (non-cancelled) event —
+    the hook invariant checkers attach to. Observers run in registration
+    order and are read-only: scheduling or cancelling from inside one
+    raises [Invalid_argument] (enforced, not just documented). *)
+let add_observer t f = t.observers <- t.observers @ [ f ]
+
+let obs_guard (qs : qshared) op =
+  if qs.in_observer then
+    invalid_arg
+      ("Eventq." ^ op
+     ^ ": called from inside an Eventq observer (observers are read-only \
+        and must not schedule or cancel events)")
+
+(* ---------- shared core wrappers ---------- *)
+
+let core_insert t ev =
+  let (Core ((module C), st)) = t.core in
+  C.insert st ev
+
+let core_pop t =
+  let (Core ((module C), st)) = t.core in
+  C.pop st
 
 (** Schedule [action] at absolute time [at] (>= now). Returns a handle
     that {!cancel} accepts. *)
 let schedule t ~at action =
-  maybe_compact t;
+  obs_guard t.qs "schedule";
   let at = if at < t.now then t.now else at in
   let ev =
-    { time = at; seq = t.next_seq; cancelled = false; action; dead = t.dead }
+    {
+      time = at;
+      seq = t.next_seq;
+      cancelled = false;
+      action;
+      qs = t.qs;
+      home = dummy_bucket;
+      hh = dummy_heap;
+      pos = -1;
+    }
   in
   t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.heap then begin
-    let heap' = Array.make (2 * t.size) ev in
-    Array.blit t.heap 0 heap' 0 t.size;
-    t.heap <- heap'
-  end;
-  t.heap.(t.size) <- ev;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1);
+  core_insert t ev;
   ev
 
 (** Schedule relative to the current time. *)
 let schedule_in t ~delay action = schedule t ~at:(t.now +. delay) action
 
 let cancel (ev : event) =
+  obs_guard ev.qs "cancel";
   if not ev.cancelled then begin
     ev.cancelled <- true;
-    incr ev.dead
+    if ev.home != dummy_bucket then bucket_remove ev
+    else if ev.hh != dummy_heap then heap_remove ev.hh ev
   end
 
 (* ---------- re-armable timers ---------- *)
 
 (** A timer is a re-armable event whose action closure is built exactly
-    once, at creation. Hot paths that arm an event per packet or per ack
-    (the RTO timer being the canonical case) would otherwise allocate a
-    fresh closure — typically with a non-trivial capture — on every arm;
-    with a timer, each arm costs only the small heap node {!schedule}
-    creates. Semantics are identical to cancel-then-schedule: one
-    sequence number is consumed per arm, and a cancelled arm is skipped
-    lazily at pop time, so event traces match the closure-per-arm code
-    bit for bit. *)
-type timer = { mutable armed : event option; mutable fire : unit -> unit }
+    once, at creation, and whose event cell is reused across arms:
+    cancellation is physical, so by the time {!timer_arm} runs, the
+    previous arm's cell is always out of the core and the new deadline
+    is written into it in place — no closure, no node, no allocation.
+    One sequence number is consumed per arm (exactly like
+    cancel-then-schedule), so event traces match the closure-per-arm
+    code bit for bit. *)
+type timer = {
+  mutable cell : event option;
+  mutable t_armed : bool;
+  mutable fire : unit -> unit;
+}
 
 let timer action =
-  let tm = { armed = None; fire = ignore } in
+  let tm = { cell = None; t_armed = false; fire = ignore } in
   tm.fire <-
     (fun () ->
-      tm.armed <- None;
+      tm.t_armed <- false;
       action ());
   tm
 
-let timer_armed tm = tm.armed <> None
+let timer_armed tm = tm.t_armed
 
 let timer_cancel tm =
-  match tm.armed with
-  | Some ev ->
-      cancel ev;
-      tm.armed <- None
-  | None -> ()
+  if tm.t_armed then begin
+    (match tm.cell with Some ev -> cancel ev | None -> ());
+    tm.t_armed <- false
+  end
 
 let timer_arm t tm ~at =
+  obs_guard t.qs "timer_arm";
   timer_cancel tm;
-  tm.armed <- Some (schedule t ~at tm.fire)
+  let at = if at < t.now then t.now else at in
+  (match tm.cell with
+  | Some ev when ev.pos < 0 && ev.qs == t.qs ->
+      (* the cell is free: re-arm in place, zero allocation *)
+      ev.time <- at;
+      ev.seq <- t.next_seq;
+      ev.cancelled <- false;
+      t.next_seq <- t.next_seq + 1;
+      core_insert t ev
+  | _ ->
+      (* first arm on this queue (or the cell belongs to another
+         queue): allocate the cell *)
+      let ev =
+        {
+          time = at;
+          seq = t.next_seq;
+          cancelled = false;
+          action = tm.fire;
+          qs = t.qs;
+          home = dummy_bucket;
+          hh = dummy_heap;
+          pos = -1;
+        }
+      in
+      t.next_seq <- t.next_seq + 1;
+      tm.cell <- Some ev;
+      core_insert t ev);
+  tm.t_armed <- true
 
 let timer_arm_in t tm ~delay = timer_arm t tm ~at:(t.now +. delay)
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let ev = t.heap.(0) in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- dummy_event;
-    sift_down t 0;
-    if ev.cancelled then decr t.dead;
-    Some ev
-  end
+(** Physical nodes held by the core. Cancellation is physical in both
+    cores, so this always equals {!live_nodes}; both names are kept
+    because tests and fleet metrics read them. *)
+let heap_nodes t =
+  let (Core ((module C), st)) = t.core in
+  C.nodes st
 
-(** Physical heap nodes, including not-yet-compacted cancelled ones —
-    exposed so tests can observe compaction. *)
-let heap_nodes t = t.size
-
-(** Heap nodes holding live (not cancelled) events. *)
-let live_nodes t = t.size - !(t.dead)
+(** Nodes holding live (not cancelled) events. *)
+let live_nodes t = heap_nodes t
 
 (** Run events until the queue drains or the clock passes [until]
     (default: drain). Returns the number of events executed. *)
@@ -197,29 +603,25 @@ let run ?until t =
   let executed = ref 0 in
   let limit = match until with Some u -> u | None -> infinity in
   let rec loop () =
-    match pop t with
+    match core_pop t with
     | None -> ()
     | Some ev when ev.time > limit ->
         (* put it back: future runs may extend the horizon *)
-        t.size <- t.size + 1;
-        if t.size > Array.length t.heap then assert false;
-        t.heap.(t.size - 1) <- ev;
-        sift_up t (t.size - 1);
-        if ev.cancelled then incr t.dead;
+        core_insert t ev;
         t.now <- limit
     | Some ev ->
-        (* only executed events advance the clock: a cancelled node may
-           or may not still be in the heap depending on whether
-           compaction fired, so letting it move [now] would make the
-           final clock depend on an internal heuristic *)
-        if not ev.cancelled then begin
-          t.now <- ev.time;
-          ev.action ();
-          incr executed;
-          match t.observers with
-          | [] -> ()
-          | obs -> List.iter (fun f -> f ()) obs
-        end;
+        t.now <- ev.time;
+        ev.action ();
+        incr executed;
+        (match t.observers with
+        | [] -> ()
+        | obs -> (
+            t.qs.in_observer <- true;
+            (try List.iter (fun f -> f ()) obs
+             with e ->
+               t.qs.in_observer <- false;
+               raise e);
+            t.qs.in_observer <- false));
         loop ()
   in
   loop ();

@@ -1,14 +1,59 @@
 (** Discrete-event simulation core: a clock and a time-ordered event
     queue. Events scheduled for the same instant fire in scheduling
-    order, keeping runs deterministic. *)
+    order, keeping runs deterministic.
+
+    The queue is backed by one of two cores selected at {!create}
+    (see the [EVENT_CORE] seam in the implementation):
+
+    - [Wheel] (default): a hierarchical timing wheel — O(1) schedule,
+      cancel and timer re-arm, batched bucket drains. Fire times are
+      quantized to a tick only to pick a bucket; events within a bucket
+      are ordered by their exact [(time, sequence)] key, so execution
+      order, executed counts and the final clock are bit-identical to
+      the heap core for any quantum.
+    - [Heap]: a binary min-heap — O(log n), kept as an escape hatch
+      ([--eventq heap]) and as the oracle for the differential test
+      suite.
+
+    Cancellation is physical in both cores (every event knows its slot
+    and is swap-removed on {!cancel}), so no structure ever holds a
+    cancelled event and every observable of a run — execution order,
+    executed counts, the final clock, even {!heap_nodes} — is identical
+    across cores. *)
 
 type t
 
 type event
 (** Handle for cancellation. *)
 
-val create : unit -> t
+type core_kind = Wheel | Heap
 
+val core_kind_of_string : string -> (core_kind, string) result
+val core_kind_to_string : core_kind -> string
+
+val core_names : string list
+(** Accepted spellings for CLI flags, default first. *)
+
+val set_default_core : core_kind -> unit
+(** Set the core used by every subsequent {!create} without an explicit
+    [?core] — how a single [--eventq] flag reaches queues created deep
+    inside scenarios. Call it before spawning shard domains. *)
+
+val default_core : unit -> core_kind
+
+val derive_quantum : min_delay:float -> float
+(** A wheel tick a comfortable factor below [min_delay] (the smallest
+    propagation delay in the topology), clamped to a sane range. The
+    quantum affects bucket occupancy only, never simulated timestamps. *)
+
+val create : ?core:core_kind -> ?quantum:float -> unit -> t
+(** [core] defaults to {!default_core}; [quantum] (wheel tick width in
+    simulated seconds, default [1e-4]) must be positive and finite and
+    is ignored by the heap core. *)
+
+val core : t -> core_kind
+val core_name : t -> string
+val quantum : t -> float
 val now : t -> float
 
 val schedule : t -> at:float -> (unit -> unit) -> event
@@ -17,12 +62,18 @@ val schedule : t -> at:float -> (unit -> unit) -> event
 val schedule_in : t -> delay:float -> (unit -> unit) -> event
 
 val cancel : event -> unit
+(** Physically remove the event — O(1) from a wheel bucket, O(log n)
+    from a heap — releasing its node and action closure immediately.
+    Idempotent. *)
 
 type timer
 (** A re-armable event whose action closure is allocated once, at
     creation — for hot paths (RTO timers) that would otherwise build a
-    fresh capture-carrying closure on every arm. Arming behaves exactly
-    like cancel-then-{!schedule}: one sequence number per arm. *)
+    fresh capture-carrying closure on every arm. The timer also owns a
+    reusable event cell: cancellation is physical, so re-arming always
+    writes the new deadline into the cell in place and allocates
+    nothing. Arming behaves exactly like cancel-then-{!schedule}: one
+    sequence number per arm, identical event traces. *)
 
 val timer : (unit -> unit) -> timer
 (** Create an unarmed timer running [action] each time an arm fires. *)
@@ -41,22 +92,21 @@ val timer_armed : timer -> bool
 val add_observer : t -> (unit -> unit) -> unit
 (** Register a callback that runs after every executed event, in
     registration order — the hook invariant checkers attach to.
-    Observers must not schedule or cancel events. *)
+    Observers are read-only: calling {!schedule}, {!cancel},
+    {!timer_arm} or {!timer_cancel} on the observed queue from inside an
+    observer raises [Invalid_argument] naming the offending operation. *)
 
 val run : ?until:float -> t -> int
 (** Run events until the queue drains or the clock passes [until]
     (later events are kept for future runs). Returns the number of
-    events executed. Only executed events advance {!now}: a cancelled
-    event surfacing at the root is dropped without moving the clock, so
-    the final simulated time never depends on whether compaction
-    happened to remove it first. *)
+    events executed. {!now} advances to each executed event's time, and
+    to [until] when a pending event lies beyond it; a run that drains
+    the queue leaves the clock at the last executed event. *)
 
 val heap_nodes : t -> int
-(** Physical heap nodes, including cancelled events not yet removed.
-    Cancelled events are normally dropped lazily when they surface at
-    the root; when they outnumber live events (and the heap is
-    non-trivially sized) the queue compacts itself, so this stays
-    within a small factor of {!live_nodes}. Exposed for tests. *)
+(** Physical nodes held by the core. Cancellation is physical, so this
+    always equals {!live_nodes}; exposed (under its historical name)
+    for tests and fleet metrics. *)
 
 val live_nodes : t -> int
-(** Heap nodes holding live (not cancelled) events. *)
+(** Nodes holding live (not cancelled) events. *)

@@ -134,7 +134,9 @@ let exec_on (conn : Connection.t) path ev =
     Steps sharing a timestamp fire in script order (the queue breaks ties
     by scheduling order); a step naming a path the connection does not
     (yet) have is skipped with a debug log, so scripts can reference
-    paths added later via {!Connection.add_path}. *)
+    paths added later via {!Connection.add_path}. Steps are ordinary
+    scheduled events, free to mutate links and re-schedule — unlike
+    {!Eventq.add_observer} hooks, which are enforced read-only. *)
 let apply (conn : Connection.t) (script : script) =
   List.iter
     (fun s -> Connection.at conn ~time:s.at (fun () -> exec_on conn s.path s.ev))

@@ -139,7 +139,24 @@ let create ?clock ?(seed = 42) ?(mss = 1448) ?(rcv_buffer = 4 lsl 20)
   if shard_count > groups then
     Fmt.invalid_arg "Fleet.create: %d shards need >= that many groups (%d)"
       shard_count groups;
-  let clock = match clock with Some c -> c | None -> Eventq.create () in
+  let clock =
+    match clock with
+    | Some c -> c
+    | None ->
+        (* Derive the wheel tick from the smallest propagation delay in
+           the topology: bucket granularity tracks the event spacing the
+           links actually produce. Timestamps are unaffected — an
+           adopt-only fleet (no paths) just gets the default quantum. *)
+        let min_delay =
+          List.fold_left
+            (fun m (s : Path_manager.path_spec) ->
+              Float.min m
+                (Float.min s.Path_manager.up.Link.delay
+                   s.Path_manager.down.Link.delay))
+            Float.infinity paths
+        in
+        Eventq.create ~quantum:(Eventq.derive_quantum ~min_delay) ()
+  in
   (* this shard owns the global groups { g | g mod shard_count = shard_idx } *)
   let owned = (groups - shard_idx + shard_count - 1) / shard_count in
   {

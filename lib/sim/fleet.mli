@@ -49,7 +49,11 @@ val create :
     not own — run [count] instances (one per domain, own clocks,
     identical traffic streams) and {!merge_totals} their results.
     [count] must not exceed [groups]. An empty [paths] makes an
-    adopt-only fleet: {!adopt} works, {!arrive} raises. *)
+    adopt-only fleet: {!adopt} works, {!arrive} raises. When [clock] is
+    omitted, the fleet builds one with a wheel quantum derived from the
+    minimum link propagation delay in [paths]
+    ({!Eventq.derive_quantum}); quantization never changes simulated
+    timestamps, so results are identical either way. *)
 
 val arrive : t -> size:int -> unit
 (** One open-loop arrival now: recycle (or create) a slot in the

@@ -159,7 +159,10 @@ let on_deliver t ~seq ~size ~time:_ =
 (** Attach a checker: wraps the meta socket's delivery callback (chaining
     with whatever is already installed) and registers an event-queue
     observer, so every subsequent event is validated. Attach {e after}
-    installing any experiment-side [on_deliver] hook. *)
+    installing any experiment-side [on_deliver] hook. The observer only
+    reads connection state and records violations — event-queue
+    observers are enforced read-only ({!Eventq.add_observer} raises on
+    any schedule/cancel from inside one). *)
 let attach ?(max_recorded = 20) (conn : Connection.t) =
   let t =
     {

@@ -436,7 +436,11 @@ let sample_rtt t r =
 
 (* The timer's action closure is allocated once, in [create]; an arm
    consumes exactly one event sequence number (like the old
-   cancel-then-schedule), keeping event traces bit-identical. *)
+   cancel-then-schedule), keeping event traces bit-identical. The timer
+   also owns a reusable event cell: cancellation is physical in every
+   Eventq core, so re-arming the RTO on the transmit hot path writes
+   the new deadline into that cell in place — no allocation, no dead
+   node left behind in the wheel bucket or heap. *)
 
 let cancel_rto t = Eventq.timer_cancel t.rto_timer
 

@@ -1,8 +1,10 @@
-(** Property tests for the event queue against a sorted-reference
-    model: pop order equals a stable sort by (time, scheduling order),
-    same-timestamp events fire FIFO, cancellation removes exactly the
-    cancelled event, and re-armable timers behave like
-    cancel-then-schedule (one sequence number per arm). *)
+(** Property tests for the event queue: pop order equals a stable sort
+    by (time, scheduling order) on every core, the heap and wheel cores
+    are observationally identical on random scripts (the differential
+    suite that locks the [EVENT_CORE] seam), physical cancellation
+    keeps node accounting exact, and re-armable timers behave like
+    cancel-then-schedule (one sequence number per arm) while reusing
+    one event cell. *)
 
 open Mptcp_sim
 open Helpers
@@ -31,8 +33,8 @@ let gen_ops =
    time with scheduling sequence as the tie-break. Timer arms consume a
    sequence number exactly like a fresh schedule; cancels consume
    none. *)
-let model_matches ops =
-  let q = Eventq.create () in
+let model_matches ~mk ops =
+  let q : Eventq.t = mk () in
   let fired = ref [] in
   let timers =
     Array.init 3 (fun k -> Eventq.timer (fun () -> fired := Tm k :: !fired))
@@ -83,38 +85,115 @@ let model_matches ops =
       !model
     |> List.map (fun (_, _, tag) -> tag)
   in
-  List.rev !fired = expected && Array.for_all (fun t -> not (Eventq.timer_armed t)) timers
+  List.rev !fired = expected
+  && Array.for_all (fun t -> not (Eventq.timer_armed t)) timers
 
-let qprop =
-  QCheck2.Test.make ~name:"eventq pops in (time, scheduling order)"
-    ~count:1000 gen_ops model_matches
+let qprop_model name mk =
+  QCheck2.Test.make
+    ~name:("pops in (time, scheduling order) [" ^ name ^ "]")
+    ~count:500 gen_ops (model_matches ~mk)
 
-(* ---------- lazy compaction ---------- *)
+(* ---------- heap/wheel differential suite ---------- *)
 
-(* Long-lived fleets cancel heavily (one RTO re-arm per ack), so the
-   heap must never hold more than a bounded multiple of its live
-   events. The bound below is exactly the compaction contract: a
-   schedule compacts whenever cancelled entries exceed half of a
-   non-trivially-sized heap. *)
-let compaction_bound q =
-  Eventq.heap_nodes q <= max 64 (2 * Eventq.live_nodes q)
+(* A richer op language than the model test: chained events that
+   schedule more events from inside their own action (the pattern every
+   simulation uses, and the one that exercises wheel cascades), timers
+   re-armed both from script level and mid-run, cancellations landing
+   on past and future handles, and [run ~until] segments that stop the
+   clock between batches. Identical scripts must produce identical
+   (tag, time) traces, per-segment executed counts and final clocks on
+   the heap core and on wheel cores at wildly different quanta — the
+   quantum may only affect bucket occupancy, never observable order. *)
+type dop =
+  | DSched of float * int  (* delay bucket, tag *)
+  | DSchedCancel of float * int  (* delay, cancel k ops later *)
+  | DArm of float
+  | DDisarm
+  | DChain of float * int * int  (* delay, chain length, tag base *)
 
+let gen_dops =
+  let open QCheck2.Gen in
+  let fl = map (fun b -> float_of_int (abs b mod 1000) /. 97.0) small_int in
+  pair
+    (list_size (int_range 3 25)
+       (oneof
+          [
+            map2 (fun d i -> DSched (d, abs i)) fl small_int;
+            map2 (fun d k -> DSchedCancel (d, abs k mod 5)) fl small_int;
+            map (fun d -> DArm d) fl;
+            return DDisarm;
+            map3
+              (fun d n tag -> DChain (d, abs n mod 4, 1000 * abs tag))
+              fl small_int small_int;
+          ]))
+    (list_size (int_range 0 3) fl)
+(* second component: run ~until horizons, applied before the final
+   drain *)
+
+let run_dscript ~core ~quantum (script, segments) =
+  let q = Eventq.create ~core ~quantum () in
+  let trace = ref [] in
+  let record tag = trace := (tag, Eventq.now q) :: !trace in
+  let tm = Eventq.timer (fun () -> record (-1)) in
+  let pending_cancels = ref [] in
+  let step = ref 0 in
+  let exec_op op =
+    incr step;
+    let due, rest =
+      List.partition (fun (s, _) -> s <= !step) !pending_cancels
+    in
+    pending_cancels := rest;
+    List.iter (fun (_, ev) -> Eventq.cancel ev) due;
+    match op with
+    | DSched (d, tag) ->
+        ignore (Eventq.schedule_in q ~delay:d (fun () -> record tag))
+    | DSchedCancel (d, k) ->
+        let ev = Eventq.schedule_in q ~delay:d (fun () -> record 999) in
+        pending_cancels := (!step + k, ev) :: !pending_cancels
+    | DArm d -> Eventq.timer_arm_in q tm ~delay:d
+    | DDisarm -> Eventq.timer_cancel tm
+    | DChain (d, n, tag) ->
+        let rec go i =
+          ignore
+            (Eventq.schedule_in q ~delay:d (fun () ->
+                 record (tag + i);
+                 if i < n then go (i + 1)))
+        in
+        go 0
+  in
+  List.iter exec_op script;
+  let execs = List.map (fun u -> Eventq.run ~until:u q) segments in
+  let final = Eventq.run q in
+  (List.rev !trace, execs, final, Eventq.now q)
+
+let differential_matches script =
+  let oracle = run_dscript ~core:Eventq.Heap ~quantum:1e-4 script in
+  List.for_all
+    (fun quantum ->
+      run_dscript ~core:Eventq.Wheel ~quantum script = oracle)
+    [ 1e-6; 1e-4; 0.37; 53.0 ]
+
+let qprop_differential =
+  QCheck2.Test.make
+    ~name:"wheel cores (any quantum) replay the heap core bit-identically"
+    ~count:500 gen_dops differential_matches
+
+(* ---------- physical cancellation ---------- *)
+
+(* Cancellation removes the node from whichever structure holds it, so
+   node accounting is exact at every step — no lazy dead entries, no
+   compaction heuristic for tests to chase — and removal must be
+   observationally transparent to the survivors' firing order. *)
 let gen_cancel_ops =
   QCheck2.Gen.(list_size (int_range 100 400) (pair small_int bool))
 
-(* Each op schedules one event (time bucket 0..9) and optionally
-   cancels the middle of the handles list (sometimes re-cancelling an
-   already-cancelled one — the dead counter must not double-count).
-   The bound must hold after every schedule, and the final firing order
-   must match the live model sorted by (time, scheduling order) — i.e.
-   compaction is observationally transparent. *)
-let compaction_model ops =
-  let q = Eventq.create () in
+let cancellation_model ~mk ops =
+  let q : Eventq.t = mk () in
   let fired = ref [] in
   let model = ref [] in
   let handles = ref [] and n_handles = ref 0 in
   let n = ref 0 in
-  let bound_ok = ref true in
+  let exact = ref true in
   List.iter
     (fun (b, cancel_mid) ->
       let id = !n in
@@ -124,13 +203,18 @@ let compaction_model ops =
       handles := (h, id) :: !handles;
       incr n_handles;
       model := (id, t) :: !model;
-      if not (compaction_bound q) then bound_ok := false;
-      if cancel_mid then
-        match List.nth_opt !handles (!n_handles / 2) with
-        | Some (h, cid) ->
-            Eventq.cancel h;
-            model := List.filter (fun (i, _) -> i <> cid) !model
-        | None -> ())
+      (if cancel_mid then
+         match List.nth_opt !handles (!n_handles / 2) with
+         | Some (h, cid) ->
+             Eventq.cancel h;
+             (* re-cancelling must be idempotent *)
+             Eventq.cancel h;
+             model := List.filter (fun (i, _) -> i <> cid) !model
+         | None -> ());
+      if
+        Eventq.heap_nodes q <> List.length !model
+        || Eventq.live_nodes q <> Eventq.heap_nodes q
+      then exact := false)
     ops;
   ignore (Eventq.run q);
   let expected =
@@ -140,35 +224,45 @@ let compaction_model ops =
       !model
     |> List.map fst
   in
-  !bound_ok && List.rev !fired = expected
+  !exact && List.rev !fired = expected
 
-let qprop_compaction =
+let qprop_cancellation name mk =
   QCheck2.Test.make
-    ~name:"compaction keeps the heap bounded and is order-transparent"
-    ~count:200 gen_cancel_ops compaction_model
+    ~name:("cancellation is physical and order-transparent [" ^ name ^ "]")
+    ~count:100 gen_cancel_ops (cancellation_model ~mk)
+
+let cores =
+  [
+    ("heap", fun () -> Eventq.create ~core:Eventq.Heap ());
+    ("wheel", fun () -> Eventq.create ~core:Eventq.Wheel ());
+    ( "wheel q=0.31",
+      fun () -> Eventq.create ~core:Eventq.Wheel ~quantum:0.31 () );
+  ]
 
 let suite =
   [
     ( "eventq",
       [
-        tc "same-timestamp events fire FIFO" (fun () ->
-            let q = Eventq.create () in
-            let fired = ref [] in
-            for i = 0 to 9 do
-              ignore
-                (Eventq.schedule q ~at:1.0 (fun () -> fired := i :: !fired))
-            done;
-            ignore (Eventq.run q);
-            Alcotest.(check (list int))
-              "order" (List.init 10 Fun.id) (List.rev !fired));
+        tc "same-timestamp events fire FIFO (all cores)" (fun () ->
+            List.iter
+              (fun (name, mk) ->
+                let q : Eventq.t = mk () in
+                let fired = ref [] in
+                for i = 0 to 9 do
+                  ignore
+                    (Eventq.schedule q ~at:1.0 (fun () -> fired := i :: !fired))
+                done;
+                ignore (Eventq.run q);
+                Alcotest.(check (list int))
+                  ("order " ^ name) (List.init 10 Fun.id) (List.rev !fired))
+              cores);
         tc "run ~until keeps later events" (fun () ->
             let q = Eventq.create () in
             let fired = ref [] in
             List.iter
               (fun t ->
                 ignore
-                  (Eventq.schedule q ~at:t (fun () ->
-                       fired := t :: !fired)))
+                  (Eventq.schedule q ~at:t (fun () -> fired := t :: !fired)))
               [ 0.5; 1.5; 2.5 ];
             ignore (Eventq.run ~until:1.0 q);
             Alcotest.(check (list (float 1e-9))) "early" [ 0.5 ] (List.rev !fired);
@@ -182,8 +276,7 @@ let suite =
             (timer :=
                Eventq.timer (fun () ->
                    incr count;
-                   if !count < 5 then
-                     Eventq.timer_arm_in q !timer ~delay:0.1));
+                   if !count < 5 then Eventq.timer_arm_in q !timer ~delay:0.1));
             Eventq.timer_arm q !timer ~at:0.1;
             ignore (Eventq.run q);
             Alcotest.(check int) "fired 5 times" 5 !count;
@@ -199,45 +292,178 @@ let suite =
             ignore (Eventq.run q);
             Alcotest.(check (list (float 1e-9)))
               "fires once, at the later arm's time" [ 1.0 ] (List.rev !times));
-        QCheck_alcotest.to_alcotest qprop;
-        tc "re-arming a timer many times leaves a compact heap" (fun () ->
-            let q = Eventq.create () in
-            let timer = Eventq.timer ignore in
-            for i = 1 to 10_000 do
-              Eventq.timer_arm q timer ~at:(float_of_int i)
-            done;
-            Alcotest.(check bool)
-              (Fmt.str "heap_nodes %d <= 64" (Eventq.heap_nodes q))
-              true
-              (Eventq.heap_nodes q <= 64);
-            Alcotest.(check int) "one live event" 1 (Eventq.live_nodes q));
-        tc "mass cancellation compacts on the next schedule" (fun () ->
-            let q = Eventq.create () in
-            let handles =
-              List.init 1000 (fun i ->
-                  Eventq.schedule q ~at:(float_of_int i) ignore)
-            in
-            List.iter Eventq.cancel handles;
-            Alcotest.(check int) "all dead" 0 (Eventq.live_nodes q);
-            let fired = ref 0 in
-            ignore (Eventq.schedule q ~at:0.5 (fun () -> incr fired));
-            Alcotest.(check int) "compacted to the new event" 1
-              (Eventq.heap_nodes q);
-            ignore (Eventq.run q);
-            Alcotest.(check int) "only the live event fires" 1 !fired;
-            Alcotest.(check int) "empty heap" 0 (Eventq.heap_nodes q));
-        tc "run ~until keeps the dead count consistent across put-back"
+        QCheck_alcotest.to_alcotest
+          (qprop_model "heap" (fun () -> Eventq.create ~core:Eventq.Heap ()));
+        QCheck_alcotest.to_alcotest
+          (qprop_model "wheel" (fun () -> Eventq.create ~core:Eventq.Wheel ()));
+        QCheck_alcotest.to_alcotest
+          (qprop_model "wheel q=0.31" (fun () ->
+               Eventq.create ~core:Eventq.Wheel ~quantum:0.31 ()));
+        QCheck_alcotest.to_alcotest qprop_differential;
+        tc "re-arming a timer reuses one cell (all cores)" (fun () ->
+            List.iter
+              (fun (name, mk) ->
+                let q : Eventq.t = mk () in
+                let timer = Eventq.timer ignore in
+                for i = 1 to 10_000 do
+                  Eventq.timer_arm q timer ~at:(float_of_int i);
+                  Alcotest.(check int)
+                    ("one node " ^ name) 1 (Eventq.heap_nodes q)
+                done;
+                Alcotest.(check int)
+                  ("one live event " ^ name) 1 (Eventq.live_nodes q))
+              cores);
+        tc "mass cancellation releases every node at once (all cores)"
           (fun () ->
-            let q = Eventq.create () in
-            let a = Eventq.schedule q ~at:2.0 ignore in
-            ignore (Eventq.schedule q ~at:2.0 ignore);
-            Eventq.cancel a;
-            ignore (Eventq.run ~until:1.0 q);
-            Alcotest.(check int) "both kept" 2 (Eventq.heap_nodes q);
-            Alcotest.(check int) "one live" 1 (Eventq.live_nodes q);
-            ignore (Eventq.run q);
-            Alcotest.(check int) "drained" 0 (Eventq.heap_nodes q);
-            Alcotest.(check int) "no dead left" 0 (Eventq.live_nodes q));
-        QCheck_alcotest.to_alcotest qprop_compaction;
+            List.iter
+              (fun (name, mk) ->
+                let q : Eventq.t = mk () in
+                let handles =
+                  List.init 1000 (fun i ->
+                      Eventq.schedule q ~at:(float_of_int i) ignore)
+                in
+                List.iter Eventq.cancel handles;
+                Alcotest.(check int) ("no live " ^ name) 0 (Eventq.live_nodes q);
+                Alcotest.(check int)
+                  ("no nodes " ^ name) 0 (Eventq.heap_nodes q);
+                let fired = ref 0 in
+                ignore (Eventq.schedule q ~at:0.5 (fun () -> incr fired));
+                Alcotest.(check int)
+                  ("only the new event " ^ name) 1 (Eventq.heap_nodes q);
+                ignore (Eventq.run q);
+                Alcotest.(check int) ("it fires " ^ name) 1 !fired;
+                Alcotest.(check int) ("drained " ^ name) 0 (Eventq.heap_nodes q))
+              cores);
+        tc "run ~until put-back keeps node accounting exact (all cores)"
+          (fun () ->
+            List.iter
+              (fun (name, mk) ->
+                let q : Eventq.t = mk () in
+                let a = Eventq.schedule q ~at:2.0 ignore in
+                ignore (Eventq.schedule q ~at:2.0 ignore);
+                Eventq.cancel a;
+                ignore (Eventq.run ~until:1.0 q);
+                Alcotest.(check int)
+                  ("survivor kept " ^ name) 1 (Eventq.heap_nodes q);
+                Alcotest.(check int) ("one live " ^ name) 1 (Eventq.live_nodes q);
+                Alcotest.(check (float 1e-9))
+                  ("clock at horizon " ^ name) 1.0 (Eventq.now q);
+                ignore (Eventq.run q);
+                Alcotest.(check int) ("drained " ^ name) 0 (Eventq.heap_nodes q))
+              cores);
+        QCheck_alcotest.to_alcotest
+          (qprop_cancellation "heap" (fun () ->
+               Eventq.create ~core:Eventq.Heap ()));
+        QCheck_alcotest.to_alcotest
+          (qprop_cancellation "wheel" (fun () ->
+               Eventq.create ~core:Eventq.Wheel ()));
+        tc "a timer can migrate between queues" (fun () ->
+            let q1 = Eventq.create ~core:Eventq.Wheel () in
+            let q2 = Eventq.create ~core:Eventq.Heap () in
+            let count = ref 0 in
+            let timer = Eventq.timer (fun () -> incr count) in
+            Eventq.timer_arm q1 timer ~at:1.0;
+            ignore (Eventq.run q1);
+            Eventq.timer_arm q2 timer ~at:1.0;
+            ignore (Eventq.run q2);
+            Alcotest.(check int) "fired on both queues" 2 !count;
+            Alcotest.(check int) "q1 clean" 0 (Eventq.heap_nodes q1);
+            Alcotest.(check int) "q2 clean" 0 (Eventq.heap_nodes q2));
+        tc "observers are read-only (enforced)" (fun () ->
+            let attempts =
+              [
+                ( "schedule",
+                  fun q _h _t -> ignore (Eventq.schedule q ~at:9.0 ignore) );
+                ( "schedule_in",
+                  fun q _h _t -> ignore (Eventq.schedule_in q ~delay:1.0 ignore)
+                );
+                ("cancel", fun _q h _t -> Eventq.cancel h);
+                ("timer_arm", fun q _h t -> Eventq.timer_arm q t ~at:9.0);
+                ("timer_cancel", fun _q _h t -> Eventq.timer_cancel t);
+              ]
+            in
+            List.iter
+              (fun (name, mk) ->
+                List.iter
+                  (fun (what, attempt) ->
+                    let q : Eventq.t = mk () in
+                    let handle = Eventq.schedule q ~at:5.0 ignore in
+                    let timer = Eventq.timer ignore in
+                    Eventq.timer_arm q timer ~at:6.0;
+                    let raised = ref false in
+                    Eventq.add_observer q (fun () ->
+                        match attempt q handle timer with
+                        | () -> ()
+                        | exception Invalid_argument _ -> raised := true);
+                    ignore (Eventq.schedule q ~at:1.0 ignore);
+                    ignore (Eventq.run q);
+                    Alcotest.(check bool)
+                      (Fmt.str "%s raises from observer (%s)" what name)
+                      true !raised;
+                    (* the guard resets: the queue stays usable *)
+                    let fired = ref 0 in
+                    ignore (Eventq.schedule q ~at:9.0 (fun () -> incr fired));
+                    ignore (Eventq.run q);
+                    Alcotest.(check int)
+                      (Fmt.str "usable after %s attempt (%s)" what name)
+                      1 !fired)
+                  attempts)
+              cores);
+        tc "one fleet rung is identical on heap and wheel cores" (fun () ->
+            Progmp_compiler.Compile.register_engines ();
+            ignore (Schedulers.Specs.load_all ());
+            let sched =
+              match Progmp_runtime.Scheduler.find "default" with
+              | Some s -> s
+              | None -> assert false
+            in
+            let rung core =
+              let saved = Eventq.default_core () in
+              Eventq.set_default_core core;
+              Fun.protect
+                ~finally:(fun () -> Eventq.set_default_core saved)
+                (fun () ->
+                  Mptcp_exp.Fleet_run.run ~interval:2.0
+                    ~scheduler:(sched, "interpreter")
+                    ~cc:Congestion.Lia ~seed:11 ~loss:0.01 ~duration:6.0
+                    ~groups:4 ~shards:1
+                    ~rate:(fun _ -> 400.0)
+                    ~dist:Mptcp_exp.Traffic.default_pareto ())
+            in
+            let h = rung Eventq.Heap and w = rung Eventq.Wheel in
+            Alcotest.(check string)
+              "heap rung really ran on the heap core" "heap"
+              (Eventq.core_name (Fleet.clock h.(0).Mptcp_exp.Fleet_run.sr_fleet));
+            Alcotest.(check string)
+              "wheel rung really ran on the wheel core" "wheel"
+              (Eventq.core_name (Fleet.clock w.(0).Mptcp_exp.Fleet_run.sr_fleet));
+            let th = Mptcp_exp.Fleet_run.merged_totals h in
+            let tw = Mptcp_exp.Fleet_run.merged_totals w in
+            Alcotest.(check bool)
+              (Fmt.str "rung hosts real churn (%d arrivals)" th.Fleet.t_arrivals)
+              true (th.Fleet.t_arrivals > 1000);
+            Alcotest.(check int) "arrivals" th.Fleet.t_arrivals
+              tw.Fleet.t_arrivals;
+            Alcotest.(check int) "completed" th.Fleet.t_completed
+              tw.Fleet.t_completed;
+            Alcotest.(check int) "live" th.Fleet.t_live tw.Fleet.t_live;
+            Alcotest.(check int) "peak live" th.Fleet.t_peak_live
+              tw.Fleet.t_peak_live;
+            Alcotest.(check int) "delivered bytes" th.Fleet.t_delivered_bytes
+              tw.Fleet.t_delivered_bytes;
+            Alcotest.(check int) "wire bytes" th.Fleet.t_wire_bytes
+              tw.Fleet.t_wire_bytes;
+            Alcotest.(check int) "executions" th.Fleet.t_executions
+              tw.Fleet.t_executions;
+            Alcotest.(check int) "pushes" th.Fleet.t_pushes tw.Fleet.t_pushes;
+            Alcotest.(check (float 1e-12))
+              "fct sum" th.Fleet.t_fct_sum tw.Fleet.t_fct_sum;
+            Alcotest.(check int) "slots"
+              (Mptcp_exp.Fleet_run.slot_count h)
+              (Mptcp_exp.Fleet_run.slot_count w);
+            Alcotest.(check (float 0.0))
+              "final clock"
+              (Eventq.now (Fleet.clock h.(0).Mptcp_exp.Fleet_run.sr_fleet))
+              (Eventq.now (Fleet.clock w.(0).Mptcp_exp.Fleet_run.sr_fleet)));
       ] );
   ]

@@ -16,17 +16,38 @@
 # must stay within FLEET_CAP x of the baseline's decision throughput,
 # and a fresh mem-smoke mid rung must keep heap bytes per connection
 # within MEM_CAP x of the baseline's (asserted by the bench itself).
+# The committed BENCH_eventq.json (heap-vs-wheel event-core
+# microbenchmark) gets the same treatment: a fresh `bench eventq
+# --smoke` must keep the wheel core's ns/op within TOLERANCE x
+# (geometric mean) / HARD_CAP x (single mix) of the baseline's.
 # Any baseline recorded on a machine with a different core count is
 # refused (skipped with a note) rather than compared. Skips silently
 # when the baseline or the bench binary is unavailable (release
-# tarballs, partial checkouts).
+# tarballs, partial checkouts). Each gate that trips is re-run once
+# before counting as a failure, so a transient host-scheduling spike
+# on a shared box cannot fail the suite on its own.
 set -u
 
 TOLERANCE=2.0
 HARD_CAP=4.0
 FLEET_CAP=10.0
-FLEET_DPS_RATIO=4.0
+# dps-flatness: with the O(1) timing-wheel event core the per-event cost
+# must not grow algorithmically with fleet size — the 100k rung's
+# decisions/sec may trail the 10k rung's by at most this factor
+# (was 4.0 in the heap era). The committed wheel ladder records ~1.42x:
+# the residual slope is the last-level-cache cliff (the 10k rung's
+# ~139 MB marginal working set fits the recording box's 256 MB LLC,
+# the 100k rung's ~1.65 GB does not), not event-core cost — per-op
+# event-queue flatness is gated sharply by check_eventq below. This
+# blunt backstop catches a committed ladder whose slope grows past the
+# cache-explainable band (e.g. an accidental O(log n) or O(n) term
+# reappearing in the per-event path).
+FLEET_DPS_RATIO=1.5
 MEM_CAP=1.25
+# a fleet rung completing less than this fraction of its arrivals is
+# overload-shaped: its throughput figures describe mostly-unfinished
+# work, so the gate points it out (warning, not failure)
+COMPLETION_WARN=0.05
 
 # The script runs from inside _build; walk up to the checkout root.
 dir=$PWD
@@ -207,6 +228,18 @@ check_fleet() {
     fst=1
   fi
 
+  # completion visibility: overload-shaped rungs are expected at the top
+  # of the ladder, but a rung finishing < COMPLETION_WARN of its
+  # arrivals should say so at a glance instead of hiding behind its
+  # throughput numbers
+  sed -n 's/.*"target": \([0-9][0-9]*\),.*"completion_ratio": \([0-9.][0-9.]*\),.*/\1 \2/p' "$fbase" \
+  | while read -r target ratio; do
+      awk -v t="$target" -v r="$ratio" -v warn="$COMPLETION_WARN" 'BEGIN {
+        if (r < warn)
+          printf "warning: fleet rung %s completed only %.1f%% of its arrivals (overload-shaped rung; throughput figures describe mostly-unfinished work)\n", t, r * 100 > "/dev/stderr"
+      }'
+    done
+
   mkdir -p "$tmp/fleet_smoke"
   if ! (cd "$tmp/fleet_smoke" && "$bench" fleet --smoke > /dev/null 2> "$tmp/fleet-smoke.log"); then
     echo "error: fleet --smoke bench failed:" >&2
@@ -245,6 +278,86 @@ check_fleet() {
   return "$fst"
 }
 
-check_engines || status=1
-check_fleet || status=1
+# --- event core ------------------------------------------------------------
+# The committed BENCH_eventq.json records the heap-vs-wheel event-core
+# microbenchmark; the gate smoke-runs the same mixes and compares the
+# default (wheel) core's ns/op row by row — geometric mean within
+# TOLERANCE x, no single mix past HARD_CAP x — with the same
+# cross-machine refusal as the other gates. Both core columns must be
+# present in the fresh run: a build that silently dropped one core
+# would otherwise pass on the survivor's numbers.
+check_eventq() {
+  ebase="$dir/BENCH_eventq.json"
+  if [ ! -f "$ebase" ]; then
+    echo "note: no BENCH_eventq.json baseline; skipping event-core check" >&2
+    return 0
+  fi
+  comparable "$ebase" || return 0
+
+  if grep -q '"smoke": *true' "$ebase"; then
+    echo "error: committed BENCH_eventq.json was recorded with --smoke; re-record with: dune exec bench/main.exe -- eventq" >&2
+    return 1
+  fi
+
+  mkdir -p "$tmp/eventq_smoke"
+  if ! (cd "$tmp/eventq_smoke" && "$bench" eventq --smoke >/dev/null 2>"$tmp/eventq-smoke.log"); then
+    echo "error: bench eventq --smoke failed:" >&2
+    cat "$tmp/eventq-smoke.log" >&2
+    return 1
+  fi
+  efresh="$tmp/eventq_smoke/BENCH_eventq.json"
+  [ -f "$efresh" ] || { echo "error: eventq smoke run produced no BENCH_eventq.json" >&2; return 1; }
+
+  erows() { # $1 = file -> "workload:pending heap_ns wheel_ns" per line
+    sed -n 's/.*"workload": "\([^"]*\)", "pending": \([0-9]*\), "heap_ns_per_op": \([0-9.]*\), "wheel_ns_per_op": \([0-9.]*\).*/\1:\2 \3 \4/p' "$1"
+  }
+  erows "$ebase" > "$tmp/eventq_base.txt"
+  erows "$efresh" > "$tmp/eventq_fresh.txt"
+  [ -s "$tmp/eventq_base.txt" ] || { echo "error: no rows in $ebase" >&2; return 1; }
+  [ -s "$tmp/eventq_fresh.txt" ] || { echo "error: fresh eventq run has no complete rows (heap and wheel columns are both required)" >&2; return 1; }
+
+  est=0
+  awk -v tol="$TOLERANCE" -v cap="$HARD_CAP" '
+    NR == FNR { wheel[$1] = $3; next }
+    ($1 in wheel) && wheel[$1] > 0 && $3 > 0 {
+      ratio = $3 / wheel[$1]
+      log_sum += log(ratio)
+      n++
+      if (ratio > cap) {
+        printf "error: eventq %s wheel ns/op fell off a cliff: %.1f vs baseline %.1f (> %.1fx)\n", $1, $3, wheel[$1], cap > "/dev/stderr"
+        bad = 1
+      }
+    }
+    END {
+      if (n == 0) { print "error: no comparable eventq rows between baseline and fresh run" > "/dev/stderr"; exit 1 }
+      mean = exp(log_sum / n)
+      if (mean > tol) {
+        printf "error: eventq wheel ns/op regressed: geometric mean %.2fx of baseline (> %.1fx over %d mixes)\n", mean, tol, n > "/dev/stderr"
+        bad = 1
+      }
+      exit bad
+    }' "$tmp/eventq_base.txt" "$tmp/eventq_fresh.txt" || est=1
+
+  if [ "$est" -ne 0 ]; then
+    echo "hint: if the slowdown is expected, refresh the baseline with:" >&2
+    echo "  dune exec bench/main.exe -- eventq   # then commit BENCH_eventq.json" >&2
+  fi
+  return "$est"
+}
+
+# The smoke measurements behind these gates are a handful of short
+# wall-clock timings; on a shared or virtualized box, host scheduling
+# noise (steal time) can inflate one mix by several x in a single run.
+# A gate that trips therefore gets exactly one full re-run before it
+# counts as a failure: transient noise passes the second attempt, while
+# a real regression is deterministic and fails both.
+retry_once() { # $1 = gate label, $2 = check function
+  "$2" && return 0
+  echo "note: $1 gate tripped; re-running the smoke once to rule out transient host scheduling noise (a real regression fails both runs)" >&2
+  "$2"
+}
+
+retry_once engines check_engines || status=1
+retry_once fleet check_fleet || status=1
+retry_once eventq check_eventq || status=1
 exit "$status"
